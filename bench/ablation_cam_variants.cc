@@ -1,0 +1,57 @@
+// §4.1 ablation: MAC table as a native CAM IP block vs a CAM written in
+// plain high-level code.
+//
+// "While the first option does not burden developers with implementation
+// details, the latter provides better resource usage and timing performance"
+// — i.e. the IP block is cheaper and faster; the logic CAM trades fabric for
+// independence from vendor IP.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/services/learning_switch.h"
+
+namespace emu {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation (4.1): learning-switch MAC table — CAM IP block vs high-level-code CAM");
+  std::printf("%-14s %10s %8s %8s %12s %12s %8s\n", "Variant", "Logic", "Regs", "BRAM",
+              "Core latency", "Throughput", "Loss");
+  for (CamKind kind : {CamKind::kIpBlock, CamKind::kLogic}) {
+    LearningSwitchConfig config;
+    config.cam = kind;
+    Cycle latency;
+    ResourceUsage resources;
+    {
+      LearningSwitch service(config);
+      FpgaTarget target(service);
+      resources = target.pipeline().CoreResources();
+      latency = MeasureSwitchCoreLatency(target);
+    }
+    SwitchThroughputResult throughput;
+    {
+      LearningSwitch service(config);
+      FpgaTarget target(service);
+      throughput = MeasureSwitchThroughput(target, 2500, 64);
+    }
+    std::printf("%-14s %10llu %8llu %8llu %9llu cy %9.2f Mpps %6.2f%%\n",
+                kind == CamKind::kIpBlock ? "CAM IP block" : "logic CAM",
+                static_cast<unsigned long long>(resources.luts),
+                static_cast<unsigned long long>(resources.regs),
+                static_cast<unsigned long long>(resources.bram_units),
+                static_cast<unsigned long long>(latency), throughput.achieved_mpps,
+                throughput.loss_rate * 100.0);
+  }
+  PrintRule();
+  std::printf(
+      "Shape checks: the IP block uses fewer LUTs and one lookup cycle less; the\n"
+      "logic CAM needs no vendor IP but burns fabric registers for the whole table.\n");
+}
+
+}  // namespace
+}  // namespace emu
+
+int main() {
+  emu::Run();
+  return 0;
+}

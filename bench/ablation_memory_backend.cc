@@ -1,0 +1,61 @@
+// §5.4 ablation: Memcached memory backends.
+//
+// "On-board memory [DRAM] has a size advantage, but the disadvantage of
+// increased and variable latency (e.g., due to DRAM refreshes); on-chip
+// memory has the benefit of low, constant latency, but is of smaller size."
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/services/memcached_service.h"
+#include "src/sim/loadgen.h"
+#include "src/sim/memaslap.h"
+
+namespace emu {
+namespace {
+
+LatencyStats MeasureGetLatency(McBackend backend) {
+  MemcachedConfig config;
+  config.backend = backend;
+  MemcachedService service(config);
+  FpgaTarget target(service);
+
+  MemaslapConfig workload;
+  workload.server_mac = config.mac;
+  workload.server_ip = config.ip;
+  workload.get_fraction = 1.0;  // pure GETs after prewarm
+  workload.key_space = 128;
+  workload.value_bytes = 64;
+  MemaslapLoadgen loadgen(workload);
+  for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+    target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+  }
+  target.TakeEgress();
+
+  const auto factory = [&loadgen](usize i, u8) { return loadgen.WorkloadFrame(i); };
+  return OsntLoadgen::MeasureUnloadedRtt(target, factory, 1500);
+}
+
+void Run() {
+  PrintHeader("Ablation (5.4): Memcached value-store backend — on-chip BRAM vs on-board DRAM");
+  std::printf("%-10s %10s %10s %10s %10s %12s\n", "Backend", "avg us", "99th us", "max us",
+              "stddev us", "99th-avg ns");
+  for (McBackend backend : {McBackend::kOnChip, McBackend::kDram}) {
+    const LatencyStats stats = MeasureGetLatency(backend);
+    std::printf("%-10s %10.3f %10.3f %10.3f %10.4f %12.1f\n",
+                backend == McBackend::kOnChip ? "on-chip" : "DRAM", stats.MeanUs(),
+                stats.PercentileUs(99.0), stats.MaxUs(), stats.StdDevUs(),
+                (stats.PercentileUs(99.0) - stats.MeanUs()) * 1000.0);
+  }
+  PrintRule();
+  std::printf(
+      "Shape checks (paper): on-chip is faster with near-zero variance; DRAM adds\n"
+      "latency and a visible tail from row misses and periodic refresh stalls.\n");
+}
+
+}  // namespace
+}  // namespace emu
+
+int main() {
+  emu::Run();
+  return 0;
+}

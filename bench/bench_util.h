@@ -1,0 +1,119 @@
+// Shared helpers for the table-regeneration benches: canonical test frames,
+// switch-throughput saturation runs, and fixed-width table printing.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/targets.h"
+#include "src/net/ethernet.h"
+#include "src/sim/latency_probe.h"
+
+namespace emu {
+
+inline const MacAddress kBenchHostMac[4] = {
+    MacAddress::FromU48(0x020000000001), MacAddress::FromU48(0x020000000002),
+    MacAddress::FromU48(0x020000000003), MacAddress::FromU48(0x020000000004)};
+
+inline Packet MakeSwitchFrame(MacAddress dst, MacAddress src, usize size = 64) {
+  std::vector<u8> payload(size > kEthernetHeaderSize ? size - kEthernetHeaderSize : 0, 0xa5);
+  Packet frame = MakeEthernetFrame(dst, src, EtherType::kIpv4, payload);
+  frame.Resize(size);
+  return frame;
+}
+
+// Teaches all four host MACs to a switch target (flood-free steady state).
+inline void WarmSwitch(FpgaTarget& target) {
+  for (u8 port = 0; port < 4; ++port) {
+    target.Inject(port, MakeSwitchFrame(MacAddress::Broadcast(), kBenchHostMac[port]));
+  }
+  target.Run(60'000);
+  target.TakeEgress();
+}
+
+struct SwitchThroughputResult {
+  double offered_mpps = 0.0;
+  double achieved_mpps = 0.0;
+  double loss_rate = 0.0;
+};
+
+// Saturates all four ports with `frames_per_port` back-to-back frames of
+// `size` bytes (per-port line rate enforced by the port model) and measures
+// the achieved egress rate — the OSNT methodology at the line-rate point.
+inline SwitchThroughputResult MeasureSwitchThroughput(FpgaTarget& target,
+                                                      usize frames_per_port,
+                                                      usize size = 64) {
+  WarmSwitch(target);
+  for (usize i = 0; i < frames_per_port; ++i) {
+    for (u8 port = 0; port < 4; ++port) {
+      target.Inject(port,
+                    MakeSwitchFrame(kBenchHostMac[(port + 1) % 4], kBenchHostMac[port], size));
+    }
+  }
+  const usize total = frames_per_port * 4;
+  // Run until all frames egressed or the egress count stalls (lossy designs
+  // never reach `total`).
+  usize last_count = 0;
+  Cycle stable_since = target.sim().now();
+  while (target.egress().size() < total) {
+    target.Run(2048);
+    const usize count = target.egress().size();
+    if (count != last_count) {
+      last_count = count;
+      stable_since = target.sim().now();
+    } else if (target.sim().now() - stable_since > 100'000) {
+      break;
+    }
+  }
+  target.Run(50'000);  // drain stragglers
+  const auto egress = target.TakeEgress();
+
+  SwitchThroughputResult result;
+  if (egress.empty()) {
+    return result;
+  }
+  Picoseconds first = egress.front().frame.ingress_time();
+  Picoseconds last = egress.front().frame.egress_time();
+  for (const auto& e : egress) {
+    first = std::min(first, e.frame.ingress_time());
+    last = std::max(last, e.frame.egress_time());
+  }
+  const double window_s = static_cast<double>(last - first) / 1e12;
+  result.achieved_mpps = static_cast<double>(egress.size()) / window_s / 1e6;
+  result.loss_rate = 1.0 - static_cast<double>(egress.size()) / static_cast<double>(total);
+  const Picoseconds per_frame = SerializationPs(size);
+  result.offered_mpps = 4.0 * 1e6 / static_cast<double>(per_frame);
+  return result;
+}
+
+// Core latency (cycles) of a warmed switch for a unicast 64 B frame.
+inline Cycle MeasureSwitchCoreLatency(FpgaTarget& target) {
+  WarmSwitch(target);
+  target.Inject(0, MakeSwitchFrame(kBenchHostMac[1], kBenchHostMac[0], 64));
+  target.RunUntilEgressCount(1, 500'000);
+  const auto egress = target.TakeEgress();
+  if (egress.empty()) {
+    return 0;
+  }
+  return egress[0].frame.core_egress_cycle() - egress[0].frame.core_ingress_cycle();
+}
+
+// --- Table printing ----------------------------------------------------------
+
+inline void PrintRule(usize width = 100) {
+  std::string rule(width, '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace emu
+
+#endif  // BENCH_BENCH_UTIL_H_

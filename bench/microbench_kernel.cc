@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks of the simulation substrate's hot paths:
+// how fast the reproduction itself runs (not a paper table, but what bounds
+// every table's wall-clock time).
+#include <benchmark/benchmark.h>
+
+#include "src/common/wide_word.h"
+#include "src/hdl/fifo.h"
+#include "src/hdl/signal.h"
+#include "src/ip/cam.h"
+#include "src/ip/pearson_hash.h"
+#include "src/net/checksum.h"
+#include "src/net/ethernet.h"
+#include "src/netfpga/axis.h"
+#include "src/services/learning_switch.h"
+#include "src/core/targets.h"
+
+namespace emu {
+namespace {
+
+void BM_WideWordAdd(benchmark::State& state) {
+  Word256 a(0x123456789abcdefULL);
+  Word256 b = Word256::Max() >> 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a += b);
+  }
+}
+BENCHMARK(BM_WideWordAdd);
+
+void BM_WideWordShift(benchmark::State& state) {
+  Word512 w = Word512::Max() >> 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w << 13);
+  }
+}
+BENCHMARK(BM_WideWordShift);
+
+void BM_PearsonHash64(benchmark::State& state) {
+  std::vector<u8> key(static_cast<usize>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonHash64(key));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PearsonHash64)->Arg(6)->Arg(64);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<u8> data(static_cast<usize>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InternetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1514);
+
+void BM_CamLookup(benchmark::State& state) {
+  Simulator sim;
+  Cam cam(sim, "cam", static_cast<usize>(state.range(0)), 48, 8);
+  for (usize i = 0; i < cam.entries(); ++i) {
+    cam.Write(i, 0x1000 + i, i);
+  }
+  sim.Step();
+  u64 key = 0x1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.Lookup(key));
+    key = 0x1000 + ((key + 1) % cam.entries());
+  }
+}
+BENCHMARK(BM_CamLookup)->Arg(16)->Arg(256);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  Simulator sim;
+  Reg<u64> counter(sim, 0);
+  struct Counter {
+    static HwProcess Run(Reg<u64>& reg) {
+      for (;;) {
+        reg.Write(reg.Read() + 1);
+        co_await Pause();
+      }
+    }
+  };
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.AddProcess(Counter::Run(counter), "p");
+  }
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(1)->Arg(16);
+
+void BM_AxisRoundTrip(benchmark::State& state) {
+  Packet packet(static_cast<usize>(state.range(0)));
+  for (auto _ : state) {
+    auto words = PacketToAxis(packet);
+    benchmark::DoNotOptimize(AxisToPacket(words));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AxisRoundTrip)->Arg(64)->Arg(1514);
+
+void BM_SwitchForwardOneFrame(benchmark::State& state) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  const MacAddress a = MacAddress::FromU48(0x020000000001);
+  const MacAddress b = MacAddress::FromU48(0x020000000002);
+  // Teach both MACs.
+  target.Inject(0, MakeEthernetFrame(MacAddress::Broadcast(), a, EtherType::kIpv4, {}));
+  target.Inject(1, MakeEthernetFrame(MacAddress::Broadcast(), b, EtherType::kIpv4, {}));
+  target.Run(50'000);
+  target.TakeEgress();
+  for (auto _ : state) {
+    auto reply =
+        target.SendAndCollect(0, MakeEthernetFrame(b, a, EtherType::kIpv4, {}), 500'000);
+    benchmark::DoNotOptimize(reply);
+    target.TakeEgress();
+  }
+}
+BENCHMARK(BM_SwitchForwardOneFrame);
+
+}  // namespace
+}  // namespace emu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+// Regenerates Table 4: Emu services vs host (Linux-native) services —
+// average latency, 99th-percentile latency, and maximum throughput for ICMP
+// echo, TCP ping, DNS, NAT, and Memcached.
+//
+// Methodology mirrors §5.2: unloaded request/response RTTs captured at the
+// wire (DAG substitute), throughput by saturating offered load (OSNT
+// substitute); the host column runs the same workloads against the
+// calibrated host-stack model.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/hostnet/host_stack_model.h"
+#include "src/net/dns.h"
+#include "src/net/icmp.h"
+#include "src/net/memcached.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/dns_service.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+#include "src/services/tcp_ping_service.h"
+#include "src/sim/loadgen.h"
+#include "src/sim/memaslap.h"
+
+namespace emu {
+namespace {
+
+constexpr usize kLatencySamples = 2000;   // paper: 100K; scaled for runtime
+constexpr usize kThroughputFrames = 20000;
+constexpr double kSaturationMqps = 12.0;  // above every service's capacity
+
+const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'99);
+const Ipv4Address kClientIp(10, 0, 0, 9);
+
+struct ServiceRow {
+  const char* name;
+  LatencyStats emu_latency;
+  double emu_mqps = 0.0;
+  LatencyStats host_latency;
+  double host_mqps = 0.0;
+  const char* paper;
+};
+
+// Emu side: unloaded latency on one fresh target, throughput on another.
+template <typename MakeService>
+void MeasureEmu(ServiceRow& row, MakeService make_service, const FrameFactory& factory) {
+  {
+    auto service = make_service();
+    FpgaTarget target(*service);
+    row.emu_latency = OsntLoadgen::MeasureUnloadedRtt(target, factory, kLatencySamples);
+  }
+  {
+    auto service = make_service();
+    FpgaTarget target(*service);
+    OsntLoadgen::FixedRateConfig config;
+    config.offered_mqps = kSaturationMqps;
+    config.frames = kThroughputFrames;
+    config.ports = {0, 1, 2, 3};
+    config.drain_limit = 80'000'000;
+    const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, config);
+    row.emu_mqps = report.achieved_mqps;
+  }
+}
+
+// Host side: latency from unloaded samples, throughput from queue saturation.
+void MeasureHost(ServiceRow& row, HostStackParams params, usize request_bytes) {
+  HostStackModel latency_model(params, 42);
+  for (usize i = 0; i < 20000; ++i) {
+    row.host_latency.Add(latency_model.SampleUnloadedRtt(request_bytes));
+  }
+  HostStackModel throughput_model(params, 43);
+  const double offered_qps = 8e6;
+  const Picoseconds gap = static_cast<Picoseconds>(1e12 / offered_qps);
+  usize served = 0;
+  Picoseconds last = 0;
+  for (Picoseconds t = 0; t < 40 * kPicosPerMilli; t += gap) {
+    last = throughput_model.ServeRequest(t, request_bytes);
+    ++served;
+  }
+  row.host_mqps = static_cast<double>(served) / (static_cast<double>(last) / 1e12) / 1e6;
+}
+
+void PrintRow(const ServiceRow& row) {
+  std::printf("%-10s | %9.2f %9.2f %8.3f | %9.2f %9.2f %8.3f | %s\n", row.name,
+              row.emu_latency.MeanUs(), row.emu_latency.PercentileUs(99.0), row.emu_mqps,
+              row.host_latency.MeanUs(), row.host_latency.PercentileUs(99.0), row.host_mqps,
+              row.paper);
+}
+
+void Run() {
+  PrintHeader("Table 4: services on Emu (FPGA) vs host software");
+  std::printf("%-10s | %9s %9s %8s | %9s %9s %8s | paper (E-avg E-99 E-Mqps / H-avg H-99 H-Mqps)\n",
+              "Service", "avg us", "99th us", "Mq/s", "avg us", "99th us", "Mq/s");
+  PrintRule(120);
+
+  // --- ICMP Echo ---
+  {
+    ServiceRow row{};
+    row.name = "ICMP Echo";
+    row.paper = "1.09 1.11 3.226 / 12.28 22.63 1.068";
+    IcmpEchoConfig config;
+    const auto factory = [config](usize i, u8) {
+      return MakeIcmpEchoRequest(
+          {config.mac, kClientMac, kClientIp, config.ip, static_cast<u16>(i), 0}, {});
+    };
+    MeasureEmu(row, [&] { return std::make_unique<IcmpEchoService>(config); }, factory);
+    MeasureHost(row, HostIcmpEchoParams(), 64);
+    PrintRow(row);
+  }
+
+  // --- TCP Ping ---
+  {
+    ServiceRow row{};
+    row.name = "TCP Ping";
+    row.paper = "1.27 1.29 2.105 / 21.79 65.00 1.012";
+    TcpPingConfig config;
+    const auto factory = [config](usize i, u8) {
+      TcpSegmentSpec spec{config.mac,
+                          kClientMac,
+                          kClientIp,
+                          config.ip,
+                          static_cast<u16>(20000 + (i % 20000)),
+                          80,
+                          static_cast<u32>(i),
+                          0,
+                          TcpFlags::kSyn};
+      return MakeTcpSegment(spec);
+    };
+    MeasureEmu(row, [&] { return std::make_unique<TcpPingService>(config); }, factory);
+    MeasureHost(row, HostTcpPingParams(), 64);
+    PrintRow(row);
+  }
+
+  // --- DNS ---
+  {
+    ServiceRow row{};
+    row.name = "DNS";
+    row.paper = "1.82 1.86 1.176 / 126.46 138.33 0.226";
+    DnsServiceConfig config;
+    const auto make_service = [&] {
+      auto service = std::make_unique<DnsService>(config);
+      service->AddRecord("svc0.lab", Ipv4Address(10, 1, 0, 1));
+      service->AddRecord("svc1.lab", Ipv4Address(10, 1, 0, 2));
+      service->AddRecord("svc2.lab", Ipv4Address(10, 1, 0, 3));
+      service->AddRecord("svc3.lab", Ipv4Address(10, 1, 0, 4));
+      return service;
+    };
+    const auto factory = [config](usize i, u8) {
+      const std::string name = "svc" + std::to_string(i % 4) + ".lab";
+      return MakeUdpPacket({config.mac, kClientMac, kClientIp, config.ip,
+                            static_cast<u16>(5000 + i % 1000), kDnsPort},
+                           BuildDnsQuery(static_cast<u16>(i), name));
+    };
+    MeasureEmu(row, make_service, factory);
+    MeasureHost(row, HostDnsParams(), 80);
+    PrintRow(row);
+  }
+
+  // --- NAT ---
+  {
+    ServiceRow row{};
+    row.name = "NAT";
+    row.paper = "1.32 1.34 2.439 / 2444.76 6185.27 1.037";
+    NatConfig config;
+    const MacAddress internal_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
+    const auto factory = [config, internal_mac](usize i, u8 port) {
+      // Outbound flows from internal hosts (injected on ports 1-3).
+      const u8 in_port = static_cast<u8>(1 + port % 3);
+      Packet frame = MakeUdpPacket(
+          {config.internal_mac, internal_mac,
+           Ipv4Address(192, 168, 1, static_cast<u8>(2 + i % 200)),
+           Ipv4Address(8, 8, 8, 8), static_cast<u16>(1024 + i % 30000), 53},
+          std::vector<u8>{'q'});
+      frame.set_src_port(in_port);
+      return frame;
+    };
+    // NAT traffic enters on internal ports only.
+    {
+      NatService service(config);
+      FpgaTarget target(service);
+      row.emu_latency = OsntLoadgen::MeasureUnloadedRtt(target, factory, kLatencySamples, 1);
+    }
+    {
+      NatService service(config);
+      FpgaTarget target(service);
+      OsntLoadgen::FixedRateConfig rate;
+      rate.offered_mqps = kSaturationMqps;
+      rate.frames = kThroughputFrames;
+      rate.ports = {1, 2, 3};
+      rate.drain_limit = 80'000'000;
+      const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, rate);
+      row.emu_mqps = report.achieved_mqps;
+    }
+    MeasureHost(row, HostNatParams(), 64);
+    PrintRow(row);
+  }
+
+  // --- Memcached (UDP, ASCII, 90/10 GET/SET via memaslap) ---
+  {
+    ServiceRow row{};
+    row.name = "Memcached";
+    row.paper = "1.21 1.26 1.932 / 24.29 28.65 0.876";
+    MemcachedConfig config;
+    MemaslapConfig workload;
+    workload.server_mac = config.mac;
+    workload.server_ip = config.ip;
+    const auto make_loaded = [&]() {
+      auto service = std::make_unique<MemcachedService>(config);
+      return service;
+    };
+    {
+      auto service = make_loaded();
+      FpgaTarget target(*service);
+      MemaslapLoadgen loadgen(workload);
+      // Prewarm the store through the dataplane.
+      for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+        target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+      }
+      target.TakeEgress();
+      const auto factory = [&loadgen](usize i, u8) { return loadgen.WorkloadFrame(i); };
+      row.emu_latency = OsntLoadgen::MeasureUnloadedRtt(target, factory, kLatencySamples);
+    }
+    {
+      auto service = make_loaded();
+      FpgaTarget target(*service);
+      MemaslapLoadgen loadgen(workload);
+      for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+        target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+      }
+      target.TakeEgress();
+      const auto factory = [&loadgen](usize i, u8) { return loadgen.WorkloadFrame(i); };
+      OsntLoadgen::FixedRateConfig rate;
+      rate.offered_mqps = kSaturationMqps;
+      rate.frames = kThroughputFrames;
+      rate.ports = {0, 1, 2, 3};
+      rate.drain_limit = 120'000'000;
+      const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, rate);
+      row.emu_mqps = report.achieved_mqps;
+    }
+    MeasureHost(row, HostMemcachedParams(), 100);
+    PrintRow(row);
+  }
+
+  PrintRule(120);
+  std::printf(
+      "Shape checks (paper): Emu latency is 1-3 orders of magnitude below host latency;\n"
+      "Emu tail-to-average stays within ~1.02-1.04 while the host ranges 1.09-2.98;\n"
+      "Emu throughput beats the host by roughly 2.1x-5.2x per service.\n"
+      "(Emu latency column measured over %zu RTTs; paper used 100K.)\n",
+      kLatencySamples);
+}
+
+}  // namespace
+}  // namespace emu
+
+int main() {
+  emu::Run();
+  return 0;
+}

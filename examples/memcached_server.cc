@@ -1,0 +1,76 @@
+// Memcached-on-FPGA (§4.3/§5.4): serve a memaslap-style 90/10 GET/SET
+// workload through the NetFPGA pipeline and report the latency/throughput
+// profile the paper's Table 4 row comes from — then repeat with four cores.
+#include <cstdio>
+
+#include "src/core/targets.h"
+#include "src/net/udp.h"
+#include "src/services/memcached_service.h"
+#include "src/sim/loadgen.h"
+#include "src/sim/memaslap.h"
+
+namespace {
+
+using namespace emu;  // example code; library code never does this
+
+void RunProfile(usize cores) {
+  MemcachedConfig config;
+  config.cores = cores;
+  MemcachedService service(config);
+  FpgaTarget target(service);
+
+  MemaslapConfig workload;
+  workload.server_mac = config.mac;
+  workload.server_ip = config.ip;
+  workload.key_space = 512;
+  MemaslapLoadgen loadgen(workload);
+
+  // Prewarm every key through the dataplane (SETs replicate to all cores).
+  for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+    target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+  }
+  target.TakeEgress();
+
+  // Unloaded request/response latency.
+  const auto factory = [&loadgen](usize i, u8) { return loadgen.WorkloadFrame(i); };
+  const LatencyStats latency = OsntLoadgen::MeasureUnloadedRtt(target, factory, 500);
+
+  // Saturated throughput.
+  MemcachedService fresh_service(config);
+  FpgaTarget fresh_target(fresh_service);
+  MemaslapLoadgen fresh_loadgen(workload);
+  for (usize i = 0; i < fresh_loadgen.prewarm_count(); ++i) {
+    fresh_target.SendAndCollect(0, fresh_loadgen.PrewarmFrame(i));
+  }
+  fresh_target.TakeEgress();
+  OsntLoadgen::FixedRateConfig rate;
+  rate.offered_mqps = 16.0;
+  rate.frames = 12000;
+  rate.ports = {0, 1, 2, 3};
+  rate.drain_limit = 120'000'000;
+  const auto fresh_factory = [&fresh_loadgen](usize i, u8) {
+    return fresh_loadgen.WorkloadFrame(i);
+  };
+  const LoadgenReport report = OsntLoadgen::RunFixedRate(fresh_target, fresh_factory, rate);
+
+  std::printf("%zu core(s): avg %.2f us | 99th %.2f us | tail/avg %.3f | %.2f Mq/s"
+              " | GET hit rate %.1f%%\n",
+              cores, latency.MeanUs(), latency.PercentileUs(99.0), latency.TailToAverage(),
+              report.achieved_mqps,
+              100.0 * static_cast<double>(fresh_service.get_hits()) /
+                  static_cast<double>(fresh_service.gets()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Memcached over UDP/ASCII on the simulated NetFPGA ==\n");
+  std::printf("workload: memaslap-style 90%% GET / 10%% SET, 6 B keys, 8 B values\n\n");
+  for (usize cores : {1u, 4u}) {
+    RunProfile(cores);
+  }
+  std::printf(
+      "\nPaper (Table 4 + 5.4): 1.21 us avg, 1.26 us 99th, 1.932 Mq/s single-core;\n"
+      "four cores raise the 90/10 throughput ~3.7x while SETs cannot scale.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// One codebase, three targets (§3.3, §4.4).
+//
+// The paper's NAT is its portability test case: "compiling it to three
+// different targets: software, Mininet, and hardware." This example runs the
+// same NatService source on all three and shows the identical translation
+// decision on each:
+//   1. CpuTarget      — plain software semantics (the x86 dev/test loop)
+//   2. StarTopology   — the event-driven network simulator (Mininet stand-in)
+//   3. FpgaTarget     — the cycle-accurate NetFPGA pipeline
+#include <cstdio>
+
+#include "src/core/targets.h"
+#include "src/net/udp.h"
+#include "src/services/nat_service.h"
+#include "src/sim/topology.h"
+
+namespace {
+
+using namespace emu;  // example code; library code never does this
+
+Packet OutboundUdp(const NatConfig& config, MacAddress host_mac, Ipv4Address host_ip) {
+  return MakeUdpPacket(
+      {config.internal_mac, host_mac, host_ip, Ipv4Address(8, 8, 8, 8), 5000, 53},
+      std::vector<u8>{'p', 'i', 'n', 'g'});
+}
+
+void Describe(const char* target, const Packet& frame) {
+  Packet copy = frame;
+  Ipv4View ip(copy);
+  UdpView udp(copy, ip.payload_offset());
+  std::printf("%-22s %s:%u -> %s:%u  (IP csum %s, UDP csum %s)\n", target,
+              ip.source().ToString().c_str(), udp.source_port(),
+              ip.destination().ToString().c_str(), udp.destination_port(),
+              ip.ChecksumValid() ? "ok" : "BAD", udp.ChecksumValid(ip) ? "ok" : "BAD");
+}
+
+}  // namespace
+
+int main() {
+  NatConfig config;
+  const MacAddress host_mac = MacAddress::Parse("02:00:00:00:11:10").value();
+  const Ipv4Address host_ip(192, 168, 1, 10);
+
+  std::printf("== The same NAT source on three execution targets ==\n\n");
+  std::printf("internal host %s sends UDP to 8.8.8.8:53 through the gateway\n\n",
+              host_ip.ToString().c_str());
+
+  // --- Target 1: CPU (software semantics) ---
+  {
+    NatService service(config);
+    CpuTarget target(service);
+    Packet frame = OutboundUdp(config, host_mac, host_ip);
+    frame.set_src_port(1);
+    const auto out = target.Deliver(std::move(frame));
+    Describe("CpuTarget:", out.at(0));
+  }
+
+  // --- Target 2: event-driven network simulator (Mininet substitute) ---
+  {
+    NatService service(config);
+    std::vector<HostSpec> hosts = {
+        {"external", MacAddress::Parse("02:ff:ff:ff:ff:01").value(), Ipv4Address(8, 8, 8, 8)},
+        {"internal", host_mac, host_ip}};
+    StarTopology topo(service, hosts);
+    Packet seen;
+    topo.host(0).SetApp([&](SimHost&, Packet frame) { seen = std::move(frame); });
+    topo.host(1).Send(OutboundUdp(config, host_mac, host_ip));
+    topo.Run();
+    Describe("SimTarget (Mininet):", seen);
+  }
+
+  // --- Target 3: cycle-accurate NetFPGA pipeline ---
+  {
+    NatService service(config);
+    FpgaTarget target(service);
+    auto out = target.SendAndCollect(1, OutboundUdp(config, host_mac, host_ip));
+    Describe("FpgaTarget:", *out);
+    std::printf("\nFPGA-only extras: one-way DUT latency %.2f us, %zu active mapping(s)\n",
+                ToMicroseconds(out->egress_time() - out->ingress_time()),
+                service.active_mappings());
+  }
+
+  std::printf("\nSame source, same rewrite, three substrates — §4.4's portability claim.\n");
+  return 0;
+}

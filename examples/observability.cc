@@ -1,0 +1,64 @@
+// Observability: hardware waveforms and wire captures from a running design.
+//
+// Runs the encrypting tunnel (the §4 "bespoke encryption" use case) while
+// recording (a) a VCD waveform of service state — what an RTL simulator
+// would give you, here for application-level signals — and (b) a libpcap
+// capture of both sides of the tunnel, openable in wireshark. Artifacts land
+// in /tmp/emu_observability.{vcd,pcap}.
+#include <cstdio>
+
+#include "src/core/targets.h"
+#include "src/hdl/vcd_tracer.h"
+#include "src/net/udp.h"
+#include "src/services/crypto_tunnel_service.h"
+#include "src/sim/trace_dump.h"
+
+namespace {
+
+using namespace emu;  // example code; library code never does this
+
+Packet PlainDatagram(const std::string& message) {
+  return MakeUdpPacket({MacAddress::FromU48(0x02000000000b), MacAddress::FromU48(0x02000000000a),
+                        Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 4000, 7},
+                       std::vector<u8>(message.begin(), message.end()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Observability: waveforms + wire captures of the crypto tunnel ==\n\n");
+
+  CryptoTunnelConfig config;
+  CryptoTunnelService service(config);
+  FpgaTarget target(service);
+
+  VcdTracer tracer(target.sim());
+  tracer.AddSignal("encrypted", 16, [&] { return service.encrypted(); });
+  tracer.AddSignal("dropped", 16, [&] { return service.dropped(); });
+  tracer.Sample();
+
+  TraceDump capture;
+  const char* messages[] = {"first secret", "second secret", "third, longer secret payload"};
+  for (const char* message : messages) {
+    Packet request = PlainDatagram(message);
+    capture.Capture(target.sim().NowPs(), "plain_in", request);
+    target.Inject(config.plain_port, std::move(request));
+    // Run in small steps so the tracer samples every cycle.
+    while (target.egress().empty()) {
+      tracer.RunAndSample(64);
+    }
+    const auto egress = target.TakeEgress();
+    capture.Capture(egress[0].frame.egress_time(), "cipher_out", egress[0].frame);
+  }
+
+  std::printf("%s\n", capture.Summary().c_str());
+  const bool vcd_ok = tracer.WriteToFile("/tmp/emu_observability.vcd");
+  const bool pcap_ok = capture.WritePcap("/tmp/emu_observability.pcap");
+  std::printf("encrypted %llu datagrams; %zu waveform changes recorded\n",
+              static_cast<unsigned long long>(service.encrypted()), tracer.change_count());
+  std::printf("wrote /tmp/emu_observability.vcd (%s) — open with gtkwave\n",
+              vcd_ok ? "ok" : "FAILED");
+  std::printf("wrote /tmp/emu_observability.pcap (%s) — open with wireshark/tcpdump\n",
+              pcap_ok ? "ok" : "FAILED");
+  return vcd_ok && pcap_ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Quickstart: an L2 learning switch on the simulated NetFPGA, in ~60 lines
+// of user code.
+//
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+//
+// Builds the Emu learning switch (Fig. 2), drops it into the NetFPGA SUME
+// reference pipeline (Fig. 10), and shows the classic flood -> learn ->
+// unicast progression plus the core's resource bill.
+#include <cstdio>
+
+#include "src/core/targets.h"
+#include "src/net/ethernet.h"
+#include "src/net/udp.h"
+#include "src/services/learning_switch.h"
+#include "src/sim/trace_dump.h"
+
+namespace {
+
+using namespace emu;  // example code; library code never does this
+
+Packet Frame(MacAddress dst, MacAddress src) {
+  // A small, well-formed UDP datagram so the trace decoder has something to say.
+  return MakeUdpPacket({dst, src, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 4000, 9},
+                       std::vector<u8>{'h', 'i'});
+}
+
+}  // namespace
+
+int main() {
+  const MacAddress alice = MacAddress::Parse("02:00:00:00:00:0a").value();
+  const MacAddress bob = MacAddress::Parse("02:00:00:00:00:0b").value();
+
+  // One service, one target: the same LearningSwitch source would also run
+  // on CpuTarget or inside the event-driven simulator.
+  LearningSwitch service;
+  FpgaTarget target(service);
+  TraceDump trace;
+
+  std::printf("== Emu quickstart: learning switch on the simulated NetFPGA ==\n\n");
+
+  // 1. Alice (port 0) talks to Bob, whom the switch has never seen: flood.
+  target.Inject(0, Frame(bob, alice));
+  target.RunUntilEgressCount(3, 100'000);
+  auto egress = target.TakeEgress();
+  std::printf("1. alice->bob with an empty MAC table: flooded to %zu ports\n", egress.size());
+  for (const auto& e : egress) {
+    trace.Capture(e.frame.egress_time(), "flood:p" + std::to_string(e.port), e.frame);
+  }
+
+  // 2. Bob (port 2) replies: the switch learned Alice's port, so unicast.
+  target.Inject(2, Frame(alice, bob));
+  target.RunUntilEgressCount(1, 100'000);
+  egress = target.TakeEgress();
+  std::printf("2. bob->alice: unicast to port %u (learned)\n", egress[0].port);
+  trace.Capture(egress[0].frame.egress_time(), "unicast", egress[0].frame);
+
+  // 3. Alice again: now both MACs are learned.
+  target.Inject(0, Frame(bob, alice));
+  target.RunUntilEgressCount(1, 100'000);
+  egress = target.TakeEgress();
+  std::printf("3. alice->bob again: unicast to port %u\n\n", egress[0].port);
+
+  std::printf("MAC table: %llu learned, %llu lookups, %llu hits\n",
+              static_cast<unsigned long long>(service.learned()),
+              static_cast<unsigned long long>(service.lookups()),
+              static_cast<unsigned long long>(service.hits()));
+
+  const ResourceUsage core = target.pipeline().CoreResources();
+  std::printf("Main logical core: %s (paper's Table 3 row: 3509 LUTs)\n",
+              core.ToString().c_str());
+  std::printf("Module latency (declared): %llu cycles @ 200 MHz\n\n",
+              static_cast<unsigned long long>(service.ModuleLatency()));
+
+  std::printf("Packet trace:\n%s", trace.Summary().c_str());
+  return 0;
+}

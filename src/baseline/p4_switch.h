@@ -1,0 +1,72 @@
+// P4FPGA-style match-action switch — the DSL baseline of Table 3.
+//
+// Models the cost structure of a parse-match-action pipeline generated from
+// P4: a parser per port (P4FPGA instantiates one per port, §5.3), a chain of
+// match-action stages, and a deparser — a deep pipeline (85 cycles at
+// 250 MHz in the paper) with a short initiation interval, and roughly an
+// order of magnitude more logic than the hand-written or Emu switches.
+// Functionally it is the same learning switch (dst-MAC match table, source
+// learning via the control-plane digest path the paradigm requires).
+#ifndef SRC_BASELINE_P4_SWITCH_H_
+#define SRC_BASELINE_P4_SWITCH_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/core/service.h"
+#include "src/ip/cam.h"
+#include "src/netfpga/axis.h"
+
+namespace emu {
+
+struct P4SwitchConfig {
+  usize table_entries = 256;
+  usize bus_bytes = kDefaultBusBytes;
+  usize parsers = kNetFpgaPortCount;  // one per port
+  usize match_stages = 4;
+  Cycle pipeline_latency = 85;  // parser + stages + deparser registers
+  // Fractional to model the generated pipeline's average accept rate
+  // (250 MHz / 4.7 ~ 53 Mpps, the paper's P4FPGA figure).
+  double initiation_interval = 4.7;
+};
+
+class P4Switch : public Service {
+ public:
+  explicit P4Switch(P4SwitchConfig config = {});
+  ~P4Switch() override;
+
+  std::string_view name() const override { return "p4fpga_switch"; }
+  void Instantiate(Simulator& sim, Dataplane dp) override;
+  ResourceUsage Resources() const override;
+  Cycle ModuleLatency() const override { return config_.pipeline_latency; }
+  Cycle InitiationInterval() const override {
+    return static_cast<Cycle>(config_.initiation_interval + 0.999);
+  }
+
+  u64 hits() const { return hits_; }
+  u64 learned() const { return learned_; }
+
+ private:
+  struct InFlight {
+    Packet frame;
+    Cycle ready_at;
+  };
+
+  HwProcess PipelineProcess();
+  void MatchAction(Packet& frame);
+
+  P4SwitchConfig config_;
+  Dataplane dp_;
+  Simulator* sim_ = nullptr;
+  std::unique_ptr<Cam> table_;
+  std::deque<InFlight> in_flight_;
+  double next_accept_ = 0.0;
+  ResourceUsage control_resources_;
+  u64 hits_ = 0;
+  u64 learned_ = 0;
+  usize free_slot_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_BASELINE_P4_SWITCH_H_

@@ -1,0 +1,54 @@
+// NetFPGA SUME reference learning switch — the hand-written Verilog baseline
+// of Table 3.
+//
+// Functionally identical to services/LearningSwitch, but modelling what a
+// human RTL designer produces: a single tightly packed state machine (no
+// Kiwi scheduling overhead, RTL-control resource costs, six cycles of module
+// latency for minimal frames).
+#ifndef SRC_BASELINE_REFERENCE_SWITCH_H_
+#define SRC_BASELINE_REFERENCE_SWITCH_H_
+
+#include <memory>
+
+#include "src/core/service.h"
+#include "src/ip/cam.h"
+#include "src/netfpga/axis.h"
+
+namespace emu {
+
+struct ReferenceSwitchConfig {
+  usize table_entries = 256;
+  usize bus_bytes = kDefaultBusBytes;
+};
+
+class ReferenceSwitch : public Service {
+ public:
+  explicit ReferenceSwitch(ReferenceSwitchConfig config = {});
+  ~ReferenceSwitch() override;
+
+  std::string_view name() const override { return "netfpga_reference_switch"; }
+  void Instantiate(Simulator& sim, Dataplane dp) override;
+  ResourceUsage Resources() const override;
+  Cycle ModuleLatency() const override { return 6; }
+  Cycle InitiationInterval() const override { return 2; }
+
+  u64 hits() const { return hits_; }
+  u64 learned() const { return learned_; }
+
+ private:
+  HwProcess LookupAndLearnStage();
+  HwProcess OutputStage();
+
+  ReferenceSwitchConfig config_;
+  Dataplane dp_;
+  std::unique_ptr<Cam> cam_;
+  std::unique_ptr<SyncFifo<Packet>> stage_fifo_;
+  ResourceUsage control_resources_;
+  u64 hits_ = 0;
+  u64 learned_ = 0;
+  usize free_slot_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_BASELINE_REFERENCE_SWITCH_H_

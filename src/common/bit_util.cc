@@ -1,0 +1,84 @@
+#include "src/common/bit_util.h"
+
+#include <cassert>
+
+namespace emu {
+namespace {
+
+u64 GetBE(std::span<const u8> buf, usize offset, usize nbytes) {
+  assert(offset + nbytes <= buf.size());
+  u64 v = 0;
+  for (usize i = 0; i < nbytes; ++i) {
+    v = (v << 8) | buf[offset + i];
+  }
+  return v;
+}
+
+void SetBE(std::span<u8> buf, usize offset, usize nbytes, u64 value) {
+  assert(offset + nbytes <= buf.size());
+  for (usize i = 0; i < nbytes; ++i) {
+    buf[offset + i] = static_cast<u8>(value >> (8 * (nbytes - 1 - i)));
+  }
+}
+
+}  // namespace
+
+u8 BitUtil::Get8(std::span<const u8> buf, usize offset) {
+  return static_cast<u8>(GetBE(buf, offset, 1));
+}
+
+u16 BitUtil::Get16(std::span<const u8> buf, usize offset) {
+  return static_cast<u16>(GetBE(buf, offset, 2));
+}
+
+u32 BitUtil::Get32(std::span<const u8> buf, usize offset) {
+  return static_cast<u32>(GetBE(buf, offset, 4));
+}
+
+u64 BitUtil::Get48(std::span<const u8> buf, usize offset) { return GetBE(buf, offset, 6); }
+
+u64 BitUtil::Get64(std::span<const u8> buf, usize offset) { return GetBE(buf, offset, 8); }
+
+void BitUtil::Set8(std::span<u8> buf, usize offset, u8 value) { SetBE(buf, offset, 1, value); }
+
+void BitUtil::Set16(std::span<u8> buf, usize offset, u16 value) { SetBE(buf, offset, 2, value); }
+
+void BitUtil::Set32(std::span<u8> buf, usize offset, u32 value) { SetBE(buf, offset, 4, value); }
+
+void BitUtil::Set48(std::span<u8> buf, usize offset, u64 value) { SetBE(buf, offset, 6, value); }
+
+void BitUtil::Set64(std::span<u8> buf, usize offset, u64 value) { SetBE(buf, offset, 8, value); }
+
+u32 BitUtil::GetBits(std::span<const u8> buf, usize byte_offset, usize bit_offset, usize width) {
+  assert(width > 0 && width <= 32);
+  u32 out = 0;
+  for (usize i = 0; i < width; ++i) {
+    const usize abs_bit = byte_offset * 8 + bit_offset + i;
+    const usize byte = abs_bit / 8;
+    const usize bit_in_byte = abs_bit % 8;  // 0 = MSB
+    assert(byte < buf.size());
+    const u32 bit = (buf[byte] >> (7 - bit_in_byte)) & 1u;
+    out = (out << 1) | bit;
+  }
+  return out;
+}
+
+void BitUtil::SetBits(std::span<u8> buf, usize byte_offset, usize bit_offset, usize width,
+                      u32 value) {
+  assert(width > 0 && width <= 32);
+  for (usize i = 0; i < width; ++i) {
+    const usize abs_bit = byte_offset * 8 + bit_offset + i;
+    const usize byte = abs_bit / 8;
+    const usize bit_in_byte = abs_bit % 8;
+    assert(byte < buf.size());
+    const u8 mask = static_cast<u8>(1u << (7 - bit_in_byte));
+    const bool bit = (value >> (width - 1 - i)) & 1u;
+    if (bit) {
+      buf[byte] |= mask;
+    } else {
+      buf[byte] &= static_cast<u8>(~mask);
+    }
+  }
+}
+
+}  // namespace emu

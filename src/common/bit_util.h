@@ -1,0 +1,42 @@
+// Byte-array field accessors in network (big-endian) order.
+//
+// These mirror the paper's BitUtil.Get32 / BitUtil.Set32 helpers (Fig. 4),
+// which Emu's protocol wrappers use to give names and types to bit fields of a
+// raw frame. All offsets are byte offsets into the buffer; all multi-byte
+// accessors use network byte order because they operate on wire-format frames.
+#ifndef SRC_COMMON_BIT_UTIL_H_
+#define SRC_COMMON_BIT_UTIL_H_
+
+#include <span>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class BitUtil {
+ public:
+  BitUtil() = delete;
+
+  static u8 Get8(std::span<const u8> buf, usize offset);
+  static u16 Get16(std::span<const u8> buf, usize offset);
+  static u32 Get32(std::span<const u8> buf, usize offset);
+  static u64 Get48(std::span<const u8> buf, usize offset);
+  static u64 Get64(std::span<const u8> buf, usize offset);
+
+  static void Set8(std::span<u8> buf, usize offset, u8 value);
+  static void Set16(std::span<u8> buf, usize offset, u16 value);
+  static void Set32(std::span<u8> buf, usize offset, u32 value);
+  static void Set48(std::span<u8> buf, usize offset, u64 value);
+  static void Set64(std::span<u8> buf, usize offset, u64 value);
+
+  // Bit-granular accessors, used by parsers for sub-byte fields (e.g. the
+  // IPv4 version/IHL nibbles and TCP flags). Bit 0 is the most significant
+  // bit of the byte at `byte_offset`, matching RFC diagram order.
+  static u32 GetBits(std::span<const u8> buf, usize byte_offset, usize bit_offset, usize width);
+  static void SetBits(std::span<u8> buf, usize byte_offset, usize bit_offset, usize width,
+                      u32 value);
+};
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_BIT_UTIL_H_

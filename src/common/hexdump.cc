@@ -1,0 +1,50 @@
+#include "src/common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace emu {
+
+std::string Hexdump(std::span<const u8> data) {
+  std::string out;
+  char line[24];
+  for (usize offset = 0; offset < data.size(); offset += 16) {
+    std::snprintf(line, sizeof(line), "%06zx ", offset);
+    out += line;
+    for (usize i = 0; i < 16; ++i) {
+      if (i == 8) {
+        out += ' ';
+      }
+      if (offset + i < data.size()) {
+        char hex[4];
+        std::snprintf(hex, sizeof(hex), " %02x", data[offset + i]);
+        out += hex;
+      } else {
+        out += "   ";
+      }
+    }
+    out += "  |";
+    for (usize i = 0; i < 16 && offset + i < data.size(); ++i) {
+      const u8 c = data[offset + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string HexJoin(std::span<const u8> data, char sep) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char hex[3];
+  for (usize i = 0; i < data.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    std::snprintf(hex, sizeof(hex), "%02x", data[i]);
+    out += hex;
+  }
+  return out;
+}
+
+}  // namespace emu

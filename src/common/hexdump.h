@@ -1,0 +1,21 @@
+// Human-readable hex dumps of packet buffers (used by examples, trace dumps,
+// and test failure messages).
+#ifndef SRC_COMMON_HEXDUMP_H_
+#define SRC_COMMON_HEXDUMP_H_
+
+#include <span>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+// Classic 16-bytes-per-line offset/hex/ASCII dump.
+std::string Hexdump(std::span<const u8> data);
+
+// Compact single-line "de:ad:be:ef" rendering.
+std::string HexJoin(std::span<const u8> data, char sep = ':');
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_HEXDUMP_H_

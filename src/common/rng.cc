@@ -1,0 +1,85 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace emu {
+namespace {
+
+u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, the recommended seeder for xoshiro state.
+u64 SplitMix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+u64 Rng::NextU64() {
+  const u64 result = Rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::NextBelow(u64 bound) {
+  assert(bound > 0);
+  const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const u64 r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+u64 Rng::NextInRange(u64 lo, u64 hi) {
+  assert(lo <= hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u >= 1.0) {
+    u = 0.9999999999999999;
+  }
+  return -mean * std::log1p(-u);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+}  // namespace emu

@@ -1,0 +1,50 @@
+// Deterministic random number generation for workloads and latency models.
+//
+// Every stochastic component of the reproduction (host-stack jitter, loadgen
+// key choice, packet payloads) draws from an explicitly seeded Rng so that
+// tests and benchmark tables are reproducible run to run.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include "src/common/types.h"
+
+namespace emu {
+
+// xoshiro256** by Blackman & Vigna: small, fast, and high quality; avoids
+// dragging <random> engine state (and its libstdc++-version-dependent
+// distributions) into reproducible results.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  u64 NextU64();
+
+  // Uniform in [0, bound), bound > 0. Uses rejection sampling to stay unbiased.
+  u64 NextBelow(u64 bound);
+
+  // Uniform in [lo, hi], inclusive.
+  u64 NextInRange(u64 lo, u64 hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Samples an exponential distribution with the given mean.
+  double NextExponential(double mean);
+
+  // Samples a (mu, sigma) lognormal; used by the host-stack latency model
+  // where kernel-path delays are right-skewed.
+  double NextLognormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double NextGaussian();
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_RNG_H_

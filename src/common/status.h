@@ -1,0 +1,126 @@
+// Lightweight status / expected-value types.
+//
+// The library is exception-free on its hot paths (a packet that fails to
+// parse is data, not an exceptional condition), so fallible operations return
+// Status or Expected<T>.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace emu {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kMalformedPacket,
+  kUnsupportedProtocol,
+  kTimeout,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(ErrorCode::kOutOfRange, std::move(msg)); }
+inline Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status MalformedPacket(std::string msg) {
+  return Status(ErrorCode::kMalformedPacket, std::move(msg));
+}
+inline Status UnsupportedProtocol(std::string msg) {
+  return Status(ErrorCode::kUnsupportedProtocol, std::move(msg));
+}
+inline Status Timeout(std::string msg) { return Status(ErrorCode::kTimeout, std::move(msg)); }
+
+// Minimal expected-value type (std::expected is C++23; this toolchain is
+// C++20). Holds either a T or a non-OK Status.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Expected<T> built from OK status must carry a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const {
+    CheckOk();
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  // Unconditional (not assert): dereferencing an error is a programming bug
+  // that must fail loudly in release builds too.
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Expected<T>::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Fixed-width integer aliases and small shared vocabulary types used across the
+// Emu reproduction. Kept deliberately tiny: anything protocol- or
+// hardware-specific lives in its own module.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emu {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+// Simulation time in clock cycles of whichever clock domain a module lives in.
+using Cycle = std::uint64_t;
+
+// Simulation time in picoseconds. The network simulator and the latency
+// accounting use picoseconds so that both a 200 MHz FPGA clock (5000 ps) and
+// sub-nanosecond wire delays are representable without rounding.
+using Picoseconds = std::int64_t;
+
+inline constexpr Picoseconds kPicosPerNano = 1'000;
+inline constexpr Picoseconds kPicosPerMicro = 1'000'000;
+inline constexpr Picoseconds kPicosPerMilli = 1'000'000'000;
+inline constexpr Picoseconds kPicosPerSecond = 1'000'000'000'000;
+
+constexpr double ToMicroseconds(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPicosPerMicro);
+}
+
+constexpr double ToNanoseconds(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPicosPerNano);
+}
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_TYPES_H_

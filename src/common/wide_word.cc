@@ -1,0 +1,21 @@
+#include "src/common/wide_word.h"
+
+#include <cstdio>
+
+namespace emu {
+namespace wide_word_detail {
+
+std::string LimbsToHex(const u64* limbs, usize n) {
+  std::string out;
+  out.reserve(n * 16 + 2);
+  out += "0x";
+  char buf[17];
+  for (usize i = n; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(limbs[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wide_word_detail
+}  // namespace emu

@@ -1,0 +1,260 @@
+// Wide unsigned integers for datapath words wider than 64 bits.
+//
+// The paper (§3.2, extension iv) notes that C#'s largest primitive is the
+// 64-bit word, while line-rate designs need wider I/O busses; Emu therefore
+// defines user types for larger words with overloads for all arithmetic
+// operators. WideUInt<Bits> is the C++ equivalent: a value type backed by an
+// array of 64-bit limbs with the full complement of arithmetic, bitwise,
+// shift, and comparison operators, usable as the tdata word of a 256- or
+// 512-bit AXI-Stream bus.
+#ifndef SRC_COMMON_WIDE_WORD_H_
+#define SRC_COMMON_WIDE_WORD_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+template <usize Bits>
+class WideUInt {
+  static_assert(Bits > 0 && Bits % 64 == 0, "WideUInt width must be a positive multiple of 64");
+
+ public:
+  static constexpr usize kBits = Bits;
+  static constexpr usize kLimbs = Bits / 64;
+
+  constexpr WideUInt() = default;
+  // Intentionally implicit so that small literals (port masks, zero) read
+  // naturally at call sites, mirroring how C# integral promotions behave.
+  constexpr WideUInt(u64 low) : limbs_{} { limbs_[0] = low; }  // NOLINT(runtime/explicit)
+
+  static constexpr WideUInt Zero() { return WideUInt(); }
+
+  static constexpr WideUInt Max() {
+    WideUInt w;
+    for (auto& limb : w.limbs_) {
+      limb = ~u64{0};
+    }
+    return w;
+  }
+
+  // Limb 0 holds bits [0, 64).
+  constexpr u64 Limb(usize i) const { return limbs_[i]; }
+  constexpr void SetLimb(usize i, u64 v) { limbs_[i] = v; }
+
+  constexpr u64 ToU64() const { return limbs_[0]; }
+
+  constexpr bool IsZero() const {
+    for (u64 limb : limbs_) {
+      if (limb != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr bool Bit(usize pos) const { return (limbs_[pos / 64] >> (pos % 64)) & 1u; }
+
+  constexpr void SetBit(usize pos, bool value) {
+    const u64 mask = u64{1} << (pos % 64);
+    if (value) {
+      limbs_[pos / 64] |= mask;
+    } else {
+      limbs_[pos / 64] &= ~mask;
+    }
+  }
+
+  // Extracts `width` bits starting at bit `pos` (width <= 64).
+  constexpr u64 Extract(usize pos, usize width) const {
+    u64 out = 0;
+    for (usize i = 0; i < width; ++i) {
+      out |= static_cast<u64>(Bit(pos + i)) << i;
+    }
+    return out;
+  }
+
+  // Deposits the low `width` bits of `value` at bit `pos` (width <= 64).
+  constexpr void Deposit(usize pos, usize width, u64 value) {
+    for (usize i = 0; i < width; ++i) {
+      SetBit(pos + i, (value >> i) & 1u);
+    }
+  }
+
+  // Reads the byte at byte offset `i` with byte 0 being bits [0, 8).
+  constexpr u8 Byte(usize i) const { return static_cast<u8>(limbs_[i / 8] >> ((i % 8) * 8)); }
+
+  constexpr void SetByte(usize i, u8 value) {
+    const usize limb = i / 8;
+    const usize shift = (i % 8) * 8;
+    limbs_[limb] = (limbs_[limb] & ~(u64{0xff} << shift)) | (static_cast<u64>(value) << shift);
+  }
+
+  friend constexpr bool operator==(const WideUInt& a, const WideUInt& b) = default;
+
+  friend constexpr std::strong_ordering operator<=>(const WideUInt& a, const WideUInt& b) {
+    for (usize i = kLimbs; i-- > 0;) {
+      if (a.limbs_[i] != b.limbs_[i]) {
+        return a.limbs_[i] <=> b.limbs_[i];
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+
+  constexpr WideUInt& operator+=(const WideUInt& rhs) {
+    u64 carry = 0;
+    for (usize i = 0; i < kLimbs; ++i) {
+      const u64 prev = limbs_[i];
+      limbs_[i] = prev + rhs.limbs_[i] + carry;
+      carry = (limbs_[i] < prev || (carry != 0 && limbs_[i] == prev)) ? 1 : 0;
+    }
+    return *this;
+  }
+
+  constexpr WideUInt& operator-=(const WideUInt& rhs) {
+    u64 borrow = 0;
+    for (usize i = 0; i < kLimbs; ++i) {
+      const u64 prev = limbs_[i];
+      const u64 sub = rhs.limbs_[i] + borrow;
+      // `sub` can wrap only when rhs.limbs_[i] == max and borrow == 1, in
+      // which case subtracting it is a no-op that must keep the borrow.
+      const bool sub_wrapped = sub < rhs.limbs_[i];
+      limbs_[i] = prev - sub;
+      borrow = (sub_wrapped || prev < sub) ? 1 : 0;
+    }
+    return *this;
+  }
+
+  constexpr WideUInt& operator&=(const WideUInt& rhs) {
+    for (usize i = 0; i < kLimbs; ++i) {
+      limbs_[i] &= rhs.limbs_[i];
+    }
+    return *this;
+  }
+
+  constexpr WideUInt& operator|=(const WideUInt& rhs) {
+    for (usize i = 0; i < kLimbs; ++i) {
+      limbs_[i] |= rhs.limbs_[i];
+    }
+    return *this;
+  }
+
+  constexpr WideUInt& operator^=(const WideUInt& rhs) {
+    for (usize i = 0; i < kLimbs; ++i) {
+      limbs_[i] ^= rhs.limbs_[i];
+    }
+    return *this;
+  }
+
+  constexpr WideUInt operator~() const {
+    WideUInt out;
+    for (usize i = 0; i < kLimbs; ++i) {
+      out.limbs_[i] = ~limbs_[i];
+    }
+    return out;
+  }
+
+  constexpr WideUInt& operator<<=(usize n) {
+    if (n >= kBits) {
+      *this = Zero();
+      return *this;
+    }
+    const usize limb_shift = n / 64;
+    const usize bit_shift = n % 64;
+    for (usize i = kLimbs; i-- > 0;) {
+      u64 v = (i >= limb_shift) ? limbs_[i - limb_shift] << bit_shift : 0;
+      if (bit_shift != 0 && i > limb_shift) {
+        v |= limbs_[i - limb_shift - 1] >> (64 - bit_shift);
+      }
+      limbs_[i] = v;
+    }
+    return *this;
+  }
+
+  constexpr WideUInt& operator>>=(usize n) {
+    if (n >= kBits) {
+      *this = Zero();
+      return *this;
+    }
+    const usize limb_shift = n / 64;
+    const usize bit_shift = n % 64;
+    for (usize i = 0; i < kLimbs; ++i) {
+      u64 v = (i + limb_shift < kLimbs) ? limbs_[i + limb_shift] >> bit_shift : 0;
+      if (bit_shift != 0 && i + limb_shift + 1 < kLimbs) {
+        v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+      }
+      limbs_[i] = v;
+    }
+    return *this;
+  }
+
+  friend constexpr WideUInt operator+(WideUInt a, const WideUInt& b) { return a += b; }
+  friend constexpr WideUInt operator-(WideUInt a, const WideUInt& b) { return a -= b; }
+  friend constexpr WideUInt operator&(WideUInt a, const WideUInt& b) { return a &= b; }
+  friend constexpr WideUInt operator|(WideUInt a, const WideUInt& b) { return a |= b; }
+  friend constexpr WideUInt operator^(WideUInt a, const WideUInt& b) { return a ^= b; }
+  friend constexpr WideUInt operator<<(WideUInt a, usize n) { return a <<= n; }
+  friend constexpr WideUInt operator>>(WideUInt a, usize n) { return a >>= n; }
+
+  constexpr WideUInt& operator++() {
+    *this += WideUInt(1);
+    return *this;
+  }
+
+  // Number of leading zero bits; kBits when the value is zero.
+  constexpr usize CountLeadingZeros() const {
+    usize count = 0;
+    for (usize i = kLimbs; i-- > 0;) {
+      if (limbs_[i] == 0) {
+        count += 64;
+        continue;
+      }
+      u64 v = limbs_[i];
+      while ((v & (u64{1} << 63)) == 0) {
+        ++count;
+        v <<= 1;
+      }
+      return count;
+    }
+    return kBits;
+  }
+
+  constexpr usize PopCount() const {
+    usize count = 0;
+    for (u64 limb : limbs_) {
+      u64 v = limb;
+      while (v != 0) {
+        v &= v - 1;
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  std::string ToHex() const;
+
+ private:
+  std::array<u64, kLimbs> limbs_{};
+};
+
+// Bus-width words used by the NetFPGA model (§5.1: SUME native 256-bit
+// datapath) and the bus-width ablation.
+using Word128 = WideUInt<128>;
+using Word256 = WideUInt<256>;
+using Word512 = WideUInt<512>;
+
+namespace wide_word_detail {
+std::string LimbsToHex(const u64* limbs, usize n);
+}  // namespace wide_word_detail
+
+template <usize Bits>
+std::string WideUInt<Bits>::ToHex() const {
+  return wide_word_detail::LimbsToHex(limbs_.data(), kLimbs);
+}
+
+}  // namespace emu
+
+#endif  // SRC_COMMON_WIDE_WORD_H_

@@ -1,0 +1,47 @@
+#include "src/core/protocol_wrappers.h"
+
+namespace emu {
+namespace {
+
+// Offset of the L4 header, or 0 when the frame is not valid IPv4 carrying
+// `protocol`.
+usize L4Offset(Packet& packet, IpProtocol protocol) {
+  EthernetView eth(packet);
+  if (!eth.Valid() || !eth.EtherTypeIs(EtherType::kIpv4)) {
+    return 0;
+  }
+  Ipv4View ip(packet);
+  if (!ip.Valid() || !ip.ProtocolIs(protocol)) {
+    return 0;
+  }
+  return ip.payload_offset();
+}
+
+usize L4Length(Packet& packet) {
+  Ipv4View ip(packet);
+  return ip.total_length() - ip.HeaderBytes();
+}
+
+}  // namespace
+
+TcpWrapper::TcpWrapper(NetFpgaData& dataplane)
+    : TcpView(dataplane.tdata, L4Offset(dataplane.tdata, IpProtocol::kTcp)),
+      reachable_(L4Offset(dataplane.tdata, IpProtocol::kTcp) != 0) {
+  if (reachable_) {
+    segment_length_ = L4Length(dataplane.tdata);
+  }
+}
+
+UdpWrapper::UdpWrapper(NetFpgaData& dataplane)
+    : UdpView(dataplane.tdata, L4Offset(dataplane.tdata, IpProtocol::kUdp)),
+      reachable_(L4Offset(dataplane.tdata, IpProtocol::kUdp) != 0) {}
+
+IcmpWrapper::IcmpWrapper(NetFpgaData& dataplane)
+    : IcmpView(dataplane.tdata, L4Offset(dataplane.tdata, IpProtocol::kIcmp)),
+      reachable_(L4Offset(dataplane.tdata, IpProtocol::kIcmp) != 0) {
+  if (reachable_) {
+    message_length_ = L4Length(dataplane.tdata);
+  }
+}
+
+}  // namespace emu

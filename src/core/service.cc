@@ -1,0 +1,2 @@
+// Service is an interface; see service.h.
+#include "src/core/service.h"

@@ -1,0 +1,56 @@
+// Service: the unit of deployment in Emu.
+//
+// A service is written once — as one or more Kiwi-style coroutine processes
+// reading NetFpgaData from an rx FIFO and writing to a tx FIFO — and then
+// instantiated on any target (§3.3): the cycle-accurate NetFPGA pipeline
+// (FpgaTarget), a plain software runtime (CpuTarget), or the event-driven
+// network simulator (SimTarget). Multi-process services model Kiwi's
+// "parallel threads become parallel sub-circuits" semantics and are how a
+// design is pipelined for line rate.
+#ifndef SRC_CORE_SERVICE_H_
+#define SRC_CORE_SERVICE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/hdl/fifo.h"
+#include "src/hdl/module.h"
+#include "src/hdl/process.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+// The dataplane attachment handed to a service at instantiation time.
+struct Dataplane {
+  SyncFifo<Packet>* rx = nullptr;
+  SyncFifo<Packet>* tx = nullptr;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Instantiates the service's processes and IP blocks on `sim`, attached to
+  // `dp`. Called exactly once per target instantiation; the service keeps
+  // ownership of any state it creates. Implementations must register every
+  // process with sim.AddProcess().
+  virtual void Instantiate(Simulator& sim, Dataplane dp) = 0;
+
+  // Resource bill of the service's main logical core (valid after
+  // Instantiate); the utilization rows of Tables 3 and 5.
+  virtual ResourceUsage Resources() const = 0;
+
+  // Cycles from the last word of a request entering the core to the first
+  // word of the response leaving it — the "Module latency" row of Table 3.
+  virtual Cycle ModuleLatency() const = 0;
+
+  // Minimum cycles between accepting consecutive frames (pipelined II);
+  // bounds throughput together with the bus and line rate.
+  virtual Cycle InitiationInterval() const = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CORE_SERVICE_H_

@@ -1,0 +1,63 @@
+#include "src/core/targets.h"
+
+namespace emu {
+
+FpgaTarget::FpgaTarget(Service& service, PipelineConfig config, u64 clock_hz)
+    : scheduler_(clock_hz) {
+  pipeline_ = std::make_unique<NetFpgaPipeline>(scheduler_.sim(), service, config);
+  pipeline_->SetEgressSink(
+      [this](u8 port, Packet frame) { egress_.push_back(EgressFrame{port, std::move(frame)}); });
+}
+
+void FpgaTarget::Inject(u8 port, Packet frame, Cycle earliest) {
+  pipeline_->InjectFrame(port, std::move(frame), earliest);
+}
+
+bool FpgaTarget::RunUntilEgressCount(usize count, Cycle limit) {
+  return scheduler_.RunUntil([this, count] { return egress_.size() >= count; }, limit);
+}
+
+Expected<Packet> FpgaTarget::SendAndCollect(u8 port, Packet frame, Cycle limit) {
+  const usize before = egress_.size();
+  Inject(port, std::move(frame));
+  if (!RunUntilEgressCount(before + 1, limit)) {
+    return Timeout("no egress frame within cycle limit");
+  }
+  return egress_[before].frame;
+}
+
+std::vector<EgressFrame> FpgaTarget::TakeEgress() {
+  std::vector<EgressFrame> out = std::move(egress_);
+  egress_.clear();
+  return out;
+}
+
+CpuTarget::CpuTarget(Service& service, usize fifo_depth) : service_(service) {
+  rx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), fifo_depth, 256);
+  tx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), fifo_depth, 256);
+  service_.Instantiate(scheduler_.sim(), Dataplane{rx_.get(), tx_.get()});
+}
+
+std::vector<Packet> CpuTarget::Deliver(Packet frame, usize max_quanta) {
+  rx_->Push(std::move(frame));
+  std::vector<Packet> out;
+  // Run until the service has drained its input and stopped producing:
+  // give it a grace window of quanta with no new output before declaring it
+  // idle (some services emit several frames per input, and request FSMs can
+  // spend hundreds of quanta before replying).
+  constexpr usize kIdleGrace = 1024;
+  usize idle = 0;
+  for (usize quantum = 0; quantum < max_quanta && idle < kIdleGrace; ++quantum) {
+    scheduler_.sim().Step();
+    while (!tx_->Empty()) {
+      out.push_back(tx_->Pop());
+      idle = 0;
+    }
+    if (rx_->Empty()) {
+      ++idle;
+    }
+  }
+  return out;
+}
+
+}  // namespace emu

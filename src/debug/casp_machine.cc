@@ -1,0 +1,301 @@
+#include "src/debug/casp_machine.h"
+
+#include <algorithm>
+
+namespace emu {
+
+u64 CaspMachine::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CaspMachine::set_counter(const std::string& name, u64 value) { counters_[name] = value; }
+
+u16 CaspMachine::DeclareArray(const std::string& name, usize capacity) {
+  for (usize i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i].name == name) {
+      return static_cast<u16>(i);
+    }
+  }
+  TraceBuffer buffer;
+  buffer.name = name;
+  buffer.slots.resize(capacity, 0);
+  arrays_.push_back(std::move(buffer));
+  return static_cast<u16>(arrays_.size() - 1);
+}
+
+const TraceBuffer* CaspMachine::FindArray(const std::string& name) const {
+  for (const TraceBuffer& buffer : arrays_) {
+    if (buffer.name == name) {
+      return &buffer;
+    }
+  }
+  return nullptr;
+}
+
+TraceBuffer* CaspMachine::FindArray(const std::string& name) {
+  return const_cast<TraceBuffer*>(static_cast<const CaspMachine*>(this)->FindArray(name));
+}
+
+u16 CaspMachine::BindVariable(VariableBinding binding) {
+  for (usize i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].name == binding.name) {
+      variables_[i] = std::move(binding);
+      return static_cast<u16>(i);
+    }
+  }
+  variables_.push_back(std::move(binding));
+  return static_cast<u16>(variables_.size() - 1);
+}
+
+bool CaspMachine::HasVariable(const std::string& name) const {
+  for (const VariableBinding& binding : variables_) {
+    if (binding.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<u16> CaspMachine::VariableId(const std::string& name) const {
+  for (usize i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].name == name) {
+      return static_cast<u16>(i);
+    }
+  }
+  return NotFound("no variable named " + name);
+}
+
+Expected<u64> CaspMachine::ReadVariable(const std::string& name) const {
+  auto id = VariableId(name);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return variables_[*id].get();
+}
+
+u16 CaspMachine::InternLabel(std::string label) {
+  for (usize i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) {
+      return static_cast<u16>(i);
+    }
+  }
+  labels_.push_back(std::move(label));
+  return static_cast<u16>(labels_.size() - 1);
+}
+
+u16 CaspMachine::InternCounter(const std::string& name) {
+  for (usize i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) {
+      return static_cast<u16>(i);
+    }
+  }
+  counter_names_.push_back(name);
+  counters_.try_emplace(name, 0);
+  return static_cast<u16>(counter_names_.size() - 1);
+}
+
+void CaspMachine::InstallProcedure(const std::string& point, std::string tag,
+                                   CaspProgram program) {
+  RemoveProcedure(point, tag);  // re-installing replaces
+  points_[point].push_back(Procedure{std::move(tag), std::move(program)});
+}
+
+void CaspMachine::RemoveProcedure(const std::string& point, const std::string& tag) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    return;
+  }
+  auto& procedures = it->second;
+  procedures.erase(std::remove_if(procedures.begin(), procedures.end(),
+                                  [&](const Procedure& p) { return p.tag == tag; }),
+                   procedures.end());
+}
+
+usize CaspMachine::ProcedureCount(const std::string& point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.size();
+}
+
+bool CaspMachine::Activate(const std::string& point) {
+  const auto it = points_.find(point);
+  if (it == points_.end()) {
+    return true;
+  }
+  bool keep_running = true;
+  for (const Procedure& procedure : it->second) {
+    if (!RunProgram(procedure.program)) {
+      keep_running = false;
+    }
+  }
+  return keep_running;
+}
+
+bool CaspMachine::RunProgram(const CaspProgram& program) {
+  u64 stack[kStackDepth];
+  usize sp = 0;
+  usize pc = 0;
+  usize steps = 0;
+
+  const auto push = [&](u64 v) {
+    if (sp < kStackDepth) {
+      stack[sp++] = v;
+    }
+  };
+  const auto pop = [&]() -> u64 { return sp > 0 ? stack[--sp] : 0; };
+
+  while (pc < program.size() && steps++ < kMaxStepsPerActivation) {
+    const CaspInstruction& ins = program[pc];
+    ++pc;
+    switch (ins.op) {
+      case CaspOp::kPushConst:
+        push(ins.imm);
+        break;
+      case CaspOp::kPushVar:
+        push(ins.arg < variables_.size() ? variables_[ins.arg].get() : 0);
+        break;
+      case CaspOp::kPushCounter:
+        push(ins.arg < counter_names_.size() ? counters_[counter_names_[ins.arg]] : 0);
+        break;
+      case CaspOp::kStoreCounter:
+        if (ins.arg < counter_names_.size()) {
+          counters_[counter_names_[ins.arg]] = pop();
+        }
+        break;
+      case CaspOp::kAddCounter:
+        if (ins.arg < counter_names_.size()) {
+          counters_[counter_names_[ins.arg]] += pop();
+        }
+        break;
+      case CaspOp::kIncCounter:
+        if (ins.arg < counter_names_.size()) {
+          ++counters_[counter_names_[ins.arg]];
+        }
+        break;
+      case CaspOp::kStoreVar:
+        if (ins.arg < variables_.size() && variables_[ins.arg].set) {
+          variables_[ins.arg].set(pop());
+        } else {
+          pop();
+        }
+        break;
+      case CaspOp::kDup: {
+        const u64 v = pop();
+        push(v);
+        push(v);
+        break;
+      }
+      case CaspOp::kDrop:
+        pop();
+        break;
+      case CaspOp::kAdd: {
+        const u64 b = pop();
+        push(pop() + b);
+        break;
+      }
+      case CaspOp::kSub: {
+        const u64 b = pop();
+        push(pop() - b);
+        break;
+      }
+      case CaspOp::kEq: {
+        const u64 b = pop();
+        push(pop() == b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kNe: {
+        const u64 b = pop();
+        push(pop() != b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kLt: {
+        const u64 b = pop();
+        push(pop() < b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kGt: {
+        const u64 b = pop();
+        push(pop() > b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kLe: {
+        const u64 b = pop();
+        push(pop() <= b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kGe: {
+        const u64 b = pop();
+        push(pop() >= b ? 1 : 0);
+        break;
+      }
+      case CaspOp::kAnd: {
+        const u64 b = pop();
+        push((pop() != 0 && b != 0) ? 1 : 0);
+        break;
+      }
+      case CaspOp::kOr: {
+        const u64 b = pop();
+        push((pop() != 0 || b != 0) ? 1 : 0);
+        break;
+      }
+      case CaspOp::kNot:
+        push(pop() == 0 ? 1 : 0);
+        break;
+      case CaspOp::kJumpIfZero:
+        if (pop() == 0) {
+          pc = static_cast<usize>(ins.imm);
+        }
+        break;
+      case CaspOp::kJump:
+        pc = static_cast<usize>(ins.imm);
+        break;
+      case CaspOp::kTraceAppend: {
+        const u64 value = pop();
+        if (ins.arg < arrays_.size()) {
+          TraceBuffer& buffer = arrays_[ins.arg];
+          if (!buffer.Full()) {
+            // Fig. 7: log the value, bump the index, return control.
+            buffer.slots[buffer.index++] = value;
+          } else {
+            // Fig. 7: signal buffer depletion and break the program.
+            ++buffer.overflow;
+            broken_ = true;
+            return false;
+          }
+        }
+        break;
+      }
+      case CaspOp::kEmit: {
+        const u64 value = pop();
+        const std::string label = ins.arg < labels_.size() ? labels_[ins.arg] : "?";
+        output_.push_back(label + "=" + std::to_string(value));
+        break;
+      }
+      case CaspOp::kEmitLabel:
+        output_.push_back(ins.arg < labels_.size() ? labels_[ins.arg] : "?");
+        break;
+      case CaspOp::kBreak:
+        broken_ = true;
+        return false;
+      case CaspOp::kHalt:
+        return true;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> CaspMachine::TakeOutput() {
+  std::vector<std::string> out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+void CaspMachine::EnterFunction(const std::string& name) { call_stack_.push_back(name); }
+
+void CaspMachine::LeaveFunction() {
+  if (!call_stack_.empty()) {
+    call_stack_.pop_back();
+  }
+}
+
+}  // namespace emu

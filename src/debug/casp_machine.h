@@ -1,0 +1,149 @@
+// CASP machine: the controller that hosts Emu's debugging features (§3.5).
+//
+// "We model the controller as a counters, arrays, and stored procedures
+// (CASP) machine, which refers to the constituents of the machine's memory."
+// Programs are a computationally weak stack language (bounded loops via
+// bounded step budget, no recursion, no allocation) installed at named
+// extension points; when a service's control flow reaches a point, the
+// machine runs the procedures installed there with access to the program
+// variables the service has bound (the enumerated-type scheme of §5.5).
+#ifndef SRC_DEBUG_CASP_MACHINE_H_
+#define SRC_DEBUG_CASP_MACHINE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace emu {
+
+enum class CaspOp : u8 {
+  kPushConst,    // push imm
+  kPushVar,      // push value of bound variable arg
+  kPushCounter,  // push counter arg
+  kStoreCounter,  // counter[arg] = pop
+  kAddCounter,    // counter[arg] += pop
+  kIncCounter,    // counter[arg] += 1
+  kStoreVar,      // bound variable arg = pop (requires a setter)
+  kDup,
+  kDrop,
+  kAdd,
+  kSub,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kJumpIfZero,  // if pop == 0, jump to imm
+  kJump,        // jump to imm
+  // Fig. 7 in one op: if the trace buffer has room, append pop and continue;
+  // otherwise bump the overflow counter and break the host program.
+  kTraceAppend,  // arg = array id
+  kEmit,         // emit "label=value" with label table entry arg, value = pop
+  kEmitLabel,    // emit the bare label arg
+  kBreak,        // breakpoint hit: halt the host program
+  kHalt,         // end of procedure; control returns to the program (Fig. 7 "continue")
+};
+
+struct CaspInstruction {
+  CaspOp op = CaspOp::kHalt;
+  u64 imm = 0;
+  u16 arg = 0;
+};
+
+using CaspProgram = std::vector<CaspInstruction>;
+
+// A bound program variable: how the controller reads (and optionally writes)
+// service state.
+struct VariableBinding {
+  std::string name;
+  std::function<u64()> get;
+  std::function<void(u64)> set;  // may be empty (read-only variable)
+};
+
+// A trace array with Fig. 7's index/overflow bookkeeping.
+struct TraceBuffer {
+  std::string name;
+  std::vector<u64> slots;
+  usize index = 0;
+  u64 overflow = 0;
+
+  bool Full() const { return index >= slots.size(); }
+};
+
+class CaspMachine {
+ public:
+  // Budget per activation: the language is computationally weak by design.
+  static constexpr usize kMaxStepsPerActivation = 4096;
+  static constexpr usize kStackDepth = 32;
+
+  // --- Memory: counters, arrays, variables ---
+  u64 counter(const std::string& name) const;
+  void set_counter(const std::string& name, u64 value);
+  bool HasCounter(const std::string& name) const { return counters_.count(name) != 0; }
+
+  // Creates (or returns) an array of `capacity` slots.
+  u16 DeclareArray(const std::string& name, usize capacity);
+  const TraceBuffer* FindArray(const std::string& name) const;
+  TraceBuffer* FindArray(const std::string& name);
+
+  u16 BindVariable(VariableBinding binding);
+  bool HasVariable(const std::string& name) const;
+  Expected<u16> VariableId(const std::string& name) const;
+  Expected<u64> ReadVariable(const std::string& name) const;
+
+  u16 InternLabel(std::string label);
+  u16 InternCounter(const std::string& name);
+
+  // --- Stored procedures at extension points ---
+  // Procedures at a point run in installation order; `tag` identifies the
+  // installing command so it can be removed (unbreak/unwatch/trace stop).
+  void InstallProcedure(const std::string& point, std::string tag, CaspProgram program);
+  void RemoveProcedure(const std::string& point, const std::string& tag);
+  usize ProcedureCount(const std::string& point) const;
+
+  // --- Execution ---
+  // Runs every procedure installed at `point`. Returns false if a kBreak
+  // executed (the host program must halt).
+  bool Activate(const std::string& point);
+
+  bool broken() const { return broken_; }
+  void Resume() { broken_ = false; }
+
+  // Messages emitted by kEmit since the last take.
+  std::vector<std::string> TakeOutput();
+
+  // Call-stack modelling for `backtrace` (services push/pop function labels).
+  void EnterFunction(const std::string& name);
+  void LeaveFunction();
+  std::vector<std::string> Backtrace() const { return call_stack_; }
+
+ private:
+  struct Procedure {
+    std::string tag;
+    CaspProgram program;
+  };
+
+  bool RunProgram(const CaspProgram& program);
+
+  std::map<std::string, u64> counters_;
+  std::vector<std::string> counter_names_;  // id -> name for compiled access
+  std::vector<TraceBuffer> arrays_;
+  std::vector<VariableBinding> variables_;
+  std::vector<std::string> labels_;
+  std::map<std::string, std::vector<Procedure>> points_;
+  std::vector<std::string> output_;
+  std::vector<std::string> call_stack_;
+  bool broken_ = false;
+};
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_CASP_MACHINE_H_

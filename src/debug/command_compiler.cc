@@ -1,0 +1,213 @@
+#include "src/debug/command_compiler.h"
+
+namespace emu {
+namespace {
+
+CaspOp OpFor(ConditionOp op) {
+  switch (op) {
+    case ConditionOp::kEq:
+      return CaspOp::kEq;
+    case ConditionOp::kNe:
+      return CaspOp::kNe;
+    case ConditionOp::kLt:
+      return CaspOp::kLt;
+    case ConditionOp::kGt:
+      return CaspOp::kGt;
+    case ConditionOp::kLe:
+      return CaspOp::kLe;
+    case ConditionOp::kGe:
+      return CaspOp::kGe;
+  }
+  return CaspOp::kEq;
+}
+
+}  // namespace
+
+Expected<CaspProgram> CompileCondition(CaspMachine& machine,
+                                       const std::optional<Condition>& condition) {
+  CaspProgram program;
+  if (!condition.has_value()) {
+    program.push_back({CaspOp::kPushConst, 1, 0});
+    return program;
+  }
+  auto var = machine.VariableId(condition->variable);
+  if (!var.ok()) {
+    return var.status();
+  }
+  program.push_back({CaspOp::kPushVar, 0, *var});
+  program.push_back({CaspOp::kPushConst, condition->constant, 0});
+  program.push_back({OpFor(condition->op), 0, 0});
+  return program;
+}
+
+std::string ReadCounterName(const std::string& variable) { return "reads:" + variable; }
+std::string WriteCounterName(const std::string& variable) { return "writes:" + variable; }
+std::string CallCounterName(const std::string& function) { return "calls:" + function; }
+
+Expected<std::string> ApplyDirectionCommand(CaspMachine& machine,
+                                            const DirectionCommand& command,
+                                            const std::string& variable_point) {
+  switch (command.kind) {
+    case DirectionKind::kPrint: {
+      auto var = machine.VariableId(command.target);
+      if (!var.ok()) {
+        return var.status();
+      }
+      // Immediate query: read the variable now.
+      return command.target + "=" + std::to_string(machine.ReadVariable(command.target).value());
+    }
+
+    case DirectionKind::kBreak: {
+      auto guard = CompileCondition(machine, command.condition);
+      if (!guard.ok()) {
+        return guard.status();
+      }
+      CaspProgram program = *guard;
+      const u64 skip_to = static_cast<u64>(program.size()) + 2;
+      program.push_back({CaspOp::kJumpIfZero, skip_to, 0});
+      program.push_back({CaspOp::kBreak, 0, 0});
+      program.push_back({CaspOp::kHalt, 0, 0});
+      machine.InstallProcedure(command.target, "break:" + command.target,
+                               std::move(program));
+      return std::string("break installed at " + command.target);
+    }
+
+    case DirectionKind::kUnbreak:
+      machine.RemoveProcedure(command.target, "break:" + command.target);
+      return std::string("break removed at " + command.target);
+
+    case DirectionKind::kBacktrace: {
+      std::string out;
+      const auto stack = machine.Backtrace();
+      for (usize i = stack.size(); i-- > 0;) {
+        out += "#" + std::to_string(stack.size() - 1 - i) + " " + stack[i] + "\n";
+      }
+      if (out.empty()) {
+        out = "(empty stack)\n";
+      }
+      return out;
+    }
+
+    case DirectionKind::kWatch: {
+      auto var = machine.VariableId(command.target);
+      if (!var.ok()) {
+        return var.status();
+      }
+      // Break when X is updated (value changed since the last activation)
+      // and the optional condition holds.
+      const u16 last = machine.InternCounter("watch_last:" + command.target);
+      const u16 armed = machine.InternCounter("watch_armed:" + command.target);
+      machine.set_counter("watch_armed:" + command.target, 0);
+      auto guard = CompileCondition(machine, command.condition);
+      if (!guard.ok()) {
+        return guard.status();
+      }
+      // Layout:
+      //   if (!armed) goto INIT
+      //   changed = (X != last); last = X
+      //   if (!(changed && guard)) goto END
+      //   break
+      //   INIT: last = X; armed = 1
+      //   END:  halt
+      const u64 guard_size = static_cast<u64>(guard->size());
+      const u64 init_index = 2 + 5 + guard_size + 3;  // after header+body
+      const u64 end_index = init_index + 4;
+      CaspProgram program;
+      program.push_back({CaspOp::kPushCounter, 0, armed});
+      program.push_back({CaspOp::kJumpIfZero, init_index, 0});
+      program.push_back({CaspOp::kPushVar, 0, *var});
+      program.push_back({CaspOp::kPushCounter, 0, last});
+      program.push_back({CaspOp::kNe, 0, 0});  // changed on stack
+      program.push_back({CaspOp::kPushVar, 0, *var});
+      program.push_back({CaspOp::kStoreCounter, 0, last});
+      for (const auto& ins : *guard) {
+        program.push_back(ins);
+      }
+      program.push_back({CaspOp::kAnd, 0, 0});
+      program.push_back({CaspOp::kJumpIfZero, end_index, 0});
+      program.push_back({CaspOp::kBreak, 0, 0});
+      // INIT:
+      program.push_back({CaspOp::kPushVar, 0, *var});
+      program.push_back({CaspOp::kStoreCounter, 0, last});
+      program.push_back({CaspOp::kPushConst, 1, 0});
+      program.push_back({CaspOp::kStoreCounter, 0, armed});
+      // END:
+      program.push_back({CaspOp::kHalt, 0, 0});
+      machine.InstallProcedure(variable_point, "watch:" + command.target, std::move(program));
+      return std::string("watch installed on " + command.target);
+    }
+
+    case DirectionKind::kUnwatch:
+      machine.RemoveProcedure(variable_point, "watch:" + command.target);
+      return std::string("watch removed on " + command.target);
+
+    case DirectionKind::kCountReads:
+      machine.InternCounter(ReadCounterName(command.target));
+      return std::string("counting reads of " + command.target);
+    case DirectionKind::kCountWrites:
+      machine.InternCounter(WriteCounterName(command.target));
+      return std::string("counting writes of " + command.target);
+    case DirectionKind::kCountCalls:
+      machine.InternCounter(CallCounterName(command.target));
+      return std::string("counting calls of " + command.target);
+
+    case DirectionKind::kTraceStart: {
+      auto var = machine.VariableId(command.target);
+      if (!var.ok()) {
+        return var.status();
+      }
+      const usize length = command.length == 0 ? kDefaultTraceLength : command.length;
+      const u16 array = machine.DeclareArray("trace:" + command.target, length);
+      auto guard = CompileCondition(machine, command.condition);
+      if (!guard.ok()) {
+        return guard.status();
+      }
+      // Fig. 7: guarded "traceX max_trace_idx".
+      CaspProgram program = *guard;
+      const u64 end = static_cast<u64>(program.size()) + 3;
+      program.push_back({CaspOp::kJumpIfZero, end, 0});
+      program.push_back({CaspOp::kPushVar, 0, *var});
+      program.push_back({CaspOp::kTraceAppend, 0, array});
+      program.push_back({CaspOp::kHalt, 0, 0});
+      machine.InstallProcedure(variable_point, "trace:" + command.target, std::move(program));
+      return std::string("trace started on " + command.target);
+    }
+
+    case DirectionKind::kTraceStop:
+      machine.RemoveProcedure(variable_point, "trace:" + command.target);
+      return std::string("trace stopped on " + command.target);
+
+    case DirectionKind::kTraceClear: {
+      TraceBuffer* buffer = machine.FindArray("trace:" + command.target);
+      if (buffer == nullptr) {
+        return NotFound("no trace buffer for " + command.target);
+      }
+      buffer->index = 0;
+      buffer->overflow = 0;
+      return std::string("trace cleared on " + command.target);
+    }
+
+    case DirectionKind::kTracePrint: {
+      const TraceBuffer* buffer = machine.FindArray("trace:" + command.target);
+      if (buffer == nullptr) {
+        return NotFound("no trace buffer for " + command.target);
+      }
+      std::string out = command.target + ":";
+      for (usize i = 0; i < buffer->index; ++i) {
+        out += " " + std::to_string(buffer->slots[i]);
+      }
+      return out;
+    }
+
+    case DirectionKind::kTraceFull: {
+      const TraceBuffer* buffer = machine.FindArray("trace:" + command.target);
+      if (buffer == nullptr) {
+        return NotFound("no trace buffer for " + command.target);
+      }
+      return std::string(buffer->Full() ? "full" : "not full");
+    }
+  }
+  return Unimplemented("unhandled direction command");
+}
+
+}  // namespace emu

@@ -1,0 +1,48 @@
+// Lowers direction commands (Table 2) to CASP stored procedures and installs
+// them at extension points — "commands are translated into programs that
+// execute on a simple controller embedded in the program" (§3.5).
+//
+// Attachment rules:
+//   - break/unbreak L: the procedure lives at extension point L;
+//   - print/watch/trace on variable X: at the extension point the service
+//     named when binding X (the main-loop point in the §5.5 use cases);
+//   - count reads/writes/calls: implemented with counters updated by the
+//     NoteRead/NoteWrite/NoteCall bookkeeping hooks the extension adds, so
+//     compilation just declares the counter;
+//   - trace print/full/clear and backtrace are immediate queries answered
+//     from CASP memory, not installed procedures.
+#ifndef SRC_DEBUG_COMMAND_COMPILER_H_
+#define SRC_DEBUG_COMMAND_COMPILER_H_
+
+#include <string>
+
+#include "src/debug/casp_machine.h"
+#include "src/debug/command_parser.h"
+
+namespace emu {
+
+inline constexpr usize kDefaultTraceLength = 16;
+
+// Compiles just the condition prefix: leaves 1 on the stack when the
+// condition holds (or unconditionally when absent). Returns the program; the
+// caller appends the guarded body after a kJumpIfZero placeholder.
+Expected<CaspProgram> CompileCondition(CaspMachine& machine,
+                                       const std::optional<Condition>& condition);
+
+// Applies a parsed command to the machine. `variable_point` maps a variable
+// to the extension point where its procedures run (services declare this
+// when binding). Returns the textual result for query commands (print
+// installs a procedure and returns ""; trace print returns the buffer
+// contents; backtrace returns the stack).
+Expected<std::string> ApplyDirectionCommand(CaspMachine& machine,
+                                            const DirectionCommand& command,
+                                            const std::string& variable_point);
+
+// Counter names used by the count bookkeeping hooks.
+std::string ReadCounterName(const std::string& variable);
+std::string WriteCounterName(const std::string& variable);
+std::string CallCounterName(const std::string& function);
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_COMMAND_COMPILER_H_

@@ -1,0 +1,63 @@
+// Direction-command language (Table 2).
+//
+// Text commands in the grammar the paper lists:
+//   print X
+//   break L [if X OP N]        unbreak L
+//   backtrace
+//   watch X [if X OP N]        unwatch X
+//   count reads X | count writes X | count calls F
+//   trace start X [LEN] [if X OP N] | trace stop X | trace clear X |
+//   trace print X | trace full X
+// are parsed into DirectionCommand records; the compiler lowers them to CASP
+// programs.
+#ifndef SRC_DEBUG_COMMAND_PARSER_H_
+#define SRC_DEBUG_COMMAND_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace emu {
+
+enum class DirectionKind {
+  kPrint,
+  kBreak,
+  kUnbreak,
+  kBacktrace,
+  kWatch,
+  kUnwatch,
+  kCountReads,
+  kCountWrites,
+  kCountCalls,
+  kTraceStart,
+  kTraceStop,
+  kTraceClear,
+  kTracePrint,
+  kTraceFull,
+};
+
+enum class ConditionOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+struct Condition {
+  std::string variable;
+  ConditionOp op = ConditionOp::kEq;
+  u64 constant = 0;
+};
+
+struct DirectionCommand {
+  DirectionKind kind = DirectionKind::kPrint;
+  std::string target;  // variable, label, or function name
+  std::optional<Condition> condition;
+  usize length = 0;  // trace buffer length (0 = default)
+};
+
+Expected<DirectionCommand> ParseDirectionCommand(std::string_view text);
+
+// Human-readable form, for controller status replies.
+std::string FormatDirectionCommand(const DirectionCommand& command);
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_COMMAND_PARSER_H_

@@ -1,0 +1,163 @@
+#include "src/debug/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "src/netfpga/dataplane.h"
+
+namespace emu {
+namespace {
+
+using i64 = std::int64_t;
+
+// Deterministic "place-and-route" perturbation: a small signed LUT delta
+// derived from the feature mask and the artefact it is embedded in,
+// mimicking the optimizer noise of Table 5 ("occasionally this results in
+// more utilization-efficient allocations", §5.5).
+i64 PlacementNoise(u8 features, u64 salt) {
+  u64 x = 0x9e3779b97f4a7c15ULL ^ (static_cast<u64>(features) * 0x100000001b3ULL) ^
+          (salt * 0xc2b2ae3d27d4eb4fULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<i64>(x % 181) - 90;  // [-90, +90] LUTs
+}
+
+}  // namespace
+
+DirectionController::DirectionController(std::string main_point)
+    : main_point_(std::move(main_point)) {}
+
+std::string DirectionController::HandleCommandText(const std::string& text) {
+  auto command = ParseDirectionCommand(text);
+  if (!command.ok()) {
+    return "error: " + command.status().ToString();
+  }
+  auto result = ApplyDirectionCommand(machine_, *command, main_point_);
+  if (!result.ok()) {
+    return "error: " + result.status().ToString();
+  }
+  return *result;
+}
+
+Packet DirectionController::HandleDirectionPacket(const Packet& request) {
+  ++packets_handled_;
+  auto payload = ParseDirectionPacket(request);
+  if (!payload.ok()) {
+    return MakeDirectionReply(request, "error: " + payload.status().ToString());
+  }
+  std::string reply = HandleCommandText(payload->text);
+  // Append anything the installed procedures emitted since the last packet.
+  for (const std::string& line : machine_.TakeOutput()) {
+    reply += "\n" + line;
+  }
+  return MakeDirectionReply(request, reply);
+}
+
+void DirectionController::NoteRead(const std::string& variable) {
+  // Counting is active only once the matching count command interned the
+  // counter; otherwise the hook is dead logic that costs nothing.
+  const std::string name = ReadCounterName(variable);
+  if (machine_.HasCounter(name)) {
+    machine_.set_counter(name, machine_.counter(name) + 1);
+  }
+}
+
+void DirectionController::NoteWrite(const std::string& variable) {
+  const std::string name = WriteCounterName(variable);
+  if (machine_.HasCounter(name)) {
+    machine_.set_counter(name, machine_.counter(name) + 1);
+  }
+}
+
+void DirectionController::NoteCall(const std::string& function) {
+  const std::string name = CallCounterName(function);
+  if (machine_.HasCounter(name)) {
+    machine_.set_counter(name, machine_.counter(name) + 1);
+  }
+}
+
+ResourceUsage DirectionController::Resources() const {
+  // Minimal CASP controller: the program is extended with only "the precise
+  // set of required features" (§3.5), so the base is just the packet decode
+  // and a small counter file; each instruction family adds its datapath.
+  // Deltas calibrated to Table 5 (+R ~3%, +W ~15%, +I ~10% of the DNS core).
+  ResourceUsage usage{40, 70, 0};
+  if (FeatureEnabled(ControllerFeature::kRead)) {
+    usage.luts += 25;  // variable read mux into the controller datapath
+    usage.regs += 40;
+  }
+  if (FeatureEnabled(ControllerFeature::kWrite)) {
+    usage.luts += 310;  // write-back path with enables per bound variable
+    usage.regs += 130;
+  }
+  if (FeatureEnabled(ControllerFeature::kIncrement)) {
+    usage.luts += 205;  // read-modify-write adder
+    usage.regs += 70;
+  }
+  return usage;
+}
+
+DirectedService::DirectedService(Service& inner, DirectionController& controller)
+    : inner_(inner), controller_(controller) {}
+
+void DirectedService::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, 64, 256);
+  sim.AddProcess(FilterProcess(), "direction_filter");
+  inner_.Instantiate(sim, Dataplane{inner_rx_.get(), dp.tx});
+}
+
+ResourceUsage DirectedService::Resources() const {
+  // The frame-kind check is a couple of comparators on the first bus beat;
+  // the placement perturbation depends on the artefact being re-routed.
+  ResourceUsage usage =
+      inner_.Resources() + controller_.Resources() + ResourceUsage{24, 16, 0};
+  u8 features = 0;
+  for (ControllerFeature f :
+       {ControllerFeature::kRead, ControllerFeature::kWrite, ControllerFeature::kIncrement}) {
+    if (controller_.FeatureEnabled(f)) {
+      features |= static_cast<u8>(f);
+    }
+  }
+  const i64 noise = PlacementNoise(features, inner_.Resources().luts);
+  usage.luts = static_cast<u64>(std::max<i64>(1, static_cast<i64>(usage.luts) + noise));
+  return usage;
+}
+
+HwProcess DirectedService::FilterProcess() {
+  for (;;) {
+    if (dp_.rx->Empty()) {
+      co_await Pause();
+      continue;
+    }
+    // Stall the whole program while a breakpoint holds it (the director
+    // resumes via Resume(); direction packets still get through so the
+    // director can poke state).
+    Packet frame = dp_.rx->Front();
+    const bool is_direction = IsDirectionPacket(frame);
+    if (controller_.broken() && !is_direction) {
+      co_await Pause();
+      continue;
+    }
+    dp_.rx->Pop();
+    if (is_direction && dp_.tx->CanPush()) {
+      ++direction_packets_;
+      Packet reply = controller_.HandleDirectionPacket(frame);
+      reply.set_core_ingress_cycle(frame.core_ingress_cycle());
+      NetFpgaData out;
+      out.tdata = std::move(reply);
+      NetFpga::SendBackToSource(out);
+      co_await PauseFor(2);  // controller turnaround
+      dp_.tx->Push(std::move(out.tdata));
+      co_await Pause();
+      continue;
+    }
+    inner_rx_->Push(std::move(frame));
+    co_await Pause();
+  }
+}
+
+}  // namespace emu

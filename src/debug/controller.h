@@ -1,0 +1,131 @@
+// DirectionController and the Fig. 11 program transformation.
+//
+// DirectionController owns a CASP machine, receives command text (locally or
+// via direction packets), compiles and installs procedures, and accounts for
+// the utilization/performance overhead of the enabled features (Table 5:
+// read/write/increment controller instructions).
+//
+// DirectedService is Fig. 11's transformation as a Service decorator: normal
+// frames pass to the wrapped service unchanged; direction packets are routed
+// to the controller, which sends status replies back to the director. The
+// wrapped service binds its variables and activates the main-loop extension
+// point through the controller.
+#ifndef SRC_DEBUG_CONTROLLER_H_
+#define SRC_DEBUG_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/service.h"
+#include "src/debug/casp_machine.h"
+#include "src/debug/command_compiler.h"
+#include "src/debug/direction_packet.h"
+
+namespace emu {
+
+// Controller instruction-set features whose cost Table 5 profiles.
+enum class ControllerFeature : u8 {
+  kRead = 1 << 0,       // +R: read a program variable
+  kWrite = 1 << 1,      // +W: write a program variable
+  kIncrement = 1 << 2,  // +I: increment a program variable
+};
+
+class DirectionController {
+ public:
+  // `main_point` is the extension point inside the directed program's main
+  // loop (§5.5) where variable-targeted procedures are installed.
+  explicit DirectionController(std::string main_point = "main_loop");
+
+  CaspMachine& machine() { return machine_; }
+  const std::string& main_point() const { return main_point_; }
+
+  void EnableFeature(ControllerFeature feature) { features_ |= static_cast<u8>(feature); }
+  bool FeatureEnabled(ControllerFeature feature) const {
+    return (features_ & static_cast<u8>(feature)) != 0;
+  }
+
+  // Parses + compiles + applies a command; returns the reply text.
+  std::string HandleCommandText(const std::string& text);
+
+  // Full direction-packet path: parse, execute, build the reply frame.
+  Packet HandleDirectionPacket(const Packet& request);
+
+  // Bookkeeping hooks inserted where the program reads/writes variables or
+  // enters functions (the `count` commands observe these).
+  void NoteRead(const std::string& variable);
+  void NoteWrite(const std::string& variable);
+  void NoteCall(const std::string& function);
+
+  // Activates an extension point; false means a breakpoint fired and the
+  // host program should stall until Resume().
+  bool Activate(const std::string& point) { return machine_.Activate(point); }
+  bool broken() const { return machine_.broken(); }
+  void Resume() { machine_.Resume(); }
+
+  // The controller's own hardware bill: base logic plus per-feature cost and
+  // a deterministic place-and-route perturbation (Table 5 shows utilization
+  // occasionally *improving* when features are added; §5.5 attributes this
+  // to the optimizer finding more efficient allocations).
+  ResourceUsage Resources() const;
+
+  u64 packets_handled() const { return packets_handled_; }
+
+ private:
+  std::string main_point_;
+  CaspMachine machine_;
+  u8 features_ = 0;
+  u64 packets_handled_ = 0;
+};
+
+// RAII frame for the controller's call-stack model: services bracket their
+// request handlers with one of these so `backtrace` (Table 2) shows where a
+// stalled program is. Null-controller safe; scope-exit (including coroutine
+// `continue` paths) pops the frame.
+class DirectedCallScope {
+ public:
+  DirectedCallScope(DirectionController* controller, const char* function)
+      : controller_(controller) {
+    if (controller_ != nullptr) {
+      controller_->machine().EnterFunction(function);
+      controller_->NoteCall(function);
+    }
+  }
+
+  DirectedCallScope(const DirectedCallScope&) = delete;
+  DirectedCallScope& operator=(const DirectedCallScope&) = delete;
+
+  ~DirectedCallScope() {
+    if (controller_ != nullptr) {
+      controller_->machine().LeaveFunction();
+    }
+  }
+
+ private:
+  DirectionController* controller_;
+};
+
+class DirectedService : public Service {
+ public:
+  DirectedService(Service& inner, DirectionController& controller);
+
+  std::string_view name() const override { return "directed_service"; }
+  void Instantiate(Simulator& sim, Dataplane dp) override;
+  ResourceUsage Resources() const override;
+  Cycle ModuleLatency() const override { return inner_.ModuleLatency(); }
+  Cycle InitiationInterval() const override { return inner_.InitiationInterval(); }
+
+  u64 direction_packets() const { return direction_packets_; }
+
+ private:
+  HwProcess FilterProcess();
+
+  Service& inner_;
+  DirectionController& controller_;
+  Dataplane dp_;
+  std::unique_ptr<SyncFifo<Packet>> inner_rx_;
+  u64 direction_packets_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_CONTROLLER_H_

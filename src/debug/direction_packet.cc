@@ -1,0 +1,72 @@
+#include "src/debug/direction_packet.h"
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+namespace {
+
+constexpr usize kHeaderSize = 7;  // magic(2) kind(1) seq(2) len(2)
+
+}  // namespace
+
+bool IsDirectionPacket(const Packet& frame) {
+  Packet copy = frame;
+  EthernetView eth(copy);
+  if (!eth.Valid() || eth.ether_type_raw() != kDirectionEtherType) {
+    return false;
+  }
+  const auto payload = eth.Payload();
+  return payload.size() >= kHeaderSize && BitUtil::Get16(payload, 0) == kDirectionMagic;
+}
+
+Packet MakeDirectionPacket(MacAddress dst, MacAddress src, DirectionPacketKind kind,
+                           u16 sequence, const std::string& text) {
+  std::vector<u8> payload(kHeaderSize + text.size(), 0);
+  BitUtil::Set16(payload, 0, kDirectionMagic);
+  payload[2] = static_cast<u8>(kind);
+  BitUtil::Set16(payload, 3, sequence);
+  BitUtil::Set16(payload, 5, static_cast<u16>(text.size()));
+  for (usize i = 0; i < text.size(); ++i) {
+    payload[kHeaderSize + i] = static_cast<u8>(text[i]);
+  }
+  return MakeEthernetFrame(dst, src, static_cast<EtherType>(kDirectionEtherType), payload);
+}
+
+Expected<DirectionPayload> ParseDirectionPacket(const Packet& frame) {
+  Packet copy = frame;
+  EthernetView eth(copy);
+  if (!eth.Valid() || eth.ether_type_raw() != kDirectionEtherType) {
+    return MalformedPacket("not a direction packet");
+  }
+  const auto payload = eth.Payload();
+  if (payload.size() < kHeaderSize || BitUtil::Get16(payload, 0) != kDirectionMagic) {
+    return MalformedPacket("bad direction magic");
+  }
+  DirectionPayload out;
+  const u8 kind = payload[2];
+  if (kind != static_cast<u8>(DirectionPacketKind::kCommand) &&
+      kind != static_cast<u8>(DirectionPacketKind::kReply)) {
+    return MalformedPacket("bad direction kind");
+  }
+  out.kind = static_cast<DirectionPacketKind>(kind);
+  out.sequence = BitUtil::Get16(payload, 3);
+  const u16 length = BitUtil::Get16(payload, 5);
+  if (payload.size() < kHeaderSize + length) {
+    return MalformedPacket("direction payload truncated");
+  }
+  out.text.assign(reinterpret_cast<const char*>(payload.data()) + kHeaderSize, length);
+  return out;
+}
+
+Packet MakeDirectionReply(const Packet& request, const std::string& text) {
+  Packet copy = request;
+  EthernetView eth(copy);
+  auto parsed = ParseDirectionPacket(request);
+  const u16 sequence = parsed.ok() ? parsed->sequence : 0;
+  Packet reply = MakeDirectionPacket(eth.source(), eth.destination(),
+                                     DirectionPacketKind::kReply, sequence, text);
+  reply.set_src_port(request.src_port());
+  return reply;
+}
+
+}  // namespace emu

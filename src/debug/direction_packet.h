@@ -1,0 +1,48 @@
+// Direction packets (§3.5): "network packets in a custom and simple packet
+// format, whose payload consists of code to be executed by the controller or
+// status replies from the controller to the director" — gdb's remote serial
+// protocol, for hardware.
+//
+// Format: Ethernet frame, experimental EtherType 0x88B5, payload =
+//   magic(2) | kind(1) | sequence(2) | length(2) | text[length]
+// with `text` a direction command (kind=command) or reply body (kind=reply).
+#ifndef SRC_DEBUG_DIRECTION_PACKET_H_
+#define SRC_DEBUG_DIRECTION_PACKET_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/ethernet.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+inline constexpr u16 kDirectionEtherType = 0x88b5;
+inline constexpr u16 kDirectionMagic = 0xd1ec;
+
+enum class DirectionPacketKind : u8 {
+  kCommand = 1,
+  kReply = 2,
+};
+
+struct DirectionPayload {
+  DirectionPacketKind kind = DirectionPacketKind::kCommand;
+  u16 sequence = 0;
+  std::string text;
+};
+
+// True when the frame is a direction packet (the Fig. 11 check every
+// directed program performs on each ingress frame).
+bool IsDirectionPacket(const Packet& frame);
+
+Packet MakeDirectionPacket(MacAddress dst, MacAddress src, DirectionPacketKind kind,
+                           u16 sequence, const std::string& text);
+
+Expected<DirectionPayload> ParseDirectionPacket(const Packet& frame);
+
+// Builds the reply frame for `request` (addresses swapped, same sequence).
+Packet MakeDirectionReply(const Packet& request, const std::string& text);
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_DIRECTION_PACKET_H_

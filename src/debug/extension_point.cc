@@ -1,0 +1,2 @@
+// ExtensionPoint is header-only; see extension_point.h.
+#include "src/debug/extension_point.h"

@@ -1,0 +1,40 @@
+// ExtensionPoint: the named, runtime-reprogrammable hook a directed program
+// carries (§3.5). A service constructs one per site; Activate() is free when
+// no controller is attached (the program was extended with "the precise set
+// of required debugging or profiling features" — none), and otherwise runs
+// whatever procedures the director installed.
+#ifndef SRC_DEBUG_EXTENSION_POINT_H_
+#define SRC_DEBUG_EXTENSION_POINT_H_
+
+#include <string>
+#include <utility>
+
+#include "src/debug/controller.h"
+
+namespace emu {
+
+class ExtensionPoint {
+ public:
+  ExtensionPoint() = default;
+  ExtensionPoint(DirectionController* controller, std::string name)
+      : controller_(controller), name_(std::move(name)) {}
+
+  bool attached() const { return controller_ != nullptr; }
+  const std::string& point_name() const { return name_; }
+
+  // Returns false when a breakpoint fired (the caller should stall).
+  bool Activate() {
+    if (controller_ == nullptr) {
+      return true;
+    }
+    return controller_->Activate(name_);
+  }
+
+ private:
+  DirectionController* controller_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_DEBUG_EXTENSION_POINT_H_

@@ -1,0 +1,2 @@
+// SyncFifo is a header-only template; see fifo.h.
+#include "src/hdl/fifo.h"

@@ -1,0 +1,89 @@
+// Synchronous FIFO with RTL timing semantics.
+//
+// Within a cycle, Pop() returns the pre-edge head and Push() enqueues a value
+// that becomes visible only after the edge commits, so a producer and a
+// consumer touching the same FIFO in the same cycle behave like two RTL
+// modules sharing a BRAM FIFO. Depth is enforced against committed occupancy
+// plus same-cycle pushes.
+#ifndef SRC_HDL_FIFO_H_
+#define SRC_HDL_FIFO_H_
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "src/hdl/resource_model.h"
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+template <typename T>
+class SyncFifo : public Clocked {
+ public:
+  // `word_bits` feeds the resource model (a FIFO of 512 x 256-bit words costs
+  // more BRAM than one of 16 x 8-bit words).
+  SyncFifo(Simulator& sim, usize depth, usize word_bits)
+      : sim_(sim), depth_(depth), resources_(FifoResources(depth, word_bits)) {
+    assert(depth > 0);
+    sim_.RegisterClocked(this);
+  }
+
+  SyncFifo(const SyncFifo&) = delete;
+  SyncFifo& operator=(const SyncFifo&) = delete;
+
+  // Intentionally does NOT unregister: see the lifetime rule in simulator.h
+  // (a Clocked element and its Simulator may be torn down in either order,
+  // provided Step() is never called after the element dies).
+  ~SyncFifo() override = default;
+
+  usize depth() const { return depth_; }
+  const ResourceUsage& resources() const { return resources_; }
+
+  // Committed occupancy minus same-cycle pops (what the consumer side sees).
+  usize Size() const { return items_.size() - pop_count_; }
+  bool Empty() const { return Size() == 0; }
+
+  bool CanPush() const { return items_.size() - pop_count_ + pending_push_.size() < depth_; }
+
+  // Returns false (and drops nothing) when full, mirroring backpressure.
+  bool Push(T value) {
+    if (!CanPush()) {
+      return false;
+    }
+    pending_push_.push_back(std::move(value));
+    return true;
+  }
+
+  const T& Front() const {
+    assert(!Empty());
+    return items_[pop_count_];
+  }
+
+  T Pop() {
+    assert(!Empty());
+    T value = std::move(items_[pop_count_]);
+    ++pop_count_;
+    return value;
+  }
+
+  void Commit() override {
+    items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
+    pop_count_ = 0;
+    for (auto& value : pending_push_) {
+      items_.push_back(std::move(value));
+    }
+    pending_push_.clear();
+  }
+
+ private:
+  Simulator& sim_;
+  usize depth_;
+  ResourceUsage resources_;
+  std::deque<T> items_;
+  std::vector<T> pending_push_;
+  usize pop_count_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_FIFO_H_

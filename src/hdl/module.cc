@@ -1,0 +1,2 @@
+// Module/Design are header-only; see module.h.
+#include "src/hdl/module.h"

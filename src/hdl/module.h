@@ -1,0 +1,70 @@
+// Module: a named hardware block with a resource bill.
+//
+// Designs (testbenches, the NetFPGA pipeline, benchmark harnesses) sum module
+// resources to produce the utilization rows of Tables 3 and 5. Modules are
+// owned by whoever builds the design; the Design registry holds non-owning
+// pointers and must not outlive its modules.
+#ifndef SRC_HDL_MODULE_H_
+#define SRC_HDL_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hdl/resource_model.h"
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+class Module {
+ public:
+  Module(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual ~Module() = default;
+
+  const std::string& name() const { return name_; }
+  Simulator& sim() const { return sim_; }
+
+  const ResourceUsage& resources() const { return resources_; }
+
+ protected:
+  void AddResources(const ResourceUsage& usage) { resources_ += usage; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  ResourceUsage resources_;
+};
+
+// Aggregates the resource bills of a set of modules (e.g. "the main logical
+// core" whose utilization Table 3 reports).
+class Design {
+ public:
+  void Add(const Module& module) { modules_.push_back(&module); }
+
+  ResourceUsage TotalResources() const {
+    ResourceUsage total;
+    for (const Module* module : modules_) {
+      total += module->resources();
+    }
+    return total;
+  }
+
+  std::vector<std::pair<std::string, ResourceUsage>> PerModule() const {
+    std::vector<std::pair<std::string, ResourceUsage>> out;
+    out.reserve(modules_.size());
+    for (const Module* module : modules_) {
+      out.emplace_back(module->name(), module->resources());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<const Module*> modules_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_MODULE_H_

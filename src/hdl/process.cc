@@ -1,0 +1,4 @@
+// HwProcess is header-only; this translation unit exists so the build has a
+// home for future out-of-line process machinery and to keep one .cc per
+// header in the module list.
+#include "src/hdl/process.h"

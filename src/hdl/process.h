@@ -1,0 +1,105 @@
+// Coroutine hardware processes.
+//
+// A HwProcess is the C++ rendering of a Kiwi hardware thread: a sequential
+// body whose `co_await Pause()` points become clock-cycle scheduling barriers
+// (the paper's Kiwi.Pause(), Fig. 2 line 11 and Fig. 5). The Simulator
+// resumes every live process exactly once per rising clock edge, in
+// registration order, then commits all clocked state (see signal.h), which
+// reproduces Verilog non-blocking-assignment semantics: everything a process
+// reads during a cycle is the pre-edge value.
+#ifndef SRC_HDL_PROCESS_H_
+#define SRC_HDL_PROCESS_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class HwProcess {
+ public:
+  struct promise_type {
+    // Cycles the process still wants to sleep before its coroutine is
+    // actually resumed; lets PauseFor(n) avoid n real suspensions.
+    u64 sleep_cycles = 0;
+
+    HwProcess get_return_object() {
+      return HwProcess(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }
+  };
+
+  HwProcess() = default;
+  explicit HwProcess(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  HwProcess(const HwProcess&) = delete;
+  HwProcess& operator=(const HwProcess&) = delete;
+
+  HwProcess(HwProcess&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  HwProcess& operator=(HwProcess&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+
+  ~HwProcess() { Destroy(); }
+
+  bool Valid() const { return handle_ != nullptr; }
+  bool Done() const { return !handle_ || handle_.done(); }
+
+  // One clock edge: wake the coroutine unless it is still sleeping off a
+  // PauseFor. Returns false once the process has run to completion.
+  bool Tick() {
+    if (Done()) {
+      return false;
+    }
+    auto& promise = handle_.promise();
+    if (promise.sleep_cycles > 0) {
+      --promise.sleep_cycles;
+      return true;
+    }
+    handle_.resume();
+    return !handle_.done();
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// `co_await Pause()`: suspend until the next rising clock edge.
+struct Pause {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+// `co_await PauseFor(n)`: suspend for n clock edges (n == 0 is a no-op).
+struct PauseFor {
+  u64 cycles;
+
+  explicit PauseFor(u64 n) : cycles(n) {}
+
+  bool await_ready() const noexcept { return cycles == 0; }
+  void await_suspend(std::coroutine_handle<HwProcess::promise_type> handle) const noexcept {
+    handle.promise().sleep_cycles = cycles - 1;
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_PROCESS_H_

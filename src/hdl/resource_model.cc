@@ -1,0 +1,74 @@
+#include "src/hdl/resource_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace emu {
+namespace {
+
+u64 Ceil(double v) { return static_cast<u64>(std::ceil(v)); }
+
+}  // namespace
+
+std::string ResourceUsage::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "luts=%llu regs=%llu bram=%llu",
+                static_cast<unsigned long long>(luts), static_cast<unsigned long long>(regs),
+                static_cast<unsigned long long>(bram_units));
+  return buf;
+}
+
+ResourceUsage CamIpResources(usize entries, usize key_bits, usize value_bits) {
+  const double key_storage_bits = static_cast<double>(entries * key_bits);
+  const double value_storage_bits = static_cast<double>(entries * value_bits);
+  ResourceUsage r;
+  r.luts = Ceil(key_storage_bits * kCamLutsPerBit);
+  r.regs = Ceil(key_storage_bits * kCamRegsPerBit);
+  r.bram_units = Ceil((key_storage_bits + value_storage_bits) / kCamBramBitsPerUnit);
+  return r;
+}
+
+ResourceUsage LogicCamResources(usize entries, usize key_bits, usize value_bits) {
+  const double key_storage_bits = static_cast<double>(entries * key_bits);
+  ResourceUsage r;
+  r.luts = Ceil(key_storage_bits * kLogicCamLutsPerBit);
+  r.regs = Ceil(key_storage_bits * kLogicCamRegsPerBit +
+                static_cast<double>(entries * value_bits));
+  // All storage in fabric registers: no BRAM at all, which is exactly the
+  // trade the paper describes for the pure-C# CAM.
+  r.bram_units = 0;
+  return r;
+}
+
+ResourceUsage BramResources(usize bits) {
+  ResourceUsage r;
+  r.bram_units = Ceil(static_cast<double>(bits) / kBramBitsPerUnit);
+  // Address decode / output mux glue.
+  r.luts = 8 + bits / 2048;
+  return r;
+}
+
+ResourceUsage FifoResources(usize depth, usize word_bits) {
+  ResourceUsage r = BramResources(depth * word_bits);
+  r.luts += kFifoControlLuts;
+  r.regs += kFifoControlRegs;
+  return r;
+}
+
+ResourceUsage HlsControlResources(usize states, usize datapath_bits) {
+  ResourceUsage r;
+  r.luts = Ceil(static_cast<double>(states) * static_cast<double>(datapath_bits) *
+                kHlsLutsPerStatePerDatapathBit);
+  r.regs = Ceil(static_cast<double>(states) * kHlsRegsPerState) + datapath_bits;
+  return r;
+}
+
+ResourceUsage RtlControlResources(usize states, usize datapath_bits) {
+  ResourceUsage r;
+  r.luts = Ceil(static_cast<double>(states) * static_cast<double>(datapath_bits) *
+                kRtlLutsPerStatePerDatapathBit);
+  r.regs = Ceil(static_cast<double>(states) * kRtlRegsPerState) + datapath_bits;
+  return r;
+}
+
+}  // namespace emu

@@ -1,0 +1,59 @@
+// Clocked registers and combinational wires.
+//
+// Reg<T> has Verilog non-blocking-assignment semantics: Write() stores a
+// next-state value that becomes visible through Read() only after the
+// simulator commits the current clock edge. Wire<T> is an immediate
+// (combinational) value whose intra-cycle visibility follows process
+// registration order; use it only between a producer process registered
+// before its consumer, exactly like a combinational path that settles within
+// the cycle.
+#ifndef SRC_HDL_SIGNAL_H_
+#define SRC_HDL_SIGNAL_H_
+
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+template <typename T>
+class Reg : public Clocked {
+ public:
+  Reg(Simulator& sim, T initial = T{})
+      : sim_(sim), current_(initial), next_(initial) {
+    sim_.RegisterClocked(this);
+  }
+
+  Reg(const Reg&) = delete;
+  Reg& operator=(const Reg&) = delete;
+
+  // See the lifetime rule in simulator.h: no unregistration on destruction.
+  ~Reg() override = default;
+
+  const T& Read() const { return current_; }
+  void Write(T value) { next_ = std::move(value); }
+
+  // Read of the pending next-state; occasionally needed by testbenches.
+  const T& Pending() const { return next_; }
+
+  void Commit() override { current_ = next_; }
+
+ private:
+  Simulator& sim_;
+  T current_;
+  T next_;
+};
+
+template <typename T>
+class Wire {
+ public:
+  explicit Wire(T initial = T{}) : value_(std::move(initial)) {}
+
+  const T& Read() const { return value_; }
+  void Write(T value) { value_ = std::move(value); }
+
+ private:
+  T value_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_SIGNAL_H_

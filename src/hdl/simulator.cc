@@ -1,0 +1,63 @@
+#include "src/hdl/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emu {
+
+Simulator::Simulator(u64 clock_hz) : clock_hz_(clock_hz) {
+  assert(clock_hz > 0);
+  cycle_period_ps_ = kPicosPerSecond / static_cast<Picoseconds>(clock_hz);
+}
+
+void Simulator::AddProcess(HwProcess process, std::string name) {
+  assert(process.Valid());
+  processes_.push_back(NamedProcess{std::move(process), std::move(name)});
+}
+
+void Simulator::RegisterClocked(Clocked* element) {
+  assert(element != nullptr);
+  clocked_.push_back(element);
+}
+
+void Simulator::UnregisterClocked(Clocked* element) {
+  clocked_.erase(std::remove(clocked_.begin(), clocked_.end(), element), clocked_.end());
+}
+
+void Simulator::Step() {
+  for (auto& entry : processes_) {
+    entry.process.Tick();
+  }
+  for (Clocked* element : clocked_) {
+    element->Commit();
+  }
+  ++now_;
+}
+
+void Simulator::Run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    Step();
+  }
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& done, Cycle limit) {
+  for (Cycle i = 0; i < limit; ++i) {
+    if (done()) {
+      return true;
+    }
+    Step();
+  }
+  return done();
+}
+
+usize Simulator::live_process_count() const {
+  usize count = 0;
+  for (const auto& entry : processes_) {
+    if (!entry.process.Done()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace emu

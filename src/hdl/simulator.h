@@ -1,0 +1,84 @@
+// Cycle-accurate single-clock-domain simulator.
+//
+// Each Step() models one rising clock edge:
+//   1. every live HwProcess is resumed once, in registration order
+//      (processes observe only pre-edge values of clocked state);
+//   2. every registered Clocked element commits its next-state
+//      (non-blocking-assignment update).
+// This is the substrate the Emu FPGA target runs on; the clock rate (200 MHz
+// for NetFPGA SUME, 250 MHz for the P4FPGA baseline, §5.3) converts cycle
+// counts to wall-clock latency.
+#ifndef SRC_HDL_SIMULATOR_H_
+#define SRC_HDL_SIMULATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hdl/process.h"
+
+namespace emu {
+
+// Anything with per-edge commit semantics (Reg, SyncFifo, CAM write ports...).
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void Commit() = 0;
+};
+
+class Simulator {
+ public:
+  static constexpr u64 kNetFpgaClockHz = 200'000'000;  // NetFPGA SUME native rate (§5.1)
+
+  explicit Simulator(u64 clock_hz = kNetFpgaClockHz);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  u64 clock_hz() const { return clock_hz_; }
+  Picoseconds cycle_period_ps() const { return cycle_period_ps_; }
+
+  Cycle now() const { return now_; }
+  Picoseconds NowPs() const { return static_cast<Picoseconds>(now_) * cycle_period_ps_; }
+
+  // Registers a process; it first runs on the next clock edge.
+  void AddProcess(HwProcess process, std::string name);
+
+  // Clocked elements register themselves on construction.
+  //
+  // LIFETIME RULE: a Clocked element and its Simulator may be destroyed in
+  // either order, but Step() must never run after any registered element has
+  // died (element destructors deliberately do not unregister, so a design
+  // and its simulator can be torn down together in any member order).
+  // UnregisterClocked exists for dynamic reconfiguration of a live design.
+  void RegisterClocked(Clocked* element);
+  void UnregisterClocked(Clocked* element);
+
+  // Advances one clock edge.
+  void Step();
+
+  void Run(Cycle cycles);
+
+  // Steps until `done()` is true (checked after each edge). Returns false if
+  // `limit` edges elapse first.
+  bool RunUntil(const std::function<bool()>& done, Cycle limit);
+
+  usize live_process_count() const;
+
+ private:
+  struct NamedProcess {
+    HwProcess process;
+    std::string name;
+  };
+
+  u64 clock_hz_;
+  Picoseconds cycle_period_ps_;
+  Cycle now_ = 0;
+  std::vector<NamedProcess> processes_;
+  std::vector<Clocked*> clocked_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_SIMULATOR_H_

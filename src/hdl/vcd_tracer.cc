@@ -1,0 +1,101 @@
+#include "src/hdl/vcd_tracer.h"
+
+#include <fstream>
+
+namespace emu {
+namespace {
+
+// VCD identifiers: printable ASCII starting at '!'.
+std::string IdFor(usize index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string Binary(u64 value, usize width) {
+  std::string out(width, '0');
+  for (usize i = 0; i < width; ++i) {
+    if ((value >> i) & 1u) {
+      out[width - 1 - i] = '1';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+VcdTracer::VcdTracer(Simulator& sim) : sim_(sim) {}
+
+void VcdTracer::AddSignal(const std::string& name, usize width, std::function<u64()> getter) {
+  Signal signal;
+  signal.name = name;
+  signal.width = width;
+  signal.getter = std::move(getter);
+  signal.id = IdFor(signals_.size());
+  signals_.push_back(std::move(signal));
+}
+
+void VcdTracer::AddFlag(const std::string& name, std::function<bool()> getter) {
+  AddSignal(name, 1, [g = std::move(getter)] { return g() ? u64{1} : u64{0}; });
+}
+
+void VcdTracer::Sample() {
+  for (usize i = 0; i < signals_.size(); ++i) {
+    Signal& signal = signals_[i];
+    const u64 value = signal.getter();
+    if (!signal.has_last || value != signal.last) {
+      log_.push_back(Change{sim_.now(), i, value});
+      signal.last = value;
+      signal.has_last = true;
+      ++changes_;
+    }
+  }
+}
+
+void VcdTracer::RunAndSample(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    sim_.Step();
+    Sample();
+  }
+}
+
+std::string VcdTracer::Render() const {
+  std::string out;
+  out += "$date emu-cpp simulation $end\n";
+  out += "$timescale " + std::to_string(sim_.cycle_period_ps()) + " ps $end\n";
+  out += "$scope module emu $end\n";
+  for (const Signal& signal : signals_) {
+    out += "$var wire " + std::to_string(signal.width) + " " + signal.id + " " + signal.name +
+           " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  Cycle current_time = static_cast<Cycle>(-1);
+  for (const Change& change : log_) {
+    if (change.time != current_time) {
+      out += "#" + std::to_string(change.time) + "\n";
+      current_time = change.time;
+    }
+    const Signal& signal = signals_[change.signal];
+    if (signal.width == 1) {
+      out += (change.value ? "1" : "0") + signal.id + "\n";
+    } else {
+      out += "b" + Binary(change.value, signal.width) + " " + signal.id + "\n";
+    }
+  }
+  return out;
+}
+
+bool VcdTracer::WriteToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << Render();
+  return static_cast<bool>(file);
+}
+
+}  // namespace emu

@@ -1,0 +1,67 @@
+// VCD waveform tracing.
+//
+// Table 1's footnote notes RTL simulators are "accessible on the HDL level
+// to all solutions"; this is that access for the simulation substrate: named
+// signals sampled once per clock edge into a standard Value Change Dump file
+// that GTKWave (or any VCD viewer) opens. Signals are registered as polled
+// getters so anything — a Reg<T>, a FIFO depth, a service counter — can be
+// traced without plumbing.
+#ifndef SRC_HDL_VCD_TRACER_H_
+#define SRC_HDL_VCD_TRACER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+class VcdTracer {
+ public:
+  // `timescale_ps` should be the simulator's cycle period.
+  explicit VcdTracer(Simulator& sim);
+
+  // Registers a signal: `width` bits, value polled from `getter` each Sample.
+  void AddSignal(const std::string& name, usize width, std::function<u64()> getter);
+
+  // Convenience for booleans.
+  void AddFlag(const std::string& name, std::function<bool()> getter);
+
+  // Records the current value of every signal at the current cycle (only
+  // changes are stored, as VCD semantics want).
+  void Sample();
+
+  // Runs the simulator `cycles` edges, sampling after every edge.
+  void RunAndSample(Cycle cycles);
+
+  usize change_count() const { return changes_; }
+
+  // Renders the complete VCD document.
+  std::string Render() const;
+  bool WriteToFile(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    usize width;
+    std::function<u64()> getter;
+    std::string id;     // VCD short identifier
+    u64 last = 0;
+    bool has_last = false;
+  };
+  struct Change {
+    Cycle time;
+    usize signal;
+    u64 value;
+  };
+
+  Simulator& sim_;
+  std::vector<Signal> signals_;
+  std::vector<Change> log_;
+  usize changes_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HDL_VCD_TRACER_H_

@@ -1,0 +1,269 @@
+#include "src/hostnet/host_services.h"
+
+#include <algorithm>
+
+#include "src/net/checksum.h"
+#include "src/net/ethernet.h"
+#include "src/net/icmp.h"
+#include "src/net/ipv4.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/reply_util.h"
+
+namespace emu {
+namespace {
+
+// Builds a UDP reply frame by reversing `request` and replacing the payload.
+Packet ReverseUdp(const Packet& request, std::span<const u8> payload) {
+  Packet frame = request;
+  SwapEthernetAddresses(frame);
+  const usize udp_offset = Ipv4View(frame).payload_offset();
+  frame.Resize(udp_offset + kUdpHeaderSize);
+  frame.Append(payload);
+  Ipv4View ip(frame);
+  ip.set_total_length(static_cast<u16>(frame.size() - kEthernetHeaderSize));
+  SwapIpv4Addresses(frame);
+  UdpView udp(frame, udp_offset);
+  SwapUdpPorts(frame);
+  udp.set_length(static_cast<u16>(kUdpHeaderSize + payload.size()));
+  udp.UpdateChecksum(ip);
+  if (frame.size() < kEthernetMinFrame) {
+    frame.Resize(kEthernetMinFrame);
+  }
+  frame.set_src_port(request.src_port());
+  return frame;
+}
+
+}  // namespace
+
+std::optional<Packet> HostIcmpEcho::HandleRequest(const Packet& request) {
+  Packet frame = request;
+  Ipv4View ip(frame);
+  if (!ip.Valid() || !ip.ProtocolIs(IpProtocol::kIcmp) || ip.destination() != ip_) {
+    return std::nullopt;
+  }
+  IcmpView icmp(frame, ip.payload_offset());
+  if (!icmp.Valid() || !icmp.TypeIs(IcmpType::kEchoRequest)) {
+    return std::nullopt;
+  }
+  const usize message_length = ip.total_length() - ip.HeaderBytes();
+  if (!icmp.ChecksumValid(message_length)) {
+    return std::nullopt;
+  }
+  SwapEthernetAddresses(frame);
+  SwapIpv4Addresses(frame);
+  icmp.set_type(IcmpType::kEchoReply);
+  icmp.UpdateChecksum(message_length);
+  frame.set_src_port(request.src_port());
+  return frame;
+}
+
+std::optional<Packet> HostTcpPing::HandleRequest(const Packet& request) {
+  Packet frame = request;
+  Ipv4View ip(frame);
+  if (!ip.Valid() || !ip.ProtocolIs(IpProtocol::kTcp) || ip.destination() != ip_) {
+    return std::nullopt;
+  }
+  TcpView tcp(frame, ip.payload_offset());
+  if (!tcp.Valid() || !tcp.HasFlag(TcpFlags::kSyn) || tcp.HasFlag(TcpFlags::kAck)) {
+    return std::nullopt;
+  }
+  EthernetView eth(frame);
+  const bool open = std::find(open_ports_.begin(), open_ports_.end(),
+                              tcp.destination_port()) != open_ports_.end();
+  TcpSegmentSpec spec;
+  spec.eth_dst = eth.source();
+  spec.eth_src = mac_;
+  spec.ip_src = ip_;
+  spec.ip_dst = ip.source();
+  spec.src_port = tcp.destination_port();
+  spec.dst_port = tcp.source_port();
+  spec.ack = tcp.sequence() + 1;
+  if (open) {
+    spec.seq = 0x5a5a5a5a;
+    spec.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  } else {
+    spec.flags = TcpFlags::kRst | TcpFlags::kAck;
+  }
+  Packet reply = MakeTcpSegment(spec);
+  reply.set_src_port(request.src_port());
+  return reply;
+}
+
+std::optional<Packet> HostDns::HandleRequest(const Packet& request) {
+  Packet frame = request;
+  Ipv4View ip(frame);
+  if (!ip.Valid() || !ip.ProtocolIs(IpProtocol::kUdp) || ip.destination() != ip_) {
+    return std::nullopt;
+  }
+  UdpView udp(frame, ip.payload_offset());
+  if (!udp.Valid() || udp.destination_port() != kDnsPort) {
+    return std::nullopt;
+  }
+  auto query = ParseDnsQuery(udp.Payload());
+  if (!query.ok()) {
+    return std::nullopt;
+  }
+  std::vector<u8> payload;
+  const auto it = zone_.find(query->question.name);
+  if (query->question.qtype == kDnsTypeA && it != zone_.end()) {
+    payload = BuildDnsResponse(*query, it->second);
+  } else {
+    payload = BuildDnsError(*query, DnsRcode::kNxDomain);
+  }
+  return ReverseUdp(request, payload);
+}
+
+void HostMemcached::Touch(const std::string& key) {
+  auto it = store_.find(key);
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(key);
+  it->second.lru_position = lru_.begin();
+}
+
+std::optional<Packet> HostMemcached::HandleRequest(const Packet& request) {
+  Packet frame = request;
+  Ipv4View ip(frame);
+  if (!ip.Valid() || !ip.ProtocolIs(IpProtocol::kUdp) || ip.destination() != ip_) {
+    return std::nullopt;
+  }
+  UdpView udp(frame, ip.payload_offset());
+  if (!udp.Valid() || udp.destination_port() != kMemcachedPort) {
+    return std::nullopt;
+  }
+  auto parsed = ParseMcRequest(udp.Payload(), protocol_);
+  if (!parsed.ok()) {
+    return std::nullopt;
+  }
+
+  McResponse response;
+  response.protocol = protocol_;
+  response.op = parsed->op;
+  response.key = parsed->key;
+  response.opaque = parsed->opaque;
+  switch (parsed->op) {
+    case McOpcode::kGet: {
+      const auto it = store_.find(parsed->key);
+      if (it != store_.end()) {
+        response.status = McStatus::kNoError;
+        response.value = it->second.value;
+        response.flags = it->second.flags;
+        Touch(parsed->key);
+      } else {
+        response.status = McStatus::kKeyNotFound;
+      }
+      break;
+    }
+    case McOpcode::kSet: {
+      auto it = store_.find(parsed->key);
+      if (it != store_.end()) {
+        it->second.value = parsed->value;
+        it->second.flags = parsed->flags;
+        Touch(parsed->key);
+      } else {
+        if (store_.size() >= capacity_ && !lru_.empty()) {
+          store_.erase(lru_.back());
+          lru_.pop_back();
+        }
+        lru_.push_front(parsed->key);
+        store_[parsed->key] = Entry{parsed->value, parsed->flags, lru_.begin()};
+      }
+      response.status = McStatus::kNoError;
+      break;
+    }
+    case McOpcode::kDelete: {
+      auto it = store_.find(parsed->key);
+      if (it != store_.end()) {
+        lru_.erase(it->second.lru_position);
+        store_.erase(it);
+        response.status = McStatus::kNoError;
+      } else {
+        response.status = McStatus::kKeyNotFound;
+      }
+      break;
+    }
+  }
+  return ReverseUdp(request, BuildMcResponse(response));
+}
+
+std::optional<Packet> HostNat::HandleRequest(const Packet& request) {
+  Packet frame = request;
+  Ipv4View ip(frame);
+  if (!ip.Valid() ||
+      (!ip.ProtocolIs(IpProtocol::kUdp) && !ip.ProtocolIs(IpProtocol::kTcp))) {
+    return std::nullopt;
+  }
+  const bool is_udp = ip.ProtocolIs(IpProtocol::kUdp);
+  const usize l4 = ip.payload_offset();
+  const usize segment_length = ip.total_length() - ip.HeaderBytes();
+  EthernetView eth(frame);
+
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  if (is_udp) {
+    UdpView udp(frame, l4);
+    src_port = udp.source_port();
+    dst_port = udp.destination_port();
+  } else {
+    TcpView tcp(frame, l4);
+    src_port = tcp.source_port();
+    dst_port = tcp.destination_port();
+  }
+
+  bool rewritten = false;
+  if (ip.source().InSubnet(config_.internal_subnet, config_.internal_prefix)) {
+    // Outbound.
+    const u64 key = (static_cast<u64>(is_udp) << 63) |
+                    (static_cast<u64>(ip.source().value()) << 16) | src_port;
+    auto it = out_map_.find(key);
+    u16 ext_port;
+    if (it != out_map_.end()) {
+      ext_port = it->second;
+    } else {
+      ext_port = static_cast<u16>(config_.port_base + next_port_++);
+      out_map_[key] = ext_port;
+      in_map_[ext_port] = Mapping{ip.source(), src_port, eth.source()};
+    }
+    ip.set_source(config_.external_ip);
+    if (is_udp) {
+      UdpView udp(frame, l4);
+      udp.set_source_port(ext_port);
+    } else {
+      TcpView tcp(frame, l4);
+      tcp.set_source_port(ext_port);
+    }
+    eth.set_source(config_.external_mac);
+    eth.set_destination(config_.external_gateway_mac);
+    rewritten = true;
+  } else if (ip.destination() == config_.external_ip) {
+    const auto it = in_map_.find(dst_port);
+    if (it == in_map_.end()) {
+      return std::nullopt;
+    }
+    ip.set_destination(it->second.internal_ip);
+    if (is_udp) {
+      UdpView udp(frame, l4);
+      udp.set_destination_port(it->second.internal_port);
+    } else {
+      TcpView tcp(frame, l4);
+      tcp.set_destination_port(it->second.internal_port);
+    }
+    eth.set_destination(it->second.internal_mac);
+    rewritten = true;
+  }
+  if (!rewritten) {
+    return std::nullopt;
+  }
+  ip.set_ttl(ip.ttl() > 0 ? ip.ttl() - 1 : 0);
+  ip.UpdateChecksum();
+  if (is_udp) {
+    UdpView udp(frame, l4);
+    udp.UpdateChecksum(ip);
+  } else {
+    TcpView tcp(frame, l4);
+    tcp.UpdateChecksum(ip, segment_length);
+  }
+  return frame;
+}
+
+}  // namespace emu

@@ -1,0 +1,121 @@
+// Host-software implementations of the Table 4 services.
+//
+// These are the "Linux native counterparts" (§5.4): straightforward software
+// written against ordinary data structures (hash maps, list-based LRU),
+// functionally equivalent to the Emu services but running behind the
+// HostStackModel's kernel-path timing rather than the FPGA pipeline. Each
+// exposes the same packet-in/packet-out shape so the benches can drive both
+// sides with identical workloads.
+#ifndef SRC_HOSTNET_HOST_SERVICES_H_
+#define SRC_HOSTNET_HOST_SERVICES_H_
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/dns.h"
+#include "src/net/mac_address.h"
+#include "src/net/memcached.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+// Shared shape: consume a request frame, produce at most one response frame.
+class HostService {
+ public:
+  virtual ~HostService() = default;
+  virtual std::optional<Packet> HandleRequest(const Packet& request) = 0;
+};
+
+class HostIcmpEcho : public HostService {
+ public:
+  HostIcmpEcho(MacAddress mac, Ipv4Address ip) : mac_(mac), ip_(ip) {}
+  std::optional<Packet> HandleRequest(const Packet& request) override;
+
+ private:
+  MacAddress mac_;
+  Ipv4Address ip_;
+};
+
+class HostTcpPing : public HostService {
+ public:
+  HostTcpPing(MacAddress mac, Ipv4Address ip, std::vector<u16> open_ports)
+      : mac_(mac), ip_(ip), open_ports_(std::move(open_ports)) {}
+  std::optional<Packet> HandleRequest(const Packet& request) override;
+
+ private:
+  MacAddress mac_;
+  Ipv4Address ip_;
+  std::vector<u16> open_ports_;
+};
+
+class HostDns : public HostService {
+ public:
+  HostDns(MacAddress mac, Ipv4Address ip) : mac_(mac), ip_(ip) {}
+  void AddRecord(const std::string& name, Ipv4Address address) { zone_[name] = address; }
+  std::optional<Packet> HandleRequest(const Packet& request) override;
+
+ private:
+  MacAddress mac_;
+  Ipv4Address ip_;
+  std::unordered_map<std::string, Ipv4Address> zone_;
+};
+
+class HostMemcached : public HostService {
+ public:
+  HostMemcached(MacAddress mac, Ipv4Address ip, McProtocol protocol, usize capacity)
+      : mac_(mac), ip_(ip), protocol_(protocol), capacity_(capacity) {}
+  std::optional<Packet> HandleRequest(const Packet& request) override;
+
+  usize size() const { return store_.size(); }
+
+ private:
+  struct Entry {
+    std::string value;
+    u32 flags;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  void Touch(const std::string& key);
+
+  MacAddress mac_;
+  Ipv4Address ip_;
+  McProtocol protocol_;
+  usize capacity_;
+  std::unordered_map<std::string, Entry> store_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+class HostNat : public HostService {
+ public:
+  struct Config {
+    Ipv4Address external_ip = Ipv4Address(203, 0, 113, 1);
+    MacAddress external_mac = MacAddress::FromU48(0x02'00'00'00'bb'00);
+    MacAddress external_gateway_mac = MacAddress::FromU48(0x02'ff'ff'ff'ff'01);
+    Ipv4Address internal_subnet = Ipv4Address(192, 168, 1, 0);
+    u32 internal_prefix = 24;
+    u16 port_base = 40000;
+  };
+
+  explicit HostNat(Config config) : config_(config) {}
+  std::optional<Packet> HandleRequest(const Packet& request) override;
+
+  usize active_mappings() const { return out_map_.size(); }
+
+ private:
+  struct Mapping {
+    Ipv4Address internal_ip;
+    u16 internal_port;
+    MacAddress internal_mac;
+  };
+
+  Config config_;
+  std::unordered_map<u64, u16> out_map_;      // flow key -> external port
+  std::unordered_map<u16, Mapping> in_map_;   // external port -> internal
+  u16 next_port_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HOSTNET_HOST_SERVICES_H_

@@ -1,0 +1,76 @@
+// Host (Linux) network-stack latency and capacity model.
+//
+// Table 4's host column comes from real services on a 3.5 GHz Xeon behind an
+// Intel 82599 NIC. We reproduce the mechanisms that shape those numbers:
+//   - a fixed kernel path (NIC DMA, IRQ, softirq, socket wakeup, syscall
+//     in/out) plus per-byte copy cost;
+//   - right-skewed jitter (lognormal) from cache misses and softirq timing;
+//   - occasional large spikes (scheduler preemption, IRQ coalescing
+//     boundaries) that create the heavy 99th percentile the paper contrasts
+//     with Emu's flat tail;
+//   - a per-request CPU service time that caps throughput at
+//     cores / service_time, which queueing pushes latency against.
+// All sampling is from a deterministic seeded Rng.
+#ifndef SRC_HOSTNET_HOST_STACK_MODEL_H_
+#define SRC_HOSTNET_HOST_STACK_MODEL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace emu {
+
+struct HostStackParams {
+  // One-way kernel path cost, microseconds (doubled for request+reply).
+  double base_us = 4.0;
+  // Copy/processing cost per payload byte, nanoseconds.
+  double per_byte_ns = 2.0;
+  // Application-level service time per request on one core, microseconds.
+  // Also the throughput bound: max qps = cores / service_us.
+  double service_us = 1.0;
+  // Lognormal jitter scale (sigma) applied to the whole path.
+  double jitter_sigma = 0.18;
+  // Probability and scale of a scheduling/IRQ spike.
+  double spike_probability = 0.008;
+  double spike_scale_us = 40.0;
+  // Worker cores serving requests (the paper reconfigures the host for max
+  // throughput per test).
+  u32 cores = 1;
+};
+
+// Pre-fitted parameter sets matching the Table 4 host rows.
+HostStackParams HostIcmpEchoParams();
+HostStackParams HostTcpPingParams();
+HostStackParams HostDnsParams();
+HostStackParams HostNatParams();
+HostStackParams HostMemcachedParams();
+
+class HostStackModel {
+ public:
+  HostStackModel(HostStackParams params, u64 seed);
+
+  const HostStackParams& params() const { return params_; }
+
+  // Latency of a single unloaded request/response exchange (the Table 4
+  // latency methodology: pinned core, warm cache, one request at a time).
+  Picoseconds SampleUnloadedRtt(usize request_bytes);
+
+  // Full queueing path: a request arriving at `arrival` is served by the
+  // next free worker; returns its departure time. Models saturation for the
+  // throughput rate search.
+  Picoseconds ServeRequest(Picoseconds arrival, usize request_bytes);
+
+  void ResetQueue();
+
+ private:
+  double SampleStackUs(usize request_bytes);
+
+  HostStackParams params_;
+  Rng rng_;
+  std::vector<Picoseconds> worker_free_at_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_HOSTNET_HOST_STACK_MODEL_H_

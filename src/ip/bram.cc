@@ -1,0 +1,37 @@
+#include "src/ip/bram.h"
+
+#include <cassert>
+
+namespace emu {
+
+Bram::Bram(Simulator& sim, std::string name, usize words, usize word_bits)
+    : Module(sim, std::move(name)),
+      word_mask_(word_bits >= 64 ? ~u64{0} : (u64{1} << word_bits) - 1),
+      data_(words, 0) {
+  assert(words > 0);
+  assert(word_bits > 0 && word_bits <= 64);
+  AddResources(BramResources(words * word_bits));
+  sim.RegisterClocked(this);
+}
+
+// See the lifetime rule in simulator.h: no unregistration on destruction.
+Bram::~Bram() = default;
+
+u64 Bram::Read(usize addr) const {
+  assert(addr < data_.size());
+  return data_[addr];
+}
+
+void Bram::Write(usize addr, u64 value) {
+  assert(addr < data_.size());
+  pending_.push_back(PendingWrite{addr, value & word_mask_});
+}
+
+void Bram::Commit() {
+  for (const PendingWrite& write : pending_) {
+    data_[write.addr] = write.value;
+  }
+  pending_.clear();
+}
+
+}  // namespace emu

@@ -1,0 +1,50 @@
+#include "src/ip/cam.h"
+
+#include <cassert>
+
+namespace emu {
+
+Cam::Cam(Simulator& sim, std::string name, usize entries, usize key_bits, usize value_bits)
+    : Module(sim, std::move(name)),
+      key_bits_(key_bits),
+      key_mask_(key_bits >= 64 ? ~u64{0} : (u64{1} << key_bits) - 1),
+      slots_(entries) {
+  assert(entries > 0);
+  assert(key_bits > 0 && key_bits <= 64);
+  AddResources(CamIpResources(entries, key_bits, value_bits));
+  sim.RegisterClocked(this);
+}
+
+// See the lifetime rule in simulator.h: no unregistration on destruction.
+Cam::~Cam() = default;
+
+CamLookupResult Cam::Lookup(u64 key) const {
+  const u64 masked = key & key_mask_;
+  // A hardware CAM matches all entries in parallel and priority-encodes the
+  // lowest index; the linear scan models exactly that selection rule.
+  for (usize i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].valid && slots_[i].key == masked) {
+      return CamLookupResult{true, slots_[i].value, i};
+    }
+  }
+  return CamLookupResult{};
+}
+
+void Cam::Write(usize index, u64 key, u64 value) {
+  assert(index < slots_.size());
+  pending_.push_back(PendingWrite{index, Slot{true, key & key_mask_, value}});
+}
+
+void Cam::Invalidate(usize index) {
+  assert(index < slots_.size());
+  pending_.push_back(PendingWrite{index, Slot{}});
+}
+
+void Cam::Commit() {
+  for (const PendingWrite& write : pending_) {
+    slots_[write.index] = write.slot;
+  }
+  pending_.clear();
+}
+
+}  // namespace emu

@@ -1,0 +1,53 @@
+#include "src/ip/checksum_unit.h"
+
+namespace emu {
+
+ChecksumUnit::ChecksumUnit(Simulator& sim, std::string name) : Module(sim, std::move(name)) {
+  AddResources(ResourceUsage{180, 120, 0});
+}
+
+void ChecksumUnit::Reset() {
+  sum_ = 0;
+  high_byte_ = true;
+}
+
+void ChecksumUnit::AddByte(u8 byte) {
+  if (high_byte_) {
+    sum_ += static_cast<u64>(byte) << 8;
+  } else {
+    sum_ += byte;
+  }
+  high_byte_ = !high_byte_;
+}
+
+void ChecksumUnit::AddBytes(std::span<const u8> data) {
+  for (u8 byte : data) {
+    AddByte(byte);
+  }
+}
+
+void ChecksumUnit::Add16(u16 value) {
+  AddByte(static_cast<u8>(value >> 8));
+  AddByte(static_cast<u8>(value));
+}
+
+void ChecksumUnit::Add32(u32 value) {
+  Add16(static_cast<u16>(value >> 16));
+  Add16(static_cast<u16>(value));
+}
+
+u16 ChecksumUnit::Result() const {
+  u64 sum = sum_;
+  if (inject_fold_bug_) {
+    // The §5.5 bug: take the low 16 bits without folding the carries back
+    // in. Correct for short payloads, wrong as soon as the sum overflows
+    // 16 bits — exactly the kind of bug invisible in small simulations.
+    return static_cast<u16>(~sum & 0xffff);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+}  // namespace emu

@@ -1,0 +1,46 @@
+// Internet-checksum offload block (RFC 1071 one's-complement sum).
+//
+// Services push header/payload bytes through the unit and read the folded
+// 16-bit checksum. §5.5 recounts finding a checksum bug in the Memcached
+// service via direction packets: the hardware computed a different sum than
+// the simulation. `InjectFoldBug(true)` reproduces that bug (it skips the
+// final carry fold) so the debug example can re-enact the hunt.
+#ifndef SRC_IP_CHECKSUM_UNIT_H_
+#define SRC_IP_CHECKSUM_UNIT_H_
+
+#include <span>
+
+#include "src/common/types.h"
+#include "src/hdl/module.h"
+
+namespace emu {
+
+class ChecksumUnit : public Module {
+ public:
+  ChecksumUnit(Simulator& sim, std::string name);
+
+  void Reset();
+  void AddByte(u8 byte);
+  void AddBytes(std::span<const u8> data);
+  void Add16(u16 value);
+  void Add32(u32 value);
+
+  // Folded, complemented RFC 1071 checksum of everything added since Reset().
+  u16 Result() const;
+
+  // Cycles the hardware needs for the bytes absorbed since Reset(): the unit
+  // folds 8 bytes per cycle plus one fold/complement cycle.
+  Cycle CyclesForBytes(usize bytes) const { return bytes / 8 + 1; }
+
+  void InjectFoldBug(bool enabled) { inject_fold_bug_ = enabled; }
+  bool fold_bug_injected() const { return inject_fold_bug_; }
+
+ private:
+  u64 sum_ = 0;
+  bool high_byte_ = true;  // big-endian byte pairing state
+  bool inject_fold_bug_ = false;
+};
+
+}  // namespace emu
+
+#endif  // SRC_IP_CHECKSUM_UNIT_H_

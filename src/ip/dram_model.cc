@@ -1,0 +1,49 @@
+#include "src/ip/dram_model.h"
+
+#include <cassert>
+
+namespace emu {
+
+DramModel::DramModel(Simulator& sim, std::string name, usize bytes, DramTiming timing)
+    : Module(sim, std::move(name)),
+      size_bytes_(bytes),
+      timing_(timing),
+      open_row_(timing.banks, kNoRow) {
+  // The DRAM controller occupies fabric; the DRAM itself is off-chip and
+  // contributes no BRAM.
+  AddResources(ResourceUsage{1800, 2400, 4});
+}
+
+Cycle DramModel::AccessLatency(usize addr, Cycle now) {
+  assert(addr < size_bytes_);
+  Cycle latency = timing_.base_latency;
+
+  const usize bank = BankOf(addr);
+  const usize row = RowOf(addr);
+  if (open_row_[bank] != row) {
+    latency += timing_.row_miss_penalty;
+    open_row_[bank] = row;
+  }
+
+  // If the access lands inside (or just before the end of) a refresh window,
+  // it stalls until the window closes. This is the source of the latency
+  // variance §5.4 warns about.
+  const Cycle phase = now % timing_.refresh_interval;
+  if (phase < timing_.refresh_duration) {
+    latency += timing_.refresh_duration - phase;
+  }
+  return latency;
+}
+
+u64 DramModel::Read(usize addr) {
+  assert(addr < size_bytes_);
+  const auto it = contents_.find(addr);
+  return it == contents_.end() ? 0 : it->second;
+}
+
+void DramModel::Write(usize addr, u64 value) {
+  assert(addr < size_bytes_);
+  contents_[addr] = value;
+}
+
+}  // namespace emu

@@ -1,0 +1,59 @@
+// On-board DRAM model.
+//
+// §5.4 contrasts memory options for scaling Memcached: on-board DDR3 has a
+// size advantage "but the disadvantage of increased and variable latency
+// (e.g., due to DRAM refreshes)". This model reproduces that behaviour:
+//   - a fixed controller + CAS base latency,
+//   - an extra row-activate penalty on row-buffer misses,
+//   - a periodic refresh window (tREFI) during which accesses stall.
+// Latency is a deterministic function of (address, cycle), so experiments
+// replay identically.
+#ifndef SRC_IP_DRAM_MODEL_H_
+#define SRC_IP_DRAM_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hdl/module.h"
+
+namespace emu {
+
+struct DramTiming {
+  // All in cycles of the attached fabric clock (200 MHz -> 5 ns/cycle).
+  Cycle base_latency = 10;        // controller queue + CAS for a row hit
+  Cycle row_miss_penalty = 8;     // precharge + activate
+  Cycle refresh_interval = 1560;  // tREFI: 7.8 us at 200 MHz
+  Cycle refresh_duration = 52;    // tRFC: 260 ns at 200 MHz
+  usize row_bytes = 2048;
+  usize banks = 8;
+};
+
+class DramModel : public Module {
+ public:
+  DramModel(Simulator& sim, std::string name, usize bytes, DramTiming timing = DramTiming{});
+
+  usize size_bytes() const { return size_bytes_; }
+
+  // Latency of an access issued at `now` to byte address `addr` (updates the
+  // per-bank open-row state, so call order matters, as in hardware).
+  Cycle AccessLatency(usize addr, Cycle now);
+
+  u64 Read(usize addr);
+  void Write(usize addr, u64 value);
+
+ private:
+  usize BankOf(usize addr) const { return (addr / timing_.row_bytes) % timing_.banks; }
+  usize RowOf(usize addr) const { return addr / (timing_.row_bytes * timing_.banks); }
+
+  usize size_bytes_;
+  DramTiming timing_;
+  std::vector<usize> open_row_;  // per bank; kNoRow when closed
+  std::unordered_map<usize, u64> contents_;
+
+  static constexpr usize kNoRow = static_cast<usize>(-1);
+};
+
+}  // namespace emu
+
+#endif  // SRC_IP_DRAM_MODEL_H_

@@ -1,0 +1,72 @@
+#include "src/ip/hash_cam.h"
+
+#include <cassert>
+
+#include "src/ip/pearson_hash.h"
+
+namespace emu {
+namespace {
+
+usize RoundUpPow2(usize v) {
+  usize p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+HashCam::HashCam(Simulator& sim, std::string name, usize buckets)
+    : Module(sim, std::move(name)), table_(RoundUpPow2(buckets)), mask_(table_.size() - 1) {
+  assert(buckets > 0);
+  // key + index + valid per bucket in BRAM; hash core + probe FSM in fabric.
+  AddResources(BramResources(table_.size() * (64 + 64 + 1)) + ResourceUsage{320, 180, 1});
+}
+
+usize HashCam::Slot(u64 key, usize probe) const {
+  return (static_cast<usize>(PearsonHash64(key)) + probe) & mask_;
+}
+
+u64 HashCam::Read(u64 key) {
+  for (usize probe = 0; probe < kProbeLimit; ++probe) {
+    const Bucket& bucket = table_[Slot(key, probe)];
+    if (bucket.valid && bucket.key == key) {
+      matched_ = true;
+      return bucket.index;
+    }
+  }
+  matched_ = false;
+  return 0;
+}
+
+bool HashCam::Write(u64 key, u64 index) {
+  // First pass: update in place if the key is already bound.
+  for (usize probe = 0; probe < kProbeLimit; ++probe) {
+    Bucket& bucket = table_[Slot(key, probe)];
+    if (bucket.valid && bucket.key == key) {
+      bucket.index = index;
+      return true;
+    }
+  }
+  for (usize probe = 0; probe < kProbeLimit; ++probe) {
+    Bucket& bucket = table_[Slot(key, probe)];
+    if (!bucket.valid) {
+      bucket = Bucket{true, key, index};
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashCam::Erase(u64 key) {
+  for (usize probe = 0; probe < kProbeLimit; ++probe) {
+    Bucket& bucket = table_[Slot(key, probe)];
+    if (bucket.valid && bucket.key == key) {
+      bucket.valid = false;
+      return;
+    }
+  }
+}
+
+}  // namespace emu

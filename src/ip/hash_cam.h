@@ -1,0 +1,58 @@
+// HashCAM: hash-indexed associative memory (Fig. 9).
+//
+// The paper's LRU cache pairs a HashCAM (key -> slot index, with a `matched`
+// flag) with the NaughtyQ recency queue. This block models a Pearson-hashed,
+// limited-probe open-addressing table: Read(key) sets `matched` and returns
+// the stored index; Write(key, idx) installs or updates a binding; Erase(key)
+// removes one (needed when NaughtyQ evicts). The probe limit models the fixed
+// lookup pipeline a hardware table has — beyond it, Write simply fails, which
+// callers treat as a capacity miss.
+#ifndef SRC_IP_HASH_CAM_H_
+#define SRC_IP_HASH_CAM_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hdl/module.h"
+
+namespace emu {
+
+class HashCam : public Module {
+ public:
+  static constexpr usize kProbeLimit = 8;
+
+  // `buckets` is rounded up to a power of two.
+  HashCam(Simulator& sim, std::string name, usize buckets);
+
+  usize buckets() const { return table_.size(); }
+
+  // True when the last Read() found its key (the Fig. 9 `HashCAM.matched`).
+  bool matched() const { return matched_; }
+
+  // Returns the index bound to `key` (0 when unmatched; check matched()).
+  u64 Read(u64 key);
+
+  // Installs or updates key -> index. Returns false when the probe window is
+  // exhausted (capacity miss).
+  bool Write(u64 key, u64 index);
+
+  // Removes the binding for `key` if present.
+  void Erase(u64 key);
+
+ private:
+  struct Bucket {
+    bool valid = false;
+    u64 key = 0;
+    u64 index = 0;
+  };
+
+  usize Slot(u64 key, usize probe) const;
+
+  std::vector<Bucket> table_;
+  usize mask_;
+  bool matched_ = false;
+};
+
+}  // namespace emu
+
+#endif  // SRC_IP_HASH_CAM_H_

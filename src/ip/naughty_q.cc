@@ -1,0 +1,108 @@
+#include "src/ip/naughty_q.h"
+
+#include <cassert>
+
+namespace emu {
+
+NaughtyQ::NaughtyQ(Simulator& sim, std::string name, usize capacity)
+    : Module(sim, std::move(name)), slots_(capacity) {
+  assert(capacity > 0);
+  free_list_.reserve(capacity);
+  for (usize i = capacity; i-- > 0;) {
+    free_list_.push_back(i);
+  }
+  // Value + prev/next pointer storage in BRAM, plus queue-control logic.
+  AddResources(BramResources(capacity * (64 + 2 * 16)) + ResourceUsage{120, 96, 0});
+}
+
+NaughtyQ::EnlistResult NaughtyQ::Enlist(u64 value) {
+  EnlistResult result;
+  if (free_list_.empty()) {
+    // Evict the least recently used slot and reuse it.
+    assert(head_ != kNil);
+    const usize victim = head_;
+    result.evicted = true;
+    result.evicted_value = slots_[victim].value;
+    Unlink(victim);
+    --size_;
+    free_list_.push_back(victim);
+  }
+  const usize index = free_list_.back();
+  free_list_.pop_back();
+  slots_[index].value = value;
+  slots_[index].in_use = true;
+  PushBack(index);
+  ++size_;
+  result.index = index;
+  return result;
+}
+
+u64 NaughtyQ::Read(usize index) const {
+  assert(index < slots_.size() && slots_[index].in_use);
+  return slots_[index].value;
+}
+
+void NaughtyQ::BackOfQ(usize index) {
+  assert(index < slots_.size() && slots_[index].in_use);
+  if (tail_ == index) {
+    return;
+  }
+  Unlink(index);
+  PushBack(index);
+}
+
+void NaughtyQ::FrontOfQ(usize index) {
+  assert(index < slots_.size() && slots_[index].in_use);
+  if (head_ == index) {
+    return;
+  }
+  Unlink(index);
+  PushFront(index);
+}
+
+void NaughtyQ::Unlink(usize index) {
+  Slot& slot = slots_[index];
+  if (slot.prev != kNil) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+  slot.prev = kNil;
+  slot.next = kNil;
+  slot.in_use = false;
+}
+
+void NaughtyQ::PushBack(usize index) {
+  Slot& slot = slots_[index];
+  slot.prev = tail_;
+  slot.next = kNil;
+  slot.in_use = true;
+  if (tail_ != kNil) {
+    slots_[tail_].next = index;
+  }
+  tail_ = index;
+  if (head_ == kNil) {
+    head_ = index;
+  }
+}
+
+void NaughtyQ::PushFront(usize index) {
+  Slot& slot = slots_[index];
+  slot.prev = kNil;
+  slot.next = head_;
+  slot.in_use = true;
+  if (head_ != kNil) {
+    slots_[head_].prev = index;
+  }
+  head_ = index;
+  if (tail_ == kNil) {
+    tail_ = index;
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,70 @@
+// NaughtyQ: the recency queue behind the paper's LRU cache (Fig. 9).
+//
+// A fixed-capacity queue of values addressed by stable slot index:
+//   - Enlist(value): allocate a slot at the back (most recent); if the queue
+//     is full, the front (least recent) slot is evicted and reused, and the
+//     caller learns which value fell out so it can invalidate its HashCAM
+//     entry;
+//   - Read(idx): fetch a slot's value;
+//   - BackOfQ(idx): move a slot to the back (touch on cache hit).
+// Implemented as a doubly-linked list threaded through a fixed array, which
+// is also how the hardware block would be laid out in BRAM.
+#ifndef SRC_IP_NAUGHTY_Q_H_
+#define SRC_IP_NAUGHTY_Q_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hdl/module.h"
+
+namespace emu {
+
+class NaughtyQ : public Module {
+ public:
+  struct EnlistResult {
+    usize index = 0;
+    bool evicted = false;
+    u64 evicted_value = 0;
+  };
+
+  NaughtyQ(Simulator& sim, std::string name, usize capacity);
+
+  usize capacity() const { return slots_.size(); }
+  usize size() const { return size_; }
+  bool Full() const { return size_ == slots_.size(); }
+
+  EnlistResult Enlist(u64 value);
+  u64 Read(usize index) const;
+  void BackOfQ(usize index);
+  // Demotes a slot to the front (least recently used) so it is the next one
+  // evicted — used to recycle erased entries.
+  void FrontOfQ(usize index);
+
+  // Index of the least-recently-used slot (front of queue); only valid when
+  // the queue is non-empty.
+  usize FrontIndex() const { return head_; }
+
+ private:
+  struct Slot {
+    u64 value = 0;
+    usize prev = kNil;
+    usize next = kNil;
+    bool in_use = false;
+  };
+
+  void Unlink(usize index);
+  void PushBack(usize index);
+  void PushFront(usize index);
+
+  static constexpr usize kNil = static_cast<usize>(-1);
+
+  std::vector<Slot> slots_;
+  std::vector<usize> free_list_;
+  usize head_ = kNil;  // least recently used
+  usize tail_ = kNil;  // most recently used
+  usize size_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_IP_NAUGHTY_Q_H_

@@ -1,0 +1,50 @@
+#include "src/ip/speck_cipher.h"
+
+namespace emu {
+namespace {
+
+constexpr u32 Ror(u32 x, u32 r) { return (x >> r) | (x << (32 - r)); }
+constexpr u32 Rol(u32 x, u32 r) { return (x << r) | (x >> (32 - r)); }
+
+}  // namespace
+
+SpeckCipher::SpeckCipher(Simulator& sim, std::string name, const Key& key)
+    : Module(sim, std::move(name)) {
+  // Key schedule (Speck64/128: m = 4 key words).
+  u32 k = key[0];
+  u32 l[kSpeckRounds + 2] = {key[1], key[2], key[3]};
+  for (usize i = 0; i < kSpeckRounds; ++i) {
+    round_keys_[i] = k;
+    if (i + 1 < kSpeckRounds) {
+      l[i + 3] = (k + Ror(l[i], 8)) ^ static_cast<u32>(i);
+      k = Rol(k, 3) ^ l[i + 3];
+    }
+  }
+  // 27 unrolled ARX rounds + round-key registers.
+  AddResources(ResourceUsage{static_cast<u64>(kSpeckRounds) * 46,
+                             static_cast<u64>(kSpeckRounds) * 64, 0});
+}
+
+void SpeckCipher::EncryptBlock(u32& x, u32& y) const {
+  for (usize i = 0; i < kSpeckRounds; ++i) {
+    x = (Ror(x, 8) + y) ^ round_keys_[i];
+    y = Rol(y, 3) ^ x;
+  }
+}
+
+void SpeckCipher::CtrCrypt(u64 nonce, std::span<u8> data) const {
+  u64 counter = 0;
+  for (usize offset = 0; offset < data.size(); offset += 8, ++counter) {
+    const u64 block_in = nonce ^ (counter << 1) ^ (counter >> 63);
+    u32 x = static_cast<u32>(block_in >> 32) ^ static_cast<u32>(counter);
+    u32 y = static_cast<u32>(block_in);
+    EncryptBlock(x, y);
+    const u64 keystream = (static_cast<u64>(x) << 32) | y;
+    const usize n = std::min<usize>(8, data.size() - offset);
+    for (usize i = 0; i < n; ++i) {
+      data[offset + i] ^= static_cast<u8>(keystream >> (8 * i));
+    }
+  }
+}
+
+}  // namespace emu

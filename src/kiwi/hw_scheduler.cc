@@ -1,0 +1,2 @@
+// HwScheduler is header-only; see hw_scheduler.h.
+#include "src/kiwi/hw_scheduler.h"

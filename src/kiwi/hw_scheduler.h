@@ -1,0 +1,41 @@
+// Hardware-semantics scheduler (§3.4).
+//
+// Kiwi's hardware semantics turn parallel threads into parallel logical
+// sub-circuits advancing in lock step with the clock; HwScheduler is that
+// interpretation: a Simulator at a real clock rate, where Pause() costs one
+// cycle of wall-clock time (5 ns at the NetFPGA's 200 MHz).
+#ifndef SRC_KIWI_HW_SCHEDULER_H_
+#define SRC_KIWI_HW_SCHEDULER_H_
+
+#include <functional>
+
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+class HwScheduler {
+ public:
+  explicit HwScheduler(u64 clock_hz = Simulator::kNetFpgaClockHz) : sim_(clock_hz) {}
+
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+
+  Picoseconds CyclesToPs(Cycle cycles) const {
+    return static_cast<Picoseconds>(cycles) * sim_.cycle_period_ps();
+  }
+
+  Cycle PsToCycles(Picoseconds ps) const {
+    return static_cast<Cycle>((ps + sim_.cycle_period_ps() - 1) / sim_.cycle_period_ps());
+  }
+
+  bool RunUntil(const std::function<bool()>& done, Cycle limit) {
+    return sim_.RunUntil(done, limit);
+  }
+
+ private:
+  Simulator sim_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_KIWI_HW_SCHEDULER_H_

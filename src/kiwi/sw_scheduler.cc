@@ -1,0 +1,2 @@
+// SwScheduler is header-only; see sw_scheduler.h.
+#include "src/kiwi/sw_scheduler.h"

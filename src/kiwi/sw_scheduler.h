@@ -1,0 +1,40 @@
+// Software-semantics scheduler (§3.4).
+//
+// Kiwi's software semantics reduce the same thread/Pause constructs to
+// ordinary .NET concurrency: Pause() is a cooperative yield with no hardware
+// time attached. SwScheduler runs the identical service coroutines on the
+// same kernel, but a "step" is a scheduling quantum, not a clock edge — this
+// is the x86 debug/run environment of Fig. 1 (steps A3/A4).
+#ifndef SRC_KIWI_SW_SCHEDULER_H_
+#define SRC_KIWI_SW_SCHEDULER_H_
+
+#include <functional>
+
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+class SwScheduler {
+ public:
+  SwScheduler() : sim_(1'000'000'000) {}  // nominal 1 GHz quantum clock
+
+  Simulator& sim() { return sim_; }
+
+  // Runs quanta until `done()` or the budget runs out.
+  bool RunUntil(const std::function<bool()>& done, usize max_quanta) {
+    return sim_.RunUntil(done, max_quanta);
+  }
+
+  // Runs until every process has finished (services loop forever, so this is
+  // mainly for finite test programs).
+  void RunToCompletion(usize max_quanta) {
+    sim_.RunUntil([this] { return sim_.live_process_count() == 0; }, max_quanta);
+  }
+
+ private:
+  Simulator sim_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_KIWI_SW_SCHEDULER_H_

@@ -1,0 +1,84 @@
+#include "src/net/arp.h"
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+
+bool ArpView::Valid() const {
+  return packet_.size() >= offset_ + kArpPacketSize && htype() == 1 && ptype() == 0x0800 &&
+         hlen() == 6 && plen() == 4;
+}
+
+u16 ArpView::htype() const { return BitUtil::Get16(packet_.bytes(), offset_); }
+u16 ArpView::ptype() const { return BitUtil::Get16(packet_.bytes(), offset_ + 2); }
+u8 ArpView::hlen() const { return BitUtil::Get8(packet_.bytes(), offset_ + 4); }
+u8 ArpView::plen() const { return BitUtil::Get8(packet_.bytes(), offset_ + 5); }
+u16 ArpView::oper_raw() const { return BitUtil::Get16(packet_.bytes(), offset_ + 6); }
+
+void ArpView::set_oper(ArpOper oper) {
+  BitUtil::Set16(packet_.bytes(), offset_ + 6, static_cast<u16>(oper));
+}
+
+MacAddress ArpView::sender_mac() const {
+  return MacAddress::FromU48(BitUtil::Get48(packet_.bytes(), offset_ + 8));
+}
+void ArpView::set_sender_mac(MacAddress mac) {
+  BitUtil::Set48(packet_.bytes(), offset_ + 8, mac.ToU48());
+}
+
+Ipv4Address ArpView::sender_ip() const {
+  return Ipv4Address(BitUtil::Get32(packet_.bytes(), offset_ + 14));
+}
+void ArpView::set_sender_ip(Ipv4Address ip) {
+  BitUtil::Set32(packet_.bytes(), offset_ + 14, ip.value());
+}
+
+MacAddress ArpView::target_mac() const {
+  return MacAddress::FromU48(BitUtil::Get48(packet_.bytes(), offset_ + 18));
+}
+void ArpView::set_target_mac(MacAddress mac) {
+  BitUtil::Set48(packet_.bytes(), offset_ + 18, mac.ToU48());
+}
+
+Ipv4Address ArpView::target_ip() const {
+  return Ipv4Address(BitUtil::Get32(packet_.bytes(), offset_ + 24));
+}
+void ArpView::set_target_ip(Ipv4Address ip) {
+  BitUtil::Set32(packet_.bytes(), offset_ + 24, ip.value());
+}
+
+void ArpView::WriteFixedFields() {
+  BitUtil::Set16(packet_.bytes(), offset_, 1);           // Ethernet
+  BitUtil::Set16(packet_.bytes(), offset_ + 2, 0x0800);  // IPv4
+  BitUtil::Set8(packet_.bytes(), offset_ + 4, 6);
+  BitUtil::Set8(packet_.bytes(), offset_ + 5, 4);
+}
+
+Packet MakeArpRequest(MacAddress sender_mac, Ipv4Address sender_ip, Ipv4Address target_ip) {
+  std::vector<u8> body(kArpPacketSize, 0);
+  Packet frame = MakeEthernetFrame(MacAddress::Broadcast(), sender_mac, EtherType::kArp, body);
+  ArpView arp(frame);
+  arp.WriteFixedFields();
+  arp.set_oper(ArpOper::kRequest);
+  arp.set_sender_mac(sender_mac);
+  arp.set_sender_ip(sender_ip);
+  arp.set_target_mac(MacAddress());
+  arp.set_target_ip(target_ip);
+  return frame;
+}
+
+Packet MakeArpReply(MacAddress sender_mac, Ipv4Address sender_ip, MacAddress target_mac,
+                    Ipv4Address target_ip) {
+  std::vector<u8> body(kArpPacketSize, 0);
+  Packet frame = MakeEthernetFrame(target_mac, sender_mac, EtherType::kArp, body);
+  ArpView arp(frame);
+  arp.WriteFixedFields();
+  arp.set_oper(ArpOper::kReply);
+  arp.set_sender_mac(sender_mac);
+  arp.set_sender_ip(sender_ip);
+  arp.set_target_mac(target_mac);
+  arp.set_target_ip(target_ip);
+  return frame;
+}
+
+}  // namespace emu

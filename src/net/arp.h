@@ -1,0 +1,56 @@
+// ARP over Ethernet (the paper's ARPWrapper, Fig. 3; used by the NAT).
+#ifndef SRC_NET_ARP_H_
+#define SRC_NET_ARP_H_
+
+#include "src/net/ethernet.h"
+#include "src/net/mac_address.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+enum class ArpOper : u16 {
+  kRequest = 1,
+  kReply = 2,
+};
+
+inline constexpr usize kArpPacketSize = 28;  // Ethernet/IPv4 ARP body
+
+class ArpView {
+ public:
+  explicit ArpView(Packet& packet, usize offset = kEthernetHeaderSize)
+      : packet_(packet), offset_(offset) {}
+
+  bool Valid() const;
+
+  u16 htype() const;
+  u16 ptype() const;
+  u8 hlen() const;
+  u8 plen() const;
+  u16 oper_raw() const;
+  void set_oper(ArpOper oper);
+  bool OperIs(ArpOper oper) const { return oper_raw() == static_cast<u16>(oper); }
+
+  MacAddress sender_mac() const;
+  void set_sender_mac(MacAddress mac);
+  Ipv4Address sender_ip() const;
+  void set_sender_ip(Ipv4Address ip);
+  MacAddress target_mac() const;
+  void set_target_mac(MacAddress mac);
+  Ipv4Address target_ip() const;
+  void set_target_ip(Ipv4Address ip);
+
+  // Writes the fixed htype/ptype/hlen/plen preamble for Ethernet/IPv4.
+  void WriteFixedFields();
+
+ private:
+  Packet& packet_;
+  usize offset_;
+};
+
+Packet MakeArpRequest(MacAddress sender_mac, Ipv4Address sender_ip, Ipv4Address target_ip);
+Packet MakeArpReply(MacAddress sender_mac, Ipv4Address sender_ip, MacAddress target_mac,
+                    Ipv4Address target_ip);
+
+}  // namespace emu
+
+#endif  // SRC_NET_ARP_H_

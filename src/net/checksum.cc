@@ -1,0 +1,40 @@
+#include "src/net/checksum.h"
+
+namespace emu {
+
+u64 ChecksumPartial(std::span<const u8> data, u64 sum) {
+  usize i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<u64>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<u64>(data[i]) << 8;
+  }
+  return sum;
+}
+
+u16 ChecksumFinish(u64 sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+u16 InternetChecksum(std::span<const u8> data) {
+  return ChecksumFinish(ChecksumPartial(data, 0));
+}
+
+u16 TransportChecksum(Ipv4Address src, Ipv4Address dst, u8 protocol,
+                      std::span<const u8> segment) {
+  u64 sum = 0;
+  sum += (src.value() >> 16) & 0xffff;
+  sum += src.value() & 0xffff;
+  sum += (dst.value() >> 16) & 0xffff;
+  sum += dst.value() & 0xffff;
+  sum += protocol;
+  sum += segment.size();
+  sum = ChecksumPartial(segment, sum);
+  return ChecksumFinish(sum);
+}
+
+}  // namespace emu

@@ -1,0 +1,29 @@
+// Software Internet checksum (RFC 1071) and the pseudo-header sums used by
+// UDP/TCP. The ChecksumUnit IP block (src/ip/checksum_unit.h) is the hardware
+// counterpart; tests cross-check the two.
+#ifndef SRC_NET_CHECKSUM_H_
+#define SRC_NET_CHECKSUM_H_
+
+#include <span>
+
+#include "src/common/types.h"
+#include "src/net/mac_address.h"
+
+namespace emu {
+
+// One's-complement sum of `data` (padded with a zero byte if odd), folded and
+// complemented.
+u16 InternetChecksum(std::span<const u8> data);
+
+// Running-sum helpers for multi-span checksums.
+u64 ChecksumPartial(std::span<const u8> data, u64 sum);
+u16 ChecksumFinish(u64 sum);
+
+// UDP/TCP checksum over the IPv4 pseudo header plus the L4 segment
+// (`segment` includes the L4 header with its checksum field zeroed).
+u16 TransportChecksum(Ipv4Address src, Ipv4Address dst, u8 protocol,
+                      std::span<const u8> segment);
+
+}  // namespace emu
+
+#endif  // SRC_NET_CHECKSUM_H_

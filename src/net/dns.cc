@@ -1,0 +1,307 @@
+#include "src/net/dns.h"
+
+#include <cstdio>
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+namespace {
+
+constexpr usize kMaxNameWireBytes = 255;
+constexpr usize kMaxLabelBytes = 63;
+
+void PutHeader(std::vector<u8>& out, const DnsHeader& header) {
+  out.resize(kDnsHeaderSize, 0);
+  BitUtil::Set16(out, 0, header.id);
+  u16 flags = 0;
+  flags |= static_cast<u16>(header.qr) << 15;
+  flags |= static_cast<u16>(header.opcode & 0xf) << 11;
+  flags |= static_cast<u16>(header.aa) << 10;
+  flags |= static_cast<u16>(header.tc) << 9;
+  flags |= static_cast<u16>(header.rd) << 8;
+  flags |= static_cast<u16>(header.ra) << 7;
+  flags |= static_cast<u16>(header.rcode) & 0xf;
+  BitUtil::Set16(out, 2, flags);
+  BitUtil::Set16(out, 4, header.qdcount);
+  BitUtil::Set16(out, 6, header.ancount);
+  BitUtil::Set16(out, 8, header.nscount);
+  BitUtil::Set16(out, 10, header.arcount);
+}
+
+Expected<DnsHeader> ReadHeader(std::span<const u8> message) {
+  if (message.size() < kDnsHeaderSize) {
+    return MalformedPacket("DNS message shorter than header");
+  }
+  DnsHeader header;
+  header.id = BitUtil::Get16(message, 0);
+  const u16 flags = BitUtil::Get16(message, 2);
+  header.qr = (flags >> 15) & 1;
+  header.opcode = (flags >> 11) & 0xf;
+  header.aa = (flags >> 10) & 1;
+  header.tc = (flags >> 9) & 1;
+  header.rd = (flags >> 8) & 1;
+  header.ra = (flags >> 7) & 1;
+  header.rcode = static_cast<DnsRcode>(flags & 0xf);
+  header.qdcount = BitUtil::Get16(message, 4);
+  header.ancount = BitUtil::Get16(message, 6);
+  header.nscount = BitUtil::Get16(message, 8);
+  header.arcount = BitUtil::Get16(message, 10);
+  return header;
+}
+
+// Decodes a wire-format name starting at `pos`; supports one level of
+// compression pointers (enough for messages this library emits). Advances
+// `pos` past the name in the original stream.
+Expected<std::string> DecodeName(std::span<const u8> message, usize& pos) {
+  std::string name;
+  usize cursor = pos;
+  bool jumped = false;
+  usize guard = 0;
+  for (;;) {
+    if (++guard > 64) {
+      return MalformedPacket("DNS name loop");
+    }
+    if (cursor >= message.size()) {
+      return MalformedPacket("DNS name runs past message");
+    }
+    const u8 len = message[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= message.size()) {
+        return MalformedPacket("truncated compression pointer");
+      }
+      const usize target = static_cast<usize>((len & 0x3f) << 8) | message[cursor + 1];
+      if (!jumped) {
+        pos = cursor + 2;
+        jumped = true;
+      }
+      if (target >= message.size()) {
+        return MalformedPacket("compression pointer out of range");
+      }
+      cursor = target;
+      continue;
+    }
+    if (len == 0) {
+      ++cursor;
+      break;
+    }
+    if (len > kMaxLabelBytes || cursor + 1 + len > message.size()) {
+      return MalformedPacket("bad DNS label");
+    }
+    if (!name.empty()) {
+      name += '.';
+    }
+    name.append(reinterpret_cast<const char*>(&message[cursor + 1]), len);
+    cursor += 1 + len;
+  }
+  if (!jumped) {
+    pos = cursor;
+  }
+  return name;
+}
+
+}  // namespace
+
+Ipv6Address Ipv6Address::FromBytes(std::span<const u8> bytes) {
+  Ipv6Address out;
+  for (usize i = 0; i < 16 && i < bytes.size(); ++i) {
+    out.octets[i] = bytes[i];
+  }
+  return out;
+}
+
+std::string Ipv6Address::ToString() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                octets[0], octets[1], octets[2], octets[3], octets[4], octets[5], octets[6],
+                octets[7], octets[8], octets[9], octets[10], octets[11], octets[12],
+                octets[13], octets[14], octets[15]);
+  return buf;
+}
+
+Expected<std::vector<u8>> EncodeDnsName(const std::string& name) {
+  std::vector<u8> out;
+  if (name.size() + 2 > kMaxNameWireBytes) {
+    return InvalidArgument("DNS name too long");
+  }
+  usize label_start = 0;
+  for (usize i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      const usize label_len = i - label_start;
+      if (label_len == 0 || label_len > kMaxLabelBytes) {
+        return InvalidArgument("bad DNS label length");
+      }
+      out.push_back(static_cast<u8>(label_len));
+      for (usize j = label_start; j < i; ++j) {
+        out.push_back(static_cast<u8>(name[j]));
+      }
+      label_start = i + 1;
+    }
+  }
+  out.push_back(0);
+  return out;
+}
+
+Expected<DnsQuery> ParseDnsQuery(std::span<const u8> message) {
+  auto header = ReadHeader(message);
+  if (!header.ok()) {
+    return header.status();
+  }
+  if (header->qr) {
+    return MalformedPacket("QR set on a query");
+  }
+  if (header->qdcount != 1) {
+    return UnsupportedProtocol("only single-question queries supported");
+  }
+  usize pos = kDnsHeaderSize;
+  auto name = DecodeName(message, pos);
+  if (!name.ok()) {
+    return name.status();
+  }
+  if (pos + 4 > message.size()) {
+    return MalformedPacket("question truncated");
+  }
+  DnsQuery query;
+  query.header = *header;
+  query.question.name = *name;
+  query.question.qtype = BitUtil::Get16(message, pos);
+  query.question.qclass = BitUtil::Get16(message, pos + 2);
+  return query;
+}
+
+std::vector<u8> BuildDnsQuery(u16 id, const std::string& name, u16 qtype) {
+  DnsHeader header;
+  header.id = id;
+  header.rd = false;  // the paper's server is non-recursive
+  header.qdcount = 1;
+  std::vector<u8> out;
+  PutHeader(out, header);
+  auto encoded = EncodeDnsName(name);
+  if (encoded.ok()) {
+    out.insert(out.end(), encoded->begin(), encoded->end());
+  } else {
+    out.push_back(0);  // root label fallback for invalid names
+  }
+  const usize qtail = out.size();
+  out.resize(qtail + 4);
+  BitUtil::Set16(out, qtail, qtype);
+  BitUtil::Set16(out, qtail + 2, kDnsClassIn);
+  return out;
+}
+
+namespace {
+
+std::vector<u8> BuildResponseCommon(const DnsQuery& query, DnsRcode rcode, u16 ancount) {
+  DnsHeader header;
+  header.id = query.header.id;
+  header.qr = true;
+  header.aa = true;
+  header.rd = query.header.rd;
+  header.rcode = rcode;
+  header.qdcount = 1;
+  header.ancount = ancount;
+  std::vector<u8> out;
+  PutHeader(out, header);
+  auto encoded = EncodeDnsName(query.question.name);
+  if (encoded.ok()) {
+    out.insert(out.end(), encoded->begin(), encoded->end());
+  } else {
+    out.push_back(0);
+  }
+  const usize qtail = out.size();
+  out.resize(qtail + 4);
+  BitUtil::Set16(out, qtail, query.question.qtype);
+  BitUtil::Set16(out, qtail + 2, query.question.qclass);
+  return out;
+}
+
+}  // namespace
+
+std::vector<u8> BuildDnsResponse(const DnsQuery& query, Ipv4Address address, u32 ttl) {
+  std::vector<u8> out = BuildResponseCommon(query, DnsRcode::kNoError, 1);
+  const usize answer = out.size();
+  out.resize(answer + 2 + 2 + 2 + 4 + 2 + 4);
+  // Compression pointer to the question name at offset 12.
+  BitUtil::Set16(out, answer, 0xc000 | kDnsHeaderSize);
+  BitUtil::Set16(out, answer + 2, kDnsTypeA);
+  BitUtil::Set16(out, answer + 4, kDnsClassIn);
+  BitUtil::Set32(out, answer + 6, ttl);
+  BitUtil::Set16(out, answer + 10, 4);  // RDLENGTH
+  BitUtil::Set32(out, answer + 12, address.value());
+  return out;
+}
+
+std::vector<u8> BuildDnsResponseAaaa(const DnsQuery& query, const Ipv6Address& address,
+                                     u32 ttl) {
+  std::vector<u8> out = BuildResponseCommon(query, DnsRcode::kNoError, 1);
+  const usize answer = out.size();
+  out.resize(answer + 2 + 2 + 2 + 4 + 2 + 16);
+  BitUtil::Set16(out, answer, 0xc000 | kDnsHeaderSize);
+  BitUtil::Set16(out, answer + 2, kDnsTypeAaaa);
+  BitUtil::Set16(out, answer + 4, kDnsClassIn);
+  BitUtil::Set32(out, answer + 6, ttl);
+  BitUtil::Set16(out, answer + 10, 16);  // RDLENGTH
+  for (usize i = 0; i < 16; ++i) {
+    out[answer + 12 + i] = address.octets[i];
+  }
+  return out;
+}
+
+std::vector<u8> BuildDnsError(const DnsQuery& query, DnsRcode rcode) {
+  return BuildResponseCommon(query, rcode, 0);
+}
+
+Expected<DnsParsedResponse> ParseDnsResponse(std::span<const u8> message) {
+  auto header = ReadHeader(message);
+  if (!header.ok()) {
+    return header.status();
+  }
+  if (!header->qr) {
+    return MalformedPacket("QR clear on a response");
+  }
+  DnsParsedResponse response;
+  response.header = *header;
+  usize pos = kDnsHeaderSize;
+  // Skip questions.
+  for (u16 q = 0; q < header->qdcount; ++q) {
+    auto name = DecodeName(message, pos);
+    if (!name.ok()) {
+      return name.status();
+    }
+    pos += 4;
+  }
+  for (u16 a = 0; a < header->ancount; ++a) {
+    auto name = DecodeName(message, pos);
+    if (!name.ok()) {
+      return name.status();
+    }
+    if (pos + 10 > message.size()) {
+      return MalformedPacket("answer truncated");
+    }
+    const u16 rtype = BitUtil::Get16(message, pos);
+    const u32 ttl = BitUtil::Get32(message, pos + 4);
+    const u16 rdlength = BitUtil::Get16(message, pos + 8);
+    pos += 10;
+    if (pos + rdlength > message.size()) {
+      return MalformedPacket("rdata truncated");
+    }
+    if (rtype == kDnsTypeA && rdlength == 4) {
+      DnsAnswer answer;
+      answer.name = *name;
+      answer.rtype = kDnsTypeA;
+      answer.address = Ipv4Address(BitUtil::Get32(message, pos));
+      answer.ttl = ttl;
+      response.answers.push_back(answer);
+    } else if (rtype == kDnsTypeAaaa && rdlength == 16) {
+      DnsAnswer answer;
+      answer.name = *name;
+      answer.rtype = kDnsTypeAaaa;
+      answer.address6 = Ipv6Address::FromBytes(message.subspan(pos, 16));
+      answer.ttl = ttl;
+      response.answers.push_back(answer);
+    }
+    pos += rdlength;
+  }
+  return response;
+}
+
+}  // namespace emu

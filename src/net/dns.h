@@ -1,0 +1,111 @@
+// DNS wire format — the subset the paper's DNS service speaks (§4.3):
+// non-recursive A-record queries (QTYPE A, QCLASS IN), single question,
+// positive answers or NXDOMAIN. The codec itself handles standard-length
+// names; the 26-byte name cap of the paper's prototype is enforced by the
+// service, not here.
+#ifndef SRC_NET_DNS_H_
+#define SRC_NET_DNS_H_
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/mac_address.h"
+
+namespace emu {
+
+inline constexpr u16 kDnsPort = 53;
+inline constexpr usize kDnsHeaderSize = 12;
+
+inline constexpr u16 kDnsTypeA = 1;
+inline constexpr u16 kDnsTypeAaaa = 28;
+inline constexpr u16 kDnsClassIn = 1;
+
+// Minimal IPv6 address value type (the paper: the DNS prototype's
+// constraints "can be relaxed to handle longer names and IPv6").
+struct Ipv6Address {
+  std::array<u8, 16> octets{};
+
+  static Ipv6Address FromBytes(std::span<const u8> bytes);
+  std::string ToString() const;  // full uncompressed hex groups
+  friend bool operator==(const Ipv6Address&, const Ipv6Address&) = default;
+};
+
+enum class DnsRcode : u8 {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct DnsHeader {
+  u16 id = 0;
+  bool qr = false;  // false: query, true: response
+  u8 opcode = 0;
+  bool aa = false;
+  bool tc = false;
+  bool rd = false;
+  bool ra = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  u16 qdcount = 0;
+  u16 ancount = 0;
+  u16 nscount = 0;
+  u16 arcount = 0;
+};
+
+struct DnsQuestion {
+  std::string name;  // presentation form, e.g. "www.example.com"
+  u16 qtype = kDnsTypeA;
+  u16 qclass = kDnsClassIn;
+};
+
+struct DnsQuery {
+  DnsHeader header;
+  DnsQuestion question;
+};
+
+struct DnsAnswer {
+  std::string name;
+  u16 rtype = kDnsTypeA;
+  Ipv4Address address;        // valid when rtype == kDnsTypeA
+  Ipv6Address address6;       // valid when rtype == kDnsTypeAaaa
+  u32 ttl = 300;
+};
+
+// Encodes a presentation-form name into wire labels ("www.ex" ->
+// 3www2ex0). Fails on empty/oversized labels or names.
+Expected<std::vector<u8>> EncodeDnsName(const std::string& name);
+
+// Parses a single-question DNS query message.
+Expected<DnsQuery> ParseDnsQuery(std::span<const u8> message);
+
+// Builds a single-question query message (qtype A by default).
+std::vector<u8> BuildDnsQuery(u16 id, const std::string& name, u16 qtype = kDnsTypeA);
+
+// Builds a positive A-record response to `query` (answer name compressed via
+// a pointer to the question).
+std::vector<u8> BuildDnsResponse(const DnsQuery& query, Ipv4Address address, u32 ttl = 300);
+
+// AAAA variant (the IPv6 relaxation).
+std::vector<u8> BuildDnsResponseAaaa(const DnsQuery& query, const Ipv6Address& address,
+                                     u32 ttl = 300);
+
+// Builds an error response (NXDOMAIN for unresolvable names, as the paper's
+// server "informs the client that it cannot resolve the name").
+std::vector<u8> BuildDnsError(const DnsQuery& query, DnsRcode rcode);
+
+// Parses a response built by BuildDnsResponse/BuildDnsError; yields the
+// header plus the first A answer if present.
+struct DnsParsedResponse {
+  DnsHeader header;
+  std::vector<DnsAnswer> answers;
+};
+Expected<DnsParsedResponse> ParseDnsResponse(std::span<const u8> message);
+
+}  // namespace emu
+
+#endif  // SRC_NET_DNS_H_

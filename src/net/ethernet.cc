@@ -1,0 +1,49 @@
+#include "src/net/ethernet.h"
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+
+MacAddress EthernetView::destination() const {
+  return MacAddress::FromU48(BitUtil::Get48(packet_.bytes(), 0));
+}
+
+void EthernetView::set_destination(MacAddress mac) {
+  BitUtil::Set48(packet_.bytes(), 0, mac.ToU48());
+}
+
+MacAddress EthernetView::source() const {
+  return MacAddress::FromU48(BitUtil::Get48(packet_.bytes(), 6));
+}
+
+void EthernetView::set_source(MacAddress mac) { BitUtil::Set48(packet_.bytes(), 6, mac.ToU48()); }
+
+u16 EthernetView::ether_type_raw() const { return BitUtil::Get16(packet_.bytes(), 12); }
+
+void EthernetView::set_ether_type(EtherType type) {
+  BitUtil::Set16(packet_.bytes(), 12, static_cast<u16>(type));
+}
+
+std::span<const u8> EthernetView::Payload() const {
+  return packet_.View(kEthernetHeaderSize, packet_.size() - kEthernetHeaderSize);
+}
+
+std::span<u8> EthernetView::MutablePayload() {
+  return packet_.MutableView(kEthernetHeaderSize, packet_.size() - kEthernetHeaderSize);
+}
+
+Packet MakeEthernetFrame(MacAddress dst, MacAddress src, EtherType type,
+                         std::span<const u8> payload) {
+  Packet packet(kEthernetHeaderSize);
+  EthernetView eth(packet);
+  eth.set_destination(dst);
+  eth.set_source(src);
+  eth.set_ether_type(type);
+  packet.Append(payload);
+  if (packet.size() < kEthernetMinFrame) {
+    packet.Resize(kEthernetMinFrame);
+  }
+  return packet;
+}
+
+}  // namespace emu

@@ -1,0 +1,62 @@
+// ICMP echo (the §4.2 ICMP Echo server's protocol surface).
+#ifndef SRC_NET_ICMP_H_
+#define SRC_NET_ICMP_H_
+
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+enum class IcmpType : u8 {
+  kEchoReply = 0,
+  kEchoRequest = 8,
+};
+
+inline constexpr usize kIcmpHeaderSize = 8;
+
+class IcmpView {
+ public:
+  // `offset` is the start of the ICMP header (after the IPv4 header).
+  IcmpView(Packet& packet, usize offset) : packet_(packet), offset_(offset) {}
+
+  bool Valid() const { return packet_.size() >= offset_ + kIcmpHeaderSize; }
+
+  u8 type_raw() const;
+  void set_type(IcmpType type);
+  bool TypeIs(IcmpType type) const { return type_raw() == static_cast<u8>(type); }
+
+  u8 code() const;
+  void set_code(u8 value);
+
+  u16 checksum() const;
+  void set_checksum(u16 value);
+
+  u16 identifier() const;
+  void set_identifier(u16 value);
+
+  u16 sequence() const;
+  void set_sequence(u16 value);
+
+  // Checksum over the ICMP header + payload (to the end of the IP payload).
+  void UpdateChecksum(usize icmp_length);
+  bool ChecksumValid(usize icmp_length) const;
+
+ private:
+  Packet& packet_;
+  usize offset_;
+};
+
+struct IcmpEchoSpec {
+  MacAddress eth_dst;
+  MacAddress eth_src;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  u16 identifier = 0;
+  u16 sequence = 0;
+};
+
+Packet MakeIcmpEchoRequest(const IcmpEchoSpec& spec, std::span<const u8> payload);
+
+}  // namespace emu
+
+#endif  // SRC_NET_ICMP_H_

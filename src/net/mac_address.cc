@@ -1,0 +1,118 @@
+#include "src/net/mac_address.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace emu {
+namespace {
+
+// Parses up to 3 decimal digits; returns -1 on failure. Advances `pos`.
+int ParseDecimalOctet(std::string_view text, usize& pos) {
+  int value = 0;
+  usize digits = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9' && digits < 3) {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0 || value > 255) {
+    return -1;
+  }
+  return value;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+MacAddress MacAddress::FromBytes(std::span<const u8> bytes) {
+  assert(bytes.size() >= kSize);
+  std::array<u8, kSize> octets;
+  for (usize i = 0; i < kSize; ++i) {
+    octets[i] = bytes[i];
+  }
+  return MacAddress(octets);
+}
+
+Expected<MacAddress> MacAddress::Parse(std::string_view text) {
+  std::array<u8, kSize> octets{};
+  usize pos = 0;
+  for (usize i = 0; i < kSize; ++i) {
+    if (i != 0) {
+      if (pos >= text.size() || text[pos] != ':') {
+        return InvalidArgument("expected ':' in MAC address");
+      }
+      ++pos;
+    }
+    if (pos + 1 >= text.size()) {
+      return InvalidArgument("MAC address too short");
+    }
+    const int hi = HexNibble(text[pos]);
+    const int lo = HexNibble(text[pos + 1]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgument("invalid hex digit in MAC address");
+    }
+    octets[i] = static_cast<u8>(hi * 16 + lo);
+    pos += 2;
+  }
+  if (pos != text.size()) {
+    return InvalidArgument("trailing characters in MAC address");
+  }
+  return MacAddress(octets);
+}
+
+void MacAddress::CopyTo(std::span<u8> out) const {
+  assert(out.size() >= kSize);
+  for (usize i = 0; i < kSize; ++i) {
+    out[i] = octets_[i];
+  }
+}
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+Expected<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  usize pos = 0;
+  u32 value = 0;
+  for (usize i = 0; i < 4; ++i) {
+    if (i != 0) {
+      if (pos >= text.size() || text[pos] != '.') {
+        return InvalidArgument("expected '.' in IPv4 address");
+      }
+      ++pos;
+    }
+    const int octet = ParseDecimalOctet(text, pos);
+    if (octet < 0) {
+      return InvalidArgument("invalid IPv4 octet");
+    }
+    value = (value << 8) | static_cast<u32>(octet);
+  }
+  if (pos != text.size()) {
+    return InvalidArgument("trailing characters in IPv4 address");
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace emu

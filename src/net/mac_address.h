@@ -1,0 +1,99 @@
+// MAC and IPv4 address value types.
+#ifndef SRC_NET_MAC_ADDRESS_H_
+#define SRC_NET_MAC_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace emu {
+
+class MacAddress {
+ public:
+  static constexpr usize kSize = 6;
+
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<u8, kSize> octets) : octets_(octets) {}
+
+  // From/to the low 48 bits of a u64 (the CAM key encoding).
+  static constexpr MacAddress FromU48(u64 value) {
+    MacAddress mac;
+    for (usize i = 0; i < kSize; ++i) {
+      mac.octets_[i] = static_cast<u8>(value >> (8 * (kSize - 1 - i)));
+    }
+    return mac;
+  }
+
+  constexpr u64 ToU48() const {
+    u64 value = 0;
+    for (u8 octet : octets_) {
+      value = (value << 8) | octet;
+    }
+    return value;
+  }
+
+  static MacAddress FromBytes(std::span<const u8> bytes);
+  // Parses "aa:bb:cc:dd:ee:ff".
+  static Expected<MacAddress> Parse(std::string_view text);
+
+  static constexpr MacAddress Broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  constexpr bool IsBroadcast() const { return ToU48() == 0xffffffffffffULL; }
+  // Group bit: LSB of the first octet.
+  constexpr bool IsMulticast() const { return (octets_[0] & 1) != 0; }
+  constexpr bool IsZero() const { return ToU48() == 0; }
+
+  std::span<const u8, kSize> octets() const { return octets_; }
+  void CopyTo(std::span<u8> out) const;
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(const MacAddress&, const MacAddress&) = default;
+  friend constexpr std::strong_ordering operator<=>(const MacAddress& a, const MacAddress& b) {
+    return a.ToU48() <=> b.ToU48();
+  }
+
+ private:
+  std::array<u8, kSize> octets_{};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(u32 value) : value_(value) {}
+  constexpr Ipv4Address(u8 a, u8 b, u8 c, u8 d)
+      : value_((static_cast<u32>(a) << 24) | (static_cast<u32>(b) << 16) |
+               (static_cast<u32>(c) << 8) | d) {}
+
+  // Parses dotted-quad "192.168.1.1".
+  static Expected<Ipv4Address> Parse(std::string_view text);
+
+  constexpr u32 value() const { return value_; }
+  std::string ToString() const;
+
+  constexpr bool InSubnet(Ipv4Address base, u32 prefix_len) const {
+    if (prefix_len == 0) {
+      return true;
+    }
+    const u32 mask = prefix_len >= 32 ? ~u32{0} : ~((u32{1} << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (base.value_ & mask);
+  }
+
+  friend constexpr bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+  friend constexpr std::strong_ordering operator<=>(const Ipv4Address&,
+                                                    const Ipv4Address&) = default;
+
+ private:
+  u32 value_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NET_MAC_ADDRESS_H_

@@ -1,0 +1,373 @@
+#include "src/net/memcached.h"
+
+#include <cstdio>
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+namespace {
+
+constexpr u8 kMagicRequest = 0x80;
+constexpr u8 kMagicResponse = 0x81;
+
+void AppendText(std::vector<u8>& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+// Splits `line` into whitespace-separated tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  usize pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const usize start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+Expected<u64> ParseU64(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgument("empty number");
+  }
+  u64 value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgument("non-digit in number");
+    }
+    value = value * 10 + static_cast<u64>(c - '0');
+  }
+  return value;
+}
+
+// Finds the first CRLF at or after `from`; npos-like usize(-1) when absent.
+usize FindCrlf(std::span<const u8> data, usize from) {
+  for (usize i = from; i + 1 < data.size(); ++i) {
+    if (data[i] == '\r' && data[i + 1] == '\n') {
+      return i;
+    }
+  }
+  return static_cast<usize>(-1);
+}
+
+std::string_view LineView(std::span<const u8> data, usize start, usize end) {
+  return std::string_view(reinterpret_cast<const char*>(data.data()) + start, end - start);
+}
+
+}  // namespace
+
+// --- Binary protocol -----------------------------------------------------------
+
+std::vector<u8> BuildMcBinaryRequest(const McRequest& request) {
+  const bool is_set = request.op == McOpcode::kSet;
+  const usize extras = is_set ? 8 : 0;
+  const usize body = extras + request.key.size() + (is_set ? request.value.size() : 0);
+
+  std::vector<u8> out(kMcBinaryHeaderSize + body, 0);
+  out[0] = kMagicRequest;
+  out[1] = static_cast<u8>(request.op);
+  BitUtil::Set16(out, 2, static_cast<u16>(request.key.size()));
+  out[4] = static_cast<u8>(extras);
+  // data type (5) and vbucket (6-7) stay zero
+  BitUtil::Set32(out, 8, static_cast<u32>(body));
+  BitUtil::Set32(out, 12, request.opaque);
+  // cas (16-23) stays zero
+
+  usize pos = kMcBinaryHeaderSize;
+  if (is_set) {
+    BitUtil::Set32(out, pos, request.flags);
+    BitUtil::Set32(out, pos + 4, request.expiry);
+    pos += 8;
+  }
+  for (char c : request.key) {
+    out[pos++] = static_cast<u8>(c);
+  }
+  if (is_set) {
+    for (char c : request.value) {
+      out[pos++] = static_cast<u8>(c);
+    }
+  }
+  return out;
+}
+
+Expected<McRequest> ParseMcBinaryRequest(std::span<const u8> data) {
+  if (data.size() < kMcBinaryHeaderSize) {
+    return MalformedPacket("binary request shorter than header");
+  }
+  if (data[0] != kMagicRequest) {
+    return MalformedPacket("bad request magic");
+  }
+  McRequest request;
+  request.protocol = McProtocol::kBinary;
+  const u8 opcode = data[1];
+  if (opcode != static_cast<u8>(McOpcode::kGet) && opcode != static_cast<u8>(McOpcode::kSet) &&
+      opcode != static_cast<u8>(McOpcode::kDelete)) {
+    return UnsupportedProtocol("unsupported opcode");
+  }
+  request.op = static_cast<McOpcode>(opcode);
+  const u16 key_len = BitUtil::Get16(data, 2);
+  const u8 extras_len = data[4];
+  const u32 body_len = BitUtil::Get32(data, 8);
+  request.opaque = BitUtil::Get32(data, 12);
+  if (data.size() < kMcBinaryHeaderSize + body_len ||
+      body_len < static_cast<u32>(key_len) + extras_len) {
+    return MalformedPacket("binary request body truncated");
+  }
+  usize pos = kMcBinaryHeaderSize;
+  if (request.op == McOpcode::kSet) {
+    if (extras_len != 8) {
+      return MalformedPacket("SET requires 8 extras bytes");
+    }
+    request.flags = BitUtil::Get32(data, pos);
+    request.expiry = BitUtil::Get32(data, pos + 4);
+  }
+  pos += extras_len;
+  request.key.assign(reinterpret_cast<const char*>(&data[pos]), key_len);
+  pos += key_len;
+  const usize value_len = body_len - extras_len - key_len;
+  if (value_len > 0) {
+    request.value.assign(reinterpret_cast<const char*>(&data[pos]), value_len);
+  }
+  return request;
+}
+
+std::vector<u8> BuildMcBinaryResponse(const McResponse& response) {
+  const bool get_hit = response.op == McOpcode::kGet && response.status == McStatus::kNoError;
+  const usize extras = get_hit ? 4 : 0;
+  const usize body = extras + (get_hit ? response.value.size() : 0);
+
+  std::vector<u8> out(kMcBinaryHeaderSize + body, 0);
+  out[0] = kMagicResponse;
+  out[1] = static_cast<u8>(response.op);
+  out[4] = static_cast<u8>(extras);
+  BitUtil::Set16(out, 6, static_cast<u16>(response.status));
+  BitUtil::Set32(out, 8, static_cast<u32>(body));
+  BitUtil::Set32(out, 12, response.opaque);
+
+  usize pos = kMcBinaryHeaderSize;
+  if (get_hit) {
+    BitUtil::Set32(out, pos, response.flags);
+    pos += 4;
+    for (char c : response.value) {
+      out[pos++] = static_cast<u8>(c);
+    }
+  }
+  return out;
+}
+
+Expected<McResponse> ParseMcBinaryResponse(std::span<const u8> data) {
+  if (data.size() < kMcBinaryHeaderSize) {
+    return MalformedPacket("binary response shorter than header");
+  }
+  if (data[0] != kMagicResponse) {
+    return MalformedPacket("bad response magic");
+  }
+  McResponse response;
+  response.protocol = McProtocol::kBinary;
+  response.op = static_cast<McOpcode>(data[1]);
+  const u8 extras_len = data[4];
+  response.status = static_cast<McStatus>(BitUtil::Get16(data, 6));
+  const u32 body_len = BitUtil::Get32(data, 8);
+  response.opaque = BitUtil::Get32(data, 12);
+  if (data.size() < kMcBinaryHeaderSize + body_len || body_len < extras_len) {
+    return MalformedPacket("binary response body truncated");
+  }
+  usize pos = kMcBinaryHeaderSize;
+  if (extras_len >= 4) {
+    response.flags = BitUtil::Get32(data, pos);
+  }
+  pos += extras_len;
+  const usize value_len = body_len - extras_len;
+  if (value_len > 0) {
+    response.value.assign(reinterpret_cast<const char*>(&data[pos]), value_len);
+  }
+  return response;
+}
+
+// --- ASCII protocol --------------------------------------------------------------
+
+std::vector<u8> BuildMcAsciiRequest(const McRequest& request) {
+  std::vector<u8> out;
+  switch (request.op) {
+    case McOpcode::kGet:
+      AppendText(out, "get ");
+      AppendText(out, request.key);
+      AppendText(out, "\r\n");
+      break;
+    case McOpcode::kSet:
+      // Built by concatenation: keys may be up to 250 bytes.
+      AppendText(out, "set " + request.key + " " + std::to_string(request.flags) + " " +
+                          std::to_string(request.expiry) + " " +
+                          std::to_string(request.value.size()) + "\r\n");
+      AppendText(out, request.value);
+      AppendText(out, "\r\n");
+      break;
+    case McOpcode::kDelete:
+      AppendText(out, "delete ");
+      AppendText(out, request.key);
+      AppendText(out, "\r\n");
+      break;
+  }
+  return out;
+}
+
+Expected<McRequest> ParseMcAsciiRequest(std::span<const u8> data) {
+  const usize eol = FindCrlf(data, 0);
+  if (eol == static_cast<usize>(-1)) {
+    return MalformedPacket("missing CRLF");
+  }
+  const auto tokens = Tokenize(LineView(data, 0, eol));
+  if (tokens.empty()) {
+    return MalformedPacket("empty command");
+  }
+  McRequest request;
+  request.protocol = McProtocol::kAscii;
+  if (tokens[0] == "get") {
+    if (tokens.size() != 2) {
+      return MalformedPacket("get expects one key");
+    }
+    request.op = McOpcode::kGet;
+    request.key = std::string(tokens[1]);
+    return request;
+  }
+  if (tokens[0] == "delete") {
+    if (tokens.size() != 2) {
+      return MalformedPacket("delete expects one key");
+    }
+    request.op = McOpcode::kDelete;
+    request.key = std::string(tokens[1]);
+    return request;
+  }
+  if (tokens[0] == "set") {
+    if (tokens.size() != 5) {
+      return MalformedPacket("set expects key flags exptime bytes");
+    }
+    request.op = McOpcode::kSet;
+    request.key = std::string(tokens[1]);
+    auto flags = ParseU64(tokens[2]);
+    auto expiry = ParseU64(tokens[3]);
+    auto bytes = ParseU64(tokens[4]);
+    if (!flags.ok() || !expiry.ok() || !bytes.ok()) {
+      return MalformedPacket("bad numeric field in set");
+    }
+    request.flags = static_cast<u32>(*flags);
+    request.expiry = static_cast<u32>(*expiry);
+    const usize value_start = eol + 2;
+    if (data.size() < value_start + *bytes + 2) {
+      return MalformedPacket("set data block truncated");
+    }
+    request.value.assign(reinterpret_cast<const char*>(&data[value_start]), *bytes);
+    return request;
+  }
+  return UnsupportedProtocol("unknown ASCII command");
+}
+
+std::vector<u8> BuildMcAsciiResponse(const McResponse& response) {
+  std::vector<u8> out;
+  switch (response.op) {
+    case McOpcode::kGet:
+      if (response.status == McStatus::kNoError) {
+        AppendText(out, "VALUE " + response.key + " " + std::to_string(response.flags) + " " +
+                            std::to_string(response.value.size()) + "\r\n");
+        AppendText(out, response.value);
+        AppendText(out, "\r\n");
+      }
+      AppendText(out, "END\r\n");
+      break;
+    case McOpcode::kSet:
+      AppendText(out, response.status == McStatus::kNoError ? "STORED\r\n" : "NOT_STORED\r\n");
+      break;
+    case McOpcode::kDelete:
+      AppendText(out,
+                 response.status == McStatus::kNoError ? "DELETED\r\n" : "NOT_FOUND\r\n");
+      break;
+  }
+  return out;
+}
+
+Expected<McResponse> ParseMcAsciiResponse(std::span<const u8> data) {
+  const usize eol = FindCrlf(data, 0);
+  if (eol == static_cast<usize>(-1)) {
+    return MalformedPacket("missing CRLF");
+  }
+  const auto tokens = Tokenize(LineView(data, 0, eol));
+  if (tokens.empty()) {
+    return MalformedPacket("empty response");
+  }
+  McResponse response;
+  response.protocol = McProtocol::kAscii;
+  if (tokens[0] == "END") {
+    response.op = McOpcode::kGet;
+    response.status = McStatus::kKeyNotFound;
+    return response;
+  }
+  if (tokens[0] == "VALUE") {
+    if (tokens.size() != 4) {
+      return MalformedPacket("VALUE expects key flags bytes");
+    }
+    response.op = McOpcode::kGet;
+    response.key = std::string(tokens[1]);
+    auto flags = ParseU64(tokens[2]);
+    auto bytes = ParseU64(tokens[3]);
+    if (!flags.ok() || !bytes.ok()) {
+      return MalformedPacket("bad numeric field in VALUE");
+    }
+    response.flags = static_cast<u32>(*flags);
+    const usize value_start = eol + 2;
+    if (data.size() < value_start + *bytes + 2) {
+      return MalformedPacket("VALUE data truncated");
+    }
+    response.value.assign(reinterpret_cast<const char*>(&data[value_start]), *bytes);
+    return response;
+  }
+  if (tokens[0] == "STORED") {
+    response.op = McOpcode::kSet;
+    return response;
+  }
+  if (tokens[0] == "NOT_STORED") {
+    response.op = McOpcode::kSet;
+    response.status = McStatus::kNotStored;
+    return response;
+  }
+  if (tokens[0] == "DELETED") {
+    response.op = McOpcode::kDelete;
+    return response;
+  }
+  if (tokens[0] == "NOT_FOUND") {
+    response.op = McOpcode::kDelete;
+    response.status = McStatus::kKeyNotFound;
+    return response;
+  }
+  return UnsupportedProtocol("unknown ASCII response");
+}
+
+// --- Dispatch helpers --------------------------------------------------------------
+
+std::vector<u8> BuildMcRequest(const McRequest& request) {
+  return request.protocol == McProtocol::kBinary ? BuildMcBinaryRequest(request)
+                                                 : BuildMcAsciiRequest(request);
+}
+
+Expected<McRequest> ParseMcRequest(std::span<const u8> data, McProtocol protocol) {
+  return protocol == McProtocol::kBinary ? ParseMcBinaryRequest(data)
+                                         : ParseMcAsciiRequest(data);
+}
+
+std::vector<u8> BuildMcResponse(const McResponse& response) {
+  return response.protocol == McProtocol::kBinary ? BuildMcBinaryResponse(response)
+                                                  : BuildMcAsciiResponse(response);
+}
+
+Expected<McResponse> ParseMcResponse(std::span<const u8> data, McProtocol protocol) {
+  return protocol == McProtocol::kBinary ? ParseMcBinaryResponse(data)
+                                         : ParseMcAsciiResponse(data);
+}
+
+}  // namespace emu

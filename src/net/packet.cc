@@ -1,0 +1,16 @@
+#include "src/net/packet.h"
+
+#include <cstdio>
+
+#include "src/common/hexdump.h"
+
+namespace emu {
+
+std::string Packet::ToString() const {
+  char head[96];
+  std::snprintf(head, sizeof(head), "Packet{%zu bytes, src_port=%u, dst_mask=0x%x}\n",
+                data_.size(), src_port_, dst_port_mask_);
+  return std::string(head) + Hexdump(data_);
+}
+
+}  // namespace emu

@@ -1,0 +1,88 @@
+// Packet: a raw frame plus dataplane metadata.
+//
+// This is the C++ rendering of the paper's NetFPGA_Data record (Fig. 6): the
+// frame bytes (tdata) together with the sideband metadata the NetFPGA
+// pipeline carries in tuser — source port, destination port one-hot mask, and
+// length. Timestamps are attached by ports/probes for latency accounting (the
+// DAG-card substitute).
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+// The NetFPGA SUME dataplane has four 10G ports; the one-hot destination
+// mask has one bit per port (Fig. 10).
+inline constexpr usize kNetFpgaPortCount = 4;
+inline constexpr u8 kAllPortsMask = 0x0f;
+
+inline constexpr usize kEthernetMinFrame = 60;    // without FCS
+inline constexpr usize kEthernetMaxFrame = 1514;  // without FCS
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<u8> data) : data_(std::move(data)) {}
+  explicit Packet(usize size) : data_(size, 0) {}
+
+  usize size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<u8> bytes() { return data_; }
+  std::span<const u8> bytes() const { return data_; }
+
+  u8& operator[](usize i) { return data_[i]; }
+  const u8& operator[](usize i) const { return data_[i]; }
+
+  void Resize(usize size) { data_.resize(size, 0); }
+  void Append(std::span<const u8> extra) { data_.insert(data_.end(), extra.begin(), extra.end()); }
+  void AppendByte(u8 byte) { data_.push_back(byte); }
+
+  // View of [offset, offset+len) — callers must bounds-check via size().
+  std::span<const u8> View(usize offset, usize len) const {
+    return std::span<const u8>(data_).subspan(offset, len);
+  }
+  std::span<u8> MutableView(usize offset, usize len) {
+    return std::span<u8>(data_).subspan(offset, len);
+  }
+
+  // --- Dataplane metadata (tuser sideband) ---
+  u8 src_port() const { return src_port_; }
+  void set_src_port(u8 port) { src_port_ = port; }
+
+  u8 dst_port_mask() const { return dst_port_mask_; }
+  void set_dst_port_mask(u8 mask) { dst_port_mask_ = mask; }
+
+  // --- Timestamps (latency probe metadata, ps) ---
+  Picoseconds ingress_time() const { return ingress_time_; }
+  void set_ingress_time(Picoseconds t) { ingress_time_ = t; }
+  Picoseconds egress_time() const { return egress_time_; }
+  void set_egress_time(Picoseconds t) { egress_time_ = t; }
+
+  // Cycle stamps around the main logical core, for the per-module latency
+  // rows of Table 3/5.
+  Cycle core_ingress_cycle() const { return core_ingress_cycle_; }
+  void set_core_ingress_cycle(Cycle c) { core_ingress_cycle_ = c; }
+  Cycle core_egress_cycle() const { return core_egress_cycle_; }
+  void set_core_egress_cycle(Cycle c) { core_egress_cycle_ = c; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<u8> data_;
+  u8 src_port_ = 0;
+  u8 dst_port_mask_ = 0;
+  Picoseconds ingress_time_ = 0;
+  Picoseconds egress_time_ = 0;
+  Cycle core_ingress_cycle_ = 0;
+  Cycle core_egress_cycle_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,87 @@
+// TCP header view and handshake builders (TCP Ping §4.2, NAT §4.4).
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+inline constexpr usize kTcpMinHeaderSize = 20;
+
+// Flag bits as in the header's 13th byte.
+struct TcpFlags {
+  static constexpr u8 kFin = 0x01;
+  static constexpr u8 kSyn = 0x02;
+  static constexpr u8 kRst = 0x04;
+  static constexpr u8 kPsh = 0x08;
+  static constexpr u8 kAck = 0x10;
+  static constexpr u8 kUrg = 0x20;
+};
+
+class TcpView {
+ public:
+  TcpView(Packet& packet, usize offset) : packet_(packet), offset_(offset) {}
+
+  bool Valid() const {
+    return packet_.size() >= offset_ + kTcpMinHeaderSize && data_offset() >= 5 &&
+           packet_.size() >= offset_ + HeaderBytes();
+  }
+
+  u16 source_port() const;
+  void set_source_port(u16 value);
+
+  u16 destination_port() const;
+  void set_destination_port(u16 value);
+
+  u32 sequence() const;
+  void set_sequence(u32 value);
+
+  u32 ack_number() const;
+  void set_ack_number(u32 value);
+
+  u8 data_offset() const;  // in 32-bit words
+  void set_data_offset(u8 words);
+  usize HeaderBytes() const { return data_offset() * 4u; }
+
+  u8 flags() const;
+  void set_flags(u8 value);
+  bool HasFlag(u8 flag) const { return (flags() & flag) != 0; }
+
+  u16 window() const;
+  void set_window(u16 value);
+
+  u16 checksum() const;
+  void set_checksum(u16 value);
+
+  u16 urgent_pointer() const;
+  void set_urgent_pointer(u16 value);
+
+  // Checksum over the pseudo header + the TCP segment, whose length is the
+  // IP payload length.
+  void UpdateChecksum(const Ipv4View& ip, usize segment_length);
+  bool ChecksumValid(const Ipv4View& ip, usize segment_length) const;
+
+ private:
+  Packet& packet_;
+  usize offset_;
+};
+
+struct TcpSegmentSpec {
+  MacAddress eth_dst;
+  MacAddress eth_src;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u32 seq = 0;
+  u32 ack = 0;
+  u8 flags = 0;
+  u16 window = 65535;
+};
+
+Packet MakeTcpSegment(const TcpSegmentSpec& spec, std::span<const u8> payload = {});
+
+}  // namespace emu
+
+#endif  // SRC_NET_TCP_H_

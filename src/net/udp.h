@@ -1,0 +1,58 @@
+// UDP (the transport under the DNS, Memcached, and NAT services).
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+inline constexpr usize kUdpHeaderSize = 8;
+
+class UdpView {
+ public:
+  UdpView(Packet& packet, usize offset) : packet_(packet), offset_(offset) {}
+
+  bool Valid() const {
+    return packet_.size() >= offset_ + kUdpHeaderSize &&
+           length() >= kUdpHeaderSize && packet_.size() >= offset_ + length();
+  }
+
+  u16 source_port() const;
+  void set_source_port(u16 value);
+
+  u16 destination_port() const;
+  void set_destination_port(u16 value);
+
+  u16 length() const;
+  void set_length(u16 value);
+
+  u16 checksum() const;
+  void set_checksum(u16 value);
+
+  std::span<const u8> Payload() const;
+  std::span<u8> MutablePayload();
+
+  // UDP checksum over the IPv4 pseudo header (src/dst taken from `ip`).
+  void UpdateChecksum(const Ipv4View& ip);
+  bool ChecksumValid(const Ipv4View& ip) const;
+
+ private:
+  Packet& packet_;
+  usize offset_;
+};
+
+struct UdpPacketSpec {
+  MacAddress eth_dst;
+  MacAddress eth_src;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  u16 src_port = 0;
+  u16 dst_port = 0;
+};
+
+Packet MakeUdpPacket(const UdpPacketSpec& spec, std::span<const u8> payload);
+
+}  // namespace emu
+
+#endif  // SRC_NET_UDP_H_

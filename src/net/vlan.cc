@@ -1,0 +1,73 @@
+#include "src/net/vlan.h"
+
+#include "src/common/bit_util.h"
+
+namespace emu {
+
+bool VlanView::Tagged() const {
+  return packet_.size() >= kEthernetHeaderSize + kVlanTagSize &&
+         BitUtil::Get16(packet_.bytes(), 12) == static_cast<u16>(EtherType::kVlan);
+}
+
+u16 VlanView::vlan_id() const { return BitUtil::Get16(packet_.bytes(), 14) & 0x0fff; }
+
+void VlanView::set_vlan_id(u16 vid) {
+  const u16 tci = BitUtil::Get16(packet_.bytes(), 14);
+  BitUtil::Set16(packet_.bytes(), 14, static_cast<u16>((tci & 0xf000) | (vid & 0x0fff)));
+}
+
+u8 VlanView::priority() const {
+  return static_cast<u8>(BitUtil::Get16(packet_.bytes(), 14) >> 13);
+}
+
+void VlanView::set_priority(u8 pcp) {
+  const u16 tci = BitUtil::Get16(packet_.bytes(), 14);
+  BitUtil::Set16(packet_.bytes(), 14,
+                 static_cast<u16>((tci & 0x1fff) | (static_cast<u16>(pcp & 0x7) << 13)));
+}
+
+u16 VlanView::inner_ether_type() const { return BitUtil::Get16(packet_.bytes(), 16); }
+
+void InsertVlanTag(Packet& frame, u16 vlan_id, u8 priority) {
+  // Shift everything from offset 12 (the EtherType) right by 4 bytes and
+  // write TPID + TCI in the gap.
+  const usize old_size = frame.size();
+  frame.Resize(old_size + kVlanTagSize);
+  auto bytes = frame.bytes();
+  for (usize i = frame.size(); i-- > 12 + kVlanTagSize;) {
+    bytes[i] = bytes[i - kVlanTagSize];
+  }
+  BitUtil::Set16(bytes, 12, static_cast<u16>(EtherType::kVlan));
+  BitUtil::Set16(bytes, 14,
+                 static_cast<u16>((static_cast<u16>(priority & 0x7) << 13) |
+                                  (vlan_id & 0x0fff)));
+}
+
+bool StripVlanTag(Packet& frame) {
+  VlanView vlan(frame);
+  if (!vlan.Tagged()) {
+    return false;
+  }
+  auto bytes = frame.bytes();
+  for (usize i = 12; i + kVlanTagSize < frame.size(); ++i) {
+    bytes[i] = bytes[i + kVlanTagSize];
+  }
+  frame.Resize(frame.size() - kVlanTagSize);
+  return true;
+}
+
+u16 EffectiveEtherType(Packet& frame) {
+  VlanView vlan(frame);
+  if (vlan.Tagged()) {
+    return vlan.inner_ether_type();
+  }
+  EthernetView eth(frame);
+  return eth.Valid() ? eth.ether_type_raw() : 0;
+}
+
+usize L3Offset(Packet& frame) {
+  VlanView vlan(frame);
+  return kEthernetHeaderSize + (vlan.Tagged() ? kVlanTagSize : 0);
+}
+
+}  // namespace emu

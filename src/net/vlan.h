@@ -1,0 +1,49 @@
+// IEEE 802.1Q VLAN tagging.
+//
+// The paper's library ships "parsers for commonly-used packet formats" and
+// §3.6 notes developers extend it for more protocols — this is that
+// extension path exercised: a tag view, insert/strip helpers, and an
+// EtherType accessor that sees through the tag so existing services work on
+// tagged traffic unchanged.
+#ifndef SRC_NET_VLAN_H_
+#define SRC_NET_VLAN_H_
+
+#include "src/net/ethernet.h"
+
+namespace emu {
+
+inline constexpr usize kVlanTagSize = 4;  // TPID(2) + TCI(2)
+
+class VlanView {
+ public:
+  explicit VlanView(Packet& packet) : packet_(packet) {}
+
+  // True when the frame carries an 802.1Q tag.
+  bool Tagged() const;
+
+  u16 vlan_id() const;          // 12-bit VID
+  void set_vlan_id(u16 vid);
+  u8 priority() const;          // 3-bit PCP
+  void set_priority(u8 pcp);
+
+  // EtherType of the encapsulated payload (after the tag).
+  u16 inner_ether_type() const;
+
+ private:
+  Packet& packet_;
+};
+
+// Inserts an 802.1Q tag (no-op rewrite if you need QinQ, call twice).
+void InsertVlanTag(Packet& frame, u16 vlan_id, u8 priority = 0);
+
+// Removes the outermost tag; returns false when the frame is untagged.
+bool StripVlanTag(Packet& frame);
+
+// EtherType as services should read it: the inner type for tagged frames,
+// the plain type otherwise. Offset of the L3 header follows the same rule.
+u16 EffectiveEtherType(Packet& frame);
+usize L3Offset(Packet& frame);
+
+}  // namespace emu
+
+#endif  // SRC_NET_VLAN_H_

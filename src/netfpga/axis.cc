@@ -1,0 +1,63 @@
+#include "src/netfpga/axis.h"
+
+#include <cassert>
+
+namespace emu {
+
+std::vector<AxisWord> PacketToAxis(const Packet& packet, usize bus_bytes) {
+  assert(bus_bytes > 0 && bus_bytes <= 32);
+  const auto bytes = packet.bytes();
+  std::vector<AxisWord> words;
+  words.reserve(WordsForBytes(bytes.size(), bus_bytes));
+  usize pos = 0;
+  do {
+    AxisWord word;
+    const usize n = std::min(bus_bytes, bytes.size() - pos);
+    for (usize i = 0; i < n; ++i) {
+      word.tdata.SetByte(i, bytes[pos + i]);
+      word.tkeep |= u32{1} << i;
+    }
+    pos += n;
+    word.tlast = pos >= bytes.size();
+    words.push_back(word);
+  } while (pos < bytes.size());
+  return words;
+}
+
+Expected<Packet> AxisToPacket(std::span<const AxisWord> words, usize bus_bytes) {
+  assert(bus_bytes > 0 && bus_bytes <= 32);
+  if (words.empty()) {
+    return MalformedPacket("empty AXIS burst");
+  }
+  Packet packet;
+  for (usize w = 0; w < words.size(); ++w) {
+    const AxisWord& word = words[w];
+    if (w + 1 < words.size()) {
+      if (word.tlast) {
+        return MalformedPacket("words after tlast");
+      }
+      // Every non-final word must have all bus bytes valid.
+      const u32 full = bus_bytes >= 32 ? ~u32{0} : (u32{1} << bus_bytes) - 1;
+      if (word.tkeep != full) {
+        return MalformedPacket("non-contiguous tkeep mid-frame");
+      }
+    } else if (!word.tlast) {
+      return MalformedPacket("missing tlast");
+    }
+    bool ended = false;
+    for (usize i = 0; i < bus_bytes; ++i) {
+      const bool valid = (word.tkeep >> i) & 1u;
+      if (valid) {
+        if (ended) {
+          return MalformedPacket("hole in tkeep");
+        }
+        packet.AppendByte(word.tdata.Byte(i));
+      } else {
+        ended = true;
+      }
+    }
+  }
+  return packet;
+}
+
+}  // namespace emu

@@ -1,0 +1,44 @@
+// AXI-Stream word framing for the NetFPGA datapath.
+//
+// The SUME reference pipeline moves frames as a stream of bus-width words
+// (natively 256-bit) with a byte-valid mask (tkeep) and an end-of-frame
+// marker (tlast). The pipeline model carries whole Packet objects for
+// robustness, but all cycle costs are derived from this framing, and the
+// conversion functions here prove the framing round-trips — they are also
+// what the wide-word user types of §3.2 (extension iv) exist for.
+#ifndef SRC_NETFPGA_AXIS_H_
+#define SRC_NETFPGA_AXIS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/wide_word.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+// Native SUME datapath: 256 bits.
+inline constexpr usize kDefaultBusBytes = 32;
+
+struct AxisWord {
+  Word256 tdata;   // up to 256 bits used, low bytes first
+  u32 tkeep = 0;   // bit i: byte i of tdata valid
+  bool tlast = false;
+};
+
+// Number of bus words a frame of `bytes` occupies on a `bus_bytes`-wide bus.
+constexpr usize WordsForBytes(usize bytes, usize bus_bytes) {
+  return bytes == 0 ? 1 : (bytes + bus_bytes - 1) / bus_bytes;
+}
+
+// Slices the frame into bus words (bus_bytes <= 32).
+std::vector<AxisWord> PacketToAxis(const Packet& packet, usize bus_bytes = kDefaultBusBytes);
+
+// Reassembles a frame; fails on missing tlast, non-contiguous tkeep, or
+// words after tlast.
+Expected<Packet> AxisToPacket(std::span<const AxisWord> words,
+                              usize bus_bytes = kDefaultBusBytes);
+
+}  // namespace emu
+
+#endif  // SRC_NETFPGA_AXIS_H_

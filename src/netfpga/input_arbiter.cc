@@ -1,0 +1,40 @@
+#include "src/netfpga/input_arbiter.h"
+
+namespace emu {
+
+InputArbiter::InputArbiter(Simulator& sim, std::string name,
+                           std::vector<SyncFifo<Packet>*> inputs, SyncFifo<Packet>& output,
+                           usize bus_bytes)
+    : Module(sim, std::move(name)),
+      inputs_(std::move(inputs)),
+      output_(output),
+      bus_bytes_(bus_bytes) {
+  // Round-robin select + word mux across the inputs.
+  AddResources(ResourceUsage{420 + 40 * static_cast<u64>(inputs_.size()), 380, 1});
+}
+
+HwProcess InputArbiter::MakeProcess() {
+  for (;;) {
+    bool moved = false;
+    for (usize scan = 0; scan < inputs_.size(); ++scan) {
+      const usize i = (next_input_ + scan) % inputs_.size();
+      if (!inputs_[i]->Empty() && output_.CanPush()) {
+        Packet frame = inputs_[i]->Pop();
+        const usize words = WordsForBytes(frame.size(), bus_bytes_);
+        frame.set_core_ingress_cycle(sim().now());
+        output_.Push(std::move(frame));
+        ++forwarded_;
+        next_input_ = i + 1;
+        moved = true;
+        // The transfer occupies the bus for `words` cycles.
+        co_await PauseFor(words);
+        break;
+      }
+    }
+    if (!moved) {
+      co_await Pause();
+    }
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,37 @@
+// Input arbiter: round-robin merge of the four port rx FIFOs onto the single
+// datapath feeding the main logical core (Fig. 10). Transferring a frame
+// occupies the arbiter for one bus word per cycle, so the bus width bounds
+// aggregate throughput (the §3.6/§5.3 "wider I/O bus" point and its
+// ablation).
+#ifndef SRC_NETFPGA_INPUT_ARBITER_H_
+#define SRC_NETFPGA_INPUT_ARBITER_H_
+
+#include <vector>
+
+#include "src/hdl/fifo.h"
+#include "src/hdl/module.h"
+#include "src/net/packet.h"
+#include "src/netfpga/axis.h"
+
+namespace emu {
+
+class InputArbiter : public Module {
+ public:
+  InputArbiter(Simulator& sim, std::string name, std::vector<SyncFifo<Packet>*> inputs,
+               SyncFifo<Packet>& output, usize bus_bytes);
+
+  u64 forwarded() const { return forwarded_; }
+
+  HwProcess MakeProcess();
+
+ private:
+  std::vector<SyncFifo<Packet>*> inputs_;
+  SyncFifo<Packet>& output_;
+  usize bus_bytes_;
+  usize next_input_ = 0;
+  u64 forwarded_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NETFPGA_INPUT_ARBITER_H_

@@ -1,0 +1,75 @@
+#include "src/netfpga/output_queues.h"
+
+#include <algorithm>
+
+#include "src/netfpga/axis.h"
+
+namespace emu {
+
+OutputQueues::OutputQueues(Simulator& sim, std::string name, SyncFifo<Packet>& core_out,
+                           usize tx_fifo_depth, usize bus_bytes)
+    : Module(sim, std::move(name)),
+      core_out_(core_out),
+      bus_bytes_(bus_bytes),
+      tx_frames_(kNetFpgaPortCount, 0) {
+  for (usize port = 0; port < kNetFpgaPortCount; ++port) {
+    tx_fifos_.push_back(
+        std::make_unique<SyncFifo<Packet>>(sim, tx_fifo_depth, bus_bytes * 8));
+    AddResources(tx_fifos_.back()->resources());
+  }
+  AddResources(ResourceUsage{520, 410, 0});  // mask decode + per-port muxing
+}
+
+u64 OutputQueues::total_tx_frames() const {
+  u64 total = 0;
+  for (u64 count : tx_frames_) {
+    total += count;
+  }
+  return total;
+}
+
+HwProcess OutputQueues::MakeFanoutProcess() {
+  for (;;) {
+    if (!core_out_.Empty()) {
+      Packet frame = core_out_.Pop();
+      frame.set_core_egress_cycle(sim().now());
+      const usize words = WordsForBytes(frame.size(), bus_bytes_);
+      const u8 mask = frame.dst_port_mask();
+      for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
+        if ((mask >> port) & 1u) {
+          if (!tx_fifos_[port]->Push(frame)) {
+            ++tx_drops_;
+          }
+        }
+      }
+      co_await PauseFor(words);
+    } else {
+      co_await Pause();
+    }
+  }
+}
+
+HwProcess OutputQueues::MakeDrainProcess(u8 port) {
+  SyncFifo<Packet>& fifo = *tx_fifos_[port];
+  // Egress wire occupancy in picoseconds: pacing at the exact 10G rate
+  // rather than whole fabric cycles (which would shave ~4% off line rate).
+  Picoseconds wire_busy_ps = 0;
+  const Picoseconds cycle_ps = sim().cycle_period_ps();
+  for (;;) {
+    if (!fifo.Empty()) {
+      Packet frame = fifo.Pop();
+      wire_busy_ps = std::max(wire_busy_ps, sim().NowPs()) + SerializationPs(frame.size());
+      const Picoseconds wait_ps = wire_busy_ps - sim().NowPs();
+      co_await PauseFor(static_cast<Cycle>(wait_ps > 0 ? wait_ps / cycle_ps : 0));
+      frame.set_egress_time(wire_busy_ps + kMacPhyLatencyPs);
+      ++tx_frames_[port];
+      if (sink_) {
+        sink_(port, std::move(frame));
+      }
+    } else {
+      co_await Pause();
+    }
+  }
+}
+
+}  // namespace emu

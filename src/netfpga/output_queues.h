@@ -1,0 +1,50 @@
+// Output queues: fan frames from the main logical core out to per-port tx
+// FIFOs (honouring the one-hot destination mask, duplicating for multicast)
+// and drain each tx FIFO at the port's 10G line rate (Fig. 10).
+//
+// Egress frames are handed to a sink callback with their egress timestamp
+// already set (wire completion + MAC/PHY latency), which is the measurement
+// point a DAG capture card would record.
+#ifndef SRC_NETFPGA_OUTPUT_QUEUES_H_
+#define SRC_NETFPGA_OUTPUT_QUEUES_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hdl/fifo.h"
+#include "src/hdl/module.h"
+#include "src/net/packet.h"
+#include "src/netfpga/port.h"
+
+namespace emu {
+
+class OutputQueues : public Module {
+ public:
+  using EgressSink = std::function<void(u8 port, Packet frame)>;
+
+  OutputQueues(Simulator& sim, std::string name, SyncFifo<Packet>& core_out,
+               usize tx_fifo_depth, usize bus_bytes);
+
+  void SetSink(EgressSink sink) { sink_ = std::move(sink); }
+
+  u64 tx_frames(u8 port) const { return tx_frames_[port]; }
+  u64 tx_drops() const { return tx_drops_; }
+  u64 total_tx_frames() const;
+
+  // The fan-out process plus one drain process per port.
+  HwProcess MakeFanoutProcess();
+  HwProcess MakeDrainProcess(u8 port);
+
+ private:
+  SyncFifo<Packet>& core_out_;
+  usize bus_bytes_;
+  std::vector<std::unique_ptr<SyncFifo<Packet>>> tx_fifos_;
+  EgressSink sink_;
+  std::vector<u64> tx_frames_;
+  u64 tx_drops_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NETFPGA_OUTPUT_QUEUES_H_

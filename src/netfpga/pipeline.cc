@@ -1,0 +1,65 @@
+#include "src/netfpga/pipeline.h"
+
+namespace emu {
+
+NetFpgaPipeline::NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfig config)
+    : sim_(sim), service_(service), config_(config) {
+  std::vector<SyncFifo<Packet>*> rx_fifos;
+  for (usize i = 0; i < kNetFpgaPortCount; ++i) {
+    ports_.push_back(std::make_unique<TenGigPort>(
+        sim, "port" + std::to_string(i), static_cast<u8>(i), config.rx_fifo_depth));
+    rx_fifos.push_back(&ports_.back()->rx_fifo());
+    sim.AddProcess(ports_.back()->MakeIngressProcess(), "port" + std::to_string(i) + "_rx");
+  }
+
+  core_in_ =
+      std::make_unique<SyncFifo<Packet>>(sim, config.core_fifo_depth, config.bus_bytes * 8);
+  core_out_ =
+      std::make_unique<SyncFifo<Packet>>(sim, config.core_fifo_depth, config.bus_bytes * 8);
+
+  arbiter_ = std::make_unique<InputArbiter>(sim, "input_arbiter", std::move(rx_fifos),
+                                            *core_in_, config.bus_bytes);
+  sim.AddProcess(arbiter_->MakeProcess(), "input_arbiter");
+
+  service_.Instantiate(sim, Dataplane{core_in_.get(), core_out_.get()});
+
+  output_queues_ = std::make_unique<OutputQueues>(sim, "output_queues", *core_out_,
+                                                  config.tx_fifo_depth, config.bus_bytes);
+  sim.AddProcess(output_queues_->MakeFanoutProcess(), "oq_fanout");
+  for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
+    sim.AddProcess(output_queues_->MakeDrainProcess(port),
+                   "oq_drain" + std::to_string(port));
+  }
+}
+
+Cycle NetFpgaPipeline::InjectFrame(u8 port, Packet frame, Cycle earliest) {
+  ++injected_;
+  return ports_[port]->Deliver(std::move(frame), earliest);
+}
+
+u64 NetFpgaPipeline::rx_drops() const {
+  u64 drops = 0;
+  for (const auto& port : ports_) {
+    drops += port->rx_drops();
+  }
+  return drops;
+}
+
+ResourceUsage NetFpgaPipeline::CoreResources() const {
+  ResourceUsage usage = service_.Resources();
+  usage += core_in_->resources();
+  usage += core_out_->resources();
+  return usage;
+}
+
+ResourceUsage NetFpgaPipeline::TotalResources() const {
+  ResourceUsage usage = CoreResources();
+  for (const auto& port : ports_) {
+    usage += port->resources();
+  }
+  usage += arbiter_->resources();
+  usage += output_queues_->resources();
+  return usage;
+}
+
+}  // namespace emu

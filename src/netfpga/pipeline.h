@@ -1,0 +1,73 @@
+// The NetFPGA SUME reference pipeline (Fig. 10), with a Service plugged into
+// the main-logical-core slot.
+//
+// Emu "capitalizes on this generic NetFPGA design: we target only the main
+// logical core and build upon all other components" (§5.1) — accordingly, the
+// pipeline here is fixed infrastructure (ports, input arbiter, output
+// queues) and the Service supplies only the core.
+#ifndef SRC_NETFPGA_PIPELINE_H_
+#define SRC_NETFPGA_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/netfpga/input_arbiter.h"
+#include "src/netfpga/output_queues.h"
+#include "src/netfpga/port.h"
+
+namespace emu {
+
+struct PipelineConfig {
+  usize bus_bytes = kDefaultBusBytes;  // 256-bit SUME datapath
+  usize rx_fifo_depth = 64;
+  usize core_fifo_depth = 64;
+  usize tx_fifo_depth = 512;
+};
+
+class NetFpgaPipeline {
+ public:
+  NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfig config = {});
+
+  NetFpgaPipeline(const NetFpgaPipeline&) = delete;
+  NetFpgaPipeline& operator=(const NetFpgaPipeline&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Service& service() { return service_; }
+  const PipelineConfig& config() const { return config_; }
+
+  // Schedules a frame's wire arrival on `port` no earlier than `earliest`;
+  // returns the cycle it is fully in the fabric.
+  Cycle InjectFrame(u8 port, Packet frame, Cycle earliest = 0);
+
+  void SetEgressSink(OutputQueues::EgressSink sink) { output_queues_->SetSink(std::move(sink)); }
+
+  // --- Statistics ---
+  u64 injected() const { return injected_; }
+  u64 rx_drops() const;
+  u64 egressed() const { return output_queues_->total_tx_frames(); }
+  u64 tx_drops() const { return output_queues_->tx_drops(); }
+
+  // Resource bill of the main logical core only (service + core FIFOs),
+  // which is what Table 3/5 report.
+  ResourceUsage CoreResources() const;
+  // Resource bill including the shared pipeline infrastructure.
+  ResourceUsage TotalResources() const;
+
+  TenGigPort& port(u8 index) { return *ports_[index]; }
+
+ private:
+  Simulator& sim_;
+  Service& service_;
+  PipelineConfig config_;
+  std::vector<std::unique_ptr<TenGigPort>> ports_;
+  std::unique_ptr<SyncFifo<Packet>> core_in_;
+  std::unique_ptr<SyncFifo<Packet>> core_out_;
+  std::unique_ptr<InputArbiter> arbiter_;
+  std::unique_ptr<OutputQueues> output_queues_;
+  u64 injected_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NETFPGA_PIPELINE_H_

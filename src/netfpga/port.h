@@ -1,0 +1,72 @@
+// 10GbE port model: line-rate pacing in, line-rate pacing out.
+//
+// Ingress: frames handed to Deliver() are serialized at 10 Gb/s (including
+// preamble + inter-frame gap) before landing in the port's rx FIFO; a full
+// FIFO drops the frame (counted). Egress: the output-queue drain obeys the
+// same serialization time. A constant MAC+PHY latency is added on both
+// directions so end-to-end numbers line up with what a DAG card would see on
+// the wire.
+#ifndef SRC_NETFPGA_PORT_H_
+#define SRC_NETFPGA_PORT_H_
+
+#include <deque>
+
+#include "src/hdl/fifo.h"
+#include "src/hdl/module.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+// 10 Gb/s line, 200 MHz fabric: 50 bits per fabric cycle.
+inline constexpr u64 kTenGigBitsPerSecond = 10'000'000'000ULL;
+// Preamble (8) + inter-frame gap (12); frame sizes already include the FCS
+// (64 B minimum frames -> 84 B on the wire -> 14.88 Mpps at 10G).
+inline constexpr usize kWireOverheadBytes = 20;
+// One-way MAC + PHY + SerDes latency (ps); calibrated so a minimal
+// Emu request/response RTT lands near Table 4's ~1.1 us.
+inline constexpr Picoseconds kMacPhyLatencyPs = 430'000;
+
+// Serialization time of a frame on the 10G wire, in fabric cycles (rounded
+// up) and in picoseconds.
+Cycle SerializationCycles(usize frame_bytes, const Simulator& sim);
+Picoseconds SerializationPs(usize frame_bytes);
+
+class TenGigPort : public Module {
+ public:
+  TenGigPort(Simulator& sim, std::string name, u8 index, usize rx_fifo_depth);
+
+  u8 index() const { return index_; }
+
+  SyncFifo<Packet>& rx_fifo() { return rx_fifo_; }
+
+  // Schedules a frame's arrival on the wire no earlier than `earliest`
+  // (fabric cycles); back-to-back deliveries are spaced by serialization
+  // time, i.e. a port can never exceed line rate. Returns the cycle at which
+  // the frame is fully received.
+  Cycle Deliver(Packet frame, Cycle earliest);
+
+  u64 rx_frames() const { return rx_frames_; }
+  u64 rx_drops() const { return rx_drops_; }
+
+  // The port's ingress process; the pipeline registers it.
+  HwProcess MakeIngressProcess();
+
+ private:
+  struct WireFrame {
+    Packet frame;
+    Cycle complete_at;
+  };
+
+  u8 index_;
+  SyncFifo<Packet> rx_fifo_;
+  std::deque<WireFrame> wire_;
+  // Wire occupancy tracked in picoseconds so back-to-back frames pace at the
+  // exact line rate instead of quantizing to whole fabric cycles.
+  Picoseconds wire_busy_ps_ = 0;
+  u64 rx_frames_ = 0;
+  u64 rx_drops_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_NETFPGA_PORT_H_

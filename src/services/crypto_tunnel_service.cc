@@ -1,0 +1,110 @@
+#include "src/services/crypto_tunnel_service.h"
+
+#include <cassert>
+
+#include "src/common/bit_util.h"
+#include "src/core/protocol_wrappers.h"
+#include "src/net/udp.h"
+#include "src/netfpga/axis.h"
+#include "src/netfpga/dataplane.h"
+
+namespace emu {
+namespace {
+
+constexpr usize kNonceBytes = 8;
+
+}  // namespace
+
+CryptoTunnelService::CryptoTunnelService(CryptoTunnelConfig config)
+    : config_(config), next_nonce_(config.nonce_seed) {}
+
+CryptoTunnelService::~CryptoTunnelService() = default;
+
+void CryptoTunnelService::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  cipher_ = std::make_unique<SpeckCipher>(sim, "tunnel_speck", config_.key);
+  control_resources_ = HlsControlResources(7, config_.bus_bytes * 8) + ResourceUsage{160, 140, 0};
+  sim.AddProcess(MainLoop(), "crypto_tunnel");
+}
+
+ResourceUsage CryptoTunnelService::Resources() const {
+  return control_resources_ + cipher_->resources();
+}
+
+HwProcess CryptoTunnelService::MainLoop() {
+  for (;;) {
+    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
+      co_await Pause();
+      continue;
+    }
+    NetFpgaData dataplane;
+    dataplane.tdata = dp_.rx->Pop();
+    const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+    co_await PauseFor(words);
+
+    const u8 in_port = dataplane.tdata.src_port();
+    UdpWrapper udp(dataplane);
+    if (!udp.Reachable() ||
+        (in_port != config_.plain_port && in_port != config_.cipher_port)) {
+      ++dropped_;
+      co_await Pause();
+      continue;
+    }
+
+    Packet& frame = dataplane.tdata;
+    Ipv4View ip(frame);
+    const usize udp_offset = ip.payload_offset();
+    UdpView udp_view(frame, udp_offset);
+    const usize payload_len = udp_view.length() - kUdpHeaderSize;
+    const usize payload_offset = udp_offset + kUdpHeaderSize;
+
+    if (in_port == config_.plain_port) {
+      // Encrypt: prepend the nonce, cipher the payload.
+      const u64 nonce = next_nonce_++;
+      std::vector<u8> payload(frame.View(payload_offset, payload_len).begin(),
+                              frame.View(payload_offset, payload_len).end());
+      cipher_->CtrCrypt(nonce, payload);
+      frame.Resize(payload_offset + kNonceBytes);
+      BitUtil::Set64(frame.MutableView(payload_offset, kNonceBytes), 0, nonce);
+      frame.Append(payload);
+      ++encrypted_;
+      NetFpga::SetOutputPort(dataplane, config_.cipher_port);
+    } else {
+      // Decrypt: strip the nonce, restore the payload.
+      if (payload_len < kNonceBytes) {
+        ++dropped_;
+        co_await Pause();
+        continue;
+      }
+      const u64 nonce = BitUtil::Get64(frame.View(payload_offset, kNonceBytes), 0);
+      std::vector<u8> payload(
+          frame.View(payload_offset + kNonceBytes, payload_len - kNonceBytes).begin(),
+          frame.View(payload_offset + kNonceBytes, payload_len - kNonceBytes).end());
+      cipher_->CtrCrypt(nonce, payload);
+      frame.Resize(payload_offset);
+      frame.Append(payload);
+      ++decrypted_;
+      NetFpga::SetOutputPort(dataplane, config_.plain_port);
+    }
+
+    // Fix up lengths and checksums after the payload rewrite.
+    Ipv4View ip_out(frame);
+    ip_out.set_total_length(static_cast<u16>(frame.size() - kEthernetHeaderSize));
+    ip_out.UpdateChecksum();
+    UdpView udp_out(frame, udp_offset);
+    udp_out.set_length(static_cast<u16>(frame.size() - payload_offset + kUdpHeaderSize));
+    udp_out.UpdateChecksum(ip_out);
+    if (frame.size() < kEthernetMinFrame) {
+      frame.Resize(kEthernetMinFrame);
+    }
+
+    // One Speck block pipelines per cycle after the rounds fill the pipe.
+    co_await PauseFor(cipher_->CyclesForBytes(payload_len));
+    const usize out_words = WordsForBytes(frame.size(), config_.bus_bytes);
+    dp_.tx->Push(std::move(dataplane.tdata));
+    co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,215 @@
+#include "src/services/dns_service.h"
+
+#include <cassert>
+
+#include "src/core/protocol_wrappers.h"
+#include "src/ip/pearson_hash.h"
+#include "src/net/udp.h"
+#include "src/netfpga/axis.h"
+#include "src/netfpga/dataplane.h"
+#include "src/services/reply_util.h"
+
+namespace emu {
+namespace {
+
+u64 NameKey(const std::string& name) {
+  return PearsonHash64(
+      std::span<const u8>(reinterpret_cast<const u8*>(name.data()), name.size()));
+}
+
+// AAAA bindings live in the same hash table under a salted key so one block
+// serves both record types.
+constexpr u64 kV6KeySalt = 0x6666'0000'0000'0001ULL;
+
+}  // namespace
+
+DnsService::DnsService(DnsServiceConfig config) : config_(config) {}
+
+DnsService::~DnsService() = default;
+
+void DnsService::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  table_ = std::make_unique<HashCam>(sim, "dns_table", config_.table_capacity);
+  records_.resize(config_.table_capacity);
+  // Name-match BRAM alongside the hash table (26-byte names + addresses),
+  // plus the parse/respond FSM (the paper: ~700 lines of C#).
+  control_resources_ =
+      HlsControlResources(10, config_.bus_bytes * 8) +
+      BramResources(config_.table_capacity * (config_.max_name_bytes + 4) * 8) +
+      ResourceUsage{1450, 900, 0};
+  sim.AddProcess(MainLoop(), "dns");
+  for (Record& record : pending_records_) {
+    InstallRecord(std::move(record));
+  }
+  pending_records_.clear();
+}
+
+ResourceUsage DnsService::Resources() const {
+  return control_resources_ + table_->resources();
+}
+
+void DnsService::AttachController(DirectionController* controller) {
+  controller_ = controller;
+  if (controller_ == nullptr) {
+    return;
+  }
+  main_point_ = ExtensionPoint(controller_, controller_->main_point());
+  CaspMachine& machine = controller_->machine();
+  machine.BindVariable({"resolved", [this] { return resolved_; }, nullptr});
+  machine.BindVariable({"nxdomain", [this] { return nxdomain_; }, nullptr});
+  machine.BindVariable({"last_id", [this] { return last_query_id_; }, nullptr});
+}
+
+Status DnsService::AddRecord(const std::string& name, Ipv4Address address) {
+  Record record;
+  record.name = name;
+  record.address = address;
+  return InstallRecord(std::move(record));
+}
+
+Status DnsService::AddRecordAaaa(const std::string& name, const Ipv6Address& address) {
+  Record record;
+  record.name = name;
+  record.address6 = address;
+  record.is_v6 = true;
+  return InstallRecord(std::move(record));
+}
+
+Status DnsService::InstallRecord(Record record) {
+  if (record.name.empty() || record.name.size() > config_.max_name_bytes) {
+    return InvalidArgument("name exceeds configured limit");
+  }
+  if (table_ == nullptr) {
+    // Not instantiated yet: buffer for installation at Instantiate().
+    pending_records_.push_back(std::move(record));
+    return Status::Ok();
+  }
+  const u64 key = NameKey(record.name) ^ (record.is_v6 ? kV6KeySalt : 0);
+  // Reuse the slot when re-adding the same name/type.
+  const u64 existing = table_->Read(key);
+  if (table_->matched() && records_[existing].name == record.name &&
+      records_[existing].is_v6 == record.is_v6) {
+    records_[existing] = std::move(record);
+    return Status::Ok();
+  }
+  // Find a free slot.
+  for (usize slot = 0; slot < records_.size(); ++slot) {
+    if (records_[slot].name.empty()) {
+      if (!table_->Write(key, slot)) {
+        return ResourceExhausted("hash table probe window full");
+      }
+      records_[slot] = std::move(record);
+      return Status::Ok();
+    }
+  }
+  return ResourceExhausted("resolution table full");
+}
+
+HwProcess DnsService::MainLoop() {
+  for (;;) {
+    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
+      co_await Pause();
+      continue;
+    }
+    NetFpgaData dataplane;
+    dataplane.tdata = dp_.rx->Pop();
+    const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+    co_await PauseFor(words);
+
+    ArpWrapper arp(dataplane);
+    if (arp.Reachable() && arp.OperIs(ArpOper::kRequest) && arp.target_ip() == config_.ip) {
+      Packet reply =
+          MakeArpReply(config_.mac, config_.ip, arp.sender_mac(), arp.sender_ip());
+      CopyDataplaneStamps(dataplane.tdata, reply);
+      NetFpgaData out;
+      out.tdata = std::move(reply);
+      NetFpga::SendBackToSource(out);
+      co_await PauseFor(2);
+      dp_.tx->Push(std::move(out.tdata));
+      co_await Pause();
+      continue;
+    }
+
+    UdpWrapper udp(dataplane);
+    Ipv4Wrapper ip(dataplane);
+    if (!udp.Reachable() || ip.destination() != config_.ip ||
+        udp.destination_port() != kDnsPort) {
+      ++dropped_;
+      co_await Pause();
+      continue;
+    }
+
+    auto query = ParseDnsQuery(udp.Payload());
+    std::vector<u8> response;
+    if (!query.ok()) {
+      ++dropped_;
+      co_await Pause();
+      continue;
+    }
+    last_query_id_ = query->header.id;
+
+    // Main-loop extension point (§5.5); the call scope feeds `backtrace`.
+    DirectedCallScope call_scope(controller_, "handle_query");
+    if (controller_ != nullptr) {
+      if (!main_point_.Activate()) {
+        while (controller_->broken()) {
+          co_await Pause();
+        }
+      }
+    }
+    // Bytewise walk of the query name plus answer assembly — the dominant
+    // cost of the prototype's serial FSM (see DnsServiceConfig) — with the
+    // Pearson hash of the name overlapped inside it.
+    co_await PauseFor(config_.parse_cycles + query->question.name.size() / 8);
+
+    const bool is_aaaa = query->question.qtype == kDnsTypeAaaa;
+    if ((query->question.qtype != kDnsTypeA && !is_aaaa) ||
+        query->question.qclass != kDnsClassIn ||
+        query->question.name.size() > config_.max_name_bytes) {
+      response = BuildDnsError(*query, DnsRcode::kNotImp);
+      ++nxdomain_;
+    } else {
+      const u64 key = NameKey(query->question.name) ^ (is_aaaa ? kV6KeySalt : 0);
+      const u64 slot = table_->Read(key);
+      if (table_->matched() && records_[slot].name == query->question.name &&
+          records_[slot].is_v6 == is_aaaa) {
+        response = is_aaaa ? BuildDnsResponseAaaa(*query, records_[slot].address6)
+                           : BuildDnsResponse(*query, records_[slot].address);
+        ++resolved_;
+      } else {
+        // Inform the client we cannot resolve the name (§4.3).
+        response = BuildDnsError(*query, DnsRcode::kNxDomain);
+        ++nxdomain_;
+      }
+    }
+
+    // Reuse the request frame: swap directions, splice in the new payload,
+    // refresh lengths and checksums.
+    Packet& frame = dataplane.tdata;
+    SwapEthernetAddresses(frame);
+    const usize udp_offset = Ipv4View(frame).payload_offset();
+    frame.Resize(udp_offset + kUdpHeaderSize);
+    frame.Append(response);
+    Ipv4View ip_out(frame);
+    ip_out.set_total_length(
+        static_cast<u16>(frame.size() - kEthernetHeaderSize));
+    SwapIpv4Addresses(frame);
+    UdpView udp_out(frame, udp_offset);
+    SwapUdpPorts(frame);
+    udp_out.set_length(static_cast<u16>(kUdpHeaderSize + response.size()));
+    udp_out.UpdateChecksum(ip_out);
+    if (frame.size() < kEthernetMinFrame) {
+      frame.Resize(kEthernetMinFrame);
+    }
+
+    NetFpga::SendBackToSource(dataplane);
+    co_await PauseFor(2);  // response assembly + checksum fold
+    const usize out_words = WordsForBytes(frame.size(), config_.bus_bytes);
+    dp_.tx->Push(std::move(dataplane.tdata));
+    co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
+    co_await PauseFor(config_.turnaround_cycles);  // FSM tail (throughput)
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,90 @@
+// DNS server (§4.3).
+//
+// Non-recursive resolution of A-record queries from a fixed table. The
+// paper's prototype resolves names of at most 26 bytes to IPv4 addresses and
+// tells the client when it cannot resolve a name; both the limit and the
+// table size are configuration here ("these constraints can be relaxed").
+// The resolution table is a Pearson-hashed associative memory (HashCam) with
+// the full names kept alongside to reject hash collisions.
+#ifndef SRC_SERVICES_DNS_SERVICE_H_
+#define SRC_SERVICES_DNS_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/debug/extension_point.h"
+#include "src/ip/hash_cam.h"
+#include "src/net/dns.h"
+#include "src/net/mac_address.h"
+
+namespace emu {
+
+struct DnsServiceConfig {
+  MacAddress mac = MacAddress::FromU48(0x02'00'00'00'ee'03);
+  Ipv4Address ip = Ipv4Address(10, 0, 0, 53);
+  usize max_name_bytes = 26;  // the paper's prototype limit
+  usize table_capacity = 512;
+  usize bus_bytes = 32;
+  // Calibrated request-FSM cost: the prototype walks the query name and
+  // builds the answer bytewise (Table 4: ~170 cycles -> 1.18 Mq/s, 1.82 us).
+  Cycle parse_cycles = 150;
+  Cycle turnaround_cycles = 10;
+};
+
+class DnsService : public Service {
+ public:
+  explicit DnsService(DnsServiceConfig config = {});
+  ~DnsService() override;
+
+  std::string_view name() const override { return "emu_dns"; }
+  void Instantiate(Simulator& sim, Dataplane dp) override;
+  ResourceUsage Resources() const override;
+  Cycle ModuleLatency() const override { return 14; }
+  Cycle InitiationInterval() const override { return 4; }
+
+  // Control plane: install a name -> address record. Fails when the name
+  // exceeds the configured limit or the table is full. Records added before
+  // Instantiate() are buffered and installed at instantiation.
+  Status AddRecord(const std::string& name, Ipv4Address address);
+
+  // The §4.3 relaxation to IPv6: install an AAAA record.
+  Status AddRecordAaaa(const std::string& name, const Ipv6Address& address);
+
+  u64 resolved() const { return resolved_; }
+  u64 nxdomain() const { return nxdomain_; }
+  u64 dropped() const { return dropped_; }
+
+  // §5.5: extends the service for direction (binds resolved/nxdomain/last_id
+  // variables and the main-loop extension point). Call before Instantiate().
+  void AttachController(DirectionController* controller);
+
+ private:
+  struct Record {
+    std::string name;
+    Ipv4Address address;
+    Ipv6Address address6;
+    bool is_v6 = false;
+  };
+
+  HwProcess MainLoop();
+  Status InstallRecord(Record record);
+
+  DnsServiceConfig config_;
+  Dataplane dp_;
+  DirectionController* controller_ = nullptr;
+  ExtensionPoint main_point_;
+  u64 last_query_id_ = 0;
+  std::unique_ptr<HashCam> table_;
+  std::vector<Record> records_;  // slot storage (BRAM contents)
+  std::vector<Record> pending_records_;  // added before instantiation
+  ResourceUsage control_resources_;
+  u64 resolved_ = 0;
+  u64 nxdomain_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SERVICES_DNS_SERVICE_H_

@@ -1,0 +1,82 @@
+#include "src/services/icmp_echo_service.h"
+
+#include <cassert>
+
+#include "src/core/protocol_wrappers.h"
+#include "src/netfpga/axis.h"
+#include "src/netfpga/dataplane.h"
+#include "src/services/reply_util.h"
+
+namespace emu {
+
+IcmpEchoService::IcmpEchoService(IcmpEchoConfig config) : config_(config) {}
+
+void IcmpEchoService::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  // Parse + reply FSM over the datapath, plus the checksum adder tree.
+  resources_ = HlsControlResources(6, config_.bus_bytes * 8) + ResourceUsage{180, 120, 0};
+  sim.AddProcess(MainLoop(), "icmp_echo");
+}
+
+HwProcess IcmpEchoService::MainLoop() {
+  for (;;) {
+    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
+      co_await Pause();
+      continue;
+    }
+    NetFpgaData dataplane;
+    dataplane.tdata = dp_.rx->Pop();
+    const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+    // Stream the request in.
+    co_await PauseFor(words);
+
+    ArpWrapper arp(dataplane);
+    if (arp.Reachable() && arp.OperIs(ArpOper::kRequest) && arp.target_ip() == config_.ip) {
+      Packet reply =
+          MakeArpReply(config_.mac, config_.ip, arp.sender_mac(), arp.sender_ip());
+      CopyDataplaneStamps(dataplane.tdata, reply);
+      NetFpgaData out;
+      out.tdata = std::move(reply);
+      NetFpga::SendBackToSource(out);
+      ++arp_replies_;
+      co_await PauseFor(2);  // build + checksum
+      dp_.tx->Push(std::move(out.tdata));
+      co_await Pause();
+      continue;
+    }
+
+    IcmpWrapper icmp(dataplane);
+    if (icmp.Reachable() && icmp.TypeIs(IcmpType::kEchoRequest)) {
+      Ipv4Wrapper ip(dataplane);
+      if (ip.destination() == config_.ip && icmp.ChecksumValid(icmp.MessageLength())) {
+        // Serial header walk of the prototype FSM (see IcmpEchoConfig).
+        co_await PauseFor(config_.parse_cycles);
+        // Turn the request into the reply in place: swap addresses, flip the
+        // type, refresh both checksums.
+        SwapEthernetAddresses(dataplane.tdata);
+        SwapIpv4Addresses(dataplane.tdata);
+        icmp.set_type(IcmpType::kEchoReply);
+        icmp.UpdateChecksum(icmp.MessageLength());
+        NetFpga::SendBackToSource(dataplane);
+        ++echoes_;
+        // Checksum recompute overlaps the outbound beats except the final
+        // fold/complement cycles.
+        co_await PauseFor(2);
+        const usize out_words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+        dp_.tx->Push(std::move(dataplane.tdata));
+        co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
+        // FSM tail before the next request is accepted (throughput-defining;
+        // the reply is already on the wire, so latency is unaffected).
+        co_await PauseFor(config_.turnaround_cycles);
+        continue;
+      }
+    }
+
+    // Not for us: drop by never setting an output port.
+    ++dropped_;
+    co_await Pause();
+  }
+}
+
+}  // namespace emu

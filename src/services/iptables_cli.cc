@@ -1,0 +1,260 @@
+#include "src/services/iptables_cli.h"
+
+#include <string>
+#include <vector>
+
+namespace emu {
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  usize pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+    const usize start = pos;
+    while (pos < text.size() && text[pos] != ' ' && text[pos] != '\t') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(text.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+Expected<u16> ParsePort(std::string_view text) {
+  if (text.empty() || text.size() > 5) {
+    return InvalidArgument("bad port");
+  }
+  u32 value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgument("non-digit in port");
+    }
+    value = value * 10 + static_cast<u32>(c - '0');
+  }
+  if (value > 65535) {
+    return InvalidArgument("port out of range");
+  }
+  return static_cast<u16>(value);
+}
+
+Expected<PortRange> ParsePortRange(std::string_view text) {
+  const usize colon = text.find(':');
+  PortRange range;
+  if (colon == std::string_view::npos) {
+    auto port = ParsePort(text);
+    if (!port.ok()) {
+      return port.status();
+    }
+    range.lo = *port;
+    range.hi = *port;
+    return range;
+  }
+  auto lo = ParsePort(text.substr(0, colon));
+  auto hi = ParsePort(text.substr(colon + 1));
+  if (!lo.ok() || !hi.ok()) {
+    return InvalidArgument("bad port range");
+  }
+  if (*lo > *hi) {
+    return InvalidArgument("inverted port range");
+  }
+  range.lo = *lo;
+  range.hi = *hi;
+  return range;
+}
+
+// "10.0.0.0/24" or bare "10.0.0.1" (treated as /32).
+Status ParseAddressSpec(std::string_view text, Ipv4Address* base, u32* prefix) {
+  const usize slash = text.find('/');
+  std::string_view addr_text = text;
+  u32 prefix_len = 32;
+  if (slash != std::string_view::npos) {
+    addr_text = text.substr(0, slash);
+    const std::string_view prefix_text = text.substr(slash + 1);
+    if (prefix_text.empty() || prefix_text.size() > 2) {
+      return InvalidArgument("bad prefix length");
+    }
+    prefix_len = 0;
+    for (char c : prefix_text) {
+      if (c < '0' || c > '9') {
+        return InvalidArgument("non-digit prefix length");
+      }
+      prefix_len = prefix_len * 10 + static_cast<u32>(c - '0');
+    }
+    if (prefix_len > 32) {
+      return InvalidArgument("prefix length > 32");
+    }
+  }
+  auto addr = Ipv4Address::Parse(std::string(addr_text));
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  *base = *addr;
+  *prefix = prefix_len;
+  return Status::Ok();
+}
+
+Expected<FilterRule::Action> ParseAction(std::string_view text) {
+  if (text == "ACCEPT") {
+    return FilterRule::Action::kAccept;
+  }
+  if (text == "DROP" || text == "REJECT") {
+    return FilterRule::Action::kDrop;
+  }
+  return InvalidArgument("unknown target (expected ACCEPT or DROP)");
+}
+
+}  // namespace
+
+Expected<FilterRule> ParseIptablesRule(std::string_view command) {
+  const auto tokens = Tokenize(command);
+  FilterRule rule;
+  bool have_action = false;
+  usize i = 0;
+  // Leading "iptables" is tolerated.
+  if (i < tokens.size() && tokens[i] == "iptables") {
+    ++i;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string_view flag = tokens[i];
+    const auto NextValue = [&]() -> Expected<std::string_view> {
+      if (i + 1 >= tokens.size()) {
+        return InvalidArgument(std::string("missing value after ") + std::string(flag));
+      }
+      return tokens[++i];
+    };
+    if (flag == "-A" || flag == "-I") {
+      auto chain = NextValue();
+      if (!chain.ok()) {
+        return chain.status();
+      }
+      continue;  // chains are not modelled; rules apply to the forward path
+    }
+    if (flag == "-p") {
+      auto proto = NextValue();
+      if (!proto.ok()) {
+        return proto.status();
+      }
+      if (*proto == "icmp") {
+        rule.protocol = IpProtocol::kIcmp;
+      } else if (*proto == "tcp") {
+        rule.protocol = IpProtocol::kTcp;
+      } else if (*proto == "udp") {
+        rule.protocol = IpProtocol::kUdp;
+      } else {
+        return UnsupportedProtocol("only icmp/tcp/udp are filterable");
+      }
+      continue;
+    }
+    if (flag == "-s" || flag == "-d") {
+      auto spec = NextValue();
+      if (!spec.ok()) {
+        return spec.status();
+      }
+      Ipv4Address base;
+      u32 prefix = 0;
+      const Status status = ParseAddressSpec(*spec, &base, &prefix);
+      if (!status.ok()) {
+        return status;
+      }
+      if (flag == "-s") {
+        rule.src_base = base;
+        rule.src_prefix = prefix;
+      } else {
+        rule.dst_base = base;
+        rule.dst_prefix = prefix;
+      }
+      continue;
+    }
+    if (flag == "--sport" || flag == "--dport") {
+      auto spec = NextValue();
+      if (!spec.ok()) {
+        return spec.status();
+      }
+      auto range = ParsePortRange(*spec);
+      if (!range.ok()) {
+        return range.status();
+      }
+      if (flag == "--sport") {
+        rule.src_ports = *range;
+      } else {
+        rule.dst_ports = *range;
+      }
+      continue;
+    }
+    if (flag == "-j") {
+      auto target = NextValue();
+      if (!target.ok()) {
+        return target.status();
+      }
+      auto action = ParseAction(*target);
+      if (!action.ok()) {
+        return action.status();
+      }
+      rule.action = *action;
+      have_action = true;
+      continue;
+    }
+    return InvalidArgument("unknown flag: " + std::string(flag));
+  }
+  if (!have_action) {
+    return InvalidArgument("rule needs -j ACCEPT|DROP");
+  }
+  if ((!rule.src_ports.IsAny() || !rule.dst_ports.IsAny()) &&
+      (!rule.protocol.has_value() || *rule.protocol == IpProtocol::kIcmp)) {
+    return InvalidArgument("port matches require -p tcp or -p udp");
+  }
+  return rule;
+}
+
+Expected<IptablesRuleset> ParseIptablesScript(std::string_view script) {
+  IptablesRuleset ruleset;
+  usize pos = 0;
+  while (pos <= script.size()) {
+    usize eol = script.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = script.size();
+    }
+    std::string_view line = script.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Strip comments.
+    const usize hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) {
+      if (eol == script.size()) {
+        break;
+      }
+      continue;
+    }
+    if (tokens[0] == "-P" || (tokens.size() > 1 && tokens[1] == "-P")) {
+      // Default policy: "-P FORWARD DROP".
+      const usize base = tokens[0] == "-P" ? 0 : 1;
+      if (tokens.size() < base + 3) {
+        return InvalidArgument("-P needs chain and target");
+      }
+      auto action = ParseAction(tokens[base + 2]);
+      if (!action.ok()) {
+        return action.status();
+      }
+      ruleset.default_action = *action;
+    } else {
+      auto rule = ParseIptablesRule(line);
+      if (!rule.ok()) {
+        return rule.status();
+      }
+      ruleset.rules.push_back(*rule);
+    }
+    if (eol == script.size()) {
+      break;
+    }
+  }
+  return ruleset;
+}
+
+}  // namespace emu

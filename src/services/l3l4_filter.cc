@@ -1,0 +1,154 @@
+#include "src/services/l3l4_filter.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/net/ethernet.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/netfpga/axis.h"
+
+namespace emu {
+
+std::string FilterRule::ToString() const {
+  std::string out = action == Action::kDrop ? "DROP" : "ACCEPT";
+  if (protocol.has_value()) {
+    switch (*protocol) {
+      case IpProtocol::kIcmp:
+        out += " icmp";
+        break;
+      case IpProtocol::kTcp:
+        out += " tcp";
+        break;
+      case IpProtocol::kUdp:
+        out += " udp";
+        break;
+    }
+  }
+  char buf[64];
+  if (src_prefix != 0) {
+    std::snprintf(buf, sizeof(buf), " src=%s/%u", src_base.ToString().c_str(), src_prefix);
+    out += buf;
+  }
+  if (dst_prefix != 0) {
+    std::snprintf(buf, sizeof(buf), " dst=%s/%u", dst_base.ToString().c_str(), dst_prefix);
+    out += buf;
+  }
+  if (!src_ports.IsAny()) {
+    std::snprintf(buf, sizeof(buf), " sport=%u:%u", src_ports.lo, src_ports.hi);
+    out += buf;
+  }
+  if (!dst_ports.IsAny()) {
+    std::snprintf(buf, sizeof(buf), " dport=%u:%u", dst_ports.lo, dst_ports.hi);
+    out += buf;
+  }
+  return out;
+}
+
+bool RuleMatches(const FilterRule& rule, Packet& frame) {
+  EthernetView eth(frame);
+  if (!eth.Valid() || !eth.EtherTypeIs(EtherType::kIpv4)) {
+    return false;  // filter applies to IPv4 traffic only
+  }
+  Ipv4View ip(frame);
+  if (!ip.Valid()) {
+    return false;
+  }
+  if (rule.protocol.has_value() && !ip.ProtocolIs(*rule.protocol)) {
+    return false;
+  }
+  if (rule.src_prefix != 0 && !ip.source().InSubnet(rule.src_base, rule.src_prefix)) {
+    return false;
+  }
+  if (rule.dst_prefix != 0 && !ip.destination().InSubnet(rule.dst_base, rule.dst_prefix)) {
+    return false;
+  }
+  if (!rule.src_ports.IsAny() || !rule.dst_ports.IsAny()) {
+    u16 sport = 0;
+    u16 dport = 0;
+    if (ip.ProtocolIs(IpProtocol::kTcp)) {
+      TcpView tcp(frame, ip.payload_offset());
+      if (!tcp.Valid()) {
+        return false;
+      }
+      sport = tcp.source_port();
+      dport = tcp.destination_port();
+    } else if (ip.ProtocolIs(IpProtocol::kUdp)) {
+      UdpView udp(frame, ip.payload_offset());
+      if (!udp.Valid()) {
+        return false;
+      }
+      sport = udp.source_port();
+      dport = udp.destination_port();
+    } else {
+      return false;  // port ranges only make sense for TCP/UDP
+    }
+    if (!rule.src_ports.Contains(sport) || !rule.dst_ports.Contains(dport)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+L3L4Filter::L3L4Filter(L3L4FilterConfig config) : config_(std::move(config)) {}
+
+L3L4Filter::~L3L4Filter() = default;
+
+void L3L4Filter::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  accepted_fifo_ = std::make_unique<SyncFifo<Packet>>(
+      sim, 16, config_.switch_config.bus_bytes * 8);
+  // The generated filter logic: one comparator bundle per rule, evaluated in
+  // parallel with a priority encoder (first match wins).
+  filter_resources_ =
+      HlsControlResources(3, config_.switch_config.bus_bytes * 8) +
+      ResourceUsage{90 * static_cast<u64>(config_.rules.size()) + 120,
+                    40 * static_cast<u64>(config_.rules.size()) + 90, 0} +
+      accepted_fifo_->resources();
+  sim.AddProcess(FilterStage(), "l3l4_filter");
+
+  switch_ = std::make_unique<LearningSwitch>(config_.switch_config);
+  switch_->Instantiate(sim, Dataplane{accepted_fifo_.get(), dp.tx});
+}
+
+ResourceUsage L3L4Filter::Resources() const {
+  return filter_resources_ + switch_->Resources();
+}
+
+Cycle L3L4Filter::ModuleLatency() const {
+  // Filter stage adds two cycles (parallel rule match + verdict) in front of
+  // the embedded switch.
+  return 2 + switch_->ModuleLatency();
+}
+
+HwProcess L3L4Filter::FilterStage() {
+  for (;;) {
+    if (dp_.rx->Empty() || !accepted_fifo_->CanPush()) {
+      co_await Pause();
+      continue;
+    }
+    Packet frame = dp_.rx->Pop();
+
+    // All rules evaluate in parallel in hardware; one cycle for the
+    // comparators, one for the priority encoder.
+    FilterRule::Action verdict = config_.default_action;
+    for (const FilterRule& rule : config_.rules) {
+      if (RuleMatches(rule, frame)) {
+        verdict = rule.action;
+        break;
+      }
+    }
+    co_await PauseFor(2);
+
+    if (verdict == FilterRule::Action::kAccept) {
+      ++accepted_;
+      accepted_fifo_->Push(std::move(frame));
+    } else {
+      ++filtered_;  // dropped: never forwarded
+    }
+    co_await Pause();
+  }
+}
+
+}  // namespace emu

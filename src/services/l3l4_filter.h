@@ -1,0 +1,85 @@
+// L3-L4 filter (§4.1).
+//
+// The paper provides a tool that emulates the iptables command-line
+// interface and generates filter code that "slots into" the learning switch,
+// turning it into an L3 filter over address sets/protocols or an L4 filter
+// over TCP/UDP port ranges. Here the rule set is evaluated by a filter stage
+// in front of an embedded LearningSwitch; rules are ordered, first match
+// wins, and the default policy is configurable. iptables_cli.h parses
+// iptables-like text into FilterRules.
+#ifndef SRC_SERVICES_L3L4_FILTER_H_
+#define SRC_SERVICES_L3L4_FILTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/service.h"
+#include "src/net/ipv4.h"
+#include "src/services/learning_switch.h"
+
+namespace emu {
+
+struct PortRange {
+  u16 lo = 0;
+  u16 hi = 65535;
+
+  bool Contains(u16 port) const { return port >= lo && port <= hi; }
+  bool IsAny() const { return lo == 0 && hi == 65535; }
+};
+
+struct FilterRule {
+  enum class Action { kAccept, kDrop };
+
+  Action action = Action::kDrop;
+  std::optional<IpProtocol> protocol;  // unset: any IP protocol
+  Ipv4Address src_base;
+  u32 src_prefix = 0;  // 0 = any source
+  Ipv4Address dst_base;
+  u32 dst_prefix = 0;
+  PortRange src_ports;
+  PortRange dst_ports;
+
+  std::string ToString() const;
+};
+
+// True when `frame` (an Ethernet/IPv4 frame) matches the rule.
+bool RuleMatches(const FilterRule& rule, Packet& frame);
+
+struct L3L4FilterConfig {
+  std::vector<FilterRule> rules;
+  FilterRule::Action default_action = FilterRule::Action::kAccept;
+  LearningSwitchConfig switch_config;
+};
+
+class L3L4Filter : public Service {
+ public:
+  explicit L3L4Filter(L3L4FilterConfig config = {});
+  ~L3L4Filter() override;
+
+  std::string_view name() const override { return "emu_l3l4_filter"; }
+  void Instantiate(Simulator& sim, Dataplane dp) override;
+  ResourceUsage Resources() const override;
+  Cycle ModuleLatency() const override;
+  Cycle InitiationInterval() const override { return 3; }
+
+  u64 accepted() const { return accepted_; }
+  u64 filtered() const { return filtered_; }
+  const LearningSwitch& embedded_switch() const { return *switch_; }
+
+ private:
+  HwProcess FilterStage();
+
+  L3L4FilterConfig config_;
+  Dataplane dp_;
+  std::unique_ptr<SyncFifo<Packet>> accepted_fifo_;
+  std::unique_ptr<LearningSwitch> switch_;
+  ResourceUsage filter_resources_;
+  u64 accepted_ = 0;
+  u64 filtered_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SERVICES_L3L4_FILTER_H_

@@ -1,0 +1,227 @@
+#include "src/services/nat_service.h"
+
+#include <cassert>
+
+#include "src/core/protocol_wrappers.h"
+#include "src/ip/pearson_hash.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/netfpga/axis.h"
+#include "src/netfpga/dataplane.h"
+#include "src/services/reply_util.h"
+
+namespace emu {
+namespace {
+
+u64 FlowKey(IpProtocol protocol, Ipv4Address ip, u16 port) {
+  // proto(8) | ip(32) | port(16) packed, then Pearson-hashed by HashCam.
+  return (static_cast<u64>(protocol) << 48) | (static_cast<u64>(ip.value()) << 16) | port;
+}
+
+}  // namespace
+
+NatService::NatService(NatConfig config) : config_(config) {}
+
+NatService::~NatService() = default;
+
+void NatService::Instantiate(Simulator& sim, Dataplane dp) {
+  assert(dp.rx != nullptr && dp.tx != nullptr);
+  dp_ = dp;
+  sim_ = &sim;
+  flow_table_ = std::make_unique<HashCam>(sim, "nat_flows", config_.max_mappings * 2);
+  mappings_.resize(config_.max_mappings);
+  // Rewrite FSM + mapping store (~1,000 lines of C# in the paper).
+  control_resources_ = HlsControlResources(11, config_.bus_bytes * 8) +
+                       BramResources(config_.max_mappings * 14 * 8) +
+                       ResourceUsage{340, 260, 0};
+  sim.AddProcess(MainLoop(), "nat");
+}
+
+ResourceUsage NatService::Resources() const {
+  return control_resources_ + flow_table_->resources();
+}
+
+bool NatService::Expired(const Mapping& mapping) const {
+  return config_.mapping_timeout_cycles != 0 && mapping.used &&
+         sim_->now() - mapping.last_used > config_.mapping_timeout_cycles;
+}
+
+void NatService::Reclaim(usize slot) {
+  flow_table_->Erase(mappings_[slot].flow_key);
+  mappings_[slot].used = false;
+  --active_mappings_;
+}
+
+u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_port,
+                            MacAddress src_mac, u8 fpga_port) {
+  const u64 key = FlowKey(protocol, src_ip, src_port);
+  const u64 existing = flow_table_->Read(key);
+  if (flow_table_->matched()) {
+    if (!Expired(mappings_[existing])) {
+      mappings_[existing].last_used = sim_->now();
+      return static_cast<u16>(config_.port_base + existing);
+    }
+    Reclaim(existing);  // stale binding for this very flow: reallocate fresh
+  }
+  // Allocate the next free slot (rotating allocator; expired mappings are
+  // reclaimed on the way).
+  for (usize scan = 0; scan < mappings_.size(); ++scan) {
+    const usize slot = (next_mapping_ + scan) % mappings_.size();
+    if (Expired(mappings_[slot])) {
+      Reclaim(slot);
+    }
+    if (!mappings_[slot].used) {
+      if (!flow_table_->Write(key, slot)) {
+        return 0;
+      }
+      mappings_[slot] =
+          Mapping{true, protocol, src_ip, src_port, src_mac, fpga_port, key, sim_->now()};
+      next_mapping_ = slot + 1;
+      ++active_mappings_;
+      return static_cast<u16>(config_.port_base + slot);
+    }
+  }
+  return 0;  // table full
+}
+
+HwProcess NatService::MainLoop() {
+  for (;;) {
+    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
+      co_await Pause();
+      continue;
+    }
+    NetFpgaData dataplane;
+    dataplane.tdata = dp_.rx->Pop();
+    const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+    co_await PauseFor(words);
+
+    const u8 in_port = dataplane.tdata.src_port();
+    const bool from_external = in_port == 0;
+
+    // ARP for either gateway address.
+    ArpWrapper arp(dataplane);
+    if (arp.Reachable() && arp.OperIs(ArpOper::kRequest)) {
+      const Ipv4Address target = arp.target_ip();
+      if (target == config_.external_ip || target == config_.internal_ip) {
+        const MacAddress our_mac =
+            target == config_.external_ip ? config_.external_mac : config_.internal_mac;
+        Packet reply = MakeArpReply(our_mac, target, arp.sender_mac(), arp.sender_ip());
+        CopyDataplaneStamps(dataplane.tdata, reply);
+        NetFpgaData out;
+        out.tdata = std::move(reply);
+        NetFpga::SendBackToSource(out);
+        co_await PauseFor(2);
+        dp_.tx->Push(std::move(out.tdata));
+        co_await Pause();
+        continue;
+      }
+    }
+
+    Ipv4Wrapper ip(dataplane);
+    if (!ip.Reachable() ||
+        (!ip.ProtocolIs(IpProtocol::kUdp) && !ip.ProtocolIs(IpProtocol::kTcp))) {
+      ++dropped_;
+      co_await Pause();
+      continue;
+    }
+    // Serial header walk + rewrite FSM of the undergraduate prototype
+    // (see NatConfig).
+    co_await PauseFor(config_.parse_cycles);
+    const IpProtocol protocol =
+        ip.ProtocolIs(IpProtocol::kUdp) ? IpProtocol::kUdp : IpProtocol::kTcp;
+    Packet& frame = dataplane.tdata;
+    const usize l4_offset = ip.payload_offset();
+    const usize segment_length = ip.total_length() - ip.HeaderBytes();
+
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    if (protocol == IpProtocol::kUdp) {
+      UdpView udp(frame, l4_offset);
+      src_port = udp.source_port();
+      dst_port = udp.destination_port();
+    } else {
+      TcpView tcp(frame, l4_offset);
+      src_port = tcp.source_port();
+      dst_port = tcp.destination_port();
+    }
+
+    EthernetWrapper eth(dataplane);
+    bool forward = false;
+    u8 out_fpga_port = 0;
+
+    if (!from_external && ip.source().InSubnet(config_.internal_subnet,
+                                               config_.internal_prefix)) {
+      // Outbound: translate source.
+      const u16 ext_port =
+          MapOutbound(protocol, ip.source(), src_port, eth.source(), in_port);
+      co_await PauseFor(3);  // flow-table probe / insert
+      if (ext_port != 0) {
+        ip.set_source(config_.external_ip);
+        if (protocol == IpProtocol::kUdp) {
+          UdpView udp(frame, l4_offset);
+          udp.set_source_port(ext_port);
+        } else {
+          TcpView tcp(frame, l4_offset);
+          tcp.set_source_port(ext_port);
+        }
+        eth.set_source(config_.external_mac);
+        eth.set_destination(config_.external_gateway_mac);
+        out_fpga_port = 0;
+        forward = true;
+        ++translated_out_;
+      }
+    } else if (from_external && ip.destination() == config_.external_ip) {
+      // Inbound: look the mapping up by translated port.
+      co_await PauseFor(2);
+      if (dst_port >= config_.port_base &&
+          dst_port < config_.port_base + mappings_.size()) {
+        Mapping& mapping = mappings_[dst_port - config_.port_base];
+        if (Expired(mapping)) {
+          Reclaim(dst_port - config_.port_base);
+        }
+        if (mapping.used && mapping.protocol == protocol) {
+          mapping.last_used = sim_->now();
+          ip.set_destination(mapping.internal_ip);
+          if (protocol == IpProtocol::kUdp) {
+            UdpView udp(frame, l4_offset);
+            udp.set_destination_port(mapping.internal_port);
+          } else {
+            TcpView tcp(frame, l4_offset);
+            tcp.set_destination_port(mapping.internal_port);
+          }
+          eth.set_source(config_.internal_mac);
+          eth.set_destination(mapping.internal_mac);
+          out_fpga_port = mapping.internal_fpga_port;
+          forward = true;
+          ++translated_in_;
+        }
+      }
+    }
+
+    if (!forward) {
+      ++dropped_;
+      co_await Pause();
+      continue;
+    }
+
+    // Refresh checksums after the rewrite.
+    ip.set_ttl(ip.ttl() > 0 ? ip.ttl() - 1 : 0);
+    ip.UpdateChecksum();
+    if (protocol == IpProtocol::kUdp) {
+      UdpView udp(frame, l4_offset);
+      udp.UpdateChecksum(ip);
+    } else {
+      TcpView tcp(frame, l4_offset);
+      tcp.UpdateChecksum(ip, segment_length);
+    }
+    co_await PauseFor(2);  // checksum fold
+
+    NetFpga::SetOutputPort(dataplane, out_fpga_port);
+    const usize out_words = WordsForBytes(frame.size(), config_.bus_bytes);
+    dp_.tx->Push(std::move(dataplane.tdata));
+    co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
+    co_await PauseFor(config_.turnaround_cycles);  // FSM tail (throughput)
+  }
+}
+
+}  // namespace emu

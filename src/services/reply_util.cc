@@ -1,0 +1,38 @@
+#include "src/services/reply_util.h"
+
+#include "src/net/ethernet.h"
+#include "src/net/udp.h"
+
+namespace emu {
+
+void SwapEthernetAddresses(Packet& frame) {
+  EthernetView eth(frame);
+  const MacAddress dst = eth.destination();
+  eth.set_destination(eth.source());
+  eth.set_source(dst);
+}
+
+void SwapIpv4Addresses(Packet& frame, u8 ttl) {
+  Ipv4View ip(frame);
+  const Ipv4Address dst = ip.destination();
+  ip.set_destination(ip.source());
+  ip.set_source(dst);
+  ip.set_ttl(ttl);
+  ip.UpdateChecksum();
+}
+
+void CopyDataplaneStamps(const Packet& request, Packet& reply) {
+  reply.set_src_port(request.src_port());
+  reply.set_ingress_time(request.ingress_time());
+  reply.set_core_ingress_cycle(request.core_ingress_cycle());
+}
+
+void SwapUdpPorts(Packet& frame) {
+  Ipv4View ip(frame);
+  UdpView udp(frame, ip.payload_offset());
+  const u16 dst = udp.destination_port();
+  udp.set_destination_port(udp.source_port());
+  udp.set_source_port(dst);
+}
+
+}  // namespace emu

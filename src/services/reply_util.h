@@ -1,0 +1,29 @@
+// Shared header-rewrite helpers for request/response services (swap the
+// direction of a frame in place, fix checksums after a rewrite).
+#ifndef SRC_SERVICES_REPLY_UTIL_H_
+#define SRC_SERVICES_REPLY_UTIL_H_
+
+#include "src/net/ipv4.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+// Swaps Ethernet source/destination MACs.
+void SwapEthernetAddresses(Packet& frame);
+
+// Swaps IPv4 source/destination, resets TTL, and refreshes the header
+// checksum.
+void SwapIpv4Addresses(Packet& frame, u8 ttl = 64);
+
+// Swaps UDP source/destination ports (checksum must be refreshed by the
+// caller after any payload change).
+void SwapUdpPorts(Packet& frame);
+
+// Copies the dataplane bookkeeping (source port, wire ingress timestamp,
+// core ingress cycle) from a request onto a freshly built reply so latency
+// accounting survives services that do not rewrite in place.
+void CopyDataplaneStamps(const Packet& request, Packet& reply);
+
+}  // namespace emu
+
+#endif  // SRC_SERVICES_REPLY_UTIL_H_

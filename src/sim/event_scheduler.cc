@@ -1,0 +1,35 @@
+#include "src/sim/event_scheduler.h"
+
+namespace emu {
+
+void EventScheduler::At(Picoseconds when, Action action) {
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(action)});
+}
+
+bool EventScheduler::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the event out before running it: the action may schedule more.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  event.action();
+  return true;
+}
+
+void EventScheduler::Run(usize max_events) {
+  for (usize i = 0; i < max_events && Step(); ++i) {
+  }
+}
+
+void EventScheduler::RunUntil(Picoseconds deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace emu

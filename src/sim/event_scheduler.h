@@ -1,0 +1,54 @@
+// Discrete-event scheduler for the network simulator (Mininet substitute).
+#ifndef SRC_SIM_EVENT_SCHEDULER_H_
+#define SRC_SIM_EVENT_SCHEDULER_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class EventScheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Picoseconds now() const { return now_; }
+
+  // Schedules `action` at absolute time `when` (clamped to now).
+  void At(Picoseconds when, Action action);
+  void After(Picoseconds delay, Action action) { At(now_ + delay, std::move(action)); }
+
+  bool Empty() const { return queue_.empty(); }
+  usize pending() const { return queue_.size(); }
+
+  // Runs a single event; returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains or `max_events` fire.
+  void Run(usize max_events = 10'000'000);
+
+  // Runs events with time <= deadline.
+  void RunUntil(Picoseconds deadline);
+
+ private:
+  struct Event {
+    Picoseconds when;
+    u64 seq;  // FIFO tiebreak for simultaneous events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Picoseconds now_ = 0;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_EVENT_SCHEDULER_H_

@@ -1,0 +1,86 @@
+#include "src/sim/latency_probe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emu {
+
+void LatencyStats::Add(Picoseconds sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void LatencyStats::AddPacket(const Packet& packet) {
+  Add(packet.egress_time() - packet.ingress_time());
+}
+
+void LatencyStats::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyStats::MeanUs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (Picoseconds s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size()) / static_cast<double>(kPicosPerMicro);
+}
+
+double LatencyStats::MinUs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  Sort();
+  return ToMicroseconds(samples_.front());
+}
+
+double LatencyStats::MaxUs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  Sort();
+  return ToMicroseconds(samples_.back());
+}
+
+double LatencyStats::StdDevUs() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = MeanUs();
+  double acc = 0.0;
+  for (Picoseconds s : samples_) {
+    const double d = ToMicroseconds(s) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyStats::PercentileUs(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  Sort();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const usize lo = static_cast<usize>(rank);
+  const usize hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return ToMicroseconds(samples_[lo]) * (1.0 - frac) + ToMicroseconds(samples_[hi]) * frac;
+}
+
+double LatencyStats::TailToAverage() const {
+  const double mean = MeanUs();
+  return mean > 0.0 ? PercentileUs(99.0) / mean : 0.0;
+}
+
+void LatencyStats::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+}  // namespace emu

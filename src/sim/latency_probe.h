@@ -1,0 +1,45 @@
+// Latency statistics — the Endace DAG capture substitute.
+//
+// The paper measures DUT latency by capturing all traffic on a DAG card and
+// subtracting the rig's own latency; here packets carry ingress/egress
+// timestamps directly and LatencyStats aggregates them into the avg/99th
+// numbers Table 4 reports.
+#ifndef SRC_SIM_LATENCY_PROBE_H_
+#define SRC_SIM_LATENCY_PROBE_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+class LatencyStats {
+ public:
+  void Add(Picoseconds sample);
+  void AddPacket(const Packet& packet);
+
+  usize count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double MeanUs() const;
+  double MinUs() const;
+  double MaxUs() const;
+  double StdDevUs() const;
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  double PercentileUs(double p) const;
+  double MedianUs() const { return PercentileUs(50.0); }
+  double TailToAverage() const;  // 99th / mean, the paper's tail metric
+
+  void Clear();
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<Picoseconds> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_LATENCY_PROBE_H_

@@ -1,0 +1,25 @@
+#include "src/sim/link.h"
+
+#include <algorithm>
+
+namespace emu {
+
+void Link::Transmit(Packet frame, bool to_b) {
+  const u64 bits = static_cast<u64>(frame.size() + 24) * 8;  // preamble+FCS+IFG
+  const Picoseconds serialization =
+      static_cast<Picoseconds>(bits * kPicosPerSecond / bits_per_second_);
+  Picoseconds& busy_until = to_b ? busy_until_a_to_b_ : busy_until_b_to_a_;
+  const Picoseconds start = std::max(scheduler_.now(), busy_until);
+  busy_until = start + serialization;
+  const Picoseconds arrival = busy_until + propagation_delay_;
+  Receiver& receiver = to_b ? end_b_ : end_a_;
+  if (!receiver) {
+    return;
+  }
+  scheduler_.At(arrival, [this, &receiver, frame = std::move(frame)]() mutable {
+    ++delivered_;
+    receiver(std::move(frame));
+  });
+}
+
+}  // namespace emu

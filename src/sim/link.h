@@ -1,0 +1,46 @@
+// Point-to-point link with bandwidth and propagation delay.
+#ifndef SRC_SIM_LINK_H_
+#define SRC_SIM_LINK_H_
+
+#include <functional>
+
+#include "src/net/packet.h"
+#include "src/sim/event_scheduler.h"
+
+namespace emu {
+
+class Link {
+ public:
+  using Receiver = std::function<void(Packet)>;
+
+  Link(EventScheduler& scheduler, u64 bits_per_second, Picoseconds propagation_delay)
+      : scheduler_(scheduler),
+        bits_per_second_(bits_per_second),
+        propagation_delay_(propagation_delay) {}
+
+  void AttachA(Receiver receiver) { end_a_ = std::move(receiver); }
+  void AttachB(Receiver receiver) { end_b_ = std::move(receiver); }
+
+  // Sends toward end B (from A) or end A (from B); the frame is delivered
+  // after serialization + propagation, respecting link occupancy.
+  void SendToB(Packet frame) { Transmit(std::move(frame), /*to_b=*/true); }
+  void SendToA(Packet frame) { Transmit(std::move(frame), /*to_b=*/false); }
+
+  u64 delivered() const { return delivered_; }
+
+ private:
+  void Transmit(Packet frame, bool to_b);
+
+  EventScheduler& scheduler_;
+  u64 bits_per_second_;
+  Picoseconds propagation_delay_;
+  Receiver end_a_;
+  Receiver end_b_;
+  Picoseconds busy_until_a_to_b_ = 0;
+  Picoseconds busy_until_b_to_a_ = 0;
+  u64 delivered_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_LINK_H_

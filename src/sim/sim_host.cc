@@ -1,0 +1,78 @@
+#include "src/sim/sim_host.h"
+
+#include <cassert>
+
+namespace emu {
+
+SimHost::SimHost(EventScheduler& scheduler, std::string name, MacAddress mac, Ipv4Address ip)
+    : scheduler_(scheduler), name_(std::move(name)), mac_(mac), ip_(ip) {}
+
+void SimHost::AttachUplink(Link* link, bool is_end_a) {
+  uplink_ = link;
+  uplink_end_a_ = is_end_a;
+  if (is_end_a) {
+    link->AttachA([this](Packet frame) { Receive(std::move(frame)); });
+  } else {
+    link->AttachB([this](Packet frame) { Receive(std::move(frame)); });
+  }
+}
+
+void SimHost::Send(Packet frame) {
+  assert(uplink_ != nullptr && "host must be attached to a link");
+  ++sent_;
+  if (uplink_end_a_) {
+    uplink_->SendToB(std::move(frame));
+  } else {
+    uplink_->SendToA(std::move(frame));
+  }
+}
+
+void SimHost::Receive(Packet frame) {
+  ++received_;
+  if (app_) {
+    app_(*this, std::move(frame));
+  }
+}
+
+ServiceNode::ServiceNode(EventScheduler& scheduler, Service& service)
+    : scheduler_(scheduler), target_(service), ports_(kNetFpgaPortCount) {}
+
+void ServiceNode::AttachPort(u8 port, Link* link, bool is_end_a) {
+  assert(port < ports_.size());
+  ports_[port] = PortAttachment{link, is_end_a};
+  const auto receiver = [this, port](Packet frame) { Receive(port, std::move(frame)); };
+  if (is_end_a) {
+    link->AttachA(receiver);
+  } else {
+    link->AttachB(receiver);
+  }
+}
+
+void ServiceNode::Receive(u8 port, Packet frame) {
+  frame.set_src_port(port);
+  // Run the service (software semantics) on the frame now, emit the results
+  // after the node's processing delay.
+  auto outputs = target_.Deliver(std::move(frame));
+  for (auto& out : outputs) {
+    scheduler_.At(scheduler_.now() + processing_delay_,
+                  [this, out = std::move(out)]() mutable { Emit(std::move(out)); });
+  }
+}
+
+void ServiceNode::Emit(Packet frame) {
+  const u8 mask = frame.dst_port_mask();
+  for (u8 port = 0; port < ports_.size(); ++port) {
+    if (((mask >> port) & 1u) == 0 || ports_[port].link == nullptr) {
+      continue;
+    }
+    ++forwarded_;
+    Packet copy = frame;
+    if (ports_[port].is_end_a) {
+      ports_[port].link->SendToB(std::move(copy));
+    } else {
+      ports_[port].link->SendToA(std::move(copy));
+    }
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,91 @@
+// Hosts for the event-driven network simulator, including the adapter that
+// runs an Emu Service inside it (the Mininet target of §3.3/§4.4).
+#ifndef SRC_SIM_SIM_HOST_H_
+#define SRC_SIM_SIM_HOST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/targets.h"
+#include "src/net/mac_address.h"
+#include "src/sim/event_scheduler.h"
+#include "src/sim/link.h"
+
+namespace emu {
+
+// An end host: receives frames, can send out its single interface, and hands
+// received frames to an application callback.
+class SimHost {
+ public:
+  using App = std::function<void(SimHost&, Packet)>;
+
+  SimHost(EventScheduler& scheduler, std::string name, MacAddress mac, Ipv4Address ip);
+
+  const std::string& name() const { return name_; }
+  MacAddress mac() const { return mac_; }
+  Ipv4Address ip() const { return ip_; }
+  EventScheduler& scheduler() { return scheduler_; }
+
+  // Wire the host to a link end; Topology does this.
+  void AttachUplink(Link* link, bool is_end_a);
+
+  void SetApp(App app) { app_ = std::move(app); }
+
+  void Send(Packet frame);
+  void Receive(Packet frame);
+
+  u64 sent() const { return sent_; }
+  u64 received() const { return received_; }
+
+ private:
+  EventScheduler& scheduler_;
+  std::string name_;
+  MacAddress mac_;
+  Ipv4Address ip_;
+  Link* uplink_ = nullptr;
+  bool uplink_end_a_ = true;
+  App app_;
+  u64 sent_ = 0;
+  u64 received_ = 0;
+};
+
+// Runs a Service inside the event simulator: frames arriving on any attached
+// link are delivered to the service (software semantics, same source as the
+// FPGA target) and its output frames are forwarded onto the addressed ports.
+// This is the third execution target ("SimTarget").
+class ServiceNode {
+ public:
+  ServiceNode(EventScheduler& scheduler, Service& service);
+
+  // Attaches a link as NetFPGA-style port `port` (end A or B of the link).
+  void AttachPort(u8 port, Link* link, bool is_end_a);
+
+  // Delivers a frame as if received on `port`.
+  void Receive(u8 port, Packet frame);
+
+  // Per-frame processing delay charged inside the node (default: one
+  // software scheduling quantum of 10 us, like a userspace process).
+  void set_processing_delay(Picoseconds delay) { processing_delay_ = delay; }
+
+  u64 forwarded() const { return forwarded_; }
+
+ private:
+  struct PortAttachment {
+    Link* link = nullptr;
+    bool is_end_a = true;
+  };
+
+  void Emit(Packet frame);
+
+  EventScheduler& scheduler_;
+  CpuTarget target_;
+  std::vector<PortAttachment> ports_;
+  Picoseconds processing_delay_ = 10 * kPicosPerMicro;
+  u64 forwarded_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_SIM_HOST_H_

@@ -1,0 +1,22 @@
+#include "src/sim/topology.h"
+
+#include <cassert>
+
+namespace emu {
+
+StarTopology::StarTopology(Service& service, std::vector<HostSpec> specs,
+                           StarTopologyConfig config) {
+  assert(specs.size() <= kNetFpgaPortCount);
+  node_ = std::make_unique<ServiceNode>(scheduler_, service);
+  for (usize i = 0; i < specs.size(); ++i) {
+    links_.push_back(
+        std::make_unique<Link>(scheduler_, config.link_bits_per_second, config.link_delay));
+    hosts_.push_back(std::make_unique<SimHost>(scheduler_, specs[i].name, specs[i].mac,
+                                               specs[i].ip));
+    // Host on end A, service node port i on end B.
+    hosts_.back()->AttachUplink(links_.back().get(), /*is_end_a=*/true);
+    node_->AttachPort(static_cast<u8>(i), links_.back().get(), /*is_end_a=*/false);
+  }
+}
+
+}  // namespace emu

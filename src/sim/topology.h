@@ -1,0 +1,50 @@
+// Topology builder for the event-driven simulator.
+//
+// StarTopology is the common shape: up to four hosts, each on its own 10G
+// link, around one ServiceNode running an Emu service — functionally the
+// Mininet setups the paper uses to test the NAT and other services before
+// synthesizing them.
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/sim_host.h"
+
+namespace emu {
+
+struct HostSpec {
+  std::string name;
+  MacAddress mac;
+  Ipv4Address ip;
+};
+
+struct StarTopologyConfig {
+  u64 link_bits_per_second = 10'000'000'000ULL;
+  Picoseconds link_delay = 500'000;  // 500 ns of cable + switch PHY
+};
+
+class StarTopology {
+ public:
+  StarTopology(Service& service, std::vector<HostSpec> hosts,
+               StarTopologyConfig config = StarTopologyConfig());
+
+  EventScheduler& scheduler() { return scheduler_; }
+  SimHost& host(usize i) { return *hosts_[i]; }
+  usize host_count() const { return hosts_.size(); }
+  ServiceNode& service_node() { return *node_; }
+
+  // Convenience: run the event loop until quiescent.
+  void Run(usize max_events = 1'000'000) { scheduler_.Run(max_events); }
+
+ private:
+  EventScheduler scheduler_;
+  std::unique_ptr<ServiceNode> node_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_TOPOLOGY_H_

@@ -1,0 +1,57 @@
+// Packet trace capture and replay: human-readable dumps plus real libpcap
+// files in both directions — the OSNT side of the rig "replays real traffic
+// traces" (§5.2), and ReadPcap is how such a trace gets into a loadgen.
+#ifndef SRC_SIM_TRACE_DUMP_H_
+#define SRC_SIM_TRACE_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+class TraceDump {
+ public:
+  struct Record {
+    Picoseconds time = 0;
+    std::string tag;
+    Packet packet;
+  };
+
+  void Capture(Picoseconds time, std::string tag, const Packet& packet);
+
+  usize size() const { return records_.size(); }
+  const Record& record(usize i) const { return records_[i]; }
+
+  // One line per packet: time, tag, decoded L2/L3 summary.
+  std::string Summary() const;
+  // Full hexdump rendering.
+  std::string Full() const;
+
+  // Writes Full() to a file; returns false on I/O failure.
+  bool WriteToFile(const std::string& path) const;
+
+  // Writes a classic libpcap (v2.4, LINKTYPE_ETHERNET) capture file openable
+  // in wireshark/tcpdump; timestamps come from each record's capture time.
+  bool WritePcap(const std::string& path) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+// Decodes a one-line human summary of a frame ("IPv4 10.0.0.1>10.0.0.2
+// proto=17 len=60").
+std::string DescribePacket(const Packet& packet);
+
+// Loads a classic libpcap file (as written by WritePcap, or any
+// host-endian v2.4 Ethernet capture). Each record's capture time lands in
+// the packet's ingress_time, so a loadgen can replay with original pacing.
+Expected<std::vector<Packet>> ReadPcap(const std::string& path);
+
+}  // namespace emu
+
+#endif  // SRC_SIM_TRACE_DUMP_H_

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/hexdump.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/wide_word.h"
+
+namespace emu {
+namespace {
+
+// --- WideUInt ---------------------------------------------------------------
+
+TEST(WideWord, DefaultIsZero) {
+  Word256 w;
+  EXPECT_TRUE(w.IsZero());
+  EXPECT_EQ(w.ToU64(), 0u);
+}
+
+TEST(WideWord, LowWordConstruction) {
+  Word256 w(0xdeadbeefULL);
+  EXPECT_EQ(w.ToU64(), 0xdeadbeefULL);
+  EXPECT_FALSE(w.IsZero());
+}
+
+TEST(WideWord, AdditionCarriesAcrossLimbs) {
+  Word128 a;
+  a.SetLimb(0, ~u64{0});
+  Word128 b(1);
+  Word128 sum = a + b;
+  EXPECT_EQ(sum.Limb(0), 0u);
+  EXPECT_EQ(sum.Limb(1), 1u);
+}
+
+TEST(WideWord, SubtractionBorrowsAcrossLimbs) {
+  Word128 a;
+  a.SetLimb(1, 1);  // 2^64
+  Word128 b(1);
+  Word128 diff = a - b;
+  EXPECT_EQ(diff.Limb(0), ~u64{0});
+  EXPECT_EQ(diff.Limb(1), 0u);
+}
+
+TEST(WideWord, SubtractionWrapsLikeHardware) {
+  Word128 zero;
+  Word128 one(1);
+  Word128 wrapped = zero - one;
+  EXPECT_EQ(wrapped, Word128::Max());
+}
+
+TEST(WideWord, ShiftLeftMovesAcrossLimbBoundary) {
+  Word128 w(1);
+  Word128 shifted = w << 64;
+  EXPECT_EQ(shifted.Limb(0), 0u);
+  EXPECT_EQ(shifted.Limb(1), 1u);
+}
+
+TEST(WideWord, ShiftLeftNonMultipleOf64) {
+  Word128 w(0x8000000000000000ULL);
+  Word128 shifted = w << 1;
+  EXPECT_EQ(shifted.Limb(0), 0u);
+  EXPECT_EQ(shifted.Limb(1), 1u);
+}
+
+TEST(WideWord, ShiftRightMirrorsShiftLeft) {
+  Word256 w(0xabcdef12345ULL);
+  EXPECT_EQ((w << 100) >> 100, w);
+}
+
+TEST(WideWord, ShiftByWidthOrMoreIsZero) {
+  Word128 w = Word128::Max();
+  EXPECT_TRUE((w << 128).IsZero());
+  EXPECT_TRUE((w >> 128).IsZero());
+  EXPECT_TRUE((w << 200).IsZero());
+}
+
+TEST(WideWord, ShiftByZeroIsIdentity) {
+  Word128 w(0x1234);
+  EXPECT_EQ(w << 0, w);
+  EXPECT_EQ(w >> 0, w);
+}
+
+TEST(WideWord, BitwiseOperators) {
+  Word128 a(0xf0f0);
+  Word128 b(0x0ff0);
+  EXPECT_EQ((a & b).ToU64(), 0x00f0u);
+  EXPECT_EQ((a | b).ToU64(), 0xfff0u);
+  EXPECT_EQ((a ^ b).ToU64(), 0xff00u);
+}
+
+TEST(WideWord, NotIsMaxOfZero) {
+  Word256 zero;
+  EXPECT_EQ(~zero, Word256::Max());
+}
+
+TEST(WideWord, ComparisonOrdersByHighLimbFirst) {
+  Word128 small(0xffffffffffffffffULL);
+  Word128 big;
+  big.SetLimb(1, 1);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, small);
+}
+
+TEST(WideWord, ByteAccessors) {
+  Word256 w;
+  w.SetByte(0, 0xaa);
+  w.SetByte(8, 0xbb);
+  w.SetByte(31, 0xcc);
+  EXPECT_EQ(w.Byte(0), 0xaa);
+  EXPECT_EQ(w.Byte(8), 0xbb);
+  EXPECT_EQ(w.Byte(31), 0xcc);
+  EXPECT_EQ(w.Limb(0) & 0xff, 0xaau);
+  EXPECT_EQ(w.Limb(1) & 0xff, 0xbbu);
+}
+
+TEST(WideWord, ExtractDeposit) {
+  Word256 w;
+  w.Deposit(60, 16, 0xbeef);  // straddles the limb 0/1 boundary
+  EXPECT_EQ(w.Extract(60, 16), 0xbeefu);
+  EXPECT_EQ(w.Extract(0, 60), 0u);
+}
+
+TEST(WideWord, BitSetAndGet) {
+  Word512 w;
+  w.SetBit(511, true);
+  EXPECT_TRUE(w.Bit(511));
+  EXPECT_EQ(w.CountLeadingZeros(), 0u);
+  w.SetBit(511, false);
+  EXPECT_TRUE(w.IsZero());
+  EXPECT_EQ(w.CountLeadingZeros(), 512u);
+}
+
+TEST(WideWord, PopCount) {
+  Word128 w;
+  w.SetLimb(0, 0xff);
+  w.SetLimb(1, 0xf);
+  EXPECT_EQ(w.PopCount(), 12u);
+}
+
+TEST(WideWord, ToHex) {
+  Word128 w(0xabcULL);
+  EXPECT_EQ(w.ToHex(), "0x00000000000000000000000000000abc");
+}
+
+// Property sweep: (a + b) - b == a for assorted word widths and patterns.
+class WideWordRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(WideWordRoundTrip, AddThenSubtractIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Word256 a;
+    Word256 b;
+    for (usize limb = 0; limb < Word256::kLimbs; ++limb) {
+      a.SetLimb(limb, rng.NextU64());
+      b.SetLimb(limb, rng.NextU64());
+    }
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    const usize shift = rng.NextBelow(255) + 1;
+    EXPECT_EQ((a >> shift) << shift, (a >> shift) << shift);  // no crash, deterministic
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideWordRoundTrip, ::testing::Values(1u, 42u, 0xfeedu));
+
+// --- BitUtil ----------------------------------------------------------------
+
+TEST(BitUtil, RoundTrip16) {
+  std::array<u8, 8> buf{};
+  BitUtil::Set16(buf, 2, 0xbeef);
+  EXPECT_EQ(BitUtil::Get16(buf, 2), 0xbeef);
+  EXPECT_EQ(buf[2], 0xbe);  // network byte order
+  EXPECT_EQ(buf[3], 0xef);
+}
+
+TEST(BitUtil, RoundTrip32) {
+  std::array<u8, 8> buf{};
+  BitUtil::Set32(buf, 0, 0xc0a80101);  // 192.168.1.1
+  EXPECT_EQ(BitUtil::Get32(buf, 0), 0xc0a80101u);
+  EXPECT_EQ(buf[0], 0xc0);
+}
+
+TEST(BitUtil, RoundTrip48) {
+  std::array<u8, 8> buf{};
+  BitUtil::Set48(buf, 1, 0x0123456789abULL);
+  EXPECT_EQ(BitUtil::Get48(buf, 1), 0x0123456789abULL);
+}
+
+TEST(BitUtil, RoundTrip64) {
+  std::array<u8, 16> buf{};
+  BitUtil::Set64(buf, 5, 0x0123456789abcdefULL);
+  EXPECT_EQ(BitUtil::Get64(buf, 5), 0x0123456789abcdefULL);
+}
+
+TEST(BitUtil, GetBitsReadsMsbFirst) {
+  std::array<u8, 2> buf = {0x45, 0x00};  // IPv4 version=4, IHL=5
+  EXPECT_EQ(BitUtil::GetBits(buf, 0, 0, 4), 4u);
+  EXPECT_EQ(BitUtil::GetBits(buf, 0, 4, 4), 5u);
+}
+
+TEST(BitUtil, SetBitsWritesMsbFirst) {
+  std::array<u8, 2> buf{};
+  BitUtil::SetBits(buf, 0, 0, 4, 4);
+  BitUtil::SetBits(buf, 0, 4, 4, 5);
+  EXPECT_EQ(buf[0], 0x45);
+}
+
+TEST(BitUtil, SetBitsAcrossByteBoundary) {
+  std::array<u8, 3> buf{};
+  BitUtil::SetBits(buf, 0, 4, 12, 0xabc);
+  EXPECT_EQ(BitUtil::GetBits(buf, 0, 4, 12), 0xabcu);
+  EXPECT_EQ(buf[0], 0x0a);
+  EXPECT_EQ(buf[1], 0xbc);
+}
+
+TEST(BitUtil, SetBitsClearsExistingBits) {
+  std::array<u8, 1> buf = {0xff};
+  BitUtil::SetBits(buf, 0, 2, 4, 0);
+  EXPECT_EQ(buf[0], 0xc3);
+}
+
+// --- Status / Expected ------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = MalformedPacket("short header");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kMalformedPacket);
+  EXPECT_EQ(s.ToString(), "MALFORMED_PACKET: short header");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = NotFound("no entry");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.NextInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, LognormalIsPositiveAndSkewed) {
+  Rng rng(13);
+  double sum = 0;
+  double max = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextLognormal(0.0, 1.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    max = std::max(max, v);
+  }
+  const double mean = sum / n;
+  EXPECT_GT(max, mean * 5);  // right tail present
+}
+
+// --- Hexdump ----------------------------------------------------------------
+
+TEST(Hexdump, FormatsOffsetHexAscii) {
+  std::vector<u8> data = {'H', 'i', 0x00, 0xff};
+  const std::string dump = Hexdump(data);
+  EXPECT_NE(dump.find("000000"), std::string::npos);
+  EXPECT_NE(dump.find("48 69 00 ff"), std::string::npos);
+  EXPECT_NE(dump.find("|Hi..|"), std::string::npos);
+}
+
+TEST(Hexdump, HexJoinUsesSeparator) {
+  std::vector<u8> data = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(HexJoin(data), "de:ad:be:ef");
+  EXPECT_EQ(HexJoin(data, '-'), "de-ad-be-ef");
+}
+
+}  // namespace
+}  // namespace emu

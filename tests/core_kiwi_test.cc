@@ -1,0 +1,218 @@
+// Direct tests for the Kiwi schedulers, protocol wrappers, execution
+// targets, and the VCD tracer.
+#include <gtest/gtest.h>
+
+#include "src/core/protocol_wrappers.h"
+#include "src/core/targets.h"
+#include "src/hdl/signal.h"
+#include "src/hdl/vcd_tracer.h"
+#include "src/kiwi/hw_scheduler.h"
+#include "src/kiwi/sw_scheduler.h"
+#include "src/net/icmp.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/learning_switch.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kMacA = MacAddress::FromU48(0x02'00'00'00'00'0a);
+const MacAddress kMacB = MacAddress::FromU48(0x02'00'00'00'00'0b);
+const Ipv4Address kIpA(10, 0, 0, 1);
+const Ipv4Address kIpB(10, 0, 0, 2);
+
+// --- Schedulers ------------------------------------------------------------------
+
+TEST(HwSchedulerTest, CycleTimeConversions) {
+  HwScheduler scheduler;  // 200 MHz
+  EXPECT_EQ(scheduler.CyclesToPs(1), 5'000);
+  EXPECT_EQ(scheduler.CyclesToPs(200'000'000), kPicosPerSecond);
+  EXPECT_EQ(scheduler.PsToCycles(5'000), 1u);
+  EXPECT_EQ(scheduler.PsToCycles(5'001), 2u);  // rounds up
+  EXPECT_EQ(scheduler.PsToCycles(1), 1u);
+}
+
+TEST(HwSchedulerTest, NonDefaultClock) {
+  HwScheduler scheduler(250'000'000);
+  EXPECT_EQ(scheduler.CyclesToPs(1), 4'000);
+}
+
+HwProcess FiniteCounter(Reg<u64>& reg, int n) {
+  for (int i = 0; i < n; ++i) {
+    reg.Write(reg.Read() + 1);
+    co_await Pause();
+  }
+}
+
+TEST(SwSchedulerTest, RunToCompletionDrainsFiniteProcesses) {
+  SwScheduler scheduler;
+  Reg<u64> counter(scheduler.sim(), 0);
+  scheduler.sim().AddProcess(FiniteCounter(counter, 7), "finite");
+  scheduler.RunToCompletion(1000);
+  EXPECT_EQ(counter.Read(), 7u);
+  EXPECT_EQ(scheduler.sim().live_process_count(), 0u);
+}
+
+TEST(SwSchedulerTest, RunUntilPredicate) {
+  SwScheduler scheduler;
+  Reg<u64> counter(scheduler.sim(), 0);
+  scheduler.sim().AddProcess(FiniteCounter(counter, 1000), "counter");
+  EXPECT_TRUE(scheduler.RunUntil([&] { return counter.Read() >= 5; }, 100));
+  EXPECT_EQ(counter.Read(), 5u);
+}
+
+// --- Protocol wrappers (Fig. 3 style) ------------------------------------------------
+
+TEST(Wrappers, EthernetWrapperOverDataplane) {
+  NetFpgaData dataplane;
+  dataplane.tdata = MakeEthernetFrame(kMacB, kMacA, EtherType::kArp, {});
+  EthernetWrapper eth(dataplane);
+  EXPECT_TRUE(eth.Valid());
+  EXPECT_EQ(eth.destination(), kMacB);
+  EXPECT_TRUE(eth.EtherTypeIs(EtherType::kArp));
+}
+
+TEST(Wrappers, Ipv4WrapperReachability) {
+  NetFpgaData ip_frame;
+  ip_frame.tdata = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 1, 2}, std::vector<u8>{1});
+  EXPECT_TRUE(Ipv4Wrapper(ip_frame).Reachable());
+
+  NetFpgaData arp_frame;
+  arp_frame.tdata = MakeEthernetFrame(kMacB, kMacA, EtherType::kArp, std::vector<u8>(46, 0));
+  EXPECT_FALSE(Ipv4Wrapper(arp_frame).Reachable());
+}
+
+TEST(Wrappers, L4WrappersSelectByProtocol) {
+  NetFpgaData udp_frame;
+  udp_frame.tdata = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 7, 9}, std::vector<u8>{1});
+  EXPECT_TRUE(UdpWrapper(udp_frame).Reachable());
+  EXPECT_FALSE(TcpWrapper(udp_frame).Reachable());
+  EXPECT_FALSE(IcmpWrapper(udp_frame).Reachable());
+
+  NetFpgaData tcp_frame;
+  tcp_frame.tdata =
+      MakeTcpSegment({kMacB, kMacA, kIpA, kIpB, 1, 2, 3, 0, TcpFlags::kSyn});
+  EXPECT_TRUE(TcpWrapper(tcp_frame).Reachable());
+  EXPECT_FALSE(UdpWrapper(tcp_frame).Reachable());
+  EXPECT_EQ(TcpWrapper(tcp_frame).SegmentLength(), kTcpMinHeaderSize);
+}
+
+TEST(Wrappers, IcmpWrapperMessageLength) {
+  NetFpgaData frame;
+  frame.tdata = MakeIcmpEchoRequest({kMacB, kMacA, kIpA, kIpB, 1, 2}, std::vector<u8>(10, 0));
+  IcmpWrapper icmp(frame);
+  ASSERT_TRUE(icmp.Reachable());
+  EXPECT_EQ(icmp.MessageLength(), kIcmpHeaderSize + 10);
+}
+
+TEST(Wrappers, ShortFrameIsUnreachableEverywhere) {
+  NetFpgaData frame;
+  frame.tdata = Packet(6);  // shorter than an Ethernet header
+  EXPECT_FALSE(Ipv4Wrapper(frame).Reachable());
+  EXPECT_FALSE(TcpWrapper(frame).Reachable());
+  EXPECT_FALSE(UdpWrapper(frame).Reachable());
+  EXPECT_FALSE(IcmpWrapper(frame).Reachable());
+  EXPECT_FALSE(ArpWrapper(frame).Reachable());
+}
+
+// --- Targets -----------------------------------------------------------------------
+
+TEST(Targets, TakeEgressClearsTheLog) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  FpgaTarget target(service);
+  target.Inject(0, MakeIcmpEchoRequest({config.mac, kMacA, kIpA, config.ip, 1, 1}, {}));
+  ASSERT_TRUE(target.RunUntilEgressCount(1, 300'000));
+  EXPECT_EQ(target.TakeEgress().size(), 1u);
+  EXPECT_TRUE(target.egress().empty());
+}
+
+TEST(Targets, CpuTargetCollectsMultipleOutputs) {
+  // A broadcast through the switch yields one frame with a multi-port mask
+  // on the CPU target (the OS layer would fan out).
+  LearningSwitch service;
+  CpuTarget target(service);
+  Packet frame = MakeEthernetFrame(MacAddress::Broadcast(), kMacA, EtherType::kIpv4, {});
+  frame.set_src_port(2);
+  const auto out = target.Deliver(std::move(frame));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_port_mask(), 0b1011);
+}
+
+TEST(Targets, PipelineTotalExceedsCoreResources) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  const ResourceUsage core = target.pipeline().CoreResources();
+  const ResourceUsage total = target.pipeline().TotalResources();
+  EXPECT_GT(total.luts, core.luts);  // ports/arbiter/queues are extra
+}
+
+// --- VCD tracer -----------------------------------------------------------------------
+
+HwProcess TogglerProcess(Reg<bool>& flag, Reg<u64>& counter) {
+  for (;;) {
+    flag.Write(!flag.Read());
+    counter.Write(counter.Read() + 3);
+    co_await Pause();
+  }
+}
+
+TEST(VcdTracer, RecordsChangesAndRendersValidVcd) {
+  Simulator sim;
+  Reg<bool> flag(sim, false);
+  Reg<u64> counter(sim, 0);
+  sim.AddProcess(TogglerProcess(flag, counter), "toggler");
+
+  VcdTracer tracer(sim);
+  tracer.AddFlag("flag", [&] { return flag.Read(); });
+  tracer.AddSignal("counter", 16, [&] { return counter.Read(); });
+  tracer.Sample();  // initial values
+  tracer.RunAndSample(4);
+
+  const std::string vcd = tracer.Render();
+  EXPECT_NE(vcd.find("$timescale 5000 ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! flag $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 16 \" counter $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+  EXPECT_NE(vcd.find("1!"), std::string::npos);                      // flag rose
+  EXPECT_NE(vcd.find("b0000000000000011 \""), std::string::npos);    // counter = 3
+  // The flag toggles every cycle: 1 initial + 4 changes; counter likewise.
+  EXPECT_EQ(tracer.change_count(), 10u);
+}
+
+TEST(VcdTracer, OnlyChangesAreLogged) {
+  Simulator sim;
+  Reg<u64> constant(sim, 42);
+  VcdTracer tracer(sim);
+  tracer.AddSignal("constant", 8, [&] { return constant.Read(); });
+  tracer.Sample();
+  tracer.RunAndSample(10);
+  EXPECT_EQ(tracer.change_count(), 1u);  // just the initial value
+}
+
+TEST(VcdTracer, WritesFile) {
+  Simulator sim;
+  Reg<bool> flag(sim, true);
+  VcdTracer tracer(sim);
+  tracer.AddFlag("f", [&] { return flag.Read(); });
+  tracer.Sample();
+  EXPECT_TRUE(tracer.WriteToFile("/tmp/emu_trace.vcd"));
+}
+
+TEST(VcdTracer, TracesLiveServiceState) {
+  // Trace a service counter through the pipeline — "hardware" waveforms of
+  // application state.
+  LearningSwitch service;
+  FpgaTarget target(service);
+  VcdTracer tracer(target.sim());
+  tracer.AddSignal("learned", 8, [&] { return service.learned(); });
+  tracer.Sample();
+  target.Inject(0, MakeEthernetFrame(MacAddress::Broadcast(), kMacA, EtherType::kIpv4, {}));
+  tracer.RunAndSample(50'000);
+  EXPECT_GE(tracer.change_count(), 2u);  // 0 -> 1 transition captured
+  EXPECT_NE(tracer.Render().find("b00000001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emu

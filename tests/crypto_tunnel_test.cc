@@ -1,0 +1,192 @@
+// The Speck cipher IP block and the encrypting tunnel service (the §4
+// "bespoke encryption" use case).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/targets.h"
+#include "src/ip/speck_cipher.h"
+#include "src/net/udp.h"
+#include "src/services/crypto_tunnel_service.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kMacA = MacAddress::FromU48(0x02'00'00'00'00'0a);
+const MacAddress kMacB = MacAddress::FromU48(0x02'00'00'00'00'0b);
+const Ipv4Address kIpA(10, 0, 0, 1);
+const Ipv4Address kIpB(10, 0, 0, 2);
+
+// --- SpeckCipher -------------------------------------------------------------------
+
+TEST(Speck, OfficialTestVector) {
+  // Speck64/128 reference vector (Speck paper appendix): key 1b1a1918
+  // 13121110 0b0a0908 03020100, plaintext (x=3b726574, y=7475432d) ->
+  // ciphertext (8c6fa548, 454e028b).
+  Simulator sim;
+  SpeckCipher cipher(sim, "speck",
+                     SpeckCipher::Key{0x03020100, 0x0b0a0908, 0x13121110, 0x1b1a1918});
+  u32 x = 0x3b726574;
+  u32 y = 0x7475432d;
+  cipher.EncryptBlock(x, y);
+  EXPECT_EQ(x, 0x8c6fa548u);
+  EXPECT_EQ(y, 0x454e028bu);
+}
+
+TEST(Speck, CtrIsAnInvolution) {
+  Simulator sim;
+  SpeckCipher cipher(sim, "speck", SpeckCipher::Key{1, 2, 3, 4});
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<u8> data(1 + rng.NextBelow(100), 0);
+    for (auto& b : data) {
+      b = static_cast<u8>(rng.NextU64());
+    }
+    const std::vector<u8> original = data;
+    const u64 nonce = rng.NextU64();
+    cipher.CtrCrypt(nonce, data);
+    EXPECT_NE(data, original);  // actually encrypted
+    cipher.CtrCrypt(nonce, data);
+    EXPECT_EQ(data, original);  // and restored
+  }
+}
+
+TEST(Speck, DifferentNoncesGiveDifferentKeystreams) {
+  Simulator sim;
+  SpeckCipher cipher(sim, "speck", SpeckCipher::Key{1, 2, 3, 4});
+  std::vector<u8> a(32, 0);
+  std::vector<u8> b(32, 0);
+  cipher.CtrCrypt(100, a);
+  cipher.CtrCrypt(101, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Speck, DifferentKeysGiveDifferentCiphertext) {
+  Simulator sim;
+  SpeckCipher k1(sim, "k1", SpeckCipher::Key{1, 2, 3, 4});
+  SpeckCipher k2(sim, "k2", SpeckCipher::Key{5, 6, 7, 8});
+  std::vector<u8> a(16, 0x42);
+  std::vector<u8> b(16, 0x42);
+  k1.CtrCrypt(9, a);
+  k2.CtrCrypt(9, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Speck, PipelineCostModel) {
+  Simulator sim;
+  SpeckCipher cipher(sim, "speck", SpeckCipher::Key{1, 2, 3, 4});
+  EXPECT_EQ(cipher.CyclesForBytes(8), 1u + kSpeckRounds);
+  EXPECT_EQ(cipher.CyclesForBytes(64), 8u + kSpeckRounds);
+}
+
+// --- CryptoTunnelService ---------------------------------------------------------------
+
+Packet PlainDatagram(const std::string& message, u16 sport = 4000, u16 dport = 7) {
+  return MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, sport, dport},
+                       std::vector<u8>(message.begin(), message.end()));
+}
+
+std::string PayloadOf(const Packet& frame) {
+  Packet copy = frame;
+  Ipv4View ip(copy);
+  UdpView udp(copy, ip.payload_offset());
+  const auto payload = udp.Payload();
+  return std::string(payload.begin(), payload.end());
+}
+
+class CryptoTunnelTest : public ::testing::Test {
+ protected:
+  CryptoTunnelConfig config_;
+  CryptoTunnelService service_{config_};
+  FpgaTarget target_{service_};
+};
+
+TEST_F(CryptoTunnelTest, EncryptsOnTheWayOut) {
+  const std::string message = "attack at dawn!!";
+  auto out = target_.SendAndCollect(config_.plain_port, PlainDatagram(message));
+  ASSERT_TRUE(out.ok());
+  // Leaves the cipher port with a different (nonce-prefixed) payload but
+  // valid checksums.
+  Packet frame = *out;
+  Ipv4View ip(frame);
+  UdpView udp(frame, ip.payload_offset());
+  EXPECT_TRUE(ip.ChecksumValid());
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  const std::string cipher_payload = PayloadOf(*out);
+  EXPECT_EQ(cipher_payload.size(), message.size() + 8);  // + nonce header
+  EXPECT_EQ(cipher_payload.find(message), std::string::npos);
+  EXPECT_EQ(service_.encrypted(), 1u);
+}
+
+TEST_F(CryptoTunnelTest, RoundTripThroughTwoTunnels) {
+  // Tunnel A encrypts; an identically keyed tunnel B decrypts — an
+  // encrypted link between two FPGAs.
+  CryptoTunnelService peer{config_};
+  FpgaTarget peer_target{peer};
+
+  const std::string message = "the quick brown fox jumps over 13 lazy dogs";
+  auto encrypted = target_.SendAndCollect(config_.plain_port, PlainDatagram(message));
+  ASSERT_TRUE(encrypted.ok());
+
+  auto decrypted = peer_target.SendAndCollect(config_.cipher_port, *encrypted);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_EQ(PayloadOf(*decrypted), message);
+  Packet frame = *decrypted;
+  Ipv4View ip(frame);
+  UdpView udp(frame, ip.payload_offset());
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  EXPECT_EQ(peer.decrypted(), 1u);
+}
+
+TEST_F(CryptoTunnelTest, WrongKeyYieldsGarbage) {
+  CryptoTunnelConfig wrong = config_;
+  wrong.key = SpeckCipher::Key{0xdead, 0xbeef, 0xcafe, 0xf00d};
+  CryptoTunnelService peer{wrong};
+  FpgaTarget peer_target{peer};
+
+  const std::string message = "secret payload 123";
+  auto encrypted = target_.SendAndCollect(config_.plain_port, PlainDatagram(message));
+  ASSERT_TRUE(encrypted.ok());
+  auto decrypted = peer_target.SendAndCollect(config_.cipher_port, *encrypted);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_NE(PayloadOf(*decrypted), message);  // decryption under wrong key
+}
+
+TEST_F(CryptoTunnelTest, DistinctNoncesPerPacket) {
+  // The same plaintext twice must not produce the same ciphertext.
+  const std::string message = "identical plaintext";
+  auto first = target_.SendAndCollect(config_.plain_port, PlainDatagram(message));
+  auto second = target_.SendAndCollect(config_.plain_port, PlainDatagram(message));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(PayloadOf(*first), PayloadOf(*second));
+}
+
+TEST_F(CryptoTunnelTest, NonUdpTrafficDropped) {
+  Packet arp = MakeEthernetFrame(kMacB, kMacA, EtherType::kArp, std::vector<u8>(46, 0));
+  target_.Inject(config_.plain_port, std::move(arp));
+  target_.Run(100'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_EQ(service_.dropped(), 1u);
+}
+
+TEST_F(CryptoTunnelTest, TruncatedCipherFrameDropped) {
+  // A cipher-side datagram shorter than the nonce header cannot decrypt.
+  Packet bogus = MakeUdpPacket({kMacB, kMacA, kIpB, kIpA, 7, 4000}, std::vector<u8>{1, 2});
+  target_.Inject(config_.cipher_port, std::move(bogus));
+  target_.Run(100'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_EQ(service_.dropped(), 1u);
+}
+
+TEST_F(CryptoTunnelTest, EmptyPayloadRoundTrips) {
+  CryptoTunnelService peer{config_};
+  FpgaTarget peer_target{peer};
+  auto encrypted = target_.SendAndCollect(config_.plain_port, PlainDatagram(""));
+  ASSERT_TRUE(encrypted.ok());
+  auto decrypted = peer_target.SendAndCollect(config_.cipher_port, *encrypted);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_EQ(PayloadOf(*decrypted), "");
+}
+
+}  // namespace
+}  // namespace emu

@@ -1,0 +1,259 @@
+// Host-stack model calibration and host service functionality.
+#include <gtest/gtest.h>
+
+#include "src/hostnet/host_services.h"
+#include "src/hostnet/host_stack_model.h"
+#include "src/net/icmp.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/sim/latency_probe.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kServerMac = MacAddress::FromU48(0x02'00'00'00'bb'01);
+const Ipv4Address kServerIp(10, 0, 0, 200);
+const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'03);
+const Ipv4Address kClientIp(10, 0, 0, 7);
+
+LatencyStats SampleModel(HostStackParams params, usize n = 20000, usize bytes = 64) {
+  HostStackModel model(params, /*seed=*/99);
+  LatencyStats stats;
+  for (usize i = 0; i < n; ++i) {
+    stats.Add(model.SampleUnloadedRtt(bytes));
+  }
+  return stats;
+}
+
+// --- Calibration against Table 4's host column -----------------------------------
+
+TEST(HostModel, IcmpEchoMatchesTable4) {
+  const LatencyStats stats = SampleModel(HostIcmpEchoParams());
+  EXPECT_NEAR(stats.MeanUs(), 12.28, 1.5);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 22.63, 4.0);
+}
+
+TEST(HostModel, TcpPingMatchesTable4) {
+  const LatencyStats stats = SampleModel(HostTcpPingParams());
+  EXPECT_NEAR(stats.MeanUs(), 21.79, 3.0);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 65.0, 14.0);
+}
+
+TEST(HostModel, DnsMatchesTable4) {
+  const LatencyStats stats = SampleModel(HostDnsParams());
+  EXPECT_NEAR(stats.MeanUs(), 126.46, 8.0);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 138.33, 12.0);
+}
+
+TEST(HostModel, NatMatchesTable4) {
+  const LatencyStats stats = SampleModel(HostNatParams());
+  EXPECT_NEAR(stats.MeanUs(), 2444.76, 250.0);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 6185.27, 1300.0);
+}
+
+TEST(HostModel, MemcachedMatchesTable4) {
+  const LatencyStats stats = SampleModel(HostMemcachedParams());
+  EXPECT_NEAR(stats.MeanUs(), 24.29, 2.5);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 28.65, 4.0);
+}
+
+TEST(HostModel, TailHeavierThanEmu) {
+  // The structural claim of §5.4: host tail-to-average 1.09-2.98, Emu's
+  // 1.02-1.04.
+  for (const auto& params : {HostIcmpEchoParams(), HostTcpPingParams(), HostDnsParams(),
+                             HostNatParams(), HostMemcachedParams()}) {
+    const LatencyStats stats = SampleModel(params, 10000);
+    EXPECT_GT(stats.TailToAverage(), 1.05);
+    EXPECT_LT(stats.TailToAverage(), 3.6);
+  }
+}
+
+TEST(HostModel, DeterministicAcrossRuns) {
+  HostStackModel a(HostDnsParams(), 5);
+  HostStackModel b(HostDnsParams(), 5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.SampleUnloadedRtt(64), b.SampleUnloadedRtt(64));
+  }
+}
+
+// --- Queueing / capacity -----------------------------------------------------------
+
+TEST(HostModel, ThroughputCapsAtCoresOverServiceTime) {
+  HostStackParams params = HostMemcachedParams();
+  HostStackModel model(params, 7);
+  // Offer far above capacity for 50 ms; departures cap at ~cores/service_us.
+  const double offered_qps = 5e6;
+  const Picoseconds horizon = 50 * kPicosPerMilli;
+  const Picoseconds gap = static_cast<Picoseconds>(1e12 / offered_qps);
+  usize served = 0;
+  Picoseconds last_departure = 0;
+  for (Picoseconds t = 0; t < horizon; t += gap) {
+    last_departure = model.ServeRequest(t, 100);
+    ++served;
+  }
+  const double seconds = static_cast<double>(last_departure) / 1e12;
+  const double qps = static_cast<double>(served) / seconds;
+  const double cap = params.cores / params.service_us * 1e6;
+  EXPECT_NEAR(qps, cap, cap * 0.15);  // ~0.876 Mq/s for memcached params
+}
+
+TEST(HostModel, QueueingInflatesLatencyNearSaturation) {
+  HostStackParams params = HostDnsParams();
+  HostStackModel model(params, 11);
+  // 95% of capacity.
+  const double capacity = params.cores / params.service_us * 1e6;
+  const Picoseconds gap = static_cast<Picoseconds>(1e12 / (0.95 * capacity));
+  LatencyStats loaded;
+  Picoseconds t = 0;
+  for (int i = 0; i < 20000; ++i, t += gap) {
+    loaded.Add(model.ServeRequest(t, 64) - t);
+  }
+  const LatencyStats unloaded = SampleModel(params, 5000);
+  EXPECT_GT(loaded.PercentileUs(99.0), unloaded.PercentileUs(99.0));
+}
+
+// --- Host services (functional) ------------------------------------------------------
+
+TEST(HostServices, IcmpEchoReplies) {
+  HostIcmpEcho service(kServerMac, kServerIp);
+  Packet request = MakeIcmpEchoRequest({kServerMac, kClientMac, kClientIp, kServerIp, 3, 4},
+                                       std::vector<u8>{'p'});
+  auto reply = service.HandleRequest(request);
+  ASSERT_TRUE(reply.has_value());
+  Ipv4View ip(*reply);
+  IcmpView icmp(*reply, ip.payload_offset());
+  EXPECT_TRUE(icmp.TypeIs(IcmpType::kEchoReply));
+  EXPECT_EQ(ip.destination(), kClientIp);
+}
+
+TEST(HostServices, IcmpEchoIgnoresOtherHosts) {
+  HostIcmpEcho service(kServerMac, kServerIp);
+  Packet request = MakeIcmpEchoRequest(
+      {kServerMac, kClientMac, kClientIp, Ipv4Address(1, 1, 1, 1), 3, 4}, {});
+  EXPECT_FALSE(service.HandleRequest(request).has_value());
+}
+
+TEST(HostServices, TcpPingSynAckAndRst) {
+  HostTcpPing service(kServerMac, kServerIp, {80});
+  TcpSegmentSpec open{kServerMac, kClientMac, kClientIp, kServerIp, 9999, 80,
+                      5,          0,          TcpFlags::kSyn};
+  auto reply = service.HandleRequest(MakeTcpSegment(open));
+  ASSERT_TRUE(reply.has_value());
+  {
+    Ipv4View ip(*reply);
+    TcpView tcp(*reply, ip.payload_offset());
+    EXPECT_TRUE(tcp.HasFlag(TcpFlags::kSyn));
+    EXPECT_TRUE(tcp.HasFlag(TcpFlags::kAck));
+    EXPECT_EQ(tcp.ack_number(), 6u);
+  }
+  TcpSegmentSpec closed = open;
+  closed.dst_port = 81;
+  reply = service.HandleRequest(MakeTcpSegment(closed));
+  ASSERT_TRUE(reply.has_value());
+  {
+    Ipv4View ip(*reply);
+    TcpView tcp(*reply, ip.payload_offset());
+    EXPECT_TRUE(tcp.HasFlag(TcpFlags::kRst));
+  }
+}
+
+TEST(HostServices, DnsResolvesAndNxdomains) {
+  HostDns service(kServerMac, kServerIp);
+  service.AddRecord("svc.lab", Ipv4Address(10, 2, 2, 2));
+  Packet query = MakeUdpPacket({kServerMac, kClientMac, kClientIp, kServerIp, 5, kDnsPort},
+                               BuildDnsQuery(1, "svc.lab"));
+  auto reply = service.HandleRequest(query);
+  ASSERT_TRUE(reply.has_value());
+  Ipv4View ip(*reply);
+  UdpView udp(*reply, ip.payload_offset());
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].address, Ipv4Address(10, 2, 2, 2));
+
+  Packet unknown = MakeUdpPacket({kServerMac, kClientMac, kClientIp, kServerIp, 5, kDnsPort},
+                                 BuildDnsQuery(2, "missing.lab"));
+  reply = service.HandleRequest(unknown);
+  ASSERT_TRUE(reply.has_value());
+  Ipv4View ip2(*reply);
+  UdpView udp2(*reply, ip2.payload_offset());
+  auto nx = ParseDnsResponse(udp2.Payload());
+  ASSERT_TRUE(nx.ok());
+  EXPECT_EQ(nx->header.rcode, DnsRcode::kNxDomain);
+}
+
+TEST(HostServices, MemcachedSetGetDeleteAndLru) {
+  HostMemcached service(kServerMac, kServerIp, McProtocol::kAscii, /*capacity=*/2);
+  auto exchange = [&](const McRequest& request) -> McResponse {
+    McRequest copy = request;
+    copy.protocol = McProtocol::kAscii;
+    Packet packet = MakeUdpPacket(
+        {kServerMac, kClientMac, kClientIp, kServerIp, 5, kMemcachedPort},
+        BuildMcRequest(copy));
+    auto reply = service.HandleRequest(packet);
+    EXPECT_TRUE(reply.has_value());
+    Ipv4View ip(*reply);
+    UdpView udp(*reply, ip.payload_offset());
+    auto response = ParseMcResponse(udp.Payload(), McProtocol::kAscii);
+    EXPECT_TRUE(response.ok());
+    return *response;
+  };
+
+  McRequest set;
+  set.op = McOpcode::kSet;
+  set.key = "a";
+  set.value = "1";
+  EXPECT_EQ(exchange(set).status, McStatus::kNoError);
+  set.key = "b";
+  EXPECT_EQ(exchange(set).status, McStatus::kNoError);
+
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "a";
+  EXPECT_EQ(exchange(get).status, McStatus::kNoError);  // touch a
+
+  set.key = "c";  // capacity 2: evicts LRU = b
+  EXPECT_EQ(exchange(set).status, McStatus::kNoError);
+  get.key = "b";
+  EXPECT_EQ(exchange(get).status, McStatus::kKeyNotFound);
+  get.key = "a";
+  EXPECT_EQ(exchange(get).status, McStatus::kNoError);
+
+  McRequest del;
+  del.op = McOpcode::kDelete;
+  del.key = "a";
+  EXPECT_EQ(exchange(del).status, McStatus::kNoError);
+  get.key = "a";
+  EXPECT_EQ(exchange(get).status, McStatus::kKeyNotFound);
+}
+
+TEST(HostServices, NatTranslatesBothDirections) {
+  HostNat::Config config;
+  HostNat service(config);
+  const Ipv4Address internal(192, 168, 1, 5);
+  const MacAddress internal_mac = MacAddress::FromU48(0x02'00'00'00'11'05);
+  Packet out = MakeUdpPacket(
+      {kServerMac, internal_mac, internal, Ipv4Address(8, 8, 8, 8), 1234, 53},
+      std::vector<u8>{'q'});
+  auto translated = service.HandleRequest(out);
+  ASSERT_TRUE(translated.has_value());
+  Ipv4View out_ip(*translated);
+  EXPECT_EQ(out_ip.source(), config.external_ip);
+  UdpView out_udp(*translated, out_ip.payload_offset());
+  const u16 ext_port = out_udp.source_port();
+  EXPECT_GE(ext_port, config.port_base);
+  EXPECT_TRUE(out_udp.ChecksumValid(out_ip));
+
+  Packet in = MakeUdpPacket({config.external_mac, MacAddress::FromU48(0x02ffffffff02),
+                             Ipv4Address(8, 8, 8, 8), config.external_ip, 53, ext_port},
+                            std::vector<u8>{'r'});
+  auto back = service.HandleRequest(in);
+  ASSERT_TRUE(back.has_value());
+  Ipv4View in_ip(*back);
+  EXPECT_EQ(in_ip.destination(), internal);
+  UdpView in_udp(*back, in_ip.payload_offset());
+  EXPECT_EQ(in_udp.destination_port(), 1234);
+}
+
+}  // namespace
+}  // namespace emu

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/net/dns.h"
+
+namespace emu {
+namespace {
+
+TEST(DnsName, EncodeSimpleName) {
+  auto wire = EncodeDnsName("www.ex");
+  ASSERT_TRUE(wire.ok());
+  const std::vector<u8> expected = {3, 'w', 'w', 'w', 2, 'e', 'x', 0};
+  EXPECT_EQ(*wire, expected);
+}
+
+TEST(DnsName, EncodeSingleLabel) {
+  auto wire = EncodeDnsName("localhost");
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ((*wire)[0], 9);
+  EXPECT_EQ(wire->back(), 0);
+}
+
+TEST(DnsName, RejectsEmptyLabel) {
+  EXPECT_FALSE(EncodeDnsName("a..b").ok());
+  EXPECT_FALSE(EncodeDnsName(".a").ok());
+  EXPECT_FALSE(EncodeDnsName("a.").ok());
+  EXPECT_FALSE(EncodeDnsName("").ok());
+}
+
+TEST(DnsName, RejectsOversizedLabel) {
+  EXPECT_FALSE(EncodeDnsName(std::string(64, 'x')).ok());
+  EXPECT_TRUE(EncodeDnsName(std::string(63, 'x')).ok());
+}
+
+TEST(DnsQuery, BuildParseRoundTrip) {
+  const std::vector<u8> wire = BuildDnsQuery(0x7777, "cache.lab.net");
+  auto query = ParseDnsQuery(wire);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->header.id, 0x7777);
+  EXPECT_FALSE(query->header.qr);
+  EXPECT_EQ(query->header.qdcount, 1);
+  EXPECT_EQ(query->question.name, "cache.lab.net");
+  EXPECT_EQ(query->question.qtype, kDnsTypeA);
+  EXPECT_EQ(query->question.qclass, kDnsClassIn);
+}
+
+TEST(DnsQuery, RejectsTruncatedHeader) {
+  const std::vector<u8> wire = {1, 2, 3};
+  EXPECT_FALSE(ParseDnsQuery(wire).ok());
+}
+
+TEST(DnsQuery, RejectsResponsesAsQueries) {
+  std::vector<u8> wire = BuildDnsQuery(1, "a.b");
+  wire[2] |= 0x80;  // set QR
+  EXPECT_FALSE(ParseDnsQuery(wire).ok());
+}
+
+TEST(DnsQuery, RejectsMultiQuestion) {
+  std::vector<u8> wire = BuildDnsQuery(1, "a.b");
+  wire[5] = 2;  // qdcount = 2
+  EXPECT_FALSE(ParseDnsQuery(wire).ok());
+}
+
+TEST(DnsQuery, RejectsTruncatedQuestion) {
+  std::vector<u8> wire = BuildDnsQuery(1, "abcdef.gh");
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(ParseDnsQuery(wire).ok());
+}
+
+TEST(DnsResponse, PositiveAnswerRoundTrip) {
+  const std::vector<u8> qwire = BuildDnsQuery(0xbeef, "svc.lab");
+  auto query = ParseDnsQuery(qwire);
+  ASSERT_TRUE(query.ok());
+
+  const Ipv4Address addr(10, 1, 2, 3);
+  const std::vector<u8> rwire = BuildDnsResponse(*query, addr, 600);
+  auto response = ParseDnsResponse(rwire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->header.id, 0xbeef);
+  EXPECT_TRUE(response->header.qr);
+  EXPECT_TRUE(response->header.aa);
+  EXPECT_EQ(response->header.rcode, DnsRcode::kNoError);
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].address, addr);
+  EXPECT_EQ(response->answers[0].ttl, 600u);
+  // The answer name is a compression pointer back to the question.
+  EXPECT_EQ(response->answers[0].name, "svc.lab");
+}
+
+TEST(DnsResponse, NxDomainHasNoAnswers) {
+  auto query = ParseDnsQuery(BuildDnsQuery(5, "nope.lab"));
+  ASSERT_TRUE(query.ok());
+  const std::vector<u8> rwire = BuildDnsError(*query, DnsRcode::kNxDomain);
+  auto response = ParseDnsResponse(rwire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->header.rcode, DnsRcode::kNxDomain);
+  EXPECT_TRUE(response->answers.empty());
+  EXPECT_EQ(response->header.ancount, 0);
+}
+
+TEST(DnsResponse, EchoesQueryId) {
+  for (u16 id : {u16{0}, u16{1}, u16{0xffff}}) {
+    auto query = ParseDnsQuery(BuildDnsQuery(id, "x.y"));
+    ASSERT_TRUE(query.ok());
+    auto response = ParseDnsResponse(BuildDnsResponse(*query, Ipv4Address(1, 1, 1, 1)));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->header.id, id);
+  }
+}
+
+TEST(DnsResponse, RejectsQueryAsResponse) {
+  EXPECT_FALSE(ParseDnsResponse(BuildDnsQuery(1, "a.b")).ok());
+}
+
+TEST(DnsResponse, MalformedCompressionPointerRejected) {
+  auto query = ParseDnsQuery(BuildDnsQuery(9, "a.b"));
+  ASSERT_TRUE(query.ok());
+  std::vector<u8> rwire = BuildDnsResponse(*query, Ipv4Address(1, 2, 3, 4));
+  // Point the answer-name compression pointer past the end of the message.
+  const usize answer_name = rwire.size() - 16;
+  rwire[answer_name] = 0xc3;
+  rwire[answer_name + 1] = 0xff;
+  EXPECT_FALSE(ParseDnsResponse(rwire).ok());
+}
+
+TEST(DnsName, ParsesMaxPrototypeLength) {
+  // The paper's prototype caps names at 26 bytes; make sure such names flow
+  // through the codec untouched.
+  const std::string name = "abcdefghij.klmnopqrst.uvwx";  // 26 chars
+  ASSERT_EQ(name.size(), 26u);
+  auto query = ParseDnsQuery(BuildDnsQuery(1, name));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->question.name, name);
+}
+
+}  // namespace
+}  // namespace emu

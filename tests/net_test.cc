@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/arp.h"
+#include "src/net/checksum.h"
+#include "src/net/ethernet.h"
+#include "src/net/icmp.h"
+#include "src/net/ipv4.h"
+#include "src/net/mac_address.h"
+#include "src/net/packet.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kMacA = MacAddress::FromU48(0x02aabbccdd01);
+const MacAddress kMacB = MacAddress::FromU48(0x02aabbccdd02);
+const Ipv4Address kIpA(10, 0, 0, 1);
+const Ipv4Address kIpB(10, 0, 0, 2);
+
+// --- MacAddress / Ipv4Address -------------------------------------------------
+
+TEST(MacAddress, U48RoundTrip) {
+  const MacAddress mac = MacAddress::FromU48(0x0123456789ab);
+  EXPECT_EQ(mac.ToU48(), 0x0123456789abULL);
+  EXPECT_EQ(mac.ToString(), "01:23:45:67:89:ab");
+}
+
+TEST(MacAddress, ParseValid) {
+  auto mac = MacAddress::Parse("de:ad:be:ef:00:01");
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac->ToU48(), 0xdeadbeef0001ULL);
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::Parse("de:ad:be:ef:00").ok());
+  EXPECT_FALSE(MacAddress::Parse("de:ad:be:ef:00:zz").ok());
+  EXPECT_FALSE(MacAddress::Parse("de:ad:be:ef:00:01:02").ok());
+  EXPECT_FALSE(MacAddress::Parse("").ok());
+}
+
+TEST(MacAddress, BroadcastAndMulticast) {
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddress::Broadcast().IsMulticast());
+  EXPECT_TRUE(MacAddress::FromU48(0x010000000000).IsMulticast());
+  EXPECT_FALSE(kMacA.IsMulticast());
+  EXPECT_FALSE(kMacA.IsBroadcast());
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto ip = Ipv4Address::Parse("192.168.1.200");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->value(), 0xc0a801c8u);
+  EXPECT_EQ(ip->ToString(), "192.168.1.200");
+}
+
+TEST(Ipv4Address, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Address::Parse("192.168.1").ok());
+  EXPECT_FALSE(Ipv4Address::Parse("192.168.1.256").ok());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").ok());
+}
+
+TEST(Ipv4Address, SubnetMatch) {
+  const Ipv4Address net(192, 168, 1, 0);
+  EXPECT_TRUE(Ipv4Address(192, 168, 1, 77).InSubnet(net, 24));
+  EXPECT_FALSE(Ipv4Address(192, 168, 2, 77).InSubnet(net, 24));
+  EXPECT_TRUE(Ipv4Address(8, 8, 8, 8).InSubnet(net, 0));
+}
+
+// --- Ethernet -----------------------------------------------------------------
+
+TEST(Ethernet, BuildAndParseFrame) {
+  const std::vector<u8> payload = {1, 2, 3, 4};
+  Packet frame = MakeEthernetFrame(kMacB, kMacA, EtherType::kIpv4, payload);
+  EXPECT_EQ(frame.size(), kEthernetMinFrame);  // padded
+  EthernetView eth(frame);
+  ASSERT_TRUE(eth.Valid());
+  EXPECT_EQ(eth.destination(), kMacB);
+  EXPECT_EQ(eth.source(), kMacA);
+  EXPECT_TRUE(eth.EtherTypeIs(EtherType::kIpv4));
+  EXPECT_EQ(eth.Payload()[0], 1);
+}
+
+TEST(Ethernet, LargePayloadNotPadded) {
+  std::vector<u8> payload(500, 0xab);
+  Packet frame = MakeEthernetFrame(kMacB, kMacA, EtherType::kArp, payload);
+  EXPECT_EQ(frame.size(), kEthernetHeaderSize + 500);
+}
+
+TEST(Ethernet, SettersRewriteHeader) {
+  Packet frame = MakeEthernetFrame(kMacB, kMacA, EtherType::kIpv4, {});
+  EthernetView eth(frame);
+  eth.set_destination(kMacA);
+  eth.set_source(kMacB);
+  eth.set_ether_type(EtherType::kArp);
+  EXPECT_EQ(eth.destination(), kMacA);
+  EXPECT_EQ(eth.source(), kMacB);
+  EXPECT_TRUE(eth.EtherTypeIs(EtherType::kArp));
+}
+
+// --- IPv4 ----------------------------------------------------------------------
+
+TEST(Ipv4, BuildProducesValidHeader) {
+  const std::vector<u8> l4(8, 0x11);
+  Ipv4PacketSpec spec{kMacB, kMacA, kIpA, kIpB, IpProtocol::kUdp, 64, 7};
+  Packet frame = MakeIpv4Packet(spec, l4);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  EXPECT_EQ(ip.version(), 4);
+  EXPECT_EQ(ip.ihl(), 5);
+  EXPECT_EQ(ip.total_length(), kIpv4MinHeaderSize + 8);
+  EXPECT_EQ(ip.identification(), 7);
+  EXPECT_EQ(ip.ttl(), 64);
+  EXPECT_TRUE(ip.ProtocolIs(IpProtocol::kUdp));
+  EXPECT_EQ(ip.source(), kIpA);
+  EXPECT_EQ(ip.destination(), kIpB);
+  EXPECT_TRUE(ip.ChecksumValid());
+}
+
+TEST(Ipv4, ChecksumDetectsCorruption) {
+  Ipv4PacketSpec spec{kMacB, kMacA, kIpA, kIpB, IpProtocol::kUdp, 64, 0};
+  Packet frame = MakeIpv4Packet(spec, std::vector<u8>(4, 0));
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.ChecksumValid());
+  frame[kEthernetHeaderSize + 8] ^= 0xff;  // flip TTL
+  EXPECT_FALSE(ip.ChecksumValid());
+}
+
+TEST(Ipv4, RewriteAddressThenUpdateChecksum) {
+  Ipv4PacketSpec spec{kMacB, kMacA, kIpA, kIpB, IpProtocol::kUdp, 64, 0};
+  Packet frame = MakeIpv4Packet(spec, std::vector<u8>(4, 0));
+  Ipv4View ip(frame);
+  ip.set_source(Ipv4Address(172, 16, 0, 1));  // what the NAT does
+  EXPECT_FALSE(ip.ChecksumValid());
+  ip.UpdateChecksum();
+  EXPECT_TRUE(ip.ChecksumValid());
+  EXPECT_EQ(ip.source(), Ipv4Address(172, 16, 0, 1));
+}
+
+TEST(Ipv4, InvalidWhenTruncated) {
+  Packet frame(kEthernetHeaderSize + 10);
+  Ipv4View ip(frame);
+  EXPECT_FALSE(ip.Valid());
+}
+
+TEST(Ipv4, InvalidWhenVersionWrong) {
+  Ipv4PacketSpec spec{kMacB, kMacA, kIpA, kIpB, IpProtocol::kUdp, 64, 0};
+  Packet frame = MakeIpv4Packet(spec, std::vector<u8>(4, 0));
+  Ipv4View ip(frame);
+  ip.SetVersionIhl(6, 5);
+  EXPECT_FALSE(ip.Valid());
+}
+
+TEST(Ipv4, PayloadSpansDeclaredLength) {
+  const std::vector<u8> l4 = {9, 8, 7};
+  Ipv4PacketSpec spec{kMacB, kMacA, kIpA, kIpB, IpProtocol::kUdp, 64, 0};
+  Packet frame = MakeIpv4Packet(spec, l4);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  const auto payload = ip.Payload();
+  ASSERT_EQ(payload.size(), 3u);  // ignores Ethernet padding
+  EXPECT_EQ(payload[0], 9);
+}
+
+// --- Checksum software vs reference ------------------------------------------
+
+TEST(ChecksumSw, Rfc1071Vector) {
+  const std::array<u8, 8> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(ChecksumSw, VerifyingWithChecksumYieldsZero) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<u8> data(2 * (10 + rng.NextBelow(50)), 0);
+    for (auto& b : data) {
+      b = static_cast<u8>(rng.NextU64());
+    }
+    const u16 checksum = InternetChecksum(data);
+    data.push_back(static_cast<u8>(checksum >> 8));
+    data.push_back(static_cast<u8>(checksum));
+    EXPECT_EQ(InternetChecksum(data), 0u);
+  }
+}
+
+// --- ARP -----------------------------------------------------------------------
+
+TEST(Arp, RequestWellFormed) {
+  Packet frame = MakeArpRequest(kMacA, kIpA, kIpB);
+  EthernetView eth(frame);
+  EXPECT_TRUE(eth.destination().IsBroadcast());
+  EXPECT_TRUE(eth.EtherTypeIs(EtherType::kArp));
+  ArpView arp(frame);
+  ASSERT_TRUE(arp.Valid());
+  EXPECT_TRUE(arp.OperIs(ArpOper::kRequest));
+  EXPECT_EQ(arp.sender_mac(), kMacA);
+  EXPECT_EQ(arp.sender_ip(), kIpA);
+  EXPECT_EQ(arp.target_ip(), kIpB);
+}
+
+TEST(Arp, ReplyAnswersRequest) {
+  Packet frame = MakeArpReply(kMacB, kIpB, kMacA, kIpA);
+  ArpView arp(frame);
+  ASSERT_TRUE(arp.Valid());
+  EXPECT_TRUE(arp.OperIs(ArpOper::kReply));
+  EXPECT_EQ(arp.sender_mac(), kMacB);
+  EXPECT_EQ(arp.target_mac(), kMacA);
+  EthernetView eth(frame);
+  EXPECT_EQ(eth.destination(), kMacA);  // unicast reply
+}
+
+// --- ICMP -----------------------------------------------------------------------
+
+TEST(Icmp, EchoRequestWellFormed) {
+  const std::vector<u8> payload = {'p', 'i', 'n', 'g'};
+  Packet frame = MakeIcmpEchoRequest({kMacB, kMacA, kIpA, kIpB, 0x1234, 7}, payload);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  EXPECT_TRUE(ip.ProtocolIs(IpProtocol::kIcmp));
+  IcmpView icmp(frame, ip.payload_offset());
+  ASSERT_TRUE(icmp.Valid());
+  EXPECT_TRUE(icmp.TypeIs(IcmpType::kEchoRequest));
+  EXPECT_EQ(icmp.identifier(), 0x1234);
+  EXPECT_EQ(icmp.sequence(), 7);
+  EXPECT_TRUE(icmp.ChecksumValid(kIcmpHeaderSize + payload.size()));
+}
+
+TEST(Icmp, ChecksumCoversPayload) {
+  const std::vector<u8> payload = {'p', 'i', 'n', 'g'};
+  Packet frame = MakeIcmpEchoRequest({kMacB, kMacA, kIpA, kIpB, 1, 1}, payload);
+  Ipv4View ip(frame);
+  IcmpView icmp(frame, ip.payload_offset());
+  frame[ip.payload_offset() + kIcmpHeaderSize] ^= 0x5a;  // corrupt payload
+  EXPECT_FALSE(icmp.ChecksumValid(kIcmpHeaderSize + payload.size()));
+}
+
+// --- UDP ------------------------------------------------------------------------
+
+TEST(Udp, BuildAndParse) {
+  const std::vector<u8> payload = {'d', 'n', 's'};
+  Packet frame = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 5353, 53}, payload);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  UdpView udp(frame, ip.payload_offset());
+  ASSERT_TRUE(udp.Valid());
+  EXPECT_EQ(udp.source_port(), 5353);
+  EXPECT_EQ(udp.destination_port(), 53);
+  EXPECT_EQ(udp.length(), kUdpHeaderSize + 3);
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  EXPECT_EQ(udp.Payload()[0], 'd');
+}
+
+TEST(Udp, ChecksumDetectsPayloadCorruption) {
+  Packet frame = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 1, 2}, std::vector<u8>{1, 2, 3, 4});
+  Ipv4View ip(frame);
+  UdpView udp(frame, ip.payload_offset());
+  ASSERT_TRUE(udp.ChecksumValid(ip));
+  frame[ip.payload_offset() + kUdpHeaderSize] ^= 0xff;
+  EXPECT_FALSE(udp.ChecksumValid(ip));
+}
+
+TEST(Udp, ZeroChecksumMeansUnchecked) {
+  Packet frame = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 1, 2}, std::vector<u8>{1});
+  Ipv4View ip(frame);
+  UdpView udp(frame, ip.payload_offset());
+  udp.set_checksum(0);
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+}
+
+// --- TCP ------------------------------------------------------------------------
+
+TEST(Tcp, SynSegmentWellFormed) {
+  TcpSegmentSpec spec{kMacB, kMacA, kIpA, kIpB, 40000, 80, 1000, 0, TcpFlags::kSyn, 65535};
+  Packet frame = MakeTcpSegment(spec);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  EXPECT_TRUE(ip.ProtocolIs(IpProtocol::kTcp));
+  TcpView tcp(frame, ip.payload_offset());
+  ASSERT_TRUE(tcp.Valid());
+  EXPECT_EQ(tcp.source_port(), 40000);
+  EXPECT_EQ(tcp.destination_port(), 80);
+  EXPECT_EQ(tcp.sequence(), 1000u);
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kSyn));
+  EXPECT_FALSE(tcp.HasFlag(TcpFlags::kAck));
+  EXPECT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+}
+
+TEST(Tcp, SynAckCarriesBothFlags) {
+  TcpSegmentSpec spec{kMacA, kMacB, kIpB, kIpA, 80,    40000,
+                      9999,  1001,  TcpFlags::kSyn | TcpFlags::kAck};
+  Packet frame = MakeTcpSegment(spec);
+  Ipv4View ip(frame);
+  TcpView tcp(frame, ip.payload_offset());
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kSyn));
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kAck));
+  EXPECT_EQ(tcp.ack_number(), 1001u);
+}
+
+TEST(Tcp, ChecksumCoversPseudoHeader) {
+  TcpSegmentSpec spec{kMacB, kMacA, kIpA, kIpB, 1, 2, 0, 0, TcpFlags::kSyn};
+  Packet frame = MakeTcpSegment(spec);
+  Ipv4View ip(frame);
+  TcpView tcp(frame, ip.payload_offset());
+  ASSERT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+  // NAT-style rewrite of the source IP invalidates the TCP checksum too.
+  ip.set_source(Ipv4Address(1, 2, 3, 4));
+  EXPECT_FALSE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+  tcp.UpdateChecksum(ip, kTcpMinHeaderSize);
+  EXPECT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+}
+
+TEST(Tcp, PayloadRoundTrip) {
+  const std::vector<u8> payload = {'h', 't', 't', 'p'};
+  TcpSegmentSpec spec{kMacB, kMacA, kIpA, kIpB, 1, 2, 5, 6, TcpFlags::kPsh | TcpFlags::kAck};
+  Packet frame = MakeTcpSegment(spec, payload);
+  Ipv4View ip(frame);
+  TcpView tcp(frame, ip.payload_offset());
+  ASSERT_TRUE(tcp.Valid());
+  EXPECT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize + payload.size()));
+  EXPECT_EQ(ip.Payload().size(), kTcpMinHeaderSize + payload.size());
+}
+
+// --- Packet metadata ---------------------------------------------------------------
+
+TEST(Packet, MetadataRoundTrip) {
+  Packet packet(64);
+  packet.set_src_port(2);
+  packet.set_dst_port_mask(0x0b);
+  packet.set_ingress_time(12345);
+  EXPECT_EQ(packet.src_port(), 2);
+  EXPECT_EQ(packet.dst_port_mask(), 0x0b);
+  EXPECT_EQ(packet.ingress_time(), 12345);
+}
+
+TEST(Packet, ToStringMentionsSizeAndPorts) {
+  Packet packet(4);
+  packet.set_src_port(1);
+  const std::string str = packet.ToString();
+  EXPECT_NE(str.find("4 bytes"), std::string::npos);
+  EXPECT_NE(str.find("src_port=1"), std::string::npos);
+}
+
+// Round-trip property over random UDP payload sizes.
+class UdpRoundTrip : public ::testing::TestWithParam<usize> {};
+
+TEST_P(UdpRoundTrip, BuildParsePreservesPayload) {
+  Rng rng(GetParam());
+  std::vector<u8> payload(GetParam(), 0);
+  for (auto& b : payload) {
+    b = static_cast<u8>(rng.NextU64());
+  }
+  Packet frame = MakeUdpPacket({kMacB, kMacA, kIpA, kIpB, 7, 9}, payload);
+  Ipv4View ip(frame);
+  ASSERT_TRUE(ip.Valid());
+  UdpView udp(frame, ip.payload_offset());
+  ASSERT_TRUE(udp.Valid());
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  const auto got = udp.Payload();
+  ASSERT_EQ(got.size(), payload.size());
+  for (usize i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(got[i], payload[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UdpRoundTrip,
+                         ::testing::Values(0u, 1u, 13u, 64u, 512u, 1400u));
+
+}  // namespace
+}  // namespace emu

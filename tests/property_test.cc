@@ -1,0 +1,340 @@
+// Property-based tests: randomized sweeps (deterministic seeds, TEST_P)
+// checking invariants rather than examples.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/core/targets.h"
+#include "src/ip/checksum_unit.h"
+#include "src/net/checksum.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/learning_switch.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+
+namespace emu {
+namespace {
+
+// --- Switch: payload integrity and reference-model agreement ------------------------
+
+// Property: for any random frame stream, the switch (a) never corrupts a
+// frame, and (b) forwards to exactly the ports a reference learning-switch
+// model predicts.
+class SwitchModelProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SwitchModelProperty, MatchesReferenceModelAndPreservesBytes) {
+  Rng rng(GetParam());
+  LearningSwitch service;
+  FpgaTarget target(service);
+
+  std::map<u64, u8> model_table;  // the reference model's MAC table
+  std::map<std::vector<u8>, std::set<u8>> expected;  // frame bytes -> ports
+
+  const usize frames = 60;
+  usize expected_total = 0;
+  for (usize i = 0; i < frames; ++i) {
+    const u8 src_port = static_cast<u8>(rng.NextBelow(4));
+    // Small MAC pool so hits and floods both occur.
+    const u64 src_mac = 0x020000000010 + rng.NextBelow(6);
+    u64 dst_mac = 0x020000000010 + rng.NextBelow(6);
+    if (rng.NextBool(0.2)) {
+      dst_mac = 0xffffffffffff;  // occasional broadcast
+    }
+    const usize size = 60 + rng.NextBelow(200);
+    std::vector<u8> payload(size - kEthernetHeaderSize);
+    for (auto& b : payload) {
+      b = static_cast<u8>(rng.NextU64());
+    }
+    Packet frame = MakeEthernetFrame(MacAddress::FromU48(dst_mac),
+                                     MacAddress::FromU48(src_mac), EtherType::kIpv4, payload);
+
+    // Reference model: forward decision against the current table...
+    std::set<u8> ports;
+    const auto hit = model_table.find(dst_mac);
+    if (dst_mac != 0xffffffffffff && hit != model_table.end()) {
+      ports.insert(hit->second);
+    } else {
+      for (u8 p = 0; p < 4; ++p) {
+        if (p != src_port) {
+          ports.insert(p);
+        }
+      }
+    }
+    // ...then learn the source.
+    model_table[src_mac] = src_port;
+
+    const std::vector<u8> bytes(frame.bytes().begin(), frame.bytes().end());
+    for (u8 p : ports) {
+      expected[bytes].insert(p);
+    }
+    expected_total += ports.size();
+
+    // Serialize through the DUT one frame at a time so model and hardware
+    // observe the same table state.
+    target.Inject(src_port, std::move(frame));
+    ASSERT_TRUE(target.RunUntilEgressCount(ports.size(), 500'000));
+    const auto egress = target.TakeEgress();
+    ASSERT_EQ(egress.size(), ports.size()) << "frame " << i;
+    for (const auto& out : egress) {
+      const std::vector<u8> out_bytes(out.frame.bytes().begin(), out.frame.bytes().end());
+      ASSERT_EQ(out_bytes, bytes) << "frame " << i << " corrupted in flight";
+      ASSERT_TRUE(ports.count(out.port)) << "frame " << i << " wrong port "
+                                         << static_cast<int>(out.port);
+    }
+  }
+  EXPECT_GT(expected_total, frames);  // sanity: some flooding happened
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchModelProperty, ::testing::Values(1u, 77u, 424242u));
+
+// --- Checksum unit vs software over random inputs -------------------------------------
+
+class ChecksumProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChecksumProperty, HardwareUnitMatchesSoftware) {
+  Rng rng(GetParam());
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<u8> data(1 + rng.NextBelow(300), 0);
+    for (auto& b : data) {
+      b = static_cast<u8>(rng.NextU64());
+    }
+    ChecksumUnit unit(sim, "csum");
+    unit.AddBytes(data);
+    ASSERT_EQ(unit.Result(), InternetChecksum(data)) << "round " << round;
+  }
+}
+
+TEST_P(ChecksumProperty, FoldBugAlwaysDetectableOnLargeSums) {
+  // Property: once the running sum carries past 16 bits, the injected fold
+  // bug always diverges from the correct checksum.
+  Rng rng(GetParam());
+  Simulator sim;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<u8> data(200 + rng.NextBelow(200), 0);
+    for (auto& b : data) {
+      b = static_cast<u8>(0x80 | rng.NextU64());  // high bytes force carries
+    }
+    ChecksumUnit good(sim, "good");
+    ChecksumUnit bad(sim, "bad");
+    bad.InjectFoldBug(true);
+    good.AddBytes(data);
+    bad.AddBytes(data);
+    ASSERT_NE(good.Result(), bad.Result()) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty, ::testing::Values(3u, 99u));
+
+// --- NAT invariants over random flow sets ----------------------------------------------
+
+class NatProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(NatProperty, DistinctFlowsDistinctPortsAndReversible) {
+  Rng rng(GetParam());
+  NatConfig config;
+  NatService service(config);
+  FpgaTarget target(service);
+  const MacAddress host_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
+
+  struct FlowKey {
+    u32 ip;
+    u16 port;
+    bool operator<(const FlowKey& other) const {
+      return ip != other.ip ? ip < other.ip : port < other.port;
+    }
+  };
+  std::map<FlowKey, u16> observed;  // flow -> external port
+
+  for (int i = 0; i < 60; ++i) {
+    const FlowKey key{Ipv4Address(192, 168, 1, static_cast<u8>(2 + rng.NextBelow(40))).value(),
+                      static_cast<u16>(1024 + rng.NextBelow(2000))};
+    Packet out = MakeUdpPacket({config.internal_mac, host_mac, Ipv4Address(key.ip),
+                                Ipv4Address(8, 8, 8, 8), key.port, 53},
+                               std::vector<u8>{'x'});
+    auto translated = target.SendAndCollect(1, std::move(out));
+    ASSERT_TRUE(translated.ok());
+    Packet frame = *translated;
+    Ipv4View ip(frame);
+    UdpView udp(frame, ip.payload_offset());
+    ASSERT_TRUE(ip.ChecksumValid());
+    ASSERT_TRUE(udp.ChecksumValid(ip));
+    const u16 ext_port = udp.source_port();
+
+    const auto it = observed.find(key);
+    if (it != observed.end()) {
+      // Same flow: same mapping, every time.
+      ASSERT_EQ(it->second, ext_port);
+    } else {
+      // New flow: a port no other flow owns.
+      for (const auto& [other, port] : observed) {
+        ASSERT_NE(port, ext_port);
+      }
+      observed[key] = ext_port;
+    }
+  }
+
+  // Every observed mapping is reversible.
+  for (const auto& [key, ext_port] : observed) {
+    Packet in = MakeUdpPacket({config.external_mac, MacAddress::FromU48(0x02ffffffff02),
+                               Ipv4Address(8, 8, 8, 8), config.external_ip, 53, ext_port},
+                              std::vector<u8>{'y'});
+    auto back = target.SendAndCollect(0, std::move(in));
+    ASSERT_TRUE(back.ok());
+    Packet frame = *back;
+    Ipv4View ip(frame);
+    UdpView udp(frame, ip.payload_offset());
+    ASSERT_EQ(ip.destination().value(), key.ip);
+    ASSERT_EQ(udp.destination_port(), key.port);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NatProperty, ::testing::Values(5u, 1234u));
+
+// --- Memcached vs a reference map over random op sequences ------------------------------
+
+class MemcachedModelProperty
+    : public ::testing::TestWithParam<std::tuple<u64, McProtocol>> {};
+
+TEST_P(MemcachedModelProperty, AgreesWithReferenceMapModel) {
+  const auto [seed, protocol] = GetParam();
+  Rng rng(seed);
+  MemcachedConfig config;
+  config.protocol = protocol;
+  config.capacity = 4096;  // large enough that LRU eviction never fires:
+                           // the reference model has no eviction
+  MemcachedService service(config);
+  FpgaTarget target(service);
+  std::map<std::string, std::string> model;
+
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'66);
+  for (int i = 0; i < 120; ++i) {
+    McRequest request;
+    request.protocol = protocol;
+    request.key = "key" + std::to_string(rng.NextBelow(12));
+    const u64 dice = rng.NextBelow(10);
+    if (dice < 5) {
+      request.op = McOpcode::kGet;
+    } else if (dice < 8) {
+      request.op = McOpcode::kSet;
+      request.value = "v" + std::to_string(rng.NextBelow(1000));
+    } else {
+      request.op = McOpcode::kDelete;
+    }
+    Packet frame = MakeUdpPacket(
+        {config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, 31000, kMemcachedPort},
+        BuildMcRequest(request));
+    auto reply = target.SendAndCollect(static_cast<u8>(i % 4), std::move(frame));
+    ASSERT_TRUE(reply.ok()) << "op " << i;
+    Packet out = *reply;
+    Ipv4View ip(out);
+    UdpView udp(out, ip.payload_offset());
+    auto response = ParseMcResponse(udp.Payload(), protocol);
+    ASSERT_TRUE(response.ok()) << "op " << i;
+
+    switch (request.op) {
+      case McOpcode::kGet: {
+        const auto it = model.find(request.key);
+        if (it == model.end()) {
+          ASSERT_EQ(response->status, McStatus::kKeyNotFound) << "op " << i;
+        } else {
+          ASSERT_EQ(response->status, McStatus::kNoError) << "op " << i;
+          ASSERT_EQ(response->value, it->second) << "op " << i;
+        }
+        break;
+      }
+      case McOpcode::kSet:
+        ASSERT_EQ(response->status, McStatus::kNoError) << "op " << i;
+        model[request.key] = request.value;
+        break;
+      case McOpcode::kDelete: {
+        const bool existed = model.erase(request.key) > 0;
+        ASSERT_EQ(response->status,
+                  existed ? McStatus::kNoError : McStatus::kKeyNotFound)
+            << "op " << i;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndProtocols, MemcachedModelProperty,
+    ::testing::Combine(::testing::Values(11u, 222u),
+                       ::testing::Values(McProtocol::kBinary, McProtocol::kAscii)));
+
+// --- WideUInt<128> vs native __int128 differential ---------------------------------------
+
+class WideWordDifferential : public ::testing::TestWithParam<u64> {};
+
+TEST_P(WideWordDifferential, MatchesNativeInt128) {
+  Rng rng(GetParam());
+  const auto to_wide = [](unsigned __int128 v) {
+    Word128 w;
+    w.SetLimb(0, static_cast<u64>(v));
+    w.SetLimb(1, static_cast<u64>(v >> 64));
+    return w;
+  };
+  const auto to_native = [](const Word128& w) {
+    return (static_cast<unsigned __int128>(w.Limb(1)) << 64) | w.Limb(0);
+  };
+  for (int round = 0; round < 500; ++round) {
+    const unsigned __int128 a =
+        (static_cast<unsigned __int128>(rng.NextU64()) << 64) | rng.NextU64();
+    const unsigned __int128 b =
+        (static_cast<unsigned __int128>(rng.NextU64()) << 64) | rng.NextU64();
+    const Word128 wa = to_wide(a);
+    const Word128 wb = to_wide(b);
+    ASSERT_EQ(to_native(wa + wb), static_cast<unsigned __int128>(a + b));
+    ASSERT_EQ(to_native(wa - wb), static_cast<unsigned __int128>(a - b));
+    ASSERT_EQ(to_native(wa ^ wb), a ^ b);
+    ASSERT_EQ(to_native(wa & wb), a & b);
+    ASSERT_EQ(to_native(wa | wb), a | b);
+    const usize shift = rng.NextBelow(128);
+    ASSERT_EQ(to_native(wa << shift), static_cast<unsigned __int128>(a << shift));
+    ASSERT_EQ(to_native(wa >> shift), static_cast<unsigned __int128>(a >> shift));
+    ASSERT_EQ(wa < wb, a < b);
+    ASSERT_EQ(wa == wb, a == b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideWordDifferential, ::testing::Values(21u, 2121u));
+
+// --- Pipeline integrity across frame sizes -----------------------------------------------
+
+class FrameSizeProperty : public ::testing::TestWithParam<usize> {};
+
+TEST_P(FrameSizeProperty, SwitchForwardsAllSizesIntact) {
+  const usize size = GetParam();
+  Rng rng(size);
+  LearningSwitch service;
+  FpgaTarget target(service);
+  const MacAddress a = MacAddress::FromU48(0x020000000001);
+  const MacAddress b = MacAddress::FromU48(0x020000000002);
+  target.Inject(1, MakeEthernetFrame(MacAddress::Broadcast(), b, EtherType::kIpv4, {}));
+  target.Run(50'000);
+  target.TakeEgress();
+
+  std::vector<u8> payload(size - kEthernetHeaderSize);
+  for (auto& byte : payload) {
+    byte = static_cast<u8>(rng.NextU64());
+  }
+  Packet frame = MakeEthernetFrame(b, a, EtherType::kIpv4, payload);
+  frame.Resize(size);
+  const std::vector<u8> sent(frame.bytes().begin(), frame.bytes().end());
+  auto out = target.SendAndCollect(0, std::move(frame));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), size);
+  for (usize i = 0; i < size; ++i) {
+    ASSERT_EQ((*out)[i], sent[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrameSizeProperty,
+                         ::testing::Values(60u, 64u, 65u, 128u, 512u, 1024u, 1514u));
+
+}  // namespace
+}  // namespace emu

@@ -1,0 +1,373 @@
+// L3-L4 filter, the iptables-style CLI, and the NAT gateway.
+#include <gtest/gtest.h>
+
+#include "src/core/targets.h"
+#include "src/net/arp.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/iptables_cli.h"
+#include "src/services/l3l4_filter.h"
+#include "src/services/nat_service.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kMacA = MacAddress::FromU48(0x02'00'00'00'dd'01);
+const MacAddress kMacB = MacAddress::FromU48(0x02'00'00'00'dd'02);
+const Ipv4Address kIpA(10, 0, 0, 1);
+const Ipv4Address kIpB(10, 0, 0, 2);
+
+// --- iptables CLI ----------------------------------------------------------------
+
+TEST(IptablesCli, ParsesDropTcpDportRange) {
+  auto rule = ParseIptablesRule("-A FORWARD -p tcp --dport 80:443 -j DROP");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->action, FilterRule::Action::kDrop);
+  ASSERT_TRUE(rule->protocol.has_value());
+  EXPECT_EQ(*rule->protocol, IpProtocol::kTcp);
+  EXPECT_EQ(rule->dst_ports.lo, 80);
+  EXPECT_EQ(rule->dst_ports.hi, 443);
+  EXPECT_TRUE(rule->src_ports.IsAny());
+}
+
+TEST(IptablesCli, ParsesSourceSubnet) {
+  auto rule = ParseIptablesRule("-A FORWARD -s 192.168.1.0/24 -j DROP");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->src_base, Ipv4Address(192, 168, 1, 0));
+  EXPECT_EQ(rule->src_prefix, 24u);
+  EXPECT_FALSE(rule->protocol.has_value());
+}
+
+TEST(IptablesCli, BareAddressIsSlash32) {
+  auto rule = ParseIptablesRule("-s 10.0.0.7 -j ACCEPT");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->src_prefix, 32u);
+  EXPECT_EQ(rule->action, FilterRule::Action::kAccept);
+}
+
+TEST(IptablesCli, SinglePortBecomesDegenerateRange) {
+  auto rule = ParseIptablesRule("-p udp --dport 53 -j ACCEPT");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->dst_ports.lo, 53);
+  EXPECT_EQ(rule->dst_ports.hi, 53);
+}
+
+TEST(IptablesCli, ToleratesLeadingIptablesWord) {
+  EXPECT_TRUE(ParseIptablesRule("iptables -A FORWARD -p icmp -j DROP").ok());
+}
+
+TEST(IptablesCli, RejectsPortsWithoutProtocol) {
+  EXPECT_FALSE(ParseIptablesRule("--dport 80 -j DROP").ok());
+  EXPECT_FALSE(ParseIptablesRule("-p icmp --dport 80 -j DROP").ok());
+}
+
+TEST(IptablesCli, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseIptablesRule("-p tcp").ok());            // no action
+  EXPECT_FALSE(ParseIptablesRule("-p quic -j DROP").ok());   // bad proto
+  EXPECT_FALSE(ParseIptablesRule("-s 1.2.3.4/40 -j DROP").ok());
+  EXPECT_FALSE(ParseIptablesRule("-p tcp --dport 99999 -j DROP").ok());
+  EXPECT_FALSE(ParseIptablesRule("-p tcp --dport 443:80 -j DROP").ok());
+  EXPECT_FALSE(ParseIptablesRule("-x foo -j DROP").ok());
+  EXPECT_FALSE(ParseIptablesRule("-j NFQUEUE").ok());
+}
+
+TEST(IptablesCli, ParsesScriptWithPolicyAndComments) {
+  const std::string script =
+      "# block web traffic from the lab subnet\n"
+      "-P FORWARD ACCEPT\n"
+      "-A FORWARD -p tcp -s 10.0.0.0/24 --dport 80:443 -j DROP\n"
+      "\n"
+      "-A FORWARD -p icmp -j ACCEPT\n";
+  auto ruleset = ParseIptablesScript(script);
+  ASSERT_TRUE(ruleset.ok()) << ruleset.status().ToString();
+  EXPECT_EQ(ruleset->default_action, FilterRule::Action::kAccept);
+  ASSERT_EQ(ruleset->rules.size(), 2u);
+  EXPECT_EQ(ruleset->rules[0].action, FilterRule::Action::kDrop);
+}
+
+TEST(IptablesCli, ScriptErrorPropagates) {
+  EXPECT_FALSE(ParseIptablesScript("-A FORWARD -p tcp\n").ok());
+}
+
+// --- L3L4 filter on the FPGA target ------------------------------------------------
+
+Packet MakeUdpFlow(Ipv4Address src, Ipv4Address dst, u16 sport, u16 dport) {
+  return MakeUdpPacket({kMacB, kMacA, src, dst, sport, dport}, std::vector<u8>{1, 2, 3});
+}
+
+Packet MakeTcpFlow(Ipv4Address src, Ipv4Address dst, u16 sport, u16 dport) {
+  TcpSegmentSpec spec{kMacB, kMacA, src, dst, sport, dport, 1, 0, TcpFlags::kSyn};
+  return MakeTcpSegment(spec);
+}
+
+TEST(L3L4FilterTest, DropsMatchingTcpPortRange) {
+  auto ruleset = ParseIptablesScript("-A FORWARD -p tcp --dport 80:443 -j DROP\n");
+  ASSERT_TRUE(ruleset.ok());
+  L3L4FilterConfig config;
+  config.rules = ruleset->rules;
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+
+  target.Inject(0, MakeTcpFlow(kIpA, kIpB, 50000, 80));     // dropped
+  target.Inject(0, MakeTcpFlow(kIpA, kIpB, 50000, 22));     // passes
+  target.Run(100'000);
+  EXPECT_EQ(service.filtered(), 1u);
+  EXPECT_EQ(service.accepted(), 1u);
+  // Only the port-22 flow was flooded by the embedded switch.
+  for (const auto& frame : target.egress()) {
+    Packet copy = frame.frame;
+    Ipv4View ip(copy);
+    TcpView tcp(copy, ip.payload_offset());
+    EXPECT_EQ(tcp.destination_port(), 22);
+  }
+}
+
+TEST(L3L4FilterTest, SubnetDropRule) {
+  auto ruleset = ParseIptablesScript("-A FORWARD -s 10.0.0.0/24 -j DROP\n");
+  ASSERT_TRUE(ruleset.ok());
+  L3L4FilterConfig config;
+  config.rules = ruleset->rules;
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+
+  target.Inject(0, MakeUdpFlow(Ipv4Address(10, 0, 0, 5), kIpB, 1, 2));   // in subnet: drop
+  target.Inject(0, MakeUdpFlow(Ipv4Address(10, 0, 1, 5), kIpB, 1, 2));   // outside: pass
+  target.Run(100'000);
+  EXPECT_EQ(service.filtered(), 1u);
+  EXPECT_EQ(service.accepted(), 1u);
+}
+
+TEST(L3L4FilterTest, FirstMatchWins) {
+  auto ruleset = ParseIptablesScript(
+      "-A FORWARD -p udp --dport 53 -j ACCEPT\n"
+      "-A FORWARD -p udp -j DROP\n");
+  ASSERT_TRUE(ruleset.ok());
+  L3L4FilterConfig config;
+  config.rules = ruleset->rules;
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+
+  target.Inject(0, MakeUdpFlow(kIpA, kIpB, 9, 53));   // rule 1: accept
+  target.Inject(0, MakeUdpFlow(kIpA, kIpB, 9, 123));  // rule 2: drop
+  target.Run(100'000);
+  EXPECT_EQ(service.accepted(), 1u);
+  EXPECT_EQ(service.filtered(), 1u);
+}
+
+TEST(L3L4FilterTest, DefaultDropPolicy) {
+  L3L4FilterConfig config;
+  config.default_action = FilterRule::Action::kDrop;
+  auto rule = ParseIptablesRule("-p icmp -j ACCEPT");
+  ASSERT_TRUE(rule.ok());
+  config.rules.push_back(*rule);
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+
+  target.Inject(0, MakeUdpFlow(kIpA, kIpB, 1, 2));  // no match -> default drop
+  target.Run(100'000);
+  EXPECT_EQ(service.filtered(), 1u);
+  EXPECT_EQ(service.accepted(), 0u);
+}
+
+TEST(L3L4FilterTest, NonIpTrafficPassesToSwitch) {
+  auto ruleset = ParseIptablesScript("-A FORWARD -p udp -j DROP\n");
+  ASSERT_TRUE(ruleset.ok());
+  L3L4FilterConfig config;
+  config.rules = ruleset->rules;
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+
+  // An ARP frame matches no IPv4 rule and must still be switched.
+  Packet arp = MakeArpRequest(kMacA, kIpA, kIpB);
+  target.Inject(0, std::move(arp));
+  target.Run(100'000);
+  EXPECT_EQ(service.accepted(), 1u);
+  EXPECT_EQ(target.egress().size(), 3u);  // broadcast flood
+}
+
+TEST(L3L4FilterTest, EmbeddedSwitchStillLearns) {
+  L3L4Filter service;
+  FpgaTarget target(service);
+  target.Inject(1, MakeUdpFlow(kIpB, kIpA, 5, 6));
+  target.Run(100'000);
+  EXPECT_GT(service.embedded_switch().learned(), 0u);
+}
+
+// --- NAT -----------------------------------------------------------------------------
+
+class NatTest : public ::testing::Test {
+ protected:
+  NatConfig config_;
+  NatService service_{config_};
+  FpgaTarget target_{service_};
+
+  static constexpr u8 kExternalPort = 0;
+  static constexpr u8 kInternalPort = 1;
+
+  const Ipv4Address kInternalHost{192, 168, 1, 10};
+  const MacAddress kInternalHostMac = MacAddress::FromU48(0x02'00'00'00'11'10);
+  const Ipv4Address kRemoteHost{8, 8, 8, 8};
+  const MacAddress kRemoteMac = MacAddress::FromU48(0x02'00'00'00'99'99);
+
+  Packet OutboundUdp(u16 sport, u16 dport) {
+    return MakeUdpPacket({config_.internal_mac, kInternalHostMac, kInternalHost, kRemoteHost,
+                          sport, dport},
+                         std::vector<u8>{'h', 'i'});
+  }
+};
+
+TEST_F(NatTest, OutboundUdpIsTranslated) {
+  auto out = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  Ipv4View ip(*out);
+  ASSERT_TRUE(ip.Valid());
+  EXPECT_EQ(ip.source(), config_.external_ip);       // SNAT applied
+  EXPECT_EQ(ip.destination(), kRemoteHost);
+  EXPECT_TRUE(ip.ChecksumValid());
+
+  UdpView udp(*out, ip.payload_offset());
+  EXPECT_GE(udp.source_port(), config_.port_base);
+  EXPECT_EQ(udp.destination_port(), 53);
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+
+  EthernetView eth(*out);
+  EXPECT_EQ(eth.source(), config_.external_mac);
+  EXPECT_EQ(eth.destination(), config_.external_gateway_mac);
+  EXPECT_EQ(service_.translated_out(), 1u);
+  EXPECT_EQ(service_.active_mappings(), 1u);
+}
+
+TEST_F(NatTest, InboundReplyIsReverseTranslated) {
+  auto out = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  ASSERT_TRUE(out.ok());
+  Ipv4View out_ip(*out);
+  UdpView out_udp(*out, out_ip.payload_offset());
+  const u16 ext_port = out_udp.source_port();
+  target_.TakeEgress();
+
+  // Remote host replies to (external_ip, ext_port).
+  Packet reply = MakeUdpPacket({config_.external_mac, kRemoteMac, kRemoteHost,
+                                config_.external_ip, 53, ext_port},
+                               std::vector<u8>{'o', 'k'});
+  target_.Inject(kExternalPort, std::move(reply));
+  ASSERT_TRUE(target_.RunUntilEgressCount(1, 500'000));
+  const auto egress = target_.TakeEgress();
+  ASSERT_EQ(egress.size(), 1u);
+  EXPECT_EQ(egress[0].port, kInternalPort);  // back to the recorded FPGA port
+
+  Packet in = egress[0].frame;
+  Ipv4View ip(in);
+  EXPECT_EQ(ip.destination(), kInternalHost);  // DNAT back
+  EXPECT_TRUE(ip.ChecksumValid());
+  UdpView udp(in, ip.payload_offset());
+  EXPECT_EQ(udp.destination_port(), 5000);
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  EthernetView eth(in);
+  EXPECT_EQ(eth.destination(), kInternalHostMac);
+  EXPECT_EQ(service_.translated_in(), 1u);
+}
+
+TEST_F(NatTest, SameFlowReusesMapping) {
+  auto first = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  auto second = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  Ipv4View ip1(*first);
+  Ipv4View ip2(*second);
+  UdpView udp1(*first, ip1.payload_offset());
+  UdpView udp2(*second, ip2.payload_offset());
+  EXPECT_EQ(udp1.source_port(), udp2.source_port());
+  EXPECT_EQ(service_.active_mappings(), 1u);
+}
+
+TEST_F(NatTest, DistinctFlowsGetDistinctPorts) {
+  auto first = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  auto second = target_.SendAndCollect(kInternalPort, OutboundUdp(5001, 53));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  Ipv4View ip1(*first);
+  Ipv4View ip2(*second);
+  UdpView udp1(*first, ip1.payload_offset());
+  UdpView udp2(*second, ip2.payload_offset());
+  EXPECT_NE(udp1.source_port(), udp2.source_port());
+  EXPECT_EQ(service_.active_mappings(), 2u);
+}
+
+TEST_F(NatTest, TcpFlowsAreTranslatedWithValidChecksum) {
+  TcpSegmentSpec spec{config_.internal_mac, kInternalHostMac, kInternalHost, kRemoteHost,
+                      43210, 80, 100, 0, TcpFlags::kSyn};
+  auto out = target_.SendAndCollect(kInternalPort, MakeTcpSegment(spec));
+  ASSERT_TRUE(out.ok());
+  Ipv4View ip(*out);
+  EXPECT_EQ(ip.source(), config_.external_ip);
+  TcpView tcp(*out, ip.payload_offset());
+  EXPECT_GE(tcp.source_port(), config_.port_base);
+  EXPECT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+}
+
+TEST_F(NatTest, InboundToUnmappedPortIsDropped) {
+  Packet stray = MakeUdpPacket({config_.external_mac, kRemoteMac, kRemoteHost,
+                                config_.external_ip, 53, 49999},
+                               std::vector<u8>{'x'});
+  target_.Inject(kExternalPort, std::move(stray));
+  target_.Run(100'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_GT(service_.dropped(), 0u);
+}
+
+TEST_F(NatTest, UdpAndTcpMappingsAreSeparate) {
+  auto udp_out = target_.SendAndCollect(kInternalPort, OutboundUdp(7000, 9));
+  ASSERT_TRUE(udp_out.ok());
+  Ipv4View uip(*udp_out);
+  UdpView udp(*udp_out, uip.payload_offset());
+  const u16 udp_ext = udp.source_port();
+  target_.TakeEgress();
+
+  // A TCP reply to the UDP mapping's port must not traverse.
+  TcpSegmentSpec spec{config_.external_mac, kRemoteMac, kRemoteHost, config_.external_ip,
+                      9, udp_ext, 1, 0, TcpFlags::kSyn};
+  target_.Inject(kExternalPort, MakeTcpSegment(spec));
+  target_.Run(100'000);
+  EXPECT_TRUE(target_.egress().empty());
+}
+
+TEST_F(NatTest, AnswersArpOnBothSides) {
+  auto external = target_.SendAndCollect(
+      kExternalPort, MakeArpRequest(kRemoteMac, kRemoteHost, config_.external_ip));
+  ASSERT_TRUE(external.ok());
+  ArpView ext_arp(*external);
+  EXPECT_EQ(ext_arp.sender_mac(), config_.external_mac);
+
+  auto internal = target_.SendAndCollect(
+      kInternalPort, MakeArpRequest(kInternalHostMac, kInternalHost, config_.internal_ip));
+  ASSERT_TRUE(internal.ok());
+  ArpView int_arp(*internal);
+  EXPECT_EQ(int_arp.sender_mac(), config_.internal_mac);
+}
+
+TEST_F(NatTest, TtlDecrementedOnForward) {
+  auto out = target_.SendAndCollect(kInternalPort, OutboundUdp(5000, 53));
+  ASSERT_TRUE(out.ok());
+  Ipv4View ip(*out);
+  EXPECT_EQ(ip.ttl(), 63);  // 64 - 1
+}
+
+// NAT on the CPU target: the §4.4 "same code, multiple platforms" claim.
+TEST(NatCpuTest, TranslatesOnCpuTarget) {
+  NatConfig config;
+  NatService service(config);
+  CpuTarget target(service);
+  Packet out = MakeUdpPacket({config.internal_mac, MacAddress::FromU48(0x020000001110),
+                              Ipv4Address(192, 168, 1, 10), Ipv4Address(8, 8, 8, 8), 5000, 53},
+                             std::vector<u8>{'h', 'i'});
+  out.set_src_port(1);
+  const auto frames = target.Deliver(std::move(out));
+  ASSERT_EQ(frames.size(), 1u);
+  Packet frame = frames[0];
+  Ipv4View ip(frame);
+  EXPECT_EQ(ip.source(), config.external_ip);
+}
+
+}  // namespace
+}  // namespace emu

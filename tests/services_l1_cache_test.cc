@@ -1,0 +1,237 @@
+// The §5.4 scaling extension: the Emu Memcached as an L1 cache tier whose
+// misses go to a host memcached behind the FPGA.
+#include <gtest/gtest.h>
+
+#include "src/core/targets.h"
+#include "src/hostnet/host_services.h"
+#include "src/net/udp.h"
+#include "src/services/memcached_service.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'10);
+const Ipv4Address kClientIp(10, 0, 0, 9);
+constexpr u8 kHostPort = 0;
+constexpr u8 kClientPort = 2;
+
+class L1CacheTest : public ::testing::Test {
+ protected:
+  L1CacheTest() {
+    config_.l1_cache_mode = true;
+    config_.host_port = kHostPort;
+    service_ = std::make_unique<MemcachedService>(config_);
+    target_ = std::make_unique<FpgaTarget>(*service_);
+    host_ = std::make_unique<HostMemcached>(config_.mac, config_.ip, config_.protocol, 1024);
+  }
+
+  Packet McFrame(const McRequest& request) {
+    McRequest copy = request;
+    copy.protocol = config_.protocol;
+    return MakeUdpPacket(
+        {config_.mac, kClientMac, kClientIp, config_.ip, 31000, kMemcachedPort},
+        BuildMcRequest(copy));
+  }
+
+  // Runs the host tier over everything egressing on the host port and
+  // injects its replies back; returns frames that egressed toward clients.
+  std::vector<EgressFrame> PumpOnce(Packet request) {
+    target_->Inject(kClientPort, std::move(request));
+    target_->Run(200'000);
+    std::vector<EgressFrame> client_frames;
+    for (auto& frame : target_->TakeEgress()) {
+      if (frame.port == kHostPort) {
+        auto reply = host_->HandleRequest(frame.frame);
+        if (reply.has_value()) {
+          target_->Inject(kHostPort, std::move(*reply));
+        }
+      } else {
+        client_frames.push_back(std::move(frame));
+      }
+    }
+    target_->Run(200'000);
+    for (auto& frame : target_->TakeEgress()) {
+      client_frames.push_back(std::move(frame));
+    }
+    return client_frames;
+  }
+
+  Expected<McResponse> ParseReply(const EgressFrame& frame) {
+    Packet copy = frame.frame;
+    Ipv4View ip(copy);
+    UdpView udp(copy, ip.payload_offset());
+    if (!udp.Valid()) {
+      return MalformedPacket("bad reply");
+    }
+    return ParseMcResponse(udp.Payload(), config_.protocol);
+  }
+
+  MemcachedConfig config_;
+  std::unique_ptr<MemcachedService> service_;
+  std::unique_ptr<FpgaTarget> target_;
+  std::unique_ptr<HostMemcached> host_;
+};
+
+TEST_F(L1CacheTest, MissForwardsOriginalRequestToHostPort) {
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "absent";
+  target_->Inject(kClientPort, McFrame(get));
+  target_->Run(200'000);
+  const auto egress = target_->TakeEgress();
+  ASSERT_EQ(egress.size(), 1u);
+  EXPECT_EQ(egress[0].port, kHostPort);
+  // The forwarded frame is the original request, byte for byte.
+  Packet copy = egress[0].frame;
+  Ipv4View ip(copy);
+  UdpView udp(copy, ip.payload_offset());
+  auto request = ParseMcRequest(udp.Payload(), config_.protocol);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->op, McOpcode::kGet);
+  EXPECT_EQ(request->key, "absent");
+  EXPECT_EQ(service_->misses_forwarded(), 1u);
+}
+
+TEST_F(L1CacheTest, HostReplyReachesClientAndFillsCache) {
+  // Seed the host tier only.
+  McRequest set;
+  set.op = McOpcode::kSet;
+  set.key = "warm";
+  set.value = "fromhost";
+  set.protocol = config_.protocol;
+  Packet host_set = MakeUdpPacket(
+      {config_.mac, kClientMac, kClientIp, config_.ip, 31000, kMemcachedPort},
+      BuildMcRequest(set));
+  ASSERT_TRUE(host_->HandleRequest(host_set).has_value());
+
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "warm";
+
+  // First GET: miss in the cache tier, served by the host through the FPGA.
+  auto frames = PumpOnce(McFrame(get));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].port, kClientPort);  // routed back to the client
+  auto response = ParseReply(frames[0]);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, McStatus::kNoError);
+  EXPECT_EQ(response->value, "fromhost");
+  EXPECT_EQ(service_->misses_forwarded(), 1u);
+  EXPECT_EQ(service_->host_replies_forwarded(), 1u);
+  EXPECT_EQ(service_->cache_fills(), 1u);
+
+  // Second GET: now an L1 hit — answered locally, nothing sent to the host.
+  frames = PumpOnce(McFrame(get));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].port, kClientPort);
+  response = ParseReply(frames[0]);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->value, "fromhost");
+  EXPECT_EQ(service_->misses_forwarded(), 1u);  // unchanged
+  EXPECT_EQ(service_->get_hits(), 1u);
+}
+
+TEST_F(L1CacheTest, SetsAreServedByTheCacheTier) {
+  McRequest set;
+  set.op = McOpcode::kSet;
+  set.key = "local";
+  set.value = "v1";
+  const auto frames = PumpOnce(McFrame(set));
+  ASSERT_EQ(frames.size(), 1u);
+  auto response = ParseReply(frames[0]);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, McStatus::kNoError);
+  EXPECT_EQ(service_->misses_forwarded(), 0u);
+
+  // And the subsequent GET is a pure L1 hit.
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "local";
+  const auto hit_frames = PumpOnce(McFrame(get));
+  ASSERT_EQ(hit_frames.size(), 1u);
+  auto hit = ParseReply(hit_frames[0]);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->value, "v1");
+  EXPECT_EQ(service_->misses_forwarded(), 0u);
+}
+
+TEST_F(L1CacheTest, HostMissStillAnsweredThroughTheCache) {
+  // Neither tier knows the key: the host's miss reply ("END") must still
+  // reach the client.
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "nowhere";
+  const auto frames = PumpOnce(McFrame(get));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].port, kClientPort);
+  auto response = ParseReply(frames[0]);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, McStatus::kKeyNotFound);
+  EXPECT_EQ(service_->cache_fills(), 0u);  // nothing to fill from a miss
+}
+
+TEST_F(L1CacheTest, MultipleClientsRoutedIndependently) {
+  McRequest set;
+  set.op = McOpcode::kSet;
+  set.key = "k";
+  set.value = "v";
+  set.protocol = config_.protocol;
+  Packet host_set = MakeUdpPacket(
+      {config_.mac, kClientMac, kClientIp, config_.ip, 31000, kMemcachedPort},
+      BuildMcRequest(set));
+  ASSERT_TRUE(host_->HandleRequest(host_set).has_value());
+
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "k";
+  get.protocol = config_.protocol;
+
+  // Two different clients on two different ports miss concurrently.
+  const MacAddress other_mac = MacAddress::FromU48(0x02'00'00'00'cc'11);
+  Packet from_a = McFrame(get);
+  Packet from_b = MakeUdpPacket(
+      {config_.mac, other_mac, Ipv4Address(10, 0, 0, 10), config_.ip, 31001, kMemcachedPort},
+      BuildMcRequest(get));
+  target_->Inject(kClientPort, std::move(from_a));
+  target_->Inject(3, std::move(from_b));
+  target_->Run(300'000);
+  for (auto& frame : target_->TakeEgress()) {
+    ASSERT_EQ(frame.port, kHostPort);
+    auto reply = host_->HandleRequest(frame.frame);
+    ASSERT_TRUE(reply.has_value());
+    target_->Inject(kHostPort, std::move(*reply));
+  }
+  target_->Run(300'000);
+  const auto frames = target_->TakeEgress();
+  ASSERT_EQ(frames.size(), 2u);
+  std::set<u8> ports;
+  for (const auto& frame : frames) {
+    ports.insert(frame.port);
+  }
+  EXPECT_EQ(ports, (std::set<u8>{kClientPort, 3}));
+}
+
+TEST_F(L1CacheTest, DisabledModeBehavesAsPlainServer) {
+  MemcachedConfig config;  // l1_cache_mode off
+  MemcachedService service(config);
+  FpgaTarget target(service);
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "absent";
+  get.protocol = config.protocol;
+  Packet frame = MakeUdpPacket(
+      {config.mac, kClientMac, kClientIp, config.ip, 31000, kMemcachedPort},
+      BuildMcRequest(get));
+  auto reply = target.SendAndCollect(kClientPort, std::move(frame));
+  ASSERT_TRUE(reply.ok());
+  Packet copy = *reply;
+  Ipv4View ip(copy);
+  UdpView udp(copy, ip.payload_offset());
+  auto response = ParseMcResponse(udp.Payload(), config.protocol);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, McStatus::kKeyNotFound);  // local miss reply
+  EXPECT_EQ(service.misses_forwarded(), 0u);
+}
+
+}  // namespace
+}  // namespace emu

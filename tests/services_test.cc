@@ -1,0 +1,312 @@
+// Tests for the request/response services (ICMP echo, TCP ping, DNS) on both
+// the FPGA and CPU targets.
+#include <gtest/gtest.h>
+
+#include "src/core/targets.h"
+#include "src/net/arp.h"
+#include "src/net/dns.h"
+#include "src/net/icmp.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/dns_service.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/tcp_ping_service.h"
+
+namespace emu {
+namespace {
+
+const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'01);
+const Ipv4Address kClientIp(10, 0, 0, 9);
+
+// --- ICMP echo -----------------------------------------------------------------
+
+class IcmpEchoTest : public ::testing::Test {
+ protected:
+  IcmpEchoConfig config_;
+  IcmpEchoService service_{config_};
+  FpgaTarget target_{service_};
+};
+
+TEST_F(IcmpEchoTest, RepliesToEchoRequest) {
+  const std::vector<u8> payload = {'a', 'b', 'c', 'd'};
+  Packet request =
+      MakeIcmpEchoRequest({config_.mac, kClientMac, kClientIp, config_.ip, 0x42, 7}, payload);
+  auto reply = target_.SendAndCollect(2, std::move(request));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  Ipv4View ip(*reply);
+  ASSERT_TRUE(ip.Valid());
+  EXPECT_EQ(ip.source(), config_.ip);
+  EXPECT_EQ(ip.destination(), kClientIp);
+  EXPECT_TRUE(ip.ChecksumValid());
+
+  IcmpView icmp(*reply, ip.payload_offset());
+  EXPECT_TRUE(icmp.TypeIs(IcmpType::kEchoReply));
+  EXPECT_EQ(icmp.identifier(), 0x42);
+  EXPECT_EQ(icmp.sequence(), 7);
+  EXPECT_TRUE(icmp.ChecksumValid(kIcmpHeaderSize + payload.size()));
+  EXPECT_EQ(service_.echoes(), 1u);
+}
+
+TEST_F(IcmpEchoTest, ReplyGoesBackToSourcePort) {
+  Packet request = MakeIcmpEchoRequest({config_.mac, kClientMac, kClientIp, config_.ip, 1, 1}, {});
+  target_.Inject(3, std::move(request));
+  ASSERT_TRUE(target_.RunUntilEgressCount(1, 200'000));
+  EXPECT_EQ(target_.egress()[0].port, 3);
+}
+
+TEST_F(IcmpEchoTest, AnswersArpForItsAddress) {
+  Packet request = MakeArpRequest(kClientMac, kClientIp, config_.ip);
+  auto reply = target_.SendAndCollect(0, std::move(request));
+  ASSERT_TRUE(reply.ok());
+  ArpView arp(*reply);
+  ASSERT_TRUE(arp.Valid());
+  EXPECT_TRUE(arp.OperIs(ArpOper::kReply));
+  EXPECT_EQ(arp.sender_mac(), config_.mac);
+  EXPECT_EQ(arp.sender_ip(), config_.ip);
+  EXPECT_EQ(arp.target_mac(), kClientMac);
+  EXPECT_EQ(service_.arp_replies(), 1u);
+}
+
+TEST_F(IcmpEchoTest, IgnoresOtherAddresses) {
+  Packet request = MakeIcmpEchoRequest(
+      {config_.mac, kClientMac, kClientIp, Ipv4Address(10, 0, 0, 250), 1, 1}, {});
+  target_.Inject(0, std::move(request));
+  target_.Run(50'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_EQ(service_.dropped(), 1u);
+}
+
+TEST_F(IcmpEchoTest, DropsCorruptChecksum) {
+  Packet request = MakeIcmpEchoRequest({config_.mac, kClientMac, kClientIp, config_.ip, 1, 1},
+                                       std::vector<u8>{1, 2, 3, 4});
+  Ipv4View ip(request);
+  request[ip.payload_offset() + kIcmpHeaderSize] ^= 0xff;  // corrupt payload
+  target_.Inject(0, std::move(request));
+  target_.Run(50'000);
+  EXPECT_TRUE(target_.egress().empty());
+}
+
+TEST_F(IcmpEchoTest, RoundTripLatencyNearPaper) {
+  // Paper Table 4: ICMP echo on Emu averages 1.09 us with a tight tail.
+  Packet request = MakeIcmpEchoRequest({config_.mac, kClientMac, kClientIp, config_.ip, 1, 1},
+                                       std::vector<u8>(32, 0));
+  auto reply = target_.SendAndCollect(0, std::move(request));
+  ASSERT_TRUE(reply.ok());
+  const double rtt_us = ToMicroseconds(reply->egress_time() - reply->ingress_time());
+  EXPECT_GT(rtt_us, 0.5);
+  EXPECT_LT(rtt_us, 2.0);
+}
+
+TEST(IcmpEchoCpuTest, SameSourceRunsOnCpuTarget) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  CpuTarget target(service);
+  Packet request = MakeIcmpEchoRequest({config.mac, kClientMac, kClientIp, config.ip, 5, 6},
+                                       std::vector<u8>{'x'});
+  request.set_src_port(1);
+  const auto out = target.Deliver(std::move(request));
+  ASSERT_EQ(out.size(), 1u);
+  Packet reply = out[0];
+  Ipv4View ip(reply);
+  IcmpView icmp(reply, ip.payload_offset());
+  EXPECT_TRUE(icmp.TypeIs(IcmpType::kEchoReply));
+  EXPECT_EQ(icmp.identifier(), 5);
+}
+
+// --- TCP ping -------------------------------------------------------------------
+
+class TcpPingTest : public ::testing::Test {
+ protected:
+  TcpPingConfig config_;
+  TcpPingService service_{config_};
+  FpgaTarget target_{service_};
+
+  Packet MakeSyn(u16 dst_port, u32 seq = 1000) {
+    TcpSegmentSpec spec{config_.mac, kClientMac, kClientIp, config_.ip,
+                        52000,       dst_port,   seq,       0,
+                        TcpFlags::kSyn};
+    return MakeTcpSegment(spec);
+  }
+};
+
+TEST_F(TcpPingTest, SynToOpenPortGetsSynAck) {
+  auto reply = target_.SendAndCollect(1, MakeSyn(80, 777));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  ASSERT_TRUE(ip.Valid());
+  TcpView tcp(*reply, ip.payload_offset());
+  ASSERT_TRUE(tcp.Valid());
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kSyn));
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kAck));
+  EXPECT_EQ(tcp.ack_number(), 778u);  // seq + 1
+  EXPECT_EQ(tcp.source_port(), 80);
+  EXPECT_EQ(tcp.destination_port(), 52000);
+  EXPECT_TRUE(tcp.ChecksumValid(ip, kTcpMinHeaderSize));
+  EXPECT_EQ(service_.syn_acks(), 1u);
+}
+
+TEST_F(TcpPingTest, SynToClosedPortGetsRst) {
+  auto reply = target_.SendAndCollect(1, MakeSyn(8080));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  TcpView tcp(*reply, ip.payload_offset());
+  EXPECT_TRUE(tcp.HasFlag(TcpFlags::kRst));
+  EXPECT_FALSE(tcp.HasFlag(TcpFlags::kSyn));
+  EXPECT_EQ(service_.resets(), 1u);
+}
+
+TEST_F(TcpPingTest, IgnoresNonSynSegments) {
+  TcpSegmentSpec spec{config_.mac, kClientMac, kClientIp, config_.ip,
+                      52000,       80,         2000,      1,
+                      TcpFlags::kAck};
+  target_.Inject(0, MakeTcpSegment(spec));
+  target_.Run(50'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_EQ(service_.dropped(), 1u);
+}
+
+TEST_F(TcpPingTest, AnswersArp) {
+  auto reply = target_.SendAndCollect(0, MakeArpRequest(kClientMac, kClientIp, config_.ip));
+  ASSERT_TRUE(reply.ok());
+  ArpView arp(*reply);
+  EXPECT_TRUE(arp.OperIs(ArpOper::kReply));
+  EXPECT_EQ(arp.sender_mac(), config_.mac);
+}
+
+TEST_F(TcpPingTest, RttSlightlyAboveIcmpEcho) {
+  // Paper: TCP ping 1.27 us vs ICMP echo 1.09 us — a more complex parse.
+  auto reply = target_.SendAndCollect(0, MakeSyn(80));
+  ASSERT_TRUE(reply.ok());
+  const double rtt_us = ToMicroseconds(reply->egress_time() - reply->ingress_time());
+  EXPECT_GT(rtt_us, 0.5);
+  EXPECT_LT(rtt_us, 2.5);
+}
+
+// --- DNS -------------------------------------------------------------------------
+
+class DnsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(service_.AddRecord("svc.lab", Ipv4Address(10, 1, 1, 1)).ok());
+    ASSERT_TRUE(service_.AddRecord("db.lab", Ipv4Address(10, 1, 1, 2)).ok());
+  }
+
+  Packet MakeQuery(const std::string& name, u16 id = 0x1234) {
+    const std::vector<u8> payload = BuildDnsQuery(id, name);
+    return MakeUdpPacket({config_.mac, kClientMac, kClientIp, config_.ip, 5555, kDnsPort},
+                         payload);
+  }
+
+  DnsServiceConfig config_;
+  DnsService service_{config_};
+  FpgaTarget target_{service_};
+};
+
+TEST_F(DnsTest, ResolvesKnownName) {
+  auto reply = target_.SendAndCollect(0, MakeQuery("svc.lab"));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  ASSERT_TRUE(ip.Valid());
+  UdpView udp(*reply, ip.payload_offset());
+  ASSERT_TRUE(udp.Valid());
+  EXPECT_EQ(udp.source_port(), kDnsPort);
+  EXPECT_EQ(udp.destination_port(), 5555);
+  EXPECT_TRUE(udp.ChecksumValid(ip));
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->header.id, 0x1234);
+  EXPECT_EQ(response->header.rcode, DnsRcode::kNoError);
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].address, Ipv4Address(10, 1, 1, 1));
+  EXPECT_EQ(service_.resolved(), 1u);
+}
+
+TEST_F(DnsTest, UnknownNameGetsNxDomain) {
+  auto reply = target_.SendAndCollect(0, MakeQuery("nope.lab"));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  UdpView udp(*reply, ip.payload_offset());
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->header.rcode, DnsRcode::kNxDomain);
+  EXPECT_TRUE(response->answers.empty());
+  EXPECT_EQ(service_.nxdomain(), 1u);
+}
+
+TEST_F(DnsTest, RejectsOverlongNames) {
+  // 27 bytes exceeds the paper prototype's 26-byte limit.
+  auto reply = target_.SendAndCollect(0, MakeQuery("abcdefghij.klmnopqrst.uvwxy"));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  UdpView udp(*reply, ip.payload_offset());
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->header.rcode, DnsRcode::kNotImp);
+}
+
+TEST_F(DnsTest, LimitCanBeRelaxedByConfig) {
+  DnsServiceConfig config;
+  config.max_name_bytes = 63;
+  DnsService service(config);
+  ASSERT_TRUE(
+      service.AddRecord("a-much-longer-name-than-the-prototype.lab", Ipv4Address(1, 2, 3, 4))
+          .ok());
+}
+
+TEST_F(DnsTest, AddRecordRejectsOverlongName) {
+  EXPECT_FALSE(service_.AddRecord("abcdefghij.klmnopqrst.uvwxy", Ipv4Address(1, 1, 1, 1)).ok());
+}
+
+TEST_F(DnsTest, AddRecordUpdatesExisting) {
+  ASSERT_TRUE(service_.AddRecord("svc.lab", Ipv4Address(10, 9, 9, 9)).ok());
+  auto reply = target_.SendAndCollect(0, MakeQuery("svc.lab"));
+  ASSERT_TRUE(reply.ok());
+  Ipv4View ip(*reply);
+  UdpView udp(*reply, ip.payload_offset());
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].address, Ipv4Address(10, 9, 9, 9));
+}
+
+TEST_F(DnsTest, IgnoresNonDnsTraffic) {
+  Packet not_dns = MakeUdpPacket({config_.mac, kClientMac, kClientIp, config_.ip, 5555, 9999},
+                                 std::vector<u8>{1, 2, 3});
+  target_.Inject(0, std::move(not_dns));
+  target_.Run(50'000);
+  EXPECT_TRUE(target_.egress().empty());
+  EXPECT_EQ(service_.dropped(), 1u);
+}
+
+TEST_F(DnsTest, ServesManyQueriesBackToBack) {
+  for (int i = 0; i < 50; ++i) {
+    target_.Inject(static_cast<u8>(i % 4), MakeQuery(i % 2 == 0 ? "svc.lab" : "db.lab",
+                                                     static_cast<u16>(i)));
+  }
+  ASSERT_TRUE(target_.RunUntilEgressCount(50, 2'000'000));
+  EXPECT_EQ(service_.resolved(), 50u);
+  EXPECT_EQ(target_.pipeline().rx_drops(), 0u);
+}
+
+TEST(DnsCpuTest, ResolvesOnCpuTarget) {
+  DnsServiceConfig config;
+  DnsService service(config);
+  ASSERT_TRUE(service.AddRecord("x.lab", Ipv4Address(9, 9, 9, 9)).ok());
+  CpuTarget target(service);
+  Packet query = MakeUdpPacket({config.mac, kClientMac, kClientIp, config.ip, 7, kDnsPort},
+                               BuildDnsQuery(3, "x.lab"));
+  query.set_src_port(2);
+  const auto out = target.Deliver(std::move(query));
+  ASSERT_EQ(out.size(), 1u);
+  Packet reply = out[0];
+  Ipv4View ip(reply);
+  UdpView udp(reply, ip.payload_offset());
+  auto response = ParseDnsResponse(udp.Payload());
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].address, Ipv4Address(9, 9, 9, 9));
+}
+
+}  // namespace
+}  // namespace emu

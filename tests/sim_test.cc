@@ -1,0 +1,379 @@
+// Event-driven network simulator (Mininet substitute), loadgens, and stats.
+#include <gtest/gtest.h>
+
+#include "src/services/icmp_echo_service.h"
+#include "src/services/learning_switch.h"
+#include "src/services/nat_service.h"
+#include "src/sim/event_scheduler.h"
+#include "src/sim/latency_probe.h"
+#include "src/sim/link.h"
+#include "src/sim/loadgen.h"
+#include "src/sim/memaslap.h"
+#include "src/sim/topology.h"
+#include "src/sim/trace_dump.h"
+#include "src/net/arp.h"
+#include "src/net/icmp.h"
+#include "src/net/udp.h"
+
+#include <set>
+
+namespace emu {
+namespace {
+
+// --- EventScheduler ------------------------------------------------------------
+
+TEST(EventScheduler, RunsEventsInTimeOrder) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  scheduler.At(300, [&] { order.push_back(3); });
+  scheduler.At(100, [&] { order.push_back(1); });
+  scheduler.At(200, [&] { order.push_back(2); });
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 300);
+}
+
+TEST(EventScheduler, SimultaneousEventsFifo) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  scheduler.At(100, [&] { order.push_back(1); });
+  scheduler.At(100, [&] { order.push_back(2); });
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventScheduler, EventsCanScheduleMoreEvents) {
+  EventScheduler scheduler;
+  int fired = 0;
+  scheduler.At(10, [&] {
+    ++fired;
+    scheduler.After(5, [&] { ++fired; });
+  });
+  scheduler.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(scheduler.now(), 15);
+}
+
+TEST(EventScheduler, RunUntilStopsAtDeadline) {
+  EventScheduler scheduler;
+  int fired = 0;
+  scheduler.At(10, [&] { ++fired; });
+  scheduler.At(100, [&] { ++fired; });
+  scheduler.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(scheduler.now(), 50);
+  EXPECT_EQ(scheduler.pending(), 1u);
+}
+
+TEST(EventScheduler, PastEventsClampToNow) {
+  EventScheduler scheduler;
+  scheduler.At(100, [] {});
+  scheduler.Run();
+  bool fired = false;
+  scheduler.At(10, [&] { fired = true; });  // in the past
+  scheduler.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(scheduler.now(), 100);
+}
+
+// --- Link -----------------------------------------------------------------------
+
+TEST(Link, DeliversWithSerializationAndPropagation) {
+  EventScheduler scheduler;
+  Link link(scheduler, 10'000'000'000ULL, 1000);  // 10G, 1 ns propagation
+  Picoseconds arrival = 0;
+  link.AttachB([&](Packet) { arrival = scheduler.now(); });
+  Packet frame(64);
+  link.SendToB(std::move(frame));
+  scheduler.Run();
+  // (64+24)*8 bits at 10G = 70.4 ns + 1 ns propagation.
+  EXPECT_EQ(arrival, 70'400 + 1000);
+}
+
+TEST(Link, BackToBackFramesQueueOnBandwidth) {
+  EventScheduler scheduler;
+  Link link(scheduler, 10'000'000'000ULL, 0);
+  std::vector<Picoseconds> arrivals;
+  link.AttachB([&](Packet) { arrivals.push_back(scheduler.now()); });
+  link.SendToB(Packet(64));
+  link.SendToB(Packet(64));
+  scheduler.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 70'400);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  EventScheduler scheduler;
+  Link link(scheduler, 10'000'000'000ULL, 0);
+  int a_count = 0;
+  int b_count = 0;
+  link.AttachA([&](Packet) { ++a_count; });
+  link.AttachB([&](Packet) { ++b_count; });
+  link.SendToB(Packet(64));
+  link.SendToA(Packet(64));
+  scheduler.Run();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 1);
+}
+
+// --- Topology + SimTarget ----------------------------------------------------------
+
+std::vector<HostSpec> TwoHosts() {
+  return {{"h0", MacAddress::FromU48(0x020000000001), Ipv4Address(10, 0, 0, 1)},
+          {"h1", MacAddress::FromU48(0x020000000002), Ipv4Address(10, 0, 0, 2)}};
+}
+
+TEST(SimTarget, SwitchFloodsThenUnicasts) {
+  LearningSwitch service;
+  StarTopology topo(service, TwoHosts());
+
+  usize h1_received = 0;
+  topo.host(1).SetApp([&](SimHost&, Packet) { ++h1_received; });
+  usize h0_received = 0;
+  topo.host(0).SetApp([&](SimHost&, Packet) { ++h0_received; });
+
+  // h0 -> h1 (unknown: flooded, h1 gets it; h0 does not get a copy back).
+  topo.host(0).Send(MakeEthernetFrame(topo.host(1).mac(), topo.host(0).mac(),
+                                      EtherType::kIpv4, std::vector<u8>{1}));
+  topo.Run();
+  EXPECT_EQ(h1_received, 1u);
+  EXPECT_EQ(h0_received, 0u);
+
+  // h1 -> h0: now unicast thanks to learning.
+  topo.host(1).Send(MakeEthernetFrame(topo.host(0).mac(), topo.host(1).mac(),
+                                      EtherType::kIpv4, std::vector<u8>{2}));
+  topo.Run();
+  EXPECT_EQ(h0_received, 1u);
+  EXPECT_EQ(h1_received, 1u);
+}
+
+TEST(SimTarget, IcmpEchoServiceAnswersInSimulator) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  StarTopology topo(service, TwoHosts());
+
+  bool got_reply = false;
+  topo.host(0).SetApp([&](SimHost&, Packet frame) {
+    Ipv4View ip(frame);
+    if (ip.Valid() && ip.ProtocolIs(IpProtocol::kIcmp)) {
+      IcmpView icmp(frame, ip.payload_offset());
+      got_reply = icmp.TypeIs(IcmpType::kEchoReply);
+    }
+  });
+  topo.host(0).Send(MakeIcmpEchoRequest(
+      {config.mac, topo.host(0).mac(), topo.host(0).ip(), config.ip, 1, 1}, {}));
+  topo.Run();
+  EXPECT_TRUE(got_reply);
+}
+
+TEST(SimTarget, NatRunsInSimulatorToo) {
+  // The paper's NAT test case compiles to software, Mininet, and hardware;
+  // this is the Mininet leg (§4.4).
+  NatConfig config;
+  NatService service(config);
+  std::vector<HostSpec> hosts = {
+      {"ext", MacAddress::FromU48(0x02ffffffff01), Ipv4Address(8, 8, 8, 8)},
+      {"int", MacAddress::FromU48(0x020000001110), Ipv4Address(192, 168, 1, 10)}};
+  StarTopology topo(service, hosts);
+
+  bool external_saw_translated = false;
+  topo.host(0).SetApp([&](SimHost&, Packet frame) {
+    Ipv4View ip(frame);
+    external_saw_translated = ip.Valid() && ip.source() == config.external_ip;
+  });
+  topo.host(1).Send(MakeUdpPacket({config.internal_mac, hosts[1].mac, hosts[1].ip,
+                                   hosts[0].ip, 4000, 53},
+                                  std::vector<u8>{'x'}));
+  topo.Run();
+  EXPECT_TRUE(external_saw_translated);
+}
+
+// --- LatencyStats --------------------------------------------------------------------
+
+TEST(LatencyStats, BasicMoments) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Add(static_cast<Picoseconds>(i) * kPicosPerMicro);
+  }
+  EXPECT_NEAR(stats.MeanUs(), 50.5, 1e-9);
+  EXPECT_NEAR(stats.MinUs(), 1.0, 1e-9);
+  EXPECT_NEAR(stats.MaxUs(), 100.0, 1e-9);
+  EXPECT_NEAR(stats.MedianUs(), 50.5, 0.6);
+  EXPECT_NEAR(stats.PercentileUs(99.0), 99.0, 1.1);
+}
+
+TEST(LatencyStats, TailToAverage) {
+  LatencyStats stats;
+  for (int i = 0; i < 99; ++i) {
+    stats.Add(10 * kPicosPerMicro);
+  }
+  stats.Add(100 * kPicosPerMicro);
+  EXPECT_GT(stats.TailToAverage(), 1.0);
+}
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.MeanUs(), 0.0);
+  EXPECT_EQ(stats.PercentileUs(99), 0.0);
+}
+
+// --- OsntLoadgen ---------------------------------------------------------------------
+
+TEST(OsntLoadgen, UnloadedRttOnIcmpEcho) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  FpgaTarget target(service);
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'01);
+  const auto factory = [&](usize i, u8) {
+    return MakeIcmpEchoRequest(
+        {config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, static_cast<u16>(i), 0}, {});
+  };
+  const LatencyStats stats = OsntLoadgen::MeasureUnloadedRtt(target, factory, 50);
+  ASSERT_EQ(stats.count(), 50u);
+  // Table 4 Emu row: ~1.09 us with a very flat tail.
+  EXPECT_GT(stats.MeanUs(), 0.5);
+  EXPECT_LT(stats.MeanUs(), 2.0);
+  EXPECT_LT(stats.TailToAverage(), 1.1);
+}
+
+TEST(OsntLoadgen, FixedRateReportsLoss) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  PipelineConfig pipe;
+  pipe.rx_fifo_depth = 8;
+  FpgaTarget target(service, pipe);
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'01);
+  const auto factory = [&](usize i, u8) {
+    return MakeIcmpEchoRequest(
+        {config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, static_cast<u16>(i), 0}, {});
+  };
+  OsntLoadgen::FixedRateConfig rate;
+  rate.offered_mqps = 50.0;  // way beyond the echo service's capacity
+  rate.frames = 4000;        // sustained long enough to defeat buffering
+  rate.ports = {0, 1, 2, 3};
+  const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, rate);
+  EXPECT_EQ(report.injected, 4000u);
+  EXPECT_GT(report.loss_rate, 0.05);
+  EXPECT_GT(report.egressed, 0u);
+}
+
+TEST(OsntLoadgen, RateSearchFindsCapacityOrder) {
+  // A synthetic trial whose loss is zero below 2.0 Mqps and grows above it:
+  // the search must land near 2.0.
+  const auto trial = [](double offered) {
+    LoadgenReport report;
+    report.injected = 1000;
+    report.offered_mqps = offered;
+    if (offered <= 2.0) {
+      report.egressed = 1000;
+      report.achieved_mqps = offered;
+    } else {
+      report.egressed = static_cast<usize>(1000 * 2.0 / offered);
+      report.achieved_mqps = 2.0;
+    }
+    report.loss_rate =
+        1.0 - static_cast<double>(report.egressed) / static_cast<double>(report.injected);
+    return report;
+  };
+  const double max = OsntLoadgen::FindMaxThroughputMqps(trial, 0.1, 10.0);
+  EXPECT_NEAR(max, 2.0, 0.1);
+}
+
+// --- Memaslap ------------------------------------------------------------------------
+
+TEST(Memaslap, MixIsNinetyTen) {
+  MemaslapConfig config;
+  config.server_mac = MacAddress::FromU48(0x02'00'00'00'ee'04);
+  config.server_ip = Ipv4Address(10, 0, 0, 211);
+  MemaslapLoadgen loadgen(config);
+  usize gets = 0;
+  const usize n = 5000;
+  for (usize i = 0; i < n; ++i) {
+    Packet frame = loadgen.WorkloadFrame(i);
+    Ipv4View ip(frame);
+    UdpView udp(frame, ip.payload_offset());
+    auto request = ParseMcRequest(udp.Payload(), config.protocol);
+    ASSERT_TRUE(request.ok());
+    if (request->op == McOpcode::kGet) {
+      ++gets;
+    } else {
+      EXPECT_EQ(request->op, McOpcode::kSet);
+      EXPECT_EQ(request->value.size(), config.value_bytes);
+    }
+    EXPECT_EQ(request->key.size(), config.key_bytes);
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / n, 0.9, 0.02);
+  EXPECT_NEAR(loadgen.ObservedGetFraction(), 0.9, 0.02);
+}
+
+TEST(Memaslap, PrewarmCoversKeySpace) {
+  MemaslapConfig config;
+  config.server_mac = MacAddress::FromU48(0x02'00'00'00'ee'04);
+  config.server_ip = Ipv4Address(10, 0, 0, 211);
+  config.key_space = 50;
+  MemaslapLoadgen loadgen(config);
+  std::set<std::string> keys;
+  for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+    Packet frame = loadgen.PrewarmFrame(i);
+    Ipv4View ip(frame);
+    UdpView udp(frame, ip.payload_offset());
+    auto request = ParseMcRequest(udp.Payload(), config.protocol);
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request->op, McOpcode::kSet);
+    keys.insert(request->key);
+  }
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(Memaslap, DeterministicForSameSeed) {
+  MemaslapConfig config;
+  config.server_mac = MacAddress::FromU48(0x02'00'00'00'ee'04);
+  config.server_ip = Ipv4Address(10, 0, 0, 211);
+  MemaslapLoadgen a(config);
+  MemaslapLoadgen b(config);
+  for (usize i = 0; i < 100; ++i) {
+    const Packet fa = a.WorkloadFrame(i);
+    const Packet fb = b.WorkloadFrame(i);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (usize j = 0; j < fa.size(); ++j) {
+      ASSERT_EQ(fa[j], fb[j]);
+    }
+  }
+}
+
+// --- TraceDump -----------------------------------------------------------------------
+
+TEST(TraceDump, SummarizesPackets) {
+  TraceDump dump;
+  Packet udp = MakeUdpPacket({MacAddress::FromU48(1), MacAddress::FromU48(2),
+                              Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1, 2},
+                             std::vector<u8>{1});
+  dump.Capture(1 * kPicosPerMicro, "rx", udp);
+  const std::string summary = dump.Summary();
+  EXPECT_NE(summary.find("rx"), std::string::npos);
+  EXPECT_NE(summary.find("10.0.0.1>10.0.0.2"), std::string::npos);
+  EXPECT_NE(summary.find("proto=17"), std::string::npos);
+}
+
+TEST(TraceDump, DescribesArp) {
+  const Packet arp = MakeArpRequest(MacAddress::FromU48(5), Ipv4Address(10, 0, 0, 1),
+                                    Ipv4Address(10, 0, 0, 2));
+  const std::string description = DescribePacket(arp);
+  EXPECT_NE(description.find("ARP request"), std::string::npos);
+  EXPECT_NE(description.find("asks 10.0.0.2"), std::string::npos);
+}
+
+TEST(TraceDump, FullIncludesHexdump) {
+  TraceDump dump;
+  dump.Capture(0, "tx", Packet(std::vector<u8>{0xde, 0xad}));
+  EXPECT_NE(dump.Full().find("de ad"), std::string::npos);
+}
+
+TEST(TraceDump, WritesFile) {
+  TraceDump dump;
+  dump.Capture(0, "tx", Packet(4));
+  EXPECT_TRUE(dump.WriteToFile("/tmp/emu_trace_test.txt"));
+}
+
+}  // namespace
+}  // namespace emu
