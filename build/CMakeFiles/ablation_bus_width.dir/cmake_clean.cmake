@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bus_width.dir/bench/ablation_bus_width.cc.o"
+  "CMakeFiles/ablation_bus_width.dir/bench/ablation_bus_width.cc.o.d"
+  "bench/ablation_bus_width"
+  "bench/ablation_bus_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

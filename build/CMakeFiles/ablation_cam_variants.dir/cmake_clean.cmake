@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cam_variants.dir/bench/ablation_cam_variants.cc.o"
+  "CMakeFiles/ablation_cam_variants.dir/bench/ablation_cam_variants.cc.o.d"
+  "bench/ablation_cam_variants"
+  "bench/ablation_cam_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cam_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_cache.dir/bench/ablation_l1_cache.cc.o"
+  "CMakeFiles/ablation_l1_cache.dir/bench/ablation_l1_cache.cc.o.d"
+  "bench/ablation_l1_cache"
+  "bench/ablation_l1_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memcached_cores.dir/bench/ablation_memcached_cores.cc.o"
+  "CMakeFiles/ablation_memcached_cores.dir/bench/ablation_memcached_cores.cc.o.d"
+  "bench/ablation_memcached_cores"
+  "bench/ablation_memcached_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memcached_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_backend.dir/bench/ablation_memory_backend.cc.o"
+  "CMakeFiles/ablation_memory_backend.dir/bench/ablation_memory_backend.cc.o.d"
+  "bench/ablation_memory_backend"
+  "bench/ablation_memory_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_depth.dir/bench/ablation_pipeline_depth.cc.o"
+  "CMakeFiles/ablation_pipeline_depth.dir/bench/ablation_pipeline_depth.cc.o.d"
+  "bench/ablation_pipeline_depth"
+  "bench/ablation_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_kernel.dir/bench/microbench_kernel.cc.o"
+  "CMakeFiles/microbench_kernel.dir/bench/microbench_kernel.cc.o.d"
+  "bench/microbench_kernel"
+  "bench/microbench_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

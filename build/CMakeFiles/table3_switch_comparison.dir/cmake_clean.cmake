@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_switch_comparison.dir/bench/table3_switch_comparison.cc.o"
+  "CMakeFiles/table3_switch_comparison.dir/bench/table3_switch_comparison.cc.o.d"
+  "bench/table3_switch_comparison"
+  "bench/table3_switch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_switch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_service_comparison.dir/bench/table4_service_comparison.cc.o"
+  "CMakeFiles/table4_service_comparison.dir/bench/table4_service_comparison.cc.o.d"
+  "bench/table4_service_comparison"
+  "bench/table4_service_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_service_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_debug_overhead.dir/bench/table5_debug_overhead.cc.o"
+  "CMakeFiles/table5_debug_overhead.dir/bench/table5_debug_overhead.cc.o.d"
+  "bench/table5_debug_overhead"
+  "bench/table5_debug_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_debug_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

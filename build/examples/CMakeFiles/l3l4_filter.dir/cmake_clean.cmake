@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3l4_filter.dir/l3l4_filter.cc.o"
+  "CMakeFiles/l3l4_filter.dir/l3l4_filter.cc.o.d"
+  "l3l4_filter"
+  "l3l4_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3l4_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

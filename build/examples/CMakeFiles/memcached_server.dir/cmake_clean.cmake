@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_server.dir/memcached_server.cc.o"
+  "CMakeFiles/memcached_server.dir/memcached_server.cc.o.d"
+  "memcached_server"
+  "memcached_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

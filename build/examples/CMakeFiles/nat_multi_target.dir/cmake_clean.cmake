@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_multi_target.dir/nat_multi_target.cc.o"
+  "CMakeFiles/nat_multi_target.dir/nat_multi_target.cc.o.d"
+  "nat_multi_target"
+  "nat_multi_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,90 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/p4_switch.cc" "src/CMakeFiles/emu.dir/baseline/p4_switch.cc.o" "gcc" "src/CMakeFiles/emu.dir/baseline/p4_switch.cc.o.d"
+  "/root/repo/src/baseline/reference_switch.cc" "src/CMakeFiles/emu.dir/baseline/reference_switch.cc.o" "gcc" "src/CMakeFiles/emu.dir/baseline/reference_switch.cc.o.d"
+  "/root/repo/src/common/bit_util.cc" "src/CMakeFiles/emu.dir/common/bit_util.cc.o" "gcc" "src/CMakeFiles/emu.dir/common/bit_util.cc.o.d"
+  "/root/repo/src/common/hexdump.cc" "src/CMakeFiles/emu.dir/common/hexdump.cc.o" "gcc" "src/CMakeFiles/emu.dir/common/hexdump.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/emu.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/emu.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/emu.dir/common/status.cc.o" "gcc" "src/CMakeFiles/emu.dir/common/status.cc.o.d"
+  "/root/repo/src/common/wide_word.cc" "src/CMakeFiles/emu.dir/common/wide_word.cc.o" "gcc" "src/CMakeFiles/emu.dir/common/wide_word.cc.o.d"
+  "/root/repo/src/core/protocol_wrappers.cc" "src/CMakeFiles/emu.dir/core/protocol_wrappers.cc.o" "gcc" "src/CMakeFiles/emu.dir/core/protocol_wrappers.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/CMakeFiles/emu.dir/core/service.cc.o" "gcc" "src/CMakeFiles/emu.dir/core/service.cc.o.d"
+  "/root/repo/src/core/targets.cc" "src/CMakeFiles/emu.dir/core/targets.cc.o" "gcc" "src/CMakeFiles/emu.dir/core/targets.cc.o.d"
+  "/root/repo/src/debug/casp_machine.cc" "src/CMakeFiles/emu.dir/debug/casp_machine.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/casp_machine.cc.o.d"
+  "/root/repo/src/debug/command_compiler.cc" "src/CMakeFiles/emu.dir/debug/command_compiler.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/command_compiler.cc.o.d"
+  "/root/repo/src/debug/command_parser.cc" "src/CMakeFiles/emu.dir/debug/command_parser.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/command_parser.cc.o.d"
+  "/root/repo/src/debug/controller.cc" "src/CMakeFiles/emu.dir/debug/controller.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/controller.cc.o.d"
+  "/root/repo/src/debug/direction_packet.cc" "src/CMakeFiles/emu.dir/debug/direction_packet.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/direction_packet.cc.o.d"
+  "/root/repo/src/debug/extension_point.cc" "src/CMakeFiles/emu.dir/debug/extension_point.cc.o" "gcc" "src/CMakeFiles/emu.dir/debug/extension_point.cc.o.d"
+  "/root/repo/src/hdl/fifo.cc" "src/CMakeFiles/emu.dir/hdl/fifo.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/fifo.cc.o.d"
+  "/root/repo/src/hdl/module.cc" "src/CMakeFiles/emu.dir/hdl/module.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/module.cc.o.d"
+  "/root/repo/src/hdl/process.cc" "src/CMakeFiles/emu.dir/hdl/process.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/process.cc.o.d"
+  "/root/repo/src/hdl/resource_model.cc" "src/CMakeFiles/emu.dir/hdl/resource_model.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/resource_model.cc.o.d"
+  "/root/repo/src/hdl/simulator.cc" "src/CMakeFiles/emu.dir/hdl/simulator.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/simulator.cc.o.d"
+  "/root/repo/src/hdl/vcd_tracer.cc" "src/CMakeFiles/emu.dir/hdl/vcd_tracer.cc.o" "gcc" "src/CMakeFiles/emu.dir/hdl/vcd_tracer.cc.o.d"
+  "/root/repo/src/hostnet/host_services.cc" "src/CMakeFiles/emu.dir/hostnet/host_services.cc.o" "gcc" "src/CMakeFiles/emu.dir/hostnet/host_services.cc.o.d"
+  "/root/repo/src/hostnet/host_stack_model.cc" "src/CMakeFiles/emu.dir/hostnet/host_stack_model.cc.o" "gcc" "src/CMakeFiles/emu.dir/hostnet/host_stack_model.cc.o.d"
+  "/root/repo/src/ip/bram.cc" "src/CMakeFiles/emu.dir/ip/bram.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/bram.cc.o.d"
+  "/root/repo/src/ip/cam.cc" "src/CMakeFiles/emu.dir/ip/cam.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/cam.cc.o.d"
+  "/root/repo/src/ip/checksum_unit.cc" "src/CMakeFiles/emu.dir/ip/checksum_unit.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/checksum_unit.cc.o.d"
+  "/root/repo/src/ip/dram_model.cc" "src/CMakeFiles/emu.dir/ip/dram_model.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/dram_model.cc.o.d"
+  "/root/repo/src/ip/hash_cam.cc" "src/CMakeFiles/emu.dir/ip/hash_cam.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/hash_cam.cc.o.d"
+  "/root/repo/src/ip/logic_cam.cc" "src/CMakeFiles/emu.dir/ip/logic_cam.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/logic_cam.cc.o.d"
+  "/root/repo/src/ip/naughty_q.cc" "src/CMakeFiles/emu.dir/ip/naughty_q.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/naughty_q.cc.o.d"
+  "/root/repo/src/ip/pearson_hash.cc" "src/CMakeFiles/emu.dir/ip/pearson_hash.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/pearson_hash.cc.o.d"
+  "/root/repo/src/ip/speck_cipher.cc" "src/CMakeFiles/emu.dir/ip/speck_cipher.cc.o" "gcc" "src/CMakeFiles/emu.dir/ip/speck_cipher.cc.o.d"
+  "/root/repo/src/kiwi/hw_scheduler.cc" "src/CMakeFiles/emu.dir/kiwi/hw_scheduler.cc.o" "gcc" "src/CMakeFiles/emu.dir/kiwi/hw_scheduler.cc.o.d"
+  "/root/repo/src/kiwi/sw_scheduler.cc" "src/CMakeFiles/emu.dir/kiwi/sw_scheduler.cc.o" "gcc" "src/CMakeFiles/emu.dir/kiwi/sw_scheduler.cc.o.d"
+  "/root/repo/src/net/arp.cc" "src/CMakeFiles/emu.dir/net/arp.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/arp.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/CMakeFiles/emu.dir/net/checksum.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/checksum.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/CMakeFiles/emu.dir/net/dns.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/dns.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/CMakeFiles/emu.dir/net/ethernet.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/ethernet.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/CMakeFiles/emu.dir/net/icmp.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/CMakeFiles/emu.dir/net/ipv4.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/ipv4.cc.o.d"
+  "/root/repo/src/net/mac_address.cc" "src/CMakeFiles/emu.dir/net/mac_address.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/mac_address.cc.o.d"
+  "/root/repo/src/net/memcached.cc" "src/CMakeFiles/emu.dir/net/memcached.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/memcached.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/emu.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/emu.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/emu.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/udp.cc.o.d"
+  "/root/repo/src/net/vlan.cc" "src/CMakeFiles/emu.dir/net/vlan.cc.o" "gcc" "src/CMakeFiles/emu.dir/net/vlan.cc.o.d"
+  "/root/repo/src/netfpga/axis.cc" "src/CMakeFiles/emu.dir/netfpga/axis.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/axis.cc.o.d"
+  "/root/repo/src/netfpga/dataplane.cc" "src/CMakeFiles/emu.dir/netfpga/dataplane.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/dataplane.cc.o.d"
+  "/root/repo/src/netfpga/input_arbiter.cc" "src/CMakeFiles/emu.dir/netfpga/input_arbiter.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/input_arbiter.cc.o.d"
+  "/root/repo/src/netfpga/output_queues.cc" "src/CMakeFiles/emu.dir/netfpga/output_queues.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/output_queues.cc.o.d"
+  "/root/repo/src/netfpga/pipeline.cc" "src/CMakeFiles/emu.dir/netfpga/pipeline.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/pipeline.cc.o.d"
+  "/root/repo/src/netfpga/port.cc" "src/CMakeFiles/emu.dir/netfpga/port.cc.o" "gcc" "src/CMakeFiles/emu.dir/netfpga/port.cc.o.d"
+  "/root/repo/src/services/crypto_tunnel_service.cc" "src/CMakeFiles/emu.dir/services/crypto_tunnel_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/crypto_tunnel_service.cc.o.d"
+  "/root/repo/src/services/dns_service.cc" "src/CMakeFiles/emu.dir/services/dns_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/dns_service.cc.o.d"
+  "/root/repo/src/services/icmp_echo_service.cc" "src/CMakeFiles/emu.dir/services/icmp_echo_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/icmp_echo_service.cc.o.d"
+  "/root/repo/src/services/iptables_cli.cc" "src/CMakeFiles/emu.dir/services/iptables_cli.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/iptables_cli.cc.o.d"
+  "/root/repo/src/services/l3l4_filter.cc" "src/CMakeFiles/emu.dir/services/l3l4_filter.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/l3l4_filter.cc.o.d"
+  "/root/repo/src/services/learning_switch.cc" "src/CMakeFiles/emu.dir/services/learning_switch.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/learning_switch.cc.o.d"
+  "/root/repo/src/services/lru_cache.cc" "src/CMakeFiles/emu.dir/services/lru_cache.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/lru_cache.cc.o.d"
+  "/root/repo/src/services/memcached_service.cc" "src/CMakeFiles/emu.dir/services/memcached_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/memcached_service.cc.o.d"
+  "/root/repo/src/services/nat_service.cc" "src/CMakeFiles/emu.dir/services/nat_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/nat_service.cc.o.d"
+  "/root/repo/src/services/reply_util.cc" "src/CMakeFiles/emu.dir/services/reply_util.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/reply_util.cc.o.d"
+  "/root/repo/src/services/tcp_ping_service.cc" "src/CMakeFiles/emu.dir/services/tcp_ping_service.cc.o" "gcc" "src/CMakeFiles/emu.dir/services/tcp_ping_service.cc.o.d"
+  "/root/repo/src/sim/event_scheduler.cc" "src/CMakeFiles/emu.dir/sim/event_scheduler.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/event_scheduler.cc.o.d"
+  "/root/repo/src/sim/latency_probe.cc" "src/CMakeFiles/emu.dir/sim/latency_probe.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/latency_probe.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/emu.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/loadgen.cc" "src/CMakeFiles/emu.dir/sim/loadgen.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/loadgen.cc.o.d"
+  "/root/repo/src/sim/memaslap.cc" "src/CMakeFiles/emu.dir/sim/memaslap.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/memaslap.cc.o.d"
+  "/root/repo/src/sim/sim_host.cc" "src/CMakeFiles/emu.dir/sim/sim_host.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/sim_host.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/CMakeFiles/emu.dir/sim/topology.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/topology.cc.o.d"
+  "/root/repo/src/sim/trace_dump.cc" "src/CMakeFiles/emu.dir/sim/trace_dump.cc.o" "gcc" "src/CMakeFiles/emu.dir/sim/trace_dump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/emu_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/emu_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_kiwi_test.cc" "tests/CMakeFiles/emu_tests.dir/core_kiwi_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/core_kiwi_test.cc.o.d"
+  "/root/repo/tests/crypto_tunnel_test.cc" "tests/CMakeFiles/emu_tests.dir/crypto_tunnel_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/crypto_tunnel_test.cc.o.d"
+  "/root/repo/tests/debug_test.cc" "tests/CMakeFiles/emu_tests.dir/debug_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/debug_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/emu_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/hdl_test.cc" "tests/CMakeFiles/emu_tests.dir/hdl_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/hdl_test.cc.o.d"
+  "/root/repo/tests/hostnet_test.cc" "tests/CMakeFiles/emu_tests.dir/hostnet_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/hostnet_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/emu_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ip_test.cc" "tests/CMakeFiles/emu_tests.dir/ip_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/ip_test.cc.o.d"
+  "/root/repo/tests/net_dns_test.cc" "tests/CMakeFiles/emu_tests.dir/net_dns_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/net_dns_test.cc.o.d"
+  "/root/repo/tests/net_memcached_test.cc" "tests/CMakeFiles/emu_tests.dir/net_memcached_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/net_memcached_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/emu_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/netfpga_test.cc" "tests/CMakeFiles/emu_tests.dir/netfpga_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/netfpga_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/emu_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/emu_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/services_filter_nat_test.cc" "tests/CMakeFiles/emu_tests.dir/services_filter_nat_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/services_filter_nat_test.cc.o.d"
+  "/root/repo/tests/services_l1_cache_test.cc" "tests/CMakeFiles/emu_tests.dir/services_l1_cache_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/services_l1_cache_test.cc.o.d"
+  "/root/repo/tests/services_memcached_test.cc" "tests/CMakeFiles/emu_tests.dir/services_memcached_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/services_memcached_test.cc.o.d"
+  "/root/repo/tests/services_test.cc" "tests/CMakeFiles/emu_tests.dir/services_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/services_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/emu_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/emu_tests.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
