@@ -1,0 +1,318 @@
+// emu-check: run every example design plus the full NetFPGA pipeline under
+// the hazard monitor and report design-rule violations.
+//
+//   ./build/examples/emu_check             # run all designs, exit 1 on findings
+//   ./build/examples/emu_check --list      # list designs and checks
+//   ./build/examples/emu_check --dot nat   # also dump nat's dependency graph
+//
+// Each scenario instantiates a real design (the same construction as the
+// corresponding example binary), attaches a HazardMonitor to its Simulator,
+// drives representative traffic, then runs the static combinational-ordering
+// analysis over the observed dependency graph. Any finding — multi-driven
+// register, combinational race, read-of-uninitialized, lost backpressure,
+// runaway process, post-mortem Step, combinational loop — makes the run
+// fail. A clean exit is the repo's design-rule gate, wired into CI.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/hazard.h"
+#include "src/analysis/hazard_monitor.h"
+
+#ifdef EMU_ANALYSIS
+
+#include "src/core/targets.h"
+#include "src/debug/controller.h"
+#include "src/hdl/simulator.h"
+#include "src/ip/pearson_hash.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/iptables_cli.h"
+#include "src/services/learning_switch.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+#include "src/sim/memaslap.h"
+
+namespace {
+
+using namespace emu;  // example code; library code never does this
+
+struct ScenarioResult {
+  usize findings = 0;
+  std::string summary;
+};
+
+// Runs `drive` against a monitor attached to `sim`, then the static pass.
+// Every scenario funnels through here so the reporting shape is identical.
+ScenarioResult Observe(Simulator& sim, bool dot, const std::function<void()>& drive) {
+  HazardMonitor monitor(sim);
+  monitor.set_echo(true);
+  drive();
+  monitor.AnalyzeCombinationalGraph();
+  if (dot) {
+    monitor.DumpDot(std::cout);
+  }
+  std::string summary = monitor.Summary();
+  while (!summary.empty() && summary.back() == '\n') {
+    summary.pop_back();
+  }
+  return ScenarioResult{monitor.reports().size(), std::move(summary)};
+}
+
+// --- Scenario: L2 learning switch (quickstart) on the full pipeline ---
+ScenarioResult CheckLearningSwitch(bool dot) {
+  const MacAddress alice = MacAddress::Parse("02:00:00:00:00:0a").value();
+  const MacAddress bob = MacAddress::Parse("02:00:00:00:00:0b").value();
+  const auto frame = [](MacAddress dst, MacAddress src) {
+    return MakeUdpPacket(
+        {dst, src, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 4000, 9},
+        std::vector<u8>{'h', 'i'});
+  };
+  LearningSwitch service;
+  FpgaTarget target(service);
+  return Observe(target.sim(), dot, [&] {
+    target.Inject(0, frame(bob, alice));  // flood
+    target.RunUntilEgressCount(3, 100'000);
+    target.Inject(2, frame(alice, bob));  // learn + unicast back
+    target.RunUntilEgressCount(4, 100'000);
+    target.Inject(0, frame(bob, alice));  // unicast
+    target.RunUntilEgressCount(5, 100'000);
+  });
+}
+
+// --- Scenario: iptables-style L3-L4 filter in front of the switch ---
+ScenarioResult CheckL3L4Filter(bool dot) {
+  auto ruleset = ParseIptablesScript(
+      "-A FORWARD -p tcp --dport 80:443 -j DROP\n"
+      "-A FORWARD -s 192.168.0.0/16 -j DROP\n");
+  L3L4FilterConfig config;
+  config.rules = ruleset->rules;
+  config.default_action = ruleset->default_action;
+  L3L4Filter service(config);
+  FpgaTarget target(service);
+  const MacAddress a = MacAddress::Parse("02:00:00:00:00:0a").value();
+  const MacAddress b = MacAddress::Parse("02:00:00:00:00:0b").value();
+  return Observe(target.sim(), dot, [&] {
+    target.Inject(0, MakeTcpSegment({b, a, Ipv4Address(10, 0, 0, 5),
+                                     Ipv4Address(10, 0, 1, 1), 50001, 22, 1, 0,
+                                     TcpFlags::kSyn}));
+    target.Inject(0, MakeTcpSegment({b, a, Ipv4Address(10, 0, 0, 5),
+                                     Ipv4Address(10, 0, 1, 1), 50002, 80, 1, 0,
+                                     TcpFlags::kSyn}));
+    target.Inject(0, MakeUdpPacket({b, a, Ipv4Address(10, 0, 0, 5),
+                                    Ipv4Address(10, 0, 1, 1), 50004, 53},
+                                   std::vector<u8>{1}));
+    target.Run(100'000);
+    target.TakeEgress();
+  });
+}
+
+// --- Scenario: NAT on both the hardware and software kernels (§3.3) ---
+ScenarioResult CheckNat(bool dot) {
+  NatConfig config;
+  const MacAddress host_mac = MacAddress::Parse("02:00:00:00:11:10").value();
+  const Ipv4Address host_ip(192, 168, 1, 10);
+  const auto outbound = [&] {
+    return MakeUdpPacket(
+        {config.internal_mac, host_mac, host_ip, Ipv4Address(8, 8, 8, 8), 5000, 53},
+        std::vector<u8>{'p', 'i', 'n', 'g'});
+  };
+
+  ScenarioResult result;
+  {
+    NatService service(config);
+    FpgaTarget target(service);
+    ScenarioResult fpga = Observe(target.sim(), dot, [&] {
+      Packet frame = outbound();
+      frame.set_src_port(1);
+      target.SendAndCollect(1, std::move(frame));
+    });
+    result.findings += fpga.findings;
+    result.summary = "fpga: " + fpga.summary;
+  }
+  {
+    NatService service(config);
+    CpuTarget target(service);
+    ScenarioResult cpu = Observe(target.sim(), false, [&] {
+      Packet frame = outbound();
+      frame.set_src_port(1);
+      target.Deliver(std::move(frame));
+    });
+    result.findings += cpu.findings;
+    result.summary += " | cpu: " + cpu.summary;
+  }
+  return result;
+}
+
+// --- Scenario: four-core memcached under a memaslap-style workload ---
+ScenarioResult CheckMemcached(bool dot) {
+  MemcachedConfig config;
+  config.cores = 4;
+  MemcachedService service(config);
+  FpgaTarget target(service);
+
+  MemaslapConfig workload;
+  workload.server_mac = config.mac;
+  workload.server_ip = config.ip;
+  workload.key_space = 64;
+  MemaslapLoadgen loadgen(workload);
+
+  return Observe(target.sim(), dot, [&] {
+    for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+      target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+    }
+    for (usize i = 0; i < 200; ++i) {
+      target.SendAndCollect(static_cast<u8>(i % 4), loadgen.WorkloadFrame(i));
+    }
+    target.TakeEgress();
+  });
+}
+
+// --- Scenario: directed memcached (the §5.5 debug session, sans bug) ---
+ScenarioResult CheckDebugSession(bool dot) {
+  const MacAddress director = MacAddress::Parse("02:00:00:00:d0:01").value();
+  const MacAddress client = MacAddress::Parse("02:00:00:00:cc:01").value();
+
+  MemcachedConfig config;
+  MemcachedService service(config);
+  DirectionController controller("main_loop");
+  service.AttachController(&controller);
+  DirectedService directed(service, controller);
+  FpgaTarget target(directed);
+
+  const auto mc_frame = [&](const McRequest& request) {
+    McRequest copy = request;
+    copy.protocol = config.protocol;
+    return MakeUdpPacket({config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip,
+                          31000, kMemcachedPort},
+                         BuildMcRequest(copy));
+  };
+
+  return Observe(target.sim(), dot, [&] {
+    McRequest set;
+    set.op = McOpcode::kSet;
+    set.key = "image";
+    set.value = std::string(64, 'x');
+    target.SendAndCollect(0, mc_frame(set));
+
+    McRequest get;
+    get.op = McOpcode::kGet;
+    get.key = "image";
+    target.SendAndCollect(0, mc_frame(get));
+
+    // Mix direction packets in with normal traffic, as §5.5 does.
+    target.SendAndCollect(
+        0, MakeDirectionPacket(config.mac, director, DirectionPacketKind::kCommand,
+                               1, "print checksum"));
+    target.SendAndCollect(
+        0, MakeDirectionPacket(config.mac, director, DirectionPacketKind::kCommand,
+                               2, "count calls handle_request"));
+    target.SendAndCollect(0, mc_frame(get));
+    target.TakeEgress();
+  });
+}
+
+// Client half of the Fig. 5 handshake, inlined as in ip_test.cc (coroutines
+// cannot await sub-coroutines without an awaitable wrapper).
+HwProcess SeedBytes(PearsonHashIp& core, std::span<const u8> data, Reg<bool>& done) {
+  for (u8 byte : data) {
+    while (!core.init_hash_ready().Read()) {
+      co_await Pause();
+    }
+    core.data_in().Write(byte);
+    core.init_hash_enable().Write(true);
+    co_await Pause();
+    core.init_hash_enable().Write(false);
+    co_await Pause();
+  }
+  done.Write(true);
+  for (;;) {
+    co_await Pause();
+  }
+}
+
+// --- Scenario: PearsonHashIp handshake micro-design (Fig. 5) ---
+ScenarioResult CheckPearsonIp(bool dot) {
+  Simulator sim;
+  PearsonHashIp core(sim, "pearson");
+  Reg<bool> done(sim, "pearson.done", false);
+  const std::array<u8, 3> data = {'e', 'm', 'u'};
+  sim.AddProcess(core.MakeProcess(), "pearson.core");
+  sim.AddProcess(SeedBytes(core, data, done), "pearson.client");
+  return Observe(sim, dot, [&] {
+    if (!sim.RunUntil([&] { return done.Read(); }, 200)) {
+      std::fprintf(stderr, "emu_check: pearson handshake stalled\n");
+    }
+    sim.Run(2);
+  });
+}
+
+struct Scenario {
+  const char* name;
+  const char* description;
+  ScenarioResult (*run)(bool dot);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"learning_switch", "L2 learning switch on the NetFPGA pipeline", CheckLearningSwitch},
+    {"l3l4_filter", "iptables-style filter in front of the switch", CheckL3L4Filter},
+    {"nat", "NAT on the hardware and software kernels", CheckNat},
+    {"memcached", "four-core memcached under memaslap load", CheckMemcached},
+    {"debug_session", "directed memcached with direction packets", CheckDebugSession},
+    {"pearson_ip", "PearsonHashIp ready/enable handshake", CheckPearsonIp},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dot_target;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("designs:\n");
+      for (const Scenario& s : kScenarios) {
+        std::printf("  %-16s %s\n", s.name, s.description);
+      }
+      std::printf("checks:\n");
+      for (const CheckInfo& info : CheckRegistry()) {
+        std::printf("  %-18s %s\n", info.name, info.description);
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+      dot_target = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "usage: emu_check [--list] [--dot <design>]\n");
+    return 2;
+  }
+
+  std::printf("== emu-check: design-rule analysis over %zu designs ==\n\n",
+              std::size(kScenarios));
+  usize total = 0;
+  for (const Scenario& s : kScenarios) {
+    const ScenarioResult result = s.run(dot_target == s.name);
+    std::printf("%-16s %s\n", s.name, result.summary.c_str());
+    total += result.findings;
+  }
+  if (total != 0) {
+    std::printf("\nemu-check: FAILED with %zu finding(s)\n", total);
+    return 1;
+  }
+  std::printf("\nemu-check: all designs clean\n");
+  return 0;
+}
+
+#else  // !EMU_ANALYSIS
+
+int main() {
+  std::fprintf(stderr,
+               "emu_check: built with -DEMU_ANALYSIS=OFF; the kernel has no "
+               "analysis hooks.\nReconfigure with -DEMU_ANALYSIS=ON (the "
+               "default) to run the checker.\n");
+  return 2;
+}
+
+#endif  // EMU_ANALYSIS

@@ -1,0 +1,77 @@
+#include "src/analysis/hazard.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace emu {
+
+const char* HazardKindName(HazardKind kind) {
+  switch (kind) {
+    case HazardKind::kMultiDriver: return "MULTIDRIVEN";
+    case HazardKind::kCombRace: return "COMBRACE";
+    case HazardKind::kUninitRead: return "UNINITREAD";
+    case HazardKind::kLostBackpressure: return "LOSTBACKPRESSURE";
+    case HazardKind::kRunawayProcess: return "RUNAWAY";
+    case HazardKind::kPostMortemStep: return "POSTMORTEMSTEP";
+    case HazardKind::kCombLoop: return "COMBLOOP";
+  }
+  return "UNKNOWN";
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string HazardReport::ToString() const {
+  std::ostringstream os;
+  os << "%" << SeverityName(severity) << "-" << HazardKindName(kind) << " @cycle " << cycle;
+  if (!signal.empty()) {
+    os << " [" << signal << "]";
+  }
+  if (!process.empty()) {
+    os << " (" << process << ")";
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+const std::vector<CheckInfo>& CheckRegistry() {
+  static const std::vector<CheckInfo> kChecks = {
+      {HazardKind::kMultiDriver, "MULTIDRIVEN",
+       "two distinct processes wrote the same Reg in one cycle (last write wins)",
+       Severity::kError},
+      {HazardKind::kCombRace, "COMBRACE",
+       "a Wire was read by a process registered before its writer (stale data observed)",
+       Severity::kError},
+      {HazardKind::kUninitRead, "UNINITREAD",
+       "a no-default Reg/Wire was read before its first write (X propagation)",
+       Severity::kWarning},
+      {HazardKind::kLostBackpressure, "LOSTBACKPRESSURE",
+       "SyncFifo::Push dropped a value and the pusher never checked CanPush that cycle",
+       Severity::kError},
+      {HazardKind::kRunawayProcess, "RUNAWAY",
+       "a process exceeded its per-resume operation budget without reaching Pause()",
+       Severity::kError},
+      {HazardKind::kPostMortemStep, "POSTMORTEMSTEP",
+       "Simulator::Step() ran after a registered Clocked element was destroyed",
+       Severity::kError},
+      {HazardKind::kCombLoop, "COMBLOOP",
+       "combinational cycle: a wire dependency loop no registration order can satisfy",
+       Severity::kError},
+  };
+  return kChecks;
+}
+
+const CheckInfo& CheckInfoFor(HazardKind kind) {
+  const auto& registry = CheckRegistry();
+  const usize index = static_cast<usize>(kind);
+  assert(index < registry.size());
+  return registry[index];
+}
+
+}  // namespace emu

@@ -1,0 +1,81 @@
+// Hazard taxonomy for the emu-check analysis layer.
+//
+// Each HazardKind is a design rule the cycle-accurate kernel can enforce —
+// the RTL semantics that src/hdl previously only documented (Reg last-write-
+// wins, Wire registration-order visibility, the Clocked lifetime rule, FIFO
+// backpressure). The taxonomy mirrors Verilator lint / DRC practice: every
+// check has a stable id, a default severity, and a one-line description,
+// exposed through CheckRegistry() so tools can enumerate them.
+#ifndef SRC_ANALYSIS_HAZARD_H_
+#define SRC_ANALYSIS_HAZARD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+enum class HazardKind : u8 {
+  // Two distinct processes Write() the same Reg in one cycle; commit order
+  // (last write wins) is an artifact of call order, not design intent.
+  kMultiDriver = 0,
+  // A Wire was read by a process registered before its writer: the reader
+  // observed the previous cycle's value, not this cycle's.
+  kCombRace,
+  // A Reg/Wire constructed with emu::no_init was read before its first
+  // Write(); on a real FPGA this is an X propagating into logic.
+  kUninitRead,
+  // SyncFifo::Push returned false (the value was dropped) and the pushing
+  // context never consulted CanPush() on that FIFO this cycle.
+  kLostBackpressure,
+  // A process performed more kernel operations in a single resume than the
+  // configured budget without reaching a Pause() point (livelock detector).
+  kRunawayProcess,
+  // Simulator::Step() ran after a registered Clocked element was destroyed —
+  // the lifetime rule in simulator.h turned from silent UB into a report.
+  kPostMortemStep,
+  // The process/wire dependency graph contains a combinational cycle: a set
+  // of processes whose same-cycle wire reads can never all be satisfied by
+  // any registration order.
+  kCombLoop,
+};
+
+inline constexpr usize kHazardKindCount = 7;
+
+enum class Severity : u8 {
+  kInfo = 0,
+  kWarning,
+  kError,
+};
+
+const char* HazardKindName(HazardKind kind);
+const char* SeverityName(Severity severity);
+
+struct HazardReport {
+  HazardKind kind = HazardKind::kMultiDriver;
+  Severity severity = Severity::kError;
+  Cycle cycle = 0;      // detection cycle (0 for post-run graph findings)
+  std::string signal;   // offending element; empty when not applicable
+  std::string process;  // offending process; "testbench" outside any process
+  std::string message;  // full human-readable diagnostic
+
+  std::string ToString() const;
+};
+
+// Registry metadata for one built-in check (Verilator-lint-style id plus the
+// rule it enforces). The registry is static: checks are compiled in, and
+// HazardMonitor::EnableCheck toggles them per monitor instance.
+struct CheckInfo {
+  HazardKind kind;
+  const char* name;  // stable id, e.g. "MULTIDRIVEN"
+  const char* description;
+  Severity default_severity;
+};
+
+const std::vector<CheckInfo>& CheckRegistry();
+const CheckInfo& CheckInfoFor(HazardKind kind);
+
+}  // namespace emu
+
+#endif  // SRC_ANALYSIS_HAZARD_H_

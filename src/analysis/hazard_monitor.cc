@@ -1,0 +1,448 @@
+#include "src/analysis/hazard_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+HazardMonitor::HazardMonitor(Simulator& sim) : sim_(sim) {
+  enabled_.fill(true);
+  sim_.AttachMonitor(this);
+}
+
+HazardMonitor::~HazardMonitor() {
+  if (sim_.monitor() == this) {
+    sim_.AttachMonitor(nullptr);
+  }
+}
+
+void HazardMonitor::EnableCheck(HazardKind kind, bool enabled) {
+  enabled_[static_cast<usize>(kind)] = enabled;
+}
+
+bool HazardMonitor::CheckEnabled(HazardKind kind) const {
+  return enabled_[static_cast<usize>(kind)];
+}
+
+usize HazardMonitor::CountOf(HazardKind kind) const {
+  usize count = 0;
+  for (const HazardReport& report : reports_) {
+    if (report.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void HazardMonitor::Clear() {
+  reports_.clear();
+  emitted_.clear();
+  comb_cycles_seen_.clear();
+  post_mortem_reported_ = false;
+  std::fill(runaway_reported_.begin(), runaway_reported_.end(), false);
+}
+
+std::string HazardMonitor::Summary() const {
+  std::ostringstream os;
+  usize errors = 0;
+  usize warnings = 0;
+  for (const HazardReport& report : reports_) {
+    os << report.ToString() << "\n";
+    if (report.severity == Severity::kError) {
+      ++errors;
+    } else if (report.severity == Severity::kWarning) {
+      ++warnings;
+    }
+  }
+  if (reports_.empty()) {
+    os << "emu-check: clean (no hazards detected)\n";
+  } else {
+    os << "emu-check: " << reports_.size() << " finding(s): " << errors << " error(s), "
+       << warnings << " warning(s)\n";
+  }
+  return os.str();
+}
+
+HazardMonitor::ElementState& HazardMonitor::Element(ElementKind kind, const void* id,
+                                                    const std::string& name) {
+  ElementState& state = elements_[id];
+  if (state.name.empty()) {
+    state.name = Label(kind, id, name);
+    state.kind = kind;
+  }
+  return state;
+}
+
+std::string HazardMonitor::Label(ElementKind kind, const void* id, const std::string& name) {
+  if (!name.empty()) {
+    return name;
+  }
+  const char* prefix = kind == ElementKind::kReg    ? "reg"
+                       : kind == ElementKind::kWire ? "wire"
+                                                    : "fifo";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%s@%p", prefix, id);
+  return buffer;
+}
+
+const std::string& HazardMonitor::ProcessLabel(isize index) const {
+  static const std::string kTestbenchLabel = "testbench";
+  static const std::string kUnknownLabel = "process?";
+  if (index < 0) {
+    return kTestbenchLabel;
+  }
+  const usize i = static_cast<usize>(index);
+  if (i < process_names_.size() && !process_names_[i].empty()) {
+    return process_names_[i];
+  }
+  return kUnknownLabel;
+}
+
+bool HazardMonitor::Report(HazardKind kind, const void* id, isize a, isize b, Cycle cycle,
+                           std::string signal, std::string process, std::string message) {
+  if (!CheckEnabled(kind)) {
+    return false;
+  }
+  if (!emitted_.insert({static_cast<u8>(kind), id, a, b}).second) {
+    return false;
+  }
+  HazardReport report;
+  report.kind = kind;
+  report.severity = CheckInfoFor(kind).default_severity;
+  report.cycle = cycle;
+  report.signal = std::move(signal);
+  report.process = std::move(process);
+  report.message = std::move(message);
+  if (echo_) {
+    std::fprintf(stderr, "%s\n", report.ToString().c_str());
+  }
+  reports_.push_back(std::move(report));
+  return true;
+}
+
+void HazardMonitor::BumpEvent() {
+  const isize p = sim_.current_process_index();
+  if (p < 0) {
+    return;
+  }
+  ++events_this_resume_;
+  if (events_this_resume_ <= runaway_budget_) {
+    return;
+  }
+  const usize i = static_cast<usize>(p);
+  if (i < runaway_reported_.size() && runaway_reported_[i]) {
+    return;
+  }
+  if (i >= runaway_reported_.size()) {
+    runaway_reported_.resize(i + 1, false);
+  }
+  std::ostringstream msg;
+  msg << "performed more than " << runaway_budget_
+      << " kernel operations in a single resume without Pause(); likely livelock";
+  if (Report(HazardKind::kRunawayProcess, nullptr, p, 0, sim_.now(), "", ProcessLabel(p),
+             msg.str())) {
+    runaway_reported_[i] = true;
+  }
+}
+
+void HazardMonitor::OnProcessResume(usize index, const std::string& name) {
+  if (index >= process_names_.size()) {
+    process_names_.resize(index + 1);
+    runaway_reported_.resize(index + 1, false);
+  }
+  if (process_names_[index].empty() && !name.empty()) {
+    process_names_[index] = name;
+  }
+  events_this_resume_ = 0;
+}
+
+void HazardMonitor::OnRegWrite(const void* id, const std::string& name) {
+  ElementState& e = Element(ElementKind::kReg, id, name);
+  const isize p = sim_.current_process_index();
+  const Cycle now = sim_.now();
+  if (e.written && e.last_write_cycle == now && e.last_writer != p && e.last_writer >= 0 &&
+      p >= 0) {
+    std::ostringstream msg;
+    msg << "also written by '" << ProcessLabel(e.last_writer)
+        << "' this cycle; commit order is call-order dependent (last write wins)";
+    Report(HazardKind::kMultiDriver, id, std::min(p, e.last_writer), std::max(p, e.last_writer),
+           now, e.name, ProcessLabel(p), msg.str());
+  }
+  e.written = true;
+  e.last_writer = p;
+  e.last_write_cycle = now;
+  if (p >= 0) {
+    e.writers.insert(p);
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnRegRead(const void* id, const std::string& name, bool uninit) {
+  ElementState& e = Element(ElementKind::kReg, id, name);
+  const isize p = sim_.current_process_index();
+  if (p >= 0) {
+    e.readers.insert(p);
+  }
+  if (uninit) {
+    Report(HazardKind::kUninitRead, id, p, 0, sim_.now(), e.name, ProcessLabel(p),
+           "read of no-default Reg before its first write (X propagation)");
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnWireWrite(const void* id, const std::string& name) {
+  ElementState& e = Element(ElementKind::kWire, id, name);
+  const isize p = sim_.current_process_index();
+  e.written = true;
+  e.last_writer = p;
+  e.last_write_cycle = sim_.now();
+  if (p >= 0) {
+    e.writers.insert(p);
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnWireRead(const void* id, const std::string& name, bool uninit) {
+  ElementState& e = Element(ElementKind::kWire, id, name);
+  const isize p = sim_.current_process_index();
+  if (p >= 0) {
+    e.readers.insert(p);
+    for (const isize writer : e.writers) {
+      if (writer > p) {
+        std::ostringstream msg;
+        msg << "reader '" << ProcessLabel(p) << "' is registered before writer '"
+            << ProcessLabel(writer) << "': it observes last cycle's value, not this cycle's";
+        Report(HazardKind::kCombRace, id, p, writer, sim_.now(), e.name, ProcessLabel(p),
+               msg.str());
+      }
+    }
+  }
+  if (uninit) {
+    Report(HazardKind::kUninitRead, id, p, 0, sim_.now(), e.name, ProcessLabel(p),
+           "read of no-default Wire before its first write (X propagation)");
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnFifoCanPush(const void* id, const std::string& name) {
+  ElementState& e = Element(ElementKind::kFifo, id, name);
+  e.canpush_seen = true;
+  e.last_canpush_cycle = sim_.now();
+  BumpEvent();
+}
+
+void HazardMonitor::OnFifoPush(const void* id, const std::string& name, bool accepted) {
+  ElementState& e = Element(ElementKind::kFifo, id, name);
+  const isize p = sim_.current_process_index();
+  const Cycle now = sim_.now();
+  if (accepted) {
+    e.written = true;
+    e.last_writer = p;
+    e.last_write_cycle = now;
+    if (p >= 0) {
+      e.writers.insert(p);
+    }
+  } else if (!e.canpush_seen || e.last_canpush_cycle != now) {
+    Report(HazardKind::kLostBackpressure, id, p, 0, now, e.name, ProcessLabel(p),
+           "Push() on a full FIFO dropped a value and CanPush() was never "
+           "consulted this cycle (unobserved backpressure)");
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnFifoPop(const void* id, const std::string& name) {
+  ElementState& e = Element(ElementKind::kFifo, id, name);
+  const isize p = sim_.current_process_index();
+  if (p >= 0) {
+    e.readers.insert(p);
+  }
+  BumpEvent();
+}
+
+void HazardMonitor::OnPostMortemStep(usize dead_elements) {
+  if (post_mortem_reported_) {
+    return;
+  }
+  std::ostringstream msg;
+  msg << "Step() ran after " << dead_elements
+      << " registered Clocked element(s) were destroyed; see the lifetime rule in "
+         "src/hdl/simulator.h";
+  if (Report(HazardKind::kPostMortemStep, nullptr, static_cast<isize>(dead_elements), 0,
+             sim_.now(), "", "testbench", msg.str())) {
+    post_mortem_reported_ = true;
+  }
+}
+
+usize HazardMonitor::AnalyzeCombinationalGraph() {
+  // Process -> process edges induced by wires: writer w feeds reader r when
+  // some wire has w in writers and r in readers. Regs and FIFOs are clocked
+  // and therefore break combinational paths; only wires create same-cycle
+  // dependencies. A non-trivial strongly connected component means no
+  // registration order can deliver fresh values to every reader.
+  std::map<isize, std::set<isize>> adjacency;
+  std::map<std::pair<isize, isize>, std::string> edge_wire;
+  for (const auto& [id, e] : elements_) {
+    (void)id;
+    if (e.kind != ElementKind::kWire) {
+      continue;
+    }
+    for (const isize w : e.writers) {
+      for (const isize r : e.readers) {
+        if (w == r) {
+          continue;  // same-process scratch use is a blocking assignment, fine
+        }
+        adjacency[w].insert(r);
+        edge_wire.try_emplace({w, r}, e.name);
+      }
+    }
+  }
+
+  // Tarjan SCC, iterative.
+  std::map<isize, usize> index_of;
+  std::map<isize, usize> lowlink;
+  std::map<isize, bool> on_stack;
+  std::vector<isize> stack;
+  usize next_index = 0;
+  std::vector<std::vector<isize>> sccs;
+
+  struct Frame {
+    isize node;
+    std::set<isize>::const_iterator next;
+  };
+  for (const auto& [root, unused] : adjacency) {
+    (void)unused;
+    if (index_of.count(root) != 0) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    index_of[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back({root, adjacency[root].begin()});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& edges = adjacency[frame.node];
+      if (frame.next != edges.end()) {
+        const isize child = *frame.next;
+        ++frame.next;
+        if (adjacency.count(child) == 0) {
+          // Sink with no outgoing edges: trivially its own SCC.
+          if (index_of.count(child) == 0) {
+            index_of[child] = lowlink[child] = next_index++;
+          }
+          continue;
+        }
+        if (index_of.count(child) == 0) {
+          index_of[child] = lowlink[child] = next_index++;
+          stack.push_back(child);
+          on_stack[child] = true;
+          frames.push_back({child, adjacency[child].begin()});
+        } else if (on_stack[child]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index_of[child]);
+        }
+        continue;
+      }
+      if (lowlink[frame.node] == index_of[frame.node]) {
+        std::vector<isize> scc;
+        for (;;) {
+          const isize n = stack.back();
+          stack.pop_back();
+          on_stack[n] = false;
+          scc.push_back(n);
+          if (n == frame.node) {
+            break;
+          }
+        }
+        if (scc.size() >= 2) {
+          sccs.push_back(std::move(scc));
+        }
+      }
+      const isize done = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[done]);
+      }
+    }
+  }
+
+  usize added = 0;
+  for (auto& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    std::ostringstream key;
+    std::ostringstream members;
+    std::set<std::string> wires;
+    for (usize i = 0; i < scc.size(); ++i) {
+      key << scc[i] << ",";
+      members << (i == 0 ? "" : " <-> ") << ProcessLabel(scc[i]);
+      for (const isize other : scc) {
+        auto it = edge_wire.find({scc[i], other});
+        if (it != edge_wire.end()) {
+          wires.insert(it->second);
+        }
+      }
+    }
+    if (!comb_cycles_seen_.insert(key.str()).second) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "combinational cycle among processes {" << members.str() << "} via wire(s) {";
+    bool first = true;
+    for (const std::string& w : wires) {
+      msg << (first ? "" : ", ") << w;
+      first = false;
+    }
+    msg << "}: no registration order satisfies every same-cycle read";
+    std::string signal = wires.empty() ? std::string() : *wires.begin();
+    if (Report(HazardKind::kCombLoop, nullptr, scc.front(), scc.back(), sim_.now(),
+               std::move(signal), ProcessLabel(scc.front()), msg.str())) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+void HazardMonitor::DumpDot(std::ostream& os) const {
+  os << "digraph emu_design {\n  rankdir=LR;\n";
+  for (usize i = 0; i < process_names_.size(); ++i) {
+    os << "  p" << i << " [shape=box,label=\"" << ProcessLabel(static_cast<isize>(i))
+       << "\"];\n";
+  }
+  // Deterministic element order despite the unordered map.
+  std::vector<const ElementState*> ordered;
+  ordered.reserve(elements_.size());
+  for (const auto& [id, e] : elements_) {
+    (void)id;
+    ordered.push_back(&e);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ElementState* a, const ElementState* b) { return a->name < b->name; });
+  bool testbench_used = false;
+  for (usize i = 0; i < ordered.size(); ++i) {
+    const ElementState& e = *ordered[i];
+    const char* shape = e.kind == ElementKind::kReg    ? "ellipse"
+                        : e.kind == ElementKind::kWire ? "diamond"
+                                                       : "cds";
+    os << "  s" << i << " [shape=" << shape << ",label=\"" << e.name << "\"];\n";
+    for (const isize w : e.writers) {
+      os << "  p" << w << " -> s" << i << ";\n";
+    }
+    if (e.written && e.last_writer < 0) {
+      os << "  tb -> s" << i << " [style=dashed];\n";
+      testbench_used = true;
+    }
+    for (const isize r : e.readers) {
+      os << "  s" << i << " -> p" << r << ";\n";
+    }
+  }
+  if (testbench_used) {
+    os << "  tb [shape=plaintext,label=\"testbench\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace emu

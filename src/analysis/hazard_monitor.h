@@ -1,0 +1,132 @@
+// HazardMonitor: the dynamic half of emu-check.
+//
+// A monitor attaches to one Simulator and observes kernel events through the
+// hooks the HDL layer emits when built with EMU_ANALYSIS (the default): Reg
+// and Wire accesses, SyncFifo push/pop traffic, process resumes, and
+// post-mortem Step() detection. From that stream it enforces the design
+// rules in hazard.h and accumulates a process/signal dependency graph, which
+// doubles as the input to the static half — combinational-ordering cycle
+// detection (AnalyzeCombinationalGraph) and the DOT dump.
+//
+// Cost model: with EMU_ANALYSIS compiled in but no monitor attached, every
+// hook is a single pointer test; with the CMake option OFF the hooks do not
+// exist at all. A monitor must not outlive its Simulator.
+#ifndef SRC_ANALYSIS_HAZARD_MONITOR_H_
+#define SRC_ANALYSIS_HAZARD_MONITOR_H_
+
+#include <array>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/hazard.h"
+#include "src/common/types.h"
+
+namespace emu {
+
+class Simulator;
+
+class HazardMonitor {
+ public:
+  // Process index used for kernel calls made outside any HwProcess (i.e. by
+  // the testbench between Step() calls).
+  static constexpr isize kTestbench = -1;
+
+  // Attaches to `sim` (replacing any previously attached monitor) and
+  // detaches on destruction.
+  explicit HazardMonitor(Simulator& sim);
+  ~HazardMonitor();
+
+  HazardMonitor(const HazardMonitor&) = delete;
+  HazardMonitor& operator=(const HazardMonitor&) = delete;
+
+  // --- Configuration ---
+  void EnableCheck(HazardKind kind, bool enabled);
+  bool CheckEnabled(HazardKind kind) const;
+  // Kernel operations (signal/FIFO accesses) one process may perform in a
+  // single resume before it is flagged as a runaway.
+  void set_runaway_budget(u64 budget) { runaway_budget_ = budget; }
+  u64 runaway_budget() const { return runaway_budget_; }
+  // When set, every report is also printed to stderr as it is found.
+  void set_echo(bool echo) { echo_ = echo; }
+
+  // --- Results ---
+  const std::vector<HazardReport>& reports() const { return reports_; }
+  usize CountOf(HazardKind kind) const;
+  bool HasFindings() const { return !reports_.empty(); }
+  void Clear();
+  // One line per report plus a totals line; "clean" text when empty.
+  std::string Summary() const;
+
+  // --- Static half ---
+  // Runs combinational-ordering cycle detection over the observed
+  // process/wire dependency graph; appends one kCombLoop report per cycle
+  // found and returns how many were added. Idempotent across repeat calls.
+  usize AnalyzeCombinationalGraph();
+  // Graphviz dump of the observed design: process nodes (boxes), signal
+  // nodes (ellipses/diamonds), write edges process->signal and read edges
+  // signal->process.
+  void DumpDot(std::ostream& os) const;
+
+  // --- Kernel hooks (called by src/hdl when EMU_ANALYSIS is compiled) ---
+  enum class ElementKind : u8 { kReg, kWire, kFifo };
+
+  void OnProcessResume(usize index, const std::string& name);
+  void OnRegWrite(const void* id, const std::string& name);
+  void OnRegRead(const void* id, const std::string& name, bool uninit);
+  void OnWireWrite(const void* id, const std::string& name);
+  void OnWireRead(const void* id, const std::string& name, bool uninit);
+  void OnFifoCanPush(const void* id, const std::string& name);
+  void OnFifoPush(const void* id, const std::string& name, bool accepted);
+  void OnFifoPop(const void* id, const std::string& name);
+  void OnPostMortemStep(usize dead_elements);
+
+ private:
+  struct ElementState {
+    std::string name;
+    ElementKind kind = ElementKind::kReg;
+    // Last committed write, for the multi-driver check.
+    isize last_writer = kTestbench;
+    Cycle last_write_cycle = 0;
+    bool written = false;
+    // Last CanPush query, for the lost-backpressure check.
+    Cycle last_canpush_cycle = 0;
+    bool canpush_seen = false;
+    // Dependency graph: every process that ever wrote/read this element.
+    std::set<isize> writers;
+    std::set<isize> readers;
+  };
+
+  ElementState& Element(ElementKind kind, const void* id, const std::string& name);
+  // Fallback label for anonymous elements ("Reg@0x..."-style).
+  static std::string Label(ElementKind kind, const void* id, const std::string& name);
+  const std::string& ProcessLabel(isize index) const;
+
+  // Emits at most once per (kind, id, a, b) tuple; returns whether emitted.
+  bool Report(HazardKind kind, const void* id, isize a, isize b, Cycle cycle,
+              std::string signal, std::string process, std::string message);
+  void BumpEvent();
+
+  Simulator& sim_;
+  std::array<bool, kHazardKindCount> enabled_;
+  u64 runaway_budget_ = 1u << 20;
+  bool echo_ = false;
+
+  std::unordered_map<const void*, ElementState> elements_;
+  std::vector<std::string> process_names_;
+  std::vector<bool> runaway_reported_;
+  isize resumed_process_ = kTestbench;
+  u64 events_this_resume_ = 0;
+  bool post_mortem_reported_ = false;
+  std::set<std::string> comb_cycles_seen_;
+
+  std::set<std::tuple<u8, const void*, isize, isize>> emitted_;
+  std::vector<HazardReport> reports_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_ANALYSIS_HAZARD_MONITOR_H_

@@ -30,7 +30,7 @@ void ReferenceSwitch::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
   dp_ = dp;
   cam_ = std::make_unique<Cam>(sim, "ref_mac_cam", config_.table_entries, 48, 8);
-  stage_fifo_ = std::make_unique<SyncFifo<Packet>>(sim, 8, config_.bus_bytes * 8);
+  stage_fifo_ = std::make_unique<SyncFifo<Packet>>(sim, "ref_stage", 8, config_.bus_bytes * 8);
   // Two pipeline stages, hand-written control.
   control_resources_ = RtlControlResources(3, config_.bus_bytes * 8) +
                        RtlControlResources(2, config_.bus_bytes * 8) +

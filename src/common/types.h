@@ -14,6 +14,9 @@ using u16 = std::uint16_t;
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 using usize = std::size_t;
+// Signed counterpart of usize; used where -1 is a meaningful sentinel (e.g.
+// "no process" in the analysis layer).
+using isize = std::ptrdiff_t;
 
 // Simulation time in clock cycles of whichever clock domain a module lives in.
 using Cycle = std::uint64_t;

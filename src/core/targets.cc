@@ -33,13 +33,15 @@ std::vector<EgressFrame> FpgaTarget::TakeEgress() {
 }
 
 CpuTarget::CpuTarget(Service& service, usize fifo_depth) : service_(service) {
-  rx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), fifo_depth, 256);
-  tx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), fifo_depth, 256);
+  rx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), "cpu_rx", fifo_depth, 256);
+  tx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), "cpu_tx", fifo_depth, 256);
   service_.Instantiate(scheduler_.sim(), Dataplane{rx_.get(), tx_.get()});
 }
 
 std::vector<Packet> CpuTarget::Deliver(Packet frame, usize max_quanta) {
-  rx_->Push(std::move(frame));
+  if (rx_->CanPush()) {
+    rx_->Push(std::move(frame));
+  }
   std::vector<Packet> out;
   // Run until the service has drained its input and stopped producing:
   // give it a grace window of quanta with no new output before declaring it

@@ -64,6 +64,8 @@ class CpuTarget {
  public:
   explicit CpuTarget(Service& service, usize fifo_depth = 1024);
 
+  Simulator& sim() { return scheduler_.sim(); }
+
   // Delivers one frame to the service under software semantics and returns
   // everything it emitted before going idle.
   std::vector<Packet> Deliver(Packet frame, usize max_quanta = 100'000);

@@ -105,7 +105,7 @@ DirectedService::DirectedService(Service& inner, DirectionController& controller
 void DirectedService::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
   dp_ = dp;
-  inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, 64, 256);
+  inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, "directed_inner_rx", 64, 256);
   sim.AddProcess(FilterProcess(), "direction_filter");
   inner_.Instantiate(sim, Dataplane{inner_rx_.get(), dp.tx});
 }

@@ -5,15 +5,26 @@
 // consumer touching the same FIFO in the same cycle behave like two RTL
 // modules sharing a BRAM FIFO. Depth is enforced against committed occupancy
 // plus same-cycle pushes.
+//
+// Design rule (enforced by emu-check in analysis builds): consult CanPush()
+// before Push() in the same cycle. A Push() that returns false without a
+// same-cycle CanPush() query is the LOSTBACKPRESSURE hazard — silently
+// dropped data.
 #ifndef SRC_HDL_FIFO_H_
 #define SRC_HDL_FIFO_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "src/hdl/resource_model.h"
 #include "src/hdl/simulator.h"
+
+#ifdef EMU_ANALYSIS
+#include "src/analysis/hazard_monitor.h"
+#endif
 
 namespace emu {
 
@@ -23,8 +34,16 @@ class SyncFifo : public Clocked {
   // `word_bits` feeds the resource model (a FIFO of 512 x 256-bit words costs
   // more BRAM than one of 16 x 8-bit words).
   SyncFifo(Simulator& sim, usize depth, usize word_bits)
-      : sim_(sim), depth_(depth), resources_(FifoResources(depth, word_bits)) {
-    assert(depth > 0);
+      : SyncFifo(sim, std::string(), depth, word_bits) {}
+
+  SyncFifo(Simulator& sim, std::string name, usize depth, usize word_bits)
+      : sim_(sim),
+        name_(std::move(name)),
+        depth_(depth),
+        resources_(FifoResources(depth, word_bits)) {
+    if (depth == 0) {
+      Fatal("constructed with depth 0");
+    }
     sim_.RegisterClocked(this);
   }
 
@@ -36,6 +55,7 @@ class SyncFifo : public Clocked {
   // provided Step() is never called after the element dies).
   ~SyncFifo() override = default;
 
+  const std::string& name() const { return name_; }
   usize depth() const { return depth_; }
   const ResourceUsage& resources() const { return resources_; }
 
@@ -43,24 +63,50 @@ class SyncFifo : public Clocked {
   usize Size() const { return items_.size() - pop_count_; }
   bool Empty() const { return Size() == 0; }
 
-  bool CanPush() const { return items_.size() - pop_count_ + pending_push_.size() < depth_; }
+  bool CanPush() const {
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnFifoCanPush(this, name_);
+    }
+#endif
+    return CanPushRaw();
+  }
 
   // Returns false (and drops nothing) when full, mirroring backpressure.
   bool Push(T value) {
-    if (!CanPush()) {
-      return false;
+    const bool accepted = CanPushRaw();
+    if (accepted) {
+      pending_push_.push_back(std::move(value));
     }
-    pending_push_.push_back(std::move(value));
-    return true;
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnFifoPush(this, name_, accepted);
+    }
+#endif
+    return accepted;
   }
 
   const T& Front() const {
-    assert(!Empty());
+    if (Empty()) [[unlikely]] {
+      Fatal("Front() on empty FIFO (underflow)");
+    }
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnFifoPop(this, name_);
+    }
+#endif
     return items_[pop_count_];
   }
 
   T Pop() {
-    assert(!Empty());
+    if (Empty()) [[unlikely]] {
+      Fatal("Pop() on empty FIFO (underflow)");
+    }
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnFifoPop(this, name_);
+    }
+#endif
     T value = std::move(items_[pop_count_]);
     ++pop_count_;
     return value;
@@ -76,7 +122,21 @@ class SyncFifo : public Clocked {
   }
 
  private:
+  bool CanPushRaw() const {
+    return items_.size() - pop_count_ + pending_push_.size() < depth_;
+  }
+
+  // Underflow/misuse is UB in RTL terms; stop with an attributable message
+  // (the bare assert() this replaces vanished in NDEBUG builds and named no
+  // element when it did fire).
+  [[noreturn]] void Fatal(const char* what) const {
+    std::fprintf(stderr, "emu: fatal: SyncFifo '%s': %s\n",
+                 name_.empty() ? "<anonymous>" : name_.c_str(), what);
+    std::abort();
+  }
+
   Simulator& sim_;
+  std::string name_;
   usize depth_;
   ResourceUsage resources_;
   std::deque<T> items_;

@@ -7,39 +7,86 @@
 // registration order; use it only between a producer process registered
 // before its consumer, exactly like a combinational path that settles within
 // the cycle.
+//
+// Both carry an optional name and both emit emu-check hooks in analysis
+// builds (EMU_ANALYSIS): multi-driver detection on Reg, registration-order
+// race detection on Wire, and read-before-write detection on elements
+// constructed with the emu::no_init tag (the X-propagation hazard). See
+// src/analysis/hazard.h for the full taxonomy.
 #ifndef SRC_HDL_SIGNAL_H_
 #define SRC_HDL_SIGNAL_H_
 
+#include <string>
+
 #include "src/hdl/simulator.h"
 
+#ifdef EMU_ANALYSIS
+#include "src/analysis/hazard_monitor.h"
+#endif
+
 namespace emu {
+
+// Tag marking a signal as having no meaningful reset value: reading it
+// before the first write is the UNINITREAD hazard in analysis builds.
+struct NoInit {};
+inline constexpr NoInit no_init{};
 
 template <typename T>
 class Reg : public Clocked {
  public:
-  Reg(Simulator& sim, T initial = T{})
-      : sim_(sim), current_(initial), next_(initial) {
+  Reg(Simulator& sim, T initial = T{}) : Reg(sim, std::string(), std::move(initial)) {}
+
+  Reg(Simulator& sim, std::string name, T initial = T{})
+      : sim_(sim), name_(std::move(name)), current_(initial), next_(std::move(initial)) {
+    sim_.RegisterClocked(this);
+  }
+
+  Reg(Simulator& sim, std::string name, NoInit)
+      : sim_(sim), name_(std::move(name)), no_default_(true) {
     sim_.RegisterClocked(this);
   }
 
   Reg(const Reg&) = delete;
   Reg& operator=(const Reg&) = delete;
 
-  // See the lifetime rule in simulator.h: no unregistration on destruction.
+  // See the lifetime rule in simulator.h: no unregistration on destruction
+  // (analysis builds tombstone the registration instead).
   ~Reg() override = default;
 
-  const T& Read() const { return current_; }
-  void Write(T value) { next_ = std::move(value); }
+  const std::string& name() const { return name_; }
+
+  const T& Read() const {
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnRegRead(this, name_, no_default_ && !written_);
+    }
+#endif
+    return current_;
+  }
+
+  void Write(T value) {
+#ifdef EMU_ANALYSIS
+    if (HazardMonitor* m = sim_.monitor()) {
+      m->OnRegWrite(this, name_);
+    }
+#endif
+    written_ = true;
+    next_ = std::move(value);
+  }
 
   // Read of the pending next-state; occasionally needed by testbenches.
+  // Deliberately unhooked: it is a simulation artifact, not a design signal.
   const T& Pending() const { return next_; }
 
   void Commit() override { current_ = next_; }
 
  private:
   Simulator& sim_;
-  T current_;
-  T next_;
+  std::string name_;
+  T current_{};
+  T next_{};
+  bool no_default_ = false;
+  bool written_ = false;
 };
 
 template <typename T>
@@ -47,11 +94,45 @@ class Wire {
  public:
   explicit Wire(T initial = T{}) : value_(std::move(initial)) {}
 
-  const T& Read() const { return value_; }
-  void Write(T value) { value_ = std::move(value); }
+  // Named wires participate in emu-check: combinational-ordering analysis
+  // needs to know who reads and writes them.
+  Wire(Simulator& sim, std::string name, T initial = T{})
+      : sim_(&sim), name_(std::move(name)), value_(std::move(initial)) {}
+
+  Wire(Simulator& sim, std::string name, NoInit)
+      : sim_(&sim), name_(std::move(name)), no_default_(true) {}
+
+  const std::string& name() const { return name_; }
+
+  const T& Read() const {
+#ifdef EMU_ANALYSIS
+    if (sim_ != nullptr) {
+      if (HazardMonitor* m = sim_->monitor()) {
+        m->OnWireRead(this, name_, no_default_ && !written_);
+      }
+    }
+#endif
+    return value_;
+  }
+
+  void Write(T value) {
+#ifdef EMU_ANALYSIS
+    if (sim_ != nullptr) {
+      if (HazardMonitor* m = sim_->monitor()) {
+        m->OnWireWrite(this, name_);
+      }
+    }
+#endif
+    written_ = true;
+    value_ = std::move(value);
+  }
 
  private:
-  T value_;
+  Simulator* sim_ = nullptr;
+  std::string name_;
+  T value_{};
+  bool no_default_ = false;
+  bool written_ = false;
 };
 
 }  // namespace emu

@@ -2,12 +2,37 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "src/analysis/hazard_monitor.h"
 
 namespace emu {
+
+Clocked::~Clocked() {
+#ifdef EMU_ANALYSIS
+  if (analysis_owner_ != nullptr) {
+    analysis_owner_->NotifyClockedDestroyed(this);
+  }
+#endif
+}
 
 Simulator::Simulator(u64 clock_hz) : clock_hz_(clock_hz) {
   assert(clock_hz > 0);
   cycle_period_ps_ = kPicosPerSecond / static_cast<Picoseconds>(clock_hz);
+}
+
+Simulator::~Simulator() {
+#ifdef EMU_ANALYSIS
+  // Surviving elements may be destroyed after us (lifetime rule): sever the
+  // back-pointers so their destructors do not call into a dead Simulator.
+  for (Clocked* element : clocked_) {
+    if (element != nullptr) {
+      element->analysis_owner_ = nullptr;
+    }
+  }
+#endif
 }
 
 void Simulator::AddProcess(HwProcess process, std::string name) {
@@ -17,14 +42,40 @@ void Simulator::AddProcess(HwProcess process, std::string name) {
 
 void Simulator::RegisterClocked(Clocked* element) {
   assert(element != nullptr);
+#ifdef EMU_ANALYSIS
+  element->analysis_owner_ = this;
+#endif
   clocked_.push_back(element);
 }
 
 void Simulator::UnregisterClocked(Clocked* element) {
+#ifdef EMU_ANALYSIS
+  if (element != nullptr) {
+    element->analysis_owner_ = nullptr;
+  }
+#endif
   clocked_.erase(std::remove(clocked_.begin(), clocked_.end(), element), clocked_.end());
 }
 
+void Simulator::NotifyClockedDestroyed(Clocked* element) {
+  for (Clocked*& slot : clocked_) {
+    if (slot == element) {
+      slot = nullptr;
+      ++dead_clocked_;
+    }
+  }
+}
+
 void Simulator::Step() {
+#ifdef EMU_ANALYSIS
+  // Keep the uninstrumented path identical to the non-analysis build: with
+  // no monitor attached (and no tombstoned elements) there is exactly one
+  // extra branch per Step(), not one per process.
+  if (monitor_ != nullptr || dead_clocked_ > 0) [[unlikely]] {
+    StepInstrumented();
+    return;
+  }
+#endif
   for (auto& entry : processes_) {
     entry.process.Tick();
   }
@@ -33,6 +84,40 @@ void Simulator::Step() {
   }
   ++now_;
 }
+
+#ifdef EMU_ANALYSIS
+void Simulator::StepInstrumented() {
+  if (dead_clocked_ > 0) {
+    // The lifetime rule (see the header) was violated: a registered element
+    // died and Step() ran anyway. With a monitor this is a report; without
+    // one it is a hard stop — the non-analysis build would be corrupting
+    // freed memory right here.
+    if (monitor_ != nullptr) {
+      monitor_->OnPostMortemStep(dead_clocked_);
+    } else {
+      std::fprintf(stderr,
+                   "emu: fatal: Simulator::Step() after %zu registered Clocked element(s) "
+                   "were destroyed (lifetime rule in src/hdl/simulator.h)\n",
+                   dead_clocked_);
+      std::abort();
+    }
+  }
+  for (usize i = 0; i < processes_.size(); ++i) {
+    current_process_ = static_cast<isize>(i);
+    if (monitor_ != nullptr) {
+      monitor_->OnProcessResume(i, processes_[i].name);
+    }
+    processes_[i].process.Tick();
+  }
+  current_process_ = -1;
+  for (Clocked* element : clocked_) {
+    if (element != nullptr) {
+      element->Commit();
+    }
+  }
+  ++now_;
+}
+#endif
 
 void Simulator::Run(Cycle cycles) {
   for (Cycle i = 0; i < cycles; ++i) {
@@ -58,6 +143,18 @@ usize Simulator::live_process_count() const {
     }
   }
   return count;
+}
+
+void Simulator::DumpDependencyGraph(std::ostream& os) const {
+  if (monitor_ != nullptr) {
+    monitor_->DumpDot(os);
+    return;
+  }
+  os << "digraph emu_design {\n  rankdir=LR;\n";
+  for (usize i = 0; i < processes_.size(); ++i) {
+    os << "  p" << i << " [shape=box,label=\"" << processes_[i].name << "\"];\n";
+  }
+  os << "}\n";
 }
 
 }  // namespace emu

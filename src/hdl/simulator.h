@@ -12,6 +12,7 @@
 #define SRC_HDL_SIMULATOR_H_
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -20,11 +21,25 @@
 
 namespace emu {
 
+class HazardMonitor;
+class Simulator;
+
 // Anything with per-edge commit semantics (Reg, SyncFifo, CAM write ports...).
+//
+// In analysis builds (EMU_ANALYSIS) a Clocked element carries a back-pointer
+// to its Simulator so its destructor can tombstone the registration slot:
+// a later Step() then produces a hard POSTMORTEMSTEP diagnostic instead of
+// the silent use-after-free the lifetime rule below would otherwise permit.
 class Clocked {
  public:
-  virtual ~Clocked() = default;
+  virtual ~Clocked();
   virtual void Commit() = 0;
+
+#ifdef EMU_ANALYSIS
+ private:
+  friend class Simulator;
+  Simulator* analysis_owner_ = nullptr;
+#endif
 };
 
 class Simulator {
@@ -32,6 +47,7 @@ class Simulator {
   static constexpr u64 kNetFpgaClockHz = 200'000'000;  // NetFPGA SUME native rate (§5.1)
 
   explicit Simulator(u64 clock_hz = kNetFpgaClockHz);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -66,7 +82,39 @@ class Simulator {
 
   usize live_process_count() const;
 
+  usize process_count() const { return processes_.size(); }
+  const std::string& process_name(usize index) const { return processes_[index].name; }
+
+  // --- Analysis layer (src/analysis) ---
+  // Attaches a HazardMonitor (nullptr detaches). The monitor only receives
+  // events when the library is built with EMU_ANALYSIS; otherwise the kernel
+  // contains no hooks and an attached monitor simply observes nothing.
+  void AttachMonitor(HazardMonitor* monitor) { monitor_ = monitor; }
+  HazardMonitor* monitor() const { return monitor_; }
+
+  // Index of the process currently being resumed by Step(), or -1 between
+  // processes / outside Step() (i.e. testbench context). Only maintained
+  // while a monitor is attached.
+  isize current_process_index() const { return current_process_; }
+
+  // Graphviz dump of the process/signal dependency graph observed by the
+  // attached monitor (process list only when no monitor is attached).
+  void DumpDependencyGraph(std::ostream& os) const;
+
  private:
+  friend class Clocked;
+
+  // Called from ~Clocked in analysis builds: tombstones the registration
+  // slot so the next Step() can diagnose instead of dereferencing a dead
+  // element.
+  void NotifyClockedDestroyed(Clocked* element);
+
+#ifdef EMU_ANALYSIS
+  // Step() with a monitor attached (or tombstoned elements to diagnose):
+  // per-process bookkeeping lives here so the common path stays unchanged.
+  void StepInstrumented();
+#endif
+
   struct NamedProcess {
     HwProcess process;
     std::string name;
@@ -77,6 +125,9 @@ class Simulator {
   Cycle now_ = 0;
   std::vector<NamedProcess> processes_;
   std::vector<Clocked*> clocked_;
+  HazardMonitor* monitor_ = nullptr;
+  isize current_process_ = -1;
+  usize dead_clocked_ = 0;
 };
 
 }  // namespace emu

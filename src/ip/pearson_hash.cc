@@ -59,10 +59,10 @@ u64 PearsonHash64(u64 key, usize key_bytes) {
 
 PearsonHashIp::PearsonHashIp(Simulator& sim, std::string name)
     : Module(sim, std::move(name)),
-      ready_(sim, false),
-      enable_(sim, false),
-      data_in_(sim, 0),
-      hash_out_(sim, 0) {
+      ready_(sim, this->name() + ".init_hash_ready", false),
+      enable_(sim, this->name() + ".init_hash_enable", false),
+      data_in_(sim, this->name() + ".data_in", u8{0}),
+      hash_out_(sim, this->name() + ".hash_out", u64{0}) {
   // Permutation table (256 x 8 bits, replicated per lane) in BRAM plus a
   // small control FSM.
   AddResources(ResourceUsage{210, 150, 1});

@@ -13,8 +13,8 @@ OutputQueues::OutputQueues(Simulator& sim, std::string name, SyncFifo<Packet>& c
       bus_bytes_(bus_bytes),
       tx_frames_(kNetFpgaPortCount, 0) {
   for (usize port = 0; port < kNetFpgaPortCount; ++port) {
-    tx_fifos_.push_back(
-        std::make_unique<SyncFifo<Packet>>(sim, tx_fifo_depth, bus_bytes * 8));
+    tx_fifos_.push_back(std::make_unique<SyncFifo<Packet>>(
+        sim, this->name() + ".tx_fifo" + std::to_string(port), tx_fifo_depth, bus_bytes * 8));
     AddResources(tx_fifos_.back()->resources());
   }
   AddResources(ResourceUsage{520, 410, 0});  // mask decode + per-port muxing
@@ -37,7 +37,11 @@ HwProcess OutputQueues::MakeFanoutProcess() {
       const u8 mask = frame.dst_port_mask();
       for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
         if ((mask >> port) & 1u) {
-          if (!tx_fifos_[port]->Push(frame)) {
+          // Deliberate tail-drop: check CanPush so the drop is observed
+          // backpressure, not an emu-check LOSTBACKPRESSURE hazard.
+          if (tx_fifos_[port]->CanPush()) {
+            tx_fifos_[port]->Push(frame);
+          } else {
             ++tx_drops_;
           }
         }

@@ -12,10 +12,10 @@ NetFpgaPipeline::NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfi
     sim.AddProcess(ports_.back()->MakeIngressProcess(), "port" + std::to_string(i) + "_rx");
   }
 
-  core_in_ =
-      std::make_unique<SyncFifo<Packet>>(sim, config.core_fifo_depth, config.bus_bytes * 8);
-  core_out_ =
-      std::make_unique<SyncFifo<Packet>>(sim, config.core_fifo_depth, config.bus_bytes * 8);
+  core_in_ = std::make_unique<SyncFifo<Packet>>(sim, "core_in", config.core_fifo_depth,
+                                                config.bus_bytes * 8);
+  core_out_ = std::make_unique<SyncFifo<Packet>>(sim, "core_out", config.core_fifo_depth,
+                                                 config.bus_bytes * 8);
 
   arbiter_ = std::make_unique<InputArbiter>(sim, "input_arbiter", std::move(rx_fifos),
                                             *core_in_, config.bus_bytes);

@@ -13,7 +13,9 @@ Picoseconds SerializationPs(usize frame_bytes) {
 }
 
 TenGigPort::TenGigPort(Simulator& sim, std::string name, u8 index, usize rx_fifo_depth)
-    : Module(sim, std::move(name)), index_(index), rx_fifo_(sim, rx_fifo_depth, 256) {
+    : Module(sim, std::move(name)),
+      index_(index),
+      rx_fifo_(sim, this->name() + ".rx_fifo", rx_fifo_depth, 256) {
   // 10G MAC + attachment logic; shared infrastructure outside the "main
   // logical core" the tables report, but tracked for completeness.
   AddResources(ResourceUsage{950, 1200, 2});
@@ -38,7 +40,11 @@ HwProcess TenGigPort::MakeIngressProcess() {
   for (;;) {
     while (!wire_.empty() && wire_.front().complete_at <= sim().now()) {
       ++rx_frames_;
-      if (!rx_fifo_.Push(std::move(wire_.front().frame))) {
+      // Tail-drop point: a full rx FIFO loses the frame, and the drop is
+      // deliberate — consult CanPush so emu-check sees observed backpressure.
+      if (rx_fifo_.CanPush()) {
+        rx_fifo_.Push(std::move(wire_.front().frame));
+      } else {
         ++rx_drops_;
       }
       wire_.pop_front();

@@ -98,7 +98,7 @@ void L3L4Filter::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
   dp_ = dp;
   accepted_fifo_ = std::make_unique<SyncFifo<Packet>>(
-      sim, 16, config_.switch_config.bus_bytes * 8);
+      sim, "accepted", 16, config_.switch_config.bus_bytes * 8);
   // The generated filter logic: one comparator bundle per rule, evaluated in
   // parallel with a priority encoder (first match wins).
   filter_resources_ =

@@ -19,8 +19,10 @@ void LearningSwitch::Instantiate(Simulator& sim, Dataplane dp) {
   } else {
     cam_ = std::make_unique<LogicCam>(sim, "mac_cam", config_.table_entries, 48, 8);
   }
-  lookup_to_decide_ = std::make_unique<SyncFifo<Packet>>(sim, 8, config_.bus_bytes * 8);
-  decide_to_forward_ = std::make_unique<SyncFifo<Packet>>(sim, 8, config_.bus_bytes * 8);
+  lookup_to_decide_ =
+      std::make_unique<SyncFifo<Packet>>(sim, "lookup_to_decide", 8, config_.bus_bytes * 8);
+  decide_to_forward_ =
+      std::make_unique<SyncFifo<Packet>>(sim, "decide_to_forward", 8, config_.bus_bytes * 8);
   // Three Kiwi threads over the datapath: lookup, decide, forward+learn.
   // Their scheduler states plus the inter-stage FIFOs are the ~15% of the
   // core that is not the CAM (the paper's breakdown in §5.3).

@@ -42,7 +42,8 @@ void MemcachedService::Instantiate(Simulator& sim, Dataplane dp) {
     state.index = std::make_unique<LruCacheBlock>(sim, "mc_lru" + std::to_string(core),
                                                   config_.capacity);
     state.slots.resize(config_.capacity);
-    state.queue = std::make_unique<SyncFifo<Packet>>(sim, 32, config_.bus_bytes * 8);
+    state.queue = std::make_unique<SyncFifo<Packet>>(sim, "mc_queue" + std::to_string(core),
+                                                     32, config_.bus_bytes * 8);
     cores_.push_back(std::move(state));
   }
   // Request parser FSM + response builder per core, plus the dispatcher.
