@@ -1,0 +1,477 @@
+// chaos_soak: every Table-4 service under randomized, seeded fault schedules.
+//
+// For each service (ICMP echo, TCP ping, DNS, NAT, Memcached) the harness
+// builds a fresh FpgaTarget, registers the service's fault points with a
+// FaultRegistry seeded from --seed, arms a fault plan (randomized from the
+// seed unless --faults overrides it), and drives seeded traffic through an
+// impaired ingress tap for --cycles cycles. The plan spans the fault classes
+// the subsystem supports: link drop/corrupt/duplicate/reorder/delay at the
+// tap, SEU bit flips in table state, FIFO stalls in the Memcached worker
+// queues, NAT table exhaustion, and the §5.5 checksum fold bug.
+//
+// Invariants checked per service run (any violation exits nonzero):
+//   - no crash and, under a sanitizer build, no sanitizer finding;
+//   - no hazard report from the attached HazardMonitor (faults must surface
+//     as degradation or counted drops, never as kernel-rule violations);
+//   - counters balance: frames injected == egressed + pipeline drops +
+//     service drops (nothing vanishes unaccounted);
+//   - bounded recovery: after the plan is disarmed and the pipeline drains,
+//     fresh requests are answered again within a bounded cycle budget.
+//
+// Determinism: with the same --seed every injection (site, cycle, detail)
+// and every response byte replays exactly; --replay runs each soak twice and
+// compares the fault-log and egress digests.
+//
+// Usage:
+//   chaos_soak [--seed N] [--cycles N] [--faults "<plan>"] [--replay]
+//              [--service <name>] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/targets.h"
+#include "src/fault/fault_registry.h"
+#include "src/fault/frame_impairer.h"
+#include "src/net/dns.h"
+#include "src/net/icmp.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/services/dns_service.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+#include "src/services/tcp_ping_service.h"
+#include "src/sim/loadgen.h"
+#include "src/sim/memaslap.h"
+
+#ifdef EMU_ANALYSIS
+#include "src/analysis/hazard_monitor.h"
+#endif
+
+namespace emu {
+namespace {
+
+const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'99);
+const Ipv4Address kClientIp(10, 0, 0, 9);
+
+// One service under soak: construction, optional prewarm, traffic factory,
+// and an accessor for its drop counter (Service has no virtual dropped()).
+struct SoakCase {
+  std::string name;
+  std::unique_ptr<Service> service;
+  std::function<void(FpgaTarget&)> prewarm;
+  FrameFactory factory;
+  std::vector<u8> ports;
+  std::function<u64()> dropped;
+};
+
+SoakCase MakeIcmpCase() {
+  SoakCase c;
+  c.name = "icmp_echo";
+  IcmpEchoConfig config;
+  auto service = std::make_unique<IcmpEchoService>(config);
+  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.factory = [config](usize i, u8) {
+    return MakeIcmpEchoRequest(
+        {config.mac, kClientMac, kClientIp, config.ip, static_cast<u16>(i), 0}, {});
+  };
+  c.ports = {0, 1, 2, 3};
+  c.service = std::move(service);
+  return c;
+}
+
+SoakCase MakeTcpPingCase() {
+  SoakCase c;
+  c.name = "tcp_ping";
+  TcpPingConfig config;
+  auto service = std::make_unique<TcpPingService>(config);
+  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.factory = [config](usize i, u8) {
+    TcpSegmentSpec spec{config.mac,
+                        kClientMac,
+                        kClientIp,
+                        config.ip,
+                        static_cast<u16>(20000 + (i % 20000)),
+                        80,
+                        static_cast<u32>(i),
+                        0,
+                        TcpFlags::kSyn};
+    return MakeTcpSegment(spec);
+  };
+  c.ports = {0, 1, 2, 3};
+  c.service = std::move(service);
+  return c;
+}
+
+SoakCase MakeDnsCase() {
+  SoakCase c;
+  c.name = "dns";
+  DnsServiceConfig config;
+  auto service = std::make_unique<DnsService>(config);
+  for (usize i = 0; i < 4; ++i) {
+    service->AddRecord("svc" + std::to_string(i) + ".lab",
+                       Ipv4Address(10, 1, 0, static_cast<u8>(1 + i)));
+  }
+  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.factory = [config](usize i, u8) {
+    const std::string name = "svc" + std::to_string(i % 4) + ".lab";
+    return MakeUdpPacket({config.mac, kClientMac, kClientIp, config.ip,
+                          static_cast<u16>(5000 + i % 1000), kDnsPort},
+                         BuildDnsQuery(static_cast<u16>(i), name));
+  };
+  c.ports = {0, 1, 2, 3};
+  c.service = std::move(service);
+  return c;
+}
+
+SoakCase MakeNatCase() {
+  SoakCase c;
+  c.name = "nat";
+  NatConfig config;
+  config.max_mappings = 256;  // reachable exhaustion within one soak
+  config.exhaustion_evict_idle_cycles = 10'000;  // evict-idle-first under pressure
+  auto service = std::make_unique<NatService>(config);
+  c.dropped = [s = service.get()] { return s->dropped(); };
+  const MacAddress internal_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
+  c.factory = [config, internal_mac](usize i, u8 port) {
+    const u8 in_port = static_cast<u8>(1 + port % 3);
+    Packet frame = MakeUdpPacket(
+        {config.internal_mac, internal_mac,
+         Ipv4Address(192, 168, 1, static_cast<u8>(2 + i % 200)),
+         Ipv4Address(8, 8, 8, 8), static_cast<u16>(1024 + i % 30000), 53},
+        std::vector<u8>{'q'});
+    frame.set_src_port(in_port);
+    return frame;
+  };
+  c.ports = {1, 2, 3};
+  c.service = std::move(service);
+  return c;
+}
+
+SoakCase MakeMemcachedCase() {
+  SoakCase c;
+  c.name = "memcached";
+  MemcachedConfig config;
+  auto service = std::make_unique<MemcachedService>(config);
+  c.dropped = [s = service.get()] { return s->dropped(); };
+  MemaslapConfig workload;
+  workload.server_mac = config.mac;
+  workload.server_ip = config.ip;
+  auto loadgen = std::make_shared<MemaslapLoadgen>(workload);
+  c.prewarm = [loadgen](FpgaTarget& target) {
+    for (usize i = 0; i < loadgen->prewarm_count(); ++i) {
+      target.SendAndCollect(0, loadgen->PrewarmFrame(i));
+    }
+    target.TakeEgress();
+  };
+  c.factory = [loadgen](usize i, u8) { return loadgen->WorkloadFrame(i); };
+  c.ports = {0, 1, 2, 3};
+  c.service = std::move(service);
+  return c;
+}
+
+// Randomized per-seed plan covering every fault class the services expose.
+// Probabilities stay modest so most traffic flows and recovery is checkable;
+// the burst window (table exhaustion + queue stalls) sits mid-run so the
+// tail of the soak exercises recovery.
+std::string RandomPlanText(u64 seed, u64 cycles) {
+  Rng rng(seed ^ 0xC7A0'55ED'FA17'0001ull);
+  const u64 burst_from = cycles / 4 + rng.NextBelow(cycles / 8 + 1);
+  const u64 burst_until = burst_from + cycles / 8 + rng.NextBelow(cycles / 8 + 1);
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "ingress.drop bernoulli %.4f; "
+      "ingress.corrupt bernoulli %.4f; "
+      "ingress.dup bernoulli %.4f; "
+      "ingress.reorder bernoulli %.4f; "
+      "ingress.delay bernoulli %.4f %llu; "
+      "nat.table_full burst %llu %llu 0.8; "
+      "nat.flows bernoulli 0.00001; "
+      "dns.table bernoulli 0.00001; "
+      "memcached.queue* burst %llu %llu %.4f %llu; "
+      "memcached.csum.fold oneshot %llu",
+      0.002 + rng.NextDouble() * 0.008, 0.002 + rng.NextDouble() * 0.008,
+      rng.NextDouble() * 0.004, rng.NextDouble() * 0.004,
+      0.005 + rng.NextDouble() * 0.01,
+      static_cast<unsigned long long>(1 + rng.NextBelow(40)),  // delay, cycles
+      static_cast<unsigned long long>(burst_from),
+      static_cast<unsigned long long>(burst_until),
+      static_cast<unsigned long long>(burst_from),
+      static_cast<unsigned long long>(burst_until),
+      0.001 + rng.NextDouble() * 0.002,
+      static_cast<unsigned long long>(200 + rng.NextBelow(1800)),  // stall len
+      static_cast<unsigned long long>(cycles / 2));
+  return buffer;
+}
+
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64 DigestBytes(u64 h, const u8* data, usize size) {
+  for (usize i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+struct SoakOutcome {
+  bool ok = true;
+  u64 generated = 0;
+  u64 tap_dropped = 0;
+  u64 injected = 0;
+  u64 egressed = 0;
+  u64 pipeline_drops = 0;
+  u64 service_dropped = 0;
+  u64 faults_fired = 0;
+  u64 fault_digest = 0;
+  u64 egress_digest = 0;
+  usize hazards = 0;
+  bool balanced = false;
+  bool recovered = false;
+  std::string detail;
+};
+
+struct SoakOptions {
+  u64 seed = 1;
+  u64 cycles = 1'000'000;
+  std::string plan_text;  // empty: randomized from seed
+  bool verbose = false;
+};
+
+SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
+  SoakOutcome out;
+  FpgaTarget target(*c.service);
+
+#ifdef EMU_ANALYSIS
+  HazardMonitor monitor(target.sim());
+#endif
+
+  if (c.prewarm) {
+    c.prewarm(target);
+  }
+
+  FaultRegistry registry(opt.seed);
+  c.service->RegisterFaultPoints(registry);
+  FrameImpairer tap(registry, "ingress");
+
+  const std::string plan_text =
+      opt.plan_text.empty() ? RandomPlanText(opt.seed, opt.cycles) : opt.plan_text;
+  const Expected<FaultPlan> plan = ParseFaultPlan(plan_text);
+  if (!plan.ok()) {
+    out.ok = false;
+    out.detail = "bad fault plan: " + plan.status().ToString();
+    return out;
+  }
+  registry.ArmPlan(*plan);
+  if (opt.verbose) {
+    std::printf("  plan: %s\n", plan_text.c_str());
+  }
+
+  // Baselines so prewarm traffic does not enter the balance.
+  NetFpgaPipeline& pipe = target.pipeline();
+  const u64 base_in = pipe.injected();
+  const u64 base_out = pipe.egressed();
+  const u64 base_pipe_drop = pipe.rx_drops() + pipe.tx_drops();
+  const u64 base_svc_drop = c.dropped();
+
+  // --- Soak loop: traffic through the impaired tap, one registry tick per
+  // cycle for the SEU/stall callback targets. ---
+  constexpr u64 kFrameGap = 197;  // prime, avoids beating with burst windows
+  usize frame_index = 0;
+  std::optional<std::pair<u8, Packet>> held;  // reorder: overtaken frame
+  const auto emit = [&](u8 port, Packet frame, Cycle at) {
+    target.Inject(port, std::move(frame), at);
+    ++out.injected;
+  };
+  for (u64 cycle = 0; cycle < opt.cycles; ++cycle) {
+    const Cycle now = target.sim().now();
+    if (cycle % kFrameGap == 0) {
+      const u8 port = c.ports[frame_index % c.ports.size()];
+      Packet frame = c.factory(frame_index, port);
+      ++frame_index;
+      ++out.generated;
+      const FrameImpairer::Decision d = tap.Decide(now, frame.size());
+      if (d.drop) {
+        ++out.tap_dropped;
+      } else {
+        if (d.corrupt_bit != FrameImpairer::kNoCorrupt) {
+          FrameImpairer::FlipBit(frame, d.corrupt_bit);
+        }
+        // The tap runs on the cycle clock, so delay magnitudes are cycles.
+        const Cycle at = now + static_cast<Cycle>(d.extra_delay_ps);
+        if (d.duplicate) {
+          emit(port, frame, at);
+        }
+        if (d.reorder && !held.has_value()) {
+          held = {port, std::move(frame)};  // next frame overtakes this one
+        } else {
+          emit(port, std::move(frame), at);
+          if (held.has_value()) {
+            emit(held->first, std::move(held->second), at);
+            held.reset();
+          }
+        }
+      }
+    }
+    registry.Tick(now);
+    target.Run(1);
+  }
+  if (held.has_value()) {
+    emit(held->first, std::move(held->second), target.sim().now());
+  }
+
+  // --- Recovery: disarm everything, drain, then fresh requests must flow. ---
+  registry.DisarmAll();
+  target.Run(300'000);  // covers the longest stall magnitude plus queue drain
+
+  const u64 in = pipe.injected() - base_in;
+  const u64 egress_count = pipe.egressed() - base_out;
+  out.egressed = egress_count;
+  out.pipeline_drops = pipe.rx_drops() + pipe.tx_drops() - base_pipe_drop;
+  out.service_dropped = c.dropped() - base_svc_drop;
+  out.faults_fired = registry.fired_total();
+  out.fault_digest = registry.LogDigest();
+  out.balanced =
+      in == out.injected &&
+      in == egress_count + out.pipeline_drops + out.service_dropped;
+
+  u64 digest = kFnvOffset;
+  for (const EgressFrame& frame : target.TakeEgress()) {
+    digest = (digest ^ frame.port) * kFnvPrime;
+    digest = DigestBytes(digest, frame.frame.bytes().data(), frame.frame.size());
+  }
+  out.egress_digest = digest;
+
+  usize probe_ok = 0;
+  constexpr usize kProbes = 10;
+  for (usize i = 0; i < kProbes; ++i) {
+    const u8 port = c.ports[i % c.ports.size()];
+    if (target.SendAndCollect(port, c.factory(frame_index + i, port), 100'000).ok()) {
+      ++probe_ok;
+    }
+  }
+  out.recovered = probe_ok >= 8;
+
+#ifdef EMU_ANALYSIS
+  out.hazards = monitor.reports().size();
+  if (out.hazards != 0) {
+    out.detail = monitor.Summary();
+  }
+#endif
+
+  out.ok = out.balanced && out.recovered && out.hazards == 0;
+  if (!out.balanced) {
+    out.detail += "counter imbalance: injected=" + std::to_string(in) +
+                  " egressed=" + std::to_string(egress_count) +
+                  " pipeline_drops=" + std::to_string(out.pipeline_drops) +
+                  " service_dropped=" + std::to_string(out.service_dropped) + "\n";
+  }
+  if (!out.recovered) {
+    out.detail += "recovery failed: " + std::to_string(probe_ok) + "/" +
+                  std::to_string(kProbes) + " probes answered\n";
+  }
+  if (opt.verbose) {
+    std::printf("%s", registry.Summary().c_str());
+  }
+  return out;
+}
+
+void PrintOutcome(const std::string& name, const SoakOutcome& out, u64 seed) {
+  std::printf(
+      "%-10s seed=%llu  frames=%llu (tap-dropped %llu)  egress=%llu  "
+      "drops[pipe %llu, svc %llu]  faults=%llu  hazards=%zu  %s%s\n",
+      name.c_str(), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(out.generated),
+      static_cast<unsigned long long>(out.tap_dropped),
+      static_cast<unsigned long long>(out.egressed),
+      static_cast<unsigned long long>(out.pipeline_drops),
+      static_cast<unsigned long long>(out.service_dropped),
+      static_cast<unsigned long long>(out.faults_fired), out.hazards,
+      out.balanced ? "balanced" : "IMBALANCED",
+      out.ok ? (out.recovered ? ", recovered" : "") : " -- FAIL");
+  if (!out.detail.empty()) {
+    std::printf("%s", out.detail.c_str());
+  }
+}
+
+int Usage() {
+  std::printf(
+      "usage: chaos_soak [--seed N] [--cycles N] [--faults \"<plan>\"]\n"
+      "                  [--replay] [--service <name>] [--verbose]\n"
+      "services: icmp_echo tcp_ping dns nat memcached (default: all)\n"
+      "plan: \"<point> oneshot <tick> | bernoulli <p> | burst <from> <until> <p>"
+      " [magnitude]\" entries, ';'-separated\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SoakOptions opt;
+  bool replay = false;
+  std::string only_service;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cycles" && i + 1 < argc) {
+      opt.cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      opt.plan_text = argv[++i];
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--service" && i + 1 < argc) {
+      only_service = argv[++i];
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  using CaseMaker = SoakCase (*)();
+  const std::pair<const char*, CaseMaker> cases[] = {
+      {"icmp_echo", MakeIcmpCase}, {"tcp_ping", MakeTcpPingCase},
+      {"dns", MakeDnsCase},        {"nat", MakeNatCase},
+      {"memcached", MakeMemcachedCase},
+  };
+
+  std::printf("chaos_soak: seed=%llu cycles=%llu%s\n",
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.cycles),
+              replay ? " (replay check)" : "");
+  bool all_ok = true;
+  bool matched = false;
+  for (const auto& [name, make] : cases) {
+    if (!only_service.empty() && only_service != name) {
+      continue;
+    }
+    matched = true;
+    const SoakOutcome first = RunSoak(make(), opt);
+    PrintOutcome(name, first, opt.seed);
+    all_ok = all_ok && first.ok;
+    if (replay && first.ok) {
+      const SoakOutcome second = RunSoak(make(), opt);
+      const bool same = second.fault_digest == first.fault_digest &&
+                        second.egress_digest == first.egress_digest;
+      std::printf("%-10s replay: %s (faults %016llx, egress %016llx)\n", name,
+                  same ? "bit-exact" : "DIVERGED",
+                  static_cast<unsigned long long>(second.fault_digest),
+                  static_cast<unsigned long long>(second.egress_digest));
+      all_ok = all_ok && same;
+    }
+  }
+  if (!matched) {
+    return Usage();
+  }
+  std::printf("chaos_soak: %s\n", all_ok ? "all invariants held" : "FAILURES");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace emu
+
+int main(int argc, char** argv) { return emu::Main(argc, argv); }

@@ -26,6 +26,8 @@
 
 #include "src/core/targets.h"
 #include "src/debug/controller.h"
+#include "src/fault/fault_registry.h"
+#include "src/fault/frame_impairer.h"
 #include "src/hdl/simulator.h"
 #include "src/ip/pearson_hash.h"
 #include "src/net/tcp.h"
@@ -250,6 +252,96 @@ ScenarioResult CheckPearsonIp(bool dot) {
   });
 }
 
+// --- Scenario: services under an armed fault plan (emu-fault) ---
+//
+// The design rule being checked: injected faults must surface as degradation
+// (drops, rejects, backpressure), never as kernel-rule violations. A service
+// that turns a FIFO stall into a blind Push or an SEU into an uninitialized
+// read fails here. `--faults <plan>` overrides the default plan.
+std::string g_fault_plan_text;  // set by --faults
+
+ScenarioResult CheckFaultInjection(bool dot) {
+  const std::string plan_text =
+      !g_fault_plan_text.empty()
+          ? g_fault_plan_text
+          : "ingress.drop bernoulli 0.02; ingress.corrupt bernoulli 0.02; "
+            "nat.table_full burst 3000 9000 0.5; nat.flows bernoulli 0.001; "
+            "memcached.queue* burst 3000 9000 0.02 150; "
+            "memcached.csum.fold oneshot 5000";
+  const auto plan = ParseFaultPlan(plan_text);
+  if (!plan.ok()) {
+    return ScenarioResult{1, "bad --faults plan: " + plan.status().ToString()};
+  }
+
+  // Drives `frames` frames through an impaired ingress tap with one registry
+  // tick per cycle — a miniature of examples/chaos_soak.
+  const auto soak = [&plan](FpgaTarget& target, Service& service,
+                            const std::function<Packet(usize)>& factory, u8 port) {
+    FaultRegistry registry(7);
+    service.RegisterFaultPoints(registry);
+    FrameImpairer tap(registry, "ingress");
+    registry.ArmPlan(*plan);
+    usize index = 0;
+    for (Cycle cycle = 0; cycle < 15'000; ++cycle) {
+      if (cycle % 97 == 0) {
+        Packet frame = factory(index++);
+        const FrameImpairer::Decision d = tap.Decide(target.sim().now(), frame.size());
+        if (!d.drop) {
+          if (d.corrupt_bit != FrameImpairer::kNoCorrupt) {
+            FrameImpairer::FlipBit(frame, d.corrupt_bit);
+          }
+          target.Inject(port, std::move(frame));
+        }
+      }
+      registry.Tick(target.sim().now());
+      target.Run(1);
+    }
+    registry.DisarmAll();
+    target.Run(100'000);
+    target.TakeEgress();
+  };
+
+  ScenarioResult result;
+  {
+    NatConfig config;
+    const MacAddress host_mac = MacAddress::Parse("02:00:00:00:11:10").value();
+    NatService service(config);
+    FpgaTarget target(service);
+    ScenarioResult nat = Observe(target.sim(), dot, [&] {
+      soak(target, service, [&](usize i) {
+        Packet frame = MakeUdpPacket(
+            {config.internal_mac, host_mac, Ipv4Address(192, 168, 1, 10),
+             Ipv4Address(8, 8, 8, 8), static_cast<u16>(5000 + i), 53},
+            std::vector<u8>{'p'});
+        frame.set_src_port(1);
+        return frame;
+      }, /*port=*/1);
+    });
+    result.findings += nat.findings;
+    result.summary = "nat: " + nat.summary;
+  }
+  {
+    MemcachedConfig config;
+    config.cores = 4;
+    MemcachedService service(config);
+    FpgaTarget target(service);
+    MemaslapConfig workload;
+    workload.server_mac = config.mac;
+    workload.server_ip = config.ip;
+    workload.key_space = 64;
+    MemaslapLoadgen loadgen(workload);
+    ScenarioResult mc = Observe(target.sim(), false, [&] {
+      for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+        target.SendAndCollect(0, loadgen.PrewarmFrame(i));
+      }
+      soak(target, service, [&](usize i) { return loadgen.WorkloadFrame(i); }, 0);
+    });
+    result.findings += mc.findings;
+    result.summary += " | memcached: " + mc.summary;
+  }
+  return result;
+}
+
 struct Scenario {
   const char* name;
   const char* description;
@@ -263,6 +355,7 @@ constexpr Scenario kScenarios[] = {
     {"memcached", "four-core memcached under memaslap load", CheckMemcached},
     {"debug_session", "directed memcached with direction packets", CheckDebugSession},
     {"pearson_ip", "PearsonHashIp ready/enable handshake", CheckPearsonIp},
+    {"fault_injection", "NAT + memcached under an armed fault plan", CheckFaultInjection},
 };
 
 }  // namespace
@@ -285,7 +378,12 @@ int main(int argc, char** argv) {
       dot_target = argv[++i];
       continue;
     }
-    std::fprintf(stderr, "usage: emu_check [--list] [--dot <design>]\n");
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      g_fault_plan_text = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: emu_check [--list] [--dot <design>] [--faults \"<plan>\"]\n");
     return 2;
   }
 

@@ -19,7 +19,18 @@ usize L4Offset(Packet& packet, IpProtocol protocol) {
 
 usize L4Length(Packet& packet) {
   Ipv4View ip(packet);
-  return ip.total_length() - ip.HeaderBytes();
+  // total_length comes off the wire: a corrupted frame can claim more bytes
+  // than the buffer holds (or fewer than its own header). Clamp to what is
+  // actually present so checksum walks never read past the frame.
+  const usize header = ip.HeaderBytes();
+  const usize claimed = ip.total_length();
+  if (claimed < header) {
+    return 0;
+  }
+  const usize offset = ip.payload_offset();
+  const usize available = packet.size() > offset ? packet.size() - offset : 0;
+  const usize length = claimed - header;
+  return length < available ? length : available;
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 
 namespace emu {
 
+class FaultRegistry;
+
 // The dataplane attachment handed to a service at instantiation time.
 struct Dataplane {
   SyncFifo<Packet>* rx = nullptr;
@@ -49,6 +51,14 @@ class Service {
   // Minimum cycles between accepting consecutive frames (pipelined II);
   // bounds throughput together with the bus and line rate.
   virtual Cycle InitiationInterval() const = 0;
+
+  // emu-fault opt-in: registers the service's named fault points (table
+  // exhaustion, checksum fold, ...) with `registry`. Called by fault-aware
+  // harnesses after Instantiate(); services without injectable state keep
+  // the default no-op. Never called on the bench paths, so services must not
+  // change behaviour merely because points exist — only when a plan arms
+  // them.
+  virtual void RegisterFaultPoints(FaultRegistry& registry) { (void)registry; }
 };
 
 }  // namespace emu

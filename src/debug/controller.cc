@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "src/fault/fault_registry.h"
 #include "src/netfpga/dataplane.h"
 
 namespace emu {
@@ -28,6 +29,15 @@ i64 PlacementNoise(u8 features, u64 salt) {
 
 DirectionController::DirectionController(std::string main_point)
     : main_point_(std::move(main_point)) {}
+
+void DirectionController::AttachFaultRegistry(FaultRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  machine_.BindVariable(
+      {"faults_fired", [registry] { return registry->fired_total(); }, nullptr});
+  machine_.BindVariable({"fault_seed", [registry] { return registry->seed(); }, nullptr});
+}
 
 std::string DirectionController::HandleCommandText(const std::string& text) {
   auto command = ParseDirectionCommand(text);

@@ -23,6 +23,8 @@
 
 namespace emu {
 
+class FaultRegistry;
+
 // Controller instruction-set features whose cost Table 5 profiles.
 enum class ControllerFeature : u8 {
   kRead = 1 << 0,       // +R: read a program variable
@@ -43,6 +45,11 @@ class DirectionController {
   bool FeatureEnabled(ControllerFeature feature) const {
     return (features_ & static_cast<u8>(feature)) != 0;
   }
+
+  // emu-fault: binds `faults_fired` and `fault_seed` so a director can read
+  // the injection state over direction packets (the §3.5 machinery observing
+  // chaos live). The registry must outlive the controller.
+  void AttachFaultRegistry(FaultRegistry* registry);
 
   // Parses + compiles + applies a command; returns the reply text.
   std::string HandleCommandText(const std::string& text);

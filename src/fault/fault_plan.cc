@@ -1,0 +1,150 @@
+#include "src/fault/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace emu {
+namespace {
+
+constexpr const char* kFaultClassNames[kFaultClassCount] = {
+    "LINK_DROP",   "LINK_CORRUPT", "LINK_DUPLICATE",   "LINK_REORDER", "LINK_DELAY",
+    "SEU_BITFLIP", "FIFO_STALL",   "TABLE_EXHAUSTION", "CHECKSUM_FOLD",
+};
+
+std::vector<std::string> Tokenize(const std::string& entry) {
+  std::vector<std::string> tokens;
+  std::istringstream in(entry);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') {
+      break;  // comment: rest of the entry is ignored
+    }
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseU64(const std::string& text, u64& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+bool ParseP(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty() && out >= 0.0 && out <= 1.0;
+}
+
+}  // namespace
+
+const char* FaultClassName(FaultClass cls) {
+  return kFaultClassNames[static_cast<usize>(cls)];
+}
+
+std::string FaultSchedule::ToString() const {
+  char buffer[96];
+  switch (mode) {
+    case Mode::kDisabled:
+      return "disabled";
+    case Mode::kOneShot:
+      std::snprintf(buffer, sizeof(buffer), "oneshot %llu",
+                    static_cast<unsigned long long>(at));
+      break;
+    case Mode::kBernoulli:
+      std::snprintf(buffer, sizeof(buffer), "bernoulli %g", probability);
+      break;
+    case Mode::kBurst:
+      std::snprintf(buffer, sizeof(buffer), "burst %llu %llu %g",
+                    static_cast<unsigned long long>(from),
+                    static_cast<unsigned long long>(until), probability);
+      break;
+  }
+  std::string text = buffer;
+  if (magnitude != 0) {
+    std::snprintf(buffer, sizeof(buffer), " %llu",
+                  static_cast<unsigned long long>(magnitude));
+    text += buffer;
+  }
+  return text;
+}
+
+std::string FaultEvent::ToString() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "@%llu ", static_cast<unsigned long long>(tick));
+  std::string text = buffer;
+  text += FaultClassName(cls);
+  text += " [" + site + "]";
+  std::snprintf(buffer, sizeof(buffer), " detail=%llu",
+                static_cast<unsigned long long>(detail));
+  text += buffer;
+  return text;
+}
+
+bool FaultPatternMatches(const std::string& pattern, const std::string& name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0, pattern.size() - 1) == 0;
+  }
+  return pattern == name;
+}
+
+Expected<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::string entry;
+  // Entries split on newline or ';' so a plan fits a single CLI argument.
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ';') {
+      c = '\n';
+    }
+  }
+  std::istringstream lines(normalized);
+  while (std::getline(lines, entry)) {
+    const std::vector<std::string> tokens = Tokenize(entry);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens.size() < 2) {
+      return InvalidArgument("fault plan entry needs '<point> <mode> ...': " + entry);
+    }
+    FaultPlanEntry parsed;
+    parsed.pattern = tokens[0];
+    const std::string& mode = tokens[1];
+    usize next = 2;  // first operand after the mode
+    if (mode == "oneshot") {
+      if (tokens.size() < 3 || !ParseU64(tokens[2], parsed.schedule.at)) {
+        return InvalidArgument("oneshot needs a tick: " + entry);
+      }
+      parsed.schedule.mode = FaultSchedule::Mode::kOneShot;
+      next = 3;
+    } else if (mode == "bernoulli") {
+      if (tokens.size() < 3 || !ParseP(tokens[2], parsed.schedule.probability)) {
+        return InvalidArgument("bernoulli needs a probability in [0,1]: " + entry);
+      }
+      parsed.schedule.mode = FaultSchedule::Mode::kBernoulli;
+      next = 3;
+    } else if (mode == "burst") {
+      if (tokens.size() < 5 || !ParseU64(tokens[2], parsed.schedule.from) ||
+          !ParseU64(tokens[3], parsed.schedule.until) ||
+          !ParseP(tokens[4], parsed.schedule.probability) ||
+          parsed.schedule.from >= parsed.schedule.until) {
+        return InvalidArgument("burst needs '<from> <until> <p>' with from < until: " +
+                               entry);
+      }
+      parsed.schedule.mode = FaultSchedule::Mode::kBurst;
+      next = 5;
+    } else {
+      return InvalidArgument("unknown schedule mode '" + mode + "': " + entry);
+    }
+    if (tokens.size() > next) {
+      if (tokens.size() > next + 1 || !ParseU64(tokens[next], parsed.schedule.magnitude)) {
+        return InvalidArgument("trailing operand must be a single magnitude: " + entry);
+      }
+    }
+    plan.entries.push_back(std::move(parsed));
+  }
+  return plan;
+}
+
+}  // namespace emu

@@ -1,0 +1,180 @@
+#include "src/fault/fault_registry.h"
+
+#include <sstream>
+
+namespace emu {
+namespace {
+
+// FNV-1a, used both to derive per-point RNG seeds and for log digests.
+// Deliberately not std::hash: the stream a point draws from must be stable
+// across builds and standard libraries for replays to be portable.
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64 Fnv1a(u64 h, const void* data, usize size) {
+  const auto* bytes = static_cast<const u8*>(data);
+  for (usize i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+u64 HashName(const std::string& name) {
+  return Fnv1a(kFnvOffset, name.data(), name.size());
+}
+
+}  // namespace
+
+bool FaultPoint::Sample(u64 tick, u64 detail) {
+  ++opportunities_;
+  bool fire = false;
+  switch (schedule_.mode) {
+    case FaultSchedule::Mode::kDisabled:
+      break;
+    case FaultSchedule::Mode::kOneShot:
+      if (!oneshot_done_ && tick >= schedule_.at) {
+        oneshot_done_ = true;
+        fire = true;
+      }
+      break;
+    case FaultSchedule::Mode::kBernoulli:
+      fire = rng_.NextBool(schedule_.probability);
+      break;
+    case FaultSchedule::Mode::kBurst:
+      if (tick >= schedule_.from && tick < schedule_.until) {
+        fire = rng_.NextBool(schedule_.probability);
+      }
+      break;
+  }
+  if (fire) {
+    ++fired_;
+    registry_.LogFire(*this, tick, detail);
+  }
+  return fire;
+}
+
+FaultPoint* FaultRegistry::Register(const std::string& name, FaultClass cls) {
+  if (FaultPoint* existing = Find(name)) {
+    return existing;
+  }
+  points_.push_back(
+      std::make_unique<FaultPoint>(*this, name, cls, seed_ ^ HashName(name)));
+  FaultPoint* point = points_.back().get();
+  // A pattern armed before this point existed still applies to it; later
+  // entries win so plans read top-to-bottom like overrides.
+  for (const FaultPlanEntry& entry : armed_patterns_) {
+    if (FaultPatternMatches(entry.pattern, name)) {
+      point->schedule_ = entry.schedule;
+      point->oneshot_done_ = false;
+    }
+  }
+  return point;
+}
+
+FaultPoint* FaultRegistry::Find(const std::string& name) {
+  for (const auto& point : points_) {
+    if (point->name() == name) {
+      return point.get();
+    }
+  }
+  return nullptr;
+}
+
+FaultPoint* FaultRegistry::RegisterSeuTarget(const std::string& name, u64 bit_count,
+                                             std::function<void(u64 bit)> flip) {
+  FaultPoint* point = Register(name, FaultClass::kSeuBitFlip);
+  callback_targets_.push_back({point, bit_count, std::move(flip)});
+  return point;
+}
+
+FaultPoint* FaultRegistry::RegisterStallTarget(const std::string& name,
+                                               std::function<void(u64 cycles)> stall) {
+  FaultPoint* point = Register(name, FaultClass::kFifoStall);
+  callback_targets_.push_back({point, 0, std::move(stall)});
+  return point;
+}
+
+usize FaultRegistry::Tick(u64 tick) {
+  usize fired = 0;
+  for (CallbackTarget& target : callback_targets_) {
+    FaultPoint& point = *target.point;
+    if (!point.armed()) {
+      continue;  // disarmed targets draw nothing: bit-identical to no registry
+    }
+    u64 detail = 0;
+    if (target.detail_bound > 0) {
+      detail = point.NextDetail(target.detail_bound);
+    } else {
+      detail = point.magnitude();
+    }
+    if (point.Sample(tick, detail)) {
+      target.apply(detail);
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+usize FaultRegistry::Arm(const std::string& pattern, const FaultSchedule& schedule) {
+  usize matched = 0;
+  for (const auto& point : points_) {
+    if (FaultPatternMatches(pattern, point->name())) {
+      point->schedule_ = schedule;
+      point->oneshot_done_ = false;
+      ++matched;
+    }
+  }
+  armed_patterns_.push_back({pattern, schedule});
+  return matched;
+}
+
+usize FaultRegistry::ArmPlan(const FaultPlan& plan) {
+  usize matched = 0;
+  for (const FaultPlanEntry& entry : plan.entries) {
+    matched += Arm(entry.pattern, entry.schedule);
+  }
+  return matched;
+}
+
+void FaultRegistry::DisarmAll() {
+  armed_patterns_.clear();
+  for (const auto& point : points_) {
+    point->schedule_ = FaultSchedule{};
+    point->oneshot_done_ = false;
+  }
+}
+
+void FaultRegistry::LogFire(const FaultPoint& point, u64 tick, u64 detail) {
+  log_.push_back({tick, point.name(), point.cls(), detail});
+}
+
+u64 FaultRegistry::LogDigest() const {
+  u64 h = kFnvOffset;
+  for (const FaultEvent& event : log_) {
+    h = Fnv1a(h, &event.tick, sizeof(event.tick));
+    h = Fnv1a(h, event.site.data(), event.site.size());
+    const u8 cls = static_cast<u8>(event.cls);
+    h = Fnv1a(h, &cls, sizeof(cls));
+    h = Fnv1a(h, &event.detail, sizeof(event.detail));
+  }
+  return h;
+}
+
+std::string FaultRegistry::Summary() const {
+  std::ostringstream out;
+  out << "fault registry: seed=" << seed_ << " points=" << points_.size()
+      << " injections=" << log_.size() << "\n";
+  for (const auto& point : points_) {
+    if (point->opportunities() == 0 && !point->armed()) {
+      continue;
+    }
+    out << "  " << point->name() << " [" << FaultClassName(point->cls())
+        << "] schedule=" << point->schedule().ToString()
+        << " opportunities=" << point->opportunities() << " fired=" << point->fired()
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace emu

@@ -1,0 +1,62 @@
+#include "src/fault/frame_impairer.h"
+
+namespace emu {
+
+FrameImpairer::FrameImpairer(FaultRegistry& registry, const std::string& prefix)
+    : drop_(registry.Register(prefix + ".drop", FaultClass::kLinkDrop)),
+      corrupt_(registry.Register(prefix + ".corrupt", FaultClass::kLinkCorrupt)),
+      dup_(registry.Register(prefix + ".dup", FaultClass::kLinkDuplicate)),
+      reorder_(registry.Register(prefix + ".reorder", FaultClass::kLinkReorder)),
+      delay_(registry.Register(prefix + ".delay", FaultClass::kLinkDelay)) {}
+
+FrameImpairer::Decision FrameImpairer::Decide(u64 tick, usize frame_bytes) {
+  Decision decision;
+  ++frames_;
+  // Drop preempts everything else: a vanished frame cannot also be corrupted.
+  // Each point samples only if reached, so disarmed plans draw nothing.
+  if (drop_->armed() && drop_->Sample(tick)) {
+    decision.drop = true;
+    ++dropped_;
+    return decision;
+  }
+  if (corrupt_->armed() && frame_bytes > 0) {
+    const u64 bit = corrupt_->NextDetail(static_cast<u64>(frame_bytes) * 8);
+    if (corrupt_->Sample(tick, bit)) {
+      decision.corrupt_bit = bit;
+      ++corrupted_;
+    }
+  }
+  if (dup_->armed() && dup_->Sample(tick)) {
+    decision.duplicate = true;
+    ++duplicated_;
+  }
+  if (reorder_->armed() && reorder_->Sample(tick)) {
+    decision.reorder = true;
+    ++reordered_;
+  }
+  if (delay_->armed()) {
+    const u64 bound = delay_->magnitude() > 0 ? delay_->magnitude() : kDefaultDelayPs;
+    const u64 extra = delay_->NextDetail(bound + 1);
+    if (delay_->Sample(tick, extra)) {
+      decision.extra_delay_ps = extra;
+      ++delayed_;
+    }
+  }
+  return decision;
+}
+
+void FrameImpairer::FlipBit(Packet& frame, u64 bit) {
+  if (frame.empty()) {
+    return;
+  }
+  const usize byte = static_cast<usize>(bit / 8) % frame.size();
+  frame[byte] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+void FrameImpairer::Truncate(Packet& frame, usize bytes) {
+  if (bytes < frame.size()) {
+    frame.Resize(bytes);
+  }
+}
+
+}  // namespace emu

@@ -1,0 +1,78 @@
+// FrameImpairer: per-frame link impairment decisions.
+//
+// Owns the five link-class fault points for one direction of traffic —
+// `<prefix>.drop`, `<prefix>.corrupt`, `<prefix>.dup`, `<prefix>.reorder`,
+// `<prefix>.delay` — and turns them into a per-frame Decision the carrier
+// (a Link, or the chaos harness's ingress tap) executes. The impairer only
+// decides; the mechanics (rescheduling, re-sending) stay with the carrier,
+// which knows its own timing model.
+//
+// Corruption is bit-granular: the decision names one bit of the frame to
+// flip, drawn from the point's own stream so it replays with the seed.
+// Delay jitter is uniform in [0, magnitude] ps (magnitude from the armed
+// schedule; a default is used when the plan gives none).
+#ifndef SRC_FAULT_FRAME_IMPAIRER_H_
+#define SRC_FAULT_FRAME_IMPAIRER_H_
+
+#include <string>
+
+#include "src/fault/fault_registry.h"
+#include "src/net/packet.h"
+
+namespace emu {
+
+class FrameImpairer {
+ public:
+  static constexpr u64 kNoCorrupt = ~0ull;
+  // Jitter bound when `<prefix>.delay` is armed without a magnitude: 100 ns.
+  static constexpr u64 kDefaultDelayPs = 100'000;
+
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;          // hold back so a later frame overtakes
+    u64 corrupt_bit = kNoCorrupt;  // bit index to flip, or kNoCorrupt
+    u64 extra_delay_ps = 0;
+
+    bool Impaired() const {
+      return drop || duplicate || reorder || corrupt_bit != kNoCorrupt ||
+             extra_delay_ps != 0;
+    }
+  };
+
+  FrameImpairer(FaultRegistry& registry, const std::string& prefix);
+
+  // One frame's worth of sampling at `tick` (ps for links, cycles for the
+  // harness tap). `frame_bytes` bounds the corruptible bit range. Updates the
+  // per-class counters below.
+  Decision Decide(u64 tick, usize frame_bytes);
+
+  // Corruption/truncation mechanics, shared with the robustness fuzzers so
+  // "corrupted by the fault layer" means the same thing in tests and soaks.
+  static void FlipBit(Packet& frame, u64 bit);
+  static void Truncate(Packet& frame, usize bytes);
+
+  u64 frames() const { return frames_; }
+  u64 dropped() const { return dropped_; }
+  u64 corrupted() const { return corrupted_; }
+  u64 duplicated() const { return duplicated_; }
+  u64 reordered() const { return reordered_; }
+  u64 delayed() const { return delayed_; }
+
+ private:
+  FaultPoint* drop_;
+  FaultPoint* corrupt_;
+  FaultPoint* dup_;
+  FaultPoint* reorder_;
+  FaultPoint* delay_;
+  u64 frames_ = 0;
+  u64 dropped_ = 0;
+  u64 corrupted_ = 0;
+  u64 duplicated_ = 0;
+  u64 reordered_ = 0;
+  u64 delayed_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_FAULT_FRAME_IMPAIRER_H_

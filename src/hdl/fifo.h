@@ -13,6 +13,7 @@
 #ifndef SRC_HDL_FIFO_H_
 #define SRC_HDL_FIFO_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -60,8 +61,18 @@ class SyncFifo : public Clocked {
   const ResourceUsage& resources() const { return resources_; }
 
   // Committed occupancy minus same-cycle pops (what the consumer side sees).
-  usize Size() const { return items_.size() - pop_count_; }
+  // A stalled FIFO reads as empty: the consumer port is frozen.
+  usize Size() const { return Stalled() ? 0 : items_.size() - pop_count_; }
   bool Empty() const { return Size() == 0; }
+
+  // Fault injection (emu-fault): freezes both ports for `cycles` cycles —
+  // producers see full, consumers see empty; contents are preserved. A
+  // CanPush()-honouring producer backpressures through the stall; one that
+  // pushes blind surfaces as LOSTBACKPRESSURE in analysis builds.
+  void InjectStall(Cycle cycles) {
+    stall_until_ = std::max(stall_until_, sim_.now() + static_cast<Cycle>(cycles));
+  }
+  bool Stalled() const { return sim_.now() < stall_until_; }
 
   bool CanPush() const {
 #ifdef EMU_ANALYSIS
@@ -123,7 +134,7 @@ class SyncFifo : public Clocked {
 
  private:
   bool CanPushRaw() const {
-    return items_.size() - pop_count_ + pending_push_.size() < depth_;
+    return !Stalled() && items_.size() - pop_count_ + pending_push_.size() < depth_;
   }
 
   // Underflow/misuse is UB in RTL terms; stop with an attributable message
@@ -142,6 +153,7 @@ class SyncFifo : public Clocked {
   std::deque<T> items_;
   std::vector<T> pending_push_;
   usize pop_count_ = 0;
+  Cycle stall_until_ = 0;
 };
 
 }  // namespace emu

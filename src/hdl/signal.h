@@ -17,6 +17,7 @@
 #define SRC_HDL_SIGNAL_H_
 
 #include <string>
+#include <type_traits>
 
 #include "src/hdl/simulator.h"
 
@@ -77,6 +78,19 @@ class Reg : public Clocked {
   // Read of the pending next-state; occasionally needed by testbenches.
   // Deliberately unhooked: it is a simulation artifact, not a design signal.
   const T& Pending() const { return next_; }
+
+  // SEU-style fault injection (emu-fault): flips one bit of the stored
+  // value. Both current and pending state flip — Commit() copies next_ over
+  // current_ unconditionally, so flipping only current_ would self-heal on
+  // the very next edge instead of persisting like a real upset. Integral T
+  // only; `bit` is taken modulo the value width.
+  void InjectBitFlip(usize bit)
+    requires std::is_integral_v<T>
+  {
+    const T mask = static_cast<T>(T{1} << (bit % (sizeof(T) * 8)));
+    current_ = static_cast<T>(current_ ^ mask);
+    next_ = static_cast<T>(next_ ^ mask);
+  }
 
   void Commit() override { current_ = next_; }
 

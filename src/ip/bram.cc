@@ -6,6 +6,7 @@ namespace emu {
 
 Bram::Bram(Simulator& sim, std::string name, usize words, usize word_bits)
     : Module(sim, std::move(name)),
+      word_bits_(word_bits),
       word_mask_(word_bits >= 64 ? ~u64{0} : (u64{1} << word_bits) - 1),
       data_(words, 0) {
   assert(words > 0);
@@ -25,6 +26,12 @@ u64 Bram::Read(usize addr) const {
 void Bram::Write(usize addr, u64 value) {
   assert(addr < data_.size());
   pending_.push_back(PendingWrite{addr, value & word_mask_});
+}
+
+void Bram::InjectBitFlip(u64 bit) {
+  const usize addr = static_cast<usize>(bit / word_bits_) % data_.size();
+  const usize in_word = static_cast<usize>(bit % word_bits_);
+  data_[addr] = (data_[addr] ^ (u64{1} << in_word)) & word_mask_;
 }
 
 void Bram::Commit() {

@@ -21,10 +21,16 @@ class Bram : public Module, public Clocked {
   ~Bram() override;
 
   usize words() const { return data_.size(); }
+  usize word_bits() const { return word_bits_; }
   Cycle read_latency() const { return kReadLatency; }
 
   u64 Read(usize addr) const;
   void Write(usize addr, u64 value);
+
+  // SEU-style fault injection (emu-fault): flips one committed bit. `bit`
+  // indexes the whole array (addr = bit / word_bits, bit-in-word = bit %
+  // word_bits), matching the bit_count an SEU target registers.
+  void InjectBitFlip(u64 bit);
 
   void Commit() override;
 
@@ -34,6 +40,7 @@ class Bram : public Module, public Clocked {
     u64 value;
   };
 
+  usize word_bits_;
   u64 word_mask_;
   std::vector<u64> data_;
   std::vector<PendingWrite> pending_;

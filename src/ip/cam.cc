@@ -40,6 +40,18 @@ void Cam::Invalidate(usize index) {
   pending_.push_back(PendingWrite{index, Slot{}});
 }
 
+void Cam::InjectBitFlip(u64 bit) {
+  const usize slot_bits = 1 + key_bits_;
+  const usize index = static_cast<usize>(bit / slot_bits) % slots_.size();
+  const usize in_slot = static_cast<usize>(bit % slot_bits);
+  Slot& slot = slots_[index];
+  if (in_slot == 0) {
+    slot.valid = !slot.valid;
+  } else {
+    slot.key = (slot.key ^ (u64{1} << (in_slot - 1))) & key_mask_;
+  }
+}
+
 void Cam::Commit() {
   for (const PendingWrite& write : pending_) {
     slots_[write.index] = write.slot;

@@ -58,6 +58,15 @@ class Cam : public Module, public CamInterface, public Clocked {
 
   bool ValidAt(usize index) const { return slots_[index].valid; }
 
+  // SEU-style fault injection (emu-fault): flips one committed bit of one
+  // slot. Per-slot layout: bit 0 = valid flag, bits [1, 1+key_bits) = key;
+  // `bit` indexes the whole array in (1 + key_bits)-bit slots. A flipped
+  // valid bit drops (or resurrects) an entry; a flipped key bit makes
+  // lookups miss — both realistic CAM upset modes.
+  void InjectBitFlip(u64 bit);
+  // Bits addressable by InjectBitFlip, for SEU-target registration.
+  u64 state_bits() const { return static_cast<u64>(slots_.size()) * (1 + key_bits_); }
+
   void Commit() override;
 
  private:

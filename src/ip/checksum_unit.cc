@@ -1,5 +1,7 @@
 #include "src/ip/checksum_unit.h"
 
+#include "src/fault/fault_registry.h"
+
 namespace emu {
 
 ChecksumUnit::ChecksumUnit(Simulator& sim, std::string name) : Module(sim, std::move(name)) {
@@ -36,9 +38,17 @@ void ChecksumUnit::Add32(u32 value) {
   Add16(static_cast<u16>(value));
 }
 
+void ChecksumUnit::AttachFault(FaultRegistry& registry, const std::string& name) {
+  fold_fault_ = registry.Register(name + ".fold", FaultClass::kChecksumFold);
+}
+
 u16 ChecksumUnit::Result() const {
   u64 sum = sum_;
-  if (inject_fold_bug_) {
+  bool skip_fold = inject_fold_bug_;
+  if (!skip_fold && fold_fault_ != nullptr && fold_fault_->armed()) {
+    skip_fold = fold_fault_->Sample(sim().now());
+  }
+  if (skip_fold) {
     // The §5.5 bug: take the low 16 bits without folding the carries back
     // in. Correct for short payloads, wrong as soon as the sum overflows
     // 16 bits — exactly the kind of bug invisible in small simulations.

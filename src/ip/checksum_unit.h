@@ -9,11 +9,15 @@
 #define SRC_IP_CHECKSUM_UNIT_H_
 
 #include <span>
+#include <string>
 
 #include "src/common/types.h"
 #include "src/hdl/module.h"
 
 namespace emu {
+
+class FaultPoint;
+class FaultRegistry;
 
 class ChecksumUnit : public Module {
  public:
@@ -35,10 +39,17 @@ class ChecksumUnit : public Module {
   void InjectFoldBug(bool enabled) { inject_fold_bug_ = enabled; }
   bool fold_bug_injected() const { return inject_fold_bug_; }
 
+  // emu-fault generalisation of the §5.5 flag: registers `<name>.fold` in
+  // the registry. While the point's schedule says fire, Result() computes
+  // the buggy (unfolded) sum — same effect as InjectFoldBug(true), but
+  // driven by a plan and logged with cycle + seed like any other fault.
+  void AttachFault(FaultRegistry& registry, const std::string& name);
+
  private:
   u64 sum_ = 0;
   bool high_byte_ = true;  // big-endian byte pairing state
   bool inject_fold_bug_ = false;
+  FaultPoint* fold_fault_ = nullptr;
 };
 
 }  // namespace emu

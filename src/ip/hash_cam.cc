@@ -59,6 +59,17 @@ bool HashCam::Write(u64 key, u64 index) {
   return false;
 }
 
+void HashCam::InjectBitFlip(u64 bit) {
+  const usize index = static_cast<usize>(bit / 65) % table_.size();
+  const usize in_bucket = static_cast<usize>(bit % 65);
+  Bucket& bucket = table_[index];
+  if (in_bucket == 0) {
+    bucket.valid = !bucket.valid;
+  } else {
+    bucket.key ^= u64{1} << (in_bucket - 1);
+  }
+}
+
 void HashCam::Erase(u64 key) {
   for (usize probe = 0; probe < kProbeLimit; ++probe) {
     Bucket& bucket = table_[Slot(key, probe)];

@@ -39,6 +39,14 @@ class HashCam : public Module {
   // Removes the binding for `key` if present.
   void Erase(u64 key);
 
+  // SEU-style fault injection (emu-fault): flips one committed bit of one
+  // bucket. Per-bucket layout: bit 0 = valid flag, bits [1, 65) = key. A
+  // valid flip drops or resurrects a binding; a key flip makes lookups miss
+  // — services must degrade (miss, NXDOMAIN, reject), never crash.
+  void InjectBitFlip(u64 bit);
+  // Bits addressable by InjectBitFlip, for SEU-target registration.
+  u64 state_bits() const { return static_cast<u64>(table_.size()) * 65; }
+
  private:
   struct Bucket {
     bool valid = false;

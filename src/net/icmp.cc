@@ -22,13 +22,20 @@ void IcmpView::set_identifier(u16 value) { BitUtil::Set16(packet_.bytes(), offse
 u16 IcmpView::sequence() const { return BitUtil::Get16(packet_.bytes(), offset_ + 6); }
 void IcmpView::set_sequence(u16 value) { BitUtil::Set16(packet_.bytes(), offset_ + 6, value); }
 
+// icmp_length is derived from the wire IP header; clamp to the bytes
+// actually present so a corrupted length never walks past the frame.
+usize IcmpView::BoundedLength(usize icmp_length) const {
+  const usize available = packet_.size() > offset_ ? packet_.size() - offset_ : 0;
+  return icmp_length < available ? icmp_length : available;
+}
+
 void IcmpView::UpdateChecksum(usize icmp_length) {
   set_checksum(0);
-  set_checksum(InternetChecksum(packet_.View(offset_, icmp_length)));
+  set_checksum(InternetChecksum(packet_.View(offset_, BoundedLength(icmp_length))));
 }
 
 bool IcmpView::ChecksumValid(usize icmp_length) const {
-  return InternetChecksum(packet_.View(offset_, icmp_length)) == 0;
+  return InternetChecksum(packet_.View(offset_, BoundedLength(icmp_length))) == 0;
 }
 
 Packet MakeIcmpEchoRequest(const IcmpEchoSpec& spec, std::span<const u8> payload) {

@@ -42,6 +42,8 @@ class IcmpView {
   bool ChecksumValid(usize icmp_length) const;
 
  private:
+  usize BoundedLength(usize icmp_length) const;
+
   Packet& packet_;
   usize offset_;
 };

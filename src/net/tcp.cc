@@ -38,16 +38,23 @@ void TcpView::set_urgent_pointer(u16 value) {
   BitUtil::Set16(packet_.bytes(), offset_ + 18, value);
 }
 
+// segment_length is derived from wire header fields; clamp to the bytes
+// actually present so a corrupted length never walks past the frame.
+usize TcpView::BoundedLength(usize segment_length) const {
+  const usize available = packet_.size() > offset_ ? packet_.size() - offset_ : 0;
+  return segment_length < available ? segment_length : available;
+}
+
 void TcpView::UpdateChecksum(const Ipv4View& ip, usize segment_length) {
   set_checksum(0);
   set_checksum(TransportChecksum(ip.source(), ip.destination(),
                                  static_cast<u8>(IpProtocol::kTcp),
-                                 packet_.View(offset_, segment_length)));
+                                 packet_.View(offset_, BoundedLength(segment_length))));
 }
 
 bool TcpView::ChecksumValid(const Ipv4View& ip, usize segment_length) const {
   return TransportChecksum(ip.source(), ip.destination(), static_cast<u8>(IpProtocol::kTcp),
-                           packet_.View(offset_, segment_length)) == 0;
+                           packet_.View(offset_, BoundedLength(segment_length))) == 0;
 }
 
 Packet MakeTcpSegment(const TcpSegmentSpec& spec, std::span<const u8> payload) {

@@ -63,6 +63,8 @@ class TcpView {
   bool ChecksumValid(const Ipv4View& ip, usize segment_length) const;
 
  private:
+  usize BoundedLength(usize segment_length) const;
+
   Packet& packet_;
   usize offset_;
 };

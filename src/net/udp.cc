@@ -19,18 +19,35 @@ void UdpView::set_length(u16 value) { BitUtil::Set16(packet_.bytes(), offset_ + 
 u16 UdpView::checksum() const { return BitUtil::Get16(packet_.bytes(), offset_ + 6); }
 void UdpView::set_checksum(u16 value) { BitUtil::Set16(packet_.bytes(), offset_ + 6, value); }
 
+// The length field comes off the wire: a corrupted datagram can claim more
+// bytes than the frame holds (or fewer than its own header). Every span
+// derived from it is clamped to what is actually present.
+usize UdpView::BoundedLength() const {
+  const usize available = packet_.size() > offset_ ? packet_.size() - offset_ : 0;
+  const usize claimed = length();
+  return claimed < available ? claimed : available;
+}
+
 std::span<const u8> UdpView::Payload() const {
-  return packet_.View(offset_ + kUdpHeaderSize, length() - kUdpHeaderSize);
+  const usize len = BoundedLength();
+  if (len <= kUdpHeaderSize) {
+    return {};
+  }
+  return packet_.View(offset_ + kUdpHeaderSize, len - kUdpHeaderSize);
 }
 
 std::span<u8> UdpView::MutablePayload() {
-  return packet_.MutableView(offset_ + kUdpHeaderSize, length() - kUdpHeaderSize);
+  const usize len = BoundedLength();
+  if (len <= kUdpHeaderSize) {
+    return {};
+  }
+  return packet_.MutableView(offset_ + kUdpHeaderSize, len - kUdpHeaderSize);
 }
 
 void UdpView::UpdateChecksum(const Ipv4View& ip) {
   set_checksum(0);
   u16 sum = TransportChecksum(ip.source(), ip.destination(), static_cast<u8>(IpProtocol::kUdp),
-                              packet_.View(offset_, length()));
+                              packet_.View(offset_, BoundedLength()));
   if (sum == 0) {
     sum = 0xffff;  // RFC 768: transmitted zero means "no checksum"
   }
@@ -42,7 +59,7 @@ bool UdpView::ChecksumValid(const Ipv4View& ip) const {
     return true;  // sender opted out
   }
   return TransportChecksum(ip.source(), ip.destination(), static_cast<u8>(IpProtocol::kUdp),
-                           packet_.View(offset_, length())) == 0;
+                           packet_.View(offset_, BoundedLength())) == 0;
 }
 
 Packet MakeUdpPacket(const UdpPacketSpec& spec, std::span<const u8> payload) {

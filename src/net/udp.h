@@ -26,6 +26,9 @@ class UdpView {
 
   u16 length() const;
   void set_length(u16 value);
+  // length() clamped to the bytes actually present after offset — safe to
+  // span even when the wire length field is corrupted.
+  usize BoundedLength() const;
 
   u16 checksum() const;
   void set_checksum(u16 value);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/protocol_wrappers.h"
+#include "src/fault/fault_registry.h"
 #include "src/ip/pearson_hash.h"
 #include "src/net/udp.h"
 #include "src/netfpga/axis.h"
@@ -59,6 +60,14 @@ void DnsService::AttachController(DirectionController* controller) {
   machine.BindVariable({"resolved", [this] { return resolved_; }, nullptr});
   machine.BindVariable({"nxdomain", [this] { return nxdomain_; }, nullptr});
   machine.BindVariable({"last_id", [this] { return last_query_id_; }, nullptr});
+  machine.BindVariable({"dns_dropped", [this] { return dropped_; }, nullptr});
+}
+
+void DnsService::RegisterFaultPoints(FaultRegistry& registry) {
+  if (table_ != nullptr) {
+    registry.RegisterSeuTarget("dns.table", table_->state_bits(),
+                               [this](u64 bit) { table_->InjectBitFlip(bit); });
+  }
 }
 
 Status DnsService::AddRecord(const std::string& name, Ipv4Address address) {

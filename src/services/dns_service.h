@@ -60,6 +60,11 @@ class DnsService : public Service {
   // variables and the main-loop extension point). Call before Instantiate().
   void AttachController(DirectionController* controller);
 
+  // emu-fault: registers `dns.table` as an SEU target (bit flips in the
+  // resolution HashCam — corrupted entries degrade to NXDOMAIN, never
+  // crash). Call after Instantiate().
+  void RegisterFaultPoints(FaultRegistry& registry) override;
+
  private:
   struct Record {
     std::string name;

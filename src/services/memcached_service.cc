@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/protocol_wrappers.h"
+#include "src/fault/fault_registry.h"
 #include "src/ip/pearson_hash.h"
 #include "src/net/udp.h"
 #include "src/netfpga/axis.h"
@@ -92,9 +93,23 @@ void MemcachedService::AttachController(DirectionController* controller) {
       {"checksum", [this] { return static_cast<u64>(last_checksum_); }, nullptr});
   machine.BindVariable({"gets", [this] { return gets_; }, nullptr});
   machine.BindVariable({"sets", [this] { return sets_; }, nullptr});
+  machine.BindVariable({"mc_dropped", [this] { return dropped_; }, nullptr});
   machine.BindVariable({"inject_bug",
                         [this] { return checksum_bug_injected() ? u64{1} : u64{0}; },
                         [this](u64 v) { InjectChecksumBug(v != 0); }});
+}
+
+void MemcachedService::RegisterFaultPoints(FaultRegistry& registry) {
+  if (checksum_unit_ != nullptr) {
+    checksum_unit_->AttachFault(registry, "memcached.csum");
+  }
+  for (usize core = 0; core < cores_.size(); ++core) {
+    SyncFifo<Packet>* queue = cores_[core].queue.get();
+    registry.RegisterStallTarget("memcached.queue" + std::to_string(core),
+                                 [queue](u64 cycles) {
+                                   queue->InjectStall(static_cast<Cycle>(cycles));
+                                 });
+  }
 }
 
 Cycle MemcachedService::StoreAccessCycles(usize core, usize bytes) {

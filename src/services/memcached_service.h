@@ -83,6 +83,11 @@ class MemcachedService : public Service {
   // the main-loop extension point. Call before Instantiate().
   void AttachController(DirectionController* controller);
 
+  // emu-fault: generalises the §5.5 flag into plan-driven points —
+  // `memcached.csum.fold` (the carry-fold bug) plus one FIFO-stall target
+  // per worker queue (`memcached.queue<i>`). Call after Instantiate().
+  void RegisterFaultPoints(FaultRegistry& registry) override;
+
   u64 gets() const { return gets_; }
   u64 get_hits() const { return get_hits_; }
   u64 sets() const { return sets_; }

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/core/protocol_wrappers.h"
+#include "src/debug/controller.h"
+#include "src/fault/fault_registry.h"
 #include "src/ip/pearson_hash.h"
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
@@ -42,7 +44,11 @@ ResourceUsage NatService::Resources() const {
 }
 
 bool NatService::Expired(const Mapping& mapping) const {
+  // A mapping touched this very cycle is never expired: a flow whose packet
+  // is mid-rewrite must not be reclaimed under it (the half-rewritten
+  // translation bug).
   return config_.mapping_timeout_cycles != 0 && mapping.used &&
+         sim_->now() > mapping.last_used &&
          sim_->now() - mapping.last_used > config_.mapping_timeout_cycles;
 }
 
@@ -50,6 +56,51 @@ void NatService::Reclaim(usize slot) {
   flow_table_->Erase(mappings_[slot].flow_key);
   mappings_[slot].used = false;
   --active_mappings_;
+}
+
+std::optional<usize> NatService::FindIdleVictim() const {
+  if (config_.exhaustion_evict_idle_cycles == 0) {
+    return std::nullopt;
+  }
+  std::optional<usize> victim;
+  Cycle oldest = 0;
+  for (usize slot = 0; slot < mappings_.size(); ++slot) {
+    const Mapping& mapping = mappings_[slot];
+    if (!mapping.used || sim_->now() <= mapping.last_used) {
+      continue;  // free (handled elsewhere) or touched this cycle
+    }
+    const Cycle idle = sim_->now() - mapping.last_used;
+    if (idle >= config_.exhaustion_evict_idle_cycles &&
+        (!victim.has_value() || mapping.last_used < oldest)) {
+      victim = slot;
+      oldest = mapping.last_used;
+    }
+  }
+  return victim;
+}
+
+void NatService::AttachController(DirectionController* controller) {
+  controller_ = controller;
+  if (controller_ == nullptr) {
+    return;
+  }
+  CaspMachine& machine = controller_->machine();
+  machine.BindVariable({"nat_out", [this] { return translated_out_; }, nullptr});
+  machine.BindVariable({"nat_in", [this] { return translated_in_; }, nullptr});
+  machine.BindVariable({"nat_dropped", [this] { return dropped_; }, nullptr});
+  machine.BindVariable(
+      {"nat_active", [this] { return static_cast<u64>(active_mappings_); }, nullptr});
+  machine.BindVariable({"nat_rejects", [this] { return exhaustion_rejects_; }, nullptr});
+  machine.BindVariable(
+      {"nat_evictions", [this] { return exhaustion_evictions_; }, nullptr});
+}
+
+void NatService::RegisterFaultPoints(FaultRegistry& registry) {
+  table_full_fault_ = registry.Register("nat.table_full", FaultClass::kTableExhaustion);
+  if (flow_table_ != nullptr) {
+    registry.RegisterSeuTarget("nat.flows", flow_table_->state_bits(),
+                               [this](u64 bit) { flow_table_->InjectBitFlip(bit); });
+  }
 }
 
 u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_port,
@@ -63,6 +114,13 @@ u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_por
     }
     Reclaim(existing);  // stale binding for this very flow: reallocate fresh
   }
+  // Injected exhaustion (emu-fault): new flows see a full table; established
+  // flows (the match above) keep translating — degradation, not corruption.
+  if (table_full_fault_ != nullptr && table_full_fault_->armed() &&
+      table_full_fault_->Sample(sim_->now())) {
+    ++exhaustion_rejects_;
+    return 0;
+  }
   // Allocate the next free slot (rotating allocator; expired mappings are
   // reclaimed on the way).
   for (usize scan = 0; scan < mappings_.size(); ++scan) {
@@ -72,6 +130,7 @@ u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_por
     }
     if (!mappings_[slot].used) {
       if (!flow_table_->Write(key, slot)) {
+        ++exhaustion_rejects_;  // probe window full: same degradation path
         return 0;
       }
       mappings_[slot] =
@@ -81,7 +140,22 @@ u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_por
       return static_cast<u16>(config_.port_base + slot);
     }
   }
-  return 0;  // table full
+  // Table full: evict the least-recently-used flow idle past the threshold.
+  // Recently active flows are never sacrificed — reject the newcomer instead.
+  if (const std::optional<usize> victim = FindIdleVictim()) {
+    Reclaim(*victim);
+    ++exhaustion_evictions_;
+    if (!flow_table_->Write(key, *victim)) {
+      ++exhaustion_rejects_;
+      return 0;
+    }
+    mappings_[*victim] =
+        Mapping{true, protocol, src_ip, src_port, src_mac, fpga_port, key, sim_->now()};
+    ++active_mappings_;
+    return static_cast<u16>(config_.port_base + *victim);
+  }
+  ++exhaustion_rejects_;
+  return 0;
 }
 
 HwProcess NatService::MainLoop() {
@@ -175,12 +249,16 @@ HwProcess NatService::MainLoop() {
       co_await PauseFor(2);
       if (dst_port >= config_.port_base &&
           dst_port < config_.port_base + mappings_.size()) {
-        Mapping& mapping = mappings_[dst_port - config_.port_base];
-        if (Expired(mapping)) {
-          Reclaim(dst_port - config_.port_base);
+        const usize slot = dst_port - config_.port_base;
+        if (Expired(mappings_[slot])) {
+          Reclaim(slot);
         }
+        // Snapshot the mapping before rewriting: every field below comes
+        // from one coherent view even if the slot is evicted or expired
+        // while this packet is still in flight.
+        const Mapping mapping = mappings_[slot];
         if (mapping.used && mapping.protocol == protocol) {
-          mapping.last_used = sim_->now();
+          mappings_[slot].last_used = sim_->now();
           ip.set_destination(mapping.internal_ip);
           if (protocol == IpProtocol::kUdp) {
             UdpView udp(frame, l4_offset);

@@ -12,6 +12,7 @@
 #define SRC_SERVICES_NAT_SERVICE_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/core/service.h"
@@ -20,6 +21,9 @@
 #include "src/net/mac_address.h"
 
 namespace emu {
+
+class DirectionController;
+class FaultPoint;
 
 struct NatConfig {
   // External side (port 0).
@@ -44,6 +48,14 @@ struct NatConfig {
   // (0 disables — the paper's student prototype had no expiry; a production
   // NAT needs one). 2 s at 200 MHz by default when enabled.
   Cycle mapping_timeout_cycles = 0;
+
+  // Exhaustion policy: with the table full, a mapping idle for at least this
+  // many cycles may be evicted for the new flow (evict-idle-first). Flows
+  // more recently active are never evicted — the new flow is rejected and
+  // counted instead, so existing translations are never corrupted under
+  // pressure. 0 (the default) disables eviction: table-full means pure
+  // reject, exactly the pre-hardening behaviour.
+  Cycle exhaustion_evict_idle_cycles = 0;
 };
 
 class NatService : public Service {
@@ -61,6 +73,18 @@ class NatService : public Service {
   u64 translated_in() const { return translated_in_; }
   u64 dropped() const { return dropped_; }
   usize active_mappings() const { return active_mappings_; }
+  // Graceful-degradation bookkeeping (table pressure).
+  u64 exhaustion_rejects() const { return exhaustion_rejects_; }
+  u64 exhaustion_evictions() const { return exhaustion_evictions_; }
+
+  // §5.5-style direction: binds the translation/degradation counters so the
+  // controller observes table pressure live. Call before Instantiate().
+  void AttachController(DirectionController* controller);
+
+  // emu-fault: registers `nat.table_full` (TABLE_EXHAUSTION). While armed
+  // and firing, MapOutbound behaves as if no slot were free — the graceful
+  // rejection path runs without needing max_mappings real flows.
+  void RegisterFaultPoints(FaultRegistry& registry) override;
 
  private:
   struct Mapping {
@@ -76,15 +100,20 @@ class NatService : public Service {
 
   HwProcess MainLoop();
   // Finds or allocates the external port for an outbound flow; returns 0 on
-  // table exhaustion.
+  // table exhaustion (after the evict-idle-first policy found no victim).
   u16 MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_port, MacAddress src_mac,
                   u8 fpga_port);
   bool Expired(const Mapping& mapping) const;
   void Reclaim(usize slot);
+  // Exhaustion fallback: the least-recently-used slot idle past the
+  // configured threshold, or nullopt when every flow is too recent to evict.
+  std::optional<usize> FindIdleVictim() const;
 
   NatConfig config_;
   Dataplane dp_;
   Simulator* sim_ = nullptr;
+  DirectionController* controller_ = nullptr;
+  FaultPoint* table_full_fault_ = nullptr;
   std::unique_ptr<HashCam> flow_table_;
   std::vector<Mapping> mappings_;  // index = external_port - port_base
   usize next_mapping_ = 0;
@@ -93,6 +122,8 @@ class NatService : public Service {
   u64 translated_out_ = 0;
   u64 translated_in_ = 0;
   u64 dropped_ = 0;
+  u64 exhaustion_rejects_ = 0;
+  u64 exhaustion_evictions_ = 0;
 };
 
 }  // namespace emu

@@ -81,6 +81,7 @@ double LatencyStats::TailToAverage() const {
 void LatencyStats::Clear() {
   samples_.clear();
   sorted_ = true;
+  lost_ = 0;
 }
 
 }  // namespace emu

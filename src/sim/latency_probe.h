@@ -19,6 +19,17 @@ class LatencyStats {
   void Add(Picoseconds sample);
   void AddPacket(const Packet& packet);
 
+  // Loss accounting: packets known lost to impairment or drops never produce
+  // a latency sample; callers record them here so loss shows up next to the
+  // latency numbers instead of silently shrinking the sample set.
+  void AddLoss(u64 packets) { lost_ += packets; }
+  u64 lost() const { return lost_; }
+  // lost / (lost + measured); 0 when nothing was seen.
+  double LossRate() const {
+    const double total = static_cast<double>(lost_ + samples_.size());
+    return total > 0.0 ? static_cast<double>(lost_) / total : 0.0;
+  }
+
   usize count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
@@ -38,6 +49,7 @@ class LatencyStats {
 
   mutable std::vector<Picoseconds> samples_;
   mutable bool sorted_ = true;
+  u64 lost_ = 0;
 };
 
 }  // namespace emu

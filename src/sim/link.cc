@@ -4,6 +4,10 @@
 
 namespace emu {
 
+void Link::EnableImpairment(FaultRegistry& registry, const std::string& name) {
+  impairer_ = std::make_unique<FrameImpairer>(registry, name);
+}
+
 void Link::Transmit(Packet frame, bool to_b) {
   const u64 bits = static_cast<u64>(frame.size() + 24) * 8;  // preamble+FCS+IFG
   const Picoseconds serialization =
@@ -11,11 +15,41 @@ void Link::Transmit(Packet frame, bool to_b) {
   Picoseconds& busy_until = to_b ? busy_until_a_to_b_ : busy_until_b_to_a_;
   const Picoseconds start = std::max(scheduler_.now(), busy_until);
   busy_until = start + serialization;
-  const Picoseconds arrival = busy_until + propagation_delay_;
+  Picoseconds arrival = busy_until + propagation_delay_;
   Receiver& receiver = to_b ? end_b_ : end_a_;
   if (!receiver) {
     return;
   }
+  if (impairer_ != nullptr) {
+    const FrameImpairer::Decision decision =
+        impairer_->Decide(static_cast<u64>(scheduler_.now()), frame.size());
+    if (decision.drop) {
+      ++dropped_;
+      return;
+    }
+    if (decision.corrupt_bit != FrameImpairer::kNoCorrupt) {
+      FrameImpairer::FlipBit(frame, decision.corrupt_bit);
+      ++corrupted_;
+    }
+    if (decision.duplicate) {
+      // The copy occupies the wire like a real retransmission would.
+      ++duplicated_;
+      Packet copy = frame;
+      busy_until += serialization;
+      Deliver(std::move(copy), to_b, busy_until + propagation_delay_);
+    }
+    if (decision.reorder) {
+      // Held back just past one more serialization slot, so a back-to-back
+      // successor arrives first.
+      arrival += serialization + 1;
+    }
+    arrival += static_cast<Picoseconds>(decision.extra_delay_ps);
+  }
+  Deliver(std::move(frame), to_b, arrival);
+}
+
+void Link::Deliver(Packet frame, bool to_b, Picoseconds arrival) {
+  Receiver& receiver = to_b ? end_b_ : end_a_;
   scheduler_.At(arrival, [this, &receiver, frame = std::move(frame)]() mutable {
     ++delivered_;
     receiver(std::move(frame));

@@ -1,9 +1,18 @@
 // Point-to-point link with bandwidth and propagation delay.
+//
+// A link delivers every frame perfectly unless impairment is enabled:
+// EnableImpairment attaches a FrameImpairer whose fault points
+// (`<name>.drop` / `.corrupt` / `.dup` / `.reorder` / `.delay`) are armed
+// through a FaultRegistry plan. With the points disarmed the link's timing
+// and delivery are bit-identical to an unimpaired link.
 #ifndef SRC_SIM_LINK_H_
 #define SRC_SIM_LINK_H_
 
 #include <functional>
+#include <memory>
+#include <string>
 
+#include "src/fault/frame_impairer.h"
 #include "src/net/packet.h"
 #include "src/sim/event_scheduler.h"
 
@@ -26,10 +35,19 @@ class Link {
   void SendToB(Packet frame) { Transmit(std::move(frame), /*to_b=*/true); }
   void SendToA(Packet frame) { Transmit(std::move(frame), /*to_b=*/false); }
 
+  // Registers this link's impairment fault points as `<name>.*` in the
+  // registry. Both directions share the points and counters.
+  void EnableImpairment(FaultRegistry& registry, const std::string& name);
+  bool impaired() const { return impairer_ != nullptr; }
+
   u64 delivered() const { return delivered_; }
+  u64 dropped() const { return dropped_; }
+  u64 corrupted() const { return corrupted_; }
+  u64 duplicated() const { return duplicated_; }
 
  private:
   void Transmit(Packet frame, bool to_b);
+  void Deliver(Packet frame, bool to_b, Picoseconds arrival);
 
   EventScheduler& scheduler_;
   u64 bits_per_second_;
@@ -39,6 +57,10 @@ class Link {
   Picoseconds busy_until_a_to_b_ = 0;
   Picoseconds busy_until_b_to_a_ = 0;
   u64 delivered_ = 0;
+  u64 dropped_ = 0;
+  u64 corrupted_ = 0;
+  u64 duplicated_ = 0;
+  std::unique_ptr<FrameImpairer> impairer_;
 };
 
 }  // namespace emu

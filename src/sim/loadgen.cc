@@ -51,10 +51,23 @@ LoadgenReport OsntLoadgen::RunFixedRate(FpgaTarget& target, const FrameFactory& 
     report.latency.AddPacket(frame.frame);
     last_egress = std::max(last_egress, frame.frame.egress_time());
   }
-  report.loss_rate = report.injected == 0
-                         ? 0.0
-                         : 1.0 - static_cast<double>(report.egressed) /
-                                     static_cast<double>(report.injected);
+  report.raw_loss_rate = report.injected == 0
+                             ? 0.0
+                             : 1.0 - static_cast<double>(report.egressed) /
+                                         static_cast<double>(report.injected);
+  if (config.accounted_drops) {
+    report.accounted_drops = config.accounted_drops();
+    report.latency.AddLoss(report.accounted_drops);
+  }
+  // Loss the counters do not explain. Accounted drops can exceed the raw gap
+  // (e.g. duplicates egressing alongside drops); clamp at zero.
+  const usize explained =
+      report.egressed + static_cast<usize>(report.accounted_drops);
+  report.loss_rate =
+      report.injected == 0 || explained >= report.injected
+          ? 0.0
+          : static_cast<double>(report.injected - explained) /
+                static_cast<double>(report.injected);
   const double window_us = ToMicroseconds(last_egress - first_ingress);
   report.achieved_mqps =
       window_us > 0.0 ? static_cast<double>(report.egressed) / window_us : 0.0;

@@ -22,9 +22,16 @@ using FrameFactory = std::function<Packet(usize index, u8 port)>;
 struct LoadgenReport {
   usize injected = 0;
   usize egressed = 0;
+  // Drops explained by instrumented counters (impaired links, service
+  // rejects); reported by FixedRateConfig::accounted_drops.
+  u64 accounted_drops = 0;
   double offered_mqps = 0.0;   // million requests (frames) per second
   double achieved_mqps = 0.0;  // egress rate over the active window
+  // Unexplained loss: frames neither egressed nor claimed by a drop counter.
+  // This is what the rate search thresholds on, so deliberate impairment
+  // doesn't read as congestion.
   double loss_rate = 0.0;
+  double raw_loss_rate = 0.0;  // 1 - egressed/injected, impairment included
   LatencyStats latency;
 };
 
@@ -35,6 +42,9 @@ class OsntLoadgen {
     usize frames = 1000;
     std::vector<u8> ports = {0};  // round-robin across these
     Cycle drain_limit = 10'000'000;
+    // Sums the run's per-link/per-service drop counters (sampled once at
+    // drain). Unset: no accounting, loss_rate == raw_loss_rate.
+    std::function<u64()> accounted_drops;
   };
 
   // Replays `frames` frames at the offered rate and reports achieved rate,

@@ -7,12 +7,16 @@
 
 #include "src/common/rng.h"
 #include "src/core/targets.h"
+#include "src/fault/frame_impairer.h"
 #include "src/debug/controller.h"
 #include "src/debug/direction_packet.h"
+#include "src/net/arp.h"
 #include "src/net/dns.h"
 #include "src/net/memcached.h"
+#include "src/net/tcp.h"
 #include "src/net/udp.h"
 #include "src/net/vlan.h"
+#include "src/services/dns_service.h"
 #include "src/services/iptables_cli.h"
 #include "src/services/learning_switch.h"
 #include "src/services/memcached_service.h"
@@ -214,6 +218,162 @@ TEST_P(ParserFuzz, ServicePipelineSurvivesGarbageFrames) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(17u, 9001u));
+
+// --- Fault-layer frame fuzzing (emu-fault) -----------------------------------------
+
+// The chaos layer corrupts frames with FrameImpairer::FlipBit/Truncate, so
+// "corrupted by a fault" means exactly these mechanics. Every parser must
+// treat such frames as adversarial input: parse or return an error, never
+// crash or read past the end — and identically for identical seeds.
+
+u64 MixOutcome(u64 digest, u64 value) {
+  return (digest ^ value) * 1099511628211ull;
+}
+
+// Parses one corrupted application payload through every payload parser and
+// folds the outcomes into the digest.
+u64 ProbePayload(u64 digest, std::span<const u8> data) {
+  digest = MixOutcome(digest, ParseDnsQuery(data).ok());
+  digest = MixOutcome(digest, ParseDnsResponse(data).ok());
+  digest = MixOutcome(digest, ParseMcBinaryRequest(data).ok());
+  digest = MixOutcome(digest, ParseMcAsciiRequest(data).ok());
+  return digest;
+}
+
+// Walks a corrupted frame through the L2-L4 views, touching every accessor a
+// service would read; guards follow each view's Valid() contract, so any
+// over-read is the view's bug (and a sanitizer finding).
+u64 ProbeFrameViews(u64 digest, Packet& frame) {
+  ArpView arp(frame);
+  if (arp.Valid()) {
+    digest = MixOutcome(digest, arp.oper_raw());
+    digest = MixOutcome(digest, arp.sender_ip().value());
+    digest = MixOutcome(digest, arp.target_ip().value());
+  }
+  Ipv4View ip(frame);
+  if (ip.Valid()) {
+    digest = MixOutcome(digest, ip.ChecksumValid());
+    if (ip.ProtocolIs(IpProtocol::kTcp)) {
+      TcpView tcp(frame, ip.payload_offset());
+      if (tcp.Valid()) {
+        digest = MixOutcome(digest, tcp.source_port());
+        digest = MixOutcome(digest, tcp.destination_port());
+        digest = MixOutcome(digest, tcp.sequence());
+      }
+    } else if (ip.ProtocolIs(IpProtocol::kUdp)) {
+      UdpView udp(frame, ip.payload_offset());
+      if (udp.Valid()) {
+        digest = MixOutcome(digest, udp.destination_port());
+      }
+    }
+  }
+  return digest;
+}
+
+std::vector<std::vector<u8>> FaultFuzzPayloads() {
+  McRequest set;
+  set.op = McOpcode::kSet;
+  set.key = "abc";
+  set.value = "value";
+  McRequest get;
+  get.op = McOpcode::kGet;
+  get.key = "abc";
+  get.protocol = McProtocol::kAscii;
+  return {BuildDnsQuery(7, "svc.lab"), BuildMcBinaryRequest(set), BuildMcAsciiRequest(get)};
+}
+
+std::vector<Packet> FaultFuzzFrames() {
+  std::vector<Packet> frames;
+  frames.push_back(MakeArpRequest(kMacA, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2)));
+  TcpSegmentSpec tcp{kMacB, kMacA, Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                     40000, 80, 1, 0, TcpFlags::kSyn};
+  frames.push_back(MakeTcpSegment(tcp));
+  frames.push_back(MakeUdpPacket({kMacB, kMacA, Ipv4Address(10, 0, 0, 1),
+                                  Ipv4Address(10, 0, 0, 2), 5353, kDnsPort},
+                                 BuildDnsQuery(7, "svc.lab")));
+  return frames;
+}
+
+u64 RunFaultLayerFuzz(u64 seed) {
+  Rng rng(seed);
+  u64 digest = 14695981039346656037ull;
+  const auto payloads = FaultFuzzPayloads();
+  const auto frames = FaultFuzzFrames();
+  for (int round = 0; round < 300; ++round) {
+    Packet payload{std::vector<u8>(payloads[static_cast<usize>(round) % payloads.size()])};
+    const usize flips = 1 + rng.NextBelow(4);
+    for (usize i = 0; i < flips; ++i) {
+      FrameImpairer::FlipBit(payload, rng.NextU64());
+    }
+    digest = ProbePayload(digest, payload.bytes());
+
+    Packet frame = frames[static_cast<usize>(round) % frames.size()];
+    for (usize i = 0; i < flips; ++i) {
+      FrameImpairer::FlipBit(frame, rng.NextU64());
+    }
+    digest = ProbeFrameViews(digest, frame);
+  }
+  return digest;
+}
+
+class FaultFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FaultFuzz, BitFlippedFramesNeverCrashAndReplayPerSeed) {
+  const u64 first = RunFaultLayerFuzz(GetParam());
+  EXPECT_EQ(first, RunFaultLayerFuzz(GetParam()));
+  EXPECT_NE(first, RunFaultLayerFuzz(GetParam() + 1));
+}
+
+TEST_P(FaultFuzz, TruncationAtEveryByteBoundarySurvives) {
+  // Every prefix of every valid message, and every combination with one bit
+  // flip near the cut: parsers and views must degrade to errors.
+  Rng rng(GetParam());
+  for (const std::vector<u8>& payload : FaultFuzzPayloads()) {
+    for (usize cut = 0; cut <= payload.size(); ++cut) {
+      Packet p{std::vector<u8>(payload)};
+      FrameImpairer::Truncate(p, cut);
+      ASSERT_EQ(p.size(), cut);
+      (void)ProbePayload(0, p.bytes());
+      if (cut > 0) {
+        FrameImpairer::FlipBit(p, rng.NextU64());
+        (void)ProbePayload(0, p.bytes());
+      }
+    }
+  }
+  for (const Packet& frame : FaultFuzzFrames()) {
+    for (usize cut = 0; cut <= frame.size(); ++cut) {
+      Packet p = frame;
+      FrameImpairer::Truncate(p, cut);
+      (void)ProbeFrameViews(0, p);
+    }
+  }
+}
+
+TEST_P(FaultFuzz, CorruptedFramesThroughServicesNeverCrash) {
+  // Same corruption mechanics end to end: a DNS service fed bit-flipped and
+  // truncated queries must drop or answer, never wedge or crash.
+  Rng rng(GetParam());
+  DnsServiceConfig config;
+  DnsService service(config);
+  service.AddRecord("svc.lab", Ipv4Address(10, 1, 0, 1));
+  FpgaTarget target(service);
+  for (int round = 0; round < 80; ++round) {
+    Packet frame = MakeUdpPacket({config.mac, kMacA, Ipv4Address(10, 0, 0, 9), config.ip,
+                                  static_cast<u16>(5000 + round), kDnsPort},
+                                 BuildDnsQuery(static_cast<u16>(round), "svc.lab"));
+    if (rng.NextBool(0.5)) {
+      FrameImpairer::FlipBit(frame, rng.NextU64());
+    } else {
+      FrameImpairer::Truncate(frame, rng.NextBelow(frame.size() + 1));
+    }
+    if (frame.size() >= kEthernetHeaderSize) {
+      target.Inject(0, std::move(frame));
+    }
+  }
+  target.Run(500'000);  // must terminate: every frame answered or dropped
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Values(23u, 4242u));
 
 // --- Live backtrace of a stalled service -----------------------------------------------
 
