@@ -1,7 +1,22 @@
 // Google-benchmark microbenchmarks of the simulation substrate's hot paths:
 // how fast the reproduction itself runs (not a paper table, but what bounds
 // every table's wall-clock time).
+//
+// Besides the google-benchmark suite, `--throughput` runs the quiescence
+// kernel's end-to-end throughput mode: one idle-heavy soak workload twice —
+// exact per-edge stepping vs the fast path — verifying bit-exact egress and
+// reporting cycles/sec for both plus the speedup. `--json <path>` writes the
+// result as BENCH_kernel.json; `--check <baseline.json>` compares the
+// speedup ratio (machine-independent) against a committed baseline and fails
+// on a >20% regression.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "src/common/wide_word.h"
 #include "src/hdl/fifo.h"
@@ -117,7 +132,194 @@ void BM_SwitchForwardOneFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_SwitchForwardOneFrame);
 
+// --- Quiescence-kernel throughput mode (--throughput) -----------------------------
+
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+struct ThroughputResult {
+  double wall_seconds = 0;
+  double cycles_per_sec = 0;
+  u64 edges_run = 0;
+  u64 cycles_fast_forwarded = 0;
+  u64 egress_count = 0;
+  u64 egress_digest = 0;
+};
+
+// The idle-heavy soak shape: sparse frames through the learning switch, long
+// quiescent gaps between them — the pattern chaos soaks and long-horizon
+// integration runs spend most of their cycles in.
+ThroughputResult RunSoakWorkload(bool fast_path, u64 total_cycles, u64 frame_gap) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  const MacAddress a = MacAddress::FromU48(0x020000000001);
+  const MacAddress b = MacAddress::FromU48(0x020000000002);
+  target.Inject(0, MakeEthernetFrame(MacAddress::Broadcast(), a, EtherType::kIpv4, {}));
+  target.Inject(1, MakeEthernetFrame(MacAddress::Broadcast(), b, EtherType::kIpv4, {}));
+  target.Run(50'000);
+  target.TakeEgress();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 cycle = 0; cycle < total_cycles; cycle += frame_gap) {
+    target.Inject(0, MakeEthernetFrame(b, a, EtherType::kIpv4, {}));
+    target.Run(std::min(frame_gap, total_cycles - cycle));
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  ThroughputResult result;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.cycles_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(total_cycles) / result.wall_seconds : 0;
+  const SimProfile profile = target.sim().ProfileReport();
+  result.edges_run = profile.edges_run;
+  result.cycles_fast_forwarded = profile.cycles_fast_forwarded;
+  u64 digest = kFnvOffset;
+  for (const EgressFrame& frame : target.TakeEgress()) {
+    digest = (digest ^ frame.port) * kFnvPrime;
+    for (u8 byte : frame.frame.bytes()) {
+      digest = (digest ^ byte) * kFnvPrime;
+    }
+    ++result.egress_count;
+  }
+  result.egress_digest = digest;
+  return result;
+}
+
+std::string ThroughputJson(const ThroughputResult& exact, const ThroughputResult& fast,
+                           u64 total_cycles, u64 frame_gap) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n"
+      << "  \"benchmark\": \"kernel_throughput\",\n"
+      << "  \"workload\": {\"service\": \"learning_switch\", \"cycles\": " << total_cycles
+      << ", \"frame_gap\": " << frame_gap << "},\n"
+      << "  \"exact\": {\"cycles_per_sec\": " << exact.cycles_per_sec
+      << ", \"wall_seconds\": " << exact.wall_seconds << ", \"edges_run\": " << exact.edges_run
+      << "},\n"
+      << "  \"fast\": {\"cycles_per_sec\": " << fast.cycles_per_sec
+      << ", \"wall_seconds\": " << fast.wall_seconds << ", \"edges_run\": " << fast.edges_run
+      << ", \"cycles_fast_forwarded\": " << fast.cycles_fast_forwarded << "},\n"
+      << "  \"speedup\": " << (exact.cycles_per_sec > 0
+                                   ? fast.cycles_per_sec / exact.cycles_per_sec
+                                   : 0)
+      << "\n}\n";
+  return out.str();
+}
+
+// Pulls `"key": <number>` out of a flat JSON document; the baseline files are
+// emitted by ThroughputJson above, so no general parser is needed.
+bool ExtractJsonNumber(const std::string& text, const std::string& key, double* value) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) {
+    return false;
+  }
+  *value = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path,
+                   const std::string& baseline_path) {
+  std::printf("kernel throughput: %llu cycles, one frame per %llu cycles\n",
+              static_cast<unsigned long long>(total_cycles),
+              static_cast<unsigned long long>(frame_gap));
+  const ThroughputResult exact = RunSoakWorkload(false, total_cycles, frame_gap);
+  const ThroughputResult fast = RunSoakWorkload(true, total_cycles, frame_gap);
+
+  if (fast.egress_digest != exact.egress_digest || fast.egress_count != exact.egress_count) {
+    std::printf("FAIL: fast path diverged from exact (egress %llu/%016llx vs %llu/%016llx)\n",
+                static_cast<unsigned long long>(fast.egress_count),
+                static_cast<unsigned long long>(fast.egress_digest),
+                static_cast<unsigned long long>(exact.egress_count),
+                static_cast<unsigned long long>(exact.egress_digest));
+    return 1;
+  }
+
+  const double speedup =
+      exact.cycles_per_sec > 0 ? fast.cycles_per_sec / exact.cycles_per_sec : 0;
+  std::printf("  exact: %.3g cycles/sec (%llu edges)\n", exact.cycles_per_sec,
+              static_cast<unsigned long long>(exact.edges_run));
+  std::printf("  fast:  %.3g cycles/sec (%llu edges + %llu fast-forwarded)\n",
+              fast.cycles_per_sec, static_cast<unsigned long long>(fast.edges_run),
+              static_cast<unsigned long long>(fast.cycles_fast_forwarded));
+  std::printf("  speedup: %.2fx (egress bit-exact, %llu frames)\n", speedup,
+              static_cast<unsigned long long>(fast.egress_count));
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << ThroughputJson(exact, fast, total_cycles, frame_gap);
+    if (!file) {
+      std::printf("FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::printf("FAIL: could not read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    double baseline_speedup = 0;
+    if (!ExtractJsonNumber(buffer.str(), "speedup", &baseline_speedup)) {
+      std::printf("FAIL: no \"speedup\" in baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    // The speedup ratio is machine-independent (both runs share the host),
+    // so it is the number a perf gate can hold steady across CI runners.
+    const double floor = baseline_speedup * 0.8;
+    std::printf("  baseline speedup %.2fx, regression floor %.2fx\n", baseline_speedup, floor);
+    if (speedup < floor) {
+      std::printf("FAIL: speedup %.2fx regressed more than 20%% from baseline %.2fx\n", speedup,
+                  baseline_speedup);
+      return 1;
+    }
+    std::printf("  perf gate passed\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace emu
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool throughput = false;
+  emu::u64 cycles = 2'000'000;
+  emu::u64 gap = 1'000;
+  std::string json_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--throughput") == 0) {
+      throughput = true;
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--gap") == 0 && i + 1 < argc) {
+      gap = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (throughput) {
+    if (gap == 0) {
+      gap = 1;
+    }
+    return emu::ThroughputMain(cycles, gap, json_path, baseline_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/metrics.h"
 #include "src/core/targets.h"
 #include "src/fault/fault_registry.h"
 #include "src/fault/frame_impairer.h"
@@ -59,14 +60,15 @@ const MacAddress kClientMac = MacAddress::FromU48(0x02'00'00'00'cc'99);
 const Ipv4Address kClientIp(10, 0, 0, 9);
 
 // One service under soak: construction, optional prewarm, traffic factory,
-// and an accessor for its drop counter (Service has no virtual dropped()).
+// and the metrics name of its drop counter (read through MetricsRegistry —
+// the uniform counter surface, so no per-service getter plumbing).
 struct SoakCase {
   std::string name;
   std::unique_ptr<Service> service;
   std::function<void(FpgaTarget&)> prewarm;
   FrameFactory factory;
   std::vector<u8> ports;
-  std::function<u64()> dropped;
+  std::string dropped_metric;
 };
 
 SoakCase MakeIcmpCase() {
@@ -74,7 +76,7 @@ SoakCase MakeIcmpCase() {
   c.name = "icmp_echo";
   IcmpEchoConfig config;
   auto service = std::make_unique<IcmpEchoService>(config);
-  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.dropped_metric = "icmp.dropped";
   c.factory = [config](usize i, u8) {
     return MakeIcmpEchoRequest(
         {config.mac, kClientMac, kClientIp, config.ip, static_cast<u16>(i), 0}, {});
@@ -89,7 +91,7 @@ SoakCase MakeTcpPingCase() {
   c.name = "tcp_ping";
   TcpPingConfig config;
   auto service = std::make_unique<TcpPingService>(config);
-  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.dropped_metric = "tcp_ping.dropped";
   c.factory = [config](usize i, u8) {
     TcpSegmentSpec spec{config.mac,
                         kClientMac,
@@ -116,7 +118,7 @@ SoakCase MakeDnsCase() {
     service->AddRecord("svc" + std::to_string(i) + ".lab",
                        Ipv4Address(10, 1, 0, static_cast<u8>(1 + i)));
   }
-  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.dropped_metric = "dns.dropped";
   c.factory = [config](usize i, u8) {
     const std::string name = "svc" + std::to_string(i % 4) + ".lab";
     return MakeUdpPacket({config.mac, kClientMac, kClientIp, config.ip,
@@ -135,7 +137,7 @@ SoakCase MakeNatCase() {
   config.max_mappings = 256;  // reachable exhaustion within one soak
   config.exhaustion_evict_idle_cycles = 10'000;  // evict-idle-first under pressure
   auto service = std::make_unique<NatService>(config);
-  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.dropped_metric = "nat.dropped";
   const MacAddress internal_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
   c.factory = [config, internal_mac](usize i, u8 port) {
     const u8 in_port = static_cast<u8>(1 + port % 3);
@@ -157,7 +159,7 @@ SoakCase MakeMemcachedCase() {
   c.name = "memcached";
   MemcachedConfig config;
   auto service = std::make_unique<MemcachedService>(config);
-  c.dropped = [s = service.get()] { return s->dropped(); };
+  c.dropped_metric = "memcached.dropped";
   MemaslapConfig workload;
   workload.server_mac = config.mac;
   workload.server_ip = config.ip;
@@ -258,6 +260,14 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   FaultRegistry registry(opt.seed);
   c.service->RegisterFaultPoints(registry);
   FrameImpairer tap(registry, "ingress");
+  // The simulator ticks the registry once per executed edge (and books
+  // skipped-tick opportunities across quiescent jumps), so the soak loop no
+  // longer single-steps the clock.
+  target.sim().AttachFaultRegistry(&registry);
+
+  MetricsRegistry metrics;
+  c.service->RegisterMetrics(metrics);
+  metrics.Register("faults.fired", [&registry] { return registry.fired_total(); });
 
   const std::string plan_text =
       opt.plan_text.empty() ? RandomPlanText(opt.seed, opt.cycles) : opt.plan_text;
@@ -277,10 +287,10 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   const u64 base_in = pipe.injected();
   const u64 base_out = pipe.egressed();
   const u64 base_pipe_drop = pipe.rx_drops() + pipe.tx_drops();
-  const u64 base_svc_drop = c.dropped();
+  const u64 base_svc_drop = metrics.Get(c.dropped_metric);
 
-  // --- Soak loop: traffic through the impaired tap, one registry tick per
-  // cycle for the SEU/stall callback targets. ---
+  // --- Soak loop: traffic through the impaired tap; the attached registry
+  // samples the SEU/stall callback targets per edge inside Run(). ---
   constexpr u64 kFrameGap = 197;  // prime, avoids beating with burst windows
   usize frame_index = 0;
   std::optional<std::pair<u8, Packet>> held;  // reorder: overtaken frame
@@ -288,9 +298,9 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
     target.Inject(port, std::move(frame), at);
     ++out.injected;
   };
-  for (u64 cycle = 0; cycle < opt.cycles; ++cycle) {
+  for (u64 cycle = 0; cycle < opt.cycles; cycle += kFrameGap) {
     const Cycle now = target.sim().now();
-    if (cycle % kFrameGap == 0) {
+    {
       const u8 port = c.ports[frame_index % c.ports.size()];
       Packet frame = c.factory(frame_index, port);
       ++frame_index;
@@ -318,8 +328,7 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
         }
       }
     }
-    registry.Tick(now);
-    target.Run(1);
+    target.Run(std::min(kFrameGap, opt.cycles - cycle));
   }
   if (held.has_value()) {
     emit(held->first, std::move(held->second), target.sim().now());
@@ -333,7 +342,7 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   const u64 egress_count = pipe.egressed() - base_out;
   out.egressed = egress_count;
   out.pipeline_drops = pipe.rx_drops() + pipe.tx_drops() - base_pipe_drop;
-  out.service_dropped = c.dropped() - base_svc_drop;
+  out.service_dropped = metrics.Get(c.dropped_metric) - base_svc_drop;
   out.faults_fired = registry.fired_total();
   out.fault_digest = registry.LogDigest();
   out.balanced =
@@ -377,6 +386,7 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   }
   if (opt.verbose) {
     std::printf("%s", registry.Summary().c_str());
+    std::printf("%s", metrics.Format().c_str());
   }
   return out;
 }

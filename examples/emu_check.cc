@@ -273,32 +273,33 @@ ScenarioResult CheckFaultInjection(bool dot) {
     return ScenarioResult{1, "bad --faults plan: " + plan.status().ToString()};
   }
 
-  // Drives `frames` frames through an impaired ingress tap with one registry
-  // tick per cycle — a miniature of examples/chaos_soak.
+  // Drives frames through an impaired ingress tap with the registry attached
+  // to the simulator (ticked per executed edge) — a miniature of
+  // examples/chaos_soak.
   const auto soak = [&plan](FpgaTarget& target, Service& service,
                             const std::function<Packet(usize)>& factory, u8 port) {
     FaultRegistry registry(7);
     service.RegisterFaultPoints(registry);
     FrameImpairer tap(registry, "ingress");
     registry.ArmPlan(*plan);
+    target.sim().AttachFaultRegistry(&registry);
     usize index = 0;
-    for (Cycle cycle = 0; cycle < 15'000; ++cycle) {
-      if (cycle % 97 == 0) {
-        Packet frame = factory(index++);
-        const FrameImpairer::Decision d = tap.Decide(target.sim().now(), frame.size());
-        if (!d.drop) {
-          if (d.corrupt_bit != FrameImpairer::kNoCorrupt) {
-            FrameImpairer::FlipBit(frame, d.corrupt_bit);
-          }
-          target.Inject(port, std::move(frame));
+    constexpr Cycle kGap = 97;
+    for (Cycle cycle = 0; cycle < 15'000; cycle += kGap) {
+      Packet frame = factory(index++);
+      const FrameImpairer::Decision d = tap.Decide(target.sim().now(), frame.size());
+      if (!d.drop) {
+        if (d.corrupt_bit != FrameImpairer::kNoCorrupt) {
+          FrameImpairer::FlipBit(frame, d.corrupt_bit);
         }
+        target.Inject(port, std::move(frame));
       }
-      registry.Tick(target.sim().now());
-      target.Run(1);
+      target.Run(std::min(kGap, 15'000 - cycle));
     }
     registry.DisarmAll();
     target.Run(100'000);
     target.TakeEgress();
+    target.sim().AttachFaultRegistry(nullptr);
   };
 
   ScenarioResult result;

@@ -7,6 +7,7 @@
 // in /tmp/emu_observability.{vcd,pcap}.
 #include <cstdio>
 
+#include "src/core/metrics.h"
 #include "src/core/targets.h"
 #include "src/hdl/vcd_tracer.h"
 #include "src/net/udp.h"
@@ -32,10 +33,17 @@ int main() {
   CryptoTunnelService service(config);
   FpgaTarget target(service);
 
+  // The service's counters through the canonical metrics surface.
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
   VcdTracer tracer(target.sim());
-  tracer.AddSignal("encrypted", 16, [&] { return service.encrypted(); });
-  tracer.AddSignal("dropped", 16, [&] { return service.dropped(); });
+  tracer.AddSignal("encrypted", 16, [&] { return metrics.Get("crypto.encrypted"); });
+  tracer.AddSignal("dropped", 16, [&] { return metrics.Get("crypto.dropped"); });
   tracer.Sample();
+  // While attached the tracer samples after every committed edge, however the
+  // clock is advanced — no batch-stepping loop, no missed cycles.
+  tracer.Attach();
 
   TraceDump capture;
   const char* messages[] = {"first secret", "second secret", "third, longer secret payload"};
@@ -43,15 +51,17 @@ int main() {
     Packet request = PlainDatagram(message);
     capture.Capture(target.sim().NowPs(), "plain_in", request);
     target.Inject(config.plain_port, std::move(request));
-    // Run in small steps so the tracer samples every cycle.
-    while (target.egress().empty()) {
-      tracer.RunAndSample(64);
+    if (!target.RunUntilEgress()) {
+      std::printf("tunnel produced no ciphertext frame\n");
+      return 1;
     }
     const auto egress = target.TakeEgress();
     capture.Capture(egress[0].frame.egress_time(), "cipher_out", egress[0].frame);
   }
+  tracer.Detach();
 
   std::printf("%s\n", capture.Summary().c_str());
+  std::printf("%s", metrics.Format().c_str());
   const bool vcd_ok = tracer.WriteToFile("/tmp/emu_observability.vcd");
   const bool pcap_ok = capture.WritePcap("/tmp/emu_observability.pcap");
   std::printf("encrypted %llu datagrams; %zu waveform changes recorded\n",

@@ -69,6 +69,12 @@ void P4Switch::MatchAction(Packet& frame) {
 
 HwProcess P4Switch::PipelineProcess() {
   for (;;) {
+    // Fully idle (no frame waiting, nothing in the pipe): park until the
+    // next arrival. While frames are in flight the per-edge loop below
+    // handles the time-based accept/retire windows exactly.
+    if (dp_.rx->Empty() && in_flight_.empty()) {
+      co_await WaitUntil([this] { return !dp_.rx->Empty(); });
+    }
     // Accept a new frame every initiation interval (the pipeline is deep but
     // fully pipelined).
     if (!dp_.rx->Empty() && static_cast<double>(sim_->now()) >= next_accept_) {

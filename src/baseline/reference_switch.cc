@@ -49,10 +49,8 @@ ResourceUsage ReferenceSwitch::Resources() const {
 // machine that works while the frame beats stream through.
 HwProcess ReferenceSwitch::LookupAndLearnStage() {
   for (;;) {
-    if (dp_.rx->Empty() || !stage_fifo_->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil(
+        [this] { return !dp_.rx->Empty() && stage_fifo_->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -88,10 +86,8 @@ HwProcess ReferenceSwitch::LookupAndLearnStage() {
 
 HwProcess ReferenceSwitch::OutputStage() {
   for (;;) {
-    if (stage_fifo_->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil(
+        [this] { return !stage_fifo_->Empty() && dp_.tx->PollCanPush(); });
     Packet frame = stage_fifo_->Pop();
     co_await Pause();  // output register
     const usize words = WordsForBytes(frame.size(), config_.bus_bytes);

@@ -1,0 +1,54 @@
+#include "src/core/metrics.h"
+
+#include <sstream>
+
+namespace emu {
+
+void MetricsRegistry::Register(const std::string& name, const u64* source) {
+  Register(name, [source] { return *source; });
+}
+
+void MetricsRegistry::Register(const std::string& name, std::function<u64()> getter) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.getter = std::move(getter);
+      return;
+    }
+  }
+  entries_.push_back(Entry{name, std::move(getter)});
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindEntry(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const { return FindEntry(name) != nullptr; }
+
+u64 MetricsRegistry::Get(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr ? entry->getter() : 0;
+}
+
+std::vector<std::pair<std::string, u64>> MetricsRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, u64>> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.emplace_back(entry.name, entry.getter());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Format() const {
+  std::ostringstream out;
+  for (const Entry& entry : entries_) {
+    out << entry.name << "=" << entry.getter() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace emu

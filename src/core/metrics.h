@@ -1,0 +1,69 @@
+// MetricsRegistry: the canonical counter surface of a deployment.
+//
+// Every service accumulates operational counters (frames encrypted, queries
+// resolved, NAT rejects, ...). Historically each grew a bespoke getter and
+// every harness hard-coded the ones it knew about. The registry replaces
+// that N×M wiring: a service registers its counters once by dotted name
+// (`Service::RegisterMetrics`), and any consumer — examples, the chaos
+// harness, the CASP debug controller (DirectionController::AttachMetrics) —
+// enumerates or reads them uniformly. The per-service getters remain as thin
+// wrappers around the same underlying counters.
+//
+// Registered sources are non-owning: a `const u64*` points at the counter
+// member itself, a getter closure computes derived values. Either must
+// outlive the registry reads.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers counter `name` (dotted, e.g. "nat.translated_out") backed by
+  // the counter variable itself. Re-registering a name replaces the source
+  // (a re-instantiated service keeps one entry).
+  void Register(const std::string& name, const u64* source);
+
+  // Same, for derived/computed values.
+  void Register(const std::string& name, std::function<u64()> getter);
+
+  bool Has(const std::string& name) const;
+
+  // Current value of `name`; 0 for unknown names (a metric that never
+  // existed reads like one that never incremented).
+  u64 Get(const std::string& name) const;
+
+  usize size() const { return entries_.size(); }
+
+  // Name/value pairs in registration order.
+  std::vector<std::pair<std::string, u64>> Snapshot() const;
+
+  // "name=value" lines, one per metric, in registration order.
+  std::string Format() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::function<u64()> getter;
+  };
+
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CORE_METRICS_H_

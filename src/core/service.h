@@ -21,6 +21,7 @@
 namespace emu {
 
 class FaultRegistry;
+class MetricsRegistry;
 
 // The dataplane attachment handed to a service at instantiation time.
 struct Dataplane {
@@ -59,6 +60,13 @@ class Service {
   // change behaviour merely because points exist — only when a plan arms
   // them.
   virtual void RegisterFaultPoints(FaultRegistry& registry) { (void)registry; }
+
+  // Metrics opt-in (src/core/metrics.h): registers the service's named
+  // counters ("<service>.<counter>", mirroring fault-point naming) with
+  // `registry`. The registry reads the counters in place, so call this after
+  // Instantiate() and keep the service alive while the registry is read.
+  // Services without counters keep the default no-op.
+  virtual void RegisterMetrics(MetricsRegistry& registry) { (void)registry; }
 };
 
 }  // namespace emu

@@ -12,6 +12,7 @@
 #define SRC_CORE_TARGETS_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,6 +46,19 @@ class FpgaTarget {
 
   // Runs until at least `count` frames have egressed (or `limit` elapses).
   bool RunUntilEgressCount(usize count, Cycle limit);
+
+  // Runs until the next frame egresses (or `limit` elapses). The canonical
+  // request/response loop: Inject(); RunUntilEgress();
+  bool RunUntilEgress(Cycle limit = 1'000'000) {
+    return RunUntilEgressCount(egress_.size() + 1, limit);
+  }
+
+  // Runs until `done()` holds (or `limit` elapses). `done` must be a pure
+  // function of simulation state — it is evaluated before each edge, and the
+  // kernel may fast-forward across quiescent windows between evaluations.
+  bool RunUntil(const std::function<bool()>& done, Cycle limit) {
+    return scheduler_.RunUntil(done, limit);
+  }
 
   // Convenience single request/response exchange: injects, runs until one
   // frame egresses, and returns it.

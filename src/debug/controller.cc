@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "src/core/metrics.h"
 #include "src/fault/fault_registry.h"
 #include "src/netfpga/dataplane.h"
 
@@ -37,6 +38,17 @@ void DirectionController::AttachFaultRegistry(FaultRegistry* registry) {
   machine_.BindVariable(
       {"faults_fired", [registry] { return registry->fired_total(); }, nullptr});
   machine_.BindVariable({"fault_seed", [registry] { return registry->seed(); }, nullptr});
+}
+
+void DirectionController::AttachMetrics(const MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  for (const auto& [name, value] : metrics->Snapshot()) {
+    (void)value;
+    machine_.BindVariable(
+        {name, [metrics, name = name] { return metrics->Get(name); }, nullptr});
+  }
 }
 
 std::string DirectionController::HandleCommandText(const std::string& text) {
@@ -139,10 +151,7 @@ ResourceUsage DirectedService::Resources() const {
 
 HwProcess DirectedService::FilterProcess() {
   for (;;) {
-    if (dp_.rx->Empty()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty(); });
     // Stall the whole program while a breakpoint holds it (the director
     // resumes via Resume(); direction packets still get through so the
     // director can poke state).

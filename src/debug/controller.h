@@ -24,6 +24,7 @@
 namespace emu {
 
 class FaultRegistry;
+class MetricsRegistry;
 
 // Controller instruction-set features whose cost Table 5 profiles.
 enum class ControllerFeature : u8 {
@@ -50,6 +51,13 @@ class DirectionController {
   // the injection state over direction packets (the §3.5 machinery observing
   // chaos live). The registry must outlive the controller.
   void AttachFaultRegistry(FaultRegistry* registry);
+
+  // Metrics bridge: binds every metric currently in `metrics` as a read-only
+  // CASP variable under its dotted name ("nat.translated_out", ...), so a
+  // director can watch/break on service counters over direction packets.
+  // Reads go through the registry, so re-registered sources are followed.
+  // The registry must outlive the controller.
+  void AttachMetrics(const MetricsRegistry* metrics);
 
   // Parses + compiles + applies a command; returns the reply text.
   std::string HandleCommandText(const std::string& text);

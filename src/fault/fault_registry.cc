@@ -1,5 +1,6 @@
 #include "src/fault/fault_registry.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace emu {
@@ -114,6 +115,46 @@ usize FaultRegistry::Tick(u64 tick) {
     }
   }
   return fired;
+}
+
+u64 FaultRegistry::NextTickDemand(u64 tick) const {
+  u64 demand = kNeverDemands;
+  for (const CallbackTarget& target : callback_targets_) {
+    const FaultPoint& point = *target.point;
+    if (!point.armed()) {
+      continue;
+    }
+    if (target.detail_bound > 0) {
+      return tick;  // SEU target: NextDetail is drawn on every tick
+    }
+    const FaultSchedule& schedule = point.schedule_;
+    switch (schedule.mode) {
+      case FaultSchedule::Mode::kDisabled:
+        break;
+      case FaultSchedule::Mode::kOneShot:
+        if (!point.oneshot_done_) {
+          demand = std::min(demand, std::max(schedule.at, tick));
+        }
+        break;
+      case FaultSchedule::Mode::kBernoulli:
+        return tick;  // a NextBool per tick: every tick must sample
+      case FaultSchedule::Mode::kBurst:
+        if (tick < schedule.until) {
+          demand = std::min(demand, std::max(schedule.from, tick));
+        }
+        break;
+    }
+  }
+  return demand;
+}
+
+void FaultRegistry::NoteSkippedTicks(u64 count) {
+  for (CallbackTarget& target : callback_targets_) {
+    FaultPoint& point = *target.point;
+    if (point.armed()) {
+      point.opportunities_ += count;
+    }
+  }
 }
 
 usize FaultRegistry::Arm(const std::string& pattern, const FaultSchedule& schedule) {

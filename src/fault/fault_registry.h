@@ -100,6 +100,24 @@ class FaultRegistry {
   // callbacks of those that fire. Returns how many fired.
   usize Tick(u64 tick);
 
+  // --- Quiescence support (Simulator fast path) ---
+  //
+  // Earliest tick >= `tick` at which Tick() must actually execute for the
+  // injection log and RNG streams to stay bit-identical to per-tick
+  // sampling, or kNeverDemands when no armed callback target needs it.
+  // SEU targets (a detail draw per tick) and Bernoulli schedules demand
+  // every tick; a oneshot stall target only demands its firing tick and a
+  // burst stall target only its window. Disarmed targets never demand
+  // (their Tick() is a no-op by construction).
+  static constexpr u64 kNeverDemands = ~u64{0};
+  u64 NextTickDemand(u64 tick) const;
+
+  // Accounts `count` ticks skipped by a quiescent fast-forward: armed
+  // callback targets that did not demand sampling over the window still saw
+  // one injection opportunity per tick, so their opportunity counters match
+  // per-tick sampling exactly.
+  void NoteSkippedTicks(u64 count);
+
   // Arms every matching point, present and future. Returns how many existing
   // points matched (future registrations also pick the schedule up).
   usize Arm(const std::string& pattern, const FaultSchedule& schedule);

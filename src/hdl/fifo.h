@@ -71,6 +71,10 @@ class SyncFifo : public Clocked {
   // pushes blind surfaces as LOSTBACKPRESSURE in analysis builds.
   void InjectStall(Cycle cycles) {
     stall_until_ = std::max(stall_until_, sim_.now() + static_cast<Cycle>(cycles));
+    // The stall ends by the clock, not by any process's action: schedule a
+    // forced wake so parked consumers/producers re-evaluate at expiry.
+    sim_.RequestWakeAt(stall_until_);
+    sim_.NotifyWake();
   }
   bool Stalled() const { return sim_.now() < stall_until_; }
 
@@ -82,6 +86,12 @@ class SyncFifo : public Clocked {
 #endif
     return CanPushRaw();
   }
+
+  // CanPush() without the emu-check observation hook, for WaitUntil wake
+  // predicates: a parked producer polling for space is not "consulting
+  // backpressure before a push" and must not register as such. Use CanPush()
+  // on the cycle you actually push.
+  bool PollCanPush() const { return CanPushRaw(); }
 
   // Returns false (and drops nothing) when full, mirroring backpressure.
   bool Push(T value) {
@@ -120,17 +130,31 @@ class SyncFifo : public Clocked {
 #endif
     T value = std::move(items_[pop_count_]);
     ++pop_count_;
+    // Space freed by a pop is visible to CanPush in the same cycle: a parked
+    // producer registered after this consumer must re-evaluate this edge.
+    sim_.NotifyWake();
     return value;
   }
 
   void Commit() override {
     items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
     pop_count_ = 0;
+    if (!pending_push_.empty()) {
+      // Pushed items become visible to consumers at this edge's commit; wake
+      // parked consumers for the next edge. (Pops need no commit-time wake:
+      // Size/CanPush already accounted for them at Pop() time.)
+      sim_.NotifyWake();
+    }
     for (auto& value : pending_push_) {
       items_.push_back(std::move(value));
     }
     pending_push_.clear();
   }
+
+  // Pending pops are not "pending" here: their erase above is state-neutral
+  // (Size/CanPush/Front already index past them), so deferring it across a
+  // quiescent window changes nothing observable.
+  bool CommitPending() const override { return !pending_push_.empty(); }
 
  private:
   bool CanPushRaw() const {

@@ -7,6 +7,22 @@
 // registration order, then commits all clocked state (see signal.h), which
 // reproduces Verilog non-blocking-assignment semantics: everything a process
 // reads during a cycle is the pre-edge value.
+//
+// Besides Pause/PauseFor, a process may block on a condition with
+// `co_await WaitUntil(pred)`. Semantically this is identical to the classic
+// idle spin
+//
+//   while (!pred()) co_await Pause();
+//
+// — the predicate is evaluated at the process's registration slot on every
+// edge, and the body continues on the first edge where it holds — but it
+// also declares the process *parked* to the scheduler, which lets the
+// quiescence-aware fast path (simulator.h) skip whole windows in which no
+// parked predicate can have changed. For that to be sound the predicate must
+// be a pure function of wake-tracked dataplane state: SyncFifo occupancy
+// (Empty/Size/PollCanPush/Stalled) of FIFOs on the same simulator, or state
+// whose mutations are announced via Simulator::NotifyWake(). It must not
+// read the clock — time-based waiting is what PauseFor is for.
 #ifndef SRC_HDL_PROCESS_H_
 #define SRC_HDL_PROCESS_H_
 
@@ -18,12 +34,27 @@
 
 namespace emu {
 
+// Sentinel wake-epoch value guaranteeing the scheduler evaluates a freshly
+// parked predicate at least once (the simulator's epoch counter starts at 0
+// and only increments).
+inline constexpr u64 kWaitEpochStale = ~u64{0};
+
 class HwProcess {
  public:
   struct promise_type {
     // Cycles the process still wants to sleep before its coroutine is
     // actually resumed; lets PauseFor(n) avoid n real suspensions.
     u64 sleep_cycles = 0;
+
+    // Park state for `co_await WaitUntil(pred)`. While wait_pred is non-null
+    // the process is parked: the scheduler evaluates wait_pred(wait_ctx)
+    // instead of resuming, and resumes (clearing the park) on the first edge
+    // where it returns true. wait_epoch records the simulator's wake epoch
+    // at the last false evaluation so the fast path can prove re-evaluation
+    // is pointless (see Simulator::NotifyWake).
+    bool (*wait_pred)(void*) = nullptr;
+    void* wait_ctx = nullptr;
+    u64 wait_epoch = kWaitEpochStale;
 
     HwProcess get_return_object() {
       return HwProcess(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -54,8 +85,20 @@ class HwProcess {
   bool Valid() const { return handle_ != nullptr; }
   bool Done() const { return !handle_ || handle_.done(); }
 
-  // One clock edge: wake the coroutine unless it is still sleeping off a
-  // PauseFor. Returns false once the process has run to completion.
+  // Scheduler access to the sleep/park state; only valid while Valid().
+  promise_type& promise() { return handle_.promise(); }
+  const promise_type& promise() const { return handle_.promise(); }
+
+  // Resumes the coroutine unconditionally (the caller has already dealt with
+  // sleep/park state). Returns false once the process has run to completion.
+  bool Resume() {
+    handle_.resume();
+    return !handle_.done();
+  }
+
+  // One clock edge with exact per-edge semantics: wake the coroutine unless
+  // it is still sleeping off a PauseFor or parked on a false WaitUntil
+  // predicate. Returns false once the process has run to completion.
   bool Tick() {
     if (Done()) {
       return false;
@@ -64,6 +107,12 @@ class HwProcess {
     if (promise.sleep_cycles > 0) {
       --promise.sleep_cycles;
       return true;
+    }
+    if (promise.wait_pred != nullptr) {
+      if (!promise.wait_pred(promise.wait_ctx)) {
+        return true;
+      }
+      promise.wait_pred = nullptr;
     }
     handle_.resume();
     return !handle_.done();
@@ -99,6 +148,30 @@ struct PauseFor {
   }
   void await_resume() const noexcept {}
 };
+
+// `co_await WaitUntil(pred)`: continue immediately if pred() already holds
+// (no cycle is consumed, matching `if (cond) { work }`), otherwise park until
+// the first edge where it does. The predicate object lives in the coroutine
+// frame for the duration of the wait; the promise stores only a thunk and a
+// pointer to it, so parking allocates nothing.
+template <typename Pred>
+struct WaitUntil {
+  Pred pred;
+
+  explicit WaitUntil(Pred p) : pred(std::move(p)) {}
+
+  bool await_ready() { return pred(); }
+  void await_suspend(std::coroutine_handle<HwProcess::promise_type> handle) {
+    auto& promise = handle.promise();
+    promise.wait_pred = [](void* ctx) { return (*static_cast<Pred*>(ctx))(); };
+    promise.wait_ctx = &pred;
+    promise.wait_epoch = kWaitEpochStale;
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename Pred>
+WaitUntil(Pred) -> WaitUntil<Pred>;
 
 }  // namespace emu
 

@@ -13,6 +13,10 @@
 // race detection on Wire, and read-before-write detection on elements
 // constructed with the emu::no_init tag (the X-propagation hazard). See
 // src/analysis/hazard.h for the full taxonomy.
+//
+// Both are wake-tracked for the quiescence scheduler: a committed Reg write
+// and an immediate Wire write (when the wire knows its simulator) bump the
+// wake epoch, so `co_await WaitUntil(pred)` predicates may read them.
 #ifndef SRC_HDL_SIGNAL_H_
 #define SRC_HDL_SIGNAL_H_
 
@@ -72,6 +76,7 @@ class Reg : public Clocked {
     }
 #endif
     written_ = true;
+    dirty_ = true;
     next_ = std::move(value);
   }
 
@@ -92,7 +97,21 @@ class Reg : public Clocked {
     next_ = static_cast<T>(next_ ^ mask);
   }
 
-  void Commit() override { current_ = next_; }
+  void Commit() override {
+    if (dirty_) {
+      // The committed value may differ from what a parked WaitUntil
+      // predicate last observed: make it re-evaluate (see Simulator::
+      // NotifyWake). Registers a quiescent design never writes stay clean,
+      // so idle windows remain fast-forwardable.
+      dirty_ = false;
+      sim_.NotifyWake();
+    }
+    current_ = next_;
+  }
+
+  // A clean register has current_ == next_ (InjectBitFlip flips both), so
+  // skipping its Commit() across a quiescent window is a no-op.
+  bool CommitPending() const override { return dirty_; }
 
  private:
   Simulator& sim_;
@@ -101,6 +120,7 @@ class Reg : public Clocked {
   T next_{};
   bool no_default_ = false;
   bool written_ = false;
+  bool dirty_ = false;
 };
 
 template <typename T>
@@ -139,6 +159,11 @@ class Wire {
 #endif
     written_ = true;
     value_ = std::move(value);
+    if (sim_ != nullptr) {
+      // Combinational value changed within the cycle: parked predicates of
+      // later-registered processes must observe it this edge.
+      sim_->NotifyWake();
+    }
   }
 
  private:

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
 
 #include "src/analysis/hazard_monitor.h"
+#include "src/fault/fault_registry.h"
+#include "src/sim/event_scheduler.h"
 
 namespace emu {
 
@@ -38,6 +41,7 @@ Simulator::~Simulator() {
 void Simulator::AddProcess(HwProcess process, std::string name) {
   assert(process.Valid());
   processes_.push_back(NamedProcess{std::move(process), std::move(name)});
+  stats_.push_back(ProcessStats{});
 }
 
 void Simulator::RegisterClocked(Clocked* element) {
@@ -66,7 +70,26 @@ void Simulator::NotifyClockedDestroyed(Clocked* element) {
   }
 }
 
+void Simulator::AttachEdgeObserver(EdgeObserver* observer) {
+  assert(observer != nullptr);
+  edge_observers_.push_back(observer);
+}
+
+void Simulator::DetachEdgeObserver(EdgeObserver* observer) {
+  edge_observers_.erase(std::remove(edge_observers_.begin(), edge_observers_.end(), observer),
+                        edge_observers_.end());
+}
+
 void Simulator::Step() {
+  // Armed fault callback targets sample once per edge, before processes run
+  // (the tick at `now_` precedes the edge at `now_`, matching the chaos
+  // harness's historical `registry.Tick(now); Run(1);` order).
+  if (fault_registry_ != nullptr) [[unlikely]] {
+    fault_registry_->Tick(now_);
+  }
+  if (!forced_wakes_.empty()) [[unlikely]] {
+    ConsumeForcedWakes();
+  }
 #ifdef EMU_ANALYSIS
   // Keep the uninstrumented path identical to the non-analysis build: with
   // no monitor attached (and no tombstoned elements) there is exactly one
@@ -76,13 +99,55 @@ void Simulator::Step() {
     return;
   }
 #endif
-  for (auto& entry : processes_) {
-    entry.process.Tick();
+  // Epoch-lazy parked-predicate evaluation is only an optimization shortcut;
+  // with the fast path off every parked predicate is evaluated on every
+  // edge, which is the reference semantics.
+  const bool lazy = fast_path_;
+  for (usize i = 0; i < processes_.size(); ++i) {
+    HwProcess& process = processes_[i].process;
+    if (process.Done()) {
+      continue;
+    }
+    auto& promise = process.promise();
+    if (promise.sleep_cycles > 0) {
+      --promise.sleep_cycles;
+      continue;
+    }
+    ProcessStats& stats = stats_[i];
+    if (promise.wait_pred != nullptr) {
+      if (lazy && promise.wait_epoch == wake_epoch_) {
+        continue;  // no wake-tracked state changed since the last evaluation
+      }
+      ++stats.polls;
+      if (!promise.wait_pred(promise.wait_ctx)) {
+        promise.wait_epoch = wake_epoch_;
+        ++stats.cycles_awake;
+        continue;
+      }
+      promise.wait_pred = nullptr;
+    }
+    ++stats.resumes;
+    ++stats.cycles_awake;
+    if (profiling_) [[unlikely]] {
+      const auto start = std::chrono::steady_clock::now();
+      process.Resume();
+      stats.wall_ns += static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                            std::chrono::steady_clock::now() - start)
+                                            .count());
+    } else {
+      process.Resume();
+    }
   }
   for (Clocked* element : clocked_) {
     element->Commit();
   }
   ++now_;
+  ++edges_run_;
+  if (!edge_observers_.empty()) [[unlikely]] {
+    for (EdgeObserver* observer : edge_observers_) {
+      observer->OnEdge(now_);
+    }
+  }
 }
 
 #ifdef EMU_ANALYSIS
@@ -107,6 +172,8 @@ void Simulator::StepInstrumented() {
     if (monitor_ != nullptr) {
       monitor_->OnProcessResume(i, processes_[i].name);
     }
+    // Tick() evaluates parked predicates on every edge (exact semantics):
+    // the instrumented path never skips work the monitor might observe.
     processes_[i].process.Tick();
   }
   current_process_ = -1;
@@ -116,21 +183,129 @@ void Simulator::StepInstrumented() {
     }
   }
   ++now_;
+  ++edges_run_;
+  if (!edge_observers_.empty()) [[unlikely]] {
+    for (EdgeObserver* observer : edge_observers_) {
+      observer->OnEdge(now_);
+    }
+  }
 }
 #endif
 
+Cycle Simulator::QuiescentWindow(Cycle budget) {
+  if (!fast_path_ || !edge_observers_.empty()) {
+    return 0;
+  }
+#ifdef EMU_ANALYSIS
+  if (monitor_ != nullptr || dead_clocked_ > 0) {
+    return 0;
+  }
+#endif
+  if (fault_registry_ != nullptr) {
+    const u64 demand = fault_registry_->NextTickDemand(now_);
+    if (demand <= now_) {
+      return 0;
+    }
+    if (demand != FaultRegistry::kNeverDemands) {
+      budget = std::min(budget, static_cast<Cycle>(demand - now_));
+    }
+  }
+  if (!forced_wakes_.empty()) {
+    const Cycle first = *forced_wakes_.begin();
+    if (first <= now_) {
+      return 0;
+    }
+    budget = std::min(budget, first - now_);
+  }
+  if (event_scheduler_ != nullptr && !event_scheduler_->Empty()) {
+    const Cycle event_cycle =
+        static_cast<Cycle>(event_scheduler_->NextEventTime() / cycle_period_ps_);
+    if (event_cycle <= now_) {
+      return 0;
+    }
+    budget = std::min(budget, event_cycle - now_);
+  }
+  Cycle window = budget;
+  for (const auto& entry : processes_) {
+    const HwProcess& process = entry.process;
+    if (process.Done()) {
+      continue;
+    }
+    const auto& promise = process.promise();
+    if (promise.sleep_cycles > 0) {
+      window = std::min(window, static_cast<Cycle>(promise.sleep_cycles));
+      continue;
+    }
+    if (promise.wait_pred != nullptr && promise.wait_epoch == wake_epoch_) {
+      continue;  // parked, predicate provably unchanged: sleeps through any window
+    }
+    return 0;  // runnable, or parked with a stale predicate that needs evaluation
+  }
+  if (window > 0) {
+    // Buffered writes (testbench code mutating a Reg/FIFO/BRAM between Run
+    // calls, or a process's writes from the edge it went to sleep on) need a
+    // real edge to commit before time may jump.
+    for (const Clocked* element : clocked_) {
+      if (element->CommitPending()) {
+        return 0;
+      }
+    }
+  }
+  return window;
+}
+
+void Simulator::FastForward(Cycle cycles) {
+  assert(cycles > 0);
+  for (auto& entry : processes_) {
+    if (entry.process.Done()) {
+      continue;
+    }
+    auto& promise = entry.process.promise();
+    if (promise.sleep_cycles > 0) {
+      // QuiescentWindow bounded the jump by the minimum sleep, so no sleeper
+      // is skipped past its wake-up edge.
+      assert(promise.sleep_cycles >= cycles);
+      promise.sleep_cycles -= cycles;
+    }
+  }
+  now_ += cycles;
+  cycles_fast_forwarded_ += cycles;
+  ++jumps_;
+  if (fault_registry_ != nullptr) {
+    // Armed callback targets that allowed the jump still saw one injection
+    // opportunity per skipped tick; keep their books identical to per-edge
+    // sampling.
+    fault_registry_->NoteSkippedTicks(cycles);
+  }
+}
+
 void Simulator::Run(Cycle cycles) {
-  for (Cycle i = 0; i < cycles; ++i) {
-    Step();
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    const Cycle window = QuiescentWindow(end - now_);
+    if (window > 0) {
+      FastForward(window);
+    } else {
+      Step();
+    }
   }
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& done, Cycle limit) {
-  for (Cycle i = 0; i < limit; ++i) {
+  const Cycle end = now_ + limit;
+  while (now_ < end) {
     if (done()) {
       return true;
     }
-    Step();
+    // `done` is a pure function of simulation state (header contract), so it
+    // cannot flip inside a quiescent window: checking once per executed edge
+    // or jump is exactly equivalent to checking every cycle.
+    const Cycle window = QuiescentWindow(end - now_);
+    if (window > 0) {
+      FastForward(window);
+    } else {
+      Step();
+    }
   }
   return done();
 }
@@ -143,6 +318,24 @@ usize Simulator::live_process_count() const {
     }
   }
   return count;
+}
+
+SimProfile Simulator::ProfileReport() const {
+  SimProfile profile;
+  profile.edges_run = edges_run_;
+  profile.cycles_fast_forwarded = cycles_fast_forwarded_;
+  profile.jumps = jumps_;
+  profile.processes.reserve(processes_.size());
+  for (usize i = 0; i < processes_.size(); ++i) {
+    ProcessProfile entry;
+    entry.name = processes_[i].name;
+    entry.resumes = stats_[i].resumes;
+    entry.cycles_awake = stats_[i].cycles_awake;
+    entry.polls = stats_[i].polls;
+    entry.wall_ns = stats_[i].wall_ns;
+    profile.processes.push_back(std::move(entry));
+  }
+  return profile;
 }
 
 void Simulator::DumpDependencyGraph(std::ostream& os) const {

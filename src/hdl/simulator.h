@@ -8,11 +8,40 @@
 // This is the substrate the Emu FPGA target runs on; the clock rate (200 MHz
 // for NetFPGA SUME, 250 MHz for the P4FPGA baseline, §5.3) converts cycle
 // counts to wall-clock latency.
+//
+// --- Quiescence-aware fast path ---
+//
+// Run()/RunUntil() additionally fast-forward over *quiescent windows*:
+// spans of cycles in which every live process is either sleeping off a
+// PauseFor or parked on a WaitUntil predicate that provably cannot have
+// changed. During such a window no process body runs, so no next-state is
+// written, and every Commit() in the kernel is idempotent on clean state —
+// skipping the edges entirely (processes, commits and all) is therefore
+// invisible: now() advances in one jump and every observable (egress,
+// digests, hazard reports, VCD, fault logs) is bit-identical to stepping
+// edge by edge. The window is clamped by
+//   - the earliest PauseFor expiry (min over promise.sleep_cycles),
+//   - forced wakes (RequestWakeAt: FIFO stall expiries),
+//   - the next tick an attached FaultRegistry must sample (armed
+//     callback targets, see FaultRegistry::NextTickDemand),
+//   - the next pending event of an attached sim::EventScheduler.
+// Anything that demands per-edge observation disables fast-forward
+// entirely: an attached HazardMonitor (EMU_ANALYSIS), attached
+// EdgeObservers (VCD tracers), or SetFastPath(false).
+//
+// Parked predicates are re-evaluated lazily via a wake epoch: every
+// mutation of wake-tracked state (SyncFifo push-commits/pops/stalls,
+// explicit NotifyWake calls) bumps the epoch, and a parked process whose
+// predicate was last evaluated at the current epoch is skipped without
+// re-evaluation. With the fast path off (or a monitor attached) predicates
+// are evaluated on every edge — the reference semantics the equivalence
+// suite (tests/kernel_equiv_test.cc) checks the fast path against.
 #ifndef SRC_HDL_SIMULATOR_H_
 #define SRC_HDL_SIMULATOR_H_
 
 #include <functional>
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +50,8 @@
 
 namespace emu {
 
+class EventScheduler;
+class FaultRegistry;
 class HazardMonitor;
 class Simulator;
 
@@ -35,11 +66,45 @@ class Clocked {
   virtual ~Clocked();
   virtual void Commit() = 0;
 
+  // True when the next Commit() would apply buffered state (a written Reg, a
+  // pending FIFO push, a buffered BRAM/CAM write, ...). The scheduler only
+  // fast-forwards across a quiescent window when every registered element
+  // reports no pending commit; the conservative default pins subclasses that
+  // do not implement the query to exact per-edge stepping.
+  virtual bool CommitPending() const { return true; }
+
 #ifdef EMU_ANALYSIS
  private:
   friend class Simulator;
   Simulator* analysis_owner_ = nullptr;
 #endif
+};
+
+// Per-edge observer (VcdTracer and friends): OnEdge(now) runs after the
+// commits of every executed edge with now() already advanced past it —
+// exactly what the classic `Step(); Sample();` testbench loop observed.
+// While any observer is attached every cycle is executed (no fast-forward),
+// so observers see a gapless cycle stream.
+class EdgeObserver {
+ public:
+  virtual ~EdgeObserver() = default;
+  virtual void OnEdge(Cycle now) = 0;
+};
+
+// Scheduler statistics for one process (see Simulator::ProfileReport).
+struct ProcessProfile {
+  std::string name;
+  u64 resumes = 0;       // coroutine resumptions (edges the body actually ran)
+  u64 cycles_awake = 0;  // edges the scheduler did work for it (resume or poll)
+  u64 polls = 0;         // parked-predicate evaluations
+  u64 wall_ns = 0;       // wall time inside resumes (0 unless EnableProfiling)
+};
+
+struct SimProfile {
+  u64 edges_run = 0;            // edges actually executed
+  u64 cycles_fast_forwarded = 0;  // cycles skipped by quiescence jumps
+  u64 jumps = 0;                // number of fast-forward jumps
+  std::vector<ProcessProfile> processes;
 };
 
 class Simulator {
@@ -71,19 +136,68 @@ class Simulator {
   void RegisterClocked(Clocked* element);
   void UnregisterClocked(Clocked* element);
 
-  // Advances one clock edge.
+  // Advances one clock edge (always executed exactly; fast-forwarding only
+  // happens inside Run/RunUntil).
   void Step();
 
   void Run(Cycle cycles);
 
-  // Steps until `done()` is true (checked after each edge). Returns false if
-  // `limit` edges elapse first.
+  // Steps until `done()` is true (checked before each edge). Returns false
+  // if `limit` edges elapse first. So that the fast path can skip quiescent
+  // windows without missing the stop condition, `done` must be a pure
+  // function of simulation state (FIFO occupancy, collected egress, ...) —
+  // not of now(); bound time with `limit` instead.
   bool RunUntil(const std::function<bool()>& done, Cycle limit);
 
   usize live_process_count() const;
 
   usize process_count() const { return processes_.size(); }
   const std::string& process_name(usize index) const { return processes_[index].name; }
+
+  // --- Quiescence control ---
+
+  // Announces a mutation of wake-tracked state: every parked WaitUntil
+  // predicate becomes eligible for re-evaluation. Called by SyncFifo on
+  // occupancy/stall changes; call it yourself after mutating any other
+  // state a WaitUntil predicate reads (e.g. TenGigPort::Deliver).
+  void NotifyWake() { ++wake_epoch_; }
+  u64 wake_epoch() const { return wake_epoch_; }
+
+  // Schedules a wake at `cycle` for time-dependent state changes that no
+  // process announces (a FIFO stall expiring): the scheduler will execute
+  // that edge and re-evaluate parked predicates there.
+  void RequestWakeAt(Cycle cycle) { forced_wakes_.insert(cycle); }
+
+  // Toggles the quiescence fast path (default on). With it off Run/RunUntil
+  // execute every edge and evaluate every parked predicate per edge — the
+  // reference semantics the equivalence suite compares against.
+  void SetFastPath(bool enabled) { fast_path_ = enabled; }
+  bool fast_path() const { return fast_path_; }
+
+  // Attaches a FaultRegistry: Step() then samples its armed callback targets
+  // once per edge (registry->Tick(now)) before processes run, and the fast
+  // path consults NextTickDemand/NoteSkippedTicks so replay logs and
+  // opportunity counts stay bit-identical to per-edge ticking. nullptr
+  // detaches. The registry must outlive the attachment.
+  void AttachFaultRegistry(FaultRegistry* registry) { fault_registry_ = registry; }
+  FaultRegistry* fault_registry() const { return fault_registry_; }
+
+  // Attaches an EventScheduler whose pending events gate fast-forwarding:
+  // the simulator never jumps past the fabric cycle of the next pending
+  // event, so a testbench interleaving the two clock domains observes the
+  // same interleaving with the fast path on or off. nullptr detaches.
+  void AttachEventScheduler(EventScheduler* scheduler) { event_scheduler_ = scheduler; }
+
+  // --- Per-edge observers (VCD tracers, ...) ---
+  void AttachEdgeObserver(EdgeObserver* observer);
+  void DetachEdgeObserver(EdgeObserver* observer);
+
+  // --- Profiler ---
+  // Resume/poll counts are always collected (they are a handful of
+  // increments per edge); wall-clock attribution is off by default because
+  // it adds two steady_clock reads per resume.
+  void EnableProfiling(bool enabled) { profiling_ = enabled; }
+  SimProfile ProfileReport() const;
 
   // --- Analysis layer (src/analysis) ---
   // Attaches a HazardMonitor (nullptr detaches). The monitor only receives
@@ -115,9 +229,36 @@ class Simulator {
   void StepInstrumented();
 #endif
 
+  // Length of the quiescent window starting at now_ (0 = the next edge must
+  // be executed), capped at `budget`.
+  Cycle QuiescentWindow(Cycle budget);
+
+  // Skips `cycles` edges in one jump (caller has proven the window
+  // quiescent via QuiescentWindow).
+  void FastForward(Cycle cycles);
+
+  // Consumes forced wakes that have come due and bumps the wake epoch.
+  void ConsumeForcedWakes() {
+    bool any = false;
+    while (!forced_wakes_.empty() && *forced_wakes_.begin() <= now_) {
+      forced_wakes_.erase(forced_wakes_.begin());
+      any = true;
+    }
+    if (any) {
+      NotifyWake();
+    }
+  }
+
   struct NamedProcess {
     HwProcess process;
     std::string name;
+  };
+
+  struct ProcessStats {
+    u64 resumes = 0;
+    u64 cycles_awake = 0;
+    u64 polls = 0;
+    u64 wall_ns = 0;
   };
 
   u64 clock_hz_;
@@ -128,6 +269,21 @@ class Simulator {
   HazardMonitor* monitor_ = nullptr;
   isize current_process_ = -1;
   usize dead_clocked_ = 0;
+
+  // Quiescence state.
+  bool fast_path_ = true;
+  u64 wake_epoch_ = 0;
+  std::multiset<Cycle> forced_wakes_;
+  FaultRegistry* fault_registry_ = nullptr;
+  EventScheduler* event_scheduler_ = nullptr;
+  std::vector<EdgeObserver*> edge_observers_;
+
+  // Profiler state.
+  bool profiling_ = false;
+  std::vector<ProcessStats> stats_;
+  u64 edges_run_ = 0;
+  u64 cycles_fast_forwarded_ = 0;
+  u64 jumps_ = 0;
 };
 
 }  // namespace emu

@@ -29,6 +29,24 @@ std::string Binary(u64 value, usize width) {
 
 VcdTracer::VcdTracer(Simulator& sim) : sim_(sim) {}
 
+VcdTracer::~VcdTracer() { Detach(); }
+
+void VcdTracer::Attach() {
+  if (!attached_) {
+    sim_.AttachEdgeObserver(this);
+    attached_ = true;
+  }
+}
+
+void VcdTracer::Detach() {
+  if (attached_) {
+    sim_.DetachEdgeObserver(this);
+    attached_ = false;
+  }
+}
+
+void VcdTracer::OnEdge(Cycle /*now*/) { Sample(); }
+
 void VcdTracer::AddSignal(const std::string& name, usize width, std::function<u64()> getter) {
   Signal signal;
   signal.name = name;
@@ -56,6 +74,11 @@ void VcdTracer::Sample() {
 }
 
 void VcdTracer::RunAndSample(Cycle cycles) {
+  if (attached_) {
+    // Attached tracers already sample per edge from OnEdge.
+    sim_.Run(cycles);
+    return;
+  }
   for (Cycle i = 0; i < cycles; ++i) {
     sim_.Step();
     Sample();

@@ -6,6 +6,11 @@
 // that GTKWave (or any VCD viewer) opens. Signals are registered as polled
 // getters so anything — a Reg<T>, a FIFO depth, a service counter — can be
 // traced without plumbing.
+//
+// The tracer is an EdgeObserver: while Attach()ed it samples after every
+// committed edge, regardless of who advances the clock, and its presence
+// pins the kernel to exact per-edge stepping (no quiescence fast-forward) so
+// the dump is gapless. Detach() to stop tracing and release the kernel.
 #ifndef SRC_HDL_VCD_TRACER_H_
 #define SRC_HDL_VCD_TRACER_H_
 
@@ -17,10 +22,11 @@
 
 namespace emu {
 
-class VcdTracer {
+class VcdTracer : public EdgeObserver {
  public:
   // `timescale_ps` should be the simulator's cycle period.
   explicit VcdTracer(Simulator& sim);
+  ~VcdTracer() override;
 
   // Registers a signal: `width` bits, value polled from `getter` each Sample.
   void AddSignal(const std::string& name, usize width, std::function<u64()> getter);
@@ -32,7 +38,17 @@ class VcdTracer {
   // changes are stored, as VCD semantics want).
   void Sample();
 
-  // Runs the simulator `cycles` edges, sampling after every edge.
+  // Starts/stops per-edge sampling driven by the simulator itself. While
+  // attached, every sim.Run()/Step() edge is sampled.
+  void Attach();
+  void Detach();
+  bool attached() const { return attached_; }
+
+  // EdgeObserver: called by the simulator after each committed edge.
+  void OnEdge(Cycle now) override;
+
+  // Compatibility wrapper: runs the simulator `cycles` edges, sampling after
+  // every edge (whether or not the tracer is attached).
   void RunAndSample(Cycle cycles);
 
   usize change_count() const { return changes_; }
@@ -60,6 +76,7 @@ class VcdTracer {
   std::vector<Signal> signals_;
   std::vector<Change> log_;
   usize changes_ = 0;
+  bool attached_ = false;
 };
 
 }  // namespace emu

@@ -33,6 +33,7 @@ class Bram : public Module, public Clocked {
   void InjectBitFlip(u64 bit);
 
   void Commit() override;
+  bool CommitPending() const override { return !pending_.empty(); }
 
  private:
   struct PendingWrite {

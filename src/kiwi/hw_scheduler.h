@@ -28,6 +28,8 @@ class HwScheduler {
     return static_cast<Cycle>((ps + sim_.cycle_period_ps() - 1) / sim_.cycle_period_ps());
   }
 
+  void Run(Cycle cycles) { sim_.Run(cycles); }
+
   bool RunUntil(const std::function<bool()>& done, Cycle limit) {
     return sim_.RunUntil(done, limit);
   }

@@ -15,6 +15,20 @@ InputArbiter::InputArbiter(Simulator& sim, std::string name,
 
 HwProcess InputArbiter::MakeProcess() {
   for (;;) {
+    // Park until a grant is possible: some input has a frame and the core
+    // FIFO has space. The body re-checks with the hooked CanPush() on the
+    // cycle it actually pushes.
+    co_await WaitUntil([this] {
+      if (!output_.PollCanPush()) {
+        return false;
+      }
+      for (const SyncFifo<Packet>* input : inputs_) {
+        if (!input->Empty()) {
+          return true;
+        }
+      }
+      return false;
+    });
     bool moved = false;
     for (usize scan = 0; scan < inputs_.size(); ++scan) {
       const usize i = (next_input_ + scan) % inputs_.size();

@@ -30,26 +30,23 @@ u64 OutputQueues::total_tx_frames() const {
 
 HwProcess OutputQueues::MakeFanoutProcess() {
   for (;;) {
-    if (!core_out_.Empty()) {
-      Packet frame = core_out_.Pop();
-      frame.set_core_egress_cycle(sim().now());
-      const usize words = WordsForBytes(frame.size(), bus_bytes_);
-      const u8 mask = frame.dst_port_mask();
-      for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
-        if ((mask >> port) & 1u) {
-          // Deliberate tail-drop: check CanPush so the drop is observed
-          // backpressure, not an emu-check LOSTBACKPRESSURE hazard.
-          if (tx_fifos_[port]->CanPush()) {
-            tx_fifos_[port]->Push(frame);
-          } else {
-            ++tx_drops_;
-          }
+    co_await WaitUntil([this] { return !core_out_.Empty(); });
+    Packet frame = core_out_.Pop();
+    frame.set_core_egress_cycle(sim().now());
+    const usize words = WordsForBytes(frame.size(), bus_bytes_);
+    const u8 mask = frame.dst_port_mask();
+    for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
+      if ((mask >> port) & 1u) {
+        // Deliberate tail-drop: check CanPush so the drop is observed
+        // backpressure, not an emu-check LOSTBACKPRESSURE hazard.
+        if (tx_fifos_[port]->CanPush()) {
+          tx_fifos_[port]->Push(frame);
+        } else {
+          ++tx_drops_;
         }
       }
-      co_await PauseFor(words);
-    } else {
-      co_await Pause();
     }
+    co_await PauseFor(words);
   }
 }
 
@@ -60,18 +57,15 @@ HwProcess OutputQueues::MakeDrainProcess(u8 port) {
   Picoseconds wire_busy_ps = 0;
   const Picoseconds cycle_ps = sim().cycle_period_ps();
   for (;;) {
-    if (!fifo.Empty()) {
-      Packet frame = fifo.Pop();
-      wire_busy_ps = std::max(wire_busy_ps, sim().NowPs()) + SerializationPs(frame.size());
-      const Picoseconds wait_ps = wire_busy_ps - sim().NowPs();
-      co_await PauseFor(static_cast<Cycle>(wait_ps > 0 ? wait_ps / cycle_ps : 0));
-      frame.set_egress_time(wire_busy_ps + kMacPhyLatencyPs);
-      ++tx_frames_[port];
-      if (sink_) {
-        sink_(port, std::move(frame));
-      }
-    } else {
-      co_await Pause();
+    co_await WaitUntil([&fifo] { return !fifo.Empty(); });
+    Packet frame = fifo.Pop();
+    wire_busy_ps = std::max(wire_busy_ps, sim().NowPs()) + SerializationPs(frame.size());
+    const Picoseconds wait_ps = wire_busy_ps - sim().NowPs();
+    co_await PauseFor(static_cast<Cycle>(wait_ps > 0 ? wait_ps / cycle_ps : 0));
+    frame.set_egress_time(wire_busy_ps + kMacPhyLatencyPs);
+    ++tx_frames_[port];
+    if (sink_) {
+      sink_(port, std::move(frame));
     }
   }
 }

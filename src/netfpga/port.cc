@@ -33,11 +33,21 @@ Cycle TenGigPort::Deliver(Packet frame, Cycle earliest) {
   frame.set_src_port(index_);
   frame.set_ingress_time(start_ps);
   wire_.push_back(WireFrame{std::move(frame), complete});
+  // The wire deque is not a SyncFifo, so announce the mutation ourselves: a
+  // parked ingress process must re-evaluate its wait.
+  sim().NotifyWake();
   return complete;
 }
 
 HwProcess TenGigPort::MakeIngressProcess() {
   for (;;) {
+    // Park until something is on the wire, then sleep out its serialization
+    // time; completion times are monotonic per port, so the front frame is
+    // always the next to land.
+    co_await WaitUntil([this] { return !wire_.empty(); });
+    if (wire_.front().complete_at > sim().now()) {
+      co_await PauseFor(wire_.front().complete_at - sim().now());
+    }
     while (!wire_.empty() && wire_.front().complete_at <= sim().now()) {
       ++rx_frames_;
       // Tail-drop point: a full rx FIFO loses the frame, and the drop is

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/common/bit_util.h"
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/net/udp.h"
 #include "src/netfpga/axis.h"
@@ -34,10 +35,7 @@ ResourceUsage CryptoTunnelService::Resources() const {
 
 HwProcess CryptoTunnelService::MainLoop() {
   for (;;) {
-    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -105,6 +103,13 @@ HwProcess CryptoTunnelService::MainLoop() {
     dp_.tx->Push(std::move(dataplane.tdata));
     co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
   }
+}
+
+
+void CryptoTunnelService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("crypto.encrypted", &encrypted_);
+  registry.Register("crypto.decrypted", &decrypted_);
+  registry.Register("crypto.dropped", &dropped_);
 }
 
 }  // namespace emu

@@ -37,6 +37,7 @@ class CryptoTunnelService : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override { return 12 + kSpeckRounds; }
   Cycle InitiationInterval() const override { return 8; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   u64 encrypted() const { return encrypted_; }
   u64 decrypted() const { return decrypted_; }

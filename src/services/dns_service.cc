@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/fault/fault_registry.h"
 #include "src/ip/pearson_hash.h"
@@ -117,10 +118,7 @@ Status DnsService::InstallRecord(Record record) {
 
 HwProcess DnsService::MainLoop() {
   for (;;) {
-    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -219,6 +217,13 @@ HwProcess DnsService::MainLoop() {
     co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
     co_await PauseFor(config_.turnaround_cycles);  // FSM tail (throughput)
   }
+}
+
+
+void DnsService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("dns.resolved", &resolved_);
+  registry.Register("dns.nxdomain", &nxdomain_);
+  registry.Register("dns.dropped", &dropped_);
 }
 
 }  // namespace emu

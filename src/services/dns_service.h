@@ -43,6 +43,7 @@ class DnsService : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override { return 14; }
   Cycle InitiationInterval() const override { return 4; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   // Control plane: install a name -> address record. Fails when the name
   // exceeds the configured limit or the table is full. Records added before

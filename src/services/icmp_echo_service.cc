@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/netfpga/axis.h"
 #include "src/netfpga/dataplane.h"
@@ -21,10 +22,7 @@ void IcmpEchoService::Instantiate(Simulator& sim, Dataplane dp) {
 
 HwProcess IcmpEchoService::MainLoop() {
   for (;;) {
-    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -77,6 +75,13 @@ HwProcess IcmpEchoService::MainLoop() {
     ++dropped_;
     co_await Pause();
   }
+}
+
+
+void IcmpEchoService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("icmp.echoes", &echoes_);
+  registry.Register("icmp.arp_replies", &arp_replies_);
+  registry.Register("icmp.dropped", &dropped_);
 }
 
 }  // namespace emu

@@ -32,6 +32,7 @@ class IcmpEchoService : public Service {
   ResourceUsage Resources() const override { return resources_; }
   Cycle ModuleLatency() const override { return 9; }
   Cycle InitiationInterval() const override { return 3; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   u64 echoes() const { return echoes_; }
   u64 arp_replies() const { return arp_replies_; }

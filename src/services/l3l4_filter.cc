@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "src/core/metrics.h"
 #include "src/net/ethernet.h"
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
@@ -124,10 +125,8 @@ Cycle L3L4Filter::ModuleLatency() const {
 
 HwProcess L3L4Filter::FilterStage() {
   for (;;) {
-    if (dp_.rx->Empty() || !accepted_fifo_->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil(
+        [this] { return !dp_.rx->Empty() && accepted_fifo_->PollCanPush(); });
     Packet frame = dp_.rx->Pop();
 
     // All rules evaluate in parallel in hardware; one cycle for the
@@ -149,6 +148,12 @@ HwProcess L3L4Filter::FilterStage() {
     }
     co_await Pause();
   }
+}
+
+
+void L3L4Filter::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("l3l4.accepted", &accepted_);
+  registry.Register("l3l4.filtered", &filtered_);
 }
 
 }  // namespace emu

@@ -63,6 +63,7 @@ class L3L4Filter : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override;
   Cycle InitiationInterval() const override { return 3; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   u64 accepted() const { return accepted_; }
   u64 filtered() const { return filtered_; }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/net/ethernet.h"
 #include "src/netfpga/dataplane.h"
 
@@ -55,7 +56,9 @@ Cycle LearningSwitch::ModuleLatency() const {
 // resolves the destination MAC; the lookup overlaps the body beats.
 HwProcess LearningSwitch::LookupStage() {
   for (;;) {
-    if (!dp_.rx->Empty() && lookup_to_decide_->CanPush()) {
+    co_await WaitUntil(
+        [this] { return !dp_.rx->Empty() && lookup_to_decide_->PollCanPush(); });
+    {
       NetFpgaData dataplane;
       dataplane.tdata = dp_.rx->Pop();
 
@@ -83,8 +86,6 @@ HwProcess LearningSwitch::LookupStage() {
       }
       lookup_to_decide_->Push(std::move(dataplane.tdata));
       co_await Pause();
-    } else {
-      co_await Pause();
     }
   }
 }
@@ -93,14 +94,12 @@ HwProcess LearningSwitch::LookupStage() {
 // the learning logic (Fig. 2 line 11) — one scheduler state of its own.
 HwProcess LearningSwitch::DecideStage() {
   for (;;) {
-    if (!lookup_to_decide_->Empty() && decide_to_forward_->CanPush()) {
-      Packet frame = lookup_to_decide_->Pop();
-      co_await Pause();  // Kiwi.Pause()
-      decide_to_forward_->Push(std::move(frame));
-      co_await Pause();
-    } else {
-      co_await Pause();
-    }
+    co_await WaitUntil(
+        [this] { return !lookup_to_decide_->Empty() && decide_to_forward_->PollCanPush(); });
+    Packet frame = lookup_to_decide_->Pop();
+    co_await Pause();  // Kiwi.Pause()
+    decide_to_forward_->Push(std::move(frame));
+    co_await Pause();
   }
 }
 
@@ -108,7 +107,9 @@ HwProcess LearningSwitch::DecideStage() {
 // and stream the frame out.
 HwProcess LearningSwitch::ForwardAndLearnStage() {
   for (;;) {
-    if (!decide_to_forward_->Empty() && dp_.tx->CanPush()) {
+    co_await WaitUntil(
+        [this] { return !decide_to_forward_->Empty() && dp_.tx->PollCanPush(); });
+    {
       Packet frame = decide_to_forward_->Pop();
       EthernetView eth(frame);
 
@@ -131,10 +132,15 @@ HwProcess LearningSwitch::ForwardAndLearnStage() {
       const usize words = WordsForBytes(frame.size(), config_.bus_bytes);
       dp_.tx->Push(std::move(frame));
       co_await PauseFor(words > 1 ? words - 1 : 1);
-    } else {
-      co_await Pause();
     }
   }
+}
+
+
+void LearningSwitch::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("switch.lookups", &lookups_);
+  registry.Register("switch.hits", &hits_);
+  registry.Register("switch.learned", &learned_);
 }
 
 }  // namespace emu

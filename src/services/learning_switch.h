@@ -44,6 +44,7 @@ class LearningSwitch : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override;
   Cycle InitiationInterval() const override { return 2; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   // --- Statistics ---
   u64 lookups() const { return lookups_; }

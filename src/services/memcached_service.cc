@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/fault/fault_registry.h"
 #include "src/ip/pearson_hash.h"
@@ -123,10 +124,7 @@ Cycle MemcachedService::StoreAccessCycles(usize core, usize bytes) {
 
 HwProcess MemcachedService::Dispatcher() {
   for (;;) {
-    if (dp_.rx->Empty()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty(); });
     // Cheap L2/L3 peek at the head frame: SETs/DELETEs replicate to all
     // cores, everything else dispatches by input port.
     NetFpgaData dataplane;
@@ -252,10 +250,8 @@ McResponse MemcachedService::Execute(usize core_id, const McRequest& request) {
 HwProcess MemcachedService::Worker(usize core_id) {
   CoreState& core = cores_[core_id];
   for (;;) {
-    if (core.queue->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil(
+        [this, &core] { return !core.queue->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = core.queue->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -446,6 +442,18 @@ void MemcachedService::FillCacheFromHostReply(const Packet& frame) {
     core.slots[slot] = Entry{response->key, response->value, response->flags, true};
   }
   ++cache_fills_;
+}
+
+
+void MemcachedService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("memcached.gets", &gets_);
+  registry.Register("memcached.get_hits", &get_hits_);
+  registry.Register("memcached.sets", &sets_);
+  registry.Register("memcached.deletes", &deletes_);
+  registry.Register("memcached.dropped", &dropped_);
+  registry.Register("memcached.misses_forwarded", &misses_forwarded_);
+  registry.Register("memcached.host_replies_forwarded", &host_replies_forwarded_);
+  registry.Register("memcached.cache_fills", &cache_fills_);
 }
 
 }  // namespace emu

@@ -69,6 +69,7 @@ class MemcachedService : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override { return 16; }
   Cycle InitiationInterval() const override { return 24; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   // Reproduces the §5.5 checksum bug: reply UDP checksums are computed by a
   // hardware unit whose carry fold is broken. Invisible on short replies,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/debug/controller.h"
 #include "src/fault/fault_registry.h"
@@ -160,10 +161,7 @@ u16 NatService::MapOutbound(IpProtocol protocol, Ipv4Address src_ip, u16 src_por
 
 HwProcess NatService::MainLoop() {
   for (;;) {
-    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -300,6 +298,15 @@ HwProcess NatService::MainLoop() {
     co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
     co_await PauseFor(config_.turnaround_cycles);  // FSM tail (throughput)
   }
+}
+
+
+void NatService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("nat.translated_out", &translated_out_);
+  registry.Register("nat.translated_in", &translated_in_);
+  registry.Register("nat.dropped", &dropped_);
+  registry.Register("nat.exhaustion_rejects", &exhaustion_rejects_);
+  registry.Register("nat.exhaustion_evictions", &exhaustion_evictions_);
 }
 
 }  // namespace emu

@@ -68,6 +68,7 @@ class NatService : public Service {
   ResourceUsage Resources() const override;
   Cycle ModuleLatency() const override { return 12; }
   Cycle InitiationInterval() const override { return 4; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   u64 translated_out() const { return translated_out_; }
   u64 translated_in() const { return translated_in_; }

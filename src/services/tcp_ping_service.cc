@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/core/protocol_wrappers.h"
 #include "src/net/tcp.h"
 #include "src/netfpga/axis.h"
@@ -31,10 +32,7 @@ bool TcpPingService::PortOpen(u16 port) const {
 
 HwProcess TcpPingService::MainLoop() {
   for (;;) {
-    if (dp_.rx->Empty() || !dp_.tx->CanPush()) {
-      co_await Pause();
-      continue;
-    }
+    co_await WaitUntil([this] { return !dp_.rx->Empty() && dp_.tx->PollCanPush(); });
     NetFpgaData dataplane;
     dataplane.tdata = dp_.rx->Pop();
     const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
@@ -97,6 +95,13 @@ HwProcess TcpPingService::MainLoop() {
     ++dropped_;
     co_await Pause();
   }
+}
+
+
+void TcpPingService::RegisterMetrics(MetricsRegistry& registry) {
+  registry.Register("tcp_ping.syn_acks", &syn_acks_);
+  registry.Register("tcp_ping.resets", &resets_);
+  registry.Register("tcp_ping.dropped", &dropped_);
 }
 
 }  // namespace emu

@@ -34,6 +34,7 @@ class TcpPingService : public Service {
   ResourceUsage Resources() const override { return resources_; }
   Cycle ModuleLatency() const override { return 11; }
   Cycle InitiationInterval() const override { return 3; }
+  void RegisterMetrics(MetricsRegistry& registry) override;
 
   u64 syn_acks() const { return syn_acks_; }
   u64 resets() const { return resets_; }

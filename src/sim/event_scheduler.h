@@ -23,6 +23,11 @@ class EventScheduler {
   bool Empty() const { return queue_.empty(); }
   usize pending() const { return queue_.size(); }
 
+  // Absolute time of the earliest pending event; only valid when !Empty().
+  // The quiescence-aware Simulator (Simulator::AttachEventScheduler) uses
+  // this to avoid fast-forwarding past a pending event's fabric cycle.
+  Picoseconds NextEventTime() const { return queue_.top().when; }
+
   // Runs a single event; returns false when the queue is empty.
   bool Step();
 

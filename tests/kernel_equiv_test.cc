@@ -1,0 +1,452 @@
+// Quiescence-kernel equivalence suite.
+//
+// The fast path (quiescence fast-forward + epoch-lazy WaitUntil evaluation,
+// src/hdl/simulator.h) is an optimization shortcut, not a semantics change:
+// with SetFastPath(false) every cycle executes and every parked predicate is
+// evaluated per edge — the reference semantics. These tests run the same
+// workload both ways and require bit-exact agreement on everything
+// observable: cycle counts, egress frames (ports and bytes), service
+// counters, fault logs, and resume counts. They also pin the WaitUntil wake
+// contract: parked processes wake in registration order, on exactly the edge
+// the predicate first holds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/targets.h"
+#include "src/fault/fault_registry.h"
+#include "src/hdl/fifo.h"
+#include "src/hdl/signal.h"
+#include "src/hdl/vcd_tracer.h"
+#include "src/net/udp.h"
+#include "src/services/learning_switch.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+#include "src/sim/memaslap.h"
+
+namespace emu {
+namespace {
+
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+u64 DigestEgress(const std::vector<EgressFrame>& egress) {
+  u64 h = kFnvOffset;
+  for (const EgressFrame& entry : egress) {
+    h = (h ^ entry.port) * kFnvPrime;
+    for (u8 byte : entry.frame.bytes()) {
+      h = (h ^ byte) * kFnvPrime;
+    }
+  }
+  return h;
+}
+
+// Everything a run can disagree on.
+struct RunDigest {
+  Cycle final_now = 0;
+  usize egress_count = 0;
+  u64 egress_digest = 0;
+  std::vector<std::pair<std::string, u64>> metrics;
+  u64 resumes_total = 0;  // per-process resumes must match edge-for-edge
+  u64 edges_run = 0;
+  u64 cycles_fast_forwarded = 0;
+
+  void CaptureProfile(const Simulator& sim) {
+    const SimProfile profile = sim.ProfileReport();
+    edges_run = profile.edges_run;
+    cycles_fast_forwarded = profile.cycles_fast_forwarded;
+    for (const ProcessProfile& process : profile.processes) {
+      resumes_total += process.resumes;
+    }
+  }
+};
+
+void ExpectEquivalent(const RunDigest& fast, const RunDigest& exact) {
+  EXPECT_EQ(fast.final_now, exact.final_now);
+  EXPECT_EQ(fast.egress_count, exact.egress_count);
+  EXPECT_EQ(fast.egress_digest, exact.egress_digest);
+  EXPECT_EQ(fast.metrics, exact.metrics);
+  EXPECT_EQ(fast.resumes_total, exact.resumes_total);
+  // The exact run executed every cycle; the fast run must account for the
+  // same span as executed edges plus fast-forwarded cycles.
+  EXPECT_EQ(fast.edges_run + fast.cycles_fast_forwarded, exact.edges_run);
+  EXPECT_EQ(exact.cycles_fast_forwarded, 0u);
+}
+
+// --- Service workloads, fast vs exact -------------------------------------------
+
+const MacAddress kHostMacs[4] = {
+    MacAddress::FromU48(0x02'00'00'00'00'01), MacAddress::FromU48(0x02'00'00'00'00'02),
+    MacAddress::FromU48(0x02'00'00'00'00'03), MacAddress::FromU48(0x02'00'00'00'00'04)};
+const Ipv4Address kHostIps[4] = {Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                 Ipv4Address(10, 0, 0, 3), Ipv4Address(10, 0, 0, 4)};
+
+RunDigest RunLearningSwitch(bool fast_path) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  // Teach all four MACs with broadcast frames, then unicast between them in
+  // bursts with long idle gaps — the idle-heavy pattern the fast path eats.
+  for (u8 port = 0; port < 4; ++port) {
+    target.Inject(port,
+                  MakeUdpPacket({MacAddress::Broadcast(), kHostMacs[port], kHostIps[port],
+                                 Ipv4Address(10, 0, 0, 99), 1, 2},
+                                std::vector<u8>{port}));
+    target.Run(20'000);
+  }
+  for (usize burst = 0; burst < 5; ++burst) {
+    for (usize i = 0; i < 8; ++i) {
+      const u8 src = static_cast<u8>(i % 4);
+      const u8 dst = static_cast<u8>((i + 1 + burst) % 4);
+      target.Inject(src, MakeUdpPacket({kHostMacs[dst], kHostMacs[src], kHostIps[src],
+                                        kHostIps[dst], 1000, 2000},
+                                       std::vector<u8>(1 + i, static_cast<u8>(burst))));
+    }
+    target.Run(50'000);
+  }
+
+  RunDigest digest;
+  digest.final_now = target.sim().now();
+  const auto egress = target.TakeEgress();
+  digest.egress_count = egress.size();
+  digest.egress_digest = DigestEgress(egress);
+  digest.metrics = metrics.Snapshot();
+  digest.CaptureProfile(target.sim());
+  return digest;
+}
+
+TEST(KernelEquivalence, LearningSwitchBitExact) {
+  const RunDigest fast = RunLearningSwitch(true);
+  const RunDigest exact = RunLearningSwitch(false);
+  ASSERT_GT(fast.egress_count, 0u);
+  ExpectEquivalent(fast, exact);
+  // The workload is idle-heavy: the fast path must actually skip cycles.
+  EXPECT_GT(fast.cycles_fast_forwarded, 0u);
+}
+
+RunDigest RunNat(bool fast_path) {
+  NatConfig config;
+  NatService service(config);
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  const MacAddress host_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
+  for (usize i = 0; i < 30; ++i) {
+    Packet frame = MakeUdpPacket(
+        {config.internal_mac, host_mac, Ipv4Address(192, 168, 1, static_cast<u8>(2 + i % 8)),
+         Ipv4Address(8, 8, 8, 8), static_cast<u16>(5000 + i), 53},
+        std::vector<u8>{'q', static_cast<u8>(i)});
+    frame.set_src_port(1);
+    target.Inject(1, std::move(frame));
+    target.Run(i % 3 == 0 ? 30'000 : 500);  // mixed idle gaps and back-pressure
+  }
+  target.Run(100'000);
+
+  RunDigest digest;
+  digest.final_now = target.sim().now();
+  const auto egress = target.TakeEgress();
+  digest.egress_count = egress.size();
+  digest.egress_digest = DigestEgress(egress);
+  digest.metrics = metrics.Snapshot();
+  digest.CaptureProfile(target.sim());
+  return digest;
+}
+
+TEST(KernelEquivalence, NatBitExact) {
+  const RunDigest fast = RunNat(true);
+  const RunDigest exact = RunNat(false);
+  ASSERT_GT(fast.egress_count, 0u);
+  ExpectEquivalent(fast, exact);
+  EXPECT_GT(fast.cycles_fast_forwarded, 0u);
+}
+
+RunDigest RunMemcached(bool fast_path) {
+  MemcachedConfig config;
+  config.cores = 4;
+  MemcachedService service(config);
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  MemaslapConfig workload;
+  workload.server_mac = config.mac;
+  workload.server_ip = config.ip;
+  workload.key_space = 40;
+  MemaslapLoadgen loadgen(workload);
+  for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
+    target.Inject(0, loadgen.PrewarmFrame(i));
+    target.Run(2'000);
+  }
+  for (usize i = 0; i < 60; ++i) {
+    target.Inject(static_cast<u8>(i % 4), loadgen.WorkloadFrame(i));
+    target.Run(i % 5 == 0 ? 20'000 : 300);
+  }
+  target.Run(100'000);
+
+  RunDigest digest;
+  digest.final_now = target.sim().now();
+  const auto egress = target.TakeEgress();
+  digest.egress_count = egress.size();
+  digest.egress_digest = DigestEgress(egress);
+  digest.metrics = metrics.Snapshot();
+  digest.CaptureProfile(target.sim());
+  return digest;
+}
+
+TEST(KernelEquivalence, MemcachedBitExact) {
+  const RunDigest fast = RunMemcached(true);
+  const RunDigest exact = RunMemcached(false);
+  ASSERT_GT(fast.egress_count, 0u);
+  ExpectEquivalent(fast, exact);
+  EXPECT_GT(fast.cycles_fast_forwarded, 0u);
+}
+
+// --- Fault plans, fast vs exact --------------------------------------------------
+//
+// An attached registry samples armed targets per tick; across a quiescent
+// jump the skipped ticks are booked in bulk. The fault log (site, tick,
+// detail) and every response byte must replay identically either way.
+
+struct FaultDigest {
+  RunDigest run;
+  u64 faults_fired = 0;
+  u64 log_digest = 0;
+};
+
+FaultDigest RunNatUnderFaults(bool fast_path) {
+  NatConfig config;
+  config.max_mappings = 64;
+  NatService service(config);
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  FaultRegistry registry(7);
+  service.RegisterFaultPoints(registry);
+  target.sim().AttachFaultRegistry(&registry);
+  const auto plan = ParseFaultPlan(
+      "nat.table_full burst 20000 60000 0.5; nat.flows bernoulli 0.001");
+  if (!plan.ok()) {
+    ADD_FAILURE() << "bad fault plan: " << plan.status().ToString();
+    return FaultDigest{};
+  }
+  registry.ArmPlan(*plan);
+
+  const MacAddress host_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
+  for (usize i = 0; i < 40; ++i) {
+    Packet frame = MakeUdpPacket(
+        {config.internal_mac, host_mac, Ipv4Address(192, 168, 1, static_cast<u8>(2 + i % 100)),
+         Ipv4Address(8, 8, 8, 8), static_cast<u16>(1024 + i), 53},
+        std::vector<u8>{'p'});
+    frame.set_src_port(1);
+    target.Inject(1, std::move(frame));
+    target.Run(4'000);
+  }
+  registry.DisarmAll();
+  target.Run(150'000);  // drain fast-forwards once disarmed
+
+  FaultDigest digest;
+  digest.run.final_now = target.sim().now();
+  const auto egress = target.TakeEgress();
+  digest.run.egress_count = egress.size();
+  digest.run.egress_digest = DigestEgress(egress);
+  digest.run.metrics = metrics.Snapshot();
+  digest.run.CaptureProfile(target.sim());
+  digest.faults_fired = registry.fired_total();
+  digest.log_digest = registry.LogDigest();
+  target.sim().AttachFaultRegistry(nullptr);
+  return digest;
+}
+
+TEST(KernelEquivalence, FaultPlanReplayBitExact) {
+  const FaultDigest fast = RunNatUnderFaults(true);
+  const FaultDigest exact = RunNatUnderFaults(false);
+  ExpectEquivalent(fast.run, exact.run);
+  EXPECT_EQ(fast.faults_fired, exact.faults_fired);
+  EXPECT_EQ(fast.log_digest, exact.log_digest);
+  EXPECT_GT(fast.faults_fired, 0u);  // the plan actually fired
+  EXPECT_GT(fast.run.cycles_fast_forwarded, 0u);  // the drain actually jumped
+}
+
+// --- VCD equivalence --------------------------------------------------------------
+//
+// An attached tracer pins the kernel per-edge, so its dump must be identical
+// with the fast path nominally on or off.
+
+std::string RenderSwitchVcd(bool fast_path) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  VcdTracer tracer(target.sim());
+  tracer.AddSignal("lookups", 16, [&] { return metrics.Get("switch.lookups"); });
+  tracer.AddSignal("learned", 16, [&] { return metrics.Get("switch.learned"); });
+  tracer.Sample();
+  tracer.Attach();
+  target.Inject(0, MakeUdpPacket({MacAddress::Broadcast(), kHostMacs[0], kHostIps[0],
+                                  kHostIps[1], 1, 2},
+                                 std::vector<u8>{1}));
+  target.Run(5'000);
+  tracer.Detach();
+  return tracer.Render();
+}
+
+TEST(KernelEquivalence, AttachedVcdTraceIdentical) {
+  const std::string fast = RenderSwitchVcd(true);
+  const std::string exact = RenderSwitchVcd(false);
+  EXPECT_EQ(fast, exact);
+  EXPECT_NE(fast.find("$enddefinitions"), std::string::npos);
+}
+
+// --- WaitUntil wake semantics ----------------------------------------------------
+
+HwProcess Consumer(SyncFifo<int>& fifo, std::vector<int>& log, int tag) {
+  for (;;) {
+    co_await WaitUntil([&fifo] { return !fifo.Empty(); });
+    log.push_back(tag * 1000 + fifo.Pop());
+    co_await Pause();
+  }
+}
+
+// Two consumers parked on one FIFO: pushes wake them in registration order,
+// and the loser of the race re-parks without observing anything.
+void CheckWakeOrdering(bool fast_path) {
+  Simulator sim;
+  sim.SetFastPath(fast_path);
+  SyncFifo<int> fifo(sim, "f", 8, 32);
+  std::vector<int> log;
+  sim.AddProcess(Consumer(fifo, log, 1), "first");
+  sim.AddProcess(Consumer(fifo, log, 2), "second");
+  sim.Run(10);  // both park
+  EXPECT_TRUE(log.empty());
+
+  fifo.Push(7);
+  sim.Run(10);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 1007);  // the first-registered consumer wins
+
+  fifo.Push(8);
+  fifo.Push(9);
+  sim.Run(10);
+  // Both values land at one commit; first-registered pops first.
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[1], 1008);
+  EXPECT_EQ(log[2], 2009);
+}
+
+TEST(WaitUntilTest, WakeOrderFollowsRegistrationOrderFast) { CheckWakeOrdering(true); }
+TEST(WaitUntilTest, WakeOrderFollowsRegistrationOrderExact) { CheckWakeOrdering(false); }
+
+// A predicate that is already true must not cost an edge: WaitUntil then
+// continues within the same cycle, exactly like the `if (ready) work` shape
+// it replaces.
+HwProcess ImmediateWaiter(SyncFifo<int>& fifo, Reg<u64>& out) {
+  co_await WaitUntil([&fifo] { return !fifo.Empty(); });
+  out.Write(static_cast<u64>(fifo.Pop()));
+  co_await Pause();
+}
+
+TEST(WaitUntilTest, TruePredicateContinuesSameCycle) {
+  Simulator sim;
+  SyncFifo<int> fifo(sim, "f", 4, 32);
+  Reg<u64> out(sim, 0);
+  fifo.Push(41);
+  sim.Run(1);  // commit the push before the process first runs
+  sim.AddProcess(ImmediateWaiter(fifo, out), "waiter");
+  sim.Run(1);
+  EXPECT_EQ(out.Read(), 41u);  // popped and written on its first edge
+}
+
+// A parked producer polling for space wakes on the same edge a
+// later-registered consumer frees a slot (pop visibility is intra-cycle).
+HwProcess BlockedProducer(SyncFifo<int>& fifo, int count, u64& pushes) {
+  for (int i = 0; i < count; ++i) {
+    co_await WaitUntil([&fifo] { return fifo.PollCanPush(); });
+    fifo.Push(i);
+    ++pushes;
+    co_await Pause();
+  }
+}
+
+HwProcess SlowDrain(SyncFifo<int>& fifo, Cycle period, u64& pops) {
+  for (;;) {
+    co_await PauseFor(period);
+    if (!fifo.Empty()) {
+      fifo.Pop();
+      ++pops;
+    }
+  }
+}
+
+void CheckBackpressureWake(bool fast_path) {
+  Simulator sim;
+  sim.SetFastPath(fast_path);
+  SyncFifo<int> fifo(sim, "f", 2, 32);
+  u64 pushes = 0;
+  u64 pops = 0;
+  sim.AddProcess(BlockedProducer(fifo, 10, pushes), "producer");
+  sim.AddProcess(SlowDrain(fifo, 50, pops), "drain");
+  sim.Run(1'000);
+  EXPECT_EQ(pushes, 10u);  // producer squeezed everything through depth 2
+  EXPECT_GE(pops, 8u);
+}
+
+TEST(WaitUntilTest, BackpressuredProducerWakesOnPopFast) { CheckBackpressureWake(true); }
+TEST(WaitUntilTest, BackpressuredProducerWakesOnPopExact) { CheckBackpressureWake(false); }
+
+// A stalled FIFO un-stalls by the clock, not by any process action: the
+// forced wake scheduled at stall expiry must un-park the consumer even
+// though no producer bumps the epoch in between.
+TEST(WaitUntilTest, StallExpiryWakesParkedConsumer) {
+  Simulator sim;
+  SyncFifo<int> fifo(sim, "f", 4, 32);
+  std::vector<int> log;
+  sim.AddProcess(Consumer(fifo, log, 1), "consumer");
+  fifo.Push(5);
+  sim.Run(2);  // commit, consumer pops... unless stalled first
+  log.clear();
+  fifo.Push(6);
+  sim.Run(1);
+  fifo.InjectStall(100);
+  sim.Run(50);
+  EXPECT_TRUE(log.empty());  // stalled: consumer sees empty
+  sim.Run(100);
+  ASSERT_EQ(log.size(), 1u);  // expiry wake fired with no producer activity
+  EXPECT_EQ(log[0], 1006);
+}
+
+// --- Profiling --------------------------------------------------------------------
+
+TEST(ProfileReportTest, CountsResumesAndJumps) {
+  Simulator sim;
+  SyncFifo<int> fifo(sim, "f", 8, 32);
+  std::vector<int> log;
+  sim.AddProcess(Consumer(fifo, log, 1), "consumer");
+  sim.EnableProfiling(true);
+  fifo.Push(1);
+  sim.Run(10'000);
+
+  const SimProfile profile = sim.ProfileReport();
+  ASSERT_EQ(profile.processes.size(), 1u);
+  EXPECT_EQ(profile.processes[0].name, "consumer");
+  EXPECT_GE(profile.processes[0].resumes, 1u);
+  EXPECT_GT(profile.processes[0].wall_ns, 0u);
+  EXPECT_GT(profile.cycles_fast_forwarded, 0u);  // parked consumer quiesces
+  EXPECT_GT(profile.jumps, 0u);
+  EXPECT_EQ(profile.edges_run + profile.cycles_fast_forwarded, 10'000u);
+}
+
+}  // namespace
+}  // namespace emu

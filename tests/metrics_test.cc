@@ -1,0 +1,102 @@
+// MetricsRegistry: the canonical counter surface (src/core/metrics.h), its
+// service registrations, and the CASP debug-controller bridge.
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.h"
+#include "src/core/targets.h"
+#include "src/debug/controller.h"
+#include "src/net/icmp.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/nat_service.h"
+
+namespace emu {
+namespace {
+
+TEST(MetricsRegistryTest, RegisterAndRead) {
+  MetricsRegistry registry;
+  u64 counter = 0;
+  registry.Register("svc.count", &counter);
+  registry.Register("svc.derived", [&counter] { return counter * 2; });
+
+  EXPECT_TRUE(registry.Has("svc.count"));
+  EXPECT_FALSE(registry.Has("svc.other"));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Get("svc.count"), 0u);
+
+  counter = 21;  // reads are live, not snapshots at registration time
+  EXPECT_EQ(registry.Get("svc.count"), 21u);
+  EXPECT_EQ(registry.Get("svc.derived"), 42u);
+  EXPECT_EQ(registry.Get("svc.unknown"), 0u);  // unknown reads as never-incremented
+}
+
+TEST(MetricsRegistryTest, ReRegisterReplacesSource) {
+  MetricsRegistry registry;
+  u64 first = 1;
+  u64 second = 2;
+  registry.Register("svc.count", &first);
+  registry.Register("svc.count", &second);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Get("svc.count"), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndFormatPreserveRegistrationOrder) {
+  MetricsRegistry registry;
+  u64 b = 2;
+  u64 a = 1;
+  registry.Register("z.second", &b);
+  registry.Register("a.first", &a);
+
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "z.second");
+  EXPECT_EQ(snapshot[1].first, "a.first");
+  EXPECT_EQ(registry.Format(), "z.second=2\na.first=1\n");
+}
+
+TEST(MetricsRegistryTest, ServiceCountersTrackTheLegacyGetters) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  FpgaTarget target(service);
+  MetricsRegistry registry;
+  service.RegisterMetrics(registry);
+
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'01);
+  auto reply = target.SendAndCollect(
+      0, MakeIcmpEchoRequest({config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, 1, 0}, {}));
+  ASSERT_TRUE(reply.ok());
+
+  EXPECT_EQ(registry.Get("icmp.echoes"), 1u);
+  EXPECT_EQ(registry.Get("icmp.echoes"), service.echoes());  // wrapper == registry
+  EXPECT_EQ(registry.Get("icmp.dropped"), service.dropped());
+}
+
+TEST(MetricsRegistryTest, NatRegistersItsFullCounterSet) {
+  NatConfig config;
+  NatService service(config);
+  MetricsRegistry registry;
+  service.RegisterMetrics(registry);
+  for (const char* name :
+       {"nat.translated_out", "nat.translated_in", "nat.dropped",
+        "nat.exhaustion_rejects", "nat.exhaustion_evictions"}) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+  }
+}
+
+TEST(MetricsRegistryTest, ControllerBridgeExposesMetricsAsCaspVariables) {
+  MetricsRegistry registry;
+  u64 counter = 7;
+  registry.Register("svc.count", &counter);
+
+  DirectionController controller;
+  controller.AttachMetrics(&registry);
+  EXPECT_TRUE(controller.machine().HasVariable("svc.count"));
+  const auto value = controller.machine().ReadVariable("svc.count");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7u);
+
+  counter = 9;  // bridge reads through the registry, so updates are live
+  EXPECT_EQ(*controller.machine().ReadVariable("svc.count"), 9u);
+}
+
+}  // namespace
+}  // namespace emu
