@@ -60,6 +60,11 @@ std::string DirectionController::HandleCommandText(const std::string& text) {
   if (!result.ok()) {
     return "error: " + result.status().ToString();
   }
+  // write/increment (and procedure installs that fire immediately) mutate
+  // CASP-bound variables; announce the mutation to the wake-epoch protocol.
+  if (wake_hook_) {
+    wake_hook_();
+  }
   return *result;
 }
 
@@ -127,6 +132,7 @@ DirectedService::DirectedService(Service& inner, DirectionController& controller
 void DirectedService::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
   dp_ = dp;
+  controller_.SetWakeHook([&sim] { sim.NotifyWake(); });
   inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, "directed_inner_rx", 64, 256);
   sim.AddProcess(FilterProcess(), "direction_filter");
   inner_.Instantiate(sim, Dataplane{inner_rx_.get(), dp.tx});

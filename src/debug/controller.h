@@ -13,6 +13,7 @@
 #ifndef SRC_DEBUG_CONTROLLER_H_
 #define SRC_DEBUG_CONTROLLER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -59,6 +60,14 @@ class DirectionController {
   // The registry must outlive the controller.
   void AttachMetrics(const MetricsRegistry* metrics);
 
+  // Wake-epoch bridge: CASP `write`/`increment` commands mutate program
+  // variables through their setters, which can flip a WaitUntil predicate a
+  // hardware process is parked on. The hook (typically Simulator::NotifyWake)
+  // is invoked after any command or procedure that may have written state, so
+  // the quiescence fast path re-evaluates parked predicates instead of
+  // sleeping through the mutation. DirectedService wires this automatically.
+  void SetWakeHook(std::function<void()> hook) { wake_hook_ = std::move(hook); }
+
   // Parses + compiles + applies a command; returns the reply text.
   std::string HandleCommandText(const std::string& text);
 
@@ -73,9 +82,21 @@ class DirectionController {
 
   // Activates an extension point; false means a breakpoint fired and the
   // host program should stall until Resume().
-  bool Activate(const std::string& point) { return machine_.Activate(point); }
+  bool Activate(const std::string& point) {
+    const bool proceed = machine_.Activate(point);
+    // Installed procedures may have written variables.
+    if (wake_hook_) {
+      wake_hook_();
+    }
+    return proceed;
+  }
   bool broken() const { return machine_.broken(); }
-  void Resume() { machine_.Resume(); }
+  void Resume() {
+    machine_.Resume();
+    if (wake_hook_) {
+      wake_hook_();
+    }
+  }
 
   // The controller's own hardware bill: base logic plus per-feature cost and
   // a deterministic place-and-route perturbation (Table 5 shows utilization
@@ -90,6 +111,7 @@ class DirectionController {
   CaspMachine machine_;
   u8 features_ = 0;
   u64 packets_handled_ = 0;
+  std::function<void()> wake_hook_;
 };
 
 // RAII frame for the controller's call-stack model: services bracket their

@@ -32,13 +32,22 @@ void Bram::InjectBitFlip(u64 bit) {
   const usize addr = static_cast<usize>(bit / word_bits_) % data_.size();
   const usize in_word = static_cast<usize>(bit % word_bits_);
   data_[addr] = (data_[addr] ^ (u64{1} << in_word)) & word_mask_;
+  // Committed state changed out-of-band; parked WaitUntil predicates that
+  // read this word must be re-evaluated.
+  sim().NotifyWake();
 }
 
 void Bram::Commit() {
+  if (pending_.empty()) {
+    return;
+  }
   for (const PendingWrite& write : pending_) {
     data_[write.addr] = write.value;
   }
   pending_.clear();
+  // A parked process may be waiting on Read(addr); the commit is the moment
+  // the new contents become observable.
+  sim().NotifyWake();
 }
 
 }  // namespace emu

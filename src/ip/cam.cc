@@ -50,13 +50,21 @@ void Cam::InjectBitFlip(u64 bit) {
   } else {
     slot.key = (slot.key ^ (u64{1} << (in_slot - 1))) & key_mask_;
   }
+  // Committed state changed out-of-band; wake parked Lookup predicates.
+  sim().NotifyWake();
 }
 
 void Cam::Commit() {
+  if (pending_.empty()) {
+    return;
+  }
   for (const PendingWrite& write : pending_) {
     slots_[write.index] = write.slot;
   }
   pending_.clear();
+  // Lookup() results change at this edge; a process parked on a hit/miss
+  // predicate must be re-evaluated.
+  sim().NotifyWake();
 }
 
 }  // namespace emu

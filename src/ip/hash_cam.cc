@@ -41,11 +41,14 @@ u64 HashCam::Read(u64 key) {
 }
 
 bool HashCam::Write(u64 key, u64 index) {
+  // HashCam is not Clocked: writes take effect immediately, so each mutation
+  // announces itself to the wake-epoch protocol here instead of in Commit().
   // First pass: update in place if the key is already bound.
   for (usize probe = 0; probe < kProbeLimit; ++probe) {
     Bucket& bucket = table_[Slot(key, probe)];
     if (bucket.valid && bucket.key == key) {
       bucket.index = index;
+      sim().NotifyWake();
       return true;
     }
   }
@@ -53,6 +56,7 @@ bool HashCam::Write(u64 key, u64 index) {
     Bucket& bucket = table_[Slot(key, probe)];
     if (!bucket.valid) {
       bucket = Bucket{true, key, index};
+      sim().NotifyWake();
       return true;
     }
   }
@@ -68,6 +72,7 @@ void HashCam::InjectBitFlip(u64 bit) {
   } else {
     bucket.key ^= u64{1} << (in_bucket - 1);
   }
+  sim().NotifyWake();
 }
 
 void HashCam::Erase(u64 key) {
@@ -75,6 +80,7 @@ void HashCam::Erase(u64 key) {
     Bucket& bucket = table_[Slot(key, probe)];
     if (bucket.valid && bucket.key == key) {
       bucket.valid = false;
+      sim().NotifyWake();
       return;
     }
   }

@@ -39,10 +39,15 @@ void LogicCam::Invalidate(usize index) {
 }
 
 void LogicCam::Commit() {
+  if (pending_.empty()) {
+    return;
+  }
   for (const PendingWrite& write : pending_) {
     slots_[write.index] = write.slot;
   }
   pending_.clear();
+  // Same wake rule as the IP CAM: committed lookup results just changed.
+  sim().NotifyWake();
 }
 
 }  // namespace emu

@@ -14,6 +14,7 @@ bool EventScheduler::Step() {
   Event event = queue_.top();
   queue_.pop();
   now_ = event.when;
+  ++executed_;
   event.action();
   return true;
 }
@@ -30,6 +31,15 @@ void EventScheduler::RunUntil(Picoseconds deadline) {
   if (now_ < deadline) {
     now_ = deadline;
   }
+}
+
+usize EventScheduler::RunWhileBefore(Picoseconds bound, usize max_events) {
+  usize ran = 0;
+  while (ran < max_events && !queue_.empty() && queue_.top().when < bound) {
+    Step();
+    ++ran;
+  }
+  return ran;
 }
 
 }  // namespace emu

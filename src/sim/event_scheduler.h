@@ -37,6 +37,16 @@ class EventScheduler {
   // Runs events with time <= deadline.
   void RunUntil(Picoseconds deadline);
 
+  // Conservative-window execution for the parallel runner: runs events with
+  // time strictly BEFORE `bound` (at most `max_events` of them) and returns
+  // how many ran. Unlike RunUntil, now() is left at the last executed event,
+  // not advanced to the bound — later cross-shard arrivals carry absolute
+  // timestamps and must not be clamped forward.
+  usize RunWhileBefore(Picoseconds bound, usize max_events);
+
+  // Events executed over this scheduler's lifetime.
+  u64 executed() const { return executed_; }
+
  private:
   struct Event {
     Picoseconds when;
@@ -51,6 +61,7 @@ class EventScheduler {
 
   Picoseconds now_ = 0;
   u64 next_seq_ = 0;
+  u64 executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

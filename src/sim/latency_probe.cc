@@ -5,20 +5,10 @@
 
 namespace emu {
 
-void LatencyStats::Add(Picoseconds sample) {
-  samples_.push_back(sample);
-  sorted_ = false;
-}
+void LatencyStats::Add(Picoseconds sample) { samples_.push_back(sample); }
 
 void LatencyStats::AddPacket(const Packet& packet) {
   Add(packet.egress_time() - packet.ingress_time());
-}
-
-void LatencyStats::Sort() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
 }
 
 double LatencyStats::MeanUs() const {
@@ -36,16 +26,14 @@ double LatencyStats::MinUs() const {
   if (samples_.empty()) {
     return 0.0;
   }
-  Sort();
-  return ToMicroseconds(samples_.front());
+  return ToMicroseconds(*std::min_element(samples_.begin(), samples_.end()));
 }
 
 double LatencyStats::MaxUs() const {
   if (samples_.empty()) {
     return 0.0;
   }
-  Sort();
-  return ToMicroseconds(samples_.back());
+  return ToMicroseconds(*std::max_element(samples_.begin(), samples_.end()));
 }
 
 double LatencyStats::StdDevUs() const {
@@ -65,12 +53,21 @@ double LatencyStats::PercentileUs(double p) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  Sort();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const usize lo = static_cast<usize>(rank);
-  const usize hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return ToMicroseconds(samples_[lo]) * (1.0 - frac) + ToMicroseconds(samples_[hi]) * frac;
+  const usize n = samples_.size();
+  // Nearest-rank: smallest sample whose cumulative frequency >= p%. The
+  // 1-based rank is ceil(p/100 * n), clamped into [1, n] so p=0 selects the
+  // minimum and p=100 selects the maximum rather than reading past the end.
+  usize rank = static_cast<usize>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  std::vector<Picoseconds> scratch = samples_;
+  auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(scratch.begin(), nth, scratch.end());
+  return ToMicroseconds(*nth);
 }
 
 double LatencyStats::TailToAverage() const {
@@ -80,7 +77,6 @@ double LatencyStats::TailToAverage() const {
 
 void LatencyStats::Clear() {
   samples_.clear();
-  sorted_ = true;
   lost_ = 0;
 }
 

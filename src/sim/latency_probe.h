@@ -37,7 +37,10 @@ class LatencyStats {
   double MinUs() const;
   double MaxUs() const;
   double StdDevUs() const;
-  // p in [0, 100]; nearest-rank on the sorted samples.
+  // p in [0, 100]; nearest-rank (index ceil(p/100 * N), 1-based) on the
+  // sorted samples. p=0 is the minimum, p=100 the maximum — no off-the-end
+  // read for small N. All accessors are genuinely const (no lazy sort flag),
+  // so concurrent readers are safe once writers have quiesced.
   double PercentileUs(double p) const;
   double MedianUs() const { return PercentileUs(50.0); }
   double TailToAverage() const;  // 99th / mean, the paper's tail metric
@@ -45,10 +48,7 @@ class LatencyStats {
   void Clear();
 
  private:
-  void Sort() const;
-
-  mutable std::vector<Picoseconds> samples_;
-  mutable bool sorted_ = true;
+  std::vector<Picoseconds> samples_;
   u64 lost_ = 0;
 };
 

@@ -1,19 +1,44 @@
 #include "src/sim/link.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace emu {
 
 void Link::EnableImpairment(FaultRegistry& registry, const std::string& name) {
+  assert(!remote_a_ && !remote_b_ &&
+         "impairment and cross-shard routing are mutually exclusive");
   impairer_ = std::make_unique<FrameImpairer>(registry, name);
 }
 
+void Link::RouteRemote(bool to_b, EventScheduler& sender, u64 link_id, RemoteSink sink) {
+  assert(impairer_ == nullptr &&
+         "impairment and cross-shard routing are mutually exclusive");
+  RemoteRoute& route = to_b ? remote_b_ : remote_a_;
+  route = RemoteRoute{&sender, link_id, 0, std::move(sink)};
+}
+
+EventScheduler& Link::SchedulerFor(bool to_b) {
+  const RemoteRoute& route = to_b ? remote_b_ : remote_a_;
+  return route ? *route.sender : scheduler_;
+}
+
+Picoseconds Link::MinTransitPs() const {
+  // Smallest wire occupancy: a zero-byte payload still carries the 24 bytes
+  // of preamble + FCS + IFG that Transmit charges.
+  const u64 min_bits = 24 * 8;
+  const Picoseconds min_serialization =
+      static_cast<Picoseconds>(min_bits * kPicosPerSecond / bits_per_second_);
+  return min_serialization + propagation_delay_;
+}
+
 void Link::Transmit(Packet frame, bool to_b) {
+  EventScheduler& clock = SchedulerFor(to_b);
   const u64 bits = static_cast<u64>(frame.size() + 24) * 8;  // preamble+FCS+IFG
   const Picoseconds serialization =
       static_cast<Picoseconds>(bits * kPicosPerSecond / bits_per_second_);
   Picoseconds& busy_until = to_b ? busy_until_a_to_b_ : busy_until_b_to_a_;
-  const Picoseconds start = std::max(scheduler_.now(), busy_until);
+  const Picoseconds start = std::max(clock.now(), busy_until);
   busy_until = start + serialization;
   Picoseconds arrival = busy_until + propagation_delay_;
   Receiver& receiver = to_b ? end_b_ : end_a_;
@@ -22,7 +47,7 @@ void Link::Transmit(Packet frame, bool to_b) {
   }
   if (impairer_ != nullptr) {
     const FrameImpairer::Decision decision =
-        impairer_->Decide(static_cast<u64>(scheduler_.now()), frame.size());
+        impairer_->Decide(static_cast<u64>(clock.now()), frame.size());
     if (decision.drop) {
       ++dropped_;
       return;
@@ -49,11 +74,25 @@ void Link::Transmit(Packet frame, bool to_b) {
 }
 
 void Link::Deliver(Packet frame, bool to_b, Picoseconds arrival) {
+  RemoteRoute& route = to_b ? remote_b_ : remote_a_;
+  if (route) {
+    // Cross-shard: hand off to the runner's inbox; the receiving shard
+    // schedules and executes the delivery at `arrival` on its own clock.
+    route.sink(RemoteFrame{arrival, route.link_id, route.next_seq++, std::move(frame)});
+    return;
+  }
   Receiver& receiver = to_b ? end_b_ : end_a_;
   scheduler_.At(arrival, [this, &receiver, frame = std::move(frame)]() mutable {
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     receiver(std::move(frame));
   });
+}
+
+void Link::CompleteRemote(Packet frame, bool to_b) {
+  Receiver& receiver = to_b ? end_b_ : end_a_;
+  assert(receiver && "remote delivery on an unattached link end");
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  receiver(std::move(frame));
 }
 
 }  // namespace emu

@@ -5,9 +5,19 @@
 // (`<name>.drop` / `.corrupt` / `.dup` / `.reorder` / `.delay`) are armed
 // through a FaultRegistry plan. With the points disarmed the link's timing
 // and delivery are bit-identical to an unimpaired link.
+//
+// A link may also span two shards of a parallel topology run: RouteRemote
+// diverts one direction's completed transmissions to a sink (the parallel
+// runner's inbox for the receiving shard) instead of the local event queue.
+// Each handoff is stamped with its absolute arrival time and a per-direction
+// sequence number, so the receiving shard can order simultaneous arrivals
+// deterministically regardless of thread interleaving. The link's minimum
+// transit time (serialization of the smallest frame plus propagation) is the
+// conservative lookahead the runner synchronizes on.
 #ifndef SRC_SIM_LINK_H_
 #define SRC_SIM_LINK_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,6 +31,16 @@ namespace emu {
 class Link {
  public:
   using Receiver = std::function<void(Packet)>;
+
+  // One cross-shard handoff: a frame plus everything the receiving shard
+  // needs to schedule it deterministically.
+  struct RemoteFrame {
+    Picoseconds arrival = 0;
+    u64 link_id = 0;  // runner-assigned, unique per routed direction
+    u64 seq = 0;      // per-direction FIFO stamp, assigned by the sender
+    Packet frame;
+  };
+  using RemoteSink = std::function<void(RemoteFrame)>;
 
   Link(EventScheduler& scheduler, u64 bits_per_second, Picoseconds propagation_delay)
       : scheduler_(scheduler),
@@ -37,17 +57,43 @@ class Link {
 
   // Registers this link's impairment fault points as `<name>.*` in the
   // registry. Both directions share the points and counters.
+  // Mutually exclusive with RouteRemote: the impairer's RNG streams are
+  // sampled in frame order, which two sender shards cannot reproduce.
   void EnableImpairment(FaultRegistry& registry, const std::string& name);
   bool impaired() const { return impairer_ != nullptr; }
 
-  u64 delivered() const { return delivered_; }
+  // Shard-boundary routing for the `to_b` direction: transmissions complete
+  // into `sink` instead of the local event queue, and Transmit reads the
+  // clock from `sender` (the sending shard's scheduler). The receiving shard
+  // delivers via CompleteRemote.
+  void RouteRemote(bool to_b, EventScheduler& sender, u64 link_id, RemoteSink sink);
+  bool remote(bool to_b) const { return to_b ? static_cast<bool>(remote_b_) : static_cast<bool>(remote_a_); }
+
+  // Executes one drained cross-shard delivery on the receiving shard.
+  void CompleteRemote(Packet frame, bool to_b);
+
+  // Lower bound on sender-clock-to-delivery latency for any frame: one
+  // minimum-size serialization plus propagation. This is the conservative
+  // lookahead a parallel run may advance a receiving shard by.
+  Picoseconds MinTransitPs() const;
+
+  u64 delivered() const { return delivered_.load(std::memory_order_relaxed); }
   u64 dropped() const { return dropped_; }
   u64 corrupted() const { return corrupted_; }
   u64 duplicated() const { return duplicated_; }
 
  private:
+  struct RemoteRoute {
+    EventScheduler* sender = nullptr;
+    u64 link_id = 0;
+    u64 next_seq = 0;
+    RemoteSink sink;
+    explicit operator bool() const { return static_cast<bool>(sink); }
+  };
+
   void Transmit(Packet frame, bool to_b);
   void Deliver(Packet frame, bool to_b, Picoseconds arrival);
+  EventScheduler& SchedulerFor(bool to_b);
 
   EventScheduler& scheduler_;
   u64 bits_per_second_;
@@ -56,10 +102,15 @@ class Link {
   Receiver end_b_;
   Picoseconds busy_until_a_to_b_ = 0;
   Picoseconds busy_until_b_to_a_ = 0;
-  u64 delivered_ = 0;
+  // `delivered_` is bumped on the receiving shard's thread while the sender
+  // bumps the impairment counters; atomic keeps the cross-shard counter safe
+  // without a lock (relaxed: counters, not synchronization).
+  std::atomic<u64> delivered_{0};
   u64 dropped_ = 0;
   u64 corrupted_ = 0;
   u64 duplicated_ = 0;
+  RemoteRoute remote_a_;  // deliveries toward end A
+  RemoteRoute remote_b_;  // deliveries toward end B
   std::unique_ptr<FrameImpairer> impairer_;
 };
 

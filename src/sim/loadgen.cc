@@ -56,11 +56,18 @@ LoadgenReport OsntLoadgen::RunFixedRate(FpgaTarget& target, const FrameFactory& 
                              : 1.0 - static_cast<double>(report.egressed) /
                                          static_cast<double>(report.injected);
   if (config.accounted_drops) {
-    report.accounted_drops = config.accounted_drops();
+    // A drop counter can only ever explain frames that were injected; a
+    // counter that double-books (or is sampled from an unrelated run) must
+    // not drive loss_rate negative or the soak verdict out of [0, 1].
+    report.accounted_drops =
+        std::min(config.accounted_drops(), static_cast<u64>(report.injected));
     report.latency.AddLoss(report.accounted_drops);
   }
+  assert(report.accounted_drops <= report.injected &&
+         "accounted drops must be covered by injected frames");
   // Loss the counters do not explain. Accounted drops can exceed the raw gap
-  // (e.g. duplicates egressing alongside drops); clamp at zero.
+  // (e.g. duplicates egressing alongside drops); clamp at zero. The
+  // zero-injected guard mirrors raw_loss_rate: no traffic means no loss.
   const usize explained =
       report.egressed + static_cast<usize>(report.accounted_drops);
   report.loss_rate =
@@ -68,6 +75,7 @@ LoadgenReport OsntLoadgen::RunFixedRate(FpgaTarget& target, const FrameFactory& 
           ? 0.0
           : static_cast<double>(report.injected - explained) /
                 static_cast<double>(report.injected);
+  assert(report.loss_rate >= 0.0 && report.loss_rate <= 1.0);
   const double window_us = ToMicroseconds(last_egress - first_ingress);
   report.achieved_mqps =
       window_us > 0.0 ? static_cast<double>(report.egressed) / window_us : 0.0;

@@ -1,0 +1,164 @@
+#include "src/sim/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <limits>
+#include <thread>
+#include <tuple>
+
+namespace emu {
+namespace {
+
+constexpr Picoseconds kNever = std::numeric_limits<Picoseconds>::max();
+
+}  // namespace
+
+usize ParallelRunner::AddShard(EventScheduler& scheduler) {
+  auto shard = std::make_unique<Shard>();
+  shard->scheduler = &scheduler;
+  shards_.push_back(std::move(shard));
+  return shards_.size() - 1;
+}
+
+void ParallelRunner::ConnectDirection(Link& link, bool to_b, usize from, usize to) {
+  assert(from < shards_.size() && to < shards_.size());
+  assert(from != to && "a link direction within one shard needs no routing");
+  assert(!link.impaired() &&
+         "impairment and cross-shard routing are mutually exclusive");
+  const Picoseconds lookahead = link.MinTransitPs();
+  assert(lookahead > 0 && "zero-lookahead link admits no conservative window");
+  const u64 link_id = next_link_id_++;
+  Shard& receiver = *shards_[to];
+  receiver.inbound.push_back(InboundEdge{from, lookahead});
+  link.RouteRemote(to_b, *shards_[from]->scheduler, link_id,
+                   [&receiver, &link, to_b](Link::RemoteFrame rf) {
+                     std::lock_guard<std::mutex> lock(receiver.inbox_mu);
+                     receiver.inbox.push_back(PendingDelivery{
+                         rf.arrival, rf.link_id, rf.seq, &link, to_b, std::move(rf.frame)});
+                   });
+}
+
+bool ParallelRunner::PlanEpoch(usize budget) {
+  // Drain every inbox in canonical (arrival, link, seq) order so the
+  // receiving scheduler's tie-break sequence numbers are independent of the
+  // order worker threads pushed the frames.
+  for (auto& entry : shards_) {
+    Shard& shard = *entry;
+    std::vector<PendingDelivery> pending;
+    {
+      std::lock_guard<std::mutex> lock(shard.inbox_mu);
+      pending.swap(shard.inbox);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingDelivery& a, const PendingDelivery& b) {
+                return std::tie(a.arrival, a.link_id, a.seq) <
+                       std::tie(b.arrival, b.link_id, b.seq);
+              });
+    for (PendingDelivery& delivery : pending) {
+      shard.scheduler->At(delivery.arrival,
+                          [link = delivery.link, to_b = delivery.to_b,
+                           frame = std::move(delivery.frame)]() mutable {
+                            link->CompleteRemote(std::move(frame), to_b);
+                          });
+    }
+  }
+
+  bool any_pending = false;
+  std::vector<Picoseconds> next(shards_.size(), kNever);
+  for (usize i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->scheduler->Empty()) {
+      next[i] = shards_[i]->scheduler->NextEventTime();
+      any_pending = true;
+    }
+  }
+  if (!any_pending) {
+    return false;
+  }
+  for (auto& entry : shards_) {
+    Shard& shard = *entry;
+    Picoseconds horizon = kNever;
+    for (const InboundEdge& edge : shard.inbound) {
+      if (next[edge.from] == kNever) {
+        continue;  // quiescent sender: nothing can arrive from it this epoch
+      }
+      horizon = std::min(horizon, next[edge.from] + edge.lookahead);
+    }
+    shard.horizon = horizon;
+    shard.budget = budget;
+    shard.epoch_executed = 0;
+  }
+  ++epochs_;
+  return true;
+}
+
+void ParallelRunner::RunShardEpoch(Shard& shard) {
+  shard.epoch_executed = shard.scheduler->RunWhileBefore(shard.horizon, shard.budget);
+}
+
+u64 ParallelRunner::Run(const ParallelRunOptions& opts) {
+  const usize threads =
+      std::max<usize>(1, std::min(opts.threads, shards_.size()));
+  u64 total = 0;
+  const auto remaining = [&]() -> usize {
+    return opts.max_events > total ? static_cast<usize>(opts.max_events - total) : 0;
+  };
+
+  if (threads == 1) {
+    while (remaining() > 0 && PlanEpoch(remaining())) {
+      for (auto& shard : shards_) {
+        RunShardEpoch(*shard);
+        total += shard->epoch_executed;
+      }
+    }
+    return total;
+  }
+
+  std::barrier<> start_gate(static_cast<std::ptrdiff_t>(threads) + 1);
+  std::barrier<> done_gate(static_cast<std::ptrdiff_t>(threads) + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (usize w = 0; w < threads; ++w) {
+    workers.emplace_back([this, w, threads, &start_gate, &done_gate, &stop] {
+      for (;;) {
+        start_gate.arrive_and_wait();
+        if (stop.load(std::memory_order_acquire)) {
+          return;
+        }
+        // Contiguous block partition: topology builders register each
+        // service node right before its hosts, so a block keeps a node and
+        // its hosts on one worker while different nodes (the heavy shards)
+        // land on different workers.
+        const usize begin = w * shards_.size() / threads;
+        const usize end = (w + 1) * shards_.size() / threads;
+        for (usize i = begin; i < end; ++i) {
+          RunShardEpoch(*shards_[i]);
+        }
+        done_gate.arrive_and_wait();
+      }
+    });
+  }
+  for (;;) {
+    // The plan (drain + horizons) runs single-threaded between barriers;
+    // workers only ever touch their own shards inside an epoch.
+    const bool more = remaining() > 0 && PlanEpoch(remaining());
+    if (!more) {
+      stop.store(true, std::memory_order_release);
+      start_gate.arrive_and_wait();
+      break;
+    }
+    start_gate.arrive_and_wait();
+    done_gate.arrive_and_wait();
+    for (auto& shard : shards_) {
+      total += shard->epoch_executed;
+    }
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return total;
+}
+
+}  // namespace emu

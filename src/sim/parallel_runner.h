@@ -1,0 +1,109 @@
+// Conservative parallel execution of a sharded topology (emu-par).
+//
+// A topology is partitioned into shards — one EventScheduler (and the hosts
+// or service nodes it drives) per shard. Shards share no simulation state;
+// the only coupling is the inter-shard links, whose minimum transit time
+// (serialization floor + propagation delay) is a hard lower bound on how
+// soon one shard's actions can become visible to another. That bound is the
+// classic conservative-PDES lookahead: in each epoch every shard may run all
+// events strictly before its inbound horizon
+//
+//   horizon(s) = min over inbound links l from shard r of
+//                next_event_time(r) + min_transit(l)
+//
+// without ever receiving a frame "from the past". Cross-shard frames travel
+// through per-shard inbox queues (mutex-guarded; contention is one push per
+// frame), stamped with their absolute arrival time, the routed direction's
+// id, and a per-direction FIFO sequence assigned by the sender. Between
+// epochs the runner drains each inbox in (arrival, link, seq) order — a
+// canonical order independent of thread interleaving — so the receiving
+// scheduler assigns the same tie-break sequence numbers every run.
+//
+// Determinism: a shard's epoch depends only on its own queue, its horizon,
+// and its drained inbox, all of which are fixed at the epoch barrier. Worker
+// threads therefore cannot affect results — Run(threads=N) is bit-exact
+// against Run(threads=1), which executes the identical epoch schedule
+// inline. Each ServiceNode's embedded Simulator keeps its quiescence
+// fast-forward: idle stretches inside a shard are jumped, not stepped.
+#ifndef SRC_SIM_PARALLEL_RUNNER_H_
+#define SRC_SIM_PARALLEL_RUNNER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/event_scheduler.h"
+#include "src/sim/link.h"
+
+namespace emu {
+
+struct ParallelRunOptions {
+  // Worker threads; 1 runs the same epoch schedule inline (the bit-exact
+  // serial reference). Clamped to the shard count.
+  usize threads = 1;
+  // Global event budget; checked at epoch barriers, so a run may overshoot
+  // by at most one epoch.
+  usize max_events = 10'000'000;
+};
+
+class ParallelRunner {
+ public:
+  ParallelRunner() = default;
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  // Registers a shard around `scheduler` (which must outlive the runner) and
+  // returns its shard id.
+  usize AddShard(EventScheduler& scheduler);
+
+  // Routes `link`'s `to_b` direction across the shard boundary from `from`
+  // (where the sender lives) into `to` (where the receiving end's callbacks
+  // run). The link must not be impaired, and its transit floor must be
+  // positive — zero lookahead admits no conservative window.
+  void ConnectDirection(Link& link, bool to_b, usize from, usize to);
+
+  // Runs all shards to quiescence (or the event budget); returns the number
+  // of events executed. Identical results for any `threads` value.
+  u64 Run(const ParallelRunOptions& opts = {});
+
+  usize shard_count() const { return shards_.size(); }
+  // Epoch barriers crossed over this runner's lifetime (for tests/bench).
+  u64 epochs() const { return epochs_; }
+
+ private:
+  struct PendingDelivery {
+    Picoseconds arrival = 0;
+    u64 link_id = 0;
+    u64 seq = 0;
+    Link* link = nullptr;
+    bool to_b = true;
+    Packet frame;
+  };
+  struct InboundEdge {
+    usize from = 0;
+    Picoseconds lookahead = 0;
+  };
+  struct Shard {
+    EventScheduler* scheduler = nullptr;
+    std::vector<InboundEdge> inbound;
+    std::mutex inbox_mu;
+    std::vector<PendingDelivery> inbox;
+    // Per-epoch plan (written at the barrier, read by one worker).
+    Picoseconds horizon = 0;
+    usize budget = 0;
+    usize epoch_executed = 0;
+  };
+
+  // Drains inboxes, snapshots next-event times, computes horizons and
+  // budgets. Returns false when every shard is quiescent.
+  bool PlanEpoch(usize budget);
+  void RunShardEpoch(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  u64 next_link_id_ = 0;
+  u64 epochs_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_SIM_PARALLEL_RUNNER_H_

@@ -69,6 +69,11 @@ class ServiceNode {
   // software scheduling quantum of 10 us, like a userspace process).
   void set_processing_delay(Picoseconds delay) { processing_delay_ = delay; }
 
+  // The node's software execution target; tests attach metrics and fault
+  // registries to target().sim(). The embedded Simulator belongs to this
+  // node's shard in a parallel run — never touch it from another thread.
+  CpuTarget& target() { return target_; }
+
   u64 forwarded() const { return forwarded_; }
 
  private:

@@ -19,4 +19,45 @@ StarTopology::StarTopology(Service& service, std::vector<HostSpec> specs,
   }
 }
 
+void ShardedTopology::AttachHostGroup(const HostSpec& spec, const StarTopologyConfig& config,
+                                      usize node_shard, ServiceNode& node, u8 port) {
+  schedulers_.push_back(std::make_unique<EventScheduler>());
+  EventScheduler& host_scheduler = *schedulers_.back();
+  const usize host_shard = runner_.AddShard(host_scheduler);
+  links_.push_back(std::make_unique<Link>(host_scheduler, config.link_bits_per_second,
+                                          config.link_delay));
+  Link& link = *links_.back();
+  hosts_.push_back(std::make_unique<SimHost>(host_scheduler, spec.name, spec.mac, spec.ip));
+  // Host on end A, service node on end B — the StarTopology convention.
+  hosts_.back()->AttachUplink(&link, /*is_end_a=*/true);
+  node.AttachPort(port, &link, /*is_end_a=*/false);
+  runner_.ConnectDirection(link, /*to_b=*/true, host_shard, node_shard);
+  runner_.ConnectDirection(link, /*to_b=*/false, node_shard, host_shard);
+}
+
+ShardedTopology::ShardedTopology(Service& service, std::vector<HostSpec> specs,
+                                 StarTopologyConfig config) {
+  assert(specs.size() <= kNetFpgaPortCount);
+  schedulers_.push_back(std::make_unique<EventScheduler>());
+  EventScheduler& node_scheduler = *schedulers_.back();
+  const usize node_shard = runner_.AddShard(node_scheduler);
+  nodes_.push_back(std::make_unique<ServiceNode>(node_scheduler, service));
+  for (usize i = 0; i < specs.size(); ++i) {
+    AttachHostGroup(specs[i], config, node_shard, *nodes_.back(), static_cast<u8>(i));
+  }
+}
+
+ShardedTopology::ShardedTopology(const std::vector<Service*>& services,
+                                 std::vector<HostSpec> specs, StarTopologyConfig config) {
+  assert(services.size() == specs.size());
+  for (usize i = 0; i < specs.size(); ++i) {
+    assert(services[i] != nullptr);
+    schedulers_.push_back(std::make_unique<EventScheduler>());
+    EventScheduler& node_scheduler = *schedulers_.back();
+    const usize node_shard = runner_.AddShard(node_scheduler);
+    nodes_.push_back(std::make_unique<ServiceNode>(node_scheduler, *services[i]));
+    AttachHostGroup(specs[i], config, node_shard, *nodes_.back(), /*port=*/0);
+  }
+}
+
 }  // namespace emu

@@ -1,15 +1,23 @@
-// Topology builder for the event-driven simulator.
+// Topology builders for the event-driven simulator.
 //
 // StarTopology is the common shape: up to four hosts, each on its own 10G
 // link, around one ServiceNode running an Emu service — functionally the
 // Mininet setups the paper uses to test the NAT and other services before
 // synthesizing them.
+//
+// ShardedTopology builds the same shapes partitioned for the parallel
+// runner (emu-par, src/sim/parallel_runner.h): every host and every service
+// node gets its own EventScheduler (a shard), and each link direction that
+// crosses a shard boundary is routed through the runner's inboxes with the
+// link's minimum transit time as conservative lookahead. Run(threads=N) is
+// bit-exact against Run(threads=1).
 #ifndef SRC_SIM_TOPOLOGY_H_
 #define SRC_SIM_TOPOLOGY_H_
 
 #include <memory>
 #include <vector>
 
+#include "src/sim/parallel_runner.h"
 #include "src/sim/sim_host.h"
 
 namespace emu {
@@ -41,6 +49,50 @@ class StarTopology {
  private:
   EventScheduler scheduler_;
   std::unique_ptr<ServiceNode> node_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+// A topology partitioned for parallel execution. Two shapes:
+//
+//  - Star: all hosts around ONE service node (the StarTopology shape).
+//    Shards: the node, plus one per host.
+//  - Cluster: one service node PER host (services side by side, as in the
+//    Table 4 service-comparison setups). Shards: one per node, one per host.
+//
+// In both, every host-node link crosses a shard boundary in both
+// directions, so each ServiceNode's software-semantics work (its embedded
+// Simulator, with quiescence fast-forward) runs on its shard's worker
+// thread while the hosts' traffic generation runs on theirs.
+class ShardedTopology {
+ public:
+  // Star shape around `service`.
+  ShardedTopology(Service& service, std::vector<HostSpec> hosts,
+                  StarTopologyConfig config = StarTopologyConfig());
+
+  // Cluster shape: `services[i]` is paired with `hosts[i]`; sizes must match.
+  ShardedTopology(const std::vector<Service*>& services, std::vector<HostSpec> hosts,
+                  StarTopologyConfig config = StarTopologyConfig());
+
+  SimHost& host(usize i) { return *hosts_[i]; }
+  usize host_count() const { return hosts_.size(); }
+  ServiceNode& node(usize i = 0) { return *nodes_[i]; }
+  usize node_count() const { return nodes_.size(); }
+  ParallelRunner& runner() { return runner_; }
+
+  // Runs all shards to quiescence; returns events executed. Bit-exact for
+  // any opts.threads.
+  u64 Run(const ParallelRunOptions& opts = {}) { return runner_.Run(opts); }
+
+ private:
+  // Builds host i, its link, and the cross-shard routes to `node_shard`
+  // (whose ServiceNode takes the link on port `port`).
+  void AttachHostGroup(const HostSpec& spec, const StarTopologyConfig& config,
+                       usize node_shard, ServiceNode& node, u8 port);
+
+  ParallelRunner runner_;
+  std::vector<std::unique_ptr<EventScheduler>> schedulers_;
+  std::vector<std::unique_ptr<ServiceNode>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
 };

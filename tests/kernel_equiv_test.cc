@@ -11,16 +11,24 @@
 // the predicate first holds.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/metrics.h"
 #include "src/core/targets.h"
+#include "src/debug/controller.h"
 #include "src/fault/fault_registry.h"
+#include "src/fault/frame_impairer.h"
 #include "src/hdl/fifo.h"
 #include "src/hdl/signal.h"
 #include "src/hdl/vcd_tracer.h"
+#include "src/ip/bram.h"
+#include "src/ip/cam.h"
+#include "src/ip/hash_cam.h"
+#include "src/ip/logic_cam.h"
 #include "src/net/udp.h"
 #include "src/services/learning_switch.h"
 #include "src/services/memcached_service.h"
@@ -425,6 +433,313 @@ TEST(WaitUntilTest, StallExpiryWakesParkedConsumer) {
   sim.Run(100);
   ASSERT_EQ(log.size(), 1u);  // expiry wake fired with no producer activity
   EXPECT_EQ(log[0], 1006);
+}
+
+// --- Lost-wakeup regressions ------------------------------------------------------
+//
+// Every site that mutates state a WaitUntil predicate can observe must bump
+// the wake epoch, or the fast path sleeps through the mutation while the
+// exact path (which re-evaluates every parked predicate each edge) sees it.
+// Each scenario below parks a watcher on one mutation site, fires the
+// mutation from an otherwise-sleeping process, and requires the watcher to
+// wake on the same edge with the fast path on and off.
+
+// Runs `action` once after `at` cycles, then sleeps out of the way so the
+// mutation site's own NotifyWake is the only thing that can un-park a
+// watcher.
+HwProcess DelayedAction(Cycle at, std::function<void()> action) {
+  co_await PauseFor(at);
+  action();
+  co_await PauseFor(1'000'000);
+}
+
+struct WakeResult {
+  bool woke = false;
+  Cycle woke_at = 0;
+  u64 fast_forwarded = 0;
+};
+
+HwProcess WakeWatcher(Simulator& sim, std::function<bool()> pred, WakeResult& result) {
+  co_await WaitUntil([&pred] { return pred(); });
+  result.woke = true;
+  result.woke_at = sim.now();
+  co_await PauseFor(1'000'000);
+}
+
+// A design factory builds the watched state into `sim` and returns the
+// watcher predicate plus the mutation that should flip it. State is owned by
+// the returned closures (shared_ptr captures) so it outlives the run.
+using WakeDesign = std::function<
+    std::pair<std::function<bool()>, std::function<void()>>(Simulator& sim)>;
+
+WakeResult RunWakeScenario(bool fast_path, const WakeDesign& design) {
+  Simulator sim;
+  sim.SetFastPath(fast_path);
+  auto [pred, mutate] = design(sim);
+  WakeResult result;
+  sim.AddProcess(WakeWatcher(sim, std::move(pred), result), "watcher");
+  sim.AddProcess(DelayedAction(50, std::move(mutate)), "mutator");
+  sim.Run(500);
+  result.fast_forwarded = sim.ProfileReport().cycles_fast_forwarded;
+  return result;
+}
+
+void CheckMutationWakes(const char* site, const WakeDesign& design) {
+  const WakeResult exact = RunWakeScenario(false, design);
+  const WakeResult fast = RunWakeScenario(true, design);
+  ASSERT_TRUE(exact.woke) << site << ": scenario broken, exact mode never woke";
+  EXPECT_TRUE(fast.woke) << site << ": fast path slept through the mutation (lost wakeup)";
+  EXPECT_EQ(fast.woke_at, exact.woke_at) << site;
+  // The run is idle-heavy by construction; a fast run that never jumped was
+  // not exercising the epoch-lazy path at all.
+  EXPECT_GT(fast.fast_forwarded, 0u) << site;
+}
+
+TEST(LostWakeupRegression, BramCommitWakesParkedReader) {
+  CheckMutationWakes("bram.commit", [](Simulator& sim) {
+    auto bram = std::make_shared<Bram>(sim, "b", 16, 32);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [bram] { return bram->Read(3) == 42; }, [bram] { bram->Write(3, 42); });
+  });
+}
+
+TEST(LostWakeupRegression, CamCommitWakesParkedReader) {
+  CheckMutationWakes("cam.commit", [](Simulator& sim) {
+    auto cam = std::make_shared<Cam>(sim, "c", 8, 16, 16);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [cam] { return cam->Lookup(7).hit; }, [cam] { cam->Write(0, 7, 1); });
+  });
+}
+
+TEST(LostWakeupRegression, LogicCamCommitWakesParkedReader) {
+  CheckMutationWakes("logic_cam.commit", [](Simulator& sim) {
+    auto cam = std::make_shared<LogicCam>(sim, "lc", 8, 16, 16);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [cam] { return cam->Lookup(7).hit; }, [cam] { cam->Write(0, 7, 1); });
+  });
+}
+
+TEST(LostWakeupRegression, HashCamWriteWakesParkedReader) {
+  CheckMutationWakes("hash_cam.write", [](Simulator& sim) {
+    auto hash = std::make_shared<HashCam>(sim, "h", 8);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [hash] {
+          hash->Read(7);
+          return hash->matched();
+        },
+        [hash] { hash->Write(7, 1); });
+  });
+}
+
+TEST(LostWakeupRegression, HashCamEraseWakesParkedReader) {
+  CheckMutationWakes("hash_cam.erase", [](Simulator& sim) {
+    auto hash = std::make_shared<HashCam>(sim, "h", 8);
+    hash->Write(9, 1);  // pre-bound before any process parks
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [hash] {
+          hash->Read(9);
+          return !hash->matched();
+        },
+        [hash] { hash->Erase(9); });
+  });
+}
+
+TEST(LostWakeupRegression, BramSeuFlipWakesParkedReader) {
+  CheckMutationWakes("bram.seu", [](Simulator& sim) {
+    auto bram = std::make_shared<Bram>(sim, "b", 16, 32);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [bram] { return bram->Read(0) == 1; }, [bram] { bram->InjectBitFlip(0); });
+  });
+}
+
+TEST(LostWakeupRegression, CamSeuFlipWakesParkedReader) {
+  CheckMutationWakes("cam.seu", [](Simulator& sim) {
+    auto cam = std::make_shared<Cam>(sim, "c", 8, 16, 16);
+    // Bit 0 is slot 0's valid flag: the flip resurrects an all-zero entry,
+    // so a parked Lookup(0) starts hitting.
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [cam] { return cam->Lookup(0).hit; }, [cam] { cam->InjectBitFlip(0); });
+  });
+}
+
+TEST(LostWakeupRegression, CaspVariableWriteWakesParkedReader) {
+  CheckMutationWakes("casp.store_var", [](Simulator& sim) {
+    auto controller = std::make_shared<DirectionController>();
+    controller->SetWakeHook([&sim] { sim.NotifyWake(); });
+    auto value = std::make_shared<u64>(0);
+    controller->machine().BindVariable(
+        {"v", [value] { return *value; }, [value](u64 x) { *value = x; }});
+    const auto var = controller->machine().VariableId("v");
+    CaspProgram program = {{CaspOp::kPushConst, 42, 0}, {CaspOp::kStoreVar, 0, *var}};
+    controller->machine().InstallProcedure("poke", "t", program);
+    return std::pair<std::function<bool()>, std::function<void()>>(
+        [value] { return *value == 42; }, [controller] { controller->Activate("poke"); });
+  });
+}
+
+// Impairer-delayed deliveries land on the wire at a future cycle while the
+// pipeline is otherwise quiescent; the port's Deliver must announce each
+// arrival so the fast path replays the delayed schedule bit-exactly.
+FaultDigest RunImpairedSwitch(bool fast_path) {
+  LearningSwitch service;
+  FpgaTarget target(service);
+  target.sim().SetFastPath(fast_path);
+  MetricsRegistry metrics;
+  service.RegisterMetrics(metrics);
+
+  FaultRegistry registry(23);
+  FrameImpairer tap(registry, "ingress");
+  target.sim().AttachFaultRegistry(&registry);
+  const auto plan =
+      ParseFaultPlan("ingress.delay bernoulli 0.4 30000; ingress.dup bernoulli 0.1");
+  if (!plan.ok()) {
+    ADD_FAILURE() << "bad fault plan: " << plan.status().ToString();
+    return FaultDigest{};
+  }
+  registry.ArmPlan(*plan);
+
+  for (u8 port = 0; port < 4; ++port) {
+    target.Inject(port,
+                  MakeUdpPacket({MacAddress::Broadcast(), kHostMacs[port], kHostIps[port],
+                                 Ipv4Address(10, 0, 0, 99), 1, 2},
+                                std::vector<u8>{port}));
+    target.Run(20'000);
+  }
+  for (usize i = 0; i < 24; ++i) {
+    const u8 src = static_cast<u8>(i % 4);
+    const u8 dst = static_cast<u8>((i + 1) % 4);
+    Packet frame = MakeUdpPacket(
+        {kHostMacs[dst], kHostMacs[src], kHostIps[src], kHostIps[dst], 1000, 2000},
+        std::vector<u8>(1 + i % 7, static_cast<u8>(i)));
+    const Cycle now = target.sim().now();
+    const FrameImpairer::Decision d = tap.Decide(now, frame.size());
+    if (!d.drop) {
+      // The tap runs on the cycle clock, so delay magnitudes are cycles.
+      const Cycle at = now + static_cast<Cycle>(d.extra_delay_ps);
+      if (d.duplicate) {
+        target.Inject(src, frame, at);
+      }
+      target.Inject(src, std::move(frame), at);
+    }
+    target.Run(15'000);
+  }
+  registry.DisarmAll();
+  target.Run(100'000);
+
+  FaultDigest digest;
+  digest.run.final_now = target.sim().now();
+  const auto egress = target.TakeEgress();
+  digest.run.egress_count = egress.size();
+  digest.run.egress_digest = DigestEgress(egress);
+  digest.run.metrics = metrics.Snapshot();
+  digest.run.CaptureProfile(target.sim());
+  digest.faults_fired = registry.fired_total();
+  digest.log_digest = registry.LogDigest();
+  digest.log_digest = digest.log_digest * kFnvPrime ^ tap.delayed();
+  digest.log_digest = digest.log_digest * kFnvPrime ^ tap.duplicated();
+  target.sim().AttachFaultRegistry(nullptr);
+  return digest;
+}
+
+TEST(LostWakeupRegression, ImpairerDelayedDeliveryBitExact) {
+  const FaultDigest fast = RunImpairedSwitch(true);
+  const FaultDigest exact = RunImpairedSwitch(false);
+  ExpectEquivalent(fast.run, exact.run);
+  EXPECT_EQ(fast.faults_fired, exact.faults_fired);
+  EXPECT_EQ(fast.log_digest, exact.log_digest);
+  EXPECT_GT(fast.faults_fired, 0u);  // the delay plan actually rescheduled frames
+  EXPECT_GT(fast.run.cycles_fast_forwarded, 0u);
+}
+
+// --- Forced wake inside a skipped quiescent window --------------------------------
+//
+// A stall expiry schedules a forced wake that lands in the middle of what
+// would otherwise be one long quiescent window. The fast path must split the
+// window at the wake, and the registry's per-point opportunity books (bulk
+// NoteSkippedTicks for jumped spans + per-edge Tick for executed edges) must
+// total exactly what per-edge sampling records.
+
+HwProcess PopRecorder(SyncFifo<int>& fifo, Simulator& sim, std::vector<Cycle>& pops) {
+  for (;;) {
+    co_await WaitUntil([&fifo] { return !fifo.Empty(); });
+    fifo.Pop();
+    pops.push_back(sim.now());
+    co_await Pause();
+  }
+}
+
+// Arrives mid-stall, backpressures through it, and pushes the moment the
+// stall expires — which only a consumed forced wake can announce.
+HwProcess StalledProducer(SyncFifo<int>& fifo, Cycle at) {
+  co_await PauseFor(at);
+  co_await WaitUntil([&fifo] { return fifo.PollCanPush(); });
+  fifo.Push(7);
+  co_await PauseFor(1'000'000);
+}
+
+struct ForcedWakeDigest {
+  std::vector<Cycle> pops;
+  u64 faults_fired = 0;
+  u64 log_digest = 0;
+  std::vector<std::pair<std::string, u64>> opportunities;
+  Cycle final_now = 0;
+  u64 edges_run = 0;
+  u64 cycles_fast_forwarded = 0;
+};
+
+ForcedWakeDigest RunForcedWakeMidQuiescence(bool fast_path) {
+  Simulator sim;
+  sim.SetFastPath(fast_path);
+  SyncFifo<int> fifo(sim, "q", 4, 32);
+  ForcedWakeDigest digest;
+  sim.AddProcess(PopRecorder(fifo, sim, digest.pops), "consumer");
+  // The producer arrives at ~450, inside the stall window [400, 700): both
+  // processes then park, and the pop chain depends on the stall-expiry
+  // forced wake at 700 — which the fault tick at 400 scheduled into the
+  // middle of an otherwise-idle span.
+  sim.AddProcess(StalledProducer(fifo, 450), "producer");
+
+  FaultRegistry registry(11);
+  registry.RegisterStallTarget("q.stall", [&fifo](u64 cycles) {
+    fifo.InjectStall(static_cast<Cycle>(cycles));
+  });
+  sim.AttachFaultRegistry(&registry);
+  const auto plan = ParseFaultPlan("q.stall oneshot 400 300");
+  if (!plan.ok()) {
+    ADD_FAILURE() << "bad fault plan: " << plan.status().ToString();
+    return digest;
+  }
+  registry.ArmPlan(*plan);
+  sim.Run(2'000);
+
+  digest.faults_fired = registry.fired_total();
+  digest.log_digest = registry.LogDigest();
+  for (const auto& point : registry.points()) {
+    digest.opportunities.emplace_back(point->name(), point->opportunities());
+  }
+  digest.final_now = sim.now();
+  const SimProfile profile = sim.ProfileReport();
+  digest.edges_run = profile.edges_run;
+  digest.cycles_fast_forwarded = profile.cycles_fast_forwarded;
+  sim.AttachFaultRegistry(nullptr);
+  return digest;
+}
+
+TEST(KernelEquivalence, ForcedWakeMidQuiescentWindowBooksIdentically) {
+  const ForcedWakeDigest fast = RunForcedWakeMidQuiescence(true);
+  const ForcedWakeDigest exact = RunForcedWakeMidQuiescence(false);
+  ASSERT_EQ(exact.faults_fired, 1u);  // the stall actually fired
+  ASSERT_EQ(exact.pops.size(), 1u);   // and the pop waited for its expiry
+  EXPECT_GT(exact.pops[0], 699u);     // the push waited out the stall
+  EXPECT_EQ(fast.pops, exact.pops);
+  EXPECT_EQ(fast.faults_fired, exact.faults_fired);
+  EXPECT_EQ(fast.log_digest, exact.log_digest);
+  // Injection-opportunity books must match per point: a fast-forward that
+  // mis-books the span around the forced wake shows up here.
+  EXPECT_EQ(fast.opportunities, exact.opportunities);
+  EXPECT_EQ(fast.final_now, exact.final_now);
+  EXPECT_EQ(fast.edges_run + fast.cycles_fast_forwarded, exact.edges_run);
+  EXPECT_GT(fast.cycles_fast_forwarded, 0u);  // the idle spans actually jumped
 }
 
 // --- Profiling --------------------------------------------------------------------

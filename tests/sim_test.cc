@@ -203,11 +203,15 @@ TEST(LatencyStats, BasicMoments) {
 }
 
 TEST(LatencyStats, TailToAverage) {
+  // 5% of requests are 10x slower: nearest-rank p99 lands inside the slow
+  // tail and the ratio exposes it.
   LatencyStats stats;
-  for (int i = 0; i < 99; ++i) {
+  for (int i = 0; i < 95; ++i) {
     stats.Add(10 * kPicosPerMicro);
   }
-  stats.Add(100 * kPicosPerMicro);
+  for (int i = 0; i < 5; ++i) {
+    stats.Add(100 * kPicosPerMicro);
+  }
   EXPECT_GT(stats.TailToAverage(), 1.0);
 }
 
@@ -215,6 +219,52 @@ TEST(LatencyStats, EmptyIsZero) {
   LatencyStats stats;
   EXPECT_EQ(stats.MeanUs(), 0.0);
   EXPECT_EQ(stats.PercentileUs(99), 0.0);
+}
+
+// Nearest-rank percentiles at the edge cases the definition is usually got
+// wrong on: empty, singleton, and two-sample sets, at p = 0/50/99/100.
+TEST(LatencyStats, NearestRankSmallSampleCounts) {
+  LatencyStats empty;
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(empty.PercentileUs(p), 0.0) << "p=" << p;
+  }
+
+  LatencyStats one;
+  one.Add(7 * kPicosPerMicro);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(one.PercentileUs(p), 7.0, 1e-9) << "p=" << p;
+  }
+
+  LatencyStats two;
+  two.Add(10 * kPicosPerMicro);
+  two.Add(20 * kPicosPerMicro);
+  EXPECT_NEAR(two.PercentileUs(0.0), 10.0, 1e-9);    // rank clamps to 1: the min
+  EXPECT_NEAR(two.PercentileUs(50.0), 10.0, 1e-9);   // ceil(0.5 * 2) = rank 1
+  EXPECT_NEAR(two.PercentileUs(99.0), 20.0, 1e-9);   // ceil(0.99 * 2) = rank 2
+  EXPECT_NEAR(two.PercentileUs(100.0), 20.0, 1e-9);  // rank 2, not one past the end
+}
+
+TEST(LatencyStats, PercentileHundredIsMaxAtAnyCount) {
+  LatencyStats stats;
+  for (int i = 1; i <= 7; ++i) {
+    stats.Add(static_cast<Picoseconds>(i) * kPicosPerMicro);
+  }
+  EXPECT_NEAR(stats.PercentileUs(100.0), stats.MaxUs(), 1e-9);
+  EXPECT_NEAR(stats.PercentileUs(0.0), stats.MinUs(), 1e-9);
+}
+
+// Accessors must not mutate (the old lazy-sort flag was UB under the
+// threaded engine): interleaving reads with writes keeps order-insensitive
+// results consistent.
+TEST(LatencyStats, ConstAccessorsDoNotReorderSamples) {
+  LatencyStats stats;
+  stats.Add(30 * kPicosPerMicro);
+  stats.Add(10 * kPicosPerMicro);
+  EXPECT_NEAR(stats.PercentileUs(100.0), 30.0, 1e-9);
+  stats.Add(20 * kPicosPerMicro);  // appended after a percentile read
+  EXPECT_NEAR(stats.MedianUs(), 20.0, 1e-9);
+  EXPECT_NEAR(stats.MinUs(), 10.0, 1e-9);
+  EXPECT_NEAR(stats.MaxUs(), 30.0, 1e-9);
 }
 
 // --- OsntLoadgen ---------------------------------------------------------------------
@@ -255,6 +305,50 @@ TEST(OsntLoadgen, FixedRateReportsLoss) {
   EXPECT_EQ(report.injected, 4000u);
   EXPECT_GT(report.loss_rate, 0.05);
   EXPECT_GT(report.egressed, 0u);
+}
+
+TEST(OsntLoadgen, ZeroFramesHasZeroLossAndNoDivide) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  FpgaTarget target(service);
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'01);
+  const auto factory = [&](usize i, u8) {
+    return MakeIcmpEchoRequest(
+        {config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, static_cast<u16>(i), 0}, {});
+  };
+  OsntLoadgen::FixedRateConfig rate;
+  rate.frames = 0;
+  rate.drain_limit = 10'000;
+  // A nonzero drop counter with zero injected frames must not produce a
+  // negative or divide-by-zero loss rate.
+  rate.accounted_drops = [] { return u64{12}; };
+  const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, rate);
+  EXPECT_EQ(report.injected, 0u);
+  EXPECT_EQ(report.accounted_drops, 0u);  // clamped to injected
+  EXPECT_EQ(report.loss_rate, 0.0);
+  EXPECT_EQ(report.raw_loss_rate, 0.0);
+}
+
+TEST(OsntLoadgen, AccountedDropsClampedToInjected) {
+  IcmpEchoConfig config;
+  IcmpEchoService service(config);
+  FpgaTarget target(service);
+  const MacAddress client = MacAddress::FromU48(0x02'00'00'00'cc'01);
+  const auto factory = [&](usize i, u8) {
+    return MakeIcmpEchoRequest(
+        {config.mac, client, Ipv4Address(10, 0, 0, 9), config.ip, static_cast<u16>(i), 0}, {});
+  };
+  OsntLoadgen::FixedRateConfig rate;
+  rate.offered_mqps = 1.0;
+  rate.frames = 20;
+  // A double-booking counter claims more drops than frames ever existed; the
+  // report must clamp so downstream verdicts stay inside [0, 1].
+  rate.accounted_drops = [] { return u64{1'000'000}; };
+  const LoadgenReport report = OsntLoadgen::RunFixedRate(target, factory, rate);
+  EXPECT_EQ(report.injected, 20u);
+  EXPECT_LE(report.accounted_drops, report.injected);
+  EXPECT_GE(report.loss_rate, 0.0);
+  EXPECT_LE(report.loss_rate, 1.0);
 }
 
 TEST(OsntLoadgen, RateSearchFindsCapacityOrder) {
