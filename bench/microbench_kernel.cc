@@ -8,7 +8,9 @@
 // reporting cycles/sec for both plus the speedup. `--json <path>` writes the
 // result as BENCH_kernel.json; `--check <baseline.json>` compares the
 // speedup ratio (machine-independent) against a committed baseline and fails
-// on a >20% regression.
+// on a >20% regression. `--compare <other.json>` compares absolute fast-path
+// throughput against a same-machine run (e.g. an EMU_TRACE=OFF build) and
+// fails on a regression beyond `--tolerance <pct>` (default 3%).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -223,8 +225,29 @@ bool ExtractJsonNumber(const std::string& text, const std::string& key, double* 
   return true;
 }
 
+// Like ExtractJsonNumber, but scoped to one section object. "cycles_per_sec"
+// appears under both "exact" and "fast", so a flat first-match search would
+// silently read the wrong one.
+bool ExtractJsonNumberInSection(const std::string& text, const std::string& section,
+                                const std::string& key, double* value) {
+  const auto start = text.find("\"" + section + "\"");
+  if (start == std::string::npos) {
+    return false;
+  }
+  const auto open = text.find('{', start);
+  if (open == std::string::npos) {
+    return false;
+  }
+  const auto close = text.find('}', open);
+  if (close == std::string::npos) {
+    return false;
+  }
+  return ExtractJsonNumber(text.substr(open, close - open), key, value);
+}
+
 int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path,
-                   const std::string& baseline_path) {
+                   const std::string& baseline_path, const std::string& compare_path,
+                   double tolerance_pct) {
   std::printf("kernel throughput: %llu cycles, one frame per %llu cycles\n",
               static_cast<unsigned long long>(total_cycles),
               static_cast<unsigned long long>(frame_gap));
@@ -284,6 +307,35 @@ int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path
     }
     std::printf("  perf gate passed\n");
   }
+
+  if (!compare_path.empty()) {
+    // Absolute-throughput comparison against a same-machine baseline JSON,
+    // e.g. an EMU_TRACE=OFF build vs a compiled-in-but-detached build. Unlike
+    // --check's speedup ratio, this gate only makes sense when both runs
+    // executed on the same host within the same CI job.
+    std::ifstream file(compare_path);
+    if (!file) {
+      std::printf("FAIL: could not read comparison baseline %s\n", compare_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    double base_fast = 0;
+    if (!ExtractJsonNumberInSection(buffer.str(), "fast", "cycles_per_sec", &base_fast) ||
+        base_fast <= 0) {
+      std::printf("FAIL: no fast.cycles_per_sec in %s\n", compare_path.c_str());
+      return 1;
+    }
+    const double floor = base_fast * (1.0 - tolerance_pct / 100.0);
+    std::printf("  compare: fast path %.3g cycles/sec vs baseline %.3g (floor %.3g, -%g%%)\n",
+                fast.cycles_per_sec, base_fast, floor, tolerance_pct);
+    if (fast.cycles_per_sec < floor) {
+      std::printf("FAIL: fast-path throughput regressed more than %g%% vs %s\n", tolerance_pct,
+                  compare_path.c_str());
+      return 1;
+    }
+    std::printf("  overhead gate passed\n");
+  }
   return 0;
 }
 
@@ -296,6 +348,8 @@ int main(int argc, char** argv) {
   emu::u64 gap = 1'000;
   std::string json_path;
   std::string baseline_path;
+  std::string compare_path;
+  double tolerance_pct = 3.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput") == 0) {
       throughput = true;
@@ -307,13 +361,18 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance_pct = std::strtod(argv[++i], nullptr);
     }
   }
   if (throughput) {
     if (gap == 0) {
       gap = 1;
     }
-    return emu::ThroughputMain(cycles, gap, json_path, baseline_path);
+    return emu::ThroughputMain(cycles, gap, json_path, baseline_path, compare_path,
+                               tolerance_pct);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

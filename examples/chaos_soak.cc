@@ -287,7 +287,14 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   const u64 base_in = pipe.injected();
   const u64 base_out = pipe.egressed();
   const u64 base_pipe_drop = pipe.rx_drops() + pipe.tx_drops();
-  const u64 base_svc_drop = metrics.Get(c.dropped_metric);
+  // TryGet: a typo'd drop-counter name must fail the case, not silently read
+  // 0 and let an unbalanced soak pass.
+  const std::optional<u64> base_svc_drop = metrics.TryGet(c.dropped_metric);
+  if (!base_svc_drop.has_value()) {
+    out.ok = false;
+    out.detail = "unknown drop metric: " + c.dropped_metric;
+    return out;
+  }
 
   // --- Soak loop: traffic through the impaired tap; the attached registry
   // samples the SEU/stall callback targets per edge inside Run(). ---
@@ -342,7 +349,8 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   const u64 egress_count = pipe.egressed() - base_out;
   out.egressed = egress_count;
   out.pipeline_drops = pipe.rx_drops() + pipe.tx_drops() - base_pipe_drop;
-  out.service_dropped = metrics.Get(c.dropped_metric) - base_svc_drop;
+  out.service_dropped =
+      metrics.TryGet(c.dropped_metric).value_or(*base_svc_drop) - *base_svc_drop;
   out.faults_fired = registry.fired_total();
   out.fault_digest = registry.LogDigest();
   out.balanced =

@@ -1,0 +1,82 @@
+#include "src/core/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace emu {
+
+usize Histogram::BucketIndex(u64 value) {
+  if (value == 0) {
+    return 0;
+  }
+  return static_cast<usize>(64 - std::countl_zero(value));
+}
+
+u64 Histogram::BucketUpperBound(usize i) {
+  if (i == 0) {
+    return 0;
+  }
+  if (i >= kBucketCount - 1) {
+    return ~u64{0};
+  }
+  return (u64{1} << i) - 1;
+}
+
+u64 Histogram::BucketLowerBound(usize i) {
+  if (i == 0) {
+    return 0;
+  }
+  return u64{1} << (i - 1);
+}
+
+void Histogram::Observe(u64 value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (usize i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+u64 Histogram::PercentileEstimate(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+  u64 rank = static_cast<u64>(std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  u64 cumulative = 0;
+  for (usize i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (cumulative + buckets_[i] >= rank) {
+      const u64 lo = BucketLowerBound(i);
+      const u64 hi = BucketUpperBound(i);
+      const u64 into = rank - cumulative;  // 1..buckets_[i]
+      // Linear interpolation across the bucket span keeps the estimate
+      // monotone in p and within one bucket width of the exact value.
+      const double frac =
+          buckets_[i] > 1 ? static_cast<double>(into - 1) / static_cast<double>(buckets_[i] - 1)
+                          : 1.0;
+      return lo + static_cast<u64>(static_cast<double>(hi - lo) * frac);
+    }
+    cumulative += buckets_[i];
+  }
+  return BucketUpperBound(kBucketCount - 1);
+}
+
+void Histogram::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace emu

@@ -1,0 +1,55 @@
+// Log2-bucketed histogram for the telemetry pipeline (emu-scope).
+//
+// Fixed 65-bucket layout covering the full u64 range: bucket 0 holds the
+// value 0, bucket k (k >= 1) holds [2^(k-1), 2^k - 1]. Observation is two
+// adds and a bit-scan — cheap enough to live on packet paths — and two
+// histograms merge by element-wise addition, which is what per-shard
+// telemetry needs. Percentiles are nearest-rank over the buckets with linear
+// interpolation inside the bucket, so the estimate is exact to within one
+// bucket width (a factor-of-two band).
+#ifndef SRC_CORE_HISTOGRAM_H_
+#define SRC_CORE_HISTOGRAM_H_
+
+#include <array>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class Histogram {
+ public:
+  static constexpr usize kBucketCount = 65;
+
+  void Observe(u64 value);
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 bucket(usize i) const { return buckets_[i]; }
+
+  // Index of the bucket holding `value`.
+  static usize BucketIndex(u64 value);
+
+  // Largest value bucket `i` holds (inclusive); 0 for bucket 0,
+  // 2^i - 1 for i >= 1, u64 max for the last bucket.
+  static u64 BucketUpperBound(usize i);
+
+  // Smallest value bucket `i` holds.
+  static u64 BucketLowerBound(usize i);
+
+  void Merge(const Histogram& other);
+
+  // Nearest-rank percentile (p in [0, 100]) interpolated within its bucket.
+  // 0 when empty.
+  u64 PercentileEstimate(double p) const;
+
+  void Clear();
+
+ private:
+  std::array<u64, kBucketCount> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CORE_HISTOGRAM_H_

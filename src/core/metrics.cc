@@ -1,21 +1,77 @@
 #include "src/core/metrics.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 
 namespace emu {
+namespace {
+
+// Derived scalar views a histogram entry exposes through Snapshot/Get.
+constexpr const char* kHistogramViews[] = {".count", ".sum", ".p50", ".p99"};
+
+u64 HistogramView(const Histogram& h, const std::string& suffix) {
+  if (suffix == ".count") {
+    return h.count();
+  }
+  if (suffix == ".sum") {
+    return h.sum();
+  }
+  if (suffix == ".p50") {
+    return h.PercentileEstimate(50.0);
+  }
+  return h.PercentileEstimate(99.0);
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::Upsert(Entry entry) {
+  for (Entry& existing : entries_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
 
 void MetricsRegistry::Register(const std::string& name, const u64* source) {
   Register(name, [source] { return *source; });
 }
 
 void MetricsRegistry::Register(const std::string& name, std::function<u64()> getter) {
-  for (Entry& entry : entries_) {
-    if (entry.name == name) {
-      entry.getter = std::move(getter);
-      return;
-    }
-  }
-  entries_.push_back(Entry{name, std::move(getter)});
+  Upsert(Entry{name, MetricKind::kCounter, std::move(getter), nullptr});
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, const u64* source) {
+  RegisterGauge(name, [source] { return *source; });
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, std::function<u64()> getter) {
+  Upsert(Entry{name, MetricKind::kGauge, std::move(getter), nullptr});
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name, const Histogram* histogram) {
+  Upsert(Entry{name, MetricKind::kHistogram,
+               [histogram] { return histogram->count(); }, histogram});
 }
 
 const MetricsRegistry::Entry* MetricsRegistry::FindEntry(const std::string& name) const {
@@ -27,17 +83,57 @@ const MetricsRegistry::Entry* MetricsRegistry::FindEntry(const std::string& name
   return nullptr;
 }
 
-bool MetricsRegistry::Has(const std::string& name) const { return FindEntry(name) != nullptr; }
+bool MetricsRegistry::Has(const std::string& name) const { return TryGet(name).has_value(); }
 
-u64 MetricsRegistry::Get(const std::string& name) const {
+u64 MetricsRegistry::Get(const std::string& name) const { return TryGet(name).value_or(0); }
+
+std::optional<u64> MetricsRegistry::TryGet(const std::string& name) const {
+  if (const Entry* entry = FindEntry(name)) {
+    return entry->getter();
+  }
+  // Derived histogram views: "<hist>.count" etc. resolve against the parent.
+  const auto dot = name.rfind('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::string base = name.substr(0, dot);
+  const std::string suffix = name.substr(dot);
+  for (const char* view : kHistogramViews) {
+    if (suffix == view) {
+      const Entry* entry = FindEntry(base);
+      if (entry != nullptr && entry->kind == MetricKind::kHistogram) {
+        return HistogramView(*entry->histogram, suffix);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MetricKind> MetricsRegistry::Kind(const std::string& name) const {
+  if (const Entry* entry = FindEntry(name)) {
+    return entry->kind;
+  }
+  if (TryGet(name).has_value()) {
+    return MetricKind::kHistogram;
+  }
+  return std::nullopt;
+}
+
+const Histogram* MetricsRegistry::GetHistogram(const std::string& name) const {
   const Entry* entry = FindEntry(name);
-  return entry != nullptr ? entry->getter() : 0;
+  return entry != nullptr && entry->kind == MetricKind::kHistogram ? entry->histogram : nullptr;
 }
 
 std::vector<std::pair<std::string, u64>> MetricsRegistry::Snapshot() const {
   std::vector<std::pair<std::string, u64>> out;
   out.reserve(entries_.size());
   for (const Entry& entry : entries_) {
+    if (entry.kind == MetricKind::kHistogram) {
+      for (const char* view : kHistogramViews) {
+        out.emplace_back(entry.name + view, HistogramView(*entry.histogram, view));
+      }
+      continue;
+    }
     out.emplace_back(entry.name, entry.getter());
   }
   return out;
@@ -45,10 +141,228 @@ std::vector<std::pair<std::string, u64>> MetricsRegistry::Snapshot() const {
 
 std::string MetricsRegistry::Format() const {
   std::ostringstream out;
-  for (const Entry& entry : entries_) {
-    out << entry.name << "=" << entry.getter() << "\n";
+  for (const auto& [name, value] : Snapshot()) {
+    out << name << "=" << value << "\n";
   }
   return out.str();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::ostringstream out;
+  for (const Entry& entry : entries_) {
+    const std::string name = SanitizeName(entry.name);
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << name << " counter\n" << name << " " << entry.getter() << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << name << " gauge\n" << name << " " << entry.getter() << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << name << " histogram\n";
+        usize last = 0;
+        for (usize i = 0; i < Histogram::kBucketCount; ++i) {
+          if (h.bucket(i) != 0) {
+            last = i;
+          }
+        }
+        u64 cumulative = 0;
+        for (usize i = 0; i <= last; ++i) {
+          cumulative += h.bucket(i);
+          out << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i) << "\"} "
+              << cumulative << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << name << "_sum " << h.sum() << "\n";
+        out << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// promtool-style lint.
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (usize i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text == "+Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  try {
+    usize consumed = 0;
+    *out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+struct LintState {
+  std::map<std::string, std::string> types;            // metric -> declared type
+  std::map<std::string, std::vector<double>> buckets;  // hist -> (le, cum) pairs
+  std::map<std::string, std::vector<double>> bucket_values;
+  std::map<std::string, double> counts;
+  std::map<std::string, bool> sums;
+};
+
+bool Fail(std::string* error, usize line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PrometheusLint(const std::string& text, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  LintState state;
+  std::set<std::string> sampled;  // metrics that already emitted a sample
+  std::istringstream in(text);
+  std::string line;
+  usize line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, keyword, metric, rest;
+      fields >> hash >> keyword >> metric;
+      if (keyword == "TYPE") {
+        fields >> rest;
+        if (!ValidMetricName(metric)) {
+          return Fail(error, line_no, "invalid metric name in TYPE: " + metric);
+        }
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          return Fail(error, line_no, "unknown metric type: " + rest);
+        }
+        if (state.types.count(metric) != 0) {
+          return Fail(error, line_no, "duplicate TYPE for " + metric);
+        }
+        if (sampled.count(metric) != 0) {
+          return Fail(error, line_no, "TYPE after samples for " + metric);
+        }
+        state.types[metric] = rest;
+      }
+      // HELP and other comments pass through.
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    usize name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      return Fail(error, line_no, "sample with no value");
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!ValidMetricName(name)) {
+      return Fail(error, line_no, "invalid metric name: " + name);
+    }
+    std::string labels;
+    usize value_start = name_end;
+    if (line[name_end] == '{') {
+      const usize close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        return Fail(error, line_no, "unterminated label set");
+      }
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_start = close + 1;
+    }
+    std::istringstream value_in(line.substr(value_start));
+    std::string value_text;
+    if (!(value_in >> value_text)) {
+      return Fail(error, line_no, "sample with no value");
+    }
+    double value = 0;
+    if (!ParseDouble(value_text, &value)) {
+      return Fail(error, line_no, "non-numeric sample value: " + value_text);
+    }
+    // Resolve histogram series back to their base metric for TYPE checks.
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (base.size() > s.size() && base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          state.types.count(base.substr(0, base.size() - s.size())) != 0 &&
+          state.types[base.substr(0, base.size() - s.size())] == "histogram") {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    sampled.insert(base);
+    if (state.types.count(base) != 0 && state.types[base] == "histogram") {
+      if (name == base + "_bucket") {
+        const std::string key = "le=\"";
+        const usize le_pos = labels.find(key);
+        if (le_pos == std::string::npos) {
+          return Fail(error, line_no, "histogram bucket without le label");
+        }
+        const usize le_end = labels.find('"', le_pos + key.size());
+        double le = 0;
+        if (le_end == std::string::npos ||
+            !ParseDouble(labels.substr(le_pos + key.size(), le_end - le_pos - key.size()), &le)) {
+          return Fail(error, line_no, "unparsable le label");
+        }
+        auto& les = state.buckets[base];
+        auto& values = state.bucket_values[base];
+        if (!les.empty() && le <= les.back()) {
+          return Fail(error, line_no, "histogram le bounds not increasing for " + base);
+        }
+        if (!values.empty() && value < values.back()) {
+          return Fail(error, line_no, "histogram buckets not cumulative for " + base);
+        }
+        les.push_back(le);
+        values.push_back(value);
+      } else if (name == base + "_count") {
+        state.counts[base] = value;
+      } else if (name == base + "_sum") {
+        state.sums[base] = true;
+      } else {
+        return Fail(error, line_no, "bare sample for histogram " + base);
+      }
+    }
+  }
+  for (const auto& [metric, type] : state.types) {
+    if (type != "histogram") {
+      continue;
+    }
+    const auto& les = state.buckets[metric];
+    if (les.empty() || !std::isinf(les.back())) {
+      return Fail(error, line_no, "histogram " + metric + " missing +Inf bucket");
+    }
+    if (state.counts.count(metric) == 0) {
+      return Fail(error, line_no, "histogram " + metric + " missing _count");
+    }
+    if (!state.sums[metric]) {
+      return Fail(error, line_no, "histogram " + metric + " missing _sum");
+    }
+    if (state.counts[metric] != state.bucket_values[metric].back()) {
+      return Fail(error, line_no, "histogram " + metric + " _count != +Inf bucket");
+    }
+  }
+  return true;
 }
 
 }  // namespace emu

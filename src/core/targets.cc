@@ -1,12 +1,24 @@
 #include "src/core/targets.h"
 
+#include "src/obs/trace_hooks.h"
+
 namespace emu {
 
 FpgaTarget::FpgaTarget(Service& service, PipelineConfig config, u64 clock_hz)
     : scheduler_(clock_hz) {
   pipeline_ = std::make_unique<NetFpgaPipeline>(scheduler_.sim(), service, config);
-  pipeline_->SetEgressSink(
-      [this](u8 port, Packet frame) { egress_.push_back(EgressFrame{port, std::move(frame)}); });
+  pipeline_->SetEgressSink([this](u8 port, Packet frame) {
+    // Flight recorder egress point: closes the whole-flight span opened at
+    // the ingress port.
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      if (frame.trace_id() != 0) {
+        const Picoseconds ts =
+            frame.egress_time() > 0 ? frame.egress_time() : scheduler_.sim().NowPs();
+        obs::EmitAsyncEnd(tb, "pkt.flight", ts, frame.trace_id());
+      }
+    }
+    egress_.push_back(EgressFrame{port, std::move(frame)});
+  });
 }
 
 void FpgaTarget::Inject(u8 port, Packet frame, Cycle earliest) {
@@ -39,6 +51,7 @@ CpuTarget::CpuTarget(Service& service, usize fifo_depth) : service_(service) {
 }
 
 std::vector<Packet> CpuTarget::Deliver(Packet frame, usize max_quanta) {
+  const u64 flight = frame.trace_id();
   if (rx_->CanPush()) {
     rx_->Push(std::move(frame));
   }
@@ -67,6 +80,15 @@ std::vector<Packet> CpuTarget::Deliver(Packet frame, usize max_quanta) {
     idle = 0;
     while (!tx_->Empty()) {
       out.push_back(tx_->Pop());
+    }
+  }
+  // Replies built from scratch by the service lose the request's flight id;
+  // restore it so the waterfall spans the round trip.
+  if (flight != 0) {
+    for (Packet& reply : out) {
+      if (reply.trace_id() == 0) {
+        reply.set_trace_id(flight);
+      }
     }
   }
   return out;

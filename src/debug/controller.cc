@@ -7,6 +7,7 @@
 #include "src/core/metrics.h"
 #include "src/fault/fault_registry.h"
 #include "src/netfpga/dataplane.h"
+#include "src/obs/trace_hooks.h"
 
 namespace emu {
 namespace {
@@ -46,8 +47,11 @@ void DirectionController::AttachMetrics(const MetricsRegistry* metrics) {
   }
   for (const auto& [name, value] : metrics->Snapshot()) {
     (void)value;
+    // TryGet keeps the binding honest across re-registration: if a source is
+    // dropped later, the variable reads 0 instead of touching stale state.
     machine_.BindVariable(
-        {name, [metrics, name = name] { return metrics->Get(name); }, nullptr});
+        {name, [metrics, name = name] { return metrics->TryGet(name).value_or(0); },
+         nullptr});
   }
 }
 
@@ -131,6 +135,7 @@ DirectedService::DirectedService(Service& inner, DirectionController& controller
 
 void DirectedService::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
+  sim_ = &sim;
   dp_ = dp;
   controller_.SetWakeHook([&sim] { sim.NotifyWake(); });
   inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, "directed_inner_rx", 64, 256);
@@ -170,6 +175,9 @@ HwProcess DirectedService::FilterProcess() {
     dp_.rx->Pop();
     if (is_direction && dp_.tx->CanPush()) {
       ++direction_packets_;
+      if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+        obs::EmitInstant(tb, "casp.direction", sim_->NowPs());
+      }
       Packet reply = controller_.HandleDirectionPacket(frame);
       reply.set_core_ingress_cycle(frame.core_ingress_cycle());
       NetFpgaData out;

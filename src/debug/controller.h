@@ -158,6 +158,7 @@ class DirectedService : public Service {
 
   Service& inner_;
   DirectionController& controller_;
+  Simulator* sim_ = nullptr;
   Dataplane dp_;
   std::unique_ptr<SyncFifo<Packet>> inner_rx_;
   u64 direction_packets_ = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/core/metrics.h"
+#include "src/obs/trace_hooks.h"
+
 namespace emu {
 namespace {
 
@@ -188,6 +191,25 @@ void FaultRegistry::DisarmAll() {
 
 void FaultRegistry::LogFire(const FaultPoint& point, u64 tick, u64 detail) {
   log_.push_back({tick, point.name(), point.cls(), detail});
+  // Firings are rare; the per-fire string build is off the hot path.
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer(); tb != nullptr && trace_tick_period_ps_ > 0) {
+    obs::EmitInstant(tb, "fault." + point.name(),
+                     static_cast<Picoseconds>(tick) * trace_tick_period_ps_);
+  }
+}
+
+void FaultRegistry::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const {
+  metrics.Register(prefix + ".fired_total", [this] { return static_cast<u64>(log_.size()); });
+  metrics.RegisterGauge(prefix + ".points", [this] { return static_cast<u64>(points_.size()); });
+  metrics.RegisterGauge(prefix + ".armed_points", [this] {
+    u64 armed = 0;
+    for (const auto& point : points_) {
+      if (point->armed()) {
+        ++armed;
+      }
+    }
+    return armed;
+  });
 }
 
 u64 FaultRegistry::LogDigest() const {

@@ -27,11 +27,13 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/types.h"
 #include "src/fault/fault_plan.h"
 
 namespace emu {
 
 class FaultRegistry;
+class MetricsRegistry;
 
 class FaultPoint {
  public:
@@ -124,6 +126,17 @@ class FaultRegistry {
   usize ArmPlan(const FaultPlan& plan);
   void DisarmAll();
 
+  // Tick->picosecond scale for the trace timeline (emu-scope): firings are
+  // logged in ticks, but a trace instant needs absolute time. Set by
+  // Simulator::AttachFaultRegistry from its clock period; 0 (the default)
+  // leaves firings untraced.
+  void set_trace_tick_period_ps(Picoseconds period) { trace_tick_period_ps_ = period; }
+  Picoseconds trace_tick_period_ps() const { return trace_tick_period_ps_; }
+
+  // Registers fired_total (counter) and points/armed_points (gauges) under
+  // `prefix` (e.g. "faults").
+  void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
+
   // --- Injection log ---
   const std::vector<FaultEvent>& log() const { return log_; }
   u64 fired_total() const { return log_.size(); }
@@ -149,6 +162,7 @@ class FaultRegistry {
   std::vector<CallbackTarget> callback_targets_;
   std::vector<FaultPlanEntry> armed_patterns_;  // replayed onto new points
   std::vector<FaultEvent> log_;
+  Picoseconds trace_tick_period_ps_ = 0;
 };
 
 }  // namespace emu

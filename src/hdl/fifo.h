@@ -22,6 +22,7 @@
 
 #include "src/hdl/resource_model.h"
 #include "src/hdl/simulator.h"
+#include "src/obs/trace_hooks.h"
 
 #ifdef EMU_ANALYSIS
 #include "src/analysis/hazard_monitor.h"
@@ -97,6 +98,14 @@ class SyncFifo : public Clocked {
   bool Push(T value) {
     const bool accepted = CanPushRaw();
     if (accepted) {
+      // Packet flight recorder: a traced frame entering a named FIFO opens a
+      // residency span (closed by the Pop that drains it).
+      if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+        const u64 flight = obs::FrameTraceId(value);
+        if (flight != 0 && !name_.empty()) {
+          obs::EmitAsyncBegin(tb, name_, sim_.NowPs(), flight);
+        }
+      }
       pending_push_.push_back(std::move(value));
     }
 #ifdef EMU_ANALYSIS
@@ -130,6 +139,12 @@ class SyncFifo : public Clocked {
 #endif
     T value = std::move(items_[pop_count_]);
     ++pop_count_;
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      const u64 flight = obs::FrameTraceId(value);
+      if (flight != 0 && !name_.empty()) {
+        obs::EmitAsyncEnd(tb, name_, sim_.NowPs(), flight);
+      }
+    }
     // Space freed by a pop is visible to CanPush in the same cycle: a parked
     // producer registered after this consumer must re-evaluate this edge.
     sim_.NotifyWake();

@@ -8,7 +8,9 @@
 #include <ostream>
 
 #include "src/analysis/hazard_monitor.h"
+#include "src/core/metrics.h"
 #include "src/fault/fault_registry.h"
+#include "src/obs/trace_hooks.h"
 #include "src/sim/event_scheduler.h"
 
 namespace emu {
@@ -254,8 +256,21 @@ Cycle Simulator::QuiescentWindow(Cycle budget) {
   return window;
 }
 
+void Simulator::AttachFaultRegistry(FaultRegistry* registry) {
+  fault_registry_ = registry;
+  if (registry != nullptr) {
+    registry->set_trace_tick_period_ps(cycle_period_ps_);
+  }
+}
+
 void Simulator::FastForward(Cycle cycles) {
   assert(cycles > 0);
+  // The jump itself is an observable worth tracing: a complete span covering
+  // the skipped window shows exactly where the run was quiescent.
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    obs::EmitComplete(tb, "sim.quiescent", NowPs(),
+                      static_cast<Picoseconds>(cycles) * cycle_period_ps_);
+  }
   for (auto& entry : processes_) {
     if (entry.process.Done()) {
       continue;
@@ -336,6 +351,14 @@ SimProfile Simulator::ProfileReport() const {
     profile.processes.push_back(std::move(entry));
   }
   return profile;
+}
+
+void Simulator::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const {
+  metrics.Register(prefix + ".edges_run", &edges_run_);
+  metrics.Register(prefix + ".cycles_fast_forwarded", &cycles_fast_forwarded_);
+  metrics.Register(prefix + ".jumps", &jumps_);
+  metrics.RegisterGauge(prefix + ".live_processes",
+                        [this] { return static_cast<u64>(live_process_count()); });
 }
 
 void Simulator::DumpDependencyGraph(std::ostream& os) const {

@@ -53,6 +53,7 @@ namespace emu {
 class EventScheduler;
 class FaultRegistry;
 class HazardMonitor;
+class MetricsRegistry;
 class Simulator;
 
 // Anything with per-edge commit semantics (Reg, SyncFifo, CAM write ports...).
@@ -177,9 +178,11 @@ class Simulator {
   // Attaches a FaultRegistry: Step() then samples its armed callback targets
   // once per edge (registry->Tick(now)) before processes run, and the fast
   // path consults NextTickDemand/NoteSkippedTicks so replay logs and
-  // opportunity counts stay bit-identical to per-edge ticking. nullptr
-  // detaches. The registry must outlive the attachment.
-  void AttachFaultRegistry(FaultRegistry* registry) { fault_registry_ = registry; }
+  // opportunity counts stay bit-identical to per-edge ticking. Also hands the
+  // registry this clock's tick->ps scale so fault firings land on the trace
+  // timeline (emu-scope). nullptr detaches. The registry must outlive the
+  // attachment.
+  void AttachFaultRegistry(FaultRegistry* registry);
   FaultRegistry* fault_registry() const { return fault_registry_; }
 
   // Attaches an EventScheduler whose pending events gate fast-forwarding:
@@ -198,6 +201,11 @@ class Simulator {
   // it adds two steady_clock reads per resume.
   void EnableProfiling(bool enabled) { profiling_ = enabled; }
   SimProfile ProfileReport() const;
+
+  // Registers the kernel's scheduler statistics (the scalar SimProfile
+  // fields) under `prefix` (e.g. "sim"): edges_run / cycles_fast_forwarded /
+  // jumps counters plus a live_processes gauge.
+  void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
 
   // --- Analysis layer (src/analysis) ---
   // Attaches a HazardMonitor (nullptr detaches). The monitor only receives

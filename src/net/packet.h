@@ -71,6 +71,13 @@ class Packet {
   Cycle core_egress_cycle() const { return core_egress_cycle_; }
   void set_core_egress_cycle(Cycle c) { core_egress_cycle_ = c; }
 
+  // --- Packet flight recorder (emu-scope) ---
+  // Nonzero once a traced ingress point assigned this frame a flight id;
+  // every stage the frame crosses emits spans keyed on it. Replies derived
+  // from a request copy the id so the waterfall spans the round trip.
+  u64 trace_id() const { return trace_id_; }
+  void set_trace_id(u64 id) { trace_id_ = id; }
+
   std::string ToString() const;
 
  private:
@@ -81,6 +88,7 @@ class Packet {
   Picoseconds egress_time_ = 0;
   Cycle core_ingress_cycle_ = 0;
   Cycle core_egress_cycle_ = 0;
+  u64 trace_id_ = 0;
 };
 
 }  // namespace emu

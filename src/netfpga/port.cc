@@ -1,5 +1,7 @@
 #include "src/netfpga/port.h"
 
+#include "src/obs/trace_hooks.h"
+
 namespace emu {
 
 Cycle SerializationCycles(usize frame_bytes, const Simulator& sim) {
@@ -32,6 +34,15 @@ Cycle TenGigPort::Deliver(Packet frame, Cycle earliest) {
   const Cycle complete = static_cast<Cycle>((fabric_ps + cycle_ps - 1) / cycle_ps);
   frame.set_src_port(index_);
   frame.set_ingress_time(start_ps);
+  // Flight recorder ingress point: the port is where a frame enters the
+  // traced world, so it assigns the flight id (unless an upstream stage —
+  // a loadgen or link — already did) and opens the whole-flight span.
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    if (frame.trace_id() == 0) {
+      frame.set_trace_id(obs::NextFlightId(tb));
+    }
+    obs::EmitAsyncBegin(tb, "pkt.flight", start_ps, frame.trace_id());
+  }
   wire_.push_back(WireFrame{std::move(frame), complete});
   // The wire deque is not a SyncFifo, so announce the mutation ourselves: a
   // parked ingress process must re-evaluate its wait.

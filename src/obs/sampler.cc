@@ -1,0 +1,43 @@
+#include "src/obs/sampler.h"
+
+#include <sstream>
+
+#include "src/core/metrics.h"
+#include "src/obs/trace_hooks.h"
+#include "src/sim/event_scheduler.h"
+
+namespace emu {
+
+void MetricsSampler::Sample(Picoseconds now) {
+  Row row;
+  row.ts = now;
+  row.values = registry_.Snapshot();
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    for (const auto& [name, value] : row.values) {
+      obs::EmitCounter(tb, name, now, value);
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void MetricsSampler::SchedulePeriodic(EventScheduler& scheduler, Picoseconds until) {
+  if (interval_ <= 0) {
+    return;
+  }
+  for (Picoseconds t = interval_; t <= until; t += interval_) {
+    scheduler.At(t, [this, t] { Sample(t); });
+  }
+}
+
+std::string MetricsSampler::Csv() const {
+  std::ostringstream out;
+  out << "ts_ps,name,value\n";
+  for (const Row& row : rows_) {
+    for (const auto& [name, value] : row.values) {
+      out << row.ts << "," << name << "," << value << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace emu

@@ -1,0 +1,60 @@
+// MetricsSampler (emu-scope): periodic snapshots of a MetricsRegistry as an
+// in-run timeseries.
+//
+// Each Sample(now) records the registry's full snapshot (histograms expand
+// to their scalar views) and, when a trace buffer is bound to the calling
+// thread, emits one counter ("C") trace event per metric so the series plots
+// directly under the Perfetto timeline.
+//
+// Scheduling is bounded up front: SchedulePeriodic places fixed-time sample
+// events from `interval` through `until` on the event scheduler, rather than
+// self-rescheduling (EventScheduler::Run drains until empty, so an
+// open-ended periodic event would never let the run terminate).
+#ifndef SRC_OBS_SAMPLER_H_
+#define SRC_OBS_SAMPLER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class EventScheduler;
+class MetricsRegistry;
+
+class MetricsSampler {
+ public:
+  struct Row {
+    Picoseconds ts = 0;
+    std::vector<std::pair<std::string, u64>> values;
+  };
+
+  MetricsSampler(const MetricsRegistry& registry, Picoseconds interval)
+      : registry_(registry), interval_(interval) {}
+
+  Picoseconds interval() const { return interval_; }
+
+  // Snapshots the registry at `now` and traces each value as a counter
+  // event when tracing is attached.
+  void Sample(Picoseconds now);
+
+  // Schedules Sample at interval, 2*interval, ... up to and including
+  // `until` (absolute time).
+  void SchedulePeriodic(EventScheduler& scheduler, Picoseconds until);
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // "ts_ps,name,value" lines, one per sampled metric.
+  std::string Csv() const;
+
+ private:
+  const MetricsRegistry& registry_;
+  Picoseconds interval_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace emu
+
+#endif  // SRC_OBS_SAMPLER_H_

@@ -1,0 +1,177 @@
+// TraceSession (emu-scope): bounded, shard-safe, cycle-timestamped event
+// capture exported as Chrome/Perfetto `trace_event` JSON.
+//
+// Event model
+//   - complete spans ("X"): a named interval on a shard track (quiescent
+//     fast-forward jumps, cpu.deliver service work, ...).
+//   - async spans ("b"/"e", cat "pkt"): packet flight segments, grouped by
+//     the frame's trace id so Perfetto renders a per-packet waterfall across
+//     link transit, FIFO residency and service stages.
+//   - instants ("i"): point events (fault firings, CASP direction packets).
+//   - counters ("C"): MetricsSampler snapshots as in-run timeseries.
+//
+// Determinism rules
+//   - one TraceBuffer per shard; a buffer is only ever touched by the thread
+//     currently executing that shard (enforced by TLS binding, see
+//     trace_hooks.h). Each buffer keeps its own intern table, sequence
+//     counter and flight-id counter.
+//   - export merges all shards ordered by (ts, shard, seq). Within a shard,
+//     seq is push order, which conservative-PDES makes identical for any
+//     thread count; across shards the (ts, shard) pair is a total order. The
+//     result: threads=N produces a byte-identical trace to threads=1.
+//   - timestamps are formatted by integer math only (ps split into integer
+//     microseconds + 6-digit fraction), never through doubles.
+//
+// Overhead budget: a detached hook is one TLS load + branch; an attached push
+// is an intern-map lookup plus a 48-byte ring store. The ring keeps the most
+// recent `shard_capacity` events and counts what it overwrote.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/trace_hooks.h"
+
+namespace emu::obs {
+
+enum class Phase : u8 {
+  kAsyncBegin,  // "b"
+  kAsyncEnd,    // "e"
+  kInstant,     // "i"
+  kComplete,    // "X"
+  kCounter,     // "C"
+};
+
+struct TraceEvent {
+  Picoseconds ts = 0;
+  Picoseconds dur = 0;  // kComplete only
+  u64 id = 0;           // flight id (async) or sampled value (counter)
+  u64 seq = 0;          // per-shard push order
+  u32 name = 0;         // shard-local intern index
+  Phase phase = Phase::kInstant;
+};
+
+// Per-shard bounded ring of events. Never touched concurrently: the thread
+// running the shard's epoch is the only writer, and export runs after the
+// simulation quiesces.
+class TraceBuffer {
+ public:
+  TraceBuffer(usize shard, usize capacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  usize shard() const { return shard_; }
+  usize capacity() const { return capacity_; }
+
+  u32 Intern(std::string_view name);
+  std::string_view Name(u32 id) const { return names_[id]; }
+
+  void Push(Phase phase, Picoseconds ts, Picoseconds dur, u32 name, u64 id);
+
+  u64 NextFlightId() { return (static_cast<u64>(shard_ + 1) << 40) | ++flight_counter_; }
+
+  usize size() const { return ring_.size(); }
+  u64 total_pushed() const { return total_pushed_; }
+  // Events overwritten because the ring was full.
+  u64 dropped() const { return total_pushed_ - ring_.size(); }
+
+  // Retained events, oldest first (push order).
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  usize shard_;
+  usize capacity_;
+  std::vector<TraceEvent> ring_;
+  usize head_ = 0;  // next overwrite position once the ring is full
+  u64 total_pushed_ = 0;
+  u64 seq_ = 0;
+  u64 flight_counter_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, u32> intern_;
+};
+
+// A shard event resolved against its intern table, in merged order.
+struct MergedEvent {
+  Picoseconds ts = 0;
+  Picoseconds dur = 0;
+  u64 id = 0;
+  u64 seq = 0;
+  usize shard = 0;
+  std::string_view name;
+  Phase phase = Phase::kInstant;
+};
+
+class TraceSession {
+ public:
+  struct Config {
+    usize shard_capacity = usize{1} << 18;
+  };
+
+  TraceSession() : TraceSession(Config{}) {}
+  explicit TraceSession(Config config);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // The installed session, or nullptr when tracing is detached.
+  static TraceSession* Current();
+
+  // Makes this the current session and binds the calling thread to shard 0
+  // (single-simulator runs trace onto shard 0 without further setup).
+  void Install();
+
+  // Clears the current session and the calling thread's buffer binding.
+  static void Detach();
+
+  // Grows the shard set to at least `n` buffers. Single-threaded by
+  // contract: the parallel runner calls it before workers start.
+  void EnsureShards(usize n);
+
+  usize shard_count() const { return shards_.size(); }
+  TraceBuffer* shard(usize i) { return i < shards_.size() ? shards_[i].get() : nullptr; }
+  const TraceBuffer* shard(usize i) const {
+    return i < shards_.size() ? shards_[i].get() : nullptr;
+  }
+
+  // Total events overwritten across all shards.
+  u64 dropped() const;
+
+  // All retained events merged by (ts, shard, seq) — the canonical order.
+  std::vector<MergedEvent> MergedEvents() const;
+
+  // Chrome trace_event JSON object ({"traceEvents": [...]}); opens directly
+  // in ui.perfetto.dev. Byte-identical for identical event streams.
+  std::string ExportChromeJson() const;
+
+  // Writes ExportChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<TraceBuffer>> shards_;
+};
+
+// Binds `shard` of `session` to the calling thread (nullptr session unbinds).
+// The parallel runner wraps each shard epoch in a bind/restore pair.
+void BindThreadToShard(TraceSession* session, usize shard);
+
+// Raw rebind, for restoring a saved ActiveBuffer() after a scoped bind.
+void BindThreadToBuffer(TraceBuffer* buffer);
+
+// Minimal structural validator for the exported JSON: checks that the text
+// is well-formed JSON, the top level is an object with a "traceEvents"
+// array, and every event is an object with a string "ph", a string "name"
+// (or metadata "M"), and a numeric "ts" where required. Serves as the
+// schema check the tests gate on.
+bool ValidateChromeTraceJson(const std::string& text, std::string* error);
+
+}  // namespace emu::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include "src/core/metrics.h"
 #include "src/net/ethernet.h"
 #include "src/netfpga/dataplane.h"
+#include "src/obs/trace_hooks.h"
 
 namespace emu {
 
@@ -14,6 +15,7 @@ LearningSwitch::~LearningSwitch() = default;
 
 void LearningSwitch::Instantiate(Simulator& sim, Dataplane dp) {
   assert(dp.rx != nullptr && dp.tx != nullptr);
+  sim_ = &sim;
   dp_ = dp;
   if (config_.cam == CamKind::kIpBlock) {
     cam_ = std::make_unique<Cam>(sim, "mac_cam", config_.table_entries, 48, 8);
@@ -75,6 +77,15 @@ HwProcess LearningSwitch::LookupStage() {
         }
       }
       const usize words = WordsForBytes(dataplane.tdata.size(), config_.bus_bytes);
+      // Stage span: body beats overlapped with the CAM lookup (Table 4's
+      // per-module latency decomposition, read off the trace).
+      if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+        if (obs::FrameTraceId(dataplane.tdata) != 0) {
+          obs::EmitComplete(tb, "switch.lookup", sim_->NowPs(),
+                            static_cast<Picoseconds>(words + (cam_->lookup_latency() - 1)) *
+                                sim_->cycle_period_ps());
+        }
+      }
       co_await PauseFor(words + (cam_->lookup_latency() - 1));
 
       // Configure the metadata: unicast on a hit, broadcast otherwise
@@ -130,6 +141,13 @@ HwProcess LearningSwitch::ForwardAndLearnStage() {
       co_await Pause();
 
       const usize words = WordsForBytes(frame.size(), config_.bus_bytes);
+      if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+        if (obs::FrameTraceId(frame) != 0) {
+          obs::EmitComplete(tb, "switch.forward", sim_->NowPs(),
+                            static_cast<Picoseconds>(words > 1 ? words - 1 : 1) *
+                                sim_->cycle_period_ps());
+        }
+      }
       dp_.tx->Push(std::move(frame));
       co_await PauseFor(words > 1 ? words - 1 : 1);
     }

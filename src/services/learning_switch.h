@@ -60,6 +60,7 @@ class LearningSwitch : public Service {
   HwProcess ForwardAndLearnStage();
 
   LearningSwitchConfig config_;
+  Simulator* sim_ = nullptr;
   Dataplane dp_;
   std::unique_ptr<CamInterface> cam_;
   std::unique_ptr<SyncFifo<Packet>> lookup_to_decide_;

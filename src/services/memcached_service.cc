@@ -9,6 +9,7 @@
 #include "src/net/udp.h"
 #include "src/netfpga/axis.h"
 #include "src/netfpga/dataplane.h"
+#include "src/obs/trace_hooks.h"
 #include "src/services/reply_util.h"
 
 namespace emu {
@@ -302,11 +303,17 @@ HwProcess MemcachedService::Worker(usize core_id) {
 
     // Protocol decode: the ASCII FSM walks the command line a byte per
     // cycle; the binary header decodes in a couple of beats.
-    if (config_.protocol == McProtocol::kAscii) {
-      co_await PauseFor(12 + request->key.size());
-    } else {
-      co_await PauseFor(3);
+    const usize decode_cycles =
+        config_.protocol == McProtocol::kAscii ? 12 + request->key.size() : 3;
+    // Stage span: decode + key hash (the parse leg of Table 4's breakdown).
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      if (obs::FrameTraceId(dataplane.tdata) != 0) {
+        obs::EmitComplete(tb, "memcached.parse", sim_->NowPs(),
+                          static_cast<Picoseconds>(decode_cycles + 1 + request->key.size()) *
+                              sim_->cycle_period_ps());
+      }
     }
+    co_await PauseFor(decode_cycles);
     // Key hashing: a byte per cycle through the Pearson core.
     co_await PauseFor(1 + request->key.size());
 
@@ -402,6 +409,14 @@ HwProcess MemcachedService::Worker(usize core_id) {
     last_checksum_ = checksum;
     if (controller_ != nullptr) {
       controller_->NoteWrite("checksum");
+    }
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      if (obs::FrameTraceId(frame) != 0) {
+        obs::EmitComplete(tb, "memcached.reply", sim_->NowPs(),
+                          static_cast<Picoseconds>(checksum_unit_->CyclesForBytes(
+                              udp_out.length())) *
+                              sim_->cycle_period_ps());
+      }
     }
     co_await PauseFor(checksum_unit_->CyclesForBytes(udp_out.length()));
 

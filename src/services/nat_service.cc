@@ -11,6 +11,7 @@
 #include "src/net/udp.h"
 #include "src/netfpga/axis.h"
 #include "src/netfpga/dataplane.h"
+#include "src/obs/trace_hooks.h"
 #include "src/services/reply_util.h"
 
 namespace emu {
@@ -198,6 +199,13 @@ HwProcess NatService::MainLoop() {
     }
     // Serial header walk + rewrite FSM of the undergraduate prototype
     // (see NatConfig).
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      if (obs::FrameTraceId(dataplane.tdata) != 0) {
+        obs::EmitComplete(tb, "nat.parse", sim_->NowPs(),
+                          static_cast<Picoseconds>(config_.parse_cycles) *
+                              sim_->cycle_period_ps());
+      }
+    }
     co_await PauseFor(config_.parse_cycles);
     const IpProtocol protocol =
         ip.ProtocolIs(IpProtocol::kUdp) ? IpProtocol::kUdp : IpProtocol::kTcp;
@@ -294,6 +302,13 @@ HwProcess NatService::MainLoop() {
 
     NetFpga::SetOutputPort(dataplane, out_fpga_port);
     const usize out_words = WordsForBytes(frame.size(), config_.bus_bytes);
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      if (obs::FrameTraceId(dataplane.tdata) != 0) {
+        obs::EmitComplete(tb, "nat.egress", sim_->NowPs(),
+                          static_cast<Picoseconds>(out_words > 1 ? out_words - 1 : 1) *
+                              sim_->cycle_period_ps());
+      }
+    }
     dp_.tx->Push(std::move(dataplane.tdata));
     co_await PauseFor(out_words > 1 ? out_words - 1 : 1);
     co_await PauseFor(config_.turnaround_cycles);  // FSM tail (throughput)

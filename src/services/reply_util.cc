@@ -25,6 +25,9 @@ void CopyDataplaneStamps(const Packet& request, Packet& reply) {
   reply.set_src_port(request.src_port());
   reply.set_ingress_time(request.ingress_time());
   reply.set_core_ingress_cycle(request.core_ingress_cycle());
+  // The reply continues the request's packet flight (emu-scope): keep the
+  // trace id so egress/receive spans close against the original ingress.
+  reply.set_trace_id(request.trace_id());
 }
 
 void SwapUdpPorts(Packet& frame) {

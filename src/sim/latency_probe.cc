@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/metrics.h"
+
 namespace emu {
 
-void LatencyStats::Add(Picoseconds sample) { samples_.push_back(sample); }
+void LatencyStats::Add(Picoseconds sample) {
+  samples_.push_back(sample);
+  histogram_.Observe(sample >= 0 ? static_cast<u64>(sample) : 0);
+}
 
 void LatencyStats::AddPacket(const Packet& packet) {
   Add(packet.egress_time() - packet.ingress_time());
@@ -75,8 +80,15 @@ double LatencyStats::TailToAverage() const {
   return mean > 0.0 ? PercentileUs(99.0) / mean : 0.0;
 }
 
+void LatencyStats::RegisterMetrics(MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.RegisterHistogram(prefix + "_ps", &histogram_);
+  registry.Register(prefix + ".lost", &lost_);
+}
+
 void LatencyStats::Clear() {
   samples_.clear();
+  histogram_.Clear();
   lost_ = 0;
 }
 

@@ -7,12 +7,16 @@
 #ifndef SRC_SIM_LATENCY_PROBE_H_
 #define SRC_SIM_LATENCY_PROBE_H_
 
+#include <string>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/core/histogram.h"
 #include "src/net/packet.h"
 
 namespace emu {
+
+class MetricsRegistry;
 
 class LatencyStats {
  public:
@@ -45,10 +49,19 @@ class LatencyStats {
   double MedianUs() const { return PercentileUs(50.0); }
   double TailToAverage() const;  // 99th / mean, the paper's tail metric
 
+  // Log-bucketed mirror of the sample set (emu-scope). Fed on every Add, so
+  // the registry/Prometheus view needs no extra bookkeeping from callers.
+  const Histogram& histogram() const { return histogram_; }
+
+  // Publishes "<prefix>_ps" (histogram, picoseconds) and "<prefix>.lost"
+  // into the registry. This object must outlive the registry bindings.
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix) const;
+
   void Clear();
 
  private:
   std::vector<Picoseconds> samples_;
+  Histogram histogram_;
   u64 lost_ = 0;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/metrics.h"
+#include "src/obs/trace_hooks.h"
+
 namespace emu {
 
 void Link::EnableImpairment(FaultRegistry& registry, const std::string& name) {
@@ -70,6 +73,16 @@ void Link::Transmit(Packet frame, bool to_b) {
     }
     arrival += static_cast<Picoseconds>(decision.extra_delay_ps);
   }
+  // Flight recorder: the transit span is emitted sender-side (both endpoints
+  // of the span), so cross-shard links trace deterministically — the sending
+  // shard knows the arrival time without hearing back from the receiver.
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    const u64 flight = obs::FrameTraceId(frame);
+    if (flight != 0) {
+      obs::EmitAsyncBegin(tb, "link.transit", start, flight);
+      obs::EmitAsyncEnd(tb, "link.transit", arrival, flight);
+    }
+  }
   Deliver(std::move(frame), to_b, arrival);
 }
 
@@ -93,6 +106,13 @@ void Link::CompleteRemote(Packet frame, bool to_b) {
   assert(receiver && "remote delivery on an unattached link end");
   delivered_.fetch_add(1, std::memory_order_relaxed);
   receiver(std::move(frame));
+}
+
+void Link::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const {
+  metrics.Register(prefix + ".delivered", [this] { return delivered(); });
+  metrics.Register(prefix + ".dropped", &dropped_);
+  metrics.Register(prefix + ".corrupted", &corrupted_);
+  metrics.Register(prefix + ".duplicated", &duplicated_);
 }
 
 }  // namespace emu

@@ -28,6 +28,8 @@
 
 namespace emu {
 
+class MetricsRegistry;
+
 class Link {
  public:
   using Receiver = std::function<void(Packet)>;
@@ -81,6 +83,10 @@ class Link {
   u64 dropped() const { return dropped_; }
   u64 corrupted() const { return corrupted_; }
   u64 duplicated() const { return duplicated_; }
+
+  // Registers delivered/dropped/corrupted/duplicated as counters under
+  // `prefix` (e.g. "link.uplink0").
+  void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
 
  private:
   struct RemoteRoute {

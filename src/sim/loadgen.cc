@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/core/metrics.h"
+
 namespace emu {
+
+void LoadgenReport::RegisterMetrics(MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.Register(prefix + ".injected", [this] { return static_cast<u64>(injected); });
+  registry.Register(prefix + ".egressed", [this] { return static_cast<u64>(egressed); });
+  registry.Register(prefix + ".accounted_drops", &accounted_drops);
+  latency.RegisterMetrics(registry, prefix + ".latency");
+}
 
 LoadgenReport OsntLoadgen::RunFixedRate(FpgaTarget& target, const FrameFactory& factory,
                                         const FixedRateConfig& config) {

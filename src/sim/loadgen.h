@@ -9,12 +9,15 @@
 #define SRC_SIM_LOADGEN_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/targets.h"
 #include "src/sim/latency_probe.h"
 
 namespace emu {
+
+class MetricsRegistry;
 
 // Builds the i-th frame to inject on `port`.
 using FrameFactory = std::function<Packet(usize index, u8 port)>;
@@ -33,6 +36,12 @@ struct LoadgenReport {
   double loss_rate = 0.0;
   double raw_loss_rate = 0.0;  // 1 - egressed/injected, impairment included
   LatencyStats latency;
+
+  // Publishes the report under `<prefix>.injected/.egressed/
+  // .accounted_drops` plus the latency histogram (`<prefix>.latency_ps`)
+  // so harnesses scrape loadgen results like any service counter. The
+  // report must outlive the registry bindings.
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix) const;
 };
 
 class OsntLoadgen {

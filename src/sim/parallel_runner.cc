@@ -8,6 +8,8 @@
 #include <thread>
 #include <tuple>
 
+#include "src/obs/trace.h"
+
 namespace emu {
 namespace {
 
@@ -17,6 +19,7 @@ constexpr Picoseconds kNever = std::numeric_limits<Picoseconds>::max();
 
 usize ParallelRunner::AddShard(EventScheduler& scheduler) {
   auto shard = std::make_unique<Shard>();
+  shard->index = shards_.size();
   shard->scheduler = &scheduler;
   shards_.push_back(std::move(shard));
   return shards_.size() - 1;
@@ -94,12 +97,28 @@ bool ParallelRunner::PlanEpoch(usize budget) {
 }
 
 void ParallelRunner::RunShardEpoch(Shard& shard) {
+  // Bind the shard's trace buffer to whichever thread runs this epoch:
+  // events land in per-shard buffers regardless of the worker interleaving,
+  // which is what makes the merged trace independent of the thread count.
+  obs::TraceSession* session = obs::TraceSession::Current();
+  obs::TraceBuffer* previous = obs::ActiveBuffer();
+  if (session != nullptr) {
+    obs::BindThreadToShard(session, shard.index);
+  }
   shard.epoch_executed = shard.scheduler->RunWhileBefore(shard.horizon, shard.budget);
+  if (session != nullptr) {
+    obs::BindThreadToBuffer(previous);
+  }
 }
 
 u64 ParallelRunner::Run(const ParallelRunOptions& opts) {
   const usize threads =
       std::max<usize>(1, std::min(opts.threads, shards_.size()));
+  if (obs::TraceSession* session = obs::TraceSession::Current()) {
+    // Grow the shard buffers before workers exist; EnsureShards is
+    // single-threaded by contract.
+    session->EnsureShards(shards_.size());
+  }
   u64 total = 0;
   const auto remaining = [&]() -> usize {
     return opts.max_events > total ? static_cast<usize>(opts.max_events - total) : 0;

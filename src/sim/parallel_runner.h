@@ -84,6 +84,7 @@ class ParallelRunner {
     Picoseconds lookahead = 0;
   };
   struct Shard {
+    usize index = 0;
     EventScheduler* scheduler = nullptr;
     std::vector<InboundEdge> inbound;
     std::mutex inbox_mu;

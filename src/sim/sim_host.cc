@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/trace_hooks.h"
+
 namespace emu {
 
 SimHost::SimHost(EventScheduler& scheduler, std::string name, MacAddress mac, Ipv4Address ip)
@@ -20,6 +22,15 @@ void SimHost::AttachUplink(Link* link, bool is_end_a) {
 void SimHost::Send(Packet frame) {
   assert(uplink_ != nullptr && "host must be attached to a link");
   ++sent_;
+  // Flight recorder ingress point for simulator topologies: the sending
+  // host assigns the flight id and opens the whole-flight span; the reply
+  // arriving back at a host closes it.
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    if (frame.trace_id() == 0) {
+      frame.set_trace_id(obs::NextFlightId(tb));
+    }
+    obs::EmitAsyncBegin(tb, "pkt.flight", scheduler_.now(), frame.trace_id());
+  }
   if (uplink_end_a_) {
     uplink_->SendToB(std::move(frame));
   } else {
@@ -29,6 +40,11 @@ void SimHost::Send(Packet frame) {
 
 void SimHost::Receive(Packet frame) {
   ++received_;
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    if (frame.trace_id() != 0) {
+      obs::EmitAsyncEnd(tb, "pkt.flight", scheduler_.now(), frame.trace_id());
+    }
+  }
   if (app_) {
     app_(*this, std::move(frame));
   }
@@ -50,6 +66,13 @@ void ServiceNode::AttachPort(u8 port, Link* link, bool is_end_a) {
 
 void ServiceNode::Receive(u8 port, Packet frame) {
   frame.set_src_port(port);
+  // The node's service time on the simulator timeline. (The CpuTarget's own
+  // clock is a private domain; tracing it here keeps one coherent timeline.)
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    if (frame.trace_id() != 0) {
+      obs::EmitComplete(tb, "node.service", scheduler_.now(), processing_delay_);
+    }
+  }
   // Run the service (software semantics) on the frame now, emit the results
   // after the node's processing delay.
   auto outputs = target_.Deliver(std::move(frame));

@@ -43,6 +43,10 @@ std::string DescribePacket(const Packet& packet) {
 }
 
 void TraceDump::Capture(Picoseconds time, std::string tag, const Packet& packet) {
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   records_.push_back(Record{time, std::move(tag), packet});
 }
 
@@ -55,6 +59,10 @@ std::string TraceDump::Summary() const {
     out += head;
     out += DescribePacket(record.packet);
     out += '\n';
+  }
+  if (dropped_ > 0) {
+    out += "(" + std::to_string(dropped_) + " packets dropped at capacity " +
+           std::to_string(capacity_) + ")\n";
   }
   return out;
 }

@@ -20,12 +20,20 @@ class TraceDump {
     Packet packet;
   };
 
+  // Records at most `capacity()` packets; once full, further captures are
+  // counted in `dropped()` instead of growing without bound (long soaks used
+  // to accumulate gigabytes of copies here).
   void Capture(Picoseconds time, std::string tag, const Packet& packet);
 
   usize size() const { return records_.size(); }
   const Record& record(usize i) const { return records_[i]; }
 
-  // One line per packet: time, tag, decoded L2/L3 summary.
+  usize capacity() const { return capacity_; }
+  void set_capacity(usize capacity) { capacity_ = capacity; }
+  u64 dropped() const { return dropped_; }
+
+  // One line per packet: time, tag, decoded L2/L3 summary (plus a trailing
+  // drop note when the capture cap was hit).
   std::string Summary() const;
   // Full hexdump rendering.
   std::string Full() const;
@@ -37,10 +45,19 @@ class TraceDump {
   // in wireshark/tcpdump; timestamps come from each record's capture time.
   bool WritePcap(const std::string& path) const;
 
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
 
  private:
+  // Default is generous for unit tests yet small enough that a runaway soak
+  // stays bounded (~64k frame copies).
+  static constexpr usize kDefaultCapacity = 65536;
+
   std::vector<Record> records_;
+  usize capacity_ = kDefaultCapacity;
+  u64 dropped_ = 0;
 };
 
 // Decodes a one-line human summary of a frame ("IPv4 10.0.0.1>10.0.0.2
