@@ -8,17 +8,26 @@
 // Each scenario instantiates a real design (the same construction as the
 // corresponding example binary), attaches a HazardMonitor to its Simulator,
 // drives representative traffic, then runs the static combinational-ordering
-// analysis over the observed dependency graph. Any finding — multi-driven
+// analysis over the observed dependency graph. Findings — multi-driven
 // register, combinational race, read-of-uninitialized, lost backpressure,
-// runaway process, post-mortem Step, combinational loop — makes the run
-// fail. A clean exit is the repo's design-rule gate, wired into CI.
+// runaway process, post-mortem Step, combinational loop — are reported in
+// the shared emu-lint finding shape. A clean exit is the repo's design-rule
+// gate, wired into CI.
+//
+// Exit codes (the shared lint contract, src/analysis/finding.h):
+//   0  clean — no Severity::kError finding anywhere
+//   1  at least one error finding (warnings alone never fail the run)
+//   2  usage/configuration error: bad flag, unparsable --faults plan, or the
+//      binary was built with -DEMU_ANALYSIS=OFF and cannot analyze at all
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "src/analysis/finding.h"
 #include "src/analysis/hazard.h"
 #include "src/analysis/hazard_monitor.h"
 
@@ -43,13 +52,16 @@ namespace {
 using namespace emu;  // example code; library code never does this
 
 struct ScenarioResult {
-  usize findings = 0;
+  std::vector<Finding> findings;
   std::string summary;
+  bool usage_error = false;  // bad CLI input (e.g. --faults plan): exit 2
 };
 
 // Runs `drive` against a monitor attached to `sim`, then the static pass.
-// Every scenario funnels through here so the reporting shape is identical.
-ScenarioResult Observe(Simulator& sim, bool dot, const std::function<void()>& drive) {
+// Every scenario funnels through here so the reporting shape is identical:
+// each HazardReport becomes a shared Finding tagged with the design name.
+ScenarioResult Observe(const std::string& design, Simulator& sim, bool dot,
+                       const std::function<void()>& drive) {
   HazardMonitor monitor(sim);
   monitor.set_echo(true);
   drive();
@@ -61,7 +73,19 @@ ScenarioResult Observe(Simulator& sim, bool dot, const std::function<void()>& dr
   while (!summary.empty() && summary.back() == '\n') {
     summary.pop_back();
   }
-  return ScenarioResult{monitor.reports().size(), std::move(summary)};
+  ScenarioResult result;
+  result.summary = std::move(summary);
+  for (const HazardReport& report : monitor.reports()) {
+    result.findings.push_back(FindingFromReport(report, design));
+  }
+  return result;
+}
+
+void Merge(ScenarioResult& into, ScenarioResult from) {
+  into.findings.insert(into.findings.end(),
+                       std::make_move_iterator(from.findings.begin()),
+                       std::make_move_iterator(from.findings.end()));
+  into.usage_error = into.usage_error || from.usage_error;
 }
 
 // --- Scenario: L2 learning switch (quickstart) on the full pipeline ---
@@ -75,7 +99,7 @@ ScenarioResult CheckLearningSwitch(bool dot) {
   };
   LearningSwitch service;
   FpgaTarget target(service);
-  return Observe(target.sim(), dot, [&] {
+  return Observe("learning_switch", target.sim(), dot, [&] {
     target.Inject(0, frame(bob, alice));  // flood
     target.RunUntilEgressCount(3, 100'000);
     target.Inject(2, frame(alice, bob));  // learn + unicast back
@@ -97,7 +121,7 @@ ScenarioResult CheckL3L4Filter(bool dot) {
   FpgaTarget target(service);
   const MacAddress a = MacAddress::Parse("02:00:00:00:00:0a").value();
   const MacAddress b = MacAddress::Parse("02:00:00:00:00:0b").value();
-  return Observe(target.sim(), dot, [&] {
+  return Observe("l3l4_filter", target.sim(), dot, [&] {
     target.Inject(0, MakeTcpSegment({b, a, Ipv4Address(10, 0, 0, 5),
                                      Ipv4Address(10, 0, 1, 1), 50001, 22, 1, 0,
                                      TcpFlags::kSyn}));
@@ -127,24 +151,24 @@ ScenarioResult CheckNat(bool dot) {
   {
     NatService service(config);
     FpgaTarget target(service);
-    ScenarioResult fpga = Observe(target.sim(), dot, [&] {
+    ScenarioResult fpga = Observe("nat.fpga", target.sim(), dot, [&] {
       Packet frame = outbound();
       frame.set_src_port(1);
       target.SendAndCollect(1, std::move(frame));
     });
-    result.findings += fpga.findings;
     result.summary = "fpga: " + fpga.summary;
+    Merge(result, std::move(fpga));
   }
   {
     NatService service(config);
     CpuTarget target(service);
-    ScenarioResult cpu = Observe(target.sim(), false, [&] {
+    ScenarioResult cpu = Observe("nat.cpu", target.sim(), false, [&] {
       Packet frame = outbound();
       frame.set_src_port(1);
       target.Deliver(std::move(frame));
     });
-    result.findings += cpu.findings;
     result.summary += " | cpu: " + cpu.summary;
+    Merge(result, std::move(cpu));
   }
   return result;
 }
@@ -162,7 +186,7 @@ ScenarioResult CheckMemcached(bool dot) {
   workload.key_space = 64;
   MemaslapLoadgen loadgen(workload);
 
-  return Observe(target.sim(), dot, [&] {
+  return Observe("memcached", target.sim(), dot, [&] {
     for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
       target.SendAndCollect(0, loadgen.PrewarmFrame(i));
     }
@@ -193,7 +217,7 @@ ScenarioResult CheckDebugSession(bool dot) {
                          BuildMcRequest(copy));
   };
 
-  return Observe(target.sim(), dot, [&] {
+  return Observe("debug_session", target.sim(), dot, [&] {
     McRequest set;
     set.op = McOpcode::kSet;
     set.key = "image";
@@ -244,7 +268,7 @@ ScenarioResult CheckPearsonIp(bool dot) {
   const std::array<u8, 3> data = {'e', 'm', 'u'};
   sim.AddProcess(core.MakeProcess(), "pearson.core");
   sim.AddProcess(SeedBytes(core, data, done), "pearson.client");
-  return Observe(sim, dot, [&] {
+  return Observe("pearson_ip", sim, dot, [&] {
     if (!sim.RunUntil([&] { return done.Read(); }, 200)) {
       std::fprintf(stderr, "emu_check: pearson handshake stalled\n");
     }
@@ -270,7 +294,10 @@ ScenarioResult CheckFaultInjection(bool dot) {
             "memcached.csum.fold oneshot 5000";
   const auto plan = ParseFaultPlan(plan_text);
   if (!plan.ok()) {
-    return ScenarioResult{1, "bad --faults plan: " + plan.status().ToString()};
+    ScenarioResult bad;
+    bad.usage_error = true;
+    bad.summary = "bad --faults plan: " + plan.status().ToString();
+    return bad;
   }
 
   // Drives frames through an impaired ingress tap with the registry attached
@@ -308,7 +335,7 @@ ScenarioResult CheckFaultInjection(bool dot) {
     const MacAddress host_mac = MacAddress::Parse("02:00:00:00:11:10").value();
     NatService service(config);
     FpgaTarget target(service);
-    ScenarioResult nat = Observe(target.sim(), dot, [&] {
+    ScenarioResult nat = Observe("fault.nat", target.sim(), dot, [&] {
       soak(target, service, [&](usize i) {
         Packet frame = MakeUdpPacket(
             {config.internal_mac, host_mac, Ipv4Address(192, 168, 1, 10),
@@ -318,8 +345,8 @@ ScenarioResult CheckFaultInjection(bool dot) {
         return frame;
       }, /*port=*/1);
     });
-    result.findings += nat.findings;
     result.summary = "nat: " + nat.summary;
+    Merge(result, std::move(nat));
   }
   {
     MemcachedConfig config;
@@ -331,14 +358,14 @@ ScenarioResult CheckFaultInjection(bool dot) {
     workload.server_ip = config.ip;
     workload.key_space = 64;
     MemaslapLoadgen loadgen(workload);
-    ScenarioResult mc = Observe(target.sim(), false, [&] {
+    ScenarioResult mc = Observe("fault.memcached", target.sim(), false, [&] {
       for (usize i = 0; i < loadgen.prewarm_count(); ++i) {
         target.SendAndCollect(0, loadgen.PrewarmFrame(i));
       }
       soak(target, service, [&](usize i) { return loadgen.WorkloadFrame(i); }, 0);
     });
-    result.findings += mc.findings;
     result.summary += " | memcached: " + mc.summary;
+    Merge(result, std::move(mc));
   }
   return result;
 }
@@ -369,11 +396,14 @@ int main(int argc, char** argv) {
       for (const Scenario& s : kScenarios) {
         std::printf("  %-16s %s\n", s.name, s.description);
       }
-      std::printf("checks:\n");
+      std::printf("checks:  (static = emu_lint pass, dynamic = this binary)\n");
       for (const CheckInfo& info : CheckRegistry()) {
-        std::printf("  %-18s %s\n", info.name, info.description);
+        const char* passes = info.static_pass && info.dynamic_pass ? "static+dynamic"
+                             : info.static_pass                    ? "static"
+                                                                   : "dynamic";
+        std::printf("  %-18s %-15s %s\n", info.name, passes, info.description);
       }
-      return 0;
+      return kLintExitClean;
     }
     if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
       dot_target = argv[++i];
@@ -385,23 +415,36 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: emu_check [--list] [--dot <design>] [--faults \"<plan>\"]\n");
-    return 2;
+    return kLintExitUsage;
   }
 
   std::printf("== emu-check: design-rule analysis over %zu designs ==\n\n",
               std::size(kScenarios));
-  usize total = 0;
+  std::vector<Finding> all;
   for (const Scenario& s : kScenarios) {
-    const ScenarioResult result = s.run(dot_target == s.name);
+    ScenarioResult result = s.run(dot_target == s.name);
     std::printf("%-16s %s\n", s.name, result.summary.c_str());
-    total += result.findings;
+    if (result.usage_error) {
+      std::fprintf(stderr, "emu-check: %s\n", result.summary.c_str());
+      return kLintExitUsage;
+    }
+    all.insert(all.end(), std::make_move_iterator(result.findings.begin()),
+               std::make_move_iterator(result.findings.end()));
   }
-  if (total != 0) {
-    std::printf("\nemu-check: FAILED with %zu finding(s)\n", total);
-    return 1;
+  if (!all.empty()) {
+    std::printf("\n");
+    FormatFindingsText(std::cout, all);
   }
-  std::printf("\nemu-check: all designs clean\n");
-  return 0;
+  const usize errors = CountErrors(all);
+  if (errors != 0) {
+    std::printf("\nemu-check: FAILED with %zu error finding(s), %zu total\n", errors,
+                all.size());
+  } else if (!all.empty()) {
+    std::printf("\nemu-check: %zu warning finding(s), no errors\n", all.size());
+  } else {
+    std::printf("\nemu-check: all designs clean\n");
+  }
+  return LintExitCode(all);
 }
 
 #else  // !EMU_ANALYSIS
@@ -411,7 +454,7 @@ int main() {
                "emu_check: built with -DEMU_ANALYSIS=OFF; the kernel has no "
                "analysis hooks.\nReconfigure with -DEMU_ANALYSIS=ON (the "
                "default) to run the checker.\n");
-  return 2;
+  return emu::kLintExitUsage;
 }
 
 #endif  // EMU_ANALYSIS

@@ -1,0 +1,28 @@
+#include "src/analysis/elab/elaboration.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/hdl/simulator.h"
+
+namespace emu::elab {
+
+void Elaboration::PreFlight(Simulator& sim) {
+  ran_ = true;
+  graph_ = ElabGraph::FromSimulator(sim, design_);
+  findings_ = ApplySuppressions(graph_.Check(), suppressions_, &suppressed_);
+  if (echo_ && !findings_.empty()) {
+    std::ostringstream os;
+    FormatFindingsText(os, findings_);
+    std::fprintf(stderr, "%s", os.str().c_str());
+  }
+  if (abort_on_error_ && CountErrors(findings_) > 0) {
+    std::fprintf(stderr,
+                 "emu: fatal: pre-flight elaboration of design '%s' found %zu error(s)\n",
+                 design_.c_str(), CountErrors(findings_));
+    std::abort();
+  }
+}
+
+}  // namespace emu::elab

@@ -1,0 +1,68 @@
+// Pre-flight elaboration: lint as a simulation gate.
+//
+// Attach an Elaboration to a Simulator (Simulator::AttachElaboration) and
+// the full static check suite runs exactly once, at the first Step()/Run()
+// after attachment — i.e. against the completely constructed design, before
+// any cycle executes. Tests then assert on findings() (or rely on
+// SetAbortOnError for hard gating) without writing any lint plumbing:
+//
+//   elab::Elaboration lint("nat");
+//   sim.AttachElaboration(&lint);
+//   ... build design ...
+//   sim.Run(1000);                       // pre-flight fires on entry
+//   EXPECT_TRUE(lint.findings().empty());
+#ifndef SRC_ANALYSIS_ELAB_ELABORATION_H_
+#define SRC_ANALYSIS_ELAB_ELABORATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/elab/elab_graph.h"
+#include "src/analysis/finding.h"
+
+namespace emu {
+
+class Simulator;
+
+namespace elab {
+
+class Elaboration {
+ public:
+  explicit Elaboration(std::string design = "") : design_(std::move(design)) {}
+
+  // Suppressions applied to the findings (see finding.h for the syntax).
+  void SetSuppressions(std::vector<Suppression> suppressions) {
+    suppressions_ = std::move(suppressions);
+  }
+  // Echo findings to stderr as they are found (default on: a pre-flight that
+  // fails silently inside Run() helps nobody).
+  void SetEcho(bool echo) { echo_ = echo; }
+  // Abort the process when an unsuppressed error finding survives — the
+  // hard-gate mode for harnesses that must not run a broken design.
+  void SetAbortOnError(bool abort_on_error) { abort_on_error_ = abort_on_error; }
+
+  // Runs the static suite against `sim`'s elaborated design. Called by the
+  // Simulator once per attachment; callable directly when no stepping is
+  // wanted at all.
+  void PreFlight(Simulator& sim);
+
+  bool ran() const { return ran_; }
+  const std::vector<Finding>& findings() const { return findings_; }
+  usize suppressed() const { return suppressed_; }
+  const ElabGraph& graph() const { return graph_; }
+
+ private:
+  std::string design_;
+  std::vector<Suppression> suppressions_;
+  bool echo_ = true;
+  bool abort_on_error_ = false;
+  bool ran_ = false;
+  usize suppressed_ = 0;
+  ElabGraph graph_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace elab
+}  // namespace emu
+
+#endif  // SRC_ANALYSIS_ELAB_ELABORATION_H_

@@ -14,6 +14,11 @@ const char* HazardKindName(HazardKind kind) {
     case HazardKind::kRunawayProcess: return "RUNAWAY";
     case HazardKind::kPostMortemStep: return "POSTMORTEMSTEP";
     case HazardKind::kCombLoop: return "COMBLOOP";
+    case HazardKind::kDeadSignal: return "DEADSIGNAL";
+    case HazardKind::kDeadProcess: return "DEADPROCESS";
+    case HazardKind::kFifoDeadlock: return "FIFODEADLOCK";
+    case HazardKind::kShardCut: return "SHARDCUT";
+    case HazardKind::kFaultTarget: return "FAULTTARGET";
   }
   return "UNKNOWN";
 }
@@ -44,25 +49,43 @@ const std::vector<CheckInfo>& CheckRegistry() {
   static const std::vector<CheckInfo> kChecks = {
       {HazardKind::kMultiDriver, "MULTIDRIVEN",
        "two distinct processes wrote the same Reg in one cycle (last write wins)",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/true},
       {HazardKind::kCombRace, "COMBRACE",
        "a Wire was read by a process registered before its writer (stale data observed)",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/true},
       {HazardKind::kUninitRead, "UNINITREAD",
        "a no-default Reg/Wire was read before its first write (X propagation)",
-       Severity::kWarning},
+       Severity::kWarning, /*static_pass=*/false, /*dynamic_pass=*/true},
       {HazardKind::kLostBackpressure, "LOSTBACKPRESSURE",
        "SyncFifo::Push dropped a value and the pusher never checked CanPush that cycle",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/false, /*dynamic_pass=*/true},
       {HazardKind::kRunawayProcess, "RUNAWAY",
        "a process exceeded its per-resume operation budget without reaching Pause()",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/false, /*dynamic_pass=*/true},
       {HazardKind::kPostMortemStep, "POSTMORTEMSTEP",
        "Simulator::Step() ran after a registered Clocked element was destroyed",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/false, /*dynamic_pass=*/true},
       {HazardKind::kCombLoop, "COMBLOOP",
        "combinational cycle: a wire dependency loop no registration order can satisfy",
-       Severity::kError},
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/true},
+      {HazardKind::kDeadSignal, "DEADSIGNAL",
+       "a named signal/FIFO with writers but no reader (or readers but no writer), "
+       "not marked external",
+       Severity::kWarning, /*static_pass=*/true, /*dynamic_pass=*/false},
+      {HazardKind::kDeadProcess, "DEADPROCESS",
+       "a process whose declared inputs have no producer anywhere in the design",
+       Severity::kWarning, /*static_pass=*/true, /*dynamic_pass=*/false},
+      {HazardKind::kFifoDeadlock, "FIFODEADLOCK",
+       "a cycle of FIFO producer/consumer edges with no drain outside the cycle "
+       "(fills once, blocks forever)",
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/false},
+      {HazardKind::kShardCut, "SHARDCUT",
+       "a cross-shard link direction with zero minimum transit time (degenerate "
+       "conservative lookahead)",
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/false},
+      {HazardKind::kFaultTarget, "FAULTTARGET",
+       "a FaultPlan pattern that matches no fault point registered by the design",
+       Severity::kError, /*static_pass=*/true, /*dynamic_pass=*/false},
   };
   return kChecks;
 }

@@ -39,9 +39,30 @@ enum class HazardKind : u8 {
   // of processes whose same-cycle wire reads can never all be satisfied by
   // any registration order.
   kCombLoop,
+
+  // --- Static-only checks (src/analysis/elab, over declared IO) ---
+
+  // A named signal/FIFO has declared writers but no declared reader, or
+  // vice versa, and is not marked external: dead logic or a missing
+  // declaration.
+  kDeadSignal,
+  // A process's declared inputs have no producer anywhere in the design (and
+  // none is external): the process can never receive work.
+  kDeadProcess,
+  // A cycle of FIFO producer/consumer edges with no drain outside the cycle:
+  // once every FIFO in the ring fills, all of its processes block forever
+  // (static deadlock).
+  kFifoDeadlock,
+  // A cross-shard link direction registered with the ParallelRunner has a
+  // zero minimum transit time: the conservative lookahead horizon is
+  // degenerate and the parallel run cannot make progress soundly.
+  kShardCut,
+  // A FaultPlan entry's pattern matches no fault point the elaborated design
+  // registered: the intended fault campaign silently does nothing.
+  kFaultTarget,
 };
 
-inline constexpr usize kHazardKindCount = 7;
+inline constexpr usize kHazardKindCount = 12;
 
 enum class Severity : u8 {
   kInfo = 0,
@@ -71,6 +92,11 @@ struct CheckInfo {
   const char* name;  // stable id, e.g. "MULTIDRIVEN"
   const char* description;
   Severity default_severity;
+  // Which passes can enforce the rule: `static_pass` at elaboration over
+  // declared IO (src/analysis/elab), `dynamic_pass` at simulation time via
+  // kernel hooks (HazardMonitor). Several rules exist in both.
+  bool static_pass = false;
+  bool dynamic_pass = true;
 };
 
 const std::vector<CheckInfo>& CheckRegistry();

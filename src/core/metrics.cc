@@ -225,19 +225,15 @@ struct LintState {
   std::map<std::string, bool> sums;
 };
 
-bool Fail(std::string* error, usize line_no, const std::string& what) {
-  if (error != nullptr) {
-    *error = "line " + std::to_string(line_no) + ": " + what;
-  }
-  return false;
-}
-
 }  // namespace
 
-bool PrometheusLint(const std::string& text, std::string* error) {
-  if (error != nullptr) {
-    error->clear();
-  }
+std::vector<Finding> PrometheusLintFindings(const std::string& text) {
+  std::vector<Finding> findings;
+  auto report = [&findings](const char* check, const std::string& subject, usize line_no,
+                            const std::string& what) {
+    findings.push_back(Finding{check, Severity::kError, "metrics", subject,
+                               "line " + std::to_string(line_no) + ": " + what});
+  };
   LintState state;
   std::set<std::string> sampled;  // metrics that already emitted a sample
   std::istringstream in(text);
@@ -255,17 +251,21 @@ bool PrometheusLint(const std::string& text, std::string* error) {
       if (keyword == "TYPE") {
         fields >> rest;
         if (!ValidMetricName(metric)) {
-          return Fail(error, line_no, "invalid metric name in TYPE: " + metric);
+          report("METRICSFMT", metric, line_no, "invalid metric name in TYPE: " + metric);
+          continue;
         }
         if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
             rest != "summary" && rest != "untyped") {
-          return Fail(error, line_no, "unknown metric type: " + rest);
+          report("METRICSFMT", metric, line_no, "unknown metric type: " + rest);
+          continue;
         }
         if (state.types.count(metric) != 0) {
-          return Fail(error, line_no, "duplicate TYPE for " + metric);
+          report("METRICSDUP", metric, line_no, "duplicate TYPE for " + metric);
+          continue;
         }
         if (sampled.count(metric) != 0) {
-          return Fail(error, line_no, "TYPE after samples for " + metric);
+          report("METRICSDUP", metric, line_no, "TYPE after samples for " + metric);
+          continue;
         }
         state.types[metric] = rest;
       }
@@ -275,18 +275,21 @@ bool PrometheusLint(const std::string& text, std::string* error) {
     // Sample line: name[{labels}] value [timestamp]
     usize name_end = line.find_first_of("{ ");
     if (name_end == std::string::npos) {
-      return Fail(error, line_no, "sample with no value");
+      report("METRICSFMT", line, line_no, "sample with no value");
+      continue;
     }
     const std::string name = line.substr(0, name_end);
     if (!ValidMetricName(name)) {
-      return Fail(error, line_no, "invalid metric name: " + name);
+      report("METRICSFMT", name, line_no, "invalid metric name: " + name);
+      continue;
     }
     std::string labels;
     usize value_start = name_end;
     if (line[name_end] == '{') {
       const usize close = line.find('}', name_end);
       if (close == std::string::npos) {
-        return Fail(error, line_no, "unterminated label set");
+        report("METRICSFMT", name, line_no, "unterminated label set");
+        continue;
       }
       labels = line.substr(name_end + 1, close - name_end - 1);
       value_start = close + 1;
@@ -294,11 +297,13 @@ bool PrometheusLint(const std::string& text, std::string* error) {
     std::istringstream value_in(line.substr(value_start));
     std::string value_text;
     if (!(value_in >> value_text)) {
-      return Fail(error, line_no, "sample with no value");
+      report("METRICSFMT", name, line_no, "sample with no value");
+      continue;
     }
     double value = 0;
     if (!ParseDouble(value_text, &value)) {
-      return Fail(error, line_no, "non-numeric sample value: " + value_text);
+      report("METRICSFMT", name, line_no, "non-numeric sample value: " + value_text);
+      continue;
     }
     // Resolve histogram series back to their base metric for TYPE checks.
     std::string base = name;
@@ -317,21 +322,23 @@ bool PrometheusLint(const std::string& text, std::string* error) {
         const std::string key = "le=\"";
         const usize le_pos = labels.find(key);
         if (le_pos == std::string::npos) {
-          return Fail(error, line_no, "histogram bucket without le label");
+          report("METRICSHIST", base, line_no, "histogram bucket without le label");
+          continue;
         }
         const usize le_end = labels.find('"', le_pos + key.size());
         double le = 0;
         if (le_end == std::string::npos ||
             !ParseDouble(labels.substr(le_pos + key.size(), le_end - le_pos - key.size()), &le)) {
-          return Fail(error, line_no, "unparsable le label");
+          report("METRICSHIST", base, line_no, "unparsable le label");
+          continue;
         }
         auto& les = state.buckets[base];
         auto& values = state.bucket_values[base];
         if (!les.empty() && le <= les.back()) {
-          return Fail(error, line_no, "histogram le bounds not increasing for " + base);
+          report("METRICSHIST", base, line_no, "histogram le bounds not increasing for " + base);
         }
         if (!values.empty() && value < values.back()) {
-          return Fail(error, line_no, "histogram buckets not cumulative for " + base);
+          report("METRICSHIST", base, line_no, "histogram buckets not cumulative for " + base);
         }
         les.push_back(le);
         values.push_back(value);
@@ -340,7 +347,7 @@ bool PrometheusLint(const std::string& text, std::string* error) {
       } else if (name == base + "_sum") {
         state.sums[base] = true;
       } else {
-        return Fail(error, line_no, "bare sample for histogram " + base);
+        report("METRICSHIST", base, line_no, "bare sample for histogram " + base);
       }
     }
   }
@@ -350,19 +357,31 @@ bool PrometheusLint(const std::string& text, std::string* error) {
     }
     const auto& les = state.buckets[metric];
     if (les.empty() || !std::isinf(les.back())) {
-      return Fail(error, line_no, "histogram " + metric + " missing +Inf bucket");
+      report("METRICSHIST", metric, line_no, "histogram " + metric + " missing +Inf bucket");
     }
     if (state.counts.count(metric) == 0) {
-      return Fail(error, line_no, "histogram " + metric + " missing _count");
+      report("METRICSHIST", metric, line_no, "histogram " + metric + " missing _count");
     }
     if (!state.sums[metric]) {
-      return Fail(error, line_no, "histogram " + metric + " missing _sum");
+      report("METRICSHIST", metric, line_no, "histogram " + metric + " missing _sum");
     }
-    if (state.counts[metric] != state.bucket_values[metric].back()) {
-      return Fail(error, line_no, "histogram " + metric + " _count != +Inf bucket");
+    if (!les.empty() && std::isinf(les.back()) && state.counts.count(metric) != 0 &&
+        state.counts[metric] != state.bucket_values[metric].back()) {
+      report("METRICSHIST", metric, line_no, "histogram " + metric + " _count != +Inf bucket");
     }
   }
-  return true;
+  return findings;
+}
+
+bool PrometheusLint(const std::string& text, std::string* error) {
+  const std::vector<Finding> findings = PrometheusLintFindings(text);
+  if (error != nullptr) {
+    error->clear();
+    if (!findings.empty()) {
+      *error = findings.front().message;
+    }
+  }
+  return findings.empty();
 }
 
 }  // namespace emu

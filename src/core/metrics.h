@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/finding.h"
 #include "src/common/types.h"
 #include "src/core/histogram.h"
 
@@ -120,7 +121,14 @@ class MetricsRegistry {
 // one TYPE per metric and before its samples, numeric sample values, and
 // histogram invariants (cumulative non-decreasing buckets, increasing `le`
 // bounds, `+Inf` bucket present and equal to `_count`, `_sum` present).
-// Returns true when the text scrapes clean; otherwise fills `error`.
+// Returns EVERY violation (not just the first) as shared Finding records so
+// the diagnostics route through the same text/JSON formatters as emu_lint
+// and emu_check. Check ids: METRICSFMT (syntax), METRICSDUP (duplicate or
+// misplaced TYPE), METRICSHIST (histogram invariants); all Severity::kError.
+std::vector<Finding> PrometheusLintFindings(const std::string& text);
+
+// Convenience wrapper: true when the text scrapes clean; otherwise fills
+// `error` with the first finding's message.
 bool PrometheusLint(const std::string& text, std::string* error);
 
 }  // namespace emu

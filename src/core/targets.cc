@@ -47,6 +47,10 @@ std::vector<EgressFrame> FpgaTarget::TakeEgress() {
 CpuTarget::CpuTarget(Service& service, usize fifo_depth) : service_(service) {
   rx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), "cpu_rx", fifo_depth, 256);
   tx_ = std::make_unique<SyncFifo<Packet>>(scheduler_.sim(), "cpu_tx", fifo_depth, 256);
+  // The host side of the dataplane: Deliver() pushes rx and drains tx from
+  // outside the process graph (emu-lint must not flag them as dead ends).
+  scheduler_.sim().catalog().MarkExternal(rx_.get());
+  scheduler_.sim().catalog().MarkExternal(tx_.get());
   service_.Instantiate(scheduler_.sim(), Dataplane{rx_.get(), tx_.get()});
 }
 

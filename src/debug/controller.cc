@@ -139,7 +139,10 @@ void DirectedService::Instantiate(Simulator& sim, Dataplane dp) {
   dp_ = dp;
   controller_.SetWakeHook([&sim] { sim.NotifyWake(); });
   inner_rx_ = std::make_unique<SyncFifo<Packet>>(sim, "directed_inner_rx", 64, 256);
-  sim.AddProcess(FilterProcess(), "direction_filter");
+  const usize filter = sim.AddProcess(FilterProcess(), "direction_filter");
+  // Direction packets turn around onto dp.tx; everything else forwards into
+  // the inner service's rx.
+  elab::IoDecl(sim.catalog(), filter).Pops(dp_.rx).Pushes(inner_rx_.get()).Pushes(dp_.tx);
   inner_.Instantiate(sim, Dataplane{inner_rx_.get(), dp.tx});
 }
 

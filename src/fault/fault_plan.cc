@@ -91,58 +91,70 @@ bool FaultPatternMatches(const std::string& pattern, const std::string& name) {
 
 Expected<FaultPlan> ParseFaultPlan(const std::string& text) {
   FaultPlan plan;
-  std::string entry;
-  // Entries split on newline or ';' so a plan fits a single CLI argument.
-  std::string normalized = text;
-  for (char& c : normalized) {
-    if (c == ';') {
-      c = '\n';
-    }
-  }
-  std::istringstream lines(normalized);
-  while (std::getline(lines, entry)) {
-    const std::vector<std::string> tokens = Tokenize(entry);
-    if (tokens.empty()) {
-      continue;
-    }
-    if (tokens.size() < 2) {
-      return InvalidArgument("fault plan entry needs '<point> <mode> ...': " + entry);
-    }
-    FaultPlanEntry parsed;
-    parsed.pattern = tokens[0];
-    const std::string& mode = tokens[1];
-    usize next = 2;  // first operand after the mode
-    if (mode == "oneshot") {
-      if (tokens.size() < 3 || !ParseU64(tokens[2], parsed.schedule.at)) {
-        return InvalidArgument("oneshot needs a tick: " + entry);
+  std::string line;
+  std::istringstream lines(text);
+  usize line_number = 0;
+  auto fail = [&](const std::string& what, const std::string& entry) {
+    return InvalidArgument("fault plan line " + std::to_string(line_number) + ": " + what +
+                           ": " + entry);
+  };
+  // Split on real newlines first so diagnostics carry the line number, then
+  // on ';' within a line (so a plan still fits a single CLI argument; every
+  // ';'-separated entry reports the same line).
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::istringstream entries(line);
+    std::string entry;
+    while (std::getline(entries, entry, ';')) {
+      const std::vector<std::string> tokens = Tokenize(entry);
+      if (tokens.empty()) {
+        continue;
       }
-      parsed.schedule.mode = FaultSchedule::Mode::kOneShot;
-      next = 3;
-    } else if (mode == "bernoulli") {
-      if (tokens.size() < 3 || !ParseP(tokens[2], parsed.schedule.probability)) {
-        return InvalidArgument("bernoulli needs a probability in [0,1]: " + entry);
+      if (tokens.size() < 2) {
+        return fail("entry needs '<point> <mode> ...'", entry);
       }
-      parsed.schedule.mode = FaultSchedule::Mode::kBernoulli;
-      next = 3;
-    } else if (mode == "burst") {
-      if (tokens.size() < 5 || !ParseU64(tokens[2], parsed.schedule.from) ||
-          !ParseU64(tokens[3], parsed.schedule.until) ||
-          !ParseP(tokens[4], parsed.schedule.probability) ||
-          parsed.schedule.from >= parsed.schedule.until) {
-        return InvalidArgument("burst needs '<from> <until> <p>' with from < until: " +
-                               entry);
+      FaultPlanEntry parsed;
+      parsed.pattern = tokens[0];
+      for (const FaultPlanEntry& existing : plan.entries) {
+        if (existing.pattern == parsed.pattern) {
+          return fail("duplicate point entry '" + parsed.pattern +
+                          "' (one schedule per point; the plans would silently race)",
+                      entry);
+        }
       }
-      parsed.schedule.mode = FaultSchedule::Mode::kBurst;
-      next = 5;
-    } else {
-      return InvalidArgument("unknown schedule mode '" + mode + "': " + entry);
+      const std::string& mode = tokens[1];
+      usize next = 2;  // first operand after the mode
+      if (mode == "oneshot") {
+        if (tokens.size() < 3 || !ParseU64(tokens[2], parsed.schedule.at)) {
+          return fail("oneshot needs a tick", entry);
+        }
+        parsed.schedule.mode = FaultSchedule::Mode::kOneShot;
+        next = 3;
+      } else if (mode == "bernoulli") {
+        if (tokens.size() < 3 || !ParseP(tokens[2], parsed.schedule.probability)) {
+          return fail("bernoulli needs a probability in [0,1]", entry);
+        }
+        parsed.schedule.mode = FaultSchedule::Mode::kBernoulli;
+        next = 3;
+      } else if (mode == "burst") {
+        if (tokens.size() < 5 || !ParseU64(tokens[2], parsed.schedule.from) ||
+            !ParseU64(tokens[3], parsed.schedule.until) ||
+            !ParseP(tokens[4], parsed.schedule.probability) ||
+            parsed.schedule.from >= parsed.schedule.until) {
+          return fail("burst needs '<from> <until> <p>' with from < until", entry);
+        }
+        parsed.schedule.mode = FaultSchedule::Mode::kBurst;
+        next = 5;
+      } else {
+        return fail("unknown schedule mode '" + mode + "'", entry);
+      }
+      if (tokens.size() > next) {
+        if (tokens.size() > next + 1 || !ParseU64(tokens[next], parsed.schedule.magnitude)) {
+          return fail("trailing operand must be a single magnitude", entry);
+        }
+      }
+      plan.entries.push_back(std::move(parsed));
     }
-    if (tokens.size() > next) {
-      if (tokens.size() > next + 1 || !ParseU64(tokens[next], parsed.schedule.magnitude)) {
-        return InvalidArgument("trailing operand must be a single magnitude: " + entry);
-      }
-    }
-    plan.entries.push_back(std::move(parsed));
   }
   return plan;
 }

@@ -47,6 +47,7 @@ class SyncFifo : public Clocked {
       Fatal("constructed with depth 0");
     }
     sim_.RegisterClocked(this);
+    sim_.catalog().AddElement(this, elab::NodeKind::kFifo, name_, /*no_init=*/false, depth);
   }
 
   SyncFifo(const SyncFifo&) = delete;

@@ -44,11 +44,13 @@ class Reg : public Clocked {
   Reg(Simulator& sim, std::string name, T initial = T{})
       : sim_(sim), name_(std::move(name)), current_(initial), next_(std::move(initial)) {
     sim_.RegisterClocked(this);
+    sim_.catalog().AddElement(this, elab::NodeKind::kReg, name_);
   }
 
   Reg(Simulator& sim, std::string name, NoInit)
       : sim_(sim), name_(std::move(name)), no_default_(true) {
     sim_.RegisterClocked(this);
+    sim_.catalog().AddElement(this, elab::NodeKind::kReg, name_, /*no_init=*/true);
   }
 
   Reg(const Reg&) = delete;
@@ -131,10 +133,14 @@ class Wire {
   // Named wires participate in emu-check: combinational-ordering analysis
   // needs to know who reads and writes them.
   Wire(Simulator& sim, std::string name, T initial = T{})
-      : sim_(&sim), name_(std::move(name)), value_(std::move(initial)) {}
+      : sim_(&sim), name_(std::move(name)), value_(std::move(initial)) {
+    sim.catalog().AddElement(this, elab::NodeKind::kWire, name_);
+  }
 
   Wire(Simulator& sim, std::string name, NoInit)
-      : sim_(&sim), name_(std::move(name)), no_default_(true) {}
+      : sim_(&sim), name_(std::move(name)), no_default_(true) {
+    sim.catalog().AddElement(this, elab::NodeKind::kWire, name_, /*no_init=*/true);
+  }
 
   const std::string& name() const { return name_; }
 

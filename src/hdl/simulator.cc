@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "src/analysis/elab/elaboration.h"
 #include "src/analysis/hazard_monitor.h"
 #include "src/core/metrics.h"
 #include "src/fault/fault_registry.h"
@@ -40,10 +41,35 @@ Simulator::~Simulator() {
 #endif
 }
 
-void Simulator::AddProcess(HwProcess process, std::string name) {
+usize Simulator::AddProcess(HwProcess process, std::string name) {
   assert(process.Valid());
+  const usize index = processes_.size();
   processes_.push_back(NamedProcess{std::move(process), std::move(name)});
   stats_.push_back(ProcessStats{});
+  if (!order_.empty()) {
+    // A schedule was already adopted: late registrations run after it, in
+    // their own registration order.
+    order_.push_back(index);
+  }
+  return index;
+}
+
+void Simulator::AdoptSchedule(std::vector<usize> order) {
+  assert(order.size() == processes_.size());
+#ifndef NDEBUG
+  // Must be a permutation of the registration indices.
+  std::vector<bool> seen(processes_.size(), false);
+  for (usize index : order) {
+    assert(index < processes_.size() && !seen[index]);
+    seen[index] = true;
+  }
+#endif
+  order_ = std::move(order);
+}
+
+void Simulator::RunPreFlight() {
+  preflight_done_ = true;  // set first: PreFlight may Step() via helpers
+  elaboration_->PreFlight(*this);
 }
 
 void Simulator::RegisterClocked(Clocked* element) {
@@ -83,6 +109,9 @@ void Simulator::DetachEdgeObserver(EdgeObserver* observer) {
 }
 
 void Simulator::Step() {
+  if (elaboration_ != nullptr && !preflight_done_) [[unlikely]] {
+    RunPreFlight();
+  }
   // Armed fault callback targets sample once per edge, before processes run
   // (the tick at `now_` precedes the edge at `now_`, matching the chaos
   // harness's historical `registry.Tick(now); Run(1);` order).
@@ -105,7 +134,9 @@ void Simulator::Step() {
   // with the fast path off every parked predicate is evaluated on every
   // edge, which is the reference semantics.
   const bool lazy = fast_path_;
-  for (usize i = 0; i < processes_.size(); ++i) {
+  const usize* order = order_.empty() ? nullptr : order_.data();
+  for (usize slot = 0; slot < processes_.size(); ++slot) {
+    const usize i = order != nullptr ? order[slot] : slot;
     HwProcess& process = processes_[i].process;
     if (process.Done()) {
       continue;
@@ -169,7 +200,9 @@ void Simulator::StepInstrumented() {
       std::abort();
     }
   }
-  for (usize i = 0; i < processes_.size(); ++i) {
+  const usize* order = order_.empty() ? nullptr : order_.data();
+  for (usize slot = 0; slot < processes_.size(); ++slot) {
+    const usize i = order != nullptr ? order[slot] : slot;
     current_process_ = static_cast<isize>(i);
     if (monitor_ != nullptr) {
       monitor_->OnProcessResume(i, processes_[i].name);
@@ -295,6 +328,9 @@ void Simulator::FastForward(Cycle cycles) {
 }
 
 void Simulator::Run(Cycle cycles) {
+  if (elaboration_ != nullptr && !preflight_done_) [[unlikely]] {
+    RunPreFlight();
+  }
   const Cycle end = now_ + cycles;
   while (now_ < end) {
     const Cycle window = QuiescentWindow(end - now_);
@@ -307,6 +343,9 @@ void Simulator::Run(Cycle cycles) {
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& done, Cycle limit) {
+  if (elaboration_ != nullptr && !preflight_done_) [[unlikely]] {
+    RunPreFlight();
+  }
   const Cycle end = now_ + limit;
   while (now_ < end) {
     if (done()) {

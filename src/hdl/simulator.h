@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/hdl/elab_catalog.h"
 #include "src/hdl/process.h"
 
 namespace emu {
@@ -55,6 +56,10 @@ class FaultRegistry;
 class HazardMonitor;
 class MetricsRegistry;
 class Simulator;
+
+namespace elab {
+class Elaboration;
+}  // namespace elab
 
 // Anything with per-edge commit semantics (Reg, SyncFifo, CAM write ports...).
 //
@@ -124,8 +129,10 @@ class Simulator {
   Cycle now() const { return now_; }
   Picoseconds NowPs() const { return static_cast<Picoseconds>(now_) * cycle_period_ps_; }
 
-  // Registers a process; it first runs on the next clock edge.
-  void AddProcess(HwProcess process, std::string name);
+  // Registers a process; it first runs on the next clock edge. Returns the
+  // process's registration index — the handle elab::IoDecl uses to declare
+  // its read/write sets.
+  usize AddProcess(HwProcess process, std::string name);
 
   // Clocked elements register themselves on construction.
   //
@@ -207,6 +214,33 @@ class Simulator {
   // jumps counters plus a live_processes gauge.
   void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
 
+  // --- Elaboration catalog (src/hdl/elab_catalog.h) ---
+  // Construction-time record of the design: elements self-register here and
+  // design code declares per-process IO. Read by the static analysis pass
+  // (src/analysis/elab); never consulted by Step() itself.
+  elab::Catalog& catalog() { return catalog_; }
+  const elab::Catalog& catalog() const { return catalog_; }
+
+  // Attaches a pre-flight elaboration (nullptr detaches): its PreFlight()
+  // runs once, at the first Step()/Run() after attachment, against the
+  // fully-constructed design. The elaboration object decides what to do with
+  // findings (collect for a test, echo, abort on errors) and must outlive
+  // the attachment.
+  void AttachElaboration(elab::Elaboration* elaboration) {
+    elaboration_ = elaboration;
+    preflight_done_ = false;
+  }
+  elab::Elaboration* elaboration() const { return elaboration_; }
+
+  // Adopts a static process execution order: Step() resumes processes in
+  // `order` (a permutation of current registration indices) instead of
+  // registration order. Produced by ElabGraph::StaticSchedule(); the
+  // equivalence suite proves adoption is bit-exact for race-free designs.
+  // Processes registered after adoption append to the end of the order.
+  void AdoptSchedule(std::vector<usize> order);
+  void ClearSchedule() { order_.clear(); }
+  bool has_schedule() const { return !order_.empty(); }
+
   // --- Analysis layer (src/analysis) ---
   // Attaches a HazardMonitor (nullptr detaches). The monitor only receives
   // events when the library is built with EMU_ANALYSIS; otherwise the kernel
@@ -269,10 +303,17 @@ class Simulator {
     u64 wall_ns = 0;
   };
 
+  // Runs the attached elaboration exactly once before the first edge.
+  void RunPreFlight();
+
   u64 clock_hz_;
   Picoseconds cycle_period_ps_;
   Cycle now_ = 0;
   std::vector<NamedProcess> processes_;
+  std::vector<usize> order_;  // adopted schedule; empty = registration order
+  elab::Catalog catalog_;
+  elab::Elaboration* elaboration_ = nullptr;
+  bool preflight_done_ = false;
   std::vector<Clocked*> clocked_;
   HazardMonitor* monitor_ = nullptr;
   isize current_process_ = -1;

@@ -13,6 +13,7 @@ Bram::Bram(Simulator& sim, std::string name, usize words, usize word_bits)
   assert(word_bits > 0 && word_bits <= 64);
   AddResources(BramResources(words * word_bits));
   sim.RegisterClocked(this);
+  sim.catalog().AddElement(this, elab::NodeKind::kBram, this->name());
 }
 
 // See the lifetime rule in simulator.h: no unregistration on destruction.

@@ -13,6 +13,11 @@ Cam::Cam(Simulator& sim, std::string name, usize entries, usize key_bits, usize 
   assert(key_bits > 0 && key_bits <= 64);
   AddResources(CamIpResources(entries, key_bits, value_bits));
   sim.RegisterClocked(this);
+  // Register the CamInterface subobject address: designs that hold the CAM
+  // behind a unique_ptr<CamInterface> declare IO with that pointer, which
+  // differs numerically from `this` under multiple inheritance.
+  sim.catalog().AddElement(static_cast<const CamInterface*>(this), elab::NodeKind::kCam,
+                           this->name());
 }
 
 // See the lifetime rule in simulator.h: no unregistration on destruction.

@@ -22,6 +22,7 @@ HashCam::HashCam(Simulator& sim, std::string name, usize buckets)
   assert(buckets > 0);
   // key + index + valid per bucket in BRAM; hash core + probe FSM in fabric.
   AddResources(BramResources(table_.size() * (64 + 64 + 1)) + ResourceUsage{320, 180, 1});
+  sim.catalog().AddElement(this, elab::NodeKind::kHashCam, this->name());
 }
 
 usize HashCam::Slot(u64 key, usize probe) const {

@@ -13,6 +13,9 @@ LogicCam::LogicCam(Simulator& sim, std::string name, usize entries, usize key_bi
   assert(key_bits > 0 && key_bits <= 64);
   AddResources(LogicCamResources(entries, key_bits, value_bits));
   sim.RegisterClocked(this);
+  // CamInterface subobject address, for the same reason as Cam.
+  sim.catalog().AddElement(static_cast<const CamInterface*>(this), elab::NodeKind::kCam,
+                           this->name());
 }
 
 // See the lifetime rule in simulator.h: no unregistration on destruction.

@@ -45,6 +45,16 @@ class PearsonHashIp : public Module {
   //   sim.AddProcess(hash.MakeProcess(), "pearson");
   HwProcess MakeProcess();
 
+  // Declares the core process's register IO (emu-lint): the client drives
+  // enable/data_in; the core drives ready/hash_out.
+  void DeclareIo(usize process_index) {
+    elab::IoDecl(sim().catalog(), process_index)
+        .Reads(&enable_)
+        .Reads(&data_in_)
+        .Writes(&ready_)
+        .Writes(&hash_out_);
+  }
+
   // Client-side helper implementing the Fig. 5 wrapper verbatim: waits for
   // ready, presents the byte, pulses enable, and waits for ready again. Runs
   // as (part of) a client process.

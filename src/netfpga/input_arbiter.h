@@ -24,6 +24,16 @@ class InputArbiter : public Module {
 
   HwProcess MakeProcess();
 
+  // Declares the arbiter process's IO (emu-lint): pops every port rx FIFO,
+  // pushes the core datapath.
+  void DeclareIo(usize process_index) {
+    elab::IoDecl decl(sim().catalog(), process_index);
+    for (SyncFifo<Packet>* input : inputs_) {
+      decl.Pops(input);
+    }
+    decl.Pushes(&output_);
+  }
+
  private:
   std::vector<SyncFifo<Packet>*> inputs_;
   SyncFifo<Packet>& output_;

@@ -36,6 +36,20 @@ class OutputQueues : public Module {
   HwProcess MakeFanoutProcess();
   HwProcess MakeDrainProcess(u8 port);
 
+  // Static IO (emu-lint): fan-out pops the core datapath and pushes every tx
+  // FIFO; a drain pops its tx FIFO and hands frames to the egress sink (a
+  // testbench edge outside the process graph).
+  void DeclareFanoutIo(usize process_index) {
+    elab::IoDecl decl(sim().catalog(), process_index);
+    decl.Pops(&core_out_);
+    for (const auto& fifo : tx_fifos_) {
+      decl.Pushes(fifo.get());
+    }
+  }
+  void DeclareDrainIo(u8 port, usize process_index) {
+    elab::IoDecl(sim().catalog(), process_index).Pops(tx_fifos_[port].get());
+  }
+
  private:
   SyncFifo<Packet>& core_out_;
   usize bus_bytes_;

@@ -9,7 +9,9 @@ NetFpgaPipeline::NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfi
     ports_.push_back(std::make_unique<TenGigPort>(
         sim, "port" + std::to_string(i), static_cast<u8>(i), config.rx_fifo_depth));
     rx_fifos.push_back(&ports_.back()->rx_fifo());
-    sim.AddProcess(ports_.back()->MakeIngressProcess(), "port" + std::to_string(i) + "_rx");
+    const usize ingress =
+        sim.AddProcess(ports_.back()->MakeIngressProcess(), "port" + std::to_string(i) + "_rx");
+    ports_.back()->DeclareIngressIo(ingress);
   }
 
   core_in_ = std::make_unique<SyncFifo<Packet>>(sim, "core_in", config.core_fifo_depth,
@@ -19,16 +21,18 @@ NetFpgaPipeline::NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfi
 
   arbiter_ = std::make_unique<InputArbiter>(sim, "input_arbiter", std::move(rx_fifos),
                                             *core_in_, config.bus_bytes);
-  sim.AddProcess(arbiter_->MakeProcess(), "input_arbiter");
+  arbiter_->DeclareIo(sim.AddProcess(arbiter_->MakeProcess(), "input_arbiter"));
 
   service_.Instantiate(sim, Dataplane{core_in_.get(), core_out_.get()});
 
   output_queues_ = std::make_unique<OutputQueues>(sim, "output_queues", *core_out_,
                                                   config.tx_fifo_depth, config.bus_bytes);
-  sim.AddProcess(output_queues_->MakeFanoutProcess(), "oq_fanout");
+  output_queues_->DeclareFanoutIo(
+      sim.AddProcess(output_queues_->MakeFanoutProcess(), "oq_fanout"));
   for (u8 port = 0; port < kNetFpgaPortCount; ++port) {
-    sim.AddProcess(output_queues_->MakeDrainProcess(port),
-                   "oq_drain" + std::to_string(port));
+    output_queues_->DeclareDrainIo(
+        port, sim.AddProcess(output_queues_->MakeDrainProcess(port),
+                             "oq_drain" + std::to_string(port)));
   }
 }
 

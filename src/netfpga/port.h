@@ -51,6 +51,13 @@ class TenGigPort : public Module {
   // The port's ingress process; the pipeline registers it.
   HwProcess MakeIngressProcess();
 
+  // Declares the ingress process's IO (emu-lint): frames arrive from the
+  // wire (outside the process graph — Deliver() is the testbench edge), so
+  // the process is a pure source pushing the rx FIFO.
+  void DeclareIngressIo(usize process_index) {
+    elab::IoDecl(sim().catalog(), process_index).Pushes(&rx_fifo_);
+  }
+
  private:
   struct WireFrame {
     Packet frame;

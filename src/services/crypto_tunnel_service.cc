@@ -26,7 +26,8 @@ void CryptoTunnelService::Instantiate(Simulator& sim, Dataplane dp) {
   dp_ = dp;
   cipher_ = std::make_unique<SpeckCipher>(sim, "tunnel_speck", config_.key);
   control_resources_ = HlsControlResources(7, config_.bus_bytes * 8) + ResourceUsage{160, 140, 0};
-  sim.AddProcess(MainLoop(), "crypto_tunnel");
+  const usize main = sim.AddProcess(MainLoop(), "crypto_tunnel");
+  elab::IoDecl(sim.catalog(), main).Pops(dp_.rx).Pushes(dp_.tx);
 }
 
 ResourceUsage CryptoTunnelService::Resources() const {

@@ -40,7 +40,12 @@ void DnsService::Instantiate(Simulator& sim, Dataplane dp) {
       HlsControlResources(10, config_.bus_bytes * 8) +
       BramResources(config_.table_capacity * (config_.max_name_bytes + 4) * 8) +
       ResourceUsage{1450, 900, 0};
-  sim.AddProcess(MainLoop(), "dns");
+  const usize main = sim.AddProcess(MainLoop(), "dns");
+  elab::IoDecl(sim.catalog(), main)
+      .Pops(dp_.rx)
+      .Pushes(dp_.tx)
+      .Reads(table_.get())
+      .Writes(table_.get());
   for (Record& record : pending_records_) {
     InstallRecord(std::move(record));
   }

@@ -17,7 +17,8 @@ void IcmpEchoService::Instantiate(Simulator& sim, Dataplane dp) {
   dp_ = dp;
   // Parse + reply FSM over the datapath, plus the checksum adder tree.
   resources_ = HlsControlResources(6, config_.bus_bytes * 8) + ResourceUsage{180, 120, 0};
-  sim.AddProcess(MainLoop(), "icmp_echo");
+  const usize main = sim.AddProcess(MainLoop(), "icmp_echo");
+  elab::IoDecl(sim.catalog(), main).Pops(dp_.rx).Pushes(dp_.tx);
 }
 
 HwProcess IcmpEchoService::MainLoop() {

@@ -107,7 +107,8 @@ void L3L4Filter::Instantiate(Simulator& sim, Dataplane dp) {
       ResourceUsage{90 * static_cast<u64>(config_.rules.size()) + 120,
                     40 * static_cast<u64>(config_.rules.size()) + 90, 0} +
       accepted_fifo_->resources();
-  sim.AddProcess(FilterStage(), "l3l4_filter");
+  const usize filter = sim.AddProcess(FilterStage(), "l3l4_filter");
+  elab::IoDecl(sim.catalog(), filter).Pops(dp_.rx).Pushes(accepted_fifo_.get());
 
   switch_ = std::make_unique<LearningSwitch>(config_.switch_config);
   switch_->Instantiate(sim, Dataplane{accepted_fifo_.get(), dp.tx});

@@ -33,9 +33,23 @@ void LearningSwitch::Instantiate(Simulator& sim, Dataplane dp) {
                        HlsControlResources(2, config_.bus_bytes * 8) +
                        HlsControlResources(4, config_.bus_bytes * 8) +
                        lookup_to_decide_->resources() + decide_to_forward_->resources();
-  sim.AddProcess(LookupStage(), "switch_lookup");
-  sim.AddProcess(DecideStage(), "switch_decide");
-  sim.AddProcess(ForwardAndLearnStage(), "switch_forward");
+  const usize lookup = sim.AddProcess(LookupStage(), "switch_lookup");
+  const usize decide = sim.AddProcess(DecideStage(), "switch_decide");
+  const usize forward = sim.AddProcess(ForwardAndLearnStage(), "switch_forward");
+  // Static IO (emu-lint): cam_ is held by interface pointer, so it is
+  // referenced by its constructed name.
+  elab::IoDecl(sim.catalog(), lookup)
+      .Pops(dp_.rx)
+      .Pushes(lookup_to_decide_.get())
+      .Reads(std::string("mac_cam"));
+  elab::IoDecl(sim.catalog(), decide)
+      .Pops(lookup_to_decide_.get())
+      .Pushes(decide_to_forward_.get());
+  elab::IoDecl(sim.catalog(), forward)
+      .Pops(decide_to_forward_.get())
+      .Pushes(dp_.tx)
+      .Reads(std::string("mac_cam"))
+      .Writes(std::string("mac_cam"));
 }
 
 ResourceUsage LearningSwitch::Resources() const {

@@ -59,9 +59,24 @@ void MemcachedService::Instantiate(Simulator& sim, Dataplane dp) {
           BramResources(config_.capacity * (config_.max_key_bytes + config_.max_value_bytes) * 8);
     }
   }
-  sim.AddProcess(Dispatcher(), "mc_dispatch");
+  const usize dispatch = sim.AddProcess(Dispatcher(), "mc_dispatch");
+  {
+    elab::IoDecl decl(sim.catalog(), dispatch);
+    decl.Pops(dp_.rx);
+    for (const CoreState& core : cores_) {
+      decl.Pushes(core.queue.get());
+    }
+    if (config_.l1_cache_mode) {
+      decl.Reads(std::string("mc_clients"));
+    }
+  }
   for (usize core = 0; core < config_.cores; ++core) {
-    sim.AddProcess(Worker(core), "mc_core" + std::to_string(core));
+    const usize worker = sim.AddProcess(Worker(core), "mc_core" + std::to_string(core));
+    elab::IoDecl decl(sim.catalog(), worker);
+    decl.Pops(cores_[core].queue.get()).Pushes(dp_.tx);
+    if (config_.l1_cache_mode) {
+      decl.Reads(std::string("mc_clients")).Writes(std::string("mc_clients"));
+    }
   }
 }
 

@@ -38,7 +38,12 @@ void NatService::Instantiate(Simulator& sim, Dataplane dp) {
   control_resources_ = HlsControlResources(11, config_.bus_bytes * 8) +
                        BramResources(config_.max_mappings * 14 * 8) +
                        ResourceUsage{340, 260, 0};
-  sim.AddProcess(MainLoop(), "nat");
+  const usize nat = sim.AddProcess(MainLoop(), "nat");
+  elab::IoDecl(sim.catalog(), nat)
+      .Pops(dp_.rx)
+      .Pushes(dp_.tx)
+      .Reads(flow_table_.get())
+      .Writes(flow_table_.get());
 }
 
 ResourceUsage NatService::Resources() const {

@@ -22,7 +22,8 @@ void TcpPingService::Instantiate(Simulator& sim, Dataplane dp) {
   // pseudo-header checksum unit and the open-port match logic.
   resources_ = HlsControlResources(9, config_.bus_bytes * 8) +
                ResourceUsage{260 + 24 * static_cast<u64>(config_.open_ports.size()), 210, 0};
-  sim.AddProcess(MainLoop(), "tcp_ping");
+  const usize main = sim.AddProcess(MainLoop(), "tcp_ping");
+  elab::IoDecl(sim.catalog(), main).Pops(dp_.rx).Pushes(dp_.tx);
 }
 
 bool TcpPingService::PortOpen(u16 port) const {

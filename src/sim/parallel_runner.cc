@@ -33,6 +33,9 @@ void ParallelRunner::ConnectDirection(Link& link, bool to_b, usize from, usize t
   const Picoseconds lookahead = link.MinTransitPs();
   assert(lookahead > 0 && "zero-lookahead link admits no conservative window");
   const u64 link_id = next_link_id_++;
+  // The assert above vanishes in release builds; the recorded cut lets the
+  // static SHARDCUT check (src/analysis/elab) enforce the same rule always.
+  cuts_.push_back(ShardCut{from, to, link_id, lookahead});
   Shard& receiver = *shards_[to];
   receiver.inbound.push_back(InboundEdge{from, lookahead});
   link.RouteRemote(to_b, *shards_[from]->scheduler, link_id,

@@ -46,6 +46,18 @@ struct ParallelRunOptions {
   usize max_events = 10'000'000;
 };
 
+// One registered cross-shard link direction: the shard boundary it crosses
+// and its conservative lookahead. Recorded by ConnectDirection for the
+// static SHARDCUT check (src/analysis/elab) — the in-function assert on a
+// positive transit floor compiles out under NDEBUG, but a zero-lookahead cut
+// still makes the epoch horizon degenerate, so lint must see it.
+struct ShardCut {
+  usize from = 0;
+  usize to = 0;
+  u64 link_id = 0;
+  Picoseconds lookahead = 0;
+};
+
 class ParallelRunner {
  public:
   ParallelRunner() = default;
@@ -69,6 +81,8 @@ class ParallelRunner {
   usize shard_count() const { return shards_.size(); }
   // Epoch barriers crossed over this runner's lifetime (for tests/bench).
   u64 epochs() const { return epochs_; }
+  // Every registered cross-shard link direction, for static validation.
+  const std::vector<ShardCut>& cuts() const { return cuts_; }
 
  private:
   struct PendingDelivery {
@@ -101,6 +115,7 @@ class ParallelRunner {
   void RunShardEpoch(Shard& shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardCut> cuts_;
   u64 next_link_id_ = 0;
   u64 epochs_ = 0;
 };

@@ -349,6 +349,70 @@ TEST(AnalysisHooks, AcyclicWirePipelineHasNoLoop) {
   EXPECT_FALSE(monitor.HasFindings());
 }
 
+// A process reading the wire it writes is a blocking assignment inside one
+// process, not a dependency cycle: the SCC is a singleton and must not fire.
+HwProcess SelfRelay(Wire<int>& w) {
+  for (;;) {
+    w.Write(w.Read() + 1);
+    co_await Pause();
+  }
+}
+
+TEST(AnalysisHooks, SelfLoopIsNotACombLoop) {
+  Simulator sim;
+  HazardMonitor monitor(sim);
+  monitor.EnableCheck(HazardKind::kCombRace, false);
+  Wire<int> w(sim, "self_wire", 0);
+  sim.AddProcess(SelfRelay(w), "self");
+  sim.Run(4);
+  EXPECT_EQ(monitor.AnalyzeCombinationalGraph(), 0u);
+  EXPECT_EQ(monitor.CountOf(HazardKind::kCombLoop), 0u);
+}
+
+TEST(AnalysisHooks, DisjointCombCyclesReportSeparately) {
+  Simulator sim;
+  HazardMonitor monitor(sim);
+  monitor.EnableCheck(HazardKind::kCombRace, false);
+  Wire<int> a(sim, "ring1_a", 0), b(sim, "ring1_b", 0);
+  Wire<int> c(sim, "ring2_c", 0), d(sim, "ring2_d", 0);
+  sim.AddProcess(RelayWire(a, b), "r1_fwd");
+  sim.AddProcess(RelayWire(b, a), "r1_back");
+  sim.AddProcess(RelayWire(c, d), "r2_fwd");
+  sim.AddProcess(RelayWire(d, c), "r2_back");
+  sim.Run(4);
+  EXPECT_EQ(monitor.AnalyzeCombinationalGraph(), 2u);
+  EXPECT_EQ(monitor.CountOf(HazardKind::kCombLoop), 2u);
+}
+
+// Feedback routed through a register is the canonical correct shape: the reg
+// edge is clocked, so the comb graph stays acyclic.
+HwProcess RegToWire(Reg<int>& r, Wire<int>& w) {
+  for (;;) {
+    w.Write(r.Read() + 1);
+    co_await Pause();
+  }
+}
+
+HwProcess WireToReg(Wire<int>& w, Reg<int>& r) {
+  for (;;) {
+    r.Write(w.Read());
+    co_await Pause();
+  }
+}
+
+TEST(AnalysisHooks, RegisterBreaksCombLoop) {
+  Simulator sim;
+  HazardMonitor monitor(sim);
+  monitor.EnableCheck(HazardKind::kCombRace, false);
+  Wire<int> w(sim, "forward_wire", 0);
+  Reg<int> r(sim, "state_reg", 0);
+  sim.AddProcess(RegToWire(r, w), "producer");
+  sim.AddProcess(WireToReg(w, r), "consumer");
+  sim.Run(4);
+  EXPECT_EQ(monitor.AnalyzeCombinationalGraph(), 0u);
+  EXPECT_EQ(monitor.CountOf(HazardKind::kCombLoop), 0u);
+}
+
 // --- A fully clean multi-element design stays silent end to end ---
 
 HwProcess CleanProducer(SyncFifo<int>& fifo) {

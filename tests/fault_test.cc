@@ -63,6 +63,36 @@ TEST(FaultPlan, RejectsMalformedEntries) {
   EXPECT_FALSE(ParseFaultPlan("oneshot 5").ok());           // no point name
 }
 
+TEST(FaultPlan, RejectsDuplicatePointEntries) {
+  const auto plan = ParseFaultPlan("p bernoulli 1.0; p oneshot 7");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("duplicate point entry 'p'"), std::string::npos)
+      << plan.status().ToString();
+  // Distinct patterns that merely overlap at arm time are fine.
+  EXPECT_TRUE(ParseFaultPlan("p bernoulli 1.0; p.* oneshot 7").ok());
+}
+
+TEST(FaultPlan, ParseErrorsCarryLineNumbers) {
+  // The bad entry sits on physical line 3 (line 2 is blank).
+  const auto plan = ParseFaultPlan(
+      "ingress.drop bernoulli 0.01\n"
+      "\n"
+      "mc.csum.fold oneshot\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("fault plan line 3"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(FaultPlan, SemicolonEntriesShareTheLineNumber) {
+  const auto plan = ParseFaultPlan(
+      "ingress.drop bernoulli 0.01\n"
+      "a oneshot 5; b sometimes 0.1\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("fault plan line 2"), std::string::npos)
+      << plan.status().ToString();
+  EXPECT_NE(plan.status().ToString().find("unknown schedule mode"), std::string::npos);
+}
+
 TEST(FaultPlan, PatternMatching) {
   EXPECT_TRUE(FaultPatternMatches("nat.table_full", "nat.table_full"));
   EXPECT_TRUE(FaultPatternMatches("nat.*", "nat.table_full"));
@@ -164,10 +194,12 @@ TEST(FaultRegistry, ArmAppliesToFutureRegistrations) {
 }
 
 TEST(FaultRegistry, LaterPlanEntriesOverrideEarlier) {
+  // Duplicate *patterns* are a parse error now, but two distinct patterns can
+  // still both match one point; the later entry wins at arm time.
   FaultRegistry registry(5);
   FaultPoint* p = registry.Register("p", FaultClass::kLinkDrop);
-  const auto plan = ParseFaultPlan("p bernoulli 1.0; p oneshot 7");
-  ASSERT_TRUE(plan.ok());
+  const auto plan = ParseFaultPlan("p bernoulli 1.0; p* oneshot 7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   registry.ArmPlan(*plan);
   EXPECT_EQ(p->schedule().mode, FaultSchedule::Mode::kOneShot);
   EXPECT_EQ(p->schedule().at, 7u);

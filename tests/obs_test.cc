@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -209,6 +210,59 @@ TEST(PrometheusLintRejects, MalformedExpositions) {
   // Histogram missing _sum.
   EXPECT_FALSE(PrometheusLint(
       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", &error));
+}
+
+// The lint is a full sweep, not a first-error bail: one exposition with
+// several independent violations yields one finding per violation, each
+// carrying the check id, subject, and line number of its defect.
+TEST(PrometheusLintFindings, CollectsEveryViolation) {
+  const std::string text =
+      "# TYPE 9bad counter\n"       // line 1: METRICSFMT (name in TYPE)
+      "m 1\n"                       // line 2: clean sample, arms the DUP check
+      "m2 notanumber\n"             // line 3: METRICSFMT (value)
+      "# TYPE m counter\n"          // line 4: METRICSDUP (TYPE after samples)
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 5\n"
+      "h_count 3\n";                // end: METRICSHIST (_count != +Inf)
+  const std::vector<Finding> findings = PrometheusLintFindings(text);
+  ASSERT_EQ(findings.size(), 4u);
+
+  EXPECT_EQ(findings[0].check, "METRICSFMT");
+  EXPECT_EQ(findings[0].subject, "9bad");
+  EXPECT_NE(findings[0].message.find("line 1"), std::string::npos);
+
+  EXPECT_EQ(findings[1].check, "METRICSFMT");
+  EXPECT_EQ(findings[1].subject, "m2");
+  EXPECT_NE(findings[1].message.find("line 3"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("notanumber"), std::string::npos);
+
+  EXPECT_EQ(findings[2].check, "METRICSDUP");
+  EXPECT_EQ(findings[2].subject, "m");
+  EXPECT_NE(findings[2].message.find("line 4"), std::string::npos);
+
+  EXPECT_EQ(findings[3].check, "METRICSHIST");
+  EXPECT_EQ(findings[3].subject, "h");
+  EXPECT_NE(findings[3].message.find("_count != +Inf"), std::string::npos);
+
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kError);
+    EXPECT_EQ(f.design, "metrics");
+  }
+
+  // The boolean wrapper reports the first finding's message verbatim.
+  std::string error;
+  EXPECT_FALSE(PrometheusLint(text, &error));
+  EXPECT_EQ(error, findings.front().message);
+
+  // Findings route through the shared JSON formatter like any other check.
+  std::ostringstream os;
+  FormatFindingsJson(os, findings);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"check\": \"METRICSDUP\""), std::string::npos);
+  EXPECT_NE(json.find("\"design\": \"metrics\""), std::string::npos);
+
+  EXPECT_TRUE(PrometheusLintFindings("# TYPE ok counter\nok 1\n").empty());
 }
 
 TEST(LatencyStats, FeedsHistogramAndRegistersMetrics) {
