@@ -236,12 +236,18 @@ struct SoakOutcome {
   bool balanced = false;
   bool recovered = false;
   std::string detail;
+  // Carried for --log-dir artifacts: the exact plan that ran and the
+  // registry's injection log, so a CI failure is replayable from the
+  // uploaded file alone.
+  std::string plan_used;
+  std::string injection_log;
 };
 
 struct SoakOptions {
   u64 seed = 1;
   u64 cycles = 1'000'000;
   std::string plan_text;  // empty: randomized from seed
+  std::string log_dir;    // when set: write per-case artifacts on failure
   bool verbose = false;
 };
 
@@ -271,6 +277,7 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
 
   const std::string plan_text =
       opt.plan_text.empty() ? RandomPlanText(opt.seed, opt.cycles) : opt.plan_text;
+  out.plan_used = plan_text;
   const Expected<FaultPlan> plan = ParseFaultPlan(plan_text);
   if (!plan.ok()) {
     out.ok = false;
@@ -353,6 +360,7 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
       metrics.TryGet(c.dropped_metric).value_or(*base_svc_drop) - *base_svc_drop;
   out.faults_fired = registry.fired_total();
   out.fault_digest = registry.LogDigest();
+  out.injection_log = registry.Summary();
   out.balanced =
       in == out.injected &&
       in == egress_count + out.pipeline_drops + out.service_dropped;
@@ -417,10 +425,46 @@ void PrintOutcome(const std::string& name, const SoakOutcome& out, u64 seed) {
   }
 }
 
+// One file per failing case under opt.log_dir (the directory must exist; CI
+// creates it and uploads it as an artifact): the plan, both digests, the
+// injection log, and the failure detail — everything a replay needs.
+void WriteFailureArtifact(const SoakOptions& opt, const std::string& name,
+                          const SoakOutcome& out, const SoakOutcome* replay) {
+  char digests[160];
+  std::snprintf(digests, sizeof(digests), "fault digest: %016llx\negress digest: %016llx\n",
+                static_cast<unsigned long long>(out.fault_digest),
+                static_cast<unsigned long long>(out.egress_digest));
+  std::string text = "case " + name + " seed " + std::to_string(opt.seed) + " cycles " +
+                     std::to_string(opt.cycles) + "\nplan: " + out.plan_used + "\n" +
+                     digests;
+  if (replay != nullptr) {
+    char replayed[160];
+    std::snprintf(replayed, sizeof(replayed),
+                  "REPLAY DIVERGED\nreplay fault digest: %016llx\nreplay egress digest: "
+                  "%016llx\n",
+                  static_cast<unsigned long long>(replay->fault_digest),
+                  static_cast<unsigned long long>(replay->egress_digest));
+    text += replayed;
+  }
+  if (!out.detail.empty()) {
+    text += "detail:\n" + out.detail;
+  }
+  text += "\ninjection log:\n" + out.injection_log;
+  const std::string path = opt.log_dir + "/" + name + "_seed" +
+                           std::to_string(opt.seed) + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_soak: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
 int Usage() {
   std::printf(
       "usage: chaos_soak [--seed N] [--cycles N] [--faults \"<plan>\"]\n"
-      "                  [--replay] [--service <name>] [--verbose]\n"
+      "                  [--replay] [--service <name>] [--log-dir DIR] [--verbose]\n"
       "services: icmp_echo tcp_ping dns nat memcached (default: all)\n"
       "plan: \"<point> oneshot <tick> | bernoulli <p> | burst <from> <until> <p>"
       " [magnitude]\" entries, ';'-separated\n");
@@ -443,6 +487,8 @@ int Main(int argc, char** argv) {
       replay = true;
     } else if (arg == "--service" && i + 1 < argc) {
       only_service = argv[++i];
+    } else if (arg == "--log-dir" && i + 1 < argc) {
+      opt.log_dir = argv[++i];
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -471,6 +517,9 @@ int Main(int argc, char** argv) {
     const SoakOutcome first = RunSoak(make(), opt);
     PrintOutcome(name, first, opt.seed);
     all_ok = all_ok && first.ok;
+    if (!first.ok && !opt.log_dir.empty()) {
+      WriteFailureArtifact(opt, name, first, nullptr);
+    }
     if (replay && first.ok) {
       const SoakOutcome second = RunSoak(make(), opt);
       const bool same = second.fault_digest == first.fault_digest &&
@@ -480,6 +529,9 @@ int Main(int argc, char** argv) {
                   static_cast<unsigned long long>(second.fault_digest),
                   static_cast<unsigned long long>(second.egress_digest));
       all_ok = all_ok && same;
+      if (!same && !opt.log_dir.empty()) {
+        WriteFailureArtifact(opt, name, first, &second);
+      }
     }
   }
   if (!matched) {

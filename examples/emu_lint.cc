@@ -208,6 +208,37 @@ std::vector<Finding> LintFaultPlan(bool dot) {
   return findings;
 }
 
+// FAULTTARGET over topology-scoped events: the default gossip chaos plan
+// (or --faults) validated against the gossip_soak cluster's host names —
+// unknown hosts are errors, lifecycle-order oddities (restart without crash,
+// double crash, crash inside a partition window naming the host) warnings.
+std::vector<Finding> LintGossipPlan(bool dot) {
+  (void)dot;
+  const std::string plan_text =
+      !g_fault_plan_text.empty()
+          ? g_fault_plan_text
+          : "crash host=h2 at=20ms; restart host=h2 at=120ms; "
+            "partition {h0,h1}|{h3,h4} from=40ms to=70ms";
+  const auto plan = ParseFaultPlan(plan_text);
+  std::vector<Finding> findings;
+  if (!plan.ok()) {
+    Finding f;
+    f.check = HazardKindName(HazardKind::kFaultTarget);
+    f.severity = Severity::kError;
+    f.design = "gossip_plan";
+    f.message = plan.status().ToString();
+    findings.push_back(std::move(f));
+    return findings;
+  }
+  // The gossip_soak example names its cluster h0..h7 (examples/gossip_soak.cc).
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 8; ++i) {
+    hosts.push_back("h" + std::to_string(i));
+  }
+  elab::CheckTopoFaults(*plan, hosts, "gossip_plan", findings);
+  return findings;
+}
+
 struct LintDesign {
   const char* name;
   const char* description;
@@ -223,6 +254,7 @@ constexpr LintDesign kDesigns[] = {
     {"pearson_ip", "PearsonHashIp core handshake registers", LintPearsonIp},
     {"sharded_nat", "sharded NAT star: cut lookahead + node elaboration", LintShardedNat},
     {"fault_plan", "chaos plan patterns vs registered fault points", LintFaultPlan},
+    {"gossip_plan", "topology chaos events vs the gossip cluster's hosts", LintGossipPlan},
 };
 
 void PrintCheckTable() {

@@ -1,0 +1,599 @@
+// gossip_soak: SWIM membership under node-level chaos (emu-gossip).
+//
+// Builds an N-host HubTopology, runs one SwimPeer per host, and applies a
+// topology-scoped fault plan through a ChaosDirector: host crashes, restarts
+// with a boot window, and partition windows realized as hub port-pair
+// blocks. For each seed the soak runs three times — threads=1, threads=T,
+// and a threads=T replay — and checks that the membership protocol kept its
+// promises:
+//
+//   - completeness: every host that was up for a crashed member's whole
+//     detection window declared it dead within SwimDetectionBound();
+//   - accuracy: a Dead declaration is a false positive unless its subject
+//     was actually down within the preceding bound, or a partition window
+//     naming the subject overlapped it (partition-induced deaths spread by
+//     gossip, so the rule is subject-based, not observer-based);
+//   - rejoin: after a restart's boot window every up observer re-admitted
+//     the member with a bumped incarnation within the bound;
+//   - agreement: once the last chaos event plus the bound has passed, every
+//     pair of up hosts agrees the other is alive;
+//   - determinism: the per-peer membership-event digests and the fault
+//     registry's injection-log digest are bit-exact across thread counts and
+//     across a same-seed replay.
+//
+// Any violation exits nonzero. --prom writes the harness metrics (including
+// the cross-seed detection-latency histogram) in Prometheus text format;
+// --log-dir writes one file per seed with the plan, the injection log, and
+// the digests — the CI uploads that directory as a failure artifact.
+//
+// Usage:
+//   gossip_soak [--seed N] [--seeds N] [--hosts N] [--threads N]
+//               [--run-ms N] [--plan "<topo plan>"] [--prom FILE]
+//               [--log-dir DIR] [--verbose]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/core/metrics.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/fault_registry.h"
+#include "src/services/swim_service.h"
+#include "src/sim/chaos.h"
+#include "src/sim/topology.h"
+
+namespace emu {
+namespace {
+
+// Crash early enough that detection completes before the partition ends,
+// restart late enough that the cluster has settled; the partition window
+// exercises indirect probes, partition-induced suspicion, and refutation.
+constexpr char kDefaultPlan[] =
+    "crash host=h2 at=20ms; restart host=h2 at=120ms; "
+    "partition {h0,h1}|{h3,h4} from=40ms to=70ms";
+
+constexpr Picoseconds kBootDelay = 5 * kPicosPerMilli;
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+struct SoakOptions {
+  u64 first_seed = 1;
+  u64 seed_count = 5;
+  usize hosts = 8;
+  usize threads = 4;
+  u64 run_ms = 200;
+  std::string plan_text = kDefaultPlan;
+  std::string prom_path;
+  std::string log_dir;
+  bool verbose = false;
+};
+
+std::string HostName(usize i) { return "h" + std::to_string(i); }
+
+std::vector<SwimMember> ClusterMembers(usize hosts) {
+  std::vector<SwimMember> members;
+  for (usize i = 0; i < hosts; ++i) {
+    members.push_back(SwimMember{HostName(i),
+                                 MacAddress::FromU48(0x02'00'00'00'a0'00ull + i),
+                                 Ipv4Address(10, 0, 0, static_cast<u8>(1 + i))});
+  }
+  return members;
+}
+
+SwimConfig SoakSwimConfig(u64 run_ms) {
+  SwimConfig config;
+  config.run_until = static_cast<Picoseconds>(run_ms) * kPicosPerMilli;
+  return config;
+}
+
+// Everything one run produces that the invariant checker and the digest
+// comparisons need, copied out before the topology is torn down.
+struct RunOutcome {
+  bool ok = true;
+  std::string detail;
+  u64 events_executed = 0;
+  u64 epochs = 0;
+  u64 swim_digest = 0;  // per-peer EventsDigest folded in id order
+  u64 log_digest = 0;   // FaultRegistry::LogDigest
+  std::vector<std::vector<SwimEvent>> events;      // [observer]
+  std::vector<std::vector<SwimState>> final_state;  // [observer][subject]
+  std::vector<std::vector<u32>> final_inc;
+  std::vector<bool> host_up;
+  std::string injection_log;
+  std::string prom_text;  // filled when want_prom
+};
+
+RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt, bool want_prom) {
+  RunOutcome out;
+  const std::vector<SwimMember> members = ClusterMembers(opt.hosts);
+  std::vector<HostSpec> specs;
+  for (const SwimMember& m : members) {
+    specs.push_back(HostSpec{m.name, m.mac, m.ip});
+  }
+  // 50 us links: SWIM's timescale is the 1 ms protocol period, and the
+  // larger conservative lookahead keeps the parallel epoch count (and so the
+  // soak's wall-clock) three orders of magnitude below cable-accurate delay.
+  StarTopologyConfig net;
+  net.link_delay = 50 * kPicosPerMicro;
+  HubTopology topo(specs, net);
+
+  FaultRegistry registry(seed);
+  ChaosDirector director(topo, &registry);
+  director.set_boot_delay(kBootDelay);
+  const Expected<FaultPlan> plan = ParseFaultPlan(opt.plan_text);
+  if (!plan.ok()) {
+    out.ok = false;
+    out.detail = "bad fault plan: " + plan.status().ToString();
+    return out;
+  }
+  if (Status applied = director.Apply(*plan); !applied.ok()) {
+    out.ok = false;
+    out.detail = "chaos apply failed: " + applied.ToString();
+    return out;
+  }
+
+  const SwimConfig swim_config = SoakSwimConfig(opt.run_ms);
+  std::vector<std::unique_ptr<SwimPeer>> peers;
+  for (usize i = 0; i < opt.hosts; ++i) {
+    peers.push_back(std::make_unique<SwimPeer>(
+        topo.host(i), static_cast<u16>(i), members, swim_config,
+        seed ^ (0x9E37'79B9'7F4A'7C15ull * (i + 1))));
+    peers.back()->Start();
+  }
+
+  ParallelRunOptions run_opts;
+  run_opts.threads = threads;
+  out.events_executed = topo.Run(run_opts);
+  out.epochs = topo.runner().epochs();
+
+  u64 combined = kFnvOffset;
+  for (const auto& peer : peers) {
+    combined = (combined ^ peer->EventsDigest()) * kFnvPrime;
+  }
+  out.swim_digest = combined;
+  out.log_digest = registry.LogDigest();
+  out.injection_log = registry.Summary();
+  for (usize o = 0; o < opt.hosts; ++o) {
+    out.events.push_back(peers[o]->events());
+    out.host_up.push_back(topo.host(o).up());
+    std::vector<SwimState> states;
+    std::vector<u32> incs;
+    for (usize s = 0; s < opt.hosts; ++s) {
+      states.push_back(peers[o]->StateOf(static_cast<u16>(s)));
+      incs.push_back(peers[o]->IncarnationOf(static_cast<u16>(s)));
+    }
+    out.final_state.push_back(std::move(states));
+    out.final_inc.push_back(std::move(incs));
+  }
+  if (want_prom || opt.verbose) {
+    MetricsRegistry metrics;
+    registry.RegisterMetrics(metrics, "faults");
+    for (usize i = 0; i < opt.hosts; ++i) {
+      topo.host(i).RegisterMetrics(metrics, "host." + HostName(i));
+      peers[i]->RegisterMetrics(metrics, "swim." + HostName(i));
+    }
+    topo.hub().RegisterMetrics(metrics, "hub");
+    out.prom_text = metrics.PrometheusText();
+    if (opt.verbose) {
+      std::printf("%s", metrics.Format().c_str());
+    }
+  }
+  return out;
+}
+
+// --- Invariant checking -----------------------------------------------------
+//
+// The checker reconstructs each host's lifecycle and the partition windows
+// from the parsed plan, then audits the per-peer membership-event logs.
+
+struct Violation {
+  std::string message;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(const FaultPlan& plan, const SoakOptions& opt, Picoseconds bound)
+      : opt_(opt), bound_(bound), horizon_(static_cast<Picoseconds>(opt.run_ms) * kPicosPerMilli) {
+    for (const TopoFault& event : plan.topo_events) {
+      switch (event.kind) {
+        case TopoFault::Kind::kCrash:
+          crashes_.push_back({HostIndex(event.host), static_cast<Picoseconds>(event.at)});
+          break;
+        case TopoFault::Kind::kRestart:
+          restarts_.push_back({HostIndex(event.host), static_cast<Picoseconds>(event.at)});
+          break;
+        case TopoFault::Kind::kPartition: {
+          Window w;
+          w.from = static_cast<Picoseconds>(event.from);
+          w.until = static_cast<Picoseconds>(event.until);
+          for (const std::string& h : event.group_a) w.named.push_back(HostIndex(h));
+          for (const std::string& h : event.group_b) w.named.push_back(HostIndex(h));
+          windows_.push_back(std::move(w));
+          break;
+        }
+      }
+    }
+  }
+
+  // Runs every invariant over one outcome; detection latencies are observed
+  // into `latency_us` (microseconds) for the Prometheus artifact.
+  std::vector<Violation> Check(const RunOutcome& run, Histogram& latency_us) const {
+    std::vector<Violation> violations;
+    CheckCompleteness(run, latency_us, violations);
+    CheckAccuracy(run, violations);
+    CheckRejoin(run, violations);
+    CheckAgreement(run, violations);
+    return violations;
+  }
+
+  Picoseconds bound() const { return bound_; }
+
+ private:
+  struct LifeEvent {
+    usize host = 0;
+    Picoseconds at = 0;
+  };
+  struct Window {
+    Picoseconds from = 0;
+    Picoseconds until = 0;
+    std::vector<usize> named;
+  };
+
+  usize HostIndex(const std::string& name) const {
+    for (usize i = 0; i < opt_.hosts; ++i) {
+      if (HostName(i) == name) return i;
+    }
+    return opt_.hosts;  // ChaosDirector::Apply already rejected unknowns
+  }
+
+  // Host lifecycle replay: up unless a crash (or power-cycle restart window)
+  // has it down at `t`. Mirrors SimHost's state machine.
+  bool UpAt(usize host, Picoseconds t) const {
+    bool up = true;
+    Picoseconds cursor = 0;
+    // Events in plan order are already time-ordered per host in practice;
+    // scan both lists merged by time for robustness.
+    std::vector<std::pair<Picoseconds, bool>> timeline;  // (time, is_crash)
+    for (const LifeEvent& c : crashes_) {
+      if (c.host == host) timeline.push_back({c.at, true});
+    }
+    for (const LifeEvent& r : restarts_) {
+      if (r.host == host) timeline.push_back({r.at, false});
+    }
+    std::sort(timeline.begin(), timeline.end());
+    for (const auto& [at, is_crash] : timeline) {
+      if (at > t) break;
+      if (is_crash) {
+        up = false;
+      } else {
+        // Restart: down for the boot window, then up.
+        up = at + kBootDelay <= t;
+      }
+      cursor = at;
+    }
+    (void)cursor;
+    return up;
+  }
+
+  bool CrashedWithin(usize host, Picoseconds t0, Picoseconds t1) const {
+    for (const LifeEvent& c : crashes_) {
+      if (c.host == host && c.at >= t0 && c.at <= t1) return true;
+    }
+    for (const LifeEvent& r : restarts_) {
+      // A restart is a power-cycle: the host is down for the boot window.
+      if (r.host == host && r.at >= t0 && r.at <= t1) return true;
+    }
+    return false;
+  }
+
+  bool UpThroughout(usize host, Picoseconds t0, Picoseconds t1) const {
+    return UpAt(host, t0) && !CrashedWithin(host, t0, t1);
+  }
+
+  // True when some partition window naming `host` overlaps [t0, t1].
+  bool PartitionNamed(usize host, Picoseconds t0, Picoseconds t1) const {
+    for (const Window& w : windows_) {
+      if (w.from >= t1 || w.until <= t0) continue;
+      for (usize named : w.named) {
+        if (named == host) return true;
+      }
+    }
+    return false;
+  }
+
+  // First Dead(subject) logged by `observer` in [t0, t1], or -1.
+  Picoseconds FirstDead(const RunOutcome& run, usize observer, usize subject,
+                        Picoseconds t0, Picoseconds t1) const {
+    for (const SwimEvent& e : run.events[observer]) {
+      if (e.subject == subject && e.state == SwimState::kDead && e.at >= t0 && e.at <= t1) {
+        return e.at;
+      }
+    }
+    return static_cast<Picoseconds>(-1);
+  }
+
+  void CheckCompleteness(const RunOutcome& run, Histogram& latency_us,
+                         std::vector<Violation>& out) const {
+    for (const LifeEvent& crash : crashes_) {
+      const Picoseconds deadline = crash.at + bound_;
+      if (deadline > horizon_) continue;  // window does not fit the run
+      bool interrupted = false;
+      for (const LifeEvent& r : restarts_) {
+        if (r.host == crash.host && r.at >= crash.at && r.at < deadline) interrupted = true;
+      }
+      if (interrupted) continue;
+      for (usize o = 0; o < opt_.hosts; ++o) {
+        if (o == crash.host || !UpThroughout(o, crash.at, deadline)) continue;
+        const Picoseconds at = FirstDead(run, o, crash.host, crash.at, deadline);
+        if (at == static_cast<Picoseconds>(-1)) {
+          out.push_back({"completeness: " + HostName(o) + " never declared " +
+                         HostName(crash.host) + " dead within " +
+                         std::to_string(bound_ / kPicosPerMilli) + "ms of its crash"});
+        } else {
+          latency_us.Observe((at - crash.at) / kPicosPerMicro);
+        }
+      }
+    }
+  }
+
+  void CheckAccuracy(const RunOutcome& run, std::vector<Violation>& out) const {
+    for (usize o = 0; o < opt_.hosts; ++o) {
+      for (const SwimEvent& e : run.events[o]) {
+        if (e.state != SwimState::kDead) continue;
+        const usize s = e.subject;
+        const Picoseconds window_start = e.at > bound_ ? e.at - bound_ : 0;
+        // Justified if the subject was actually down at some point in the
+        // preceding bound (detection lag applies to true deaths too) ...
+        if (!UpAt(s, e.at) || CrashedWithin(s, window_start, e.at)) continue;
+        // ... or a partition naming the subject overlapped that window
+        // (gossip spreads partition-induced deaths to every observer).
+        if (PartitionNamed(s, window_start, e.at)) continue;
+        out.push_back({"accuracy: false positive — " + HostName(o) + " declared " +
+                       HostName(s) + " dead at " + std::to_string(e.at / kPicosPerMilli) +
+                       "ms with no crash or partition to justify it"});
+      }
+    }
+  }
+
+  void CheckRejoin(const RunOutcome& run, std::vector<Violation>& out) const {
+    for (const LifeEvent& restart : restarts_) {
+      const Picoseconds completion = restart.at + kBootDelay;
+      const Picoseconds deadline = completion + bound_;
+      if (deadline > horizon_) continue;
+      bool crashed_again = false;
+      for (const LifeEvent& c : crashes_) {
+        if (c.host == restart.host && c.at >= restart.at) crashed_again = true;
+      }
+      if (crashed_again) continue;
+      for (usize o = 0; o < opt_.hosts; ++o) {
+        if (o == restart.host || !UpThroughout(o, completion, deadline)) continue;
+        if (PartitionNamed(o, completion, deadline) ||
+            PartitionNamed(restart.host, completion, deadline)) {
+          continue;  // rejoin traffic may be blocked; agreement covers the tail
+        }
+        bool readmitted = false;
+        for (const SwimEvent& e : run.events[o]) {
+          if (e.subject == restart.host && e.state == SwimState::kAlive &&
+              e.incarnation >= 1 && e.at >= completion && e.at <= deadline) {
+            readmitted = true;
+            break;
+          }
+        }
+        if (!readmitted) {
+          out.push_back({"rejoin: " + HostName(o) + " never re-admitted " +
+                         HostName(restart.host) + " (alive, incarnation >= 1) within " +
+                         std::to_string(bound_ / kPicosPerMilli) + "ms of its reboot"});
+        } else if (run.host_up[o] &&
+                   run.final_state[o][restart.host] != SwimState::kAlive) {
+          out.push_back({"rejoin: " + HostName(o) + " re-admitted " +
+                         HostName(restart.host) + " but ended the run with it non-alive"});
+        }
+      }
+    }
+  }
+
+  // Once the last chaos event (plus detection bound and boot window) has
+  // passed, every pair of up hosts must agree the other is alive.
+  void CheckAgreement(const RunOutcome& run, std::vector<Violation>& out) const {
+    Picoseconds settle = 0;
+    for (const LifeEvent& c : crashes_) settle = std::max(settle, c.at);
+    for (const LifeEvent& r : restarts_) settle = std::max(settle, r.at + kBootDelay);
+    for (const Window& w : windows_) settle = std::max(settle, w.until);
+    if (settle + bound_ > horizon_) {
+      return;  // the run ends before the cluster can have settled
+    }
+    for (usize o = 0; o < opt_.hosts; ++o) {
+      if (!run.host_up[o]) continue;
+      for (usize s = 0; s < opt_.hosts; ++s) {
+        if (s == o || !run.host_up[s]) continue;
+        if (run.final_state[o][s] != SwimState::kAlive) {
+          out.push_back({"agreement: " + HostName(o) + " ended the run believing " +
+                         HostName(s) + " is " +
+                         SwimStateName(run.final_state[o][s])});
+        }
+      }
+    }
+  }
+
+  SoakOptions opt_;
+  Picoseconds bound_ = 0;
+  Picoseconds horizon_ = 0;
+  std::vector<LifeEvent> crashes_;
+  std::vector<LifeEvent> restarts_;
+  std::vector<Window> windows_;
+};
+
+// --- Artifacts --------------------------------------------------------------
+
+bool WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "gossip_soak: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void WriteSeedArtifact(const SoakOptions& opt, u64 seed, const RunOutcome& serial,
+                       const RunOutcome& parallel, const RunOutcome& replay,
+                       const std::vector<Violation>& violations) {
+  char digest_lines[256];
+  std::snprintf(digest_lines, sizeof(digest_lines),
+                "swim digest: serial=%016llx threads=%016llx replay=%016llx\n"
+                "log digest:  serial=%016llx threads=%016llx replay=%016llx\n",
+                static_cast<unsigned long long>(serial.swim_digest),
+                static_cast<unsigned long long>(parallel.swim_digest),
+                static_cast<unsigned long long>(replay.swim_digest),
+                static_cast<unsigned long long>(serial.log_digest),
+                static_cast<unsigned long long>(parallel.log_digest),
+                static_cast<unsigned long long>(replay.log_digest));
+  std::string text = "seed " + std::to_string(seed) + "\nplan: " + opt.plan_text + "\n" +
+                     digest_lines + "\ninjection log:\n" + serial.injection_log;
+  if (!violations.empty()) {
+    text += "\nviolations:\n";
+    for (const Violation& v : violations) {
+      text += "  " + v.message + "\n";
+    }
+  }
+  WriteFileOrWarn(opt.log_dir + "/seed" + std::to_string(seed) + ".txt", text);
+}
+
+int Usage() {
+  std::printf(
+      "usage: gossip_soak [--seed N] [--seeds N] [--hosts N] [--threads N]\n"
+      "                   [--run-ms N] [--plan \"<topo plan>\"] [--prom FILE]\n"
+      "                   [--log-dir DIR] [--verbose]\n"
+      "plan grammar: crash host=<h> at=<t>; restart host=<h> at=<t>;\n"
+      "              partition {a,b}|{c,d} from=<t> to=<t> [oneway]\n"
+      "--log-dir must already exist; one artifact file is written per seed.\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SoakOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      opt.first_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      opt.seed_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--hosts" && i + 1 < argc) {
+      opt.hosts = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--run-ms" && i + 1 < argc) {
+      opt.run_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--plan" && i + 1 < argc) {
+      opt.plan_text = argv[++i];
+    } else if (arg == "--prom" && i + 1 < argc) {
+      opt.prom_path = argv[++i];
+    } else if (arg == "--log-dir" && i + 1 < argc) {
+      opt.log_dir = argv[++i];
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (opt.hosts < 3 || opt.hosts > 64 || opt.threads == 0 || opt.seed_count == 0) {
+    return Usage();
+  }
+
+  const Expected<FaultPlan> plan = ParseFaultPlan(opt.plan_text);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "gossip_soak: bad plan: %s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+  const SwimConfig swim_config = SoakSwimConfig(opt.run_ms);
+  const Picoseconds bound = SwimDetectionBound(swim_config, opt.hosts);
+  const InvariantChecker checker(*plan, opt, bound);
+
+  std::printf("gossip_soak: hosts=%zu seeds=[%llu..%llu] threads={1,%zu} run=%llums "
+              "detection-bound=%llums\n",
+              opt.hosts, static_cast<unsigned long long>(opt.first_seed),
+              static_cast<unsigned long long>(opt.first_seed + opt.seed_count - 1),
+              opt.threads, static_cast<unsigned long long>(opt.run_ms),
+              static_cast<unsigned long long>(bound / kPicosPerMilli));
+  std::printf("plan: %s\n", opt.plan_text.c_str());
+
+  Histogram detection_latency_us;
+  u64 runs_total = 0;
+  u64 violations_total = 0;
+  std::string last_prom;
+  bool all_ok = true;
+
+  for (u64 k = 0; k < opt.seed_count; ++k) {
+    const u64 seed = opt.first_seed + k;
+    const bool want_prom = !opt.prom_path.empty() && k + 1 == opt.seed_count;
+    const RunOutcome serial = RunOnce(seed, 1, opt, /*want_prom=*/false);
+    const RunOutcome parallel = RunOnce(seed, opt.threads, opt, want_prom);
+    const RunOutcome replay = RunOnce(seed, opt.threads, opt, /*want_prom=*/false);
+    runs_total += 3;
+    if (want_prom) {
+      last_prom = parallel.prom_text;
+    }
+
+    std::vector<Violation> violations;
+    for (const RunOutcome* run : {&serial, &parallel, &replay}) {
+      if (!run->ok) {
+        violations.push_back({run->detail});
+      }
+    }
+    if (violations.empty()) {
+      // Invariants on the parallel run (the shipping configuration); the
+      // digest cross-checks make the serial and replay runs equivalent.
+      violations = checker.Check(parallel, detection_latency_us);
+      if (serial.swim_digest != parallel.swim_digest ||
+          serial.log_digest != parallel.log_digest) {
+        violations.push_back({"determinism: threads=1 vs threads=" +
+                              std::to_string(opt.threads) + " digests diverged"});
+      }
+      if (replay.swim_digest != parallel.swim_digest ||
+          replay.log_digest != parallel.log_digest) {
+        violations.push_back({"determinism: same-seed replay digests diverged"});
+      }
+    }
+    violations_total += violations.size();
+    all_ok = all_ok && violations.empty();
+
+    std::printf("seed=%llu  events=%llu epochs=%llu  swim=%016llx log=%016llx  %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(parallel.events_executed),
+                static_cast<unsigned long long>(parallel.epochs),
+                static_cast<unsigned long long>(parallel.swim_digest),
+                static_cast<unsigned long long>(parallel.log_digest),
+                violations.empty() ? "ok" : "VIOLATIONS");
+    for (const Violation& v : violations) {
+      std::printf("  %s\n", v.message.c_str());
+    }
+    if (!opt.log_dir.empty()) {
+      WriteSeedArtifact(opt, seed, serial, parallel, replay, violations);
+    }
+  }
+
+  if (detection_latency_us.count() > 0) {
+    std::printf("detection latency: p50=%lluus p99=%lluus over %llu observations\n",
+                static_cast<unsigned long long>(detection_latency_us.PercentileEstimate(50.0)),
+                static_cast<unsigned long long>(detection_latency_us.PercentileEstimate(99.0)),
+                static_cast<unsigned long long>(detection_latency_us.count()));
+  }
+  if (!opt.prom_path.empty()) {
+    MetricsRegistry harness;
+    harness.Register("gossip.runs_total", &runs_total);
+    harness.Register("gossip.violations_total", &violations_total);
+    harness.RegisterHistogram("gossip.detection_latency_us", &detection_latency_us);
+    WriteFileOrWarn(opt.prom_path, harness.PrometheusText() + last_prom);
+  }
+  std::printf("gossip_soak: %s\n", all_ok ? "all invariants held" : "FAILURES");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace emu
+
+int main(int argc, char** argv) { return emu::Main(argc, argv); }

@@ -583,4 +583,111 @@ void CheckFaultPlanTargets(const FaultPlan& plan, const FaultRegistry& registry,
   }
 }
 
+void CheckTopoFaults(const FaultPlan& plan, const std::vector<std::string>& hosts,
+                     const std::string& design, std::vector<Finding>& out) {
+  const auto known = [&hosts](const std::string& name) {
+    for (const std::string& host : hosts) {
+      if (host == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto emit = [&out, &design](Severity severity, const std::string& subject,
+                                    std::string message) {
+    Finding f;
+    f.check = HazardKindName(HazardKind::kFaultTarget);
+    f.severity = severity;
+    f.design = design;
+    f.subject = subject;
+    f.message = std::move(message);
+    out.push_back(std::move(f));
+  };
+
+  for (const TopoFault& tf : plan.topo_events) {
+    std::vector<const std::string*> names;
+    if (tf.kind == TopoFault::Kind::kPartition) {
+      for (const std::string& name : tf.group_a) names.push_back(&name);
+      for (const std::string& name : tf.group_b) names.push_back(&name);
+    } else {
+      names.push_back(&tf.host);
+    }
+    for (const std::string* name : names) {
+      if (!known(*name)) {
+        emit(CheckInfoFor(HazardKind::kFaultTarget).default_severity, *name,
+             "plan line " + std::to_string(tf.line) + ": topology event '" + tf.ToString() +
+                 "' names a host the topology does not have (" + std::to_string(hosts.size()) +
+                 " hosts): ChaosDirector::Apply would reject the plan");
+      }
+    }
+  }
+
+  // Lifecycle order per host, walked in event-time order. Ties at the same
+  // tick keep plan order (stable sort), matching ChaosDirector's log order.
+  std::vector<const TopoFault*> lifecycle;
+  for (const TopoFault& tf : plan.topo_events) {
+    if (tf.kind != TopoFault::Kind::kPartition) {
+      lifecycle.push_back(&tf);
+    }
+  }
+  std::stable_sort(lifecycle.begin(), lifecycle.end(),
+                   [](const TopoFault* a, const TopoFault* b) { return a->at < b->at; });
+  for (usize i = 0; i < lifecycle.size(); ++i) {
+    const TopoFault& tf = *lifecycle[i];
+    // Most recent earlier lifecycle event for the same host, if any.
+    const TopoFault* prev = nullptr;
+    for (usize j = i; j-- > 0;) {
+      if (lifecycle[j]->host == tf.host) {
+        prev = lifecycle[j];
+        break;
+      }
+    }
+    if (tf.kind == TopoFault::Kind::kRestart &&
+        (prev == nullptr || prev->kind != TopoFault::Kind::kCrash)) {
+      emit(Severity::kWarning, tf.host,
+           "plan line " + std::to_string(tf.line) + ": restart of '" + tf.host +
+               "' has no earlier crash — this is a power-cycle of an up host; if a crash "
+               "was intended the detection invariants will not see one");
+    }
+    if (tf.kind == TopoFault::Kind::kCrash && prev != nullptr &&
+        prev->kind == TopoFault::Kind::kCrash) {
+      emit(Severity::kWarning, tf.host,
+           "plan line " + std::to_string(tf.line) + ": '" + tf.host +
+               "' crashes again at t=" + std::to_string(tf.at) +
+               " with no restart after the crash at t=" + std::to_string(prev->at) +
+               ": the second crash is a no-op");
+    }
+  }
+
+  // Crash inside a partition window that names the same host: the window
+  // spends part of its span isolating a dead node.
+  for (const TopoFault& tf : plan.topo_events) {
+    if (tf.kind != TopoFault::Kind::kPartition) {
+      continue;
+    }
+    for (const TopoFault* crash : lifecycle) {
+      if (crash->kind != TopoFault::Kind::kCrash || crash->at < tf.from ||
+          crash->at >= tf.until) {
+        continue;
+      }
+      const auto in_group = [crash](const std::vector<std::string>& group) {
+        for (const std::string& name : group) {
+          if (name == crash->host) {
+            return true;
+          }
+        }
+        return false;
+      };
+      if (in_group(tf.group_a) || in_group(tf.group_b)) {
+        emit(Severity::kWarning, crash->host,
+             "plan line " + std::to_string(tf.line) + ": partition window [" +
+                 std::to_string(tf.from) + ", " + std::to_string(tf.until) + ") names '" +
+                 crash->host + "', which crashes inside it (line " +
+                 std::to_string(crash->line) +
+                 "): the overlap conflates partition and crash effects");
+      }
+    }
+  }
+}
+
 }  // namespace emu::elab

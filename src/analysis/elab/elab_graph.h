@@ -143,6 +143,18 @@ void CheckShardCuts(const std::vector<ShardCut>& cuts, const std::string& design
 void CheckFaultPlanTargets(const FaultPlan& plan, const FaultRegistry& registry,
                            const std::string& design, std::vector<Finding>& out);
 
+// FAULTTARGET over topology-scoped events (emu-gossip): every host named by
+// a crash / restart / partition event must exist in `hosts` — an unknown
+// host is an error, since ChaosDirector::Apply would reject the whole plan
+// at run time (and a typo'd chaos campaign that never runs tests nothing).
+// Lifecycle ordering is also checked, as warnings: a restart with no earlier
+// crash of that host (power-cycle semantics — legal, usually a typo), a
+// second crash with no restart in between (the second is a no-op), and a
+// crash landing inside a partition window that names the same host (the
+// partition then partly tests a dead node).
+void CheckTopoFaults(const FaultPlan& plan, const std::vector<std::string>& hosts,
+                     const std::string& design, std::vector<Finding>& out);
+
 }  // namespace elab
 }  // namespace emu
 

@@ -6,6 +6,11 @@
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "src/common/types.h"
 
 namespace emu {
@@ -44,6 +49,58 @@ class Rng {
  private:
   u64 state_[4];
 };
+
+// Seed-stable sequence helpers (emu-gossip uses them for ping-target
+// round-robin order and ping-req proxy choice). Deliberately not
+// std::shuffle/std::sample: their draw sequences are unspecified and differ
+// across standard libraries, which would make a replay digest depend on the
+// toolchain. These consume a fixed, documented number of draws — Shuffle
+// draws size()-1 times, PickK draws min(k, size()) times — so a protocol's
+// RNG stream position is also seed-stable.
+namespace rng {
+
+// Fisher-Yates, high index down, NextBelow per step.
+template <typename T>
+void Shuffle(Rng& rng, std::span<T> items) {
+  for (usize i = items.size(); i > 1; --i) {
+    const usize j = static_cast<usize>(rng.NextBelow(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& items) {
+  Shuffle(rng, std::span<T>(items));
+}
+
+// k distinct elements, uniform over k-subsets, in shuffled order: the first
+// k steps of a front-to-back Fisher-Yates over an index array (partial
+// shuffle — cheap for k << size).
+template <typename T>
+std::vector<T> PickK(Rng& rng, std::span<const T> items, usize k) {
+  const usize n = items.size();
+  if (k > n) {
+    k = n;
+  }
+  std::vector<usize> index(n);
+  std::iota(index.begin(), index.end(), usize{0});
+  std::vector<T> picked;
+  picked.reserve(k);
+  for (usize i = 0; i < k; ++i) {
+    const usize j = i + static_cast<usize>(rng.NextBelow(n - i));
+    std::swap(index[i], index[j]);
+    picked.push_back(items[index[i]]);
+  }
+  return picked;
+}
+
+template <typename T>
+std::vector<T> PickK(Rng& rng, const std::vector<T>& items, usize k) {
+  return PickK(rng, std::span<const T>(items), k);
+}
+
+}  // namespace rng
 
 }  // namespace emu
 

@@ -1,0 +1,35 @@
+#include "src/core/retry.h"
+
+namespace emu {
+
+u64 RetryPolicy::NominalDelay(u32 attempt) const {
+  // Growth in double (exactly representable well past any sane delay), with
+  // an overflow guard long before the u64 edge.
+  constexpr double kCeiling = 9.0e18;
+  double delay = static_cast<double>(base);
+  for (u32 i = 0; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= kCeiling) {
+      delay = kCeiling;
+      break;
+    }
+  }
+  u64 ticks = static_cast<u64>(delay);
+  if (cap > 0 && ticks > cap) {
+    ticks = cap;
+  }
+  return ticks > 0 ? ticks : 1;
+}
+
+u64 Retrier::NextDelay() {
+  const u64 nominal = policy_.NominalDelay(attempt_);
+  ++attempt_;
+  // One draw per call, unconditionally (see header).
+  const double unit = rng_.NextDouble() * 2.0 - 1.0;  // [-1, 1)
+  const double jittered =
+      static_cast<double>(nominal) * (1.0 + policy_.jitter * unit);
+  const u64 ticks = jittered <= 1.0 ? 1 : static_cast<u64>(jittered);
+  return ticks;
+}
+
+}  // namespace emu

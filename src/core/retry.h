@@ -1,0 +1,101 @@
+// Retry / timeout / backoff primitives (emu-gossip).
+//
+// Deadline: a cycle on a Simulator clock that a coroutine service can wait
+// against. WaitUntil predicates must normally not read the clock
+// (src/hdl/process.h): the quiescence fast path skips windows in which no
+// wake-tracked state changes, so a time-only predicate would oversleep.
+// Deadline squares that — constructing one registers a forced wake
+// (Simulator::RequestWakeAt) at the deadline cycle, so the scheduler is
+// guaranteed to execute that edge and re-evaluate parked predicates there.
+// Reading the clock against a registered deadline is therefore sound:
+//
+//   Deadline deadline = Deadline::After(sim, policy.NominalDelay(attempt));
+//   co_await UntilOrDeadline(deadline, [&] { return acked; });
+//   if (deadline.expired() && !acked) { /* retransmit */ }
+//
+// RetryPolicy / Retrier: exponential backoff with bounded attempts and
+// seed-stable jitter. Delays are plain u64 ticks — cycles against a
+// Simulator clock, picoseconds against an EventScheduler — the policy does
+// not care. Jitter draws come from the Retrier's own seeded Rng stream with
+// a fixed draw count per call (exactly one), so a run's retry timing replays
+// bit-exactly from the seed no matter what else draws randomness.
+#ifndef SRC_CORE_RETRY_H_
+#define SRC_CORE_RETRY_H_
+
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/hdl/process.h"
+#include "src/hdl/simulator.h"
+
+namespace emu {
+
+class Deadline {
+ public:
+  // Registers the forced wake on construction; `at` is an absolute cycle.
+  Deadline(Simulator& sim, Cycle at) : sim_(sim), at_(at) { sim.RequestWakeAt(at); }
+
+  static Deadline After(Simulator& sim, u64 cycles) {
+    return Deadline(sim, sim.now() + cycles);
+  }
+
+  Cycle at() const { return at_; }
+  bool expired() const { return sim_.now() >= at_; }
+
+ private:
+  Simulator& sim_;
+  Cycle at_;
+};
+
+// `co_await UntilOrDeadline(deadline, pred)`: resumes on the first edge where
+// pred() holds or the deadline has passed, whichever comes first; the caller
+// checks deadline.expired() to learn which. The deadline must outlive the
+// await (keep it in the coroutine frame).
+template <typename Pred>
+auto UntilOrDeadline(const Deadline& deadline, Pred pred) {
+  return WaitUntil([&deadline, pred = std::move(pred)]() mutable {
+    return deadline.expired() || pred();
+  });
+}
+
+struct RetryPolicy {
+  u64 base = 64;           // nominal delay of the first retry, in ticks
+  double multiplier = 2.0;  // geometric growth per attempt
+  u64 cap = 0;             // nominal delay ceiling; 0 = uncapped
+  u32 max_attempts = 5;    // Retrier::Exhausted after this many NextDelay calls
+  double jitter = 0.1;     // symmetric fraction: delay in nominal * [1-j, 1+j]
+
+  // base * multiplier^attempt, capped. Computed by repeated IEEE double
+  // multiplication — never std::pow, whose last-ulp results differ across
+  // libms and would make replay digests toolchain-dependent.
+  u64 NominalDelay(u32 attempt) const;
+};
+
+// Issues the jittered delay sequence for one retried operation.
+class Retrier {
+ public:
+  Retrier(RetryPolicy policy, u64 seed) : policy_(policy), rng_(seed) {}
+
+  u32 attempt() const { return attempt_; }
+  bool Exhausted() const { return attempt_ >= policy_.max_attempts; }
+
+  // Jittered delay for the current attempt (>= 1 tick); advances the attempt
+  // counter. Always draws exactly one jitter sample, even at jitter == 0, so
+  // the stream position depends only on how many delays were issued.
+  u64 NextDelay();
+
+  // Success: the next failure backs off from `base` again. The Rng stream is
+  // deliberately NOT rewound — position stays a pure function of total
+  // NextDelay calls.
+  void Reset() { attempt_ = 0; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  u32 attempt_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CORE_RETRY_H_

@@ -2,14 +2,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace emu {
 namespace {
 
 constexpr const char* kFaultClassNames[kFaultClassCount] = {
-    "LINK_DROP",   "LINK_CORRUPT", "LINK_DUPLICATE",   "LINK_REORDER", "LINK_DELAY",
-    "SEU_BITFLIP", "FIFO_STALL",   "TABLE_EXHAUSTION", "CHECKSUM_FOLD",
+    "LINK_DROP",   "LINK_CORRUPT", "LINK_DUPLICATE",   "LINK_REORDER",  "LINK_DELAY",
+    "SEU_BITFLIP", "FIFO_STALL",   "TABLE_EXHAUSTION", "CHECKSUM_FOLD", "HOST_CRASH",
+    "HOST_RESTART", "PARTITION",
 };
 
 std::vector<std::string> Tokenize(const std::string& entry) {
@@ -35,6 +37,64 @@ bool ParseP(const std::string& text, double& out) {
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
   return end != nullptr && *end == '\0' && !text.empty() && out >= 0.0 && out <= 1.0;
+}
+
+// Picosecond time with an optional ns/us/ms/s suffix ("500us", "2ms", plain
+// integers are already ps). Topology events live on the network-simulator
+// timeline, where raw picosecond literals are unreadably long.
+bool ParseTimePs(const std::string& text, u64& out) {
+  char* end = nullptr;
+  const u64 value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || end == text.c_str()) {
+    return false;
+  }
+  const std::string suffix(end);
+  u64 scale = 1;
+  if (suffix == "ns") {
+    scale = static_cast<u64>(kPicosPerNano);
+  } else if (suffix == "us") {
+    scale = static_cast<u64>(kPicosPerMicro);
+  } else if (suffix == "ms") {
+    scale = static_cast<u64>(kPicosPerMilli);
+  } else if (suffix == "s") {
+    scale = static_cast<u64>(kPicosPerSecond);
+  } else if (!suffix.empty()) {
+    return false;
+  }
+  out = value * scale;
+  return true;
+}
+
+// "key=value" accessor over an operand token; false when `token` does not
+// start with `key` followed by '='.
+bool KeyValue(const std::string& token, const char* key, std::string& value) {
+  const usize key_len = std::strlen(key);
+  if (token.size() <= key_len + 1 || token.compare(0, key_len, key) != 0 ||
+      token[key_len] != '=') {
+    return false;
+  }
+  value = token.substr(key_len + 1);
+  return true;
+}
+
+// "{h0,h1}" (braces optional) into its comma-separated member names.
+bool ParseGroup(const std::string& text, std::vector<std::string>& out) {
+  std::string inner = text;
+  if (!inner.empty() && inner.front() == '{') {
+    if (inner.back() != '}') {
+      return false;
+    }
+    inner = inner.substr(1, inner.size() - 2);
+  }
+  std::istringstream members(inner);
+  std::string member;
+  while (std::getline(members, member, ',')) {
+    if (member.empty()) {
+      return false;
+    }
+    out.push_back(member);
+  }
+  return !out.empty();
 }
 
 }  // namespace
@@ -82,6 +142,33 @@ std::string FaultEvent::ToString() const {
   return text;
 }
 
+std::string TopoFault::ToString() const {
+  std::string text;
+  const auto join = [](const std::vector<std::string>& group) {
+    std::string joined = "{";
+    for (usize i = 0; i < group.size(); ++i) {
+      joined += (i == 0 ? "" : ",") + group[i];
+    }
+    return joined + "}";
+  };
+  switch (kind) {
+    case Kind::kCrash:
+      text = "crash host=" + host + " at=" + std::to_string(at);
+      break;
+    case Kind::kRestart:
+      text = "restart host=" + host + " at=" + std::to_string(at);
+      break;
+    case Kind::kPartition:
+      text = "partition " + join(group_a) + "|" + join(group_b) +
+             " from=" + std::to_string(from) + " to=" + std::to_string(until);
+      if (oneway) {
+        text += " oneway";
+      }
+      break;
+  }
+  return text;
+}
+
 bool FaultPatternMatches(const std::string& pattern, const std::string& name) {
   if (!pattern.empty() && pattern.back() == '*') {
     return name.compare(0, pattern.size() - 1, pattern, 0, pattern.size() - 1) == 0;
@@ -112,6 +199,91 @@ Expected<FaultPlan> ParseFaultPlan(const std::string& text) {
       }
       if (tokens.size() < 2) {
         return fail("entry needs '<point> <mode> ...'", entry);
+      }
+      // Topology-scoped events: `crash`/`restart`/`partition` statements.
+      if (tokens[0] == "crash" || tokens[0] == "restart") {
+        TopoFault topo;
+        topo.kind = tokens[0] == "crash" ? TopoFault::Kind::kCrash : TopoFault::Kind::kRestart;
+        topo.line = line_number;
+        bool have_at = false;
+        for (usize i = 1; i < tokens.size(); ++i) {
+          std::string value;
+          if (KeyValue(tokens[i], "host", value)) {
+            topo.host = value;
+          } else if (KeyValue(tokens[i], "at", value)) {
+            if (!ParseTimePs(value, topo.at)) {
+              return fail("bad time operand '" + value + "' (ps, or ns/us/ms/s suffix)", entry);
+            }
+            have_at = true;
+          } else {
+            return fail("unknown operand '" + tokens[i] + "' (expected host=<h> at=<t>)", entry);
+          }
+        }
+        if (topo.host.empty() || !have_at) {
+          return fail(tokens[0] + " needs 'host=<h> at=<t>'", entry);
+        }
+        for (const TopoFault& existing : plan.topo_events) {
+          if (existing.kind == topo.kind && existing.host == topo.host &&
+              existing.at == topo.at) {
+            return fail("duplicate " + tokens[0] + " of host '" + topo.host +
+                            "' at the same tick",
+                        entry);
+          }
+        }
+        plan.topo_events.push_back(std::move(topo));
+        continue;
+      }
+      if (tokens[0] == "partition") {
+        TopoFault topo;
+        topo.kind = TopoFault::Kind::kPartition;
+        topo.line = line_number;
+        bool have_from = false;
+        bool have_to = false;
+        bool have_groups = false;
+        for (usize i = 1; i < tokens.size(); ++i) {
+          std::string value;
+          if (tokens[i] == "oneway") {
+            topo.oneway = true;
+          } else if (KeyValue(tokens[i], "from", value)) {
+            if (!ParseTimePs(value, topo.from)) {
+              return fail("bad time operand '" + value + "'", entry);
+            }
+            have_from = true;
+          } else if (KeyValue(tokens[i], "to", value)) {
+            if (!ParseTimePs(value, topo.until)) {
+              return fail("bad time operand '" + value + "'", entry);
+            }
+            have_to = true;
+          } else if (tokens[i].find('|') != std::string::npos) {
+            const usize bar = tokens[i].find('|');
+            if (have_groups || !ParseGroup(tokens[i].substr(0, bar), topo.group_a) ||
+                !ParseGroup(tokens[i].substr(bar + 1), topo.group_b)) {
+              return fail("bad partition groups '" + tokens[i] +
+                              "' (expected {a,b}|{c,d}, both sides non-empty)",
+                          entry);
+            }
+            have_groups = true;
+          } else {
+            return fail("unknown operand '" + tokens[i] +
+                            "' (expected {A}|{B} from=<t> to=<t> [oneway])",
+                        entry);
+          }
+        }
+        if (!have_groups || !have_from || !have_to) {
+          return fail("partition needs '{A}|{B} from=<t> to=<t>'", entry);
+        }
+        if (topo.from >= topo.until) {
+          return fail("partition window needs from < to", entry);
+        }
+        for (const std::string& a : topo.group_a) {
+          for (const std::string& b : topo.group_b) {
+            if (a == b) {
+              return fail("host '" + a + "' appears on both sides of the partition", entry);
+            }
+          }
+        }
+        plan.topo_events.push_back(std::move(topo));
+        continue;
       }
       FaultPlanEntry parsed;
       parsed.pattern = tokens[0];

@@ -16,6 +16,21 @@
 // magnitude operand (jitter bound in ps, stall length in cycles — whatever
 // the fault class reads it as). Patterns match a point name exactly or by
 // 'prefix*' wildcard. See fault_registry.h for the runtime half.
+//
+// Besides point schedules a plan may carry topology-scoped events (emu-gossip):
+//
+//   crash host=h2 at=500us
+//   restart host=h2 at=2ms
+//   partition {h0,h1}|{h2,h3} from=1ms to=3ms
+//   partition {h0}|{h4} from=5ms to=6ms oneway
+//
+// These name whole simulated hosts, not fault points: a crash kills the host
+// (state reset, in-flight frames to it are disposed), a restart boots it
+// back up, and a partition blocks the named host pairs for a window —
+// `oneway` blocks only the A→B direction. Times are picoseconds on the
+// network-simulator timeline; the `ns`/`us`/`ms`/`s` suffixes scale. The
+// events are purely deterministic (no RNG draw), applied by a ChaosDirector
+// (src/sim/chaos.h) and logged to the same injection log as point firings.
 #ifndef SRC_FAULT_FAULT_PLAN_H_
 #define SRC_FAULT_FAULT_PLAN_H_
 
@@ -37,9 +52,12 @@ enum class FaultClass : u8 {
   kFifoStall,      // a SyncFifo refuses both ends (magnitude = cycles)
   kTableExhaustion,  // a service table behaves as full
   kChecksumFold,     // the §5.5 carry-fold bug in a ChecksumUnit
+  kHostCrash,        // a simulated host dies (topology-scoped)
+  kHostRestart,      // a crashed host boots back up and rejoins
+  kPartition,        // a set of host pairs becomes unreachable for a window
 };
 
-inline constexpr usize kFaultClassCount = 9;
+inline constexpr usize kFaultClassCount = 12;
 
 const char* FaultClassName(FaultClass cls);
 
@@ -98,10 +116,40 @@ struct FaultPlanEntry {
   FaultSchedule schedule;
 };
 
+// One topology-scoped event: a host crash/restart at a tick, or a partition
+// window over two host groups. Hosts are named, not pattern-matched — the
+// lint pass (CheckTopoFaults, src/analysis/elab) validates names against the
+// topology so a typo'd host fails before the campaign silently does nothing.
+struct TopoFault {
+  enum class Kind : u8 { kCrash = 0, kRestart, kPartition };
+
+  Kind kind = Kind::kCrash;
+  std::string host;                 // crash/restart subject
+  std::vector<std::string> group_a;  // partition sides
+  std::vector<std::string> group_b;
+  u64 at = 0;                // crash/restart: event time (ps)
+  u64 from = 0;              // partition window [from, until) in ps
+  u64 until = 0;
+  bool oneway = false;       // partition: block only A→B
+  usize line = 0;            // plan line, for diagnostics
+
+  FaultClass cls() const {
+    switch (kind) {
+      case Kind::kCrash: return FaultClass::kHostCrash;
+      case Kind::kRestart: return FaultClass::kHostRestart;
+      case Kind::kPartition: return FaultClass::kPartition;
+    }
+    return FaultClass::kHostCrash;
+  }
+
+  std::string ToString() const;
+};
+
 struct FaultPlan {
   std::vector<FaultPlanEntry> entries;
+  std::vector<TopoFault> topo_events;
 
-  bool empty() const { return entries.empty(); }
+  bool empty() const { return entries.empty() && topo_events.empty(); }
 };
 
 // True when `name` matches `pattern` (exact, or prefix when the pattern ends

@@ -189,6 +189,11 @@ void FaultRegistry::DisarmAll() {
   }
 }
 
+void FaultRegistry::LogTopoEvent(u64 tick, const std::string& site, FaultClass cls,
+                                 u64 detail) {
+  log_.push_back({tick, site, cls, detail});
+}
+
 void FaultRegistry::LogFire(const FaultPoint& point, u64 tick, u64 detail) {
   log_.push_back({tick, point.name(), point.cls(), detail});
   // Firings are rare; the per-fire string build is off the hot path.

@@ -138,6 +138,13 @@ class FaultRegistry {
   void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
 
   // --- Injection log ---
+  // Appends a topology-scoped event (host crash/restart, partition window)
+  // to the injection log. These are deterministic — no RNG draw and no fault
+  // point — so a ChaosDirector logs the whole campaign up front, in time
+  // order, before any shard thread runs; LogDigest then covers node-level
+  // chaos without any cross-thread logging at fire time.
+  void LogTopoEvent(u64 tick, const std::string& site, FaultClass cls, u64 detail = 0);
+
   const std::vector<FaultEvent>& log() const { return log_; }
   u64 fired_total() const { return log_.size(); }
   // FNV-1a over the serialized log: two runs injected identically iff equal.

@@ -1,0 +1,133 @@
+#include "src/sim/chaos.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace emu {
+namespace {
+
+u64 StartTime(const TopoFault& tf) {
+  return tf.kind == TopoFault::Kind::kPartition ? tf.from : tf.at;
+}
+
+std::string JoinGroup(const std::vector<std::string>& group) {
+  std::string joined;
+  for (usize i = 0; i < group.size(); ++i) {
+    joined += (i == 0 ? "" : ",") + group[i];
+  }
+  return joined;
+}
+
+// Injection-log site name for a topo event. Times live in the log's tick
+// field, so the site carries only the identity.
+std::string SiteName(const TopoFault& tf) {
+  switch (tf.kind) {
+    case TopoFault::Kind::kCrash:
+      return "topo.crash." + tf.host;
+    case TopoFault::Kind::kRestart:
+      return "topo.restart." + tf.host;
+    case TopoFault::Kind::kPartition: {
+      std::string site = "topo.partition." + JoinGroup(tf.group_a) + "|" + JoinGroup(tf.group_b);
+      if (tf.oneway) {
+        site += ".oneway";
+      }
+      return site;
+    }
+  }
+  return "topo.?";
+}
+
+}  // namespace
+
+Status ChaosDirector::Apply(const FaultPlan& plan) {
+  // Validate everything first so a bad plan applies nothing.
+  for (const TopoFault& tf : plan.topo_events) {
+    std::vector<const std::string*> names;
+    if (tf.kind == TopoFault::Kind::kPartition) {
+      for (const std::string& name : tf.group_a) names.push_back(&name);
+      for (const std::string& name : tf.group_b) names.push_back(&name);
+    } else {
+      names.push_back(&tf.host);
+    }
+    for (const std::string* name : names) {
+      if (topo_.FindHost(*name) == topo_.host_count()) {
+        return NotFound("fault plan line " + std::to_string(tf.line) + ": unknown host '" +
+                        *name + "' (topology has " + std::to_string(topo_.host_count()) +
+                        " hosts)");
+      }
+    }
+  }
+
+  // Log the whole campaign up front in time order (stable sort: plan order
+  // breaks ties), before any shard thread could be running.
+  if (registry_ != nullptr) {
+    std::vector<const TopoFault*> ordered;
+    ordered.reserve(plan.topo_events.size());
+    for (const TopoFault& tf : plan.topo_events) {
+      ordered.push_back(&tf);
+    }
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TopoFault* a, const TopoFault* b) {
+                       return StartTime(*a) < StartTime(*b);
+                     });
+    for (const TopoFault* tf : ordered) {
+      u64 detail = 0;
+      switch (tf->kind) {
+        case TopoFault::Kind::kCrash: break;
+        case TopoFault::Kind::kRestart: detail = static_cast<u64>(boot_delay_); break;
+        case TopoFault::Kind::kPartition: detail = tf->until; break;
+      }
+      registry_->LogTopoEvent(StartTime(*tf), SiteName(*tf), tf->cls(), detail);
+    }
+  }
+
+  // Schedule the state changes on the shards that own the state.
+  for (const TopoFault& tf : plan.topo_events) {
+    switch (tf.kind) {
+      case TopoFault::Kind::kCrash: {
+        SimHost& host = topo_.host(topo_.FindHost(tf.host));
+        host.scheduler().At(static_cast<Picoseconds>(tf.at), [&host] { host.Crash(); });
+        ++scheduled_;
+        break;
+      }
+      case TopoFault::Kind::kRestart: {
+        SimHost& host = topo_.host(topo_.FindHost(tf.host));
+        const Picoseconds delay = boot_delay_;
+        host.scheduler().At(static_cast<Picoseconds>(tf.at),
+                            [&host, delay] { host.Restart(delay); });
+        ++scheduled_;
+        break;
+      }
+      case TopoFault::Kind::kPartition: {
+        std::vector<std::pair<usize, usize>> pairs;
+        for (const std::string& a : tf.group_a) {
+          for (const std::string& b : tf.group_b) {
+            const usize pa = topo_.FindHost(a);
+            const usize pb = topo_.FindHost(b);
+            pairs.emplace_back(pa, pb);
+            if (!tf.oneway) {
+              pairs.emplace_back(pb, pa);
+            }
+          }
+        }
+        HubNode& hub = topo_.hub();
+        hub.scheduler().At(static_cast<Picoseconds>(tf.from), [&hub, pairs] {
+          for (const auto& [from, to] : pairs) {
+            hub.SetBlocked(from, to, true);
+          }
+        });
+        hub.scheduler().At(static_cast<Picoseconds>(tf.until), [&hub, pairs] {
+          for (const auto& [from, to] : pairs) {
+            hub.SetBlocked(from, to, false);
+          }
+        });
+        scheduled_ += 2;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace emu

@@ -36,6 +36,12 @@ Picoseconds Link::MinTransitPs() const {
 }
 
 void Link::Transmit(Packet frame, bool to_b) {
+  if (to_b ? gate_to_b_ : gate_to_a_) {
+    // Partitioned direction: the frame never reaches the wire, so it charges
+    // no occupancy and leaves the busy window untouched.
+    ++gated_dropped_;
+    return;
+  }
   EventScheduler& clock = SchedulerFor(to_b);
   const u64 bits = static_cast<u64>(frame.size() + 24) * 8;  // preamble+FCS+IFG
   const Picoseconds serialization =
@@ -113,6 +119,7 @@ void Link::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) 
   metrics.Register(prefix + ".dropped", &dropped_);
   metrics.Register(prefix + ".corrupted", &corrupted_);
   metrics.Register(prefix + ".duplicated", &duplicated_);
+  metrics.Register(prefix + ".gated_dropped", &gated_dropped_);
 }
 
 }  // namespace emu

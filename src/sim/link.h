@@ -64,6 +64,16 @@ class Link {
   void EnableImpairment(FaultRegistry& registry, const std::string& name);
   bool impaired() const { return impairer_ != nullptr; }
 
+  // --- Partition gate (emu-gossip) ---
+  // While a direction's gate is closed every frame submitted on it is
+  // dropped (and counted) instead of transmitted — an asymmetric cable cut.
+  // Gating is checked sender-side in Transmit, so on a cross-shard link the
+  // gate must only be toggled from the sending shard (schedule the toggle on
+  // the sender's EventScheduler); the counters then stay shard-local and
+  // thread-count independent.
+  void SetGate(bool to_b, bool blocked) { (to_b ? gate_to_b_ : gate_to_a_) = blocked; }
+  bool gated(bool to_b) const { return to_b ? gate_to_b_ : gate_to_a_; }
+
   // Shard-boundary routing for the `to_b` direction: transmissions complete
   // into `sink` instead of the local event queue, and Transmit reads the
   // clock from `sender` (the sending shard's scheduler). The receiving shard
@@ -83,6 +93,7 @@ class Link {
   u64 dropped() const { return dropped_; }
   u64 corrupted() const { return corrupted_; }
   u64 duplicated() const { return duplicated_; }
+  u64 gated_dropped() const { return gated_dropped_; }
 
   // Registers delivered/dropped/corrupted/duplicated as counters under
   // `prefix` (e.g. "link.uplink0").
@@ -115,6 +126,9 @@ class Link {
   u64 dropped_ = 0;
   u64 corrupted_ = 0;
   u64 duplicated_ = 0;
+  u64 gated_dropped_ = 0;
+  bool gate_to_b_ = false;  // partition gates, per direction
+  bool gate_to_a_ = false;
   RemoteRoute remote_a_;  // deliveries toward end A
   RemoteRoute remote_b_;  // deliveries toward end B
   std::unique_ptr<FrameImpairer> impairer_;

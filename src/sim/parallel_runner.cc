@@ -82,14 +82,38 @@ bool ParallelRunner::PlanEpoch(usize budget) {
   if (!any_pending) {
     return false;
   }
+  // Transitive earliest-action bound. A shard with an empty queue is NOT
+  // silent for the epoch: a frame arriving mid-epoch can wake it and make it
+  // send (a hub shard between chatty hosts is the canonical case). Relax the
+  // next-event times through the cut edges to a fixpoint — batched
+  // Chandy-Misra null messages; positive lookaheads guarantee convergence in
+  // at most |shards| sweeps — so lb[i] bounds the earliest time shard i can
+  // execute ANY event this epoch, woken or not.
+  std::vector<Picoseconds> lb = next;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& entry : shards_) {
+      Shard& shard = *entry;
+      for (const InboundEdge& edge : shard.inbound) {
+        if (lb[edge.from] == kNever) {
+          continue;
+        }
+        const Picoseconds candidate = lb[edge.from] + edge.lookahead;
+        if (candidate < lb[shard.index]) {
+          lb[shard.index] = candidate;
+          changed = true;
+        }
+      }
+    }
+  }
   for (auto& entry : shards_) {
     Shard& shard = *entry;
     Picoseconds horizon = kNever;
     for (const InboundEdge& edge : shard.inbound) {
-      if (next[edge.from] == kNever) {
-        continue;  // quiescent sender: nothing can arrive from it this epoch
+      if (lb[edge.from] == kNever) {
+        continue;  // nothing anywhere can ever reach this sender: truly silent
       }
-      horizon = std::min(horizon, next[edge.from] + edge.lookahead);
+      horizon = std::min(horizon, lb[edge.from] + edge.lookahead);
     }
     shard.horizon = horizon;
     shard.budget = budget;

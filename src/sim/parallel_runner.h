@@ -8,10 +8,20 @@
 // classic conservative-PDES lookahead: in each epoch every shard may run all
 // events strictly before its inbound horizon
 //
+//   lb(r)      = next_event_time(r), then relaxed through every cut edge
+//                lb(to) = min(lb(to), lb(from) + min_transit(from->to))
+//                to a fixpoint (batched Chandy-Misra null messages)
 //   horizon(s) = min over inbound links l from shard r of
-//                next_event_time(r) + min_transit(l)
+//                lb(r) + min_transit(l)
 //
-// without ever receiving a frame "from the past". Cross-shard frames travel
+// without ever receiving a frame "from the past". The relaxation step is
+// what makes an IDLE shard safe: a shard with an empty queue is not silent
+// for the epoch — a frame arriving mid-epoch can wake it and make it send
+// (a hub between chatty hosts is the canonical case) — so its earliest
+// possible action is bounded through its own inbound edges, not assumed
+// infinite. Positive lookaheads guarantee both convergence of the fixpoint
+// (<= |shards| sweeps) and forward progress of at least the minimum
+// lookahead per epoch. Cross-shard frames travel
 // through per-shard inbox queues (mutex-guarded; contention is one push per
 // frame), stamped with their absolute arrival time, the routed direction's
 // id, and a per-direction FIFO sequence assigned by the sender. Between

@@ -2,9 +2,19 @@
 
 #include <cassert>
 
+#include "src/core/metrics.h"
 #include "src/obs/trace_hooks.h"
 
 namespace emu {
+
+const char* HostLifecycleName(HostLifecycle state) {
+  switch (state) {
+    case HostLifecycle::kUp: return "up";
+    case HostLifecycle::kCrashed: return "crashed";
+    case HostLifecycle::kRestarting: return "restarting";
+  }
+  return "?";
+}
 
 SimHost::SimHost(EventScheduler& scheduler, std::string name, MacAddress mac, Ipv4Address ip)
     : scheduler_(scheduler), name_(std::move(name)), mac_(mac), ip_(ip) {}
@@ -19,8 +29,60 @@ void SimHost::AttachUplink(Link* link, bool is_end_a) {
   }
 }
 
+void SimHost::Crash() {
+  if (lifecycle_ == HostLifecycle::kCrashed) {
+    return;
+  }
+  lifecycle_ = HostLifecycle::kCrashed;
+  ++boot_epoch_;  // invalidates any in-flight boot completion
+  ++crashes_;
+  if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+    obs::EmitInstant(tb, "chaos.crash." + name_, scheduler_.now());
+  }
+}
+
+void SimHost::Restart(Picoseconds boot_delay) {
+  // A restart of an up host is a power-cycle: drop straight into the boot
+  // window with crash semantics (Crash() keeps its own idempotence).
+  if (lifecycle_ == HostLifecycle::kUp) {
+    Crash();
+  }
+  lifecycle_ = HostLifecycle::kRestarting;
+  const u64 epoch = ++boot_epoch_;
+  const auto complete = [this, epoch] {
+    if (boot_epoch_ != epoch) {
+      return;  // superseded by a later crash/restart
+    }
+    lifecycle_ = HostLifecycle::kUp;
+    ++restarts_;
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      obs::EmitInstant(tb, "chaos.restart." + name_, scheduler_.now());
+    }
+    if (on_restart_) {
+      on_restart_();
+    }
+  };
+  if (boot_delay <= 0) {
+    complete();
+  } else {
+    scheduler_.After(boot_delay, complete);
+  }
+}
+
+void SimHost::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const {
+  metrics.Register(prefix + ".sent", &sent_);
+  metrics.Register(prefix + ".received", &received_);
+  metrics.Register(prefix + ".lifecycle_dropped", &lifecycle_dropped_);
+  metrics.Register(prefix + ".crashes", &crashes_);
+  metrics.Register(prefix + ".restarts", &restarts_);
+}
+
 void SimHost::Send(Packet frame) {
   assert(uplink_ != nullptr && "host must be attached to a link");
+  if (!up()) {
+    ++lifecycle_dropped_;  // a dead host transmits nothing
+    return;
+  }
   ++sent_;
   // Flight recorder ingress point for simulator topologies: the sending
   // host assigns the flight id and opens the whole-flight span; the reply
@@ -39,6 +101,12 @@ void SimHost::Send(Packet frame) {
 }
 
 void SimHost::Receive(Packet frame) {
+  if (!up()) {
+    // In-flight frame disposal: anything that reaches a crashed or booting
+    // host vanishes, exactly as a dead NIC would drop it.
+    ++lifecycle_dropped_;
+    return;
+  }
   ++received_;
   if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
     if (frame.trace_id() != 0) {

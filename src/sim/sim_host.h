@@ -15,6 +15,17 @@
 
 namespace emu {
 
+class MetricsRegistry;
+
+// Node-level lifecycle (emu-gossip). A host is kUp until a chaos event
+// crashes it; while kCrashed every in-flight frame addressed to it is
+// disposed on arrival and Send() is inert. Restart() models the boot window
+// as kRestarting (still deaf) and completes after `boot_delay`, firing the
+// OnRestart hook so the application can reset its state and rejoin.
+enum class HostLifecycle : u8 { kUp = 0, kCrashed, kRestarting };
+
+const char* HostLifecycleName(HostLifecycle state);
+
 // An end host: receives frames, can send out its single interface, and hands
 // received frames to an application callback.
 class SimHost {
@@ -36,8 +47,38 @@ class SimHost {
   void Send(Packet frame);
   void Receive(Packet frame);
 
+  // --- Lifecycle (must be called from this host's shard: chaos events are
+  // scheduled on the host's own EventScheduler, so the state machine never
+  // races the frame path). ---
+  HostLifecycle lifecycle() const { return lifecycle_; }
+  bool up() const { return lifecycle_ == HostLifecycle::kUp; }
+
+  // Kills the host: application state is gone (the app's OnRestart hook is
+  // what re-creates it), frames in flight toward the host are dropped on
+  // arrival, and Send() drops until a restart completes. Idempotent.
+  void Crash();
+
+  // Begins rebooting a crashed host; after `boot_delay` the host is kUp and
+  // `on_restart` (SetOnRestart) fires. A restart of an up host is a
+  // power-cycle: crash semantics apply for the boot window.
+  void Restart(Picoseconds boot_delay = 0);
+
+  // Hook invoked when a restart completes, on the host's shard. The app uses
+  // it to reset protocol state and rejoin (SWIM re-joins with a fresh
+  // incarnation here).
+  void SetOnRestart(std::function<void()> on_restart) { on_restart_ = std::move(on_restart); }
+
   u64 sent() const { return sent_; }
   u64 received() const { return received_; }
+  // Frames disposed because they arrived while the host was not up, and
+  // sends swallowed for the same reason.
+  u64 lifecycle_dropped() const { return lifecycle_dropped_; }
+  u64 crashes() const { return crashes_; }
+  u64 restarts() const { return restarts_; }
+
+  // Registers sent/received/lifecycle_dropped/crashes/restarts under
+  // `prefix` (e.g. "host.h0").
+  void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
 
  private:
   EventScheduler& scheduler_;
@@ -47,8 +88,16 @@ class SimHost {
   Link* uplink_ = nullptr;
   bool uplink_end_a_ = true;
   App app_;
+  HostLifecycle lifecycle_ = HostLifecycle::kUp;
+  // Distinguishes overlapping restarts: only the boot-completion event of
+  // the most recent Restart() call may bring the host up.
+  u64 boot_epoch_ = 0;
+  std::function<void()> on_restart_;
   u64 sent_ = 0;
   u64 received_ = 0;
+  u64 lifecycle_dropped_ = 0;
+  u64 crashes_ = 0;
+  u64 restarts_ = 0;
 };
 
 // Runs a Service inside the event simulator: frames arriving on any attached

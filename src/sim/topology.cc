@@ -60,4 +60,35 @@ ShardedTopology::ShardedTopology(const std::vector<Service*>& services,
   }
 }
 
+HubTopology::HubTopology(std::vector<HostSpec> specs, StarTopologyConfig config) {
+  schedulers_.push_back(std::make_unique<EventScheduler>());
+  EventScheduler& hub_scheduler = *schedulers_.back();
+  const usize hub_shard = runner_.AddShard(hub_scheduler);
+  hub_ = std::make_unique<HubNode>(hub_scheduler, specs.size());
+  for (usize i = 0; i < specs.size(); ++i) {
+    schedulers_.push_back(std::make_unique<EventScheduler>());
+    EventScheduler& host_scheduler = *schedulers_.back();
+    const usize host_shard = runner_.AddShard(host_scheduler);
+    links_.push_back(std::make_unique<Link>(host_scheduler, config.link_bits_per_second,
+                                            config.link_delay));
+    Link& link = *links_.back();
+    hosts_.push_back(std::make_unique<SimHost>(host_scheduler, specs[i].name, specs[i].mac,
+                                               specs[i].ip));
+    // Host on end A, hub port i on end B — the StarTopology convention.
+    hosts_.back()->AttachUplink(&link, /*is_end_a=*/true);
+    hub_->AttachPort(i, &link, /*is_end_a=*/false);
+    runner_.ConnectDirection(link, /*to_b=*/true, host_shard, hub_shard);
+    runner_.ConnectDirection(link, /*to_b=*/false, hub_shard, host_shard);
+  }
+}
+
+usize HubTopology::FindHost(const std::string& name) const {
+  for (usize i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->name() == name) {
+      return i;
+    }
+  }
+  return hosts_.size();
+}
+
 }  // namespace emu

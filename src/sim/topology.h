@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/hub.h"
 #include "src/sim/parallel_runner.h"
 #include "src/sim/sim_host.h"
 
@@ -93,6 +94,38 @@ class ShardedTopology {
   ParallelRunner runner_;
   std::vector<std::unique_ptr<EventScheduler>> schedulers_;
   std::vector<std::unique_ptr<ServiceNode>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+// N hosts around a HubNode learning switch (emu-gossip): the shape for
+// host-to-host protocols like SWIM membership, where every host talks to
+// every other and N exceeds kNetFpgaPortCount. Sharding: the hub is shard 0,
+// each host its own shard; every link crosses shards in both directions, so
+// Run(threads=N) is bit-exact against Run(threads=1). Host i sits on hub
+// port i — ChaosDirector uses that mapping to translate partition groups
+// into the hub's port-pair block matrix.
+class HubTopology {
+ public:
+  explicit HubTopology(std::vector<HostSpec> hosts,
+                       StarTopologyConfig config = StarTopologyConfig());
+
+  SimHost& host(usize i) { return *hosts_[i]; }
+  usize host_count() const { return hosts_.size(); }
+  HubNode& hub() { return *hub_; }
+  ParallelRunner& runner() { return runner_; }
+
+  // Host index by name, or host_count() when absent.
+  usize FindHost(const std::string& name) const;
+
+  // Runs all shards to quiescence; returns events executed. Bit-exact for
+  // any opts.threads.
+  u64 Run(const ParallelRunOptions& opts = {}) { return runner_.Run(opts); }
+
+ private:
+  ParallelRunner runner_;
+  std::vector<std::unique_ptr<EventScheduler>> schedulers_;
+  std::unique_ptr<HubNode> hub_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
 };

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <numeric>
+#include <set>
 #include <vector>
 
 #include "src/common/bit_util.h"
@@ -344,6 +347,89 @@ TEST(Hexdump, HexJoinUsesSeparator) {
   std::vector<u8> data = {0xde, 0xad, 0xbe, 0xef};
   EXPECT_EQ(HexJoin(data), "de:ad:be:ef");
   EXPECT_EQ(HexJoin(data, '-'), "de-ad-be-ef");
+}
+
+// --- rng::Shuffle / rng::PickK (seed-stable sequence helpers) ----------------
+
+TEST(RngSequence, ShuffleIsAPermutationAndSeedStable) {
+  std::vector<int> items(32);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> a = items;
+  std::vector<int> b = items;
+  std::vector<int> c = items;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Rng rng_c(8);
+  rng::Shuffle(rng_a, a);
+  rng::Shuffle(rng_b, b);
+  rng::Shuffle(rng_c, c);
+  EXPECT_EQ(a, b);  // same seed, same permutation
+  EXPECT_NE(a, c);  // different seed moves it
+  EXPECT_NE(a, items);  // 32! leaves identity vanishingly unlikely
+  std::vector<int> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);  // still a permutation
+}
+
+TEST(RngSequence, ShuffleDrawCountIsFixed) {
+  // The documented contract: Shuffle consumes exactly size()-1 draws, so a
+  // protocol's stream position is a pure function of the calls made. Two
+  // streams that diverge only in what happens AFTER the shuffle must agree
+  // on the next draw.
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  Rng rng_a(42);
+  Rng rng_b(42);
+  std::vector<int> copy = items;
+  rng::Shuffle(rng_a, items);
+  for (usize i = 0; i + 1 < copy.size(); ++i) {
+    rng_b.NextBelow(copy.size() - i);  // mirror the 6 Fisher-Yates draws
+  }
+  EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+}
+
+TEST(RngSequence, PickKReturnsDistinctElementsFromSource) {
+  std::vector<u16> items = {10, 20, 30, 40, 50, 60, 70, 80};
+  Rng rng(3);
+  const std::vector<u16> picked = rng::PickK(rng, items, 3);
+  ASSERT_EQ(picked.size(), 3u);
+  std::set<u16> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (u16 value : picked) {
+    EXPECT_NE(std::find(items.begin(), items.end(), value), items.end());
+  }
+}
+
+TEST(RngSequence, PickKClampsToSourceSize) {
+  std::vector<u16> items = {1, 2, 3};
+  Rng rng(5);
+  const std::vector<u16> picked = rng::PickK(rng, items, 10);
+  ASSERT_EQ(picked.size(), 3u);
+  std::set<u16> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 3u);  // clamped pick is the whole set, shuffled
+}
+
+TEST(RngSequence, PickKIsSeedStableWithFixedDrawCount) {
+  std::vector<u16> items = {1, 2, 3, 4, 5, 6};
+  Rng rng_a(11);
+  Rng rng_b(11);
+  EXPECT_EQ(rng::PickK(rng_a, items, 2), rng::PickK(rng_b, items, 2));
+  // min(k, size) = 2 draws each; both streams sit at the same position.
+  EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+}
+
+TEST(RngSequence, PickKCoversAllSubsetsOverManyDraws) {
+  // Sanity (not a distribution test): over many trials every element of a
+  // 5-element set shows up in some 2-subset, i.e. the pick is not stuck on a
+  // prefix.
+  std::vector<u16> items = {0, 1, 2, 3, 4};
+  Rng rng(17);
+  std::set<u16> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (u16 value : rng::PickK(rng, items, 2)) {
+      seen.insert(value);
+    }
+  }
+  EXPECT_EQ(seen.size(), items.size());
 }
 
 }  // namespace

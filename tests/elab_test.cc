@@ -668,5 +668,80 @@ TEST(FindingLayer, CheckRegistryCoversBothPasses) {
   EXPECT_EQ(dynamic_checks, 7u);  // the original dynamic taxonomy
 }
 
+// --- FAULTTARGET over topology-scoped events (emu-gossip) ---------------------
+
+namespace topo_lint {
+
+const std::vector<std::string> kHosts = {"h0", "h1", "h2", "h3"};
+
+std::vector<Finding> Lint(const std::string& plan_text) {
+  const auto plan = ParseFaultPlan(plan_text);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<Finding> findings;
+  elab::CheckTopoFaults(*plan, kHosts, "gossip", findings);
+  return findings;
+}
+
+TEST(TopoFaultLint, CleanCampaignHasNoFindings) {
+  const auto findings = Lint(
+      "crash host=h1 at=5ms; restart host=h1 at=30ms; "
+      "partition {h0}|{h2,h3} from=40ms to=50ms");
+  EXPECT_TRUE(findings.empty()) << findings[0].ToString();
+}
+
+TEST(TopoFaultLint, UnknownHostIsAnError) {
+  const auto findings = Lint("crash host=h9 at=5ms");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "FAULTTARGET");
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].subject, "h9");
+  EXPECT_NE(findings[0].message.find("plan line 1"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(TopoFaultLint, UnknownHostInPartitionGroupIsAnError) {
+  const auto findings = Lint("partition {h0,hx}|{h1} from=1ms to=2ms");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].subject, "hx");
+}
+
+TEST(TopoFaultLint, RestartWithoutCrashWarnsAsPowerCycle) {
+  const auto findings = Lint("restart host=h2 at=10ms");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].subject, "h2");
+  EXPECT_NE(findings[0].message.find("power-cycle"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(TopoFaultLint, DoubleCrashWithoutRestartWarns) {
+  // Plan order is not time order — the check must sort by event time.
+  const auto findings = Lint("crash host=h1 at=20ms; crash host=h1 at=5ms");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("no-op"), std::string::npos) << findings[0].message;
+  // With a restart between the crashes the sequence is legal.
+  EXPECT_TRUE(Lint("crash host=h1 at=5ms; restart host=h1 at=10ms; "
+                   "crash host=h1 at=20ms")
+                  .empty());
+}
+
+TEST(TopoFaultLint, CrashInsidePartitionWindowNamingThatHostWarns) {
+  const auto findings =
+      Lint("partition {h0}|{h1} from=5ms to=15ms; crash host=h0 at=10ms");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].subject, "h0");
+  EXPECT_NE(findings[0].message.find("conflates"), std::string::npos)
+      << findings[0].message;
+  // A crash of a host the window does NOT name is fine.
+  EXPECT_TRUE(Lint("partition {h0}|{h1} from=5ms to=15ms; crash host=h2 at=10ms").empty());
+  // A crash outside the window is fine too.
+  EXPECT_TRUE(Lint("partition {h0}|{h1} from=5ms to=15ms; crash host=h0 at=20ms").empty());
+}
+
+}  // namespace topo_lint
+
 }  // namespace
 }  // namespace emu

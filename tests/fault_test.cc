@@ -669,5 +669,106 @@ TEST(FaultHazard, SeuOnUnwrittenRegSurfacesAsUninitRead) {
 
 #endif  // EMU_ANALYSIS
 
+// --- Topology-scoped events (emu-gossip): grammar and diagnostics -------------
+
+TEST(TopoFaultPlan, ParsesCrashRestartPartition) {
+  const auto plan = ParseFaultPlan(
+      "# node-level chaos\n"
+      "crash host=h2 at=20ms; restart host=h2 at=120ms\n"
+      "partition {h0,h1}|{h3,h4} from=40ms to=70ms oneway\n"
+      "ingress.drop bernoulli 0.01\n");  // point entries still coexist
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->topo_events.size(), 3u);
+  ASSERT_EQ(plan->entries.size(), 1u);
+
+  const TopoFault& crash = plan->topo_events[0];
+  EXPECT_EQ(crash.kind, TopoFault::Kind::kCrash);
+  EXPECT_EQ(crash.host, "h2");
+  EXPECT_EQ(crash.at, 20ull * kPicosPerMilli);
+  EXPECT_EQ(crash.line, 2u);
+  EXPECT_EQ(crash.cls(), FaultClass::kHostCrash);
+
+  const TopoFault& restart = plan->topo_events[1];
+  EXPECT_EQ(restart.kind, TopoFault::Kind::kRestart);
+  EXPECT_EQ(restart.at, 120ull * kPicosPerMilli);
+  EXPECT_EQ(restart.cls(), FaultClass::kHostRestart);
+
+  const TopoFault& part = plan->topo_events[2];
+  EXPECT_EQ(part.kind, TopoFault::Kind::kPartition);
+  EXPECT_EQ(part.group_a, (std::vector<std::string>{"h0", "h1"}));
+  EXPECT_EQ(part.group_b, (std::vector<std::string>{"h3", "h4"}));
+  EXPECT_EQ(part.from, 40ull * kPicosPerMilli);
+  EXPECT_EQ(part.until, 70ull * kPicosPerMilli);
+  EXPECT_TRUE(part.oneway);
+  EXPECT_EQ(part.line, 3u);
+  EXPECT_EQ(part.cls(), FaultClass::kPartition);
+}
+
+TEST(TopoFaultPlan, TimeSuffixesNormalizeToPicoseconds) {
+  const auto plan = ParseFaultPlan(
+      "crash host=a at=1500\n"         // bare ps
+      "crash host=b at=2ns\n"
+      "crash host=c at=3us\n"
+      "crash host=d at=4ms\n"
+      "crash host=e at=1s\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->topo_events.size(), 5u);
+  EXPECT_EQ(plan->topo_events[0].at, 1500u);
+  EXPECT_EQ(plan->topo_events[1].at, 2'000u);
+  EXPECT_EQ(plan->topo_events[2].at, 3'000'000u);
+  EXPECT_EQ(plan->topo_events[3].at, 4ull * kPicosPerMilli);
+  EXPECT_EQ(plan->topo_events[4].at, 1'000'000'000'000ull);
+}
+
+TEST(TopoFaultPlan, ToStringRoundTrips) {
+  const std::string text =
+      "crash host=h1 at=5000000; partition {h0}|{h1,h2} from=1000 to=2000 oneway";
+  const auto plan = ParseFaultPlan(text);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string rendered;
+  for (const TopoFault& event : plan->topo_events) {
+    rendered += (rendered.empty() ? "" : "; ") + event.ToString();
+  }
+  const auto reparsed = ParseFaultPlan(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered << " -> " << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->topo_events.size(), plan->topo_events.size());
+  for (usize i = 0; i < plan->topo_events.size(); ++i) {
+    EXPECT_EQ(reparsed->topo_events[i].ToString(), plan->topo_events[i].ToString());
+  }
+}
+
+TEST(TopoFaultPlan, DiagnosticsNameTheDefectAndLine) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    const auto plan = ParseFaultPlan(text);
+    ASSERT_FALSE(plan.ok()) << text;
+    EXPECT_NE(plan.status().ToString().find(needle), std::string::npos)
+        << text << " -> " << plan.status().ToString();
+  };
+  expect_error("crash host=h1 at=5xs", "bad time operand '5xs' (ps, or ns/us/ms/s suffix)");
+  expect_error("crash host=h1 when=5ms", "unknown operand 'when=5ms' (expected host=<h> at=<t>)");
+  expect_error("crash host=h1", "crash needs 'host=<h> at=<t>'");
+  expect_error("restart at=5ms", "restart needs 'host=<h> at=<t>'");
+  expect_error("crash host=h1 at=5ms; crash host=h1 at=5ms",
+               "duplicate crash of host 'h1' at the same tick");
+  expect_error("partition {h0}|{} from=1ms to=2ms",
+               "bad partition groups '{h0}|{}' (expected {a,b}|{c,d}, both sides non-empty)");
+  expect_error("partition {h0}|{h1} from=1ms", "partition needs '{A}|{B} from=<t> to=<t>'");
+  expect_error("partition {h0}|{h1} from=2ms to=1ms", "partition window needs from < to");
+  expect_error("partition {h0,h1}|{h1,h2} from=1ms to=2ms",
+               "host 'h1' appears on both sides of the partition");
+  expect_error("partition {h0}|{h1} from=1ms to=2ms twoway",
+               "unknown operand 'twoway' (expected {A}|{B} from=<t> to=<t> [oneway])");
+  // Diagnostics carry the physical line number (line 2 here).
+  const auto plan = ParseFaultPlan("crash host=h1 at=1ms\ncrash host=h2 at=bad\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("fault plan line 2"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(TopoFaultPlan, SameHostDifferentTickOrKindIsNotDuplicate) {
+  EXPECT_TRUE(ParseFaultPlan("crash host=h1 at=5ms; crash host=h1 at=6ms").ok());
+  EXPECT_TRUE(ParseFaultPlan("crash host=h1 at=5ms; restart host=h1 at=5ms").ok());
+}
+
 }  // namespace
 }  // namespace emu

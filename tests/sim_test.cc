@@ -12,6 +12,7 @@
 #include "src/sim/topology.h"
 #include "src/sim/trace_dump.h"
 #include "src/net/arp.h"
+#include "src/net/ethernet.h"
 #include "src/net/icmp.h"
 #include "src/net/udp.h"
 
@@ -468,6 +469,173 @@ TEST(TraceDump, WritesFile) {
   dump.Capture(0, "tx", Packet(4));
   EXPECT_TRUE(dump.WriteToFile("/tmp/emu_trace_test.txt"));
 }
+
+// --- Node-level chaos plumbing (emu-gossip) -----------------------------------
+
+namespace chaos_plumbing {
+
+constexpr MacAddress kMacA = MacAddress::FromU48(0x02'00'00'00'00'0aULL);
+constexpr MacAddress kMacB = MacAddress::FromU48(0x02'00'00'00'00'0bULL);
+constexpr u8 kPayload[] = {1, 2, 3, 4};
+
+// Two hosts on one link, app on each counting deliveries.
+struct Pair {
+  EventScheduler sched;
+  Link link{sched, 10'000'000'000ULL, 1000};
+  SimHost a{sched, "a", kMacA, Ipv4Address(10, 0, 0, 1)};
+  SimHost b{sched, "b", kMacB, Ipv4Address(10, 0, 0, 2)};
+  u64 a_got = 0;
+  u64 b_got = 0;
+
+  Pair() {
+    a.AttachUplink(&link, /*is_end_a=*/true);
+    b.AttachUplink(&link, /*is_end_a=*/false);
+    a.SetApp([this](SimHost&, Packet) { ++a_got; });
+    b.SetApp([this](SimHost&, Packet) { ++b_got; });
+  }
+  Packet Frame(MacAddress dst, MacAddress src) {
+    return MakeEthernetFrame(dst, src, EtherType::kIpv4, kPayload);
+  }
+};
+
+TEST(SimHostLifecycle, CrashDropsTrafficBothWaysAndRestartRecovers) {
+  Pair p;
+  p.a.Send(p.Frame(kMacB, kMacA));
+  p.sched.Run();
+  EXPECT_EQ(p.b_got, 1u);
+
+  p.b.Crash();
+  EXPECT_FALSE(p.b.up());
+  EXPECT_EQ(p.b.lifecycle(), HostLifecycle::kCrashed);
+  p.a.Send(p.Frame(kMacB, kMacA));  // dropped on arrival at the dead host
+  p.b.Send(p.Frame(kMacA, kMacB));  // swallowed at the dead sender
+  p.sched.Run();
+  EXPECT_EQ(p.b_got, 1u);
+  EXPECT_EQ(p.a_got, 0u);
+  EXPECT_EQ(p.b.lifecycle_dropped(), 2u);
+  EXPECT_EQ(p.b.crashes(), 1u);
+
+  bool restarted = false;
+  p.b.SetOnRestart([&] { restarted = true; });
+  // Boot window far longer than one frame's transit (~49 ns on this link),
+  // so the frame sent right after Restart() arrives at a still-deaf host.
+  p.b.Restart(/*boot_delay=*/1'000'000);
+  EXPECT_EQ(p.b.lifecycle(), HostLifecycle::kRestarting);
+  p.a.Send(p.Frame(kMacB, kMacA));  // still deaf during the boot window
+  p.sched.Run();
+  EXPECT_TRUE(p.b.up());
+  EXPECT_TRUE(restarted);
+  EXPECT_EQ(p.b.restarts(), 1u);
+  EXPECT_EQ(p.b_got, 1u);
+
+  p.a.Send(p.Frame(kMacB, kMacA));
+  p.sched.Run();
+  EXPECT_EQ(p.b_got, 2u);
+}
+
+TEST(SimHostLifecycle, CrashIsIdempotentAndRestartOfUpHostPowerCycles) {
+  Pair p;
+  p.b.Crash();
+  p.b.Crash();
+  EXPECT_EQ(p.b.crashes(), 1u);
+
+  // Restarting the (up) peer a is a power-cycle: deaf during the window.
+  p.a.Restart(/*boot_delay=*/1'000'000);
+  EXPECT_FALSE(p.a.up());
+  p.sched.Run();
+  EXPECT_TRUE(p.a.up());
+  EXPECT_EQ(p.a.restarts(), 1u);
+}
+
+TEST(LinkGate, BlocksOneDirectionOnly) {
+  Pair p;
+  p.link.SetGate(/*to_b=*/true, /*blocked=*/true);
+  EXPECT_TRUE(p.link.gated(true));
+  EXPECT_FALSE(p.link.gated(false));
+  p.a.Send(p.Frame(kMacB, kMacA));  // gated: dropped at the sender
+  p.b.Send(p.Frame(kMacA, kMacB));  // reverse direction still open
+  p.sched.Run();
+  EXPECT_EQ(p.b_got, 0u);
+  EXPECT_EQ(p.a_got, 1u);
+  EXPECT_EQ(p.link.gated_dropped(), 1u);
+
+  p.link.SetGate(/*to_b=*/true, /*blocked=*/false);
+  p.a.Send(p.Frame(kMacB, kMacA));
+  p.sched.Run();
+  EXPECT_EQ(p.b_got, 1u);
+}
+
+std::vector<HostSpec> HubSpecs(usize n) {
+  std::vector<HostSpec> specs;
+  for (usize i = 0; i < n; ++i) {
+    specs.push_back(HostSpec{"h" + std::to_string(i),
+                             MacAddress::FromU48(0x02'00'00'00'c0'00ULL + i),
+                             Ipv4Address(10, 0, 1, static_cast<u8>(1 + i))});
+  }
+  return specs;
+}
+
+TEST(HubTopologyTest, LearningSwitchFloodsUnknownThenForwardsLearned) {
+  HubTopology topo(HubSpecs(3));
+  std::vector<u64> got(3, 0);
+  for (usize i = 0; i < 3; ++i) {
+    topo.host(i).SetApp([&got, i](SimHost&, Packet) { ++got[i]; });
+  }
+  // h0 -> h1 before any learning: the hub floods to h1 AND h2.
+  topo.host(0).Send(MakeEthernetFrame(topo.host(1).mac(), topo.host(0).mac(),
+                                      EtherType::kIpv4, kPayload));
+  topo.Run();
+  EXPECT_EQ(got[1], 1u);
+  EXPECT_EQ(got[2], 1u);
+  EXPECT_EQ(topo.hub().flooded(), 1u);
+
+  // h1 -> h0: the flood taught the hub h0's port, so this is a clean forward.
+  const u64 flooded_before = topo.hub().flooded();
+  topo.host(1).Send(MakeEthernetFrame(topo.host(0).mac(), topo.host(1).mac(),
+                                      EtherType::kIpv4, kPayload));
+  topo.Run();
+  EXPECT_EQ(got[0], 1u);
+  EXPECT_EQ(got[2], 1u);  // not flooded again
+  EXPECT_EQ(topo.hub().flooded(), flooded_before);
+  EXPECT_GT(topo.hub().forwarded(), 0u);
+}
+
+TEST(HubTopologyTest, CountedBlocksComposeAcrossOverlappingWindows) {
+  HubTopology topo(HubSpecs(2));
+  HubNode& hub = topo.hub();
+  // Two overlapping partition windows cover the same pair: connectivity
+  // returns only after BOTH close.
+  hub.SetBlocked(0, 1, true);
+  hub.SetBlocked(0, 1, true);
+  EXPECT_TRUE(hub.Blocked(0, 1));
+  EXPECT_FALSE(hub.Blocked(1, 0));  // directional
+  hub.SetBlocked(0, 1, false);
+  EXPECT_TRUE(hub.Blocked(0, 1));
+  hub.SetBlocked(0, 1, false);
+  EXPECT_FALSE(hub.Blocked(0, 1));
+}
+
+TEST(HubTopologyTest, PartitionDropsAreCounted) {
+  HubTopology topo(HubSpecs(2));
+  u64 got1 = 0;
+  topo.host(1).SetApp([&](SimHost&, Packet) { ++got1; });
+  // Block h0 -> h1 on the hub's own scheduler (shard safety contract).
+  topo.hub().scheduler().At(0, [&] { topo.hub().SetBlocked(0, 1, true); });
+  topo.host(0).Send(MakeEthernetFrame(topo.host(1).mac(), topo.host(0).mac(),
+                                      EtherType::kIpv4, kPayload));
+  topo.Run();
+  EXPECT_EQ(got1, 0u);
+  EXPECT_EQ(topo.hub().partition_dropped(), 1u);
+}
+
+TEST(HubTopologyTest, FindHostByName) {
+  HubTopology topo(HubSpecs(3));
+  EXPECT_EQ(topo.FindHost("h0"), 0u);
+  EXPECT_EQ(topo.FindHost("h2"), 2u);
+  EXPECT_EQ(topo.FindHost("nope"), topo.host_count());
+}
+
+}  // namespace chaos_plumbing
 
 }  // namespace
 }  // namespace emu
