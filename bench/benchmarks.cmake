@@ -23,3 +23,4 @@ emu_add_bench(microbench_kernel)
 target_link_libraries(microbench_kernel PRIVATE benchmark::benchmark)
 emu_add_bench(microbench_parallel)
 emu_add_bench(microbench_gossip)
+emu_add_bench(microbench_chain)

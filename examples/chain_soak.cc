@@ -1,0 +1,373 @@
+// chain_soak: an in-network compute pipeline behind a ScenarioSpec (emu-chain).
+//
+// Builds filter -> NAT -> L1 cache -> memcached pool from a declarative
+// scenario spec (specs/chain_soak.spec is the default, embedded below), each
+// stage on its own simulated host and PDES shard, and drives a memaslap-style
+// 90/10 GET/SET workload through the whole chain from the source host. For
+// each seed the soak runs three times — threads=1, threads=T, and a
+// threads=T replay — and gates on:
+//
+//   - flow integrity: every admitted request produced exactly one reply at
+//     the source; the head stage serviced exactly the admitted count; no
+//     stage lost backpressure (LOSTBACKPRESSURE / CHAINMISROUTE findings
+//     from ChainRuntime::CollectFindings are failures);
+//   - determinism: the chain counter digest, the fault registry's injection
+//     log digest, and the exported Perfetto trace are bit-exact across
+//     thread counts and across a same-seed replay — the trace comparison is
+//     byte equality of the JSON;
+//   - decomposition: the trace recovers a per-stage latency decomposition
+//     (Table 4 shape) with a populated queue and service row for every
+//     stage on the chain.
+//
+// --log-dir writes one artifact per seed (digests, per-stage counters, the
+// decomposition table) plus the threads=T Perfetto trace — the CI uploads
+// the directory.
+//
+// Usage:
+//   chain_soak [--seed N] [--seeds N] [--threads N] [--requests N]
+//              [--spec FILE] [--log-dir DIR] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chain/scenario_build.h"
+#include "src/chain/stage_factory.h"
+#include "src/core/metrics.h"
+#include "src/fault/fault_registry.h"
+#include "src/obs/decompose.h"
+#include "src/obs/trace.h"
+#include "src/sim/memaslap.h"
+
+namespace emu {
+namespace {
+
+// The default scenario (kept in lockstep with specs/chain_soak.spec): the
+// paper's service portfolio composed into one pipeline, the filter on the
+// cycle-accurate FPGA target, everything else on the CPU target.
+constexpr char kDefaultSpec[] =
+    "topology hub link_delay=2us\n"
+    "host client mac=0x020000000c01 ip=192.168.1.10\n"
+    "host h1\nhost h2\nhost h3\nhost h4\n"
+    "stage filter kind=filter    host=h1 target=fpga queue=16\n"
+    "stage nat    kind=nat       host=h2 target=cpu  queue=16\n"
+    "stage cache  kind=l1cache   host=h3 target=cpu  queue=32 capacity=64\n"
+    "stage pool   kind=memcached host=h4 target=cpu  queue=32\n"
+    "chain client -> filter -> nat -> cache -> pool\n";
+
+constexpr usize kPrewarmKeys = 200;
+
+struct SoakOptions {
+  u64 first_seed = 1;
+  u64 seed_count = 3;
+  usize threads = 4;
+  usize requests = 300;
+  // Four stages each serve a request twice (forward and reply), so 25 us
+  // between requests puts per-stage load at ~80% of the 10 us CPU service
+  // time: queues visibly fill (nonzero decomposition queue rows) while the
+  // source's credit window keeps it from shedding in steady state.
+  u64 gap_us = 25;
+  std::string spec_text = kDefaultSpec;
+  std::string log_dir;
+  bool verbose = false;
+};
+
+// What the decomposition gate needs per stage: did both rows populate?
+struct StageDecompositionCheck {
+  std::string stage;
+  u64 queue_count = 0;
+  u64 service_count = 0;
+};
+
+struct RunOutcome {
+  bool ok = true;
+  std::string detail;
+  u64 events_executed = 0;
+  u64 chain_digest = 0;
+  u64 log_digest = 0;
+  u64 attempts = 0;
+  u64 source_shed = 0;
+  u64 source_replies = 0;
+  std::vector<Finding> findings;
+  std::string counters;       // per-stage counter table
+  std::string decomposition;  // per-stage latency table
+  std::string trace_json;     // Perfetto export (byte-compared across runs)
+  std::vector<StageDecompositionCheck> stage_rows;
+};
+
+RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt) {
+  RunOutcome out;
+  FaultRegistry registry(seed);
+  Expected<std::unique_ptr<Scenario>> built =
+      BuildScenarioFromText(opt.spec_text, &registry);
+  if (!built.ok()) {
+    out.ok = false;
+    out.detail = built.status().ToString();
+    return out;
+  }
+  Scenario& scenario = **built;
+  if (!scenario.has_chain) {
+    out.ok = false;
+    out.detail = "spec declares no chain";
+    return out;
+  }
+
+  obs::TraceSession trace;
+  trace.Install();
+
+  // The workload addresses the memcached VIP (both cache tiers answer to
+  // it); the client IP must sit in the NAT's internal subnet.
+  MemaslapConfig mc;
+  const MemcachedConfig mc_service = CanonicalMemcachedConfig();
+  mc.server_mac = mc_service.mac;
+  mc.server_ip = mc_service.ip;
+  mc.client_ip = Ipv4Address(192, 168, 1, 10);
+  mc.key_space = kPrewarmKeys;
+  mc.seed = seed;
+  MemaslapLoadgen gen(mc);
+
+  std::vector<Packet> frames;
+  for (usize i = 0; i < gen.prewarm_count(); ++i) {
+    frames.push_back(gen.PrewarmFrame(i));
+  }
+  for (usize i = 0; i < opt.requests; ++i) {
+    frames.push_back(gen.WorkloadFrame(i));
+  }
+  out.attempts = frames.size();
+
+  ChainRuntime& chain = scenario.chain;
+  EventScheduler& clock = scenario.topology.host(scenario.source_host).scheduler();
+  const Picoseconds gap = static_cast<Picoseconds>(opt.gap_us) * kPicosPerMicro;
+  for (usize i = 0; i < frames.size(); ++i) {
+    clock.At(static_cast<Picoseconds>(i + 1) * gap,
+             [&chain, frame = std::move(frames[i])]() mutable {
+               chain.SourceSend(std::move(frame));
+             });
+  }
+
+  ParallelRunOptions run_opts;
+  run_opts.threads = threads;
+  out.events_executed = scenario.Run(run_opts);
+
+  out.chain_digest = chain.Digest();
+  out.log_digest = registry.LogDigest();
+  out.source_shed = chain.source_shed();
+  out.source_replies = chain.source_replies();
+  chain.CollectFindings(out.findings);
+  out.trace_json = trace.ExportChromeJson();
+
+  std::vector<std::string> stage_order;
+  for (usize i = 0; i < chain.stage_count(); ++i) {
+    stage_order.push_back(chain.stage(i).name());
+  }
+  const std::vector<obs::StageDecomposition> rows =
+      obs::DecomposeChainLatency(trace.MergedEvents(), stage_order);
+  out.decomposition = obs::FormatDecompositionTable(rows);
+  for (const obs::StageDecomposition& row : rows) {
+    out.stage_rows.push_back({row.stage, row.queue.count, row.service.count});
+  }
+
+  std::ostringstream counters;
+  for (usize i = 0; i < chain.stage_count(); ++i) {
+    ChainStageNode& stage = chain.stage(i);
+    counters << stage.name() << ": fwd=" << stage.serviced_forward()
+             << " reply=" << stage.serviced_reply()
+             << " lost_bp=" << stage.lost_backpressure()
+             << " misrouted=" << stage.misrouted()
+             << " flood_dropped=" << stage.flood_dropped()
+             << " ignored=" << stage.ignored()
+             << " stalls=" << stage.egress_stalls() << "\n";
+  }
+  counters << "source: attempts=" << out.attempts << " shed=" << out.source_shed
+           << " replies=" << out.source_replies << "\n";
+  out.counters = counters.str();
+
+  if (opt.verbose) {
+    MetricsRegistry metrics;
+    chain.RegisterMetrics(metrics, "chain");
+    registry.RegisterMetrics(metrics, "faults");
+    std::printf("%s", metrics.Format().c_str());
+  }
+  obs::TraceSession::Detach();
+  return out;
+}
+
+std::vector<std::string> CheckInvariants(const RunOutcome& run) {
+  std::vector<std::string> violations;
+  if (!run.ok) {
+    violations.push_back(run.detail);
+    return violations;
+  }
+  for (const Finding& f : run.findings) {
+    violations.push_back(f.ToString());
+  }
+  const u64 admitted = run.attempts - run.source_shed;
+  if (run.source_replies != admitted) {
+    violations.push_back("flow: " + std::to_string(admitted) + " requests admitted but " +
+                         std::to_string(run.source_replies) + " replies returned");
+  }
+  for (const StageDecompositionCheck& row : run.stage_rows) {
+    if (row.queue_count == 0 || row.service_count == 0) {
+      violations.push_back("decomposition: stage '" + row.stage +
+                           "' has an empty queue or service row (queue=" +
+                           std::to_string(row.queue_count) +
+                           " service=" + std::to_string(row.service_count) + ")");
+    }
+  }
+  return violations;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chain_soak: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void WriteSeedArtifacts(const SoakOptions& opt, u64 seed, const RunOutcome& serial,
+                        const RunOutcome& parallel, const RunOutcome& replay,
+                        const std::vector<std::string>& violations) {
+  char digests[256];
+  std::snprintf(digests, sizeof(digests),
+                "chain digest: serial=%016llx threads=%016llx replay=%016llx\n"
+                "log digest:   serial=%016llx threads=%016llx replay=%016llx\n"
+                "trace bytes:  serial=%zu threads=%zu replay=%zu identical=%s\n",
+                static_cast<unsigned long long>(serial.chain_digest),
+                static_cast<unsigned long long>(parallel.chain_digest),
+                static_cast<unsigned long long>(replay.chain_digest),
+                static_cast<unsigned long long>(serial.log_digest),
+                static_cast<unsigned long long>(parallel.log_digest),
+                static_cast<unsigned long long>(replay.log_digest),
+                serial.trace_json.size(), parallel.trace_json.size(),
+                replay.trace_json.size(),
+                (serial.trace_json == parallel.trace_json &&
+                 parallel.trace_json == replay.trace_json)
+                    ? "yes"
+                    : "NO");
+  std::string text = "seed " + std::to_string(seed) + "\n" + digests +
+                     "\nper-stage counters (threads run):\n" + parallel.counters +
+                     "\nlatency decomposition (threads run):\n" + parallel.decomposition;
+  if (!violations.empty()) {
+    text += "\nviolations:\n";
+    for (const std::string& v : violations) {
+      text += "  " + v + "\n";
+    }
+  }
+  const std::string base = opt.log_dir + "/seed" + std::to_string(seed);
+  WriteFileOrWarn(base + ".txt", text);
+  WriteFileOrWarn(base + ".trace.json", parallel.trace_json);
+}
+
+int Usage() {
+  std::printf(
+      "usage: chain_soak [--seed N] [--seeds N] [--threads N] [--requests N]\n"
+      "                  [--gap-us N] [--spec FILE] [--log-dir DIR] [--verbose]\n"
+      "--spec replaces the built-in filter->nat->cache->pool scenario;\n"
+      "--log-dir must already exist; per-seed artifacts (digests, counters,\n"
+      "latency decomposition, Perfetto trace) are written there.\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SoakOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      opt.first_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      opt.seed_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      opt.requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--gap-us" && i + 1 < argc) {
+      opt.gap_us = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--spec" && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in) {
+        std::fprintf(stderr, "chain_soak: cannot read %s\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      opt.spec_text = text.str();
+    } else if (arg == "--log-dir" && i + 1 < argc) {
+      opt.log_dir = argv[++i];
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (opt.threads == 0 || opt.seed_count == 0 || opt.requests == 0 || opt.gap_us == 0) {
+    return Usage();
+  }
+
+  std::printf("chain_soak: seeds=[%llu..%llu] threads={1,%zu} requests=%zu (+%zu prewarm)\n",
+              static_cast<unsigned long long>(opt.first_seed),
+              static_cast<unsigned long long>(opt.first_seed + opt.seed_count - 1),
+              opt.threads, opt.requests, kPrewarmKeys);
+
+  bool all_ok = true;
+  for (u64 k = 0; k < opt.seed_count; ++k) {
+    const u64 seed = opt.first_seed + k;
+    const RunOutcome serial = RunOnce(seed, 1, opt);
+    const RunOutcome parallel = RunOnce(seed, opt.threads, opt);
+    const RunOutcome replay = RunOnce(seed, opt.threads, opt);
+
+    std::vector<std::string> violations = CheckInvariants(parallel);
+    if (serial.ok && replay.ok && violations.empty()) {
+      if (serial.chain_digest != parallel.chain_digest ||
+          serial.log_digest != parallel.log_digest) {
+        violations.push_back("determinism: threads=1 vs threads=" +
+                             std::to_string(opt.threads) + " digests diverged");
+      }
+      if (replay.chain_digest != parallel.chain_digest ||
+          replay.log_digest != parallel.log_digest) {
+        violations.push_back("determinism: same-seed replay digests diverged");
+      }
+      if (serial.trace_json != parallel.trace_json) {
+        violations.push_back("determinism: threads=1 vs threads=" +
+                             std::to_string(opt.threads) + " traces are not byte-identical");
+      }
+      if (replay.trace_json != parallel.trace_json) {
+        violations.push_back("determinism: replay trace is not byte-identical");
+      }
+    } else if (!serial.ok) {
+      violations.push_back(serial.detail);
+    } else if (!replay.ok) {
+      violations.push_back(replay.detail);
+    }
+    all_ok = all_ok && violations.empty();
+
+    std::printf("seed=%llu  events=%llu  chain=%016llx log=%016llx  %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(parallel.events_executed),
+                static_cast<unsigned long long>(parallel.chain_digest),
+                static_cast<unsigned long long>(parallel.log_digest),
+                violations.empty() ? "ok" : "VIOLATIONS");
+    for (const std::string& v : violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+    if (k == 0 || !violations.empty()) {
+      std::printf("%s", parallel.decomposition.c_str());
+    }
+    if (!opt.log_dir.empty()) {
+      WriteSeedArtifacts(opt, seed, serial, parallel, replay, violations);
+    }
+  }
+  std::printf("chain_soak: %s\n", all_ok ? "all invariants held" : "FAILURES");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace emu
+
+int main(int argc, char** argv) { return emu::Main(argc, argv); }

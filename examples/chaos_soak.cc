@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chain/stage_factory.h"
 #include "src/common/rng.h"
 #include "src/core/metrics.h"
 #include "src/core/targets.h"
@@ -41,11 +42,6 @@
 #include "src/net/icmp.h"
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
-#include "src/services/dns_service.h"
-#include "src/services/icmp_echo_service.h"
-#include "src/services/memcached_service.h"
-#include "src/services/nat_service.h"
-#include "src/services/tcp_ping_service.h"
 #include "src/sim/loadgen.h"
 #include "src/sim/memaslap.h"
 
@@ -62,6 +58,11 @@ const Ipv4Address kClientIp(10, 0, 0, 9);
 // One service under soak: construction, optional prewarm, traffic factory,
 // and the metrics name of its drop counter (read through MetricsRegistry —
 // the uniform counter surface, so no per-service getter plumbing).
+//
+// Services come from the stage factory (src/chain/stage_factory.h) and the
+// traffic factories read addresses from the same Canonical*Config getters
+// that configured them — one definition of each service's identity, shared
+// with the chain scenarios.
 struct SoakCase {
   std::string name;
   std::unique_ptr<Service> service;
@@ -71,27 +72,38 @@ struct SoakCase {
   std::string dropped_metric;
 };
 
+// The kinds and attrs below are compile-time constants the factory always
+// accepts; a failure is a programming error, not an input error.
+std::unique_ptr<Service> MustMakeService(const std::string& kind, const StageAttrs& attrs) {
+  Expected<std::unique_ptr<Service>> service = MakeStageService(kind, attrs);
+  if (!service.ok()) {
+    std::fprintf(stderr, "chaos_soak: cannot build %s: %s\n", kind.c_str(),
+                 service.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(*service);
+}
+
 SoakCase MakeIcmpCase() {
   SoakCase c;
   c.name = "icmp_echo";
-  IcmpEchoConfig config;
-  auto service = std::make_unique<IcmpEchoService>(config);
+  c.service = MustMakeService("icmp_echo", {});
   c.dropped_metric = "icmp.dropped";
+  const IcmpEchoConfig config = CanonicalIcmpEchoConfig();
   c.factory = [config](usize i, u8) {
     return MakeIcmpEchoRequest(
         {config.mac, kClientMac, kClientIp, config.ip, static_cast<u16>(i), 0}, {});
   };
   c.ports = {0, 1, 2, 3};
-  c.service = std::move(service);
   return c;
 }
 
 SoakCase MakeTcpPingCase() {
   SoakCase c;
   c.name = "tcp_ping";
-  TcpPingConfig config;
-  auto service = std::make_unique<TcpPingService>(config);
+  c.service = MustMakeService("tcp_ping", {});
   c.dropped_metric = "tcp_ping.dropped";
+  const TcpPingConfig config = CanonicalTcpPingConfig();
   c.factory = [config](usize i, u8) {
     TcpSegmentSpec spec{config.mac,
                         kClientMac,
@@ -105,20 +117,17 @@ SoakCase MakeTcpPingCase() {
     return MakeTcpSegment(spec);
   };
   c.ports = {0, 1, 2, 3};
-  c.service = std::move(service);
   return c;
 }
 
 SoakCase MakeDnsCase() {
   SoakCase c;
   c.name = "dns";
-  DnsServiceConfig config;
-  auto service = std::make_unique<DnsService>(config);
-  for (usize i = 0; i < 4; ++i) {
-    service->AddRecord("svc" + std::to_string(i) + ".lab",
-                       Ipv4Address(10, 1, 0, static_cast<u8>(1 + i)));
-  }
+  // records=4 installs the same svc<i>.lab -> 10.1.0.<1+i> records the
+  // factory below queries.
+  c.service = MustMakeService("dns", {{"records", "4"}});
   c.dropped_metric = "dns.dropped";
+  const DnsServiceConfig config = CanonicalDnsConfig();
   c.factory = [config](usize i, u8) {
     const std::string name = "svc" + std::to_string(i % 4) + ".lab";
     return MakeUdpPacket({config.mac, kClientMac, kClientIp, config.ip,
@@ -126,18 +135,17 @@ SoakCase MakeDnsCase() {
                          BuildDnsQuery(static_cast<u16>(i), name));
   };
   c.ports = {0, 1, 2, 3};
-  c.service = std::move(service);
   return c;
 }
 
 SoakCase MakeNatCase() {
   SoakCase c;
   c.name = "nat";
-  NatConfig config;
-  config.max_mappings = 256;  // reachable exhaustion within one soak
-  config.exhaustion_evict_idle_cycles = 10'000;  // evict-idle-first under pressure
-  auto service = std::make_unique<NatService>(config);
+  // max_mappings=256: reachable exhaustion within one soak;
+  // evict_idle=10000: evict-idle-first under pressure.
+  c.service = MustMakeService("nat", {{"max_mappings", "256"}, {"evict_idle", "10000"}});
   c.dropped_metric = "nat.dropped";
+  const NatConfig config = CanonicalNatConfig();
   const MacAddress internal_mac = MacAddress::FromU48(0x02'00'00'00'11'10);
   c.factory = [config, internal_mac](usize i, u8 port) {
     const u8 in_port = static_cast<u8>(1 + port % 3);
@@ -150,17 +158,16 @@ SoakCase MakeNatCase() {
     return frame;
   };
   c.ports = {1, 2, 3};
-  c.service = std::move(service);
   return c;
 }
 
 SoakCase MakeMemcachedCase() {
   SoakCase c;
   c.name = "memcached";
-  MemcachedConfig config;
-  auto service = std::make_unique<MemcachedService>(config);
+  c.service = MustMakeService("memcached", {});
   c.dropped_metric = "memcached.dropped";
   MemaslapConfig workload;
+  const MemcachedConfig config = CanonicalMemcachedConfig();
   workload.server_mac = config.mac;
   workload.server_ip = config.ip;
   auto loadgen = std::make_shared<MemaslapLoadgen>(workload);
@@ -172,7 +179,6 @@ SoakCase MakeMemcachedCase() {
   };
   c.factory = [loadgen](usize i, u8) { return loadgen->WorkloadFrame(i); };
   c.ports = {0, 1, 2, 3};
-  c.service = std::move(service);
   return c;
 }
 

@@ -16,6 +16,7 @@
 //   ./build/examples/emu_lint --dot nat       # dump nat's elaborated graph
 //   ./build/examples/emu_lint --suppress "DEADSIGNAL:dbg_*,COMBRACE"
 //   ./build/examples/emu_lint --faults "nat.flows bernoulli 0.1"
+//   ./build/examples/emu_lint --spec specs/chain_soak.spec   # CHAINSPEC checks
 //
 // Exit codes (the shared lint contract, src/analysis/finding.h):
 //   0  clean — no unsuppressed Severity::kError finding
@@ -25,16 +26,19 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <iterator>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/elab/elab_graph.h"
 #include "src/analysis/finding.h"
 #include "src/analysis/hazard.h"
+#include "src/chain/chain_lint.h"
 #include "src/core/targets.h"
 #include "src/debug/controller.h"
 #include "src/fault/fault_plan.h"
@@ -275,6 +279,7 @@ int main(int argc, char** argv) {
   std::string dot_target;
   std::string suppress_text;
   std::vector<std::string> selected;
+  std::vector<std::string> spec_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -300,13 +305,18 @@ int main(int argc, char** argv) {
       g_fault_plan_text = argv[++i];
       continue;
     }
+    if (arg == "--spec" && i + 1 < argc) {
+      spec_paths.push_back(argv[++i]);
+      continue;
+    }
     if (!arg.empty() && arg[0] != '-') {
       selected.push_back(arg);
       continue;
     }
     std::fprintf(stderr,
                  "usage: emu_lint [--list] [--json] [--dot <design>] "
-                 "[--suppress \"SPEC\"] [--faults \"<plan>\"] [design...]\n");
+                 "[--suppress \"SPEC\"] [--faults \"<plan>\"] "
+                 "[--spec <file>]... [design...]\n");
     return kLintExitUsage;
   }
   for (const std::string& name : selected) {
@@ -318,8 +328,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --faults also scopes the CHAINSPEC placement-vs-crash check when --spec
+  // files are given; an unparsable plan is a usage error in that mode.
+  FaultPlan spec_plan;
+  bool has_spec_plan = false;
+  if (!spec_paths.empty() && !g_fault_plan_text.empty()) {
+    const auto plan = ParseFaultPlan(g_fault_plan_text);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "emu_lint: --faults: %s\n", plan.status().ToString().c_str());
+      return kLintExitUsage;
+    }
+    spec_plan = *plan;
+    has_spec_plan = true;
+  }
+
   std::vector<Finding> all;
+  // `--spec` alone lints only the spec files; designs still run when named.
+  const bool run_designs = spec_paths.empty() || !selected.empty();
   for (const LintDesign& design : kDesigns) {
+    if (!run_designs) {
+      break;
+    }
     if (!selected.empty() &&
         std::find(selected.begin(), selected.end(), design.name) == selected.end()) {
       continue;
@@ -327,6 +356,22 @@ int main(int argc, char** argv) {
     std::vector<Finding> findings = design.run(dot_target == design.name);
     if (!json) {
       std::printf("%-16s %zu finding(s)\n", design.name, findings.size());
+    }
+    all.insert(all.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  for (const std::string& path : spec_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "emu_lint: cannot read spec file '%s'\n", path.c_str());
+      return kLintExitUsage;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Finding> findings =
+        CheckChainSpecText(text.str(), path, has_spec_plan ? &spec_plan : nullptr);
+    if (!json) {
+      std::printf("%-16s %zu finding(s)\n", path.c_str(), findings.size());
     }
     all.insert(all.end(), std::make_move_iterator(findings.begin()),
                std::make_move_iterator(findings.end()));

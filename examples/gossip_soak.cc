@@ -1,6 +1,7 @@
 // gossip_soak: SWIM membership under node-level chaos (emu-gossip).
 //
-// Builds an N-host HubTopology, runs one SwimPeer per host, and applies a
+// Builds an N-host hub world from a ScenarioSpec (emu-chain's declarative
+// scenario layer), runs one SwimPeer per host, and applies a
 // topology-scoped fault plan through a ChaosDirector: host crashes, restarts
 // with a boot window, and partition windows realized as hub port-pair
 // blocks. For each seed the soak runs three times — threads=1, threads=T,
@@ -37,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chain/scenario_build.h"
 #include "src/core/histogram.h"
 #include "src/core/metrics.h"
 #include "src/fault/fault_plan.h"
@@ -73,14 +75,24 @@ struct SoakOptions {
 
 std::string HostName(usize i) { return "h" + std::to_string(i); }
 
+// The SWIM membership list mirrors the spec's auto-host convention — one
+// definition of "host i's addresses" (AutoHost) for both layers.
 std::vector<SwimMember> ClusterMembers(usize hosts) {
   std::vector<SwimMember> members;
   for (usize i = 0; i < hosts; ++i) {
-    members.push_back(SwimMember{HostName(i),
-                                 MacAddress::FromU48(0x02'00'00'00'a0'00ull + i),
-                                 Ipv4Address(10, 0, 0, static_cast<u8>(1 + i))});
+    const SpecHost host = AutoHost(i);
+    members.push_back(SwimMember{host.name, host.mac, host.ip});
   }
   return members;
+}
+
+// The soak topology as a spec (specs/gossip_hub.spec parameterized by host
+// count): 50 us links because SWIM's timescale is the 1 ms protocol period,
+// and the larger conservative lookahead keeps the parallel epoch count (and
+// so the soak's wall-clock) three orders of magnitude below cable-accurate
+// delay.
+std::string SoakSpecText(usize hosts) {
+  return "topology hub hosts=" + std::to_string(hosts) + " link_delay=50us";
 }
 
 SwimConfig SoakSwimConfig(u64 run_ms) {
@@ -109,18 +121,16 @@ struct RunOutcome {
 RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt, bool want_prom) {
   RunOutcome out;
   const std::vector<SwimMember> members = ClusterMembers(opt.hosts);
-  std::vector<HostSpec> specs;
-  for (const SwimMember& m : members) {
-    specs.push_back(HostSpec{m.name, m.mac, m.ip});
-  }
-  // 50 us links: SWIM's timescale is the 1 ms protocol period, and the
-  // larger conservative lookahead keeps the parallel epoch count (and so the
-  // soak's wall-clock) three orders of magnitude below cable-accurate delay.
-  StarTopologyConfig net;
-  net.link_delay = 50 * kPicosPerMicro;
-  HubTopology topo(specs, net);
-
   FaultRegistry registry(seed);
+  Expected<std::unique_ptr<Scenario>> built =
+      BuildScenarioFromText(SoakSpecText(opt.hosts), &registry);
+  if (!built.ok()) {
+    out.ok = false;
+    out.detail = "bad scenario spec: " + built.status().ToString();
+    return out;
+  }
+  TopologyBuilder& topo = (*built)->topology;
+
   ChaosDirector director(topo, &registry);
   director.set_boot_delay(kBootDelay);
   const Expected<FaultPlan> plan = ParseFaultPlan(opt.plan_text);

@@ -1,0 +1,133 @@
+#include "src/chain/chain_lint.h"
+
+#include "src/chain/scenario_build.h"
+#include "src/chain/stage_factory.h"
+#include "src/fault/fault_plan.h"
+
+namespace emu {
+namespace {
+
+constexpr const char* kCheck = "CHAINSPEC";
+
+Finding Error(const std::string& design, const std::string& subject,
+              const std::string& message) {
+  return Finding{kCheck, Severity::kError, design, subject, message};
+}
+
+Finding Warning(const std::string& design, const std::string& subject,
+                const std::string& message) {
+  return Finding{kCheck, Severity::kWarning, design, subject, message};
+}
+
+}  // namespace
+
+std::vector<Finding> CheckChainSpec(const ScenarioSpec& spec,
+                                    const std::string& design,
+                                    const FaultPlan* plan) {
+  std::vector<Finding> findings;
+
+  // Per-stage kind validity (the parser only checks syntax).
+  for (const SpecStage& stage : spec.stages) {
+    if (!KnownStageKind(stage.kind)) {
+      findings.push_back(Error(design, stage.name,
+                               "line " + std::to_string(stage.line) +
+                                   ": unknown stage kind '" + stage.kind + "'"));
+    }
+  }
+
+  // Chain shape: linearity, source, topology, queueing, placement.
+  const Expected<std::vector<usize>> order = LinearChainOrder(spec);
+  if (!order.ok()) {
+    findings.push_back(Error(design, "chain", order.status().message()));
+    return findings;  // shape checks below assume a linear order
+  }
+  if (!order->empty() && spec.topology != SpecTopology::kHub) {
+    findings.push_back(Error(design, "chain",
+                             std::string("chain lines require topology hub, not ") +
+                                 SpecTopologyName(spec.topology)));
+  }
+
+  std::vector<bool> chained(spec.stages.size(), false);
+  for (const usize i : *order) {
+    chained[i] = true;
+  }
+  for (const usize i : *order) {
+    const SpecStage& stage = spec.stages[i];
+    if (stage.queue == 0) {
+      findings.push_back(Error(design, stage.name,
+                               "line " + std::to_string(stage.line) +
+                                   ": chained stage has queue=0 and admits no traffic"));
+    }
+    for (const usize j : *order) {
+      if (j <= i || spec.stages[j].host != stage.host) {
+        continue;
+      }
+      findings.push_back(Error(design, spec.stages[j].name,
+                               "line " + std::to_string(spec.stages[j].line) +
+                                   ": chained stages '" + stage.name + "' and '" +
+                                   spec.stages[j].name + "' share host '" +
+                                   stage.host + "'"));
+    }
+  }
+  for (usize i = 0; i < spec.stages.size(); ++i) {
+    if (!chained[i] && !spec.edges.empty()) {
+      findings.push_back(Warning(design, spec.stages[i].name,
+                                 "line " + std::to_string(spec.stages[i].line) +
+                                     ": stage is on no chain edge (dead configuration)"));
+    }
+  }
+
+  // Placement vs fault plan: a chained stage on a host the plan crashes and
+  // never restarts goes dark for the rest of the campaign.
+  if (plan != nullptr && !order->empty()) {
+    for (const usize i : *order) {
+      const SpecStage& stage = spec.stages[i];
+      u64 last_crash = 0;
+      bool crashed = false;
+      bool restarted_after = false;
+      for (const TopoFault& tf : plan->topo_events) {
+        if (tf.host != stage.host) {
+          continue;
+        }
+        if (tf.kind == TopoFault::Kind::kCrash && (!crashed || tf.at >= last_crash)) {
+          crashed = true;
+          last_crash = tf.at;
+          restarted_after = false;
+        } else if (tf.kind == TopoFault::Kind::kRestart && crashed && tf.at >= last_crash) {
+          restarted_after = true;
+        }
+      }
+      if (crashed && !restarted_after) {
+        findings.push_back(Error(design, stage.name,
+                                 "line " + std::to_string(stage.line) + ": host '" +
+                                     stage.host + "' is crashed by the fault plan at " +
+                                     std::to_string(last_crash) +
+                                     "ps and never restarted; the chain goes dark"));
+      }
+    }
+    const usize src = spec.FindHost(spec.source_host);
+    if (src < spec.hosts.size()) {
+      for (const TopoFault& tf : plan->topo_events) {
+        if (tf.kind == TopoFault::Kind::kCrash && tf.host == spec.source_host) {
+          findings.push_back(Warning(design, spec.source_host,
+                                     "fault plan crashes the chain source host at " +
+                                         std::to_string(tf.at) + "ps"));
+          break;
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckChainSpecText(const std::string& text,
+                                        const std::string& design,
+                                        const FaultPlan* plan) {
+  const Expected<ScenarioSpec> spec = ParseScenarioSpec(text);
+  if (!spec.ok()) {
+    return {Error(design, "parse", spec.status().message())};
+  }
+  return CheckChainSpec(*spec, design, plan);
+}
+
+}  // namespace emu

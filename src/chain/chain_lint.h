@@ -1,0 +1,44 @@
+// CHAINSPEC: static checks over a ScenarioSpec, in the emu-lint mold — the
+// spec is data, so most chain mistakes are visible before a single simulated
+// picosecond elapses. Checks:
+//
+//   - parse errors (text entry point), surfaced verbatim as error findings
+//   - chain lines on a non-hub topology
+//   - a chain with no source host
+//   - non-linear chains: branches, cycles, disjoint segments
+//   - a chained stage with queue=0 (admits no traffic)
+//   - two chained stages placed on the same host (ingress cannot classify)
+//   - a stage declared but on no chain edge (warning — dead configuration)
+//   - with a fault plan: a chained stage placed on a host the plan crashes
+//     and never restarts (the chain goes dark mid-campaign)
+//
+// Wired into emu_lint behind --spec; exit codes follow the shared contract
+// in src/analysis/finding.h.
+#ifndef SRC_CHAIN_CHAIN_LINT_H_
+#define SRC_CHAIN_CHAIN_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/chain/scenario_spec.h"
+
+namespace emu {
+
+struct FaultPlan;
+
+// Checks a parsed spec. `design` labels the findings (usually the spec file
+// name); `plan` enables the placement-vs-crash check when non-null.
+std::vector<Finding> CheckChainSpec(const ScenarioSpec& spec,
+                                    const std::string& design,
+                                    const FaultPlan* plan = nullptr);
+
+// Parses then checks; a parse failure becomes a single CHAINSPEC error
+// finding carrying the parser's verbatim line-numbered message.
+std::vector<Finding> CheckChainSpecText(const std::string& text,
+                                        const std::string& design,
+                                        const FaultPlan* plan = nullptr);
+
+}  // namespace emu
+
+#endif  // SRC_CHAIN_CHAIN_LINT_H_

@@ -1,0 +1,207 @@
+// ChainRuntime (emu-chain): composes Emu services into an in-network compute
+// pipeline across simulated hosts.
+//
+// Each stage is a Service placed on its own SimHost (CPU or FPGA target —
+// the paper's §3.3 portability applied per stage) behind two bounded ingress
+// queues: a forward queue fed by the upstream neighbor and a reply queue fed
+// by the downstream one. Flow between neighbors is credit-based: a sender
+// holds one credit per slot of the receiving queue, decrements on send, and
+// stalls its own egress (which in turn stops it draining its queues —
+// backpressure propagates hop by hop) when it runs out; the receiver returns
+// a credit control frame on the real link when it dequeues. The traffic
+// source sheds instead of stalling, so end-to-end overload surfaces as
+// `source_shed`, never as silent mid-chain loss. A frame that nevertheless
+// arrives at a full queue (credit frames lost to impairment, duplicated data
+// frames) is dropped AND counted as lost backpressure, which
+// CollectFindings() reports through the standard LOSTBACKPRESSURE analysis
+// check — the invariant the soak gates on.
+//
+// Transport: the runtime owns the outer Ethernet header. At egress it stamps
+// src MAC = this stage's host, dst MAC = the neighbor stage's host, so a
+// learning hub sees exactly one MAC per port; at ingress it classifies
+// direction by the source MAC (upstream host -> forward, downstream host ->
+// reply), then rewrites the destination MAC to the identity the service
+// answers to and stamps the service's expected ingress port — both taken
+// from the service's ChainStageIo (src/core/service.h). Inner IP/UDP
+// semantics (NAT translation, memcached keys) pass through untouched.
+//
+// Observability: every dequeue emits a "chain.<stage>.queue" complete span
+// (enqueue -> dequeue wait) and every delivery a "chain.<stage>.service"
+// span onto the stage's shard TraceBuffer — the per-stage latency
+// decomposition (Table 4 shape) falls out of the trace via obs::Decompose.
+// All per-stage state is touched only on the stage host's scheduler, so a
+// chain run stays bit-exact for any ParallelRunner thread count.
+#ifndef SRC_CHAIN_CHAIN_RUNTIME_H_
+#define SRC_CHAIN_CHAIN_RUNTIME_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/chain/scenario_spec.h"
+#include "src/core/targets.h"
+#include "src/sim/sim_host.h"
+
+namespace emu {
+
+class MetricsRegistry;
+
+// Credit-return control frames travel as plain Ethernet frames with this
+// (unassigned) EtherType; payload byte 0 is the credit kind.
+inline constexpr u16 kChainCreditEtherType = 0xC4A1;
+inline constexpr u8 kChainCreditForward = 0;  // a forward-queue slot freed
+inline constexpr u8 kChainCreditReply = 1;    // a reply-queue slot freed
+
+struct ChainStageConfig {
+  std::string name;
+  Service* service = nullptr;  // not owned; must outlive the runtime
+  SimHost* host = nullptr;     // the stage's placement; one stage per host
+  StageTarget target = StageTarget::kCpu;
+  usize queue_depth = 16;  // per-direction bounded ingress queue
+  // CpuTarget per-frame service time on the network timeline (the FPGA
+  // target charges its own measured cycles instead).
+  Picoseconds cpu_delay = 10 * kPicosPerMicro;
+};
+
+class ChainStageNode {
+ public:
+  ChainStageNode(const ChainStageConfig& config);
+
+  ChainStageNode(const ChainStageNode&) = delete;
+  ChainStageNode& operator=(const ChainStageNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  SimHost& host() { return *host_; }
+
+  // --- Counters (read after Run(), as with all sim counters) ---
+  u64 serviced_forward() const { return serviced_forward_; }
+  u64 serviced_reply() const { return serviced_reply_; }
+  // Frames dropped because they arrived at a full queue: lost backpressure.
+  u64 lost_backpressure() const { return lost_backpressure_; }
+  // Frames not for this stage (hub flood copies, unknown senders).
+  u64 ignored() const { return ignored_; }
+  // Egress frames whose mask pointed downstream of the chain tail.
+  u64 misrouted() const { return misrouted_; }
+  // Learning-switch flood copies onto ports that are neither chain direction.
+  u64 flood_dropped() const { return flood_dropped_; }
+  u64 credits_sent() const { return credits_sent_; }
+  u64 credits_received() const { return credits_received_; }
+  // Times egress blocked on zero credits (backpressure engaged).
+  u64 egress_stalls() const { return egress_stalls_; }
+  usize forward_queue_depth() const { return forward_q_.size(); }
+  usize reply_queue_depth() const { return reply_q_.size(); }
+
+ private:
+  friend class ChainRuntime;
+
+  struct Queued {
+    Packet frame;
+    Picoseconds enqueued = 0;
+  };
+  struct Egress {
+    Packet frame;
+    bool downstream = false;
+  };
+
+  void OnHostFrame(Packet frame);
+  void OnCredit(MacAddress from, u8 kind);
+  void Enqueue(std::deque<Queued>& queue, Packet frame, bool forward);
+  void TryPump();
+  void StartService(std::deque<Queued>& queue, bool forward);
+  void CompleteService(std::vector<Packet> outputs);
+  void Route(Packet frame);
+  void FlushEgress();
+  void SendCredit(u8 kind, MacAddress to);
+
+  std::string name_;
+  Service* service_;
+  SimHost* host_;
+  StageTarget target_;
+  usize depth_;
+  Picoseconds cpu_delay_;
+  ChainStageIo io_;
+  std::unique_ptr<CpuTarget> cpu_;
+  std::unique_ptr<FpgaTarget> fpga_;
+
+  MacAddress up_mac_;    // zero on the head's source side only when unwired
+  MacAddress down_mac_;  // zero on the tail
+  std::deque<Queued> forward_q_;
+  std::deque<Queued> reply_q_;
+  std::deque<Egress> pending_egress_;
+  usize forward_credits_ = 0;  // free slots in the downstream forward queue
+  usize reply_credits_ = 0;    // free slots in the upstream reply queue
+  bool busy_ = false;
+
+  u64 serviced_forward_ = 0;
+  u64 serviced_reply_ = 0;
+  u64 lost_backpressure_ = 0;
+  u64 ignored_ = 0;
+  u64 misrouted_ = 0;
+  u64 flood_dropped_ = 0;
+  u64 credits_sent_ = 0;
+  u64 credits_received_ = 0;
+  u64 egress_stalls_ = 0;
+};
+
+// Head-to-tail composition of stages plus the source endpoint. Build with
+// AddStage() in chain order, SetSource(), then Wire() once; after Run() the
+// counters, findings, and digest describe the whole pipeline.
+class ChainRuntime {
+ public:
+  ChainRuntime() = default;
+  ChainRuntime(const ChainRuntime&) = delete;
+  ChainRuntime& operator=(const ChainRuntime&) = delete;
+
+  ChainStageNode& AddStage(const ChainStageConfig& config);
+  // The traffic source host (not a stage): SourceSend() feeds the head stage
+  // from here, and replies emerging from the head are handed to the handler.
+  void SetSource(SimHost& source);
+  void SetSourceReplyHandler(std::function<void(Packet)> handler) {
+    on_reply_ = std::move(handler);
+  }
+  // Installs apps, neighbor MACs, and initial credits. Call once, after all
+  // stages and the source are set.
+  void Wire();
+
+  // Sends `frame` from the source into the head stage; returns false (and
+  // counts a shed) when the source holds no credits — the source never
+  // contributes to mid-chain loss, it backs off.
+  bool SourceSend(Packet frame);
+
+  usize stage_count() const { return stages_.size(); }
+  ChainStageNode& stage(usize i) { return *stages_[i]; }
+  ChainStageNode* FindStage(const std::string& name);
+  SimHost* source() { return source_; }
+
+  u64 source_shed() const { return source_shed_; }
+  u64 source_replies() const { return source_replies_; }
+
+  // Appends a LOSTBACKPRESSURE finding per stage that dropped at a full
+  // queue, and a CHAINMISROUTE finding per stage that emitted past the tail.
+  void CollectFindings(std::vector<Finding>& findings) const;
+
+  // FNV-1a over every stage's counters in chain order plus the source
+  // counters: equal digests mean the pipeline processed identically
+  // (threads=1 vs threads=4 vs replay).
+  u64 Digest() const;
+
+  // Registers per-stage counters as `<prefix>.<stage>.<counter>`.
+  void RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const;
+
+ private:
+  std::vector<std::unique_ptr<ChainStageNode>> stages_;
+  SimHost* source_ = nullptr;
+  std::function<void(Packet)> on_reply_;
+  bool wired_ = false;
+  usize source_credits_ = 0;
+  u64 source_shed_ = 0;
+  u64 source_replies_ = 0;
+  u64 source_ignored_ = 0;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CHAIN_CHAIN_RUNTIME_H_

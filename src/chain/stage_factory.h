@@ -1,0 +1,56 @@
+// Stage service factory (emu-chain): one place that maps a ScenarioSpec
+// stage kind to a constructed Emu service with the repo's canonical
+// configuration, plus per-stage attribute overrides from the spec line.
+//
+// Kinds: filter, nat, l1cache, memcached, icmp_echo, tcp_ping, dns. The
+// canonical configs are exported so harnesses that build traffic against a
+// stage (chaos_soak's frame factories, chain_soak's memaslap workload) read
+// the addresses from the same source that configured the service — there is
+// exactly one definition of "the NAT's internal subnet" in the repo.
+#ifndef SRC_CHAIN_STAGE_FACTORY_H_
+#define SRC_CHAIN_STAGE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/service.h"
+#include "src/services/dns_service.h"
+#include "src/services/icmp_echo_service.h"
+#include "src/services/memcached_service.h"
+#include "src/services/nat_service.h"
+#include "src/services/tcp_ping_service.h"
+
+namespace emu {
+
+using StageAttrs = std::vector<std::pair<std::string, std::string>>;
+
+// True when `kind` names a constructible stage service.
+bool KnownStageKind(const std::string& kind);
+// Every known kind, for diagnostics.
+const std::vector<std::string>& StageKinds();
+
+// Canonical configurations (the chaos_soak / Table 4 setups).
+IcmpEchoConfig CanonicalIcmpEchoConfig();
+TcpPingConfig CanonicalTcpPingConfig();
+DnsServiceConfig CanonicalDnsConfig();
+NatConfig CanonicalNatConfig();
+MemcachedConfig CanonicalMemcachedConfig();
+// The §5.4 L1 tier: l1_cache_mode on, misses forwarded out `host_port` 2.
+MemcachedConfig CanonicalL1CacheConfig();
+
+// Constructs the service for `kind` with canonical config plus overrides:
+//   nat:        max_mappings=N evict_idle=CYCLES timeout=CYCLES
+//   memcached / l1cache: capacity=N cores=N (l1cache also host_port=N)
+//   dns:        records=N (svc<i>.lab -> 10.1.0.<1+i>)
+//   filter:     default=accept|drop drop_dst_port=N (adds a UDP drop rule)
+//   icmp_echo / tcp_ping: no attributes
+// Unknown kinds and unknown or malformed attributes are InvalidArgument.
+Expected<std::unique_ptr<Service>> MakeStageService(const std::string& kind,
+                                                    const StageAttrs& attrs);
+
+}  // namespace emu
+
+#endif  // SRC_CHAIN_STAGE_FACTORY_H_

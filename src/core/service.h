@@ -16,6 +16,7 @@
 #include "src/hdl/fifo.h"
 #include "src/hdl/module.h"
 #include "src/hdl/process.h"
+#include "src/net/mac_address.h"
 #include "src/net/packet.h"
 
 namespace emu {
@@ -27,6 +28,30 @@ class MetricsRegistry;
 struct Dataplane {
   SyncFifo<Packet>* rx = nullptr;
   SyncFifo<Packet>* tx = nullptr;
+};
+
+// How a service slots into a composed pipeline (emu-chain, src/chain): the
+// chain runtime stamps ingress frames with the port the service expects for
+// that direction of travel, rewrites their destination MAC to the identity
+// the service answers to, and classifies egress frames by dst_port_mask —
+// bits inside `downstream_mask` continue toward the chain tail, everything
+// else flows back toward the source. The defaults fit a symmetric two-port
+// middlebox (upstream on port 1, downstream on port 0); services with their
+// own port conventions (NAT's external/internal split, the memcached L1
+// tier's host port) override ChainIo().
+struct ChainStageIo {
+  u8 forward_in_port = 1;     // src_port for frames entering from upstream
+  u8 reply_in_port = 0;       // src_port for frames entering from downstream
+  u8 downstream_mask = 0x01;  // egress mask bits that continue downstream
+  // Ingress dst-MAC rewrite per direction; a zero MAC leaves frames as-is.
+  MacAddress forward_mac;
+  MacAddress reply_mac;
+  // Reply frames are re-addressed to the stage's upstream neighbor instead
+  // of `reply_mac`. For services that bind requester MACs at ingress and
+  // route replies by destination MAC (the L1 tier's client CAM): hop-by-hop
+  // transport rewrites MACs per link, so the requester a mid-chain stage
+  // learned IS its upstream neighbor.
+  bool reply_to_upstream = false;
 };
 
 class Service {
@@ -67,6 +92,10 @@ class Service {
   // Instantiate() and keep the service alive while the registry is read.
   // Services without counters keep the default no-op.
   virtual void RegisterMetrics(MetricsRegistry& registry) { (void)registry; }
+
+  // emu-chain opt-in: the stage ingress/egress surface this service exposes
+  // when composed into a pipeline. See ChainStageIo above.
+  virtual ChainStageIo ChainIo() const { return ChainStageIo{}; }
 };
 
 }  // namespace emu

@@ -107,6 +107,11 @@ struct FaultEvent {
   std::string site;   // fault-point name
   FaultClass cls = FaultClass::kLinkDrop;
   u64 detail = 0;  // class-specific: bit index, extra ps, stall cycles, ...
+  // Per-site fire ordinal (1-based). Each site is sampled by exactly one
+  // shard in deterministic order, so (tick, site, seq) is a canonical sort
+  // key for the whole log even when several shards append concurrently —
+  // what keeps LogDigest thread-count independent on impaired routed links.
+  u64 seq = 0;
 
   std::string ToString() const;
 };

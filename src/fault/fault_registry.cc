@@ -191,11 +191,19 @@ void FaultRegistry::DisarmAll() {
 
 void FaultRegistry::LogTopoEvent(u64 tick, const std::string& site, FaultClass cls,
                                  u64 detail) {
-  log_.push_back({tick, site, cls, detail});
+  // Topo events are logged up front, single-threaded, in time order; the
+  // running ordinal preserves that order through the canonical sort.
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back({tick, site, cls, detail, ++topo_seq_});
 }
 
 void FaultRegistry::LogFire(const FaultPoint& point, u64 tick, u64 detail) {
-  log_.push_back({tick, point.name(), point.cls(), detail});
+  {
+    // point.fired() was just incremented by Sample: the 1-based per-site
+    // ordinal, deterministic because each point is sampled by one shard.
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.push_back({tick, point.name(), point.cls(), detail, point.fired()});
+  }
   // Firings are rare; the per-fire string build is off the hot path.
   if (obs::TraceBuffer* tb = obs::ActiveBuffer(); tb != nullptr && trace_tick_period_ps_ > 0) {
     obs::EmitInstant(tb, "fault." + point.name(),
@@ -217,9 +225,23 @@ void FaultRegistry::RegisterMetrics(MetricsRegistry& metrics, const std::string&
   });
 }
 
+std::vector<FaultEvent> FaultRegistry::CanonicalLog() const {
+  std::vector<FaultEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    events = log_;
+  }
+  std::sort(events.begin(), events.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.tick != b.tick) return a.tick < b.tick;
+    if (a.site != b.site) return a.site < b.site;
+    return a.seq < b.seq;
+  });
+  return events;
+}
+
 u64 FaultRegistry::LogDigest() const {
   u64 h = kFnvOffset;
-  for (const FaultEvent& event : log_) {
+  for (const FaultEvent& event : CanonicalLog()) {
     h = Fnv1a(h, &event.tick, sizeof(event.tick));
     h = Fnv1a(h, event.site.data(), event.site.size());
     const u8 cls = static_cast<u8>(event.cls);

@@ -1,0 +1,120 @@
+#include "src/obs/decompose.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace emu::obs {
+namespace {
+
+void Accumulate(SpanStats& stats, Picoseconds dur) {
+  if (stats.count == 0 || dur < stats.min) {
+    stats.min = dur;
+  }
+  if (stats.count == 0 || dur > stats.max) {
+    stats.max = dur;
+  }
+  ++stats.count;
+  stats.total += dur;
+}
+
+// ps -> "NNN.mmm" microseconds without touching doubles (determinism rule).
+std::string MicrosFixed(Picoseconds ps) {
+  const u64 micros = ps / kPicosPerMicro;
+  const u64 frac = (ps % kPicosPerMicro) / 1000;  // ns digits
+  std::string out = std::to_string(micros) + ".";
+  if (frac < 100) {
+    out += frac < 10 ? "00" : "0";
+  }
+  return out + std::to_string(frac);
+}
+
+void Cell(std::ostringstream& os, const std::string& text, usize width) {
+  os << text;
+  for (usize i = text.size(); i < width; ++i) {
+    os << ' ';
+  }
+}
+
+}  // namespace
+
+std::vector<SpanStats> AggregateCompleteSpans(const std::vector<MergedEvent>& events) {
+  std::map<std::string, SpanStats> by_name;
+  for (const MergedEvent& e : events) {
+    if (e.phase != Phase::kComplete) {
+      continue;
+    }
+    SpanStats& stats = by_name[std::string(e.name)];
+    Accumulate(stats, e.dur);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) {
+    stats.name = name;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+std::vector<StageDecomposition> DecomposeChainLatency(
+    const std::vector<MergedEvent>& events, const std::vector<std::string>& stage_order) {
+  std::vector<StageDecomposition> rows;
+  rows.reserve(stage_order.size());
+  for (const std::string& stage : stage_order) {
+    StageDecomposition row;
+    row.stage = stage;
+    row.queue.name = "chain." + stage + ".queue";
+    row.service.name = "chain." + stage + ".service";
+    rows.push_back(row);
+  }
+  for (const MergedEvent& e : events) {
+    if (e.phase != Phase::kComplete) {
+      continue;
+    }
+    for (StageDecomposition& row : rows) {
+      if (e.name == row.queue.name) {
+        Accumulate(row.queue, e.dur);
+      } else if (e.name == row.service.name) {
+        Accumulate(row.service, e.dur);
+      }
+    }
+  }
+  return rows;
+}
+
+std::string FormatDecompositionTable(const std::vector<StageDecomposition>& rows) {
+  usize stage_width = 5;  // "stage"
+  for (const StageDecomposition& row : rows) {
+    stage_width = std::max(stage_width, row.stage.size());
+  }
+  std::ostringstream os;
+  Cell(os, "stage", stage_width + 2);
+  Cell(os, "served", 8);
+  Cell(os, "queue_mean_us", 15);
+  Cell(os, "queue_max_us", 14);
+  Cell(os, "svc_mean_us", 13);
+  Cell(os, "svc_max_us", 12);
+  os << "\n";
+  Picoseconds total_queue = 0;
+  Picoseconds total_service = 0;
+  u64 total_served = 0;
+  for (const StageDecomposition& row : rows) {
+    Cell(os, row.stage, stage_width + 2);
+    Cell(os, std::to_string(row.service.count), 8);
+    Cell(os, MicrosFixed(row.queue.mean()), 15);
+    Cell(os, MicrosFixed(row.queue.max), 14);
+    Cell(os, MicrosFixed(row.service.mean()), 13);
+    Cell(os, MicrosFixed(row.service.max), 12);
+    os << "\n";
+    total_queue += row.queue.total;
+    total_service += row.service.total;
+    total_served += row.service.count;
+  }
+  Cell(os, "total", stage_width + 2);
+  Cell(os, std::to_string(total_served), 8);
+  os << "queue_us=" << MicrosFixed(total_queue)
+     << " service_us=" << MicrosFixed(total_service) << "\n";
+  return os.str();
+}
+
+}  // namespace emu::obs

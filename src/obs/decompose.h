@@ -1,0 +1,54 @@
+// Latency decomposition over a captured trace (emu-scope / emu-chain).
+//
+// Aggregates complete ("X") spans by name into {count, total, min, max,
+// mean} rows, then carves the chain runtime's span naming convention —
+// "chain.<stage>.queue" (time waiting in the bounded ingress queue) and
+// "chain.<stage>.service" (time inside the CPU/FPGA target) — into the
+// Table-4-shape per-stage decomposition table: where each request's latency
+// went, stage by stage, split into queueing and service.
+#ifndef SRC_OBS_DECOMPOSE_H_
+#define SRC_OBS_DECOMPOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/trace.h"
+
+namespace emu::obs {
+
+// Aggregate statistics for one span name, all durations in picoseconds.
+struct SpanStats {
+  std::string name;
+  u64 count = 0;
+  Picoseconds total = 0;
+  Picoseconds min = 0;
+  Picoseconds max = 0;
+
+  Picoseconds mean() const { return count == 0 ? 0 : total / count; }
+};
+
+// One chain stage's share of end-to-end latency.
+struct StageDecomposition {
+  std::string stage;
+  SpanStats queue;    // "chain.<stage>.queue"
+  SpanStats service;  // "chain.<stage>.service"
+};
+
+// Complete-span aggregation by name, sorted by name (stable across runs and
+// thread counts, since MergedEvents() is canonical).
+std::vector<SpanStats> AggregateCompleteSpans(const std::vector<MergedEvent>& events);
+
+// Extracts the per-stage rows from the chain span naming convention.
+// `stage_order` fixes the row order (chain order); stages without spans get
+// zero rows, spans without a listed stage are dropped.
+std::vector<StageDecomposition> DecomposeChainLatency(
+    const std::vector<MergedEvent>& events, const std::vector<std::string>& stage_order);
+
+// The human table: one row per stage, queue/service count + mean + max in
+// microseconds (integer math, 3 decimal places), plus a totals row.
+std::string FormatDecompositionTable(const std::vector<StageDecomposition>& rows);
+
+}  // namespace emu::obs
+
+#endif  // SRC_OBS_DECOMPOSE_H_

@@ -71,6 +71,24 @@ class MemcachedService : public Service {
   Cycle InitiationInterval() const override { return 24; }
   void RegisterMetrics(MetricsRegistry& registry) override;
 
+  // emu-chain: clients sit upstream on port 1. A plain server is a chain
+  // tail (no downstream egress); the L1 tier forwards misses out of
+  // `host_port`, which therefore continues downstream toward the pool.
+  ChainStageIo ChainIo() const override {
+    ChainStageIo io;
+    io.forward_in_port = 1;
+    io.reply_in_port = config_.host_port;
+    io.downstream_mask =
+        config_.l1_cache_mode ? static_cast<u8>(1u << config_.host_port) : u8{0};
+    io.forward_mac = config_.mac;
+    io.reply_mac = config_.mac;
+    // The host tier's replies are routed by the client CAM, which binds the
+    // requester MACs seen at ingress — the upstream neighbor under hop-by-hop
+    // chain transport.
+    io.reply_to_upstream = config_.l1_cache_mode;
+    return io;
+  }
+
   // Reproduces the §5.5 checksum bug: reply UDP checksums are computed by a
   // hardware unit whose carry fold is broken. Invisible on short replies,
   // wrong on longer ones — found in the paper via direction packets.

@@ -70,6 +70,19 @@ class NatService : public Service {
   Cycle InitiationInterval() const override { return 4; }
   void RegisterMetrics(MetricsRegistry& registry) override;
 
+  // emu-chain: upstream is the internal side (port 1, gateway MAC), the
+  // external side (port 0) continues downstream — so a chain pipes the
+  // translated flow onward and untranslates replies on the way back.
+  ChainStageIo ChainIo() const override {
+    ChainStageIo io;
+    io.forward_in_port = 1;
+    io.reply_in_port = 0;
+    io.downstream_mask = 0x01;
+    io.forward_mac = config_.internal_mac;
+    io.reply_mac = config_.external_mac;
+    return io;
+  }
+
   u64 translated_out() const { return translated_out_; }
   u64 translated_in() const { return translated_in_; }
   u64 dropped() const { return dropped_; }

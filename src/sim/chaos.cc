@@ -57,6 +57,10 @@ Status ChaosDirector::Apply(const FaultPlan& plan) {
                         " hosts)");
       }
     }
+    if (tf.kind == TopoFault::Kind::kPartition && !topo_.has_hub()) {
+      return InvalidArgument("fault plan line " + std::to_string(tf.line) +
+                             ": partition requires a hub topology");
+    }
   }
 
   // Log the whole campaign up front in time order (stable sort: plan order

@@ -1,5 +1,6 @@
 // ChaosDirector: applies a FaultPlan's topology-scoped events (host crash /
-// restart / partition windows, emu-gossip) to a HubTopology.
+// restart / partition windows, emu-gossip) to a TopologyBuilder-built
+// topology (HubTopology included).
 //
 // The events are RNG-free and statically known, so Apply() does everything
 // determinism needs up front, before any shard thread runs:
@@ -30,9 +31,13 @@ namespace emu {
 
 class ChaosDirector {
  public:
-  // `registry` may be null: events still apply, just unlogged.
-  explicit ChaosDirector(HubTopology& topo, FaultRegistry* registry = nullptr)
+  // `registry` may be null: events still apply, just unlogged. The director
+  // drives any TopologyBuilder-built topology; partitions additionally need
+  // a hub (host i on hub port i) to block port pairs on.
+  explicit ChaosDirector(TopologyBuilder& topo, FaultRegistry* registry = nullptr)
       : topo_(topo), registry_(registry) {}
+  explicit ChaosDirector(HubTopology& topo, FaultRegistry* registry = nullptr)
+      : ChaosDirector(topo.builder(), registry) {}
 
   // Boot window charged by every `restart` event (default 5 ms: a fast
   // kexec-style reboot on the simulated timeline).
@@ -48,7 +53,7 @@ class ChaosDirector {
   usize scheduled() const { return scheduled_; }
 
  private:
-  HubTopology& topo_;
+  TopologyBuilder& topo_;
   FaultRegistry* registry_;
   Picoseconds boot_delay_ = 5 * kPicosPerMilli;
   usize scheduled_ = 0;

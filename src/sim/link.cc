@@ -10,13 +10,21 @@ namespace emu {
 
 void Link::EnableImpairment(FaultRegistry& registry, const std::string& name) {
   assert(!remote_a_ && !remote_b_ &&
-         "impairment and cross-shard routing are mutually exclusive");
+         "shared impairment and cross-shard routing are mutually exclusive; "
+         "use the per-direction EnableImpairment overload");
   impairer_ = std::make_unique<FrameImpairer>(registry, name);
+}
+
+void Link::EnableImpairment(bool to_b, FaultRegistry& registry, const std::string& name) {
+  std::unique_ptr<FrameImpairer>& slot = to_b ? impairer_to_b_ : impairer_to_a_;
+  assert(slot == nullptr && "direction already impaired");
+  slot = std::make_unique<FrameImpairer>(registry, name);
 }
 
 void Link::RouteRemote(bool to_b, EventScheduler& sender, u64 link_id, RemoteSink sink) {
   assert(impairer_ == nullptr &&
-         "impairment and cross-shard routing are mutually exclusive");
+         "shared impairment and cross-shard routing are mutually exclusive; "
+         "use the per-direction EnableImpairment overload");
   RemoteRoute& route = to_b ? remote_b_ : remote_a_;
   route = RemoteRoute{&sender, link_id, 0, std::move(sink)};
 }
@@ -36,10 +44,11 @@ Picoseconds Link::MinTransitPs() const {
 }
 
 void Link::Transmit(Packet frame, bool to_b) {
+  const usize dir = to_b ? 1 : 0;
   if (to_b ? gate_to_b_ : gate_to_a_) {
     // Partitioned direction: the frame never reaches the wire, so it charges
     // no occupancy and leaves the busy window untouched.
-    ++gated_dropped_;
+    ++gated_dropped_[dir];
     return;
   }
   EventScheduler& clock = SchedulerFor(to_b);
@@ -54,20 +63,20 @@ void Link::Transmit(Packet frame, bool to_b) {
   if (!receiver) {
     return;
   }
-  if (impairer_ != nullptr) {
+  if (FrameImpairer* imp = impairer(to_b); imp != nullptr) {
     const FrameImpairer::Decision decision =
-        impairer_->Decide(static_cast<u64>(clock.now()), frame.size());
+        imp->Decide(static_cast<u64>(clock.now()), frame.size());
     if (decision.drop) {
-      ++dropped_;
+      ++dropped_[dir];
       return;
     }
     if (decision.corrupt_bit != FrameImpairer::kNoCorrupt) {
       FrameImpairer::FlipBit(frame, decision.corrupt_bit);
-      ++corrupted_;
+      ++corrupted_[dir];
     }
     if (decision.duplicate) {
       // The copy occupies the wire like a real retransmission would.
-      ++duplicated_;
+      ++duplicated_[dir];
       Packet copy = frame;
       busy_until += serialization;
       Deliver(std::move(copy), to_b, busy_until + propagation_delay_);
@@ -116,10 +125,10 @@ void Link::CompleteRemote(Packet frame, bool to_b) {
 
 void Link::RegisterMetrics(MetricsRegistry& metrics, const std::string& prefix) const {
   metrics.Register(prefix + ".delivered", [this] { return delivered(); });
-  metrics.Register(prefix + ".dropped", &dropped_);
-  metrics.Register(prefix + ".corrupted", &corrupted_);
-  metrics.Register(prefix + ".duplicated", &duplicated_);
-  metrics.Register(prefix + ".gated_dropped", &gated_dropped_);
+  metrics.Register(prefix + ".dropped", [this] { return dropped(); });
+  metrics.Register(prefix + ".corrupted", [this] { return corrupted(); });
+  metrics.Register(prefix + ".duplicated", [this] { return duplicated(); });
+  metrics.Register(prefix + ".gated_dropped", [this] { return gated_dropped(); });
 }
 
 }  // namespace emu

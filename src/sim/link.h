@@ -59,10 +59,31 @@ class Link {
 
   // Registers this link's impairment fault points as `<name>.*` in the
   // registry. Both directions share the points and counters.
-  // Mutually exclusive with RouteRemote: the impairer's RNG streams are
+  // Mutually exclusive with RouteRemote: a shared impairer's RNG streams are
   // sampled in frame order, which two sender shards cannot reproduce.
   void EnableImpairment(FaultRegistry& registry, const std::string& name);
-  bool impaired() const { return impairer_ != nullptr; }
+
+  // Per-direction impairment (`<name>.*` points owned by that direction
+  // alone). This form COMPOSES with cross-shard routing: each direction's
+  // points are sampled only in Transmit, which runs on that direction's
+  // sending shard in its deterministic event order, so the streams replay
+  // bit-exactly for any thread count. The two directions must use distinct
+  // names — sharing a prefix would share FaultPoints (and their RNG streams)
+  // across two sender shards, which is exactly the race the shared form's
+  // exclusivity rule exists to prevent.
+  void EnableImpairment(bool to_b, FaultRegistry& registry, const std::string& name);
+
+  bool impaired() const {
+    return impairer_ != nullptr || impairer_to_b_ != nullptr || impairer_to_a_ != nullptr;
+  }
+  // Only the shared form conflicts with routing; per-direction impairers are
+  // sampled on their own sending shard and compose with it.
+  bool shared_impaired() const { return impairer_ != nullptr; }
+  // The impairer deciding for one direction (direction-owned wins), or null.
+  FrameImpairer* impairer(bool to_b) {
+    FrameImpairer* directional = to_b ? impairer_to_b_.get() : impairer_to_a_.get();
+    return directional != nullptr ? directional : impairer_.get();
+  }
 
   // --- Partition gate (emu-gossip) ---
   // While a direction's gate is closed every frame submitted on it is
@@ -89,11 +110,14 @@ class Link {
   // lookahead a parallel run may advance a receiving shard by.
   Picoseconds MinTransitPs() const;
 
+  // Counters are kept per direction (each direction's Transmit runs on its
+  // own sending shard, so a shared counter would race on a routed link); the
+  // accessors sum both. Read after Run() returns, as with all sim counters.
   u64 delivered() const { return delivered_.load(std::memory_order_relaxed); }
-  u64 dropped() const { return dropped_; }
-  u64 corrupted() const { return corrupted_; }
-  u64 duplicated() const { return duplicated_; }
-  u64 gated_dropped() const { return gated_dropped_; }
+  u64 dropped() const { return dropped_[0] + dropped_[1]; }
+  u64 corrupted() const { return corrupted_[0] + corrupted_[1]; }
+  u64 duplicated() const { return duplicated_[0] + duplicated_[1]; }
+  u64 gated_dropped() const { return gated_dropped_[0] + gated_dropped_[1]; }
 
   // Registers delivered/dropped/corrupted/duplicated as counters under
   // `prefix` (e.g. "link.uplink0").
@@ -123,15 +147,18 @@ class Link {
   // bumps the impairment counters; atomic keeps the cross-shard counter safe
   // without a lock (relaxed: counters, not synchronization).
   std::atomic<u64> delivered_{0};
-  u64 dropped_ = 0;
-  u64 corrupted_ = 0;
-  u64 duplicated_ = 0;
-  u64 gated_dropped_ = 0;
+  // Index 0: the to_a direction; index 1: to_b. Bumped sender-side only.
+  u64 dropped_[2] = {0, 0};
+  u64 corrupted_[2] = {0, 0};
+  u64 duplicated_[2] = {0, 0};
+  u64 gated_dropped_[2] = {0, 0};
   bool gate_to_b_ = false;  // partition gates, per direction
   bool gate_to_a_ = false;
   RemoteRoute remote_a_;  // deliveries toward end A
   RemoteRoute remote_b_;  // deliveries toward end B
-  std::unique_ptr<FrameImpairer> impairer_;
+  std::unique_ptr<FrameImpairer> impairer_;       // legacy shared (local links)
+  std::unique_ptr<FrameImpairer> impairer_to_b_;  // direction-owned
+  std::unique_ptr<FrameImpairer> impairer_to_a_;
 };
 
 }  // namespace emu

@@ -2,93 +2,184 @@
 
 #include <cassert>
 
+#include "src/fault/fault_registry.h"
+
 namespace emu {
 
-StarTopology::StarTopology(Service& service, std::vector<HostSpec> specs,
-                           StarTopologyConfig config) {
-  assert(specs.size() <= kNetFpgaPortCount);
-  node_ = std::make_unique<ServiceNode>(scheduler_, service);
-  for (usize i = 0; i < specs.size(); ++i) {
-    links_.push_back(
-        std::make_unique<Link>(scheduler_, config.link_bits_per_second, config.link_delay));
-    hosts_.push_back(std::make_unique<SimHost>(scheduler_, specs[i].name, specs[i].mac,
-                                               specs[i].ip));
-    // Host on end A, service node port i on end B.
-    hosts_.back()->AttachUplink(links_.back().get(), /*is_end_a=*/true);
-    node_->AttachPort(static_cast<u8>(i), links_.back().get(), /*is_end_a=*/false);
+TopologyBuilder::TopologyBuilder(Mode mode) : mode_(mode) {
+  if (mode_ == Mode::kFlat) {
+    flat_scheduler_ = std::make_unique<EventScheduler>();
   }
 }
 
-void ShardedTopology::AttachHostGroup(const HostSpec& spec, const StarTopologyConfig& config,
-                                      usize node_shard, ServiceNode& node, u8 port) {
+EventScheduler& TopologyBuilder::NewScheduler(usize& shard_out) {
+  if (mode_ == Mode::kFlat) {
+    shard_out = 0;
+    return *flat_scheduler_;
+  }
   schedulers_.push_back(std::make_unique<EventScheduler>());
-  EventScheduler& host_scheduler = *schedulers_.back();
-  const usize host_shard = runner_.AddShard(host_scheduler);
-  links_.push_back(std::make_unique<Link>(host_scheduler, config.link_bits_per_second,
+  shard_out = runner_.AddShard(*schedulers_.back());
+  return *schedulers_.back();
+}
+
+ServiceNode& TopologyBuilder::AddServiceNode(Service& service) {
+  usize shard = 0;
+  EventScheduler& scheduler = NewScheduler(shard);
+  nodes_.push_back(std::make_unique<ServiceNode>(scheduler, service));
+  node_shards_.push_back(shard);
+  return *nodes_.back();
+}
+
+HubNode& TopologyBuilder::AddHub(usize ports) {
+  assert(hub_ == nullptr && "one hub per topology");
+  EventScheduler& scheduler = NewScheduler(hub_shard_);
+  hub_ = std::make_unique<HubNode>(scheduler, ports);
+  return *hub_;
+}
+
+SimHost& TopologyBuilder::AddHost(const HostSpec& spec) {
+  usize shard = 0;
+  EventScheduler& scheduler = NewScheduler(shard);
+  hosts_.push_back(std::make_unique<SimHost>(scheduler, spec.name, spec.mac, spec.ip));
+  host_shards_.push_back(shard);
+  uplinks_.push_back(nullptr);
+  return *hosts_.back();
+}
+
+usize TopologyBuilder::HostIndex(const SimHost& host) const {
+  for (usize i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].get() == &host) {
+      return i;
+    }
+  }
+  assert(false && "host not owned by this builder");
+  return hosts_.size();
+}
+
+Link& TopologyBuilder::MakeUplink(SimHost& host, const StarTopologyConfig& config) {
+  // The link lives on the host's scheduler, host on end A — the StarTopology
+  // convention every shape (and ChaosDirector's gate scheduling) relies on.
+  links_.push_back(std::make_unique<Link>(host.scheduler(), config.link_bits_per_second,
                                           config.link_delay));
   Link& link = *links_.back();
-  hosts_.push_back(std::make_unique<SimHost>(host_scheduler, spec.name, spec.mac, spec.ip));
-  // Host on end A, service node on end B — the StarTopology convention.
-  hosts_.back()->AttachUplink(&link, /*is_end_a=*/true);
+  host.AttachUplink(&link, /*is_end_a=*/true);
+  uplinks_[HostIndex(host)] = &link;
+  return link;
+}
+
+void TopologyBuilder::RouteBothWays(Link& link, usize host_shard, usize peer_shard) {
+  if (mode_ == Mode::kFlat) {
+    return;
+  }
+  runner_.ConnectDirection(link, /*to_b=*/true, host_shard, peer_shard);
+  runner_.ConnectDirection(link, /*to_b=*/false, peer_shard, host_shard);
+}
+
+Link& TopologyBuilder::LinkHostToNode(SimHost& host, ServiceNode& node, u8 port,
+                                      const StarTopologyConfig& config) {
+  const usize host_index = HostIndex(host);
+  Link& link = MakeUplink(host, config);
   node.AttachPort(port, &link, /*is_end_a=*/false);
-  runner_.ConnectDirection(link, /*to_b=*/true, host_shard, node_shard);
-  runner_.ConnectDirection(link, /*to_b=*/false, node_shard, host_shard);
-}
-
-ShardedTopology::ShardedTopology(Service& service, std::vector<HostSpec> specs,
-                                 StarTopologyConfig config) {
-  assert(specs.size() <= kNetFpgaPortCount);
-  schedulers_.push_back(std::make_unique<EventScheduler>());
-  EventScheduler& node_scheduler = *schedulers_.back();
-  const usize node_shard = runner_.AddShard(node_scheduler);
-  nodes_.push_back(std::make_unique<ServiceNode>(node_scheduler, service));
-  for (usize i = 0; i < specs.size(); ++i) {
-    AttachHostGroup(specs[i], config, node_shard, *nodes_.back(), static_cast<u8>(i));
+  usize node_index = 0;
+  for (; node_index < nodes_.size(); ++node_index) {
+    if (nodes_[node_index].get() == &node) {
+      break;
+    }
   }
+  assert(node_index < nodes_.size() && "node not owned by this builder");
+  RouteBothWays(link, host_shards_[host_index], node_shards_[node_index]);
+  return link;
 }
 
-ShardedTopology::ShardedTopology(const std::vector<Service*>& services,
-                                 std::vector<HostSpec> specs, StarTopologyConfig config) {
-  assert(services.size() == specs.size());
-  for (usize i = 0; i < specs.size(); ++i) {
-    assert(services[i] != nullptr);
-    schedulers_.push_back(std::make_unique<EventScheduler>());
-    EventScheduler& node_scheduler = *schedulers_.back();
-    const usize node_shard = runner_.AddShard(node_scheduler);
-    nodes_.push_back(std::make_unique<ServiceNode>(node_scheduler, *services[i]));
-    AttachHostGroup(specs[i], config, node_shard, *nodes_.back(), /*port=*/0);
+Link& TopologyBuilder::LinkHostToHub(SimHost& host, HubNode& hub, usize port,
+                                     const StarTopologyConfig& config) {
+  assert(&hub == hub_.get() && "hub not owned by this builder");
+  const usize host_index = HostIndex(host);
+  Link& link = MakeUplink(host, config);
+  hub.AttachPort(port, &link, /*is_end_a=*/false);
+  RouteBothWays(link, host_shards_[host_index], hub_shard_);
+  return link;
+}
+
+void TopologyBuilder::EnableLinkImpairment(Link& link, FaultRegistry& registry,
+                                           const std::string& prefix) {
+  // Distinct per-direction prefixes: each direction's points are sampled on
+  // its own sending shard, which is what lets impairment compose with
+  // cross-shard routing (the shared form would race two sender shards).
+  link.EnableImpairment(/*to_b=*/true, registry, prefix + ".up");
+  link.EnableImpairment(/*to_b=*/false, registry, prefix + ".down");
+}
+
+u64 TopologyBuilder::Run(const ParallelRunOptions& opts) {
+  if (mode_ == Mode::kFlat) {
+    const u64 before = flat_scheduler_->executed();
+    flat_scheduler_->Run(opts.max_events);
+    return flat_scheduler_->executed() - before;
   }
+  return runner_.Run(opts);
 }
 
-HubTopology::HubTopology(std::vector<HostSpec> specs, StarTopologyConfig config) {
-  schedulers_.push_back(std::make_unique<EventScheduler>());
-  EventScheduler& hub_scheduler = *schedulers_.back();
-  const usize hub_shard = runner_.AddShard(hub_scheduler);
-  hub_ = std::make_unique<HubNode>(hub_scheduler, specs.size());
-  for (usize i = 0; i < specs.size(); ++i) {
-    schedulers_.push_back(std::make_unique<EventScheduler>());
-    EventScheduler& host_scheduler = *schedulers_.back();
-    const usize host_shard = runner_.AddShard(host_scheduler);
-    links_.push_back(std::make_unique<Link>(host_scheduler, config.link_bits_per_second,
-                                            config.link_delay));
-    Link& link = *links_.back();
-    hosts_.push_back(std::make_unique<SimHost>(host_scheduler, specs[i].name, specs[i].mac,
-                                               specs[i].ip));
-    // Host on end A, hub port i on end B — the StarTopology convention.
-    hosts_.back()->AttachUplink(&link, /*is_end_a=*/true);
-    hub_->AttachPort(i, &link, /*is_end_a=*/false);
-    runner_.ConnectDirection(link, /*to_b=*/true, host_shard, hub_shard);
-    runner_.ConnectDirection(link, /*to_b=*/false, hub_shard, host_shard);
-  }
+EventScheduler& TopologyBuilder::scheduler() {
+  assert(mode_ == Mode::kFlat && "sharded topologies have one scheduler per shard");
+  return *flat_scheduler_;
 }
 
-usize HubTopology::FindHost(const std::string& name) const {
+usize TopologyBuilder::FindHost(const std::string& name) const {
   for (usize i = 0; i < hosts_.size(); ++i) {
     if (hosts_[i]->name() == name) {
       return i;
     }
   }
   return hosts_.size();
+}
+
+StarTopology::StarTopology(Service& service, std::vector<HostSpec> specs,
+                           StarTopologyConfig config)
+    : builder_(TopologyBuilder::Mode::kFlat) {
+  assert(specs.size() <= kNetFpgaPortCount);
+  ServiceNode& node = builder_.AddServiceNode(service);
+  for (usize i = 0; i < specs.size(); ++i) {
+    SimHost& host = builder_.AddHost(specs[i]);
+    builder_.LinkHostToNode(host, node, static_cast<u8>(i), config);
+  }
+}
+
+void StarTopology::Run(usize max_events) {
+  ParallelRunOptions opts;
+  opts.max_events = max_events;
+  builder_.Run(opts);
+}
+
+ShardedTopology::ShardedTopology(Service& service, std::vector<HostSpec> specs,
+                                 StarTopologyConfig config)
+    : builder_(TopologyBuilder::Mode::kSharded) {
+  assert(specs.size() <= kNetFpgaPortCount);
+  ServiceNode& node = builder_.AddServiceNode(service);
+  for (usize i = 0; i < specs.size(); ++i) {
+    SimHost& host = builder_.AddHost(specs[i]);
+    builder_.LinkHostToNode(host, node, static_cast<u8>(i), config);
+  }
+}
+
+ShardedTopology::ShardedTopology(const std::vector<Service*>& services,
+                                 std::vector<HostSpec> specs, StarTopologyConfig config)
+    : builder_(TopologyBuilder::Mode::kSharded) {
+  assert(services.size() == specs.size());
+  for (usize i = 0; i < specs.size(); ++i) {
+    assert(services[i] != nullptr);
+    ServiceNode& node = builder_.AddServiceNode(*services[i]);
+    SimHost& host = builder_.AddHost(specs[i]);
+    builder_.LinkHostToNode(host, node, /*port=*/0, config);
+  }
+}
+
+HubTopology::HubTopology(std::vector<HostSpec> specs, StarTopologyConfig config)
+    : builder_(TopologyBuilder::Mode::kSharded) {
+  HubNode& hub = builder_.AddHub(specs.size());
+  for (usize i = 0; i < specs.size(); ++i) {
+    SimHost& host = builder_.AddHost(specs[i]);
+    builder_.LinkHostToHub(host, hub, i, config);
+  }
 }
 
 }  // namespace emu

@@ -1,20 +1,26 @@
-// Topology builders for the event-driven simulator.
+// Topology construction for the event-driven simulator.
 //
-// StarTopology is the common shape: up to four hosts, each on its own 10G
-// link, around one ServiceNode running an Emu service — functionally the
+// TopologyBuilder is the one way topologies get wired (emu-chain API
+// redesign): it owns the schedulers, hosts, nodes, hub, and links, creates a
+// shard per element in sharded mode, and routes every boundary-crossing link
+// direction through the ParallelRunner with the link's minimum transit time
+// as conservative lookahead. The classic shapes — StarTopology,
+// ShardedTopology, HubTopology — are thin wrappers that keep their historic
+// APIs but delegate all wiring to a builder, and ScenarioSpec
+// (src/chain/scenario_spec.h) targets the builder directly, making
+// star/cluster/hub spec keywords rather than three divergent C++ entry
+// points.
+//
+// StarTopology is the common serial shape: up to four hosts, each on its own
+// 10G link, around one ServiceNode running an Emu service — functionally the
 // Mininet setups the paper uses to test the NAT and other services before
-// synthesizing them.
-//
-// ShardedTopology builds the same shapes partitioned for the parallel
-// runner (emu-par, src/sim/parallel_runner.h): every host and every service
-// node gets its own EventScheduler (a shard), and each link direction that
-// crosses a shard boundary is routed through the runner's inboxes with the
-// link's minimum transit time as conservative lookahead. Run(threads=N) is
-// bit-exact against Run(threads=1).
+// synthesizing them. The sharded shapes run bit-exact for any thread count
+// (emu-par, src/sim/parallel_runner.h).
 #ifndef SRC_SIM_TOPOLOGY_H_
 #define SRC_SIM_TOPOLOGY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/sim/hub.h"
@@ -22,6 +28,8 @@
 #include "src/sim/sim_host.h"
 
 namespace emu {
+
+class FaultRegistry;
 
 struct HostSpec {
   std::string name;
@@ -34,24 +42,97 @@ struct StarTopologyConfig {
   Picoseconds link_delay = 500'000;  // 500 ns of cable + switch PHY
 };
 
+// Owns and wires a topology. kFlat puts every element on one EventScheduler
+// (the serial StarTopology shape); kSharded gives every element its own
+// scheduler registered as a ParallelRunner shard and routes each link
+// direction across the boundary it crosses.
+class TopologyBuilder {
+ public:
+  enum class Mode : u8 { kFlat = 0, kSharded };
+
+  explicit TopologyBuilder(Mode mode = Mode::kSharded);
+  TopologyBuilder(const TopologyBuilder&) = delete;
+  TopologyBuilder& operator=(const TopologyBuilder&) = delete;
+
+  Mode mode() const { return mode_; }
+
+  // --- Elements (sharded mode: each call creates that element's shard) ---
+  ServiceNode& AddServiceNode(Service& service);
+  HubNode& AddHub(usize ports);
+  SimHost& AddHost(const HostSpec& spec);
+
+  // --- Wiring (host on end A — the StarTopology convention). The link is
+  // created on the host's scheduler and becomes the host's uplink; in
+  // sharded mode both directions are routed across the shard cut. ---
+  Link& LinkHostToNode(SimHost& host, ServiceNode& node, u8 port,
+                       const StarTopologyConfig& config);
+  Link& LinkHostToHub(SimHost& host, HubNode& hub, usize port,
+                      const StarTopologyConfig& config);
+
+  // Registers per-direction impairment points for `link` — `<prefix>.up.*`
+  // for the host→peer direction, `<prefix>.down.*` for peer→host. Safe on
+  // routed links: each direction's points are sampled on its sending shard
+  // (the Link per-direction impairment contract).
+  void EnableLinkImpairment(Link& link, FaultRegistry& registry, const std::string& prefix);
+
+  // Runs to quiescence (or the event budget); returns events executed.
+  // Sharded: bit-exact for any opts.threads. Flat: opts.threads is ignored
+  // (one scheduler) and opts.max_events bounds the run.
+  u64 Run(const ParallelRunOptions& opts = {});
+
+  // Flat-mode scheduler (asserts kFlat).
+  EventScheduler& scheduler();
+  ParallelRunner& runner() { return runner_; }
+
+  // --- Accessors ---
+  SimHost& host(usize i) { return *hosts_[i]; }
+  usize host_count() const { return hosts_.size(); }
+  // Host index by name, or host_count() when absent.
+  usize FindHost(const std::string& name) const;
+  ServiceNode& node(usize i = 0) { return *nodes_[i]; }
+  usize node_count() const { return nodes_.size(); }
+  bool has_hub() const { return hub_ != nullptr; }
+  HubNode& hub() { return *hub_; }
+  // The uplink created for host i by LinkHostTo*, or null when unlinked.
+  Link* uplink(usize i) { return i < uplinks_.size() ? uplinks_[i] : nullptr; }
+  usize ShardOfHost(usize i) const { return host_shards_[i]; }
+
+ private:
+  EventScheduler& NewScheduler(usize& shard_out);
+  Link& MakeUplink(SimHost& host, const StarTopologyConfig& config);
+  void RouteBothWays(Link& link, usize host_shard, usize peer_shard);
+  usize HostIndex(const SimHost& host) const;
+
+  Mode mode_;
+  ParallelRunner runner_;
+  std::unique_ptr<EventScheduler> flat_scheduler_;
+  std::vector<std::unique_ptr<EventScheduler>> schedulers_;
+  std::vector<std::unique_ptr<ServiceNode>> nodes_;
+  std::unique_ptr<HubNode> hub_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::vector<usize> host_shards_;
+  std::vector<usize> node_shards_;
+  usize hub_shard_ = 0;
+  std::vector<Link*> uplinks_;  // parallel to hosts_
+};
+
+// Up to four hosts around one ServiceNode on a single scheduler.
 class StarTopology {
  public:
   StarTopology(Service& service, std::vector<HostSpec> hosts,
                StarTopologyConfig config = StarTopologyConfig());
 
-  EventScheduler& scheduler() { return scheduler_; }
-  SimHost& host(usize i) { return *hosts_[i]; }
-  usize host_count() const { return hosts_.size(); }
-  ServiceNode& service_node() { return *node_; }
+  EventScheduler& scheduler() { return builder_.scheduler(); }
+  SimHost& host(usize i) { return builder_.host(i); }
+  usize host_count() const { return builder_.host_count(); }
+  ServiceNode& service_node() { return builder_.node(); }
 
   // Convenience: run the event loop until quiescent.
-  void Run(usize max_events = 1'000'000) { scheduler_.Run(max_events); }
+  void Run(usize max_events = 1'000'000);
 
  private:
-  EventScheduler scheduler_;
-  std::unique_ptr<ServiceNode> node_;
-  std::vector<std::unique_ptr<Link>> links_;
-  std::vector<std::unique_ptr<SimHost>> hosts_;
+  TopologyBuilder builder_;
 };
 
 // A topology partitioned for parallel execution. Two shapes:
@@ -75,27 +156,18 @@ class ShardedTopology {
   ShardedTopology(const std::vector<Service*>& services, std::vector<HostSpec> hosts,
                   StarTopologyConfig config = StarTopologyConfig());
 
-  SimHost& host(usize i) { return *hosts_[i]; }
-  usize host_count() const { return hosts_.size(); }
-  ServiceNode& node(usize i = 0) { return *nodes_[i]; }
-  usize node_count() const { return nodes_.size(); }
-  ParallelRunner& runner() { return runner_; }
+  SimHost& host(usize i) { return builder_.host(i); }
+  usize host_count() const { return builder_.host_count(); }
+  ServiceNode& node(usize i = 0) { return builder_.node(i); }
+  usize node_count() const { return builder_.node_count(); }
+  ParallelRunner& runner() { return builder_.runner(); }
 
   // Runs all shards to quiescence; returns events executed. Bit-exact for
   // any opts.threads.
-  u64 Run(const ParallelRunOptions& opts = {}) { return runner_.Run(opts); }
+  u64 Run(const ParallelRunOptions& opts = {}) { return builder_.Run(opts); }
 
  private:
-  // Builds host i, its link, and the cross-shard routes to `node_shard`
-  // (whose ServiceNode takes the link on port `port`).
-  void AttachHostGroup(const HostSpec& spec, const StarTopologyConfig& config,
-                       usize node_shard, ServiceNode& node, u8 port);
-
-  ParallelRunner runner_;
-  std::vector<std::unique_ptr<EventScheduler>> schedulers_;
-  std::vector<std::unique_ptr<ServiceNode>> nodes_;
-  std::vector<std::unique_ptr<Link>> links_;
-  std::vector<std::unique_ptr<SimHost>> hosts_;
+  TopologyBuilder builder_;
 };
 
 // N hosts around a HubNode learning switch (emu-gossip): the shape for
@@ -110,24 +182,21 @@ class HubTopology {
   explicit HubTopology(std::vector<HostSpec> hosts,
                        StarTopologyConfig config = StarTopologyConfig());
 
-  SimHost& host(usize i) { return *hosts_[i]; }
-  usize host_count() const { return hosts_.size(); }
-  HubNode& hub() { return *hub_; }
-  ParallelRunner& runner() { return runner_; }
+  SimHost& host(usize i) { return builder_.host(i); }
+  usize host_count() const { return builder_.host_count(); }
+  HubNode& hub() { return builder_.hub(); }
+  ParallelRunner& runner() { return builder_.runner(); }
+  TopologyBuilder& builder() { return builder_; }
 
   // Host index by name, or host_count() when absent.
-  usize FindHost(const std::string& name) const;
+  usize FindHost(const std::string& name) const { return builder_.FindHost(name); }
 
   // Runs all shards to quiescence; returns events executed. Bit-exact for
   // any opts.threads.
-  u64 Run(const ParallelRunOptions& opts = {}) { return runner_.Run(opts); }
+  u64 Run(const ParallelRunOptions& opts = {}) { return builder_.Run(opts); }
 
  private:
-  ParallelRunner runner_;
-  std::vector<std::unique_ptr<EventScheduler>> schedulers_;
-  std::unique_ptr<HubNode> hub_;
-  std::vector<std::unique_ptr<Link>> links_;
-  std::vector<std::unique_ptr<SimHost>> hosts_;
+  TopologyBuilder builder_;
 };
 
 }  // namespace emu
