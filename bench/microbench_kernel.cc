@@ -5,10 +5,16 @@
 // Besides the google-benchmark suite, `--throughput` runs the quiescence
 // kernel's end-to-end throughput mode: one idle-heavy soak workload twice —
 // exact per-edge stepping vs the fast path — verifying bit-exact egress and
-// reporting cycles/sec for both plus the speedup. `--json <path>` writes the
+// reporting cycles/sec for both plus the speedup. `--saturated` instead pins
+// the loadgen at line rate (default one frame per 10 cycles, so fast-forward
+// never fires) and runs the workload three ways — exact, dynamic dispatch,
+// and the flat scheduled loop (Simulator::EnableFlatSchedule) — verifying
+// bit-exact egress across all three and reporting the flat-over-exact
+// speedup, the busy-path number emu-speed gates. `--json <path>` writes the
 // result as BENCH_kernel.json; `--check <baseline.json>` compares the
 // speedup ratio (machine-independent) against a committed baseline and fails
-// on a >20% regression. `--compare <other.json>` compares absolute fast-path
+// on a >20% regression (`--saturated --check` reads the baseline's
+// "saturated" section). `--compare <other.json>` compares absolute fast-path
 // throughput against a same-machine run (e.g. an EMU_TRACE=OFF build) and
 // fails on a regression beyond `--tolerance <pct>` (default 3%).
 #include <benchmark/benchmark.h>
@@ -20,6 +26,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/common/wide_word.h"
 #include "src/hdl/fifo.h"
 #include "src/hdl/signal.h"
@@ -148,13 +155,29 @@ struct ThroughputResult {
   u64 egress_digest = 0;
 };
 
-// The idle-heavy soak shape: sparse frames through the learning switch, long
-// quiescent gaps between them — the pattern chaos soaks and long-horizon
-// integration runs spend most of their cycles in.
-ThroughputResult RunSoakWorkload(bool fast_path, u64 total_cycles, u64 frame_gap) {
+// Scheduler flavor for one workload run. kExact is the reference semantics
+// (per-edge stepping, every parked predicate evaluated every edge); kFast is
+// the quiescence fast path with dynamic dispatch; kFlat additionally adopts
+// the statically elaborated schedule and routed wakes
+// (Simulator::EnableFlatSchedule).
+enum class RunMode { kExact, kFast, kFlat };
+
+// The soak shape: frames through the learning switch every `frame_gap`
+// cycles. A large gap is the idle-heavy pattern chaos soaks spend their
+// cycles in; a small gap (--saturated) keeps the pipeline busy so
+// fast-forward never fires and the per-edge cost dominates.
+ThroughputResult RunSoakWorkload(RunMode mode, u64 total_cycles, u64 frame_gap) {
   LearningSwitch service;
   FpgaTarget target(service);
-  target.sim().SetFastPath(fast_path);
+  if (mode == RunMode::kExact) {
+    target.sim().SetFastPath(false);
+  } else if (mode == RunMode::kFlat) {
+    if (!target.EnableFlatSchedule()) {
+      std::fprintf(stderr,
+                   "microbench_kernel: EnableFlatSchedule() failed on the stock pipeline\n");
+      std::abort();
+    }
+  }
   const MacAddress a = MacAddress::FromU48(0x020000000001);
   const MacAddress b = MacAddress::FromU48(0x020000000002);
   target.Inject(0, MakeEthernetFrame(MacAddress::Broadcast(), a, EtherType::kIpv4, {}));
@@ -188,61 +211,58 @@ ThroughputResult RunSoakWorkload(bool fast_path, u64 total_cycles, u64 frame_gap
   return result;
 }
 
+// One mode's result object: `{"cycles_per_sec": ..., "wall_seconds": ...,
+// "edges_run": ...[, "cycles_fast_forwarded": ...]}`. Doubles go through
+// std::to_chars (bench_json.h) and integers through std::to_string, so the
+// output is locale-independent — the iostream formatting this replaces
+// followed the global locale's decimal separator and digit grouping.
+std::string ResultJson(const ThroughputResult& result, bool with_fast_forward) {
+  std::string out = "{\"cycles_per_sec\": " + bench::FormatJsonNumber(result.cycles_per_sec) +
+                    ", \"wall_seconds\": " + bench::FormatJsonNumber(result.wall_seconds) +
+                    ", \"edges_run\": " + std::to_string(result.edges_run);
+  if (with_fast_forward) {
+    out += ", \"cycles_fast_forwarded\": " + std::to_string(result.cycles_fast_forwarded);
+  }
+  out += "}";
+  return out;
+}
+
 std::string ThroughputJson(const ThroughputResult& exact, const ThroughputResult& fast,
                            u64 total_cycles, u64 frame_gap) {
-  std::ostringstream out;
-  out.precision(6);
-  out << std::fixed;
-  out << "{\n"
-      << "  \"benchmark\": \"kernel_throughput\",\n"
-      << "  \"workload\": {\"service\": \"learning_switch\", \"cycles\": " << total_cycles
-      << ", \"frame_gap\": " << frame_gap << "},\n"
-      << "  \"exact\": {\"cycles_per_sec\": " << exact.cycles_per_sec
-      << ", \"wall_seconds\": " << exact.wall_seconds << ", \"edges_run\": " << exact.edges_run
-      << "},\n"
-      << "  \"fast\": {\"cycles_per_sec\": " << fast.cycles_per_sec
-      << ", \"wall_seconds\": " << fast.wall_seconds << ", \"edges_run\": " << fast.edges_run
-      << ", \"cycles_fast_forwarded\": " << fast.cycles_fast_forwarded << "},\n"
-      << "  \"speedup\": " << (exact.cycles_per_sec > 0
-                                   ? fast.cycles_per_sec / exact.cycles_per_sec
-                                   : 0)
-      << "\n}\n";
-  return out.str();
+  const double speedup =
+      exact.cycles_per_sec > 0 ? fast.cycles_per_sec / exact.cycles_per_sec : 0;
+  return "{\n"
+         "  \"benchmark\": \"kernel_throughput\",\n"
+         "  \"workload\": {\"service\": \"learning_switch\", \"cycles\": " +
+         std::to_string(total_cycles) + ", \"frame_gap\": " + std::to_string(frame_gap) +
+         "},\n"
+         "  \"exact\": " + ResultJson(exact, false) +
+         ",\n"
+         "  \"fast\": " + ResultJson(fast, true) +
+         ",\n"
+         "  \"speedup\": " + bench::FormatJsonNumber(speedup) + "\n}\n";
 }
 
-// Pulls `"key": <number>` out of a flat JSON document; the baseline files are
-// emitted by ThroughputJson above, so no general parser is needed.
-bool ExtractJsonNumber(const std::string& text, const std::string& key, double* value) {
-  const auto pos = text.find("\"" + key + "\"");
-  if (pos == std::string::npos) {
-    return false;
-  }
-  const auto colon = text.find(':', pos);
-  if (colon == std::string::npos) {
-    return false;
-  }
-  *value = std::strtod(text.c_str() + colon + 1, nullptr);
-  return true;
-}
-
-// Like ExtractJsonNumber, but scoped to one section object. "cycles_per_sec"
-// appears under both "exact" and "fast", so a flat first-match search would
-// silently read the wrong one.
-bool ExtractJsonNumberInSection(const std::string& text, const std::string& section,
-                                const std::string& key, double* value) {
-  const auto start = text.find("\"" + section + "\"");
-  if (start == std::string::npos) {
-    return false;
-  }
-  const auto open = text.find('{', start);
-  if (open == std::string::npos) {
-    return false;
-  }
-  const auto close = text.find('}', open);
-  if (close == std::string::npos) {
-    return false;
-  }
-  return ExtractJsonNumber(text.substr(open, close - open), key, value);
+// The saturated busy-path flavor: same schema shape, one section per
+// scheduler mode, keyed so a combined baseline file can hold both the idle
+// ("kernel_throughput") and saturated sections side by side.
+std::string SaturatedJson(const ThroughputResult& exact, const ThroughputResult& dynamic,
+                          const ThroughputResult& flat, u64 total_cycles, u64 frame_gap) {
+  const double speedup = exact.cycles_per_sec > 0 ? flat.cycles_per_sec / exact.cycles_per_sec : 0;
+  return "{\n"
+         "  \"benchmark\": \"kernel_throughput_saturated\",\n"
+         "  \"saturated\": {\n"
+         "    \"workload\": {\"service\": \"learning_switch\", \"cycles\": " +
+         std::to_string(total_cycles) + ", \"frame_gap\": " + std::to_string(frame_gap) +
+         "},\n"
+         "    \"exact\": " + ResultJson(exact, false) +
+         ",\n"
+         "    \"dynamic\": " + ResultJson(dynamic, true) +
+         ",\n"
+         "    \"flat\": " + ResultJson(flat, true) +
+         ",\n"
+         "    \"speedup\": " + bench::FormatJsonNumber(speedup) +
+         "\n  }\n}\n";
 }
 
 int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path,
@@ -251,8 +271,8 @@ int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path
   std::printf("kernel throughput: %llu cycles, one frame per %llu cycles\n",
               static_cast<unsigned long long>(total_cycles),
               static_cast<unsigned long long>(frame_gap));
-  const ThroughputResult exact = RunSoakWorkload(false, total_cycles, frame_gap);
-  const ThroughputResult fast = RunSoakWorkload(true, total_cycles, frame_gap);
+  const ThroughputResult exact = RunSoakWorkload(RunMode::kExact, total_cycles, frame_gap);
+  const ThroughputResult fast = RunSoakWorkload(RunMode::kFast, total_cycles, frame_gap);
 
   if (fast.egress_digest != exact.egress_digest || fast.egress_count != exact.egress_count) {
     std::printf("FAIL: fast path diverged from exact (egress %llu/%016llx vs %llu/%016llx)\n",
@@ -292,7 +312,7 @@ int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path
     std::stringstream buffer;
     buffer << file.rdbuf();
     double baseline_speedup = 0;
-    if (!ExtractJsonNumber(buffer.str(), "speedup", &baseline_speedup)) {
+    if (!bench::ExtractJsonNumber(buffer.str(), "speedup", &baseline_speedup)) {
       std::printf("FAIL: no \"speedup\" in baseline %s\n", baseline_path.c_str());
       return 1;
     }
@@ -321,7 +341,7 @@ int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path
     std::stringstream buffer;
     buffer << file.rdbuf();
     double base_fast = 0;
-    if (!ExtractJsonNumberInSection(buffer.str(), "fast", "cycles_per_sec", &base_fast) ||
+    if (!bench::ExtractJsonNumberInSection(buffer.str(), "fast", "cycles_per_sec", &base_fast) ||
         base_fast <= 0) {
       std::printf("FAIL: no fast.cycles_per_sec in %s\n", compare_path.c_str());
       return 1;
@@ -339,13 +359,107 @@ int ThroughputMain(u64 total_cycles, u64 frame_gap, const std::string& json_path
   return 0;
 }
 
+// --- Saturated busy-path mode (--saturated) ---------------------------------------
+
+bool DigestsMatch(const char* name, const ThroughputResult& got, const ThroughputResult& want) {
+  if (got.egress_digest == want.egress_digest && got.egress_count == want.egress_count) {
+    return true;
+  }
+  std::printf("FAIL: %s diverged from exact (egress %llu/%016llx vs %llu/%016llx)\n", name,
+              static_cast<unsigned long long>(got.egress_count),
+              static_cast<unsigned long long>(got.egress_digest),
+              static_cast<unsigned long long>(want.egress_count),
+              static_cast<unsigned long long>(want.egress_digest));
+  return false;
+}
+
+int SaturatedMain(u64 total_cycles, u64 frame_gap, const std::string& json_path,
+                  const std::string& baseline_path) {
+  std::printf("kernel saturated throughput: %llu cycles, one frame per %llu cycles\n",
+              static_cast<unsigned long long>(total_cycles),
+              static_cast<unsigned long long>(frame_gap));
+  const ThroughputResult exact = RunSoakWorkload(RunMode::kExact, total_cycles, frame_gap);
+  const ThroughputResult dynamic = RunSoakWorkload(RunMode::kFast, total_cycles, frame_gap);
+  const ThroughputResult flat = RunSoakWorkload(RunMode::kFlat, total_cycles, frame_gap);
+
+  if (!DigestsMatch("dynamic fast path", dynamic, exact) ||
+      !DigestsMatch("flat scheduled loop", flat, exact)) {
+    return 1;
+  }
+  // Executed-edge accounting must also agree: every cycle is either run or
+  // provably quiescent, in every mode.
+  if (dynamic.edges_run + dynamic.cycles_fast_forwarded != exact.edges_run ||
+      flat.edges_run + flat.cycles_fast_forwarded != exact.edges_run) {
+    std::printf("FAIL: edge accounting diverged (exact %llu, dynamic %llu+%llu, flat %llu+%llu)\n",
+                static_cast<unsigned long long>(exact.edges_run),
+                static_cast<unsigned long long>(dynamic.edges_run),
+                static_cast<unsigned long long>(dynamic.cycles_fast_forwarded),
+                static_cast<unsigned long long>(flat.edges_run),
+                static_cast<unsigned long long>(flat.cycles_fast_forwarded));
+    return 1;
+  }
+
+  const double speedup =
+      exact.cycles_per_sec > 0 ? flat.cycles_per_sec / exact.cycles_per_sec : 0;
+  std::printf("  exact:   %.3g cycles/sec (%llu edges)\n", exact.cycles_per_sec,
+              static_cast<unsigned long long>(exact.edges_run));
+  std::printf("  dynamic: %.3g cycles/sec (%llu edges + %llu fast-forwarded)\n",
+              dynamic.cycles_per_sec, static_cast<unsigned long long>(dynamic.edges_run),
+              static_cast<unsigned long long>(dynamic.cycles_fast_forwarded));
+  std::printf("  flat:    %.3g cycles/sec (%llu edges + %llu fast-forwarded)\n",
+              flat.cycles_per_sec, static_cast<unsigned long long>(flat.edges_run),
+              static_cast<unsigned long long>(flat.cycles_fast_forwarded));
+  std::printf("  speedup: %.2fx flat over exact (egress bit-exact, %llu frames)\n", speedup,
+              static_cast<unsigned long long>(flat.egress_count));
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << SaturatedJson(exact, dynamic, flat, total_cycles, frame_gap);
+    if (!file) {
+      std::printf("FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream file(baseline_path);
+    if (!file) {
+      std::printf("FAIL: could not read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    double baseline_speedup = 0;
+    if (!bench::ExtractJsonNumberInSection(buffer.str(), "saturated", "speedup",
+                                           &baseline_speedup)) {
+      std::printf("FAIL: no saturated.speedup in baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    // Same machine-independent gate as --check for the idle workload: the
+    // flat-over-exact ratio, held within 20% of the committed baseline.
+    const double floor = baseline_speedup * 0.8;
+    std::printf("  baseline saturated speedup %.2fx, regression floor %.2fx\n", baseline_speedup,
+                floor);
+    if (speedup < floor) {
+      std::printf("FAIL: saturated speedup %.2fx regressed more than 20%% from baseline %.2fx\n",
+                  speedup, baseline_speedup);
+      return 1;
+    }
+    std::printf("  saturated perf gate passed\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace emu
 
 int main(int argc, char** argv) {
   bool throughput = false;
+  bool saturated = false;
   emu::u64 cycles = 2'000'000;
   emu::u64 gap = 1'000;
+  bool gap_set = false;
   std::string json_path;
   std::string baseline_path;
   std::string compare_path;
@@ -353,10 +467,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput") == 0) {
       throughput = true;
+    } else if (std::strcmp(argv[i], "--saturated") == 0) {
+      saturated = true;
     } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
       cycles = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--gap") == 0 && i + 1 < argc) {
       gap = std::strtoull(argv[++i], nullptr, 10);
+      gap_set = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
@@ -366,6 +483,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
       tolerance_pct = std::strtod(argv[++i], nullptr);
     }
+  }
+  if (saturated) {
+    // Saturated busy path: frames arrive fast enough that quiescent windows
+    // are rare, so the per-edge cost (not fast-forward) dominates.
+    if (!gap_set) {
+      gap = 10;
+    }
+    if (gap == 0) {
+      gap = 1;
+    }
+    return emu::SaturatedMain(cycles, gap, json_path, baseline_path);
   }
   if (throughput) {
     if (gap == 0) {

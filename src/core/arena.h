@@ -1,0 +1,177 @@
+// Bump arena and recycling pool for hot-path allocations (emu-speed).
+//
+// Two allocation patterns dominate the kernel's malloc traffic:
+//
+//   1. Coroutine frames. Every HwProcess body is one heap allocation made by
+//      the compiler when the coroutine is called. Frames live as long as the
+//      process (i.e. as long as the owning Simulator), so a bump arena that
+//      is only reclaimed wholesale fits exactly: BumpArena packs the frames
+//      of one design contiguously (cache locality for the per-edge sweep)
+//      and frees them all when the Simulator dies. CoroFrameArenaScope routes
+//      HwProcess::promise_type::operator new to an arena for the duration of
+//      design construction; frames allocated outside any scope fall back to
+//      the global heap.
+//
+//   2. Scheduler event closures. EventScheduler used to type-erase each
+//      scheduled action into a std::function, one heap allocation per event
+//      beyond the small-buffer limit. RecyclingPool backs those closures with
+//      size-class free lists over a bump arena: steady-state scheduling hits
+//      the free list (no malloc at all), and the arena rewinds whenever the
+//      owning scheduler's queue drains (the per-shard epoch boundary — an
+//      empty queue proves no closure is live).
+//
+// Neither class is thread-safe; each belongs to exactly one shard, matching
+// the parallel runner's one-scheduler-per-shard ownership.
+#ifndef SRC_CORE_ARENA_H_
+#define SRC_CORE_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class BumpArena {
+ public:
+  explicit BumpArena(usize chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  void* Allocate(usize size, usize align) {
+    usize offset = (offset_ + align - 1) & ~(align - 1);
+    if (chunk_ == nullptr || offset + size > chunk_bytes_) [[unlikely]] {
+      return AllocateSlow(size, align);
+    }
+    void* out = chunk_ + offset;
+    offset_ = offset + size;
+    return out;
+  }
+
+  // Rewinds to empty, retaining every chunk for reuse. Only call when no
+  // allocation is live (the caller proves that, e.g. by an empty event
+  // queue).
+  void Reset() {
+    next_chunk_ = 0;
+    chunk_ = chunks_.empty() ? nullptr : chunks_[0].get();
+    if (chunk_ != nullptr) {
+      next_chunk_ = 1;
+    }
+    offset_ = 0;
+  }
+
+  usize chunks() const { return chunks_.size(); }
+
+ private:
+  void* AllocateSlow(usize size, usize align) {
+    // Oversized requests get a dedicated chunk so chunk_bytes_ stays a
+    // steady-state tuning knob, not a hard limit.
+    const usize need = size + align;
+    if (need > chunk_bytes_) {
+      chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(next_chunk_),
+                     std::make_unique<std::byte[]>(need));
+      std::byte* base = chunks_[next_chunk_].get();
+      ++next_chunk_;
+      const usize aligned =
+          (reinterpret_cast<usize>(base) + align - 1) & ~(align - 1);
+      return reinterpret_cast<void*>(aligned);
+    }
+    if (next_chunk_ == chunks_.size()) {
+      chunks_.push_back(std::make_unique<std::byte[]>(chunk_bytes_));
+    }
+    chunk_ = chunks_[next_chunk_].get();
+    ++next_chunk_;
+    offset_ = 0;
+    const usize offset = (offset_ + align - 1) & ~(align - 1);
+    void* out = chunk_ + offset;
+    offset_ = offset + size;
+    return out;
+  }
+
+  usize chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* chunk_ = nullptr;  // current chunk (new[] storage is max-aligned)
+  usize next_chunk_ = 0;        // index of the next retained chunk to reuse
+  usize offset_ = 0;
+};
+
+// Size-class recycling over a BumpArena: Allocate pops the class free list
+// or bumps; Free pushes back. Sizes above kMaxPooled fall through to the
+// global heap (rare, e.g. a closure capturing a whole Packet by value).
+class RecyclingPool {
+ public:
+  void* Allocate(usize size) {
+    const int cls = ClassOf(size);
+    if (cls < 0) {
+      return ::operator new(size);
+    }
+    if (void* head = free_[static_cast<usize>(cls)]) {
+      free_[static_cast<usize>(cls)] = *static_cast<void**>(head);
+      return head;
+    }
+    return arena_.Allocate(kClassBytes[static_cast<usize>(cls)],
+                           alignof(std::max_align_t));
+  }
+
+  void Free(void* ptr, usize size) {
+    const int cls = ClassOf(size);
+    if (cls < 0) {
+      ::operator delete(ptr);
+      return;
+    }
+    *static_cast<void**>(ptr) = free_[static_cast<usize>(cls)];
+    free_[static_cast<usize>(cls)] = ptr;
+  }
+
+  // Rewinds the backing arena and drops the free lists (which point into
+  // it). Only valid when every pooled allocation has been freed.
+  void Reset() {
+    for (void*& head : free_) {
+      head = nullptr;
+    }
+    arena_.Reset();
+  }
+
+ private:
+  static constexpr usize kClassBytes[] = {32, 64, 128, 256, 512, 1024};
+  static constexpr usize kClasses = sizeof(kClassBytes) / sizeof(kClassBytes[0]);
+  static constexpr usize kMaxPooled = kClassBytes[kClasses - 1];
+
+  static int ClassOf(usize size) {
+    if (size > kMaxPooled) {
+      return -1;
+    }
+    for (usize i = 0; i < kClasses; ++i) {
+      if (size <= kClassBytes[i]) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  BumpArena arena_;
+  void* free_[kClasses] = {};
+};
+
+// While a scope is live on this thread, HwProcess coroutine frames allocate
+// from its arena (see HwProcess::promise_type::operator new). Scopes nest.
+class CoroFrameArenaScope {
+ public:
+  explicit CoroFrameArenaScope(BumpArena& arena) : prev_(current_) { current_ = &arena; }
+  ~CoroFrameArenaScope() { current_ = prev_; }
+
+  CoroFrameArenaScope(const CoroFrameArenaScope&) = delete;
+  CoroFrameArenaScope& operator=(const CoroFrameArenaScope&) = delete;
+
+  static BumpArena* current() { return current_; }
+
+ private:
+  BumpArena* prev_;
+  inline static thread_local BumpArena* current_ = nullptr;
+};
+
+}  // namespace emu
+
+#endif  // SRC_CORE_ARENA_H_

@@ -46,7 +46,10 @@ class SyncFifo : public Clocked {
     if (depth == 0) {
       Fatal("constructed with depth 0");
     }
-    sim_.RegisterClocked(this);
+    // Self-announcing: Push/Pop call AnnounceDirty on the clean→dirty
+    // transition, so the scheduler commits this FIFO only on edges where a
+    // port was actually used.
+    sim_.RegisterClocked(this, /*self_announcing=*/true);
     sim_.catalog().AddElement(this, elab::NodeKind::kFifo, name_, /*no_init=*/false, depth);
   }
 
@@ -76,7 +79,9 @@ class SyncFifo : public Clocked {
     // The stall ends by the clock, not by any process's action: schedule a
     // forced wake so parked consumers/producers re-evaluate at expiry.
     sim_.RequestWakeAt(stall_until_);
-    sim_.NotifyWake();
+    // Only predicates over this FIFO's occupancy can observe the stall
+    // (expiry re-wakes globally via the forced wake above).
+    sim_.NotifyWakeFor(this);
   }
   bool Stalled() const { return sim_.now() < stall_until_; }
 
@@ -106,6 +111,9 @@ class SyncFifo : public Clocked {
         if (flight != 0 && !name_.empty()) {
           obs::EmitAsyncBegin(tb, name_, sim_.NowPs(), flight);
         }
+      }
+      if (pending_push_.empty()) {
+        sim_.AnnounceDirty(this);
       }
       pending_push_.push_back(std::move(value));
     }
@@ -140,6 +148,12 @@ class SyncFifo : public Clocked {
 #endif
     T value = std::move(items_[pop_count_]);
     ++pop_count_;
+    if (pop_count_ == 1) {
+      // Deferring the commit-time erase is state-neutral (see CommitPending),
+      // but an uncommitted pop backlog would grow without bound; enqueue a
+      // commit so popped storage is reclaimed at this edge.
+      sim_.AnnounceDirty(this);
+    }
     if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
       const u64 flight = obs::FrameTraceId(value);
       if (flight != 0 && !name_.empty()) {
@@ -148,7 +162,7 @@ class SyncFifo : public Clocked {
     }
     // Space freed by a pop is visible to CanPush in the same cycle: a parked
     // producer registered after this consumer must re-evaluate this edge.
-    sim_.NotifyWake();
+    sim_.NotifyWakeFor(this);
     return value;
   }
 
@@ -159,7 +173,7 @@ class SyncFifo : public Clocked {
       // Pushed items become visible to consumers at this edge's commit; wake
       // parked consumers for the next edge. (Pops need no commit-time wake:
       // Size/CanPush already accounted for them at Pop() time.)
-      sim_.NotifyWake();
+      sim_.NotifyWakeFor(this);
     }
     for (auto& value : pending_push_) {
       items_.push_back(std::move(value));

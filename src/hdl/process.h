@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "src/common/types.h"
+#include "src/core/arena.h"
 
 namespace emu {
 
@@ -63,6 +64,34 @@ class HwProcess {
     std::suspend_always final_suspend() noexcept { return {}; }
     void return_void() {}
     void unhandled_exception() { std::abort(); }
+
+    // Coroutine frames allocate from the active CoroFrameArenaScope when one
+    // is live (design construction wraps itself in one so a pipeline's
+    // frames pack contiguously and die with the Simulator's arena), falling
+    // back to the global heap otherwise. A header word in front of the frame
+    // records which path allocated it; arena frames are reclaimed wholesale
+    // by the arena, so their operator delete is a no-op.
+    static void* operator new(std::size_t size) {
+      if (BumpArena* arena = CoroFrameArenaScope::current()) {
+        void* base = arena->Allocate(size + kFrameHeaderBytes, alignof(std::max_align_t));
+        *static_cast<u64*>(base) = 1;
+        return static_cast<std::byte*>(base) + kFrameHeaderBytes;
+      }
+      void* base = ::operator new(size + kFrameHeaderBytes);
+      *static_cast<u64*>(base) = 0;
+      return static_cast<std::byte*>(base) + kFrameHeaderBytes;
+    }
+    static void operator delete(void* ptr) {
+      std::byte* base = static_cast<std::byte*>(ptr) - kFrameHeaderBytes;
+      if (*reinterpret_cast<u64*>(base) == 0) {
+        ::operator delete(base);
+      }
+    }
+
+   private:
+    // Big enough for the tag, sized to preserve max_align_t alignment of the
+    // frame that follows it.
+    static constexpr std::size_t kFrameHeaderBytes = alignof(std::max_align_t);
   };
 
   HwProcess() = default;
@@ -91,29 +120,13 @@ class HwProcess {
 
   // Resumes the coroutine unconditionally (the caller has already dealt with
   // sleep/park state). Returns false once the process has run to completion.
+  //
+  // The promise's sleep/park fields are an ANNOUNCEMENT channel: an awaiter
+  // writes them at suspension and the scheduler consumes them right after
+  // Resume() returns (Simulator::Reclassify moves them into its contiguous
+  // scheduling arrays and clears them), so between edges the promise fields
+  // of a registered process are always zero/null.
   bool Resume() {
-    handle_.resume();
-    return !handle_.done();
-  }
-
-  // One clock edge with exact per-edge semantics: wake the coroutine unless
-  // it is still sleeping off a PauseFor or parked on a false WaitUntil
-  // predicate. Returns false once the process has run to completion.
-  bool Tick() {
-    if (Done()) {
-      return false;
-    }
-    auto& promise = handle_.promise();
-    if (promise.sleep_cycles > 0) {
-      --promise.sleep_cycles;
-      return true;
-    }
-    if (promise.wait_pred != nullptr) {
-      if (!promise.wait_pred(promise.wait_ctx)) {
-        return true;
-      }
-      promise.wait_pred = nullptr;
-    }
     handle_.resume();
     return !handle_.done();
   }

@@ -43,13 +43,15 @@ class Reg : public Clocked {
 
   Reg(Simulator& sim, std::string name, T initial = T{})
       : sim_(sim), name_(std::move(name)), current_(initial), next_(std::move(initial)) {
-    sim_.RegisterClocked(this);
+    // Self-announcing: Write() calls AnnounceDirty, so clean registers are
+    // never touched by the per-edge commit sweep.
+    sim_.RegisterClocked(this, /*self_announcing=*/true);
     sim_.catalog().AddElement(this, elab::NodeKind::kReg, name_);
   }
 
   Reg(Simulator& sim, std::string name, NoInit)
       : sim_(sim), name_(std::move(name)), no_default_(true) {
-    sim_.RegisterClocked(this);
+    sim_.RegisterClocked(this, /*self_announcing=*/true);
     sim_.catalog().AddElement(this, elab::NodeKind::kReg, name_, /*no_init=*/true);
   }
 
@@ -78,7 +80,10 @@ class Reg : public Clocked {
     }
 #endif
     written_ = true;
-    dirty_ = true;
+    if (!dirty_) {
+      dirty_ = true;
+      sim_.AnnounceDirty(this);
+    }
     next_ = std::move(value);
   }
 
@@ -106,7 +111,7 @@ class Reg : public Clocked {
       // NotifyWake). Registers a quiescent design never writes stay clean,
       // so idle windows remain fast-forwardable.
       dirty_ = false;
-      sim_.NotifyWake();
+      sim_.NotifyWakeFor(this);
     }
     current_ = next_;
   }
@@ -168,7 +173,7 @@ class Wire {
     if (sim_ != nullptr) {
       // Combinational value changed within the cycle: parked predicates of
       // later-registered processes must observe it this edge.
-      sim_->NotifyWake();
+      sim_->NotifyWakeFor(this);
     }
   }
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "src/analysis/elab/elab_graph.h"
 #include "src/analysis/elab/elaboration.h"
 #include "src/analysis/hazard_monitor.h"
 #include "src/core/metrics.h"
@@ -45,12 +46,18 @@ usize Simulator::AddProcess(HwProcess process, std::string name) {
   assert(process.Valid());
   const usize index = processes_.size();
   processes_.push_back(NamedProcess{std::move(process), std::move(name)});
+  sched_.push_back(Slot{});
   stats_.push_back(ProcessStats{});
   if (!order_.empty()) {
     // A schedule was already adopted: late registrations run after it, in
     // their own registration order.
     order_.push_back(index);
   }
+  // A process registered now has (by definition) no IO declaration the route
+  // table was built from: routed wakes can no longer prove watcher
+  // completeness, so fall back to global wake epochs. The flat span itself
+  // stays armed — it is bit-exact either way.
+  DisableWakeRouting();
   return index;
 }
 
@@ -67,17 +74,62 @@ void Simulator::AdoptSchedule(std::vector<usize> order) {
   order_ = std::move(order);
 }
 
+bool Simulator::EnableFlatSchedule() {
+  const elab::ElabGraph graph = elab::ElabGraph::FromSimulator(*this);
+  if (!graph.fully_declared()) {
+    return false;
+  }
+  elab::ScheduleResult schedule = graph.StaticSchedule();
+  if (!schedule.ok) {
+    return false;
+  }
+  AdoptSchedule(std::move(schedule.order));
+  // Element -> watcher processes: the union of every declared role. Any
+  // process that reads, writes, pushes or pops an element may have a parked
+  // predicate over its state, so a mutation marks them all; over-marking
+  // costs a predicate poll, never a missed resume.
+  wake_routes_.clear();
+  wake_routes_.reserve(graph.nodes().size());
+  for (const elab::ElabNode& node : graph.nodes()) {
+    if (node.id == nullptr) {
+      continue;  // name-only implicit node: no address identity to route
+    }
+    std::vector<u32>& watchers = wake_routes_[node.id];
+    auto add_role = [&watchers](const std::vector<usize>& role) {
+      for (usize process : role) {
+        const u32 index = static_cast<u32>(process);
+        if (std::find(watchers.begin(), watchers.end(), index) == watchers.end()) {
+          watchers.push_back(index);
+        }
+      }
+    };
+    add_role(node.readers);
+    add_role(node.writers);
+    add_role(node.poppers);
+    add_role(node.pushers);
+  }
+  flat_schedule_ = true;
+  wake_routes_active_ = true;
+  // Force one global re-evaluation so predicates parked before adoption are
+  // not skipped on a stale epoch under the new routing regime.
+  ++wake_epoch_;
+  return true;
+}
+
 void Simulator::RunPreFlight() {
   preflight_done_ = true;  // set first: PreFlight may Step() via helpers
   elaboration_->PreFlight(*this);
 }
 
-void Simulator::RegisterClocked(Clocked* element) {
+void Simulator::RegisterClocked(Clocked* element, bool self_announcing) {
   assert(element != nullptr);
 #ifdef EMU_ANALYSIS
   element->analysis_owner_ = this;
 #endif
   clocked_.push_back(element);
+  if (!self_announcing) {
+    always_commit_.push_back(element);
+  }
 }
 
 void Simulator::UnregisterClocked(Clocked* element) {
@@ -86,7 +138,15 @@ void Simulator::UnregisterClocked(Clocked* element) {
     element->analysis_owner_ = nullptr;
   }
 #endif
-  clocked_.erase(std::remove(clocked_.begin(), clocked_.end(), element), clocked_.end());
+  auto drop = [element](std::vector<Clocked*>& list) {
+    list.erase(std::remove(list.begin(), list.end(), element), list.end());
+  };
+  drop(clocked_);
+  drop(always_commit_);
+  drop(dirty_);
+  if (element != nullptr) {
+    element->commit_enqueued_ = false;
+  }
 }
 
 void Simulator::NotifyClockedDestroyed(Clocked* element) {
@@ -96,6 +156,11 @@ void Simulator::NotifyClockedDestroyed(Clocked* element) {
       ++dead_clocked_;
     }
   }
+  // The commit lists are walked without null checks on the fast path; a
+  // dying element must leave them immediately.
+  always_commit_.erase(std::remove(always_commit_.begin(), always_commit_.end(), element),
+                       always_commit_.end());
+  dirty_.erase(std::remove(dirty_.begin(), dirty_.end(), element), dirty_.end());
 }
 
 void Simulator::AttachEdgeObserver(EdgeObserver* observer) {
@@ -106,6 +171,96 @@ void Simulator::AttachEdgeObserver(EdgeObserver* observer) {
 void Simulator::DetachEdgeObserver(EdgeObserver* observer) {
   edge_observers_.erase(std::remove(edge_observers_.begin(), edge_observers_.end(), observer),
                         edge_observers_.end());
+}
+
+void Simulator::Reclassify(usize index) {
+  Slot& slot = sched_[index];
+  HwProcess& process = processes_[index].process;
+  if (process.Done()) {
+    slot.state = Slot::kDone;
+    return;
+  }
+  auto& promise = process.promise();
+  if (promise.wait_pred != nullptr) {
+    slot.state = Slot::kParked;
+    slot.wait_pred = promise.wait_pred;
+    slot.wait_ctx = promise.wait_ctx;
+    slot.wait_epoch = kWaitEpochStale;   // force at least one evaluation
+    slot.routed_stale = true;
+    promise.wait_pred = nullptr;
+    promise.wait_ctx = nullptr;
+    return;
+  }
+  if (promise.sleep_cycles > 0) {
+    // Suspended during the edge at now_; the old per-edge decrement resumed
+    // it sleep_cycles edges after the next one.
+    slot.state = Slot::kSleeping;
+    slot.wake_at = now_ + 1 + promise.sleep_cycles;
+    promise.sleep_cycles = 0;
+    return;
+  }
+  slot.state = Slot::kRunnable;
+}
+
+u64 Simulator::SweepProcesses(bool lazy) {
+  u64 activity = 0;
+  const usize count = processes_.size();
+  const usize* order = order_.empty() ? nullptr : order_.data();
+  for (usize pos = 0; pos < count; ++pos) {
+    const usize i = order != nullptr ? order[pos] : pos;
+    Slot& slot = sched_[i];
+    if (slot.state == Slot::kDone) {
+      continue;
+    }
+    if (slot.state == Slot::kSleeping) {
+      if (slot.wake_at > now_) {
+        continue;
+      }
+    } else if (slot.state == Slot::kParked) {
+      if (lazy && !slot.routed_stale && slot.wait_epoch == wake_epoch_) {
+        continue;  // no watched (or, routing off, any) state changed since the last evaluation
+      }
+      ProcessStats& stats = stats_[i];
+      ++stats.polls;
+      ++activity;
+      if (!slot.wait_pred(slot.wait_ctx)) {
+        slot.wait_epoch = wake_epoch_;
+        slot.routed_stale = false;
+        ++stats.cycles_awake;
+        continue;
+      }
+    }
+    ProcessStats& stats = stats_[i];
+    ++stats.resumes;
+    ++stats.cycles_awake;
+    ++activity;
+    HwProcess& process = processes_[i].process;
+    if (profiling_) [[unlikely]] {
+      const auto start = std::chrono::steady_clock::now();
+      process.Resume();
+      stats.wall_ns += static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                            std::chrono::steady_clock::now() - start)
+                                            .count());
+    } else {
+      process.Resume();
+    }
+    Reclassify(i);
+  }
+  return activity;
+}
+
+void Simulator::CommitEdge() {
+  for (Clocked* element : always_commit_) {
+    element->Commit();
+  }
+  // Index loop: a Commit() that re-announces (none in the kernel do, but the
+  // contract allows it) grows the queue mid-walk.
+  for (usize i = 0; i < dirty_.size(); ++i) {
+    Clocked* element = dirty_[i];
+    element->commit_enqueued_ = false;
+    element->Commit();
+  }
+  dirty_.clear();
 }
 
 void Simulator::Step() {
@@ -133,47 +288,8 @@ void Simulator::Step() {
   // Epoch-lazy parked-predicate evaluation is only an optimization shortcut;
   // with the fast path off every parked predicate is evaluated on every
   // edge, which is the reference semantics.
-  const bool lazy = fast_path_;
-  const usize* order = order_.empty() ? nullptr : order_.data();
-  for (usize slot = 0; slot < processes_.size(); ++slot) {
-    const usize i = order != nullptr ? order[slot] : slot;
-    HwProcess& process = processes_[i].process;
-    if (process.Done()) {
-      continue;
-    }
-    auto& promise = process.promise();
-    if (promise.sleep_cycles > 0) {
-      --promise.sleep_cycles;
-      continue;
-    }
-    ProcessStats& stats = stats_[i];
-    if (promise.wait_pred != nullptr) {
-      if (lazy && promise.wait_epoch == wake_epoch_) {
-        continue;  // no wake-tracked state changed since the last evaluation
-      }
-      ++stats.polls;
-      if (!promise.wait_pred(promise.wait_ctx)) {
-        promise.wait_epoch = wake_epoch_;
-        ++stats.cycles_awake;
-        continue;
-      }
-      promise.wait_pred = nullptr;
-    }
-    ++stats.resumes;
-    ++stats.cycles_awake;
-    if (profiling_) [[unlikely]] {
-      const auto start = std::chrono::steady_clock::now();
-      process.Resume();
-      stats.wall_ns += static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                            std::chrono::steady_clock::now() - start)
-                                            .count());
-    } else {
-      process.Resume();
-    }
-  }
-  for (Clocked* element : clocked_) {
-    element->Commit();
-  }
+  SweepProcesses(/*lazy=*/fast_path_);
+  CommitEdge();
   ++now_;
   ++edges_run_;
   if (!edge_observers_.empty()) [[unlikely]] {
@@ -201,22 +317,45 @@ void Simulator::StepInstrumented() {
     }
   }
   const usize* order = order_.empty() ? nullptr : order_.data();
-  for (usize slot = 0; slot < processes_.size(); ++slot) {
-    const usize i = order != nullptr ? order[slot] : slot;
+  for (usize pos = 0; pos < processes_.size(); ++pos) {
+    const usize i = order != nullptr ? order[pos] : pos;
     current_process_ = static_cast<isize>(i);
     if (monitor_ != nullptr) {
       monitor_->OnProcessResume(i, processes_[i].name);
     }
-    // Tick() evaluates parked predicates on every edge (exact semantics):
-    // the instrumented path never skips work the monitor might observe.
-    processes_[i].process.Tick();
+    // Exact semantics, no scheduler bookkeeping: parked predicates are
+    // evaluated on every edge (without freshening the lazy-skip epoch — the
+    // instrumented path never converts monitor observation into fast-path
+    // state), so the monitor observes everything a per-edge testbench would.
+    Slot& slot = sched_[i];
+    if (slot.state == Slot::kDone) {
+      continue;
+    }
+    if (slot.state == Slot::kSleeping) {
+      if (slot.wake_at > now_) {
+        continue;
+      }
+    } else if (slot.state == Slot::kParked) {
+      if (!slot.wait_pred(slot.wait_ctx)) {
+        continue;
+      }
+    }
+    processes_[i].process.Resume();
+    Reclassify(i);
   }
   current_process_ = -1;
+  // Commit everything registered (null-checked: slots may be tombstoned),
+  // in registration order — the dirty queue is a fast-path optimization the
+  // instrumented path subsumes.
   for (Clocked* element : clocked_) {
     if (element != nullptr) {
       element->Commit();
     }
   }
+  for (Clocked* element : dirty_) {
+    element->commit_enqueued_ = false;
+  }
+  dirty_.clear();
   ++now_;
   ++edges_run_;
   if (!edge_observers_.empty()) [[unlikely]] {
@@ -261,25 +400,32 @@ Cycle Simulator::QuiescentWindow(Cycle budget) {
     budget = std::min(budget, event_cycle - now_);
   }
   Cycle window = budget;
-  for (const auto& entry : processes_) {
-    const HwProcess& process = entry.process;
-    if (process.Done()) {
-      continue;
+  for (const Slot& slot : sched_) {
+    switch (slot.state) {
+      case Slot::kDone:
+        continue;
+      case Slot::kSleeping:
+        if (slot.wake_at <= now_) {
+          return 0;  // due: the next edge must execute
+        }
+        window = std::min(window, slot.wake_at - now_);
+        continue;
+      case Slot::kParked:
+        if (!slot.routed_stale && slot.wait_epoch == wake_epoch_) {
+          continue;  // predicate provably unchanged: sleeps through any window
+        }
+        return 0;  // parked with a stale predicate that needs evaluation
+      case Slot::kRunnable:
+        return 0;
     }
-    const auto& promise = process.promise();
-    if (promise.sleep_cycles > 0) {
-      window = std::min(window, static_cast<Cycle>(promise.sleep_cycles));
-      continue;
-    }
-    if (promise.wait_pred != nullptr && promise.wait_epoch == wake_epoch_) {
-      continue;  // parked, predicate provably unchanged: sleeps through any window
-    }
-    return 0;  // runnable, or parked with a stale predicate that needs evaluation
   }
   if (window > 0) {
     // Buffered writes (testbench code mutating a Reg/FIFO/BRAM between Run
     // calls, or a process's writes from the edge it went to sleep on) need a
     // real edge to commit before time may jump.
+    if (!dirty_.empty()) {
+      return 0;
+    }
     for (const Clocked* element : clocked_) {
       if (element->CommitPending()) {
         return 0;
@@ -304,18 +450,8 @@ void Simulator::FastForward(Cycle cycles) {
     obs::EmitComplete(tb, "sim.quiescent", NowPs(),
                       static_cast<Picoseconds>(cycles) * cycle_period_ps_);
   }
-  for (auto& entry : processes_) {
-    if (entry.process.Done()) {
-      continue;
-    }
-    auto& promise = entry.process.promise();
-    if (promise.sleep_cycles > 0) {
-      // QuiescentWindow bounded the jump by the minimum sleep, so no sleeper
-      // is skipped past its wake-up edge.
-      assert(promise.sleep_cycles >= cycles);
-      promise.sleep_cycles -= cycles;
-    }
-  }
+  // Sleep wake-ups are absolute cycles, so the jump is O(1): QuiescentWindow
+  // bounded it by the earliest wake_at, and no slot state needs touching.
   now_ += cycles;
   cycles_fast_forwarded_ += cycles;
   ++jumps_;
@@ -324,6 +460,43 @@ void Simulator::FastForward(Cycle cycles) {
     // opportunity per skipped tick; keep their books identical to per-edge
     // sampling.
     fault_registry_->NoteSkippedTicks(cycles);
+  }
+}
+
+void Simulator::RunFlatSpan(Cycle end, const std::function<bool()>* done) {
+  while (now_ < end) {
+    if (fault_registry_ != nullptr) [[unlikely]] {
+      fault_registry_->Tick(now_);
+    }
+    if (!forced_wakes_.empty()) [[unlikely]] {
+      ConsumeForcedWakes();
+    }
+    const u64 activity = SweepProcesses(/*lazy=*/true);
+    CommitEdge();
+    ++now_;
+    ++edges_run_;
+    if (!edge_observers_.empty()) [[unlikely]] {
+      // Attached mid-span (e.g. by a fault callback): this edge ran with the
+      // observer live, so it sees the edge, and the caller's loop falls back
+      // to dynamic per-edge dispatch for the rest of the run.
+      for (EdgeObserver* observer : edge_observers_) {
+        observer->OnEdge(now_);
+      }
+      return;
+    }
+#ifdef EMU_ANALYSIS
+    if (monitor_ != nullptr || dead_clocked_ > 0) [[unlikely]] {
+      return;  // fall back to StepInstrumented dispatch
+    }
+#endif
+    if (done != nullptr && (*done)()) {
+      return;
+    }
+    if (activity == 0) {
+      // Quiescent edge: hand control back so Run can fast-forward the rest
+      // of the window instead of idling through it edge by edge.
+      return;
+    }
   }
 }
 
@@ -336,6 +509,8 @@ void Simulator::Run(Cycle cycles) {
     const Cycle window = QuiescentWindow(end - now_);
     if (window > 0) {
       FastForward(window);
+    } else if (FlatSpanEligible()) {
+      RunFlatSpan(end, nullptr);
     } else {
       Step();
     }
@@ -357,6 +532,8 @@ bool Simulator::RunUntil(const std::function<bool()>& done, Cycle limit) {
     const Cycle window = QuiescentWindow(end - now_);
     if (window > 0) {
       FastForward(window);
+    } else if (FlatSpanEligible()) {
+      RunFlatSpan(end, &done);
     } else {
       Step();
     }

@@ -9,6 +9,39 @@
 // for NetFPGA SUME, 250 MHz for the P4FPGA baseline, §5.3) converts cycle
 // counts to wall-clock latency.
 //
+// --- Busy-path kernel (emu-speed) ---
+//
+// The per-edge loop is organized around three structures that keep the busy
+// path (saturated load, fast-forward never fires) out of pointer-chasing:
+//
+//   * Scheduling state lives in a struct-of-arrays Slot table owned by the
+//     Simulator, not in each coroutine's promise. A process's promise fields
+//     are only an announcement channel: awaiters write them at suspension and
+//     Reclassify() moves them into the Slot right after Resume() returns, so
+//     the sweep touches one contiguous array instead of one coroutine frame
+//     per process per edge. Sleeps are absolute wake cycles (no per-edge
+//     decrement), which also makes FastForward O(1).
+//
+//   * Commits are demand-driven. Elements whose mutators announce themselves
+//     (SyncFifo, Reg, Bram, Cam — RegisterClocked(self_announcing=true))
+//     are committed only on edges where they actually buffered something
+//     (AnnounceDirty → dirty queue); a clean element's Commit() is an
+//     idempotent no-op by kernel invariant, so skipping it is invisible.
+//     Elements that never announce stay on the unconditional commit list.
+//
+//   * Coroutine frames bump-allocate from the Simulator's arena when design
+//     construction is wrapped in a CoroFrameArenaScope (NetFpgaPipeline does
+//     this), packing a pipeline's frames contiguously.
+//
+// EnableFlatSchedule() pre-elaborates a static design (every process IO-
+// declared, ElabGraph::StaticSchedule succeeds) into a flat scheduled edge
+// loop: Run/RunUntil then execute RunFlatSpan — the same sweep/commit pair
+// without the per-edge dispatch overhead — and wake notifications route to
+// the declared watcher set of the mutated element (NotifyWakeFor) instead of
+// invalidating every parked predicate. Anything that demands per-edge
+// observation (EdgeObservers, HazardMonitor, SetFastPath(false)) falls back
+// to dynamic dispatch, including mid-run attachment.
+//
 // --- Quiescence-aware fast path ---
 //
 // Run()/RunUntil() additionally fast-forward over *quiescent windows*:
@@ -20,7 +53,7 @@
 // invisible: now() advances in one jump and every observable (egress,
 // digests, hazard reports, VCD, fault logs) is bit-identical to stepping
 // edge by edge. The window is clamped by
-//   - the earliest PauseFor expiry (min over promise.sleep_cycles),
+//   - the earliest PauseFor expiry (min over slot wake cycles),
 //   - forced wakes (RequestWakeAt: FIFO stall expiries),
 //   - the next tick an attached FaultRegistry must sample (armed
 //     callback targets, see FaultRegistry::NextTickDemand),
@@ -33,9 +66,13 @@
 // mutation of wake-tracked state (SyncFifo push-commits/pops/stalls,
 // explicit NotifyWake calls) bumps the epoch, and a parked process whose
 // predicate was last evaluated at the current epoch is skipped without
-// re-evaluation. With the fast path off (or a monitor attached) predicates
-// are evaluated on every edge — the reference semantics the equivalence
-// suite (tests/kernel_equiv_test.cc) checks the fast path against.
+// re-evaluation. With wake routing active a mutation instead marks only the
+// element's declared watchers stale — extra marks cost a predicate poll,
+// never a missed resume, because watcher sets come from the same IO
+// declarations the equivalence suite validates. With the fast path off (or
+// a monitor attached) predicates are evaluated on every edge — the
+// reference semantics the equivalence suite (tests/kernel_equiv_test.cc)
+// checks the fast path against.
 #ifndef SRC_HDL_SIMULATOR_H_
 #define SRC_HDL_SIMULATOR_H_
 
@@ -43,9 +80,11 @@
 #include <iosfwd>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/core/arena.h"
 #include "src/hdl/elab_catalog.h"
 #include "src/hdl/process.h"
 
@@ -79,9 +118,12 @@ class Clocked {
   // do not implement the query to exact per-edge stepping.
   virtual bool CommitPending() const { return true; }
 
-#ifdef EMU_ANALYSIS
  private:
   friend class Simulator;
+  // Set while the element sits on its Simulator's dirty commit queue
+  // (AnnounceDirty), so repeated mutations in one edge enqueue it once.
+  bool commit_enqueued_ = false;
+#ifdef EMU_ANALYSIS
   Simulator* analysis_owner_ = nullptr;
 #endif
 };
@@ -134,15 +176,29 @@ class Simulator {
   // its read/write sets.
   usize AddProcess(HwProcess process, std::string name);
 
-  // Clocked elements register themselves on construction.
+  // Clocked elements register themselves on construction. `self_announcing`
+  // elements promise that every mutation that can leave them with a pending
+  // commit calls AnnounceDirty(); the scheduler then commits them only on
+  // dirty edges. Elements registered without the promise are committed on
+  // every executed edge (the conservative default).
   //
   // LIFETIME RULE: a Clocked element and its Simulator may be destroyed in
   // either order, but Step() must never run after any registered element has
   // died (element destructors deliberately do not unregister, so a design
   // and its simulator can be torn down together in any member order).
   // UnregisterClocked exists for dynamic reconfiguration of a live design.
-  void RegisterClocked(Clocked* element);
+  void RegisterClocked(Clocked* element, bool self_announcing = false);
   void UnregisterClocked(Clocked* element);
+
+  // Enqueues a self-announcing element for commit on the current edge.
+  // Idempotent per edge; called by the element's mutators on the clean→dirty
+  // transition.
+  void AnnounceDirty(Clocked* element) {
+    if (!element->commit_enqueued_) {
+      element->commit_enqueued_ = true;
+      dirty_.push_back(element);
+    }
+  }
 
   // Advances one clock edge (always executed exactly; fast-forwarding only
   // happens inside Run/RunUntil).
@@ -165,11 +221,32 @@ class Simulator {
   // --- Quiescence control ---
 
   // Announces a mutation of wake-tracked state: every parked WaitUntil
-  // predicate becomes eligible for re-evaluation. Called by SyncFifo on
-  // occupancy/stall changes; call it yourself after mutating any other
-  // state a WaitUntil predicate reads (e.g. TenGigPort::Deliver).
+  // predicate becomes eligible for re-evaluation. Call this form when the
+  // mutated state has no cataloged identity (or from testbench context);
+  // element mutators use NotifyWakeFor so routed mode can scope the wake.
   void NotifyWake() { ++wake_epoch_; }
   u64 wake_epoch() const { return wake_epoch_; }
+
+  // Announces a mutation of element `element` (its catalog identity — the
+  // address it registered under, e.g. `this` for a SyncFifo, the
+  // CamInterface subobject for a Cam). With wake routing active only the
+  // processes that declared IO on that element are marked for predicate
+  // re-evaluation; otherwise (routing off, or an identity the route table
+  // has never seen) this degrades to a global NotifyWake.
+  void NotifyWakeFor(const void* element) {
+    if (!wake_routes_active_) {
+      ++wake_epoch_;
+      return;
+    }
+    auto it = wake_routes_.find(element);
+    if (it == wake_routes_.end()) {
+      ++wake_epoch_;
+      return;
+    }
+    for (u32 watcher : it->second) {
+      sched_[watcher].routed_stale = true;
+    }
+  }
 
   // Schedules a wake at `cycle` for time-dependent state changes that no
   // process announces (a FIFO stall expiring): the scheduler will execute
@@ -178,7 +255,8 @@ class Simulator {
 
   // Toggles the quiescence fast path (default on). With it off Run/RunUntil
   // execute every edge and evaluate every parked predicate per edge — the
-  // reference semantics the equivalence suite compares against.
+  // reference semantics the equivalence suite compares against. Also
+  // disables the flat-scheduled loop (which is lazy by construction).
   void SetFastPath(bool enabled) { fast_path_ = enabled; }
   bool fast_path() const { return fast_path_; }
 
@@ -238,8 +316,29 @@ class Simulator {
   // equivalence suite proves adoption is bit-exact for race-free designs.
   // Processes registered after adoption append to the end of the order.
   void AdoptSchedule(std::vector<usize> order);
-  void ClearSchedule() { order_.clear(); }
+  void ClearSchedule() {
+    order_.clear();
+    flat_schedule_ = false;
+    DisableWakeRouting();
+  }
   bool has_schedule() const { return !order_.empty(); }
+
+  // Pre-elaborates the constructed design into the flat scheduled edge loop:
+  // requires every process IO-declared (fully_declared) and an acyclic
+  // declared comb graph (StaticSchedule().ok). On success adopts the static
+  // order, builds the element→watcher wake route table, and arms the flat
+  // span for Run/RunUntil. Returns false (leaving dynamic dispatch in place)
+  // when the design does not qualify. Registering a process afterwards
+  // conservatively disables wake routing (its IO is undeclared); attaching
+  // an EdgeObserver or HazardMonitor falls back per-edge without disabling.
+  bool EnableFlatSchedule();
+  bool flat_schedule() const { return flat_schedule_; }
+  bool wake_routing_active() const { return wake_routes_active_; }
+
+  // Arena backing the design's coroutine frames; wrap process construction
+  // in CoroFrameArenaScope(sim.frame_arena()) to pack frames contiguously
+  // and tie their storage to the Simulator's lifetime.
+  BumpArena& frame_arena() { return frame_arena_; }
 
   // --- Analysis layer (src/analysis) ---
   // Attaches a HazardMonitor (nullptr detaches). The monitor only receives
@@ -270,6 +369,67 @@ class Simulator {
   // per-process bookkeeping lives here so the common path stays unchanged.
   void StepInstrumented();
 #endif
+
+  // Scheduling state for one process, struct-of-arrays style: the per-edge
+  // sweep walks this table and only touches a coroutine frame to actually
+  // resume it. Kept in sync with the promise announcement channel by
+  // Reclassify().
+  struct Slot {
+    enum State : u8 {
+      kRunnable = 0,  // resume on the next executed edge
+      kSleeping,      // resume on the edge at wake_at
+      kParked,        // resume on the first edge where wait_pred holds
+      kDone,          // coroutine ran to completion
+    };
+    State state = kRunnable;
+    // Routed-wake mark: a watched element mutated since the last predicate
+    // evaluation (only meaningful while parked).
+    bool routed_stale = false;
+    Cycle wake_at = 0;
+    bool (*wait_pred)(void*) = nullptr;
+    void* wait_ctx = nullptr;
+    u64 wait_epoch = kWaitEpochStale;
+  };
+
+  // Moves process `index`'s post-resume suspension announcement (promise
+  // sleep/park fields) into its Slot and clears the promise.
+  void Reclassify(usize index);
+
+  // Resumes/polls every due process once (one edge's worth of process work).
+  // `lazy` enables epoch/route-based parked-predicate skipping. Returns the
+  // number of resumes + predicate polls performed (0 = the edge was
+  // quiescent).
+  u64 SweepProcesses(bool lazy);
+
+  // Commits the unconditional list then drains the dirty queue.
+  void CommitEdge();
+
+  // True when Run/RunUntil may enter the flat scheduled span.
+  bool FlatSpanEligible() const {
+    if (!flat_schedule_ || !fast_path_ || !edge_observers_.empty()) {
+      return false;
+    }
+#ifdef EMU_ANALYSIS
+    if (monitor_ != nullptr || dead_clocked_ > 0) {
+      return false;
+    }
+#endif
+    return true;
+  }
+
+  // Executes edges back-to-back (no per-edge Run dispatch) until `end`,
+  // `done` (when non-null), a quiescent edge (activity == 0 — the caller
+  // then re-consults QuiescentWindow), or a mid-span fallback trigger
+  // (observer/monitor attached during an edge).
+  void RunFlatSpan(Cycle end, const std::function<bool()>* done);
+
+  // Drops the wake route table and forces a global re-evaluation epoch.
+  void DisableWakeRouting() {
+    if (wake_routes_active_) {
+      wake_routes_active_ = false;
+      ++wake_epoch_;
+    }
+  }
 
   // Length of the quiescent window starting at now_ (0 = the next edge must
   // be executed), capped at `budget`.
@@ -306,15 +466,23 @@ class Simulator {
   // Runs the attached elaboration exactly once before the first edge.
   void RunPreFlight();
 
+  // Declared first so it is destroyed last: coroutine frames allocated from
+  // the arena are destroyed (handle.destroy()) when processes_ dies, which
+  // must happen while their storage is still alive.
+  BumpArena frame_arena_;
+
   u64 clock_hz_;
   Picoseconds cycle_period_ps_;
   Cycle now_ = 0;
   std::vector<NamedProcess> processes_;
+  std::vector<Slot> sched_;   // parallel to processes_
   std::vector<usize> order_;  // adopted schedule; empty = registration order
   elab::Catalog catalog_;
   elab::Elaboration* elaboration_ = nullptr;
   bool preflight_done_ = false;
-  std::vector<Clocked*> clocked_;
+  std::vector<Clocked*> clocked_;         // every registered element (master list)
+  std::vector<Clocked*> always_commit_;   // subset committed on every edge
+  std::vector<Clocked*> dirty_;           // self-announcing elements pending commit
   HazardMonitor* monitor_ = nullptr;
   isize current_process_ = -1;
   usize dead_clocked_ = 0;
@@ -326,6 +494,11 @@ class Simulator {
   FaultRegistry* fault_registry_ = nullptr;
   EventScheduler* event_scheduler_ = nullptr;
   std::vector<EdgeObserver*> edge_observers_;
+
+  // Flat schedule state.
+  bool flat_schedule_ = false;
+  bool wake_routes_active_ = false;
+  std::unordered_map<const void*, std::vector<u32>> wake_routes_;
 
   // Profiler state.
   bool profiling_ = false;

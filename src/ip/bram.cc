@@ -12,7 +12,7 @@ Bram::Bram(Simulator& sim, std::string name, usize words, usize word_bits)
   assert(words > 0);
   assert(word_bits > 0 && word_bits <= 64);
   AddResources(BramResources(words * word_bits));
-  sim.RegisterClocked(this);
+  sim.RegisterClocked(this, /*self_announcing=*/true);
   sim.catalog().AddElement(this, elab::NodeKind::kBram, this->name());
 }
 
@@ -26,6 +26,9 @@ u64 Bram::Read(usize addr) const {
 
 void Bram::Write(usize addr, u64 value) {
   assert(addr < data_.size());
+  if (pending_.empty()) {
+    sim().AnnounceDirty(this);
+  }
   pending_.push_back(PendingWrite{addr, value & word_mask_});
 }
 
@@ -48,7 +51,7 @@ void Bram::Commit() {
   pending_.clear();
   // A parked process may be waiting on Read(addr); the commit is the moment
   // the new contents become observable.
-  sim().NotifyWake();
+  sim().NotifyWakeFor(this);
 }
 
 }  // namespace emu

@@ -12,7 +12,7 @@ Cam::Cam(Simulator& sim, std::string name, usize entries, usize key_bits, usize 
   assert(entries > 0);
   assert(key_bits > 0 && key_bits <= 64);
   AddResources(CamIpResources(entries, key_bits, value_bits));
-  sim.RegisterClocked(this);
+  sim.RegisterClocked(this, /*self_announcing=*/true);
   // Register the CamInterface subobject address: designs that hold the CAM
   // behind a unique_ptr<CamInterface> declare IO with that pointer, which
   // differs numerically from `this` under multiple inheritance.
@@ -37,11 +37,17 @@ CamLookupResult Cam::Lookup(u64 key) const {
 
 void Cam::Write(usize index, u64 key, u64 value) {
   assert(index < slots_.size());
+  if (pending_.empty()) {
+    sim().AnnounceDirty(this);
+  }
   pending_.push_back(PendingWrite{index, Slot{true, key & key_mask_, value}});
 }
 
 void Cam::Invalidate(usize index) {
   assert(index < slots_.size());
+  if (pending_.empty()) {
+    sim().AnnounceDirty(this);
+  }
   pending_.push_back(PendingWrite{index, Slot{}});
 }
 
@@ -68,8 +74,9 @@ void Cam::Commit() {
   }
   pending_.clear();
   // Lookup() results change at this edge; a process parked on a hit/miss
-  // predicate must be re-evaluated.
-  sim().NotifyWake();
+  // predicate must be re-evaluated. The wake identity is the CamInterface
+  // subobject — the same address the catalog registered.
+  sim().NotifyWakeFor(static_cast<const CamInterface*>(this));
 }
 
 }  // namespace emu

@@ -12,7 +12,7 @@ LogicCam::LogicCam(Simulator& sim, std::string name, usize entries, usize key_bi
   assert(entries > 0);
   assert(key_bits > 0 && key_bits <= 64);
   AddResources(LogicCamResources(entries, key_bits, value_bits));
-  sim.RegisterClocked(this);
+  sim.RegisterClocked(this, /*self_announcing=*/true);
   // CamInterface subobject address, for the same reason as Cam.
   sim.catalog().AddElement(static_cast<const CamInterface*>(this), elab::NodeKind::kCam,
                            this->name());
@@ -33,11 +33,17 @@ CamLookupResult LogicCam::Lookup(u64 key) const {
 
 void LogicCam::Write(usize index, u64 key, u64 value) {
   assert(index < slots_.size());
+  if (pending_.empty()) {
+    sim().AnnounceDirty(this);
+  }
   pending_.push_back(PendingWrite{index, Slot{true, key & key_mask_, value}});
 }
 
 void LogicCam::Invalidate(usize index) {
   assert(index < slots_.size());
+  if (pending_.empty()) {
+    sim().AnnounceDirty(this);
+  }
   pending_.push_back(PendingWrite{index, Slot{}});
 }
 
@@ -50,7 +56,7 @@ void LogicCam::Commit() {
   }
   pending_.clear();
   // Same wake rule as the IP CAM: committed lookup results just changed.
-  sim().NotifyWake();
+  sim().NotifyWakeFor(static_cast<const CamInterface*>(this));
 }
 
 }  // namespace emu

@@ -4,6 +4,11 @@ namespace emu {
 
 NetFpgaPipeline::NetFpgaPipeline(Simulator& sim, Service& service, PipelineConfig config)
     : sim_(sim), service_(service), config_(config) {
+  // Pack every coroutine frame created while building the pipeline (port
+  // ingress, arbiter, service stages, output queues) into the simulator's
+  // bump arena: contiguous frames for the per-edge sweep, freed wholesale
+  // when the simulator dies.
+  CoroFrameArenaScope frame_scope(sim.frame_arena());
   std::vector<SyncFifo<Packet>*> rx_fifos;
   for (usize i = 0; i < kNetFpgaPortCount; ++i) {
     ports_.push_back(std::make_unique<TenGigPort>(

@@ -2,20 +2,20 @@
 
 namespace emu {
 
-void EventScheduler::At(Picoseconds when, Action action) {
-  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(action)});
-}
-
 bool EventScheduler::Step() {
   if (queue_.empty()) {
     return false;
   }
-  // Move the event out before running it: the action may schedule more.
-  Event event = queue_.top();
+  Event event = queue_.top();  // POD copy; the closure stays pooled until run
   queue_.pop();
   now_ = event.when;
   ++executed_;
-  event.action();
+  event.run(*this, event.ctx);
+  if (queue_.empty()) {
+    // Epoch boundary: a drained queue proves no pooled closure is live, so
+    // the backing arena can rewind to empty (chunks retained).
+    pool_.Reset();
+  }
   return true;
 }
 

@@ -110,6 +110,19 @@ void TopologyBuilder::EnableLinkImpairment(Link& link, FaultRegistry& registry,
   link.EnableImpairment(/*to_b=*/false, registry, prefix + ".down");
 }
 
+usize TopologyBuilder::EnableAllUplinkImpairment(FaultRegistry& registry,
+                                                 const std::string& prefix) {
+  usize enabled = 0;
+  for (usize i = 0; i < hosts_.size(); ++i) {
+    if (uplinks_[i] == nullptr) {
+      continue;
+    }
+    EnableLinkImpairment(*uplinks_[i], registry, prefix + "." + hosts_[i]->name());
+    ++enabled;
+  }
+  return enabled;
+}
+
 u64 TopologyBuilder::Run(const ParallelRunOptions& opts) {
   if (mode_ == Mode::kFlat) {
     const u64 before = flat_scheduler_->executed();

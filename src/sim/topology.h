@@ -75,6 +75,12 @@ class TopologyBuilder {
   // (the Link per-direction impairment contract).
   void EnableLinkImpairment(Link& link, FaultRegistry& registry, const std::string& prefix);
 
+  // Registers per-direction impairment for every host uplink, named
+  // `<prefix>.<host>.up.*` / `<prefix>.<host>.down.*` (e.g. the soak plans
+  // arm `link.h0.up.drop`). Returns the number of links impaired. Points are
+  // inert until a plan arms them, so registration never perturbs a run.
+  usize EnableAllUplinkImpairment(FaultRegistry& registry, const std::string& prefix = "link");
+
   // Runs to quiescence (or the event budget); returns events executed.
   // Sharded: bit-exact for any opts.threads. Flat: opts.threads is ignored
   // (one scheduler) and opts.max_events bounds the run.
@@ -190,6 +196,13 @@ class HubTopology {
 
   // Host index by name, or host_count() when absent.
   usize FindHost(const std::string& name) const { return builder_.FindHost(name); }
+
+  // Per-direction impairment on every hub uplink (`<prefix>.<host>.up/.down`).
+  // Composes with the hub's cross-shard routing: each direction's points are
+  // sampled on its own sending shard, so threads=N stays bit-exact.
+  usize EnableImpairment(FaultRegistry& registry, const std::string& prefix = "link") {
+    return builder_.EnableAllUplinkImpairment(registry, prefix);
+  }
 
   // Runs all shards to quiescence; returns events executed. Bit-exact for
   // any opts.threads.

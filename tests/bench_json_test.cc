@@ -1,0 +1,119 @@
+// bench/bench_json.h unit tests.
+//
+// The helpers replaced two buggy generations of bench JSON I/O: an
+// iostream/strtod pair whose decimal separator followed the global locale,
+// and a section scanner that treated the first '}' after a section opened as
+// its close — truncating any section with a nested object. These tests pin
+// the round-trip exactness, the full JSON number grammar, the brace-depth
+// section scan, and locale independence.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <string>
+
+#include "bench/bench_json.h"
+
+namespace emu::bench {
+namespace {
+
+TEST(BenchJson, FormatParseRoundTripIsBitExact) {
+  const double values[] = {0.0,
+                           1.0,
+                           -1.0,
+                           0.5,
+                           -0.25,
+                           1.4290489433241595,     // a measured speedup ratio
+                           8532055.20871092,       // a measured cycles/sec
+                           0.033498352,            // a wall-seconds sample
+                           1e-9,
+                           -1e-9,
+                           1e21,                   // forces exponent notation
+                           4.9406564584124654e-324 /* min subnormal */};
+  for (const double v : values) {
+    const std::string text = FormatJsonNumber(v);
+    double back = 0;
+    ASSERT_TRUE(ParseJsonNumberAt(text, 0, &back)) << text;
+    EXPECT_EQ(back, v) << text;
+  }
+}
+
+TEST(BenchJson, ParseAcceptsFullJsonNumberGrammar) {
+  double v = 0;
+  ASSERT_TRUE(ParseJsonNumberAt("42", 0, &v));
+  EXPECT_EQ(v, 42.0);
+  ASSERT_TRUE(ParseJsonNumberAt("-7.5", 0, &v));
+  EXPECT_EQ(v, -7.5);
+  ASSERT_TRUE(ParseJsonNumberAt("1.25e3", 0, &v));
+  EXPECT_EQ(v, 1250.0);
+  ASSERT_TRUE(ParseJsonNumberAt("5E-2", 0, &v));
+  EXPECT_EQ(v, 0.05);
+  ASSERT_TRUE(ParseJsonNumberAt("  \t\n 3.5", 0, &v));  // leading whitespace
+  EXPECT_EQ(v, 3.5);
+  EXPECT_FALSE(ParseJsonNumberAt("", 0, &v));
+  EXPECT_FALSE(ParseJsonNumberAt("null", 0, &v));
+  EXPECT_FALSE(ParseJsonNumberAt("\"9\"", 0, &v));
+}
+
+TEST(BenchJson, ExtractJsonNumberFindsKeyedValues) {
+  const std::string doc = R"({"a": 1.5, "b": -2e3, "count": 7})";
+  double v = 0;
+  ASSERT_TRUE(ExtractJsonNumber(doc, "a", &v));
+  EXPECT_EQ(v, 1.5);
+  ASSERT_TRUE(ExtractJsonNumber(doc, "b", &v));
+  EXPECT_EQ(v, -2000.0);
+  ASSERT_TRUE(ExtractJsonNumber(doc, "count", &v));
+  EXPECT_EQ(v, 7.0);
+  EXPECT_FALSE(ExtractJsonNumber(doc, "missing", &v));
+}
+
+// The regression that motivated the brace-depth scanner: a section whose
+// FIRST child is a nested object. The old first-'}' logic truncated the
+// section at the inner close brace, so keys after the nested object were
+// never found.
+TEST(BenchJson, SectionScanIsBraceDepthAware) {
+  const std::string doc = R"({
+    "saturated": {
+      "workload": {"service": "learning_switch", "cycles": 200000},
+      "exact": {"cycles_per_sec": 100.0},
+      "flat": {"cycles_per_sec": 250.0},
+      "speedup": 2.5
+    },
+    "speedup": 99.0
+  })";
+  double v = 0;
+  // A key that sits after a nested object inside the section...
+  ASSERT_TRUE(ExtractJsonNumberInSection(doc, "saturated", "speedup", &v));
+  // ...must resolve to the section's value, not the document-level one.
+  EXPECT_EQ(v, 2.5);
+  // Disambiguation between same-named keys in sibling nested sections.
+  ASSERT_TRUE(ExtractJsonNumberInSection(doc, "exact", "cycles_per_sec", &v));
+  EXPECT_EQ(v, 100.0);
+  ASSERT_TRUE(ExtractJsonNumberInSection(doc, "flat", "cycles_per_sec", &v));
+  EXPECT_EQ(v, 250.0);
+  EXPECT_FALSE(ExtractJsonNumberInSection(doc, "absent", "speedup", &v));
+  EXPECT_FALSE(ExtractJsonNumberInSection(doc, "saturated", "absent", &v));
+  // Malformed (unclosed) section yields nothing rather than a torn view.
+  EXPECT_TRUE(ExtractJsonSection(R"("bad": { "x": 1)", "bad").empty());
+  EXPECT_FALSE(ExtractJsonNumberInSection(R"("bad": { "x": 1)", "bad", "x", &v));
+}
+
+// Writer and reader must ignore the global C locale. If a comma-decimal
+// locale is installed on the host, run the round trip under it; otherwise
+// the test still passes (std::to_chars/from_chars are locale-independent by
+// specification, so there is nothing to exercise).
+TEST(BenchJson, LocaleIndependentRoundTrip) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const bool have_comma_locale = std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+                                 std::setlocale(LC_ALL, "fr_FR.UTF-8") != nullptr;
+  const std::string text = FormatJsonNumber(3.14159);
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+  double back = 0;
+  ASSERT_TRUE(ParseJsonNumberAt(text, 0, &back));
+  EXPECT_EQ(back, 3.14159);
+  std::setlocale(LC_ALL, saved.c_str());
+  (void)have_comma_locale;
+}
+
+}  // namespace
+}  // namespace emu::bench
