@@ -12,14 +12,17 @@
 //   --requests N      workload requests per cell (default 400)
 //   --gap-us N        inter-request gap in simulated us (default 25)
 //   --seed N          workload + fault seed (default 1)
+//   --json PATH       additionally write the sweep as BENCH_chain.json
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/chain/scenario_build.h"
 #include "src/chain/stage_factory.h"
 #include "src/fault/fault_registry.h"
@@ -161,6 +164,7 @@ int Main(int argc, char** argv) {
   usize requests = 400;
   u64 gap_us = 25;
   u64 seed = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts = ParseList(argv[++i]);
@@ -170,9 +174,12 @@ int Main(int argc, char** argv) {
       gap_us = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads 1,4] [--requests N] [--gap-us N] [--seed N]\n",
+                   "usage: %s [--threads 1,4] [--requests N] [--gap-us N] [--seed N]"
+                   " [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -184,6 +191,7 @@ int Main(int argc, char** argv) {
   std::printf("%-24s %-8s %12s %10s %12s %10s %10s\n", "pipeline", "threads", "events",
               "epochs", "wall_s", "Mev/s", "speedup");
   bool ok = true;
+  std::string cells_json;
   for (const Pipeline& pipeline : kPipelines) {
     double serial_wall = 0;
     u64 serial_digest = 0;
@@ -212,14 +220,38 @@ int Main(int argc, char** argv) {
                      static_cast<unsigned long long>(serial_digest));
         ok = false;
       }
+      const double events_per_sec =
+          cell.wall_seconds > 0 ? static_cast<double>(cell.events) / cell.wall_seconds : 0.0;
+      const double speedup = cell.wall_seconds > 0 ? serial_wall / cell.wall_seconds : 0.0;
       std::printf("%-24s %-8zu %12llu %10llu %12.4f %10.2f %10.2f\n", pipeline.name,
                   threads, static_cast<unsigned long long>(cell.events),
                   static_cast<unsigned long long>(cell.epochs), cell.wall_seconds,
-                  cell.wall_seconds > 0
-                      ? static_cast<double>(cell.events) / cell.wall_seconds / 1e6
-                      : 0.0,
-                  cell.wall_seconds > 0 ? serial_wall / cell.wall_seconds : 0.0);
+                  events_per_sec / 1e6, speedup);
+      if (!cells_json.empty()) {
+        cells_json += ",\n";
+      }
+      cells_json += "    {\"pipeline\": \"" + std::string(pipeline.name) +
+                    "\", \"threads\": " + std::to_string(threads) +
+                    ", \"events\": " + std::to_string(cell.events) +
+                    ", \"epochs\": " + std::to_string(cell.epochs) +
+                    ", \"wall_seconds\": " + bench::FormatJsonNumber(cell.wall_seconds) +
+                    ", \"events_per_sec\": " + bench::FormatJsonNumber(events_per_sec) +
+                    ", \"speedup\": " + bench::FormatJsonNumber(speedup) + "}";
     }
+  }
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"benchmark\": \"chain_pipelines\",\n"
+            "  \"workload\": {\"requests\": " +
+                std::to_string(requests) + ", \"prewarm\": " + std::to_string(kPrewarmKeys) +
+                ", \"gap_us\": " + std::to_string(gap_us) +
+                ", \"seed\": " + std::to_string(seed) +
+                "},\n  \"cells\": [\n" + cells_json + "\n  ]\n}\n";
+    if (!file) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   if (!ok) {
     std::fprintf(stderr, "FAIL: chain pipeline diverged or lost flow\n");

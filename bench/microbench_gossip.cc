@@ -12,14 +12,17 @@
 //   --threads N,N,... thread counts (default 1,2,4)
 //   --run-ms N        simulated span per cell (default 100)
 //   --seed N          base seed (default 1)
+//   --json PATH       additionally write the sweep as BENCH_gossip.json
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/fault_registry.h"
 #include "src/services/swim_service.h"
@@ -130,6 +133,7 @@ int Main(int argc, char** argv) {
   std::vector<usize> thread_counts = {1, 2, 4};
   u64 run_ms = 100;
   u64 seed = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       host_counts = ParseList(argv[++i]);
@@ -139,9 +143,12 @@ int Main(int argc, char** argv) {
       run_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--hosts 8,16] [--threads 1,4] [--run-ms N] [--seed N]\n",
+                   "usage: %s [--hosts 8,16] [--threads 1,4] [--run-ms N] [--seed N]"
+                   " [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -153,6 +160,7 @@ int Main(int argc, char** argv) {
   std::printf("%-8s %-8s %12s %10s %12s %10s %10s\n", "hosts", "threads", "events",
               "epochs", "wall_s", "Mev/s", "speedup");
   bool ok = true;
+  std::string cells_json;
   for (usize hosts : host_counts) {
     double serial_wall = 0;
     u64 serial_digest = 0;
@@ -177,14 +185,36 @@ int Main(int argc, char** argv) {
                      static_cast<unsigned long long>(serial_digest));
         ok = false;
       }
+      const double events_per_sec =
+          cell.wall_seconds > 0 ? static_cast<double>(cell.events) / cell.wall_seconds : 0.0;
+      const double speedup = cell.wall_seconds > 0 ? serial_wall / cell.wall_seconds : 0.0;
       std::printf("%-8zu %-8zu %12llu %10llu %12.4f %10.2f %10.2f\n", hosts, threads,
                   static_cast<unsigned long long>(cell.events),
                   static_cast<unsigned long long>(cell.epochs), cell.wall_seconds,
-                  cell.wall_seconds > 0
-                      ? static_cast<double>(cell.events) / cell.wall_seconds / 1e6
-                      : 0.0,
-                  cell.wall_seconds > 0 ? serial_wall / cell.wall_seconds : 0.0);
+                  events_per_sec / 1e6, speedup);
+      if (!cells_json.empty()) {
+        cells_json += ",\n";
+      }
+      cells_json += "    {\"hosts\": " + std::to_string(hosts) +
+                    ", \"threads\": " + std::to_string(threads) +
+                    ", \"events\": " + std::to_string(cell.events) +
+                    ", \"epochs\": " + std::to_string(cell.epochs) +
+                    ", \"wall_seconds\": " + bench::FormatJsonNumber(cell.wall_seconds) +
+                    ", \"events_per_sec\": " + bench::FormatJsonNumber(events_per_sec) +
+                    ", \"speedup\": " + bench::FormatJsonNumber(speedup) + "}";
     }
+  }
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"benchmark\": \"gossip_cluster\",\n"
+            "  \"workload\": {\"run_ms\": " +
+                std::to_string(run_ms) + ", \"seed\": " + std::to_string(seed) +
+                "},\n  \"cells\": [\n" + cells_json + "\n  ]\n}\n";
+    if (!file) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   if (!ok) {
     std::fprintf(stderr, "FAIL: parallel membership history diverged from serial\n");

@@ -23,11 +23,24 @@
 // decomposition table) plus the threads=T Perfetto trace — the CI uploads
 // the directory.
 //
+// emu-pulse additions: every run samples source-side telemetry (reply
+// throughput, shed, in-flight window, FIFO-matched source RTT p50/p99) into
+// a bounded TimeSeriesRecorder and records the parallel runner's per-epoch
+// wall-clock profile. --log-dir then also gets, per seed, the soak
+// dashboard HTML, the series JSON, and the epoch profile JSON + wall-clock
+// trace. All of these are separate artifacts from the deterministic trace —
+// the byte-compare below still covers the deterministic stream only, and
+// still passes with pulse attached. --slo CLAUSES evaluates declarative SLO
+// gates (e.g. "chain.source.rtt_us.p99 <= 400; chain.loss_rate <= 0.01")
+// against the threads=T run of every seed and makes a breach exit nonzero.
+//
 // Usage:
 //   chain_soak [--seed N] [--seeds N] [--threads N] [--requests N]
-//              [--spec FILE] [--log-dir DIR] [--verbose]
+//              [--spec FILE] [--log-dir DIR] [--slo CLAUSES] [--prom FILE]
+//              [--verbose]
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -36,9 +49,15 @@
 
 #include "src/chain/scenario_build.h"
 #include "src/chain/stage_factory.h"
+#include "src/core/histogram.h"
 #include "src/core/metrics.h"
 #include "src/fault/fault_registry.h"
+#include "src/obs/dashboard.h"
 #include "src/obs/decompose.h"
+#include "src/obs/pulse.h"
+#include "src/obs/sampler.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/sim/memaslap.h"
 
@@ -72,6 +91,9 @@ struct SoakOptions {
   u64 gap_us = 25;
   std::string spec_text = kDefaultSpec;
   std::string log_dir;
+  std::string slo_spec;   // parsed up front; evaluated on every threads=T run
+  std::string prom_path;  // Prometheus exposition of the harness registry
+  u64 sample_interval_us = 100;
   bool verbose = false;
 };
 
@@ -96,6 +118,12 @@ struct RunOutcome {
   std::string decomposition;  // per-stage latency table
   std::string trace_json;     // Perfetto export (byte-compared across runs)
   std::vector<StageDecompositionCheck> stage_rows;
+  // emu-pulse artifacts (wall-clock / telemetry; NOT byte-compared):
+  obs::TimeSeriesRecorder series{2048};
+  std::vector<std::pair<std::string, u64>> final_metrics;  // end-of-run snapshot
+  std::string prom_text;          // source telemetry registry exposition
+  std::string pulse_summary_json; // per-shard/per-epoch runner profile
+  std::string pulse_trace_json;   // wall-clock Chrome trace (separate artifact)
 };
 
 RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt) {
@@ -141,16 +169,63 @@ RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt) {
   ChainRuntime& chain = scenario.chain;
   EventScheduler& clock = scenario.topology.host(scenario.source_host).scheduler();
   const Picoseconds gap = static_cast<Picoseconds>(opt.gap_us) * kPicosPerMicro;
+
+  // --- emu-pulse telemetry (source shard only) ---
+  // Everything sampled here is mutated exclusively by events on the source
+  // host's scheduler (sends, the reply handler, the sampler itself), so the
+  // mid-run sampling is shard-safe and its values — including the counter
+  // events it adds to the deterministic trace — are bit-identical for any
+  // thread count. RTT is FIFO-matched at the source: memaslap frames carry
+  // no request id (fixed UDP ports), so each reply is paired with the oldest
+  // outstanding send. Sums and means are exact under any matching; the p50/
+  // p99 are the standard passive-measurement approximation.
+  Histogram rtt_us;
+  std::deque<Picoseconds> in_flight;
+  u64 sent = 0;
+  MetricsRegistry source_metrics;
+  source_metrics.Register("chain.source.sent", &sent);
+  source_metrics.Register("chain.source.shed", [&chain] { return chain.source_shed(); });
+  source_metrics.Register("chain.source.replies", [&chain] { return chain.source_replies(); });
+  source_metrics.RegisterGauge("chain.source.in_flight",
+                               [&in_flight] { return static_cast<u64>(in_flight.size()); });
+  source_metrics.RegisterHistogram("chain.source.rtt_us", &rtt_us);
+  chain.SetSourceReplyHandler([&in_flight, &rtt_us, &clock](Packet) {
+    if (!in_flight.empty()) {
+      const Picoseconds sent_at = in_flight.front();
+      in_flight.pop_front();
+      rtt_us.Observe(static_cast<u64>((clock.now() - sent_at) / kPicosPerMicro));
+    }
+  });
+
   for (usize i = 0; i < frames.size(); ++i) {
-    clock.At(static_cast<Picoseconds>(i + 1) * gap,
-             [&chain, frame = std::move(frames[i])]() mutable {
-               chain.SourceSend(std::move(frame));
-             });
+    const Picoseconds at = static_cast<Picoseconds>(i + 1) * gap;
+    clock.At(at, [&chain, &in_flight, &sent, at, frame = std::move(frames[i])]() mutable {
+      if (chain.SourceSend(std::move(frame))) {
+        ++sent;
+        in_flight.push_back(at);
+      }
+    });
   }
+
+  MetricsSampler sampler(source_metrics,
+                         static_cast<Picoseconds>(opt.sample_interval_us) * kPicosPerMicro);
+  sampler.AttachRecorder(&out.series);
+  // Sample through the send schedule plus a drain tail for the last replies.
+  const Picoseconds sample_until =
+      static_cast<Picoseconds>(frames.size() + 1) * gap + 500 * kPicosPerMicro;
+  sampler.SchedulePeriodic(clock, sample_until);
+
+  obs::RunnerPulse pulse;
+  scenario.topology.runner().AttachPulse(&pulse);
 
   ParallelRunOptions run_opts;
   run_opts.threads = threads;
   out.events_executed = scenario.Run(run_opts);
+
+  out.final_metrics = source_metrics.Snapshot();
+  out.prom_text = source_metrics.PrometheusText();
+  out.pulse_summary_json = pulse.SummaryJson();
+  out.pulse_trace_json = pulse.WallClockTraceJson();
 
   out.chain_digest = chain.Digest();
   out.log_digest = registry.LogDigest();
@@ -231,9 +306,29 @@ bool WriteFileOrWarn(const std::string& path, const std::string& text) {
   return true;
 }
 
+// Lookup for the SLO gate: harness-derived values first (loss_rate), then the
+// end-of-run snapshot of the source telemetry registry (which already expands
+// histogram `.count/.sum/.p50/.p99` views).
+obs::SloLookup MakeSoakLookup(const RunOutcome& run) {
+  return [&run](const std::string& name) -> std::optional<double> {
+    if (name == "chain.loss_rate") {
+      return run.attempts == 0 ? 0.0
+                               : static_cast<double>(run.source_shed) /
+                                     static_cast<double>(run.attempts);
+    }
+    for (const auto& [metric, value] : run.final_metrics) {
+      if (metric == name) {
+        return static_cast<double>(value);
+      }
+    }
+    return std::nullopt;
+  };
+}
+
 void WriteSeedArtifacts(const SoakOptions& opt, u64 seed, const RunOutcome& serial,
                         const RunOutcome& parallel, const RunOutcome& replay,
-                        const std::vector<std::string>& violations) {
+                        const std::vector<std::string>& violations,
+                        const obs::SloReport& slo) {
   char digests[256];
   std::snprintf(digests, sizeof(digests),
                 "chain digest: serial=%016llx threads=%016llx replay=%016llx\n"
@@ -263,15 +358,38 @@ void WriteSeedArtifacts(const SoakOptions& opt, u64 seed, const RunOutcome& seri
   const std::string base = opt.log_dir + "/seed" + std::to_string(seed);
   WriteFileOrWarn(base + ".txt", text);
   WriteFileOrWarn(base + ".trace.json", parallel.trace_json);
+
+  // emu-pulse artifacts (threads run): soak dashboard + raw series, the
+  // runner's epoch profile, and the wall-clock trace. Separate files from the
+  // deterministic trace above by design.
+  obs::DashboardOptions dash;
+  dash.title = "chain_soak seed " + std::to_string(seed);
+  dash.subtitle = "filter->nat->cache->pool, threads run; source-side telemetry";
+  const std::vector<obs::ChartSpec> charts = {
+      {"Reply throughput", "replies/s", {"chain.source.replies"}, true},
+      {"Source shed (cumulative)", "frames", {"chain.source.shed"}, false},
+      {"In-flight window", "requests", {"chain.source.in_flight"}, false},
+      {"Source RTT", "us", {"chain.source.rtt_us.p50", "chain.source.rtt_us.p99"}, false},
+  };
+  obs::WriteSoakDashboardHtml(base + ".dashboard.html", dash, parallel.series, charts, slo);
+  WriteFileOrWarn(base + ".series.json", parallel.series.SeriesJson());
+  WriteFileOrWarn(base + ".pulse.json", parallel.pulse_summary_json);
+  WriteFileOrWarn(base + ".pulse.trace.json", parallel.pulse_trace_json);
 }
 
 int Usage() {
   std::printf(
       "usage: chain_soak [--seed N] [--seeds N] [--threads N] [--requests N]\n"
-      "                  [--gap-us N] [--spec FILE] [--log-dir DIR] [--verbose]\n"
+      "                  [--gap-us N] [--spec FILE] [--log-dir DIR]\n"
+      "                  [--slo CLAUSES] [--prom FILE] [--sample-us N] [--verbose]\n"
       "--spec replaces the built-in filter->nat->cache->pool scenario;\n"
       "--log-dir must already exist; per-seed artifacts (digests, counters,\n"
-      "latency decomposition, Perfetto trace) are written there.\n");
+      "latency decomposition, Perfetto trace, soak dashboard HTML, series +\n"
+      "epoch-profile JSON) are written there.\n"
+      "--slo takes ';'-separated clauses like \"chain.source.rtt_us.p99 <= 400;\n"
+      "chain.loss_rate <= 0.02\"; any breach on any seed's threads run makes\n"
+      "the exit status nonzero. --prom writes the source telemetry registry\n"
+      "of the last seed's threads run in Prometheus exposition format.\n");
   return 2;
 }
 
@@ -300,14 +418,29 @@ int Main(int argc, char** argv) {
       opt.spec_text = text.str();
     } else if (arg == "--log-dir" && i + 1 < argc) {
       opt.log_dir = argv[++i];
+    } else if (arg == "--slo" && i + 1 < argc) {
+      opt.slo_spec = argv[++i];
+    } else if (arg == "--prom" && i + 1 < argc) {
+      opt.prom_path = argv[++i];
+    } else if (arg == "--sample-us" && i + 1 < argc) {
+      opt.sample_interval_us = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       return Usage();
     }
   }
-  if (opt.threads == 0 || opt.seed_count == 0 || opt.requests == 0 || opt.gap_us == 0) {
+  if (opt.threads == 0 || opt.seed_count == 0 || opt.requests == 0 || opt.gap_us == 0 ||
+      opt.sample_interval_us == 0) {
     return Usage();
+  }
+
+  // Parse the SLO spec before any run: a malformed gate must fail fast, not
+  // after minutes of soak.
+  const obs::SloParseResult slo_spec = obs::ParseSloSpec(opt.slo_spec);
+  if (!slo_spec.ok) {
+    std::fprintf(stderr, "chain_soak: %s\n", slo_spec.error.c_str());
+    return 2;
   }
 
   std::printf("chain_soak: seeds=[%llu..%llu] threads={1,%zu} requests=%zu (+%zu prewarm)\n",
@@ -345,6 +478,12 @@ int Main(int argc, char** argv) {
     } else if (!replay.ok) {
       violations.push_back(replay.detail);
     }
+    // SLO gate on the threads run: a breach is a failure in its own right,
+    // even with every determinism/flow invariant intact.
+    const obs::SloReport slo = obs::EvaluateSlo(slo_spec.clauses, MakeSoakLookup(parallel));
+    if (!slo.ok) {
+      violations.push_back("slo: breach (see clause report)");
+    }
     all_ok = all_ok && violations.empty();
 
     std::printf("seed=%llu  events=%llu  chain=%016llx log=%016llx  %s\n",
@@ -356,11 +495,22 @@ int Main(int argc, char** argv) {
     for (const std::string& v : violations) {
       std::printf("  %s\n", v.c_str());
     }
+    if (!slo.checks.empty()) {
+      std::printf("%s", obs::FormatSloReport(slo).c_str());
+    }
     if (k == 0 || !violations.empty()) {
       std::printf("%s", parallel.decomposition.c_str());
     }
     if (!opt.log_dir.empty()) {
-      WriteSeedArtifacts(opt, seed, serial, parallel, replay, violations);
+      WriteSeedArtifacts(opt, seed, serial, parallel, replay, violations, slo);
+    }
+    if (!opt.prom_path.empty() && k + 1 == opt.seed_count) {
+      std::string lint_error;
+      if (!PrometheusLint(parallel.prom_text, &lint_error)) {
+        std::printf("  prom lint: %s\n", lint_error.c_str());
+        all_ok = false;
+      }
+      WriteFileOrWarn(opt.prom_path, parallel.prom_text);
     }
   }
   std::printf("chain_soak: %s\n", all_ok ? "all invariants held" : "FAILURES");

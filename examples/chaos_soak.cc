@@ -22,9 +22,18 @@
 // and every response byte replays exactly; --replay runs each soak twice and
 // compares the fault-log and egress digests.
 //
+// emu-pulse additions: the soak loop samples each case's registry every
+// ~1/256th of the run into a bounded TimeSeriesRecorder (the FpgaTarget has
+// no EventScheduler, so sampling is manual, keyed to the cycle clock at the
+// nominal 1 cycle = 1 ns the dashboards assume); --log-dir gets a dashboard
+// HTML + series JSON per case. --slo CLAUSES gates each case's end-of-run
+// metrics (e.g. "chaos.loss_rate <= 0.05; chaos.hazards <= 0"); --prom
+// writes the last case's registry in Prometheus format, self-linted.
+//
 // Usage:
 //   chaos_soak [--seed N] [--cycles N] [--faults "<plan>"] [--replay]
-//              [--service <name>] [--verbose]
+//              [--service <name>] [--slo CLAUSES] [--prom FILE] [--verbose]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -38,6 +47,9 @@
 #include "src/core/targets.h"
 #include "src/fault/fault_registry.h"
 #include "src/fault/frame_impairer.h"
+#include "src/obs/dashboard.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
 #include "src/net/dns.h"
 #include "src/net/icmp.h"
 #include "src/net/tcp.h"
@@ -247,6 +259,11 @@ struct SoakOutcome {
   // uploaded file alone.
   std::string plan_used;
   std::string injection_log;
+  // emu-pulse: sampled case telemetry + the end-of-run snapshot the SLO
+  // gate evaluates, and the registry's Prometheus exposition.
+  obs::TimeSeriesRecorder series{512};
+  std::vector<std::pair<std::string, u64>> final_metrics;
+  std::string prom_text;
 };
 
 struct SoakOptions {
@@ -254,6 +271,8 @@ struct SoakOptions {
   u64 cycles = 1'000'000;
   std::string plan_text;  // empty: randomized from seed
   std::string log_dir;    // when set: write per-case artifacts on failure
+  std::string slo_spec;   // per-case end-of-run gates
+  std::string prom_path;  // Prometheus exposition of the last case's registry
   bool verbose = false;
 };
 
@@ -318,8 +337,21 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
     target.Inject(port, std::move(frame), at);
     ++out.injected;
   };
+  // Manual telemetry sampling (no EventScheduler on an FpgaTarget): one
+  // registry snapshot every ~1/256th of the soak, timestamped at the
+  // nominal 1 cycle = 1 ns so the dashboard's per-second rates read as
+  // per-gigacycle. The extra getters make the flow visible alongside the
+  // service counters.
+  metrics.Register("chaos.injected", [&pipe] { return pipe.injected(); });
+  metrics.Register("chaos.egressed", [&pipe] { return pipe.egressed(); });
+  const u64 sample_every = std::max<u64>(kFrameGap, opt.cycles / 256);
+  u64 next_sample = 0;
   for (u64 cycle = 0; cycle < opt.cycles; cycle += kFrameGap) {
     const Cycle now = target.sim().now();
+    if (cycle >= next_sample) {
+      out.series.Record(static_cast<Picoseconds>(now) * kPicosPerNano, metrics.Snapshot());
+      next_sample += sample_every;
+    }
     {
       const u8 port = c.ports[frame_index % c.ports.size()];
       Packet frame = c.factory(frame_index, port);
@@ -367,6 +399,10 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
   out.faults_fired = registry.fired_total();
   out.fault_digest = registry.LogDigest();
   out.injection_log = registry.Summary();
+  out.series.Record(static_cast<Picoseconds>(target.sim().now()) * kPicosPerNano,
+                    metrics.Snapshot());
+  out.final_metrics = metrics.Snapshot();
+  out.prom_text = metrics.PrometheusText();
   out.balanced =
       in == out.injected &&
       in == egress_count + out.pipeline_drops + out.service_dropped;
@@ -411,6 +447,42 @@ SoakOutcome RunSoak(SoakCase c, const SoakOptions& opt) {
     std::printf("%s", metrics.Format().c_str());
   }
   return out;
+}
+
+// SLO lookup per case: harness-derived values first, then the end-of-run
+// registry snapshot (histogram derived views already expanded).
+obs::SloLookup MakeCaseLookup(const SoakOutcome& out) {
+  return [&out](const std::string& name) -> std::optional<double> {
+    if (name == "chaos.loss_rate") {
+      const u64 lost = out.tap_dropped + out.pipeline_drops + out.service_dropped;
+      return out.generated == 0 ? 0.0
+                                : static_cast<double>(lost) / static_cast<double>(out.generated);
+    }
+    if (name == "chaos.recovered") return out.recovered ? 1.0 : 0.0;
+    if (name == "chaos.hazards") return static_cast<double>(out.hazards);
+    if (name == "chaos.faults_fired") return static_cast<double>(out.faults_fired);
+    for (const auto& [metric, value] : out.final_metrics) {
+      if (metric == name) return static_cast<double>(value);
+    }
+    return std::nullopt;
+  };
+}
+
+// Dashboard + series JSON for one case (written for every case when
+// --log-dir is set, not just failures — a green soak's telemetry is the
+// baseline the red one is diffed against).
+void WriteCaseDashboard(const SoakOptions& opt, const std::string& name,
+                        const SoakOutcome& out, const obs::SloReport& slo) {
+  obs::DashboardOptions dash;
+  dash.title = "chaos_soak " + name + " seed " + std::to_string(opt.seed);
+  dash.subtitle = std::to_string(opt.cycles) + " cycles; plan: " + out.plan_used;
+  const std::vector<obs::ChartSpec> charts = {
+      {"Flow", "frames/s (1 cyc = 1 ns)", {"chaos.injected", "chaos.egressed"}, true},
+      {"Faults fired (cumulative)", "injections", {"faults.fired"}, false},
+  };
+  const std::string base = opt.log_dir + "/" + name + "_seed" + std::to_string(opt.seed);
+  obs::WriteSoakDashboardHtml(base + ".dashboard.html", dash, out.series, charts, slo);
+  out.series.WriteSeriesJson(base + ".series.json");
 }
 
 void PrintOutcome(const std::string& name, const SoakOutcome& out, u64 seed) {
@@ -470,8 +542,11 @@ void WriteFailureArtifact(const SoakOptions& opt, const std::string& name,
 int Usage() {
   std::printf(
       "usage: chaos_soak [--seed N] [--cycles N] [--faults \"<plan>\"]\n"
-      "                  [--replay] [--service <name>] [--log-dir DIR] [--verbose]\n"
+      "                  [--replay] [--service <name>] [--log-dir DIR]\n"
+      "                  [--slo CLAUSES] [--prom FILE] [--verbose]\n"
       "services: icmp_echo tcp_ping dns nat memcached (default: all)\n"
+      "--slo gates every case's end-of-run metrics, e.g.\n"
+      "  \"chaos.loss_rate <= 0.05; chaos.hazards <= 0; chaos.recovered >= 1\"\n"
       "plan: \"<point> oneshot <tick> | bernoulli <p> | burst <from> <until> <p>"
       " [magnitude]\" entries, ';'-separated\n");
   return 2;
@@ -495,11 +570,21 @@ int Main(int argc, char** argv) {
       only_service = argv[++i];
     } else if (arg == "--log-dir" && i + 1 < argc) {
       opt.log_dir = argv[++i];
+    } else if (arg == "--slo" && i + 1 < argc) {
+      opt.slo_spec = argv[++i];
+    } else if (arg == "--prom" && i + 1 < argc) {
+      opt.prom_path = argv[++i];
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       return Usage();
     }
+  }
+
+  const obs::SloParseResult slo_spec = obs::ParseSloSpec(opt.slo_spec);
+  if (!slo_spec.ok) {
+    std::fprintf(stderr, "chaos_soak: %s\n", slo_spec.error.c_str());
+    return 2;
   }
 
   using CaseMaker = SoakCase (*)();
@@ -523,8 +608,32 @@ int Main(int argc, char** argv) {
     const SoakOutcome first = RunSoak(make(), opt);
     PrintOutcome(name, first, opt.seed);
     all_ok = all_ok && first.ok;
+
+    const obs::SloReport slo = obs::EvaluateSlo(slo_spec.clauses, MakeCaseLookup(first));
+    if (!slo.checks.empty()) {
+      std::printf("%s", obs::FormatSloReport(slo).c_str());
+    }
+    all_ok = all_ok && slo.ok;
+
+    if (!opt.log_dir.empty()) {
+      WriteCaseDashboard(opt, name, first, slo);
+    }
     if (!first.ok && !opt.log_dir.empty()) {
       WriteFailureArtifact(opt, name, first, nullptr);
+    }
+    if (!opt.prom_path.empty()) {
+      std::string lint_error;
+      if (!PrometheusLint(first.prom_text, &lint_error)) {
+        std::printf("%-10s prom lint: %s\n", name, lint_error.c_str());
+        all_ok = false;
+      }
+      std::FILE* f = std::fopen(opt.prom_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(first.prom_text.data(), 1, first.prom_text.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "chaos_soak: cannot write %s\n", opt.prom_path.c_str());
+      }
     }
     if (replay && first.ok) {
       const SoakOutcome second = RunSoak(make(), opt);

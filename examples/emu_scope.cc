@@ -8,14 +8,17 @@
 // while a MetricsSampler snapshots the memcached node's counters in-run.
 //
 // Artifacts:
-//   /tmp/emu_scope.trace.json  — Chrome/Perfetto trace; open in
-//                                https://ui.perfetto.dev
-//   /tmp/emu_scope.prom        — Prometheus text exposition of every counter,
-//                                gauge and latency histogram in the run
+//   /tmp/emu_scope.trace.json   — Chrome/Perfetto trace; open in
+//                                 https://ui.perfetto.dev
+//   /tmp/emu_scope.prom         — Prometheus text exposition of every counter,
+//                                 gauge and latency histogram in the run
+//   /tmp/emu_scope.profile.json — emu-pulse kernel phase profile of the
+//                                 memcached node (sampled profiling mode)
 //
 // The driver then re-runs the identical workload at threads=4 and checks the
 // exported trace is byte-identical — the emu-par determinism contract
-// extended to observability.
+// extended to observability. Kernel profiling is wall-clock-only state, so
+// it stays enabled across both runs without perturbing the comparison.
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -26,6 +29,7 @@
 #include "src/net/ethernet.h"
 #include "src/net/ipv4.h"
 #include "src/net/udp.h"
+#include "src/obs/pulse.h"
 #include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/services/learning_switch.h"
@@ -92,6 +96,7 @@ struct RunResult {
   u64 events = 0;
   u64 trace_events_dropped = 0;
   std::vector<obs::MergedEvent> merged;
+  SimProfile profile;  // memcached node's kernel phase profile (sampled mode)
 };
 
 // One full traced run of the mixed workload. Fresh everything per call so
@@ -203,7 +208,12 @@ RunResult RunOnce(usize threads) {
   MetricsSampler sampler(mc_metrics, 100 * kPicosPerMicro);
   sampler.SchedulePeriodic(topo.node_scheduler(mc), 400 * kPicosPerMicro);
 
+  // Sampled kernel profiling on the memcached node: wall-clock accounting
+  // only, so the deterministic trace bytes are untouched by it.
+  topo.node(mc).target().sim().SetProfilingMode(ProfilingMode::kSampled);
+
   result.events = topo.Run(threads);
+  result.profile = topo.node(mc).target().sim().ProfileReport();
 
   MetricsRegistry metrics;
   switch_service.RegisterMetrics(metrics);
@@ -317,14 +327,35 @@ int main() {
   std::printf("threads=4 trace byte-identical to threads=1: %s\n",
               deterministic ? "yes" : "NO");
 
+  // Kernel phase profile: the table prints only when the report actually
+  // carries wall data — a disabled or never-sampled profiler says so
+  // explicitly instead of rendering an all-zero table.
+  if (run.profile.populated()) {
+    std::printf("\nkernel phase profile (memcached node, sampled 1/%llu):\n%s",
+                static_cast<unsigned long long>(run.profile.sample_stride),
+                obs::FormatSimProfileTable(run.profile).c_str());
+  } else {
+    std::printf("\nkernel phase profile: %s\n",
+                run.profile.profiling_enabled
+                    ? "enabled, but no edges were timed (run too short for the stride)"
+                    : "profiling disabled (Simulator::SetProfilingMode to enable)");
+  }
+
   const bool json_written = WriteText("/tmp/emu_scope.trace.json", run.trace_json);
   const bool prom_written = WriteText("/tmp/emu_scope.prom", run.prom_text);
+  const bool profile_written =
+      WriteText("/tmp/emu_scope.profile.json", obs::SimProfileJson(run.profile));
   std::printf("\nwrote /tmp/emu_scope.trace.json (%s) — open in ui.perfetto.dev\n",
               json_written ? "ok" : "FAILED");
   std::printf("wrote /tmp/emu_scope.prom (%s) — scrape-ready Prometheus text\n",
               prom_written ? "ok" : "FAILED");
+  std::printf("wrote /tmp/emu_scope.profile.json (%s) — kernel phase profile\n",
+              profile_written ? "ok" : "FAILED");
   std::printf("in-run sampler captured %zu snapshots of the memcached node\n",
               run.sampler_rows);
 
-  return json_valid && prom_valid && deterministic && json_written && prom_written ? 0 : 1;
+  return json_valid && prom_valid && deterministic && json_written && prom_written &&
+                 profile_written
+             ? 0
+             : 1;
 }

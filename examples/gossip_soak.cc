@@ -27,10 +27,21 @@
 // --log-dir writes one file per seed with the plan, the injection log, and
 // the digests — the CI uploads that directory as a failure artifact.
 //
+// emu-pulse additions: every run samples host-0's SWIM telemetry (probe
+// rate, suspect/dead declarations, live-member view) into a bounded
+// TimeSeriesRecorder and records the parallel runner's per-epoch wall-clock
+// profile; --log-dir then also gets, per seed, the soak dashboard HTML,
+// series JSON, and epoch profile JSON + wall-clock trace. The sampler runs
+// on host 0's scheduler and reads only peer-0 state, so the runs stay
+// bit-exact for any thread count. --slo CLAUSES evaluates declarative gates
+// over the cross-seed harness metrics at end of soak (e.g.
+// "gossip.detection_latency_us.p99 <= 5000; gossip.violations_total <= 0")
+// and makes a breach exit nonzero.
+//
 // Usage:
 //   gossip_soak [--seed N] [--seeds N] [--hosts N] [--threads N]
 //               [--run-ms N] [--plan "<topo plan>"] [--prom FILE]
-//               [--log-dir DIR] [--verbose]
+//               [--log-dir DIR] [--slo CLAUSES] [--verbose]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +54,11 @@
 #include "src/core/metrics.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/fault_registry.h"
+#include "src/obs/dashboard.h"
+#include "src/obs/pulse.h"
+#include "src/obs/sampler.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
 #include "src/services/swim_service.h"
 #include "src/sim/chaos.h"
 #include "src/sim/topology.h"
@@ -77,6 +93,8 @@ struct SoakOptions {
   std::string plan_text = kDefaultPlan;
   std::string prom_path;
   std::string log_dir;
+  std::string slo_spec;  // evaluated over the cross-seed harness metrics
+  u64 sample_interval_us = 1000;
   bool impair = false;
   bool verbose = false;
 };
@@ -124,6 +142,10 @@ struct RunOutcome {
   std::vector<bool> host_up;
   std::string injection_log;
   std::string prom_text;  // filled when want_prom
+  // emu-pulse artifacts (wall-clock / telemetry; orthogonal to the digests):
+  obs::TimeSeriesRecorder series{1024};
+  std::string pulse_summary_json;
+  std::string pulse_trace_json;
 };
 
 RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt, bool want_prom) {
@@ -171,10 +193,33 @@ RunOutcome RunOnce(u64 seed, usize threads, const SoakOptions& opt, bool want_pr
     peers.back()->Start();
   }
 
+  // emu-pulse: sample host 0's SWIM telemetry on host 0's own scheduler.
+  // Every value read is mutated only by events on that shard (peer 0's
+  // counters and membership view), so mid-run sampling is shard-safe and the
+  // sampled series — like the digests — is bit-exact for any thread count.
+  MetricsRegistry h0_metrics;
+  peers[0]->RegisterMetrics(h0_metrics, "swim.h0");
+  h0_metrics.RegisterGauge("swim.h0.alive_members", [&peers, hosts = opt.hosts] {
+    u64 alive = 0;
+    for (usize s = 0; s < hosts; ++s) {
+      if (peers[0]->StateOf(static_cast<u16>(s)) == SwimState::kAlive) ++alive;
+    }
+    return alive;
+  });
+  MetricsSampler sampler(h0_metrics,
+                         static_cast<Picoseconds>(opt.sample_interval_us) * kPicosPerMicro);
+  sampler.AttachRecorder(&out.series);
+  sampler.SchedulePeriodic(topo.host(0).scheduler(), swim_config.run_until);
+
+  obs::RunnerPulse pulse;
+  topo.runner().AttachPulse(&pulse);
+
   ParallelRunOptions run_opts;
   run_opts.threads = threads;
   out.events_executed = topo.Run(run_opts);
   out.epochs = topo.runner().epochs();
+  out.pulse_summary_json = pulse.SummaryJson();
+  out.pulse_trace_json = pulse.WallClockTraceJson();
 
   u64 combined = kFnvOffset;
   for (const auto& peer : peers) {
@@ -497,14 +542,36 @@ void WriteSeedArtifact(const SoakOptions& opt, u64 seed, const RunOutcome& seria
       text += "  " + v.message + "\n";
     }
   }
-  WriteFileOrWarn(opt.log_dir + "/seed" + std::to_string(seed) + ".txt", text);
+  const std::string base = opt.log_dir + "/seed" + std::to_string(seed);
+  WriteFileOrWarn(base + ".txt", text);
+
+  // emu-pulse artifacts (threads run): dashboard + series + epoch profile.
+  obs::DashboardOptions dash;
+  dash.title = "gossip_soak seed " + std::to_string(seed);
+  dash.subtitle = std::to_string(opt.hosts) + " hosts, threads run; host-0 SWIM telemetry";
+  const std::vector<obs::ChartSpec> charts = {
+      {"Probe rate", "pings/s", {"swim.h0.pings_sent"}, true},
+      {"Live members (h0 view)", "members", {"swim.h0.alive_members"}, false},
+      {"Failure declarations", "cumulative",
+       {"swim.h0.suspects_declared", "swim.h0.deads_declared"}, false},
+      {"Gossip fanout", "entries", {"swim.h0.gossip_fanout.p50", "swim.h0.gossip_fanout.p99"},
+       false},
+  };
+  obs::WriteSoakDashboardHtml(base + ".dashboard.html", dash, parallel.series, charts,
+                              obs::SloReport{});
+  WriteFileOrWarn(base + ".series.json", parallel.series.SeriesJson());
+  WriteFileOrWarn(base + ".pulse.json", parallel.pulse_summary_json);
+  WriteFileOrWarn(base + ".pulse.trace.json", parallel.pulse_trace_json);
 }
 
 int Usage() {
   std::printf(
       "usage: gossip_soak [--seed N] [--seeds N] [--hosts N] [--threads N]\n"
       "                   [--run-ms N] [--plan \"<topo plan>\"] [--prom FILE]\n"
-      "                   [--log-dir DIR] [--impair] [--verbose]\n"
+      "                   [--log-dir DIR] [--slo CLAUSES] [--sample-us N]\n"
+      "                   [--impair] [--verbose]\n"
+      "--slo gates the cross-seed harness metrics at end of soak, e.g.\n"
+      "  \"gossip.detection_latency_us.p99 <= 5000; gossip.violations_total <= 0\"\n"
       "plan grammar: crash host=<h> at=<t>; restart host=<h> at=<t>;\n"
       "              partition {a,b}|{c,d} from=<t> to=<t> [oneway];\n"
       "              link.<h>.{up,down}.{drop,corrupt,dup,reorder,delay} <schedule>\n"
@@ -533,6 +600,10 @@ int Main(int argc, char** argv) {
       opt.prom_path = argv[++i];
     } else if (arg == "--log-dir" && i + 1 < argc) {
       opt.log_dir = argv[++i];
+    } else if (arg == "--slo" && i + 1 < argc) {
+      opt.slo_spec = argv[++i];
+    } else if (arg == "--sample-us" && i + 1 < argc) {
+      opt.sample_interval_us = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--impair") {
       opt.impair = true;
     } else if (arg == "--verbose") {
@@ -541,11 +612,19 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (opt.hosts < 3 || opt.hosts > 64 || opt.threads == 0 || opt.seed_count == 0) {
+  if (opt.hosts < 3 || opt.hosts > 64 || opt.threads == 0 || opt.seed_count == 0 ||
+      opt.sample_interval_us == 0) {
     return Usage();
   }
   if (opt.impair) {
     opt.plan_text += kImpairClauses;
+  }
+
+  // Parse the SLO gate before any run so a malformed spec fails fast.
+  const obs::SloParseResult slo_spec = obs::ParseSloSpec(opt.slo_spec);
+  if (!slo_spec.ok) {
+    std::fprintf(stderr, "gossip_soak: %s\n", slo_spec.error.c_str());
+    return 2;
   }
 
   const Expected<FaultPlan> plan = ParseFaultPlan(opt.plan_text);
@@ -630,12 +709,27 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(detection_latency_us.PercentileEstimate(99.0)),
                 static_cast<unsigned long long>(detection_latency_us.count()));
   }
+  MetricsRegistry harness;
+  harness.Register("gossip.runs_total", &runs_total);
+  harness.Register("gossip.violations_total", &violations_total);
+  harness.RegisterHistogram("gossip.detection_latency_us", &detection_latency_us);
+
+  // The SLO gate runs over the cross-seed harness metrics (TryGet resolves
+  // histogram `.p50`/`.p99` views) — a breach is a soak failure on its own.
+  const obs::SloReport slo = obs::EvaluateSlo(slo_spec.clauses, obs::MakeRegistryLookup(harness));
+  if (!slo.checks.empty()) {
+    std::printf("%s", obs::FormatSloReport(slo).c_str());
+  }
+  all_ok = all_ok && slo.ok;
+
   if (!opt.prom_path.empty()) {
-    MetricsRegistry harness;
-    harness.Register("gossip.runs_total", &runs_total);
-    harness.Register("gossip.violations_total", &violations_total);
-    harness.RegisterHistogram("gossip.detection_latency_us", &detection_latency_us);
-    WriteFileOrWarn(opt.prom_path, harness.PrometheusText() + last_prom);
+    const std::string prom_text = harness.PrometheusText() + last_prom;
+    std::string lint_error;
+    if (!PrometheusLint(prom_text, &lint_error)) {
+      std::printf("prom lint: %s\n", lint_error.c_str());
+      all_ok = false;
+    }
+    WriteFileOrWarn(opt.prom_path, prom_text);
   }
   std::printf("gossip_soak: %s\n", all_ok ? "all invariants held" : "FAILURES");
   return all_ok ? 0 : 1;

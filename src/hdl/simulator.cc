@@ -202,7 +202,17 @@ void Simulator::Reclassify(usize index) {
   slot.state = Slot::kRunnable;
 }
 
-u64 Simulator::SweepProcesses(bool lazy) {
+namespace {
+
+inline u64 ElapsedNs(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point stop) {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+}
+
+}  // namespace
+
+u64 Simulator::SweepProcesses(bool lazy, bool timed) {
   u64 activity = 0;
   const usize count = processes_.size();
   const usize* order = order_.empty() ? nullptr : order_.data();
@@ -235,17 +245,38 @@ u64 Simulator::SweepProcesses(bool lazy) {
     ++stats.cycles_awake;
     ++activity;
     HwProcess& process = processes_[i].process;
-    if (profiling_) [[unlikely]] {
+    if (timed) [[unlikely]] {
       const auto start = std::chrono::steady_clock::now();
       process.Resume();
-      stats.wall_ns += static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                            std::chrono::steady_clock::now() - start)
-                                            .count());
+      stats.wall_ns += ElapsedNs(start, std::chrono::steady_clock::now());
     } else {
       process.Resume();
     }
     Reclassify(i);
   }
+  return activity;
+}
+
+u64 Simulator::ProfiledSweepAndCommit(bool lazy) {
+  ++phase_resume_.calls;
+  ++phase_commit_.calls;
+  const bool timed =
+      profiling_mode_ == ProfilingMode::kFull || (++edge_tick_ % sample_stride_) == 0;
+  if (!timed) {
+    const u64 activity = SweepProcesses(lazy, /*timed=*/false);
+    CommitEdge();
+    return activity;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const u64 activity = SweepProcesses(lazy, /*timed=*/true);
+  const auto t1 = std::chrono::steady_clock::now();
+  CommitEdge();
+  const auto t2 = std::chrono::steady_clock::now();
+  ++phase_resume_.timed_calls;
+  phase_resume_.wall_ns += ElapsedNs(t0, t1);
+  ++phase_commit_.timed_calls;
+  phase_commit_.wall_ns += ElapsedNs(t1, t2);
+  ++edges_timed_;
   return activity;
 }
 
@@ -288,8 +319,12 @@ void Simulator::Step() {
   // Epoch-lazy parked-predicate evaluation is only an optimization shortcut;
   // with the fast path off every parked predicate is evaluated on every
   // edge, which is the reference semantics.
-  SweepProcesses(/*lazy=*/fast_path_);
-  CommitEdge();
+  if (profiling_mode_ != ProfilingMode::kOff) [[unlikely]] {
+    ProfiledSweepAndCommit(/*lazy=*/fast_path_);
+  } else {
+    SweepProcesses(/*lazy=*/fast_path_, /*timed=*/false);
+    CommitEdge();
+  }
   ++now_;
   ++edges_run_;
   if (!edge_observers_.empty()) [[unlikely]] {
@@ -435,6 +470,23 @@ Cycle Simulator::QuiescentWindow(Cycle budget) {
   return window;
 }
 
+Cycle Simulator::ProfiledQuiescentWindow(Cycle budget) {
+  if (profiling_mode_ == ProfilingMode::kOff) [[likely]] {
+    return QuiescentWindow(budget);
+  }
+  ++phase_scan_.calls;
+  const bool timed =
+      profiling_mode_ == ProfilingMode::kFull || (++scan_tick_ % sample_stride_) == 0;
+  if (!timed) {
+    return QuiescentWindow(budget);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const Cycle window = QuiescentWindow(budget);
+  ++phase_scan_.timed_calls;
+  phase_scan_.wall_ns += ElapsedNs(t0, std::chrono::steady_clock::now());
+  return window;
+}
+
 void Simulator::AttachFaultRegistry(FaultRegistry* registry) {
   fault_registry_ = registry;
   if (registry != nullptr) {
@@ -444,6 +496,24 @@ void Simulator::AttachFaultRegistry(FaultRegistry* registry) {
 
 void Simulator::FastForward(Cycle cycles) {
   assert(cycles > 0);
+  if (profiling_mode_ != ProfilingMode::kOff) [[unlikely]] {
+    // Jumps are rare relative to edges: always time them when profiling.
+    const auto t0 = std::chrono::steady_clock::now();
+    if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
+      obs::EmitComplete(tb, "sim.quiescent", NowPs(),
+                        static_cast<Picoseconds>(cycles) * cycle_period_ps_);
+    }
+    now_ += cycles;
+    cycles_fast_forwarded_ += cycles;
+    ++jumps_;
+    if (fault_registry_ != nullptr) {
+      fault_registry_->NoteSkippedTicks(cycles);
+    }
+    ++phase_fast_forward_.calls;
+    ++phase_fast_forward_.timed_calls;
+    phase_fast_forward_.wall_ns += ElapsedNs(t0, std::chrono::steady_clock::now());
+    return;
+  }
   // The jump itself is an observable worth tracing: a complete span covering
   // the skipped window shows exactly where the run was quiescent.
   if (obs::TraceBuffer* tb = obs::ActiveBuffer()) {
@@ -464,6 +534,24 @@ void Simulator::FastForward(Cycle cycles) {
 }
 
 void Simulator::RunFlatSpan(Cycle end, const std::function<bool()>* done) {
+  // Phase attribution: the whole span is timed as one flat_span entry
+  // (inclusive of the sweeps/commits inside it), so the flat loop's dispatch
+  // saving shows up as flat_span.wall minus the inner phases.
+  struct SpanTimer {
+    PhaseProfile* phase;
+    std::chrono::steady_clock::time_point start;
+    explicit SpanTimer(PhaseProfile* p)
+        : phase(p), start(p != nullptr ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{}) {}
+    ~SpanTimer() {
+      if (phase != nullptr) {
+        ++phase->calls;
+        ++phase->timed_calls;
+        phase->wall_ns += ElapsedNs(start, std::chrono::steady_clock::now());
+      }
+    }
+  };
+  SpanTimer span_timer(profiling_mode_ != ProfilingMode::kOff ? &phase_flat_ : nullptr);
   while (now_ < end) {
     if (fault_registry_ != nullptr) [[unlikely]] {
       fault_registry_->Tick(now_);
@@ -471,8 +559,13 @@ void Simulator::RunFlatSpan(Cycle end, const std::function<bool()>* done) {
     if (!forced_wakes_.empty()) [[unlikely]] {
       ConsumeForcedWakes();
     }
-    const u64 activity = SweepProcesses(/*lazy=*/true);
-    CommitEdge();
+    u64 activity;
+    if (profiling_mode_ != ProfilingMode::kOff) [[unlikely]] {
+      activity = ProfiledSweepAndCommit(/*lazy=*/true);
+    } else {
+      activity = SweepProcesses(/*lazy=*/true, /*timed=*/false);
+      CommitEdge();
+    }
     ++now_;
     ++edges_run_;
     if (!edge_observers_.empty()) [[unlikely]] {
@@ -506,7 +599,7 @@ void Simulator::Run(Cycle cycles) {
   }
   const Cycle end = now_ + cycles;
   while (now_ < end) {
-    const Cycle window = QuiescentWindow(end - now_);
+    const Cycle window = ProfiledQuiescentWindow(end - now_);
     if (window > 0) {
       FastForward(window);
     } else if (FlatSpanEligible()) {
@@ -529,7 +622,7 @@ bool Simulator::RunUntil(const std::function<bool()>& done, Cycle limit) {
     // `done` is a pure function of simulation state (header contract), so it
     // cannot flip inside a quiescent window: checking once per executed edge
     // or jump is exactly equivalent to checking every cycle.
-    const Cycle window = QuiescentWindow(end - now_);
+    const Cycle window = ProfiledQuiescentWindow(end - now_);
     if (window > 0) {
       FastForward(window);
     } else if (FlatSpanEligible()) {
@@ -553,9 +646,18 @@ usize Simulator::live_process_count() const {
 
 SimProfile Simulator::ProfileReport() const {
   SimProfile profile;
+  profile.profiling_enabled = profiling_mode_ != ProfilingMode::kOff;
+  profile.mode = profiling_mode_;
+  profile.sample_stride = sample_stride_;
   profile.edges_run = edges_run_;
   profile.cycles_fast_forwarded = cycles_fast_forwarded_;
   profile.jumps = jumps_;
+  profile.edges_timed = edges_timed_;
+  profile.resume_dispatch = phase_resume_;
+  profile.commit_sweep = phase_commit_;
+  profile.quiescence_scan = phase_scan_;
+  profile.fast_forward = phase_fast_forward_;
+  profile.flat_span = phase_flat_;
   profile.processes.reserve(processes_.size());
   for (usize i = 0; i < processes_.size(); ++i) {
     ProcessProfile entry;

@@ -145,14 +145,64 @@ struct ProcessProfile {
   u64 resumes = 0;       // coroutine resumptions (edges the body actually ran)
   u64 cycles_awake = 0;  // edges the scheduler did work for it (resume or poll)
   u64 polls = 0;         // parked-predicate evaluations
-  u64 wall_ns = 0;       // wall time inside resumes (0 unless EnableProfiling)
+  // Wall time inside resumes. Exact under ProfilingMode::kFull; under
+  // kSampled only resumes on timed edges carry the clock pair, so this is a
+  // 1-in-stride sample of the true total (scale by sample_stride for an
+  // estimate). Zero when profiling is off.
+  u64 wall_ns = 0;
+};
+
+// Wall-clock attribution granularity (see Simulator::SetProfilingMode).
+enum class ProfilingMode : u8 {
+  kOff = 0,      // counts only, no clock reads (the default)
+  kSampled = 1,  // 1-in-stride edges timed: cheap enough to leave on in soaks
+  kFull = 2,     // every edge and every resume timed (two clock reads each)
+};
+
+// Wall time attributed to one kernel phase while profiling was active.
+// `calls` counts every entry into the phase; `timed_calls` counts the subset
+// that carried a steady_clock pair (all of them under kFull, 1-in-stride
+// under kSampled), and `wall_ns` is the time inside those timed entries.
+struct PhaseProfile {
+  u64 calls = 0;
+  u64 timed_calls = 0;
+  u64 wall_ns = 0;
+  // Sample-scaled estimate of the phase's true total wall time.
+  double EstimatedTotalNs() const {
+    if (timed_calls == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(wall_ns) * static_cast<double>(calls) /
+           static_cast<double>(timed_calls);
+  }
 };
 
 struct SimProfile {
-  u64 edges_run = 0;            // edges actually executed
+  // Whether wall-clock attribution was active when the report was taken.
+  // The scalar counters below (edges_run, ...) are always valid; phase and
+  // per-process wall numbers are only meaningful when `populated()`.
+  bool profiling_enabled = false;
+  ProfilingMode mode = ProfilingMode::kOff;
+  u64 sample_stride = 1;          // 1 under kFull; the 1-in-N stride under kSampled
+  u64 edges_run = 0;              // edges actually executed
   u64 cycles_fast_forwarded = 0;  // cycles skipped by quiescence jumps
-  u64 jumps = 0;                // number of fast-forward jumps
+  u64 jumps = 0;                  // number of fast-forward jumps
+  u64 edges_timed = 0;            // executed edges that carried phase clock pairs
+  // Kernel phases (src/obs/pulse.h exports these as JSON):
+  PhaseProfile resume_dispatch;   // SweepProcesses: resume + parked-poll sweep
+  PhaseProfile commit_sweep;      // CommitEdge: unconditional list + dirty queue
+  PhaseProfile quiescence_scan;   // QuiescentWindow calls from Run/RunUntil
+  PhaseProfile fast_forward;      // FastForward jumps (always timed when enabled)
+  PhaseProfile flat_span;         // RunFlatSpan bodies, inclusive of their sweeps/commits
   std::vector<ProcessProfile> processes;
+  // True when the report carries actual wall-clock phase data (profiling was
+  // on AND at least one phase was timed) — callers printing a phase table
+  // should check this instead of printing all-zero rows.
+  bool populated() const {
+    return profiling_enabled &&
+           (edges_timed > 0 || quiescence_scan.timed_calls > 0 ||
+            fast_forward.timed_calls > 0 || flat_span.timed_calls > 0);
+  }
 };
 
 class Simulator {
@@ -283,9 +333,22 @@ class Simulator {
   // --- Profiler ---
   // Resume/poll counts are always collected (they are a handful of
   // increments per edge); wall-clock attribution is off by default because
-  // it adds two steady_clock reads per resume.
-  void EnableProfiling(bool enabled) { profiling_ = enabled; }
+  // kFull adds two steady_clock reads per resume. kSampled times one edge in
+  // `sample_stride` (phases and per-resume attribution alike), amortizing
+  // the clock reads to ~3/stride per edge — cheap enough to leave on for
+  // soak runs (bench/microbench_kernel --profile-overhead gates it ≤5%).
+  void SetProfilingMode(ProfilingMode mode, u64 sample_stride = kDefaultProfilingStride) {
+    profiling_mode_ = mode;
+    sample_stride_ = mode == ProfilingMode::kFull ? 1 : (sample_stride == 0 ? 1 : sample_stride);
+  }
+  ProfilingMode profiling_mode() const { return profiling_mode_; }
+  // Back-compat sugar: EnableProfiling(true) is the historical full mode.
+  void EnableProfiling(bool enabled) {
+    SetProfilingMode(enabled ? ProfilingMode::kFull : ProfilingMode::kOff);
+  }
   SimProfile ProfileReport() const;
+
+  static constexpr u64 kDefaultProfilingStride = 64;
 
   // Registers the kernel's scheduler statistics (the scalar SimProfile
   // fields) under `prefix` (e.g. "sim"): edges_run / cycles_fast_forwarded /
@@ -396,13 +459,23 @@ class Simulator {
   void Reclassify(usize index);
 
   // Resumes/polls every due process once (one edge's worth of process work).
-  // `lazy` enables epoch/route-based parked-predicate skipping. Returns the
-  // number of resumes + predicate polls performed (0 = the edge was
-  // quiescent).
-  u64 SweepProcesses(bool lazy);
+  // `lazy` enables epoch/route-based parked-predicate skipping; `timed`
+  // wraps each resume in a steady_clock pair (per-process wall attribution).
+  // Returns the number of resumes + predicate polls performed (0 = the edge
+  // was quiescent).
+  u64 SweepProcesses(bool lazy, bool timed);
 
   // Commits the unconditional list then drains the dirty queue.
   void CommitEdge();
+
+  // One edge's sweep + commit with phase accounting (profiling_mode_ !=
+  // kOff): counts every edge, times one in sample_stride_. Returns the
+  // sweep's activity count.
+  u64 ProfiledSweepAndCommit(bool lazy);
+
+  // QuiescentWindow with phase accounting; falls through to the plain scan
+  // when profiling is off.
+  Cycle ProfiledQuiescentWindow(Cycle budget);
 
   // True when Run/RunUntil may enter the flat scheduled span.
   bool FlatSpanEligible() const {
@@ -500,8 +573,18 @@ class Simulator {
   bool wake_routes_active_ = false;
   std::unordered_map<const void*, std::vector<u32>> wake_routes_;
 
-  // Profiler state.
-  bool profiling_ = false;
+  // Profiler state. Counters (edges_run_ &c.) are always maintained; the
+  // phase accumulators only move while profiling_mode_ != kOff.
+  ProfilingMode profiling_mode_ = ProfilingMode::kOff;
+  u64 sample_stride_ = kDefaultProfilingStride;
+  u64 edge_tick_ = 0;  // sampled-mode stride counters (edges / scans)
+  u64 scan_tick_ = 0;
+  u64 edges_timed_ = 0;
+  PhaseProfile phase_resume_;
+  PhaseProfile phase_commit_;
+  PhaseProfile phase_scan_;
+  PhaseProfile phase_fast_forward_;
+  PhaseProfile phase_flat_;
   std::vector<ProcessStats> stats_;
   u64 edges_run_ = 0;
   u64 cycles_fast_forwarded_ = 0;

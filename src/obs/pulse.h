@@ -1,0 +1,153 @@
+// emu-pulse: host-performance (wall-clock) observability, kept strictly
+// apart from the deterministic trace (src/obs/trace.h).
+//
+// The deterministic trace answers "what did the emulated system do, at which
+// emulated picosecond" — it is byte-compared across thread counts and
+// replays, so nothing wall-clock may ever leak into it. emu-pulse answers
+// the orthogonal question "where did the HOST spend its time running the
+// emulation": kernel phase attribution (Simulator::ProfileReport), and
+// per-shard/per-epoch records from the conservative parallel runner
+// (planned horizon, events executed, barrier-wait wall ns, null-message
+// relaxation counts — the data the emu-par v2 barrier fix aims at).
+//
+// Everything here exports to SEPARATE artifacts (a summary JSON and a
+// wall-clock Chrome trace), which is what keeps the byte-compare guarantee
+// intact by construction: the deterministic exporters never see this data.
+#ifndef SRC_OBS_PULSE_H_
+#define SRC_OBS_PULSE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hdl/simulator.h"
+
+namespace emu::obs {
+
+// --- Kernel phase profile export -------------------------------------------
+
+// JSON export of a SimProfile: scalar counters, the five kernel phases
+// (calls / timed_calls / wall_ns / estimated_total_ns), and the per-process
+// table. `profiling_enabled` is always present so a consumer can tell an
+// all-zero report from a disabled one.
+std::string SimProfileJson(const SimProfile& profile);
+
+// Human-readable phase + per-process table (emu_scope prints this when the
+// report is populated()). Empty string when the profile carries no wall
+// data — callers need not re-check populated().
+std::string FormatSimProfileTable(const SimProfile& profile);
+
+// --- Parallel-runner epoch observability ------------------------------------
+
+// One PlanEpoch execution (coordinator, single-threaded between barriers).
+struct PlanRecord {
+  u64 epoch = 0;           // 1-based epoch ordinal within this run
+  u64 begin_ns = 0;        // wall offset from BeginRun
+  u64 wall_ns = 0;         // time inside PlanEpoch (drain + relax + horizons)
+  u64 relax_sweeps = 0;    // fixpoint sweeps over the cut edges
+  u64 relaxations = 0;     // lower-bound relaxations applied (batched null messages)
+  u64 frames_drained = 0;  // cross-shard frames delivered out of the inboxes
+};
+
+// One shard's slice of one epoch. barrier_wait_ns is the wall time between
+// the shard's work finishing and the epoch closing at the done barrier —
+// under threads=1 it measures sequential skew (time spent running the shards
+// after this one), under threads=N it is the idle time the emu-par v2 fix
+// wants to shrink.
+struct ShardEpochRecord {
+  u64 epoch = 0;
+  u32 shard = 0;
+  Picoseconds horizon_ps = -1;  // planned conservative horizon; -1 = unbounded
+  u64 executed = 0;     // events the shard ran this epoch
+  u64 work_begin_ns = 0;
+  u64 work_end_ns = 0;
+  u64 barrier_wait_ns = 0;
+};
+
+// Whole-run plan totals (never dropped, even when the per-epoch ring caps
+// out — the same exactness rule ShardAggregate follows).
+struct PlanAggregate {
+  u64 wall_ns = 0;
+  u64 relax_sweeps = 0;
+  u64 relaxations = 0;
+  u64 frames_drained = 0;
+};
+
+// Whole-run totals per shard (never dropped, even when the per-epoch ring
+// caps out).
+struct ShardAggregate {
+  u64 epochs = 0;
+  u64 executed = 0;
+  u64 work_ns = 0;
+  u64 barrier_wait_ns = 0;
+  u64 max_barrier_wait_ns = 0;
+};
+
+// Collects wall-clock epoch records from a ParallelRunner (AttachPulse).
+// Recording discipline: BeginRun / RecordPlan / RecordShardEpoch / EndRun
+// are coordinator-only calls (the single-threaded sections between epoch
+// barriers); NowNs() is safe from worker threads (it only reads the base
+// stamp set in BeginRun).
+//
+// Detail records are bounded: past `max_records` per-epoch entries the
+// recorder keeps the prefix and counts the rest in dropped_records(), while
+// the per-shard aggregates keep accumulating — totals are always exact.
+class RunnerPulse {
+ public:
+  explicit RunnerPulse(usize max_records = 1u << 14) : max_records_(max_records) {}
+
+  void BeginRun(usize shard_count, usize threads);
+  void EndRun(u64 total_events);
+  u64 NowNs() const {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - base_)
+                                .count());
+  }
+
+  void RecordPlan(const PlanRecord& record);
+  void RecordShardEpoch(const ShardEpochRecord& record);
+
+  usize shard_count() const { return shard_count_; }
+  usize threads() const { return threads_; }
+  u64 epochs() const { return epochs_; }
+  u64 total_events() const { return total_events_; }
+  u64 run_wall_ns() const { return run_wall_ns_; }
+  u64 dropped_records() const { return dropped_records_; }
+  const std::vector<PlanRecord>& plans() const { return plans_; }
+  const PlanAggregate& plan_aggregate() const { return plan_aggregate_; }
+  const std::vector<ShardEpochRecord>& shard_epochs() const { return shard_epochs_; }
+  const std::vector<ShardAggregate>& shard_aggregates() const { return aggregates_; }
+
+  // Summary JSON: run-level totals, per-shard aggregates (executed, work,
+  // barrier wait, max wait), plan totals (sweeps, relaxations, drained), and
+  // the bounded per-epoch detail arrays.
+  std::string SummaryJson() const;
+
+  // Wall-clock Chrome trace: per-shard rows of "shard.work" + "barrier.wait"
+  // complete spans and a coordinator row of "epoch.plan" spans, timestamped
+  // in HOST time. A separate artifact by design — never merged into the
+  // deterministic trace, so the byte-compare never sees it.
+  std::string WallClockTraceJson() const;
+
+  bool WriteSummaryJson(const std::string& path) const;
+  bool WriteWallClockTraceJson(const std::string& path) const;
+
+ private:
+  usize max_records_;
+  usize shard_count_ = 0;
+  usize threads_ = 0;
+  u64 epochs_ = 0;
+  u64 total_events_ = 0;
+  u64 run_wall_ns_ = 0;
+  u64 dropped_records_ = 0;
+  std::chrono::steady_clock::time_point base_{};
+  PlanAggregate plan_aggregate_;
+  std::vector<PlanRecord> plans_;
+  std::vector<ShardEpochRecord> shard_epochs_;
+  std::vector<ShardAggregate> aggregates_;
+};
+
+}  // namespace emu::obs
+
+#endif  // SRC_OBS_PULSE_H_

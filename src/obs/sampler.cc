@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/core/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace_hooks.h"
 #include "src/sim/event_scheduler.h"
 
@@ -16,6 +17,9 @@ void MetricsSampler::Sample(Picoseconds now) {
     for (const auto& [name, value] : row.values) {
       obs::EmitCounter(tb, name, now, value);
     }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(now, row.values);
   }
   rows_.push_back(std::move(row));
 }

@@ -24,6 +24,10 @@ namespace emu {
 class EventScheduler;
 class MetricsRegistry;
 
+namespace obs {
+class TimeSeriesRecorder;
+}  // namespace obs
+
 class MetricsSampler {
  public:
   struct Row {
@@ -46,6 +50,11 @@ class MetricsSampler {
 
   const std::vector<Row>& rows() const { return rows_; }
 
+  // Feeds every Sample into a bounded recorder (emu-pulse; nullptr
+  // detaches). The recorder must outlive the attachment; it downsamples
+  // independently, so the sampler's own unbounded rows() are unaffected.
+  void AttachRecorder(obs::TimeSeriesRecorder* recorder) { recorder_ = recorder; }
+
   // "ts_ps,name,value" lines, one per sampled metric.
   std::string Csv() const;
 
@@ -53,6 +62,7 @@ class MetricsSampler {
   const MetricsRegistry& registry_;
   Picoseconds interval_;
   std::vector<Row> rows_;
+  obs::TimeSeriesRecorder* recorder_ = nullptr;
 };
 
 }  // namespace emu

@@ -1,0 +1,78 @@
+// Declarative end-of-run SLO gates (emu-pulse).
+//
+// A soak harness accepts a clause set on the command line, e.g.
+//
+//   --slo "chain.source.rtt_us.p99 <= 400; chain.loss_rate <= 0.02"
+//
+// parses it once up front (bad specs fail fast, before the run), evaluates
+// every clause against the final metrics at end of run, and exits nonzero on
+// any breach — the CI contract. Clause grammar, one per ';' or newline:
+//
+//   <metric> <= <number>   |   <metric> >= <number>
+//
+// where <metric> is a dotted registry name (histogram derived views like
+// `.p99` work because MetricsRegistry::TryGet resolves them) or any
+// harness-provided derived value (loss_rate, detection_time_us, ...). A
+// clause naming a metric the lookup cannot resolve FAILS — a gate that
+// silently passes because its metric was renamed is the failure mode this
+// rule exists to prevent.
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace emu {
+
+class MetricsRegistry;
+
+namespace obs {
+
+struct SloClause {
+  std::string metric;
+  bool less_equal = true;  // false = ">="
+  double bound = 0.0;
+  std::string text;  // the original clause, for reports
+};
+
+struct SloParseResult {
+  bool ok = true;
+  std::string error;  // first problem, with the 1-based clause ordinal
+  std::vector<SloClause> clauses;
+};
+
+SloParseResult ParseSloSpec(std::string_view spec);
+
+struct SloCheck {
+  SloClause clause;
+  bool ok = false;
+  bool missing = false;  // lookup had no such metric (counts as a breach)
+  double observed = 0.0;
+};
+
+struct SloReport {
+  bool ok = true;
+  std::vector<SloCheck> checks;
+};
+
+// Resolves metric names to observed values; nullopt = unknown metric.
+using SloLookup = std::function<std::optional<double>(const std::string&)>;
+
+SloReport EvaluateSlo(const std::vector<SloClause>& clauses, const SloLookup& lookup);
+
+// Lookup over a MetricsRegistry (TryGet, so histogram `.p50`/`.p99` views
+// resolve). Compose with harness-derived values by trying those first.
+SloLookup MakeRegistryLookup(const MetricsRegistry& registry);
+
+// One line per clause: "PASS|FAIL <clause>  observed=<v>" (or "missing").
+std::string FormatSloReport(const SloReport& report);
+
+}  // namespace obs
+}  // namespace emu
+
+#endif  // SRC_OBS_SLO_H_

@@ -8,6 +8,7 @@
 #include <thread>
 #include <tuple>
 
+#include "src/obs/pulse.h"
 #include "src/obs/trace.h"
 
 namespace emu {
@@ -48,6 +49,8 @@ void ParallelRunner::ConnectDirection(Link& link, bool to_b, usize from, usize t
 }
 
 bool ParallelRunner::PlanEpoch(usize budget) {
+  const u64 plan_begin_ns = pulse_ != nullptr ? pulse_->NowNs() : 0;
+  u64 drained = 0;
   // Drain every inbox in canonical (arrival, link, seq) order so the
   // receiving scheduler's tie-break sequence numbers are independent of the
   // order worker threads pushed the frames.
@@ -63,6 +66,7 @@ bool ParallelRunner::PlanEpoch(usize budget) {
                 return std::tie(a.arrival, a.link_id, a.seq) <
                        std::tie(b.arrival, b.link_id, b.seq);
               });
+    drained += pending.size();
     for (PendingDelivery& delivery : pending) {
       shard.scheduler->At(delivery.arrival,
                           [link = delivery.link, to_b = delivery.to_b,
@@ -71,6 +75,7 @@ bool ParallelRunner::PlanEpoch(usize budget) {
                           });
     }
   }
+  frames_drained_ += drained;
 
   bool any_pending = false;
   std::vector<Picoseconds> next(shards_.size(), kNever);
@@ -91,8 +96,11 @@ bool ParallelRunner::PlanEpoch(usize budget) {
   // at most |shards| sweeps — so lb[i] bounds the earliest time shard i can
   // execute ANY event this epoch, woken or not.
   std::vector<Picoseconds> lb = next;
+  u64 sweeps = 0;
+  u64 relaxations = 0;
   for (bool changed = true; changed;) {
     changed = false;
+    ++sweeps;
     for (auto& entry : shards_) {
       Shard& shard = *entry;
       for (const InboundEdge& edge : shard.inbound) {
@@ -103,10 +111,13 @@ bool ParallelRunner::PlanEpoch(usize budget) {
         if (candidate < lb[shard.index]) {
           lb[shard.index] = candidate;
           changed = true;
+          ++relaxations;
         }
       }
     }
   }
+  relax_sweeps_ += sweeps;
+  null_message_relaxations_ += relaxations;
   for (auto& entry : shards_) {
     Shard& shard = *entry;
     Picoseconds horizon = kNever;
@@ -121,7 +132,33 @@ bool ParallelRunner::PlanEpoch(usize budget) {
     shard.epoch_executed = 0;
   }
   ++epochs_;
+  if (pulse_ != nullptr) {
+    obs::PlanRecord record;
+    record.epoch = epochs_;
+    record.begin_ns = plan_begin_ns;
+    record.wall_ns = pulse_->NowNs() - plan_begin_ns;
+    record.relax_sweeps = sweeps;
+    record.relaxations = relaxations;
+    record.frames_drained = drained;
+    pulse_->RecordPlan(record);
+  }
   return true;
+}
+
+void ParallelRunner::FlushEpochRecords(u64 epoch_end_ns) {
+  for (auto& entry : shards_) {
+    Shard& shard = *entry;
+    obs::ShardEpochRecord record;
+    record.epoch = epochs_;
+    record.shard = static_cast<u32>(shard.index);
+    record.horizon_ps = shard.horizon == kNever ? -1 : shard.horizon;
+    record.executed = shard.epoch_executed;
+    record.work_begin_ns = shard.work_begin_ns;
+    record.work_end_ns = shard.work_end_ns;
+    record.barrier_wait_ns =
+        epoch_end_ns > shard.work_end_ns ? epoch_end_ns - shard.work_end_ns : 0;
+    pulse_->RecordShardEpoch(record);
+  }
 }
 
 void ParallelRunner::RunShardEpoch(Shard& shard) {
@@ -133,7 +170,15 @@ void ParallelRunner::RunShardEpoch(Shard& shard) {
   if (session != nullptr) {
     obs::BindThreadToShard(session, shard.index);
   }
-  shard.epoch_executed = shard.scheduler->RunWhileBefore(shard.horizon, shard.budget);
+  if (pulse_ != nullptr) {
+    // Worker-side wall stamps: safe concurrently (NowNs only reads the run
+    // base) and each worker owns its shards' fields for the epoch.
+    shard.work_begin_ns = pulse_->NowNs();
+    shard.epoch_executed = shard.scheduler->RunWhileBefore(shard.horizon, shard.budget);
+    shard.work_end_ns = pulse_->NowNs();
+  } else {
+    shard.epoch_executed = shard.scheduler->RunWhileBefore(shard.horizon, shard.budget);
+  }
   if (session != nullptr) {
     obs::BindThreadToBuffer(previous);
   }
@@ -147,6 +192,9 @@ u64 ParallelRunner::Run(const ParallelRunOptions& opts) {
     // single-threaded by contract.
     session->EnsureShards(shards_.size());
   }
+  if (pulse_ != nullptr) {
+    pulse_->BeginRun(shards_.size(), threads);
+  }
   u64 total = 0;
   const auto remaining = [&]() -> usize {
     return opts.max_events > total ? static_cast<usize>(opts.max_events - total) : 0;
@@ -158,6 +206,12 @@ u64 ParallelRunner::Run(const ParallelRunOptions& opts) {
         RunShardEpoch(*shard);
         total += shard->epoch_executed;
       }
+      if (pulse_ != nullptr) {
+        FlushEpochRecords(pulse_->NowNs());
+      }
+    }
+    if (pulse_ != nullptr) {
+      pulse_->EndRun(total);
     }
     return total;
   }
@@ -198,12 +252,20 @@ u64 ParallelRunner::Run(const ParallelRunOptions& opts) {
     }
     start_gate.arrive_and_wait();
     done_gate.arrive_and_wait();
+    // Epoch closed: every worker has passed the done barrier, so the shard
+    // stamps are safely visible here (barrier = release/acquire).
+    if (pulse_ != nullptr) {
+      FlushEpochRecords(pulse_->NowNs());
+    }
     for (auto& shard : shards_) {
       total += shard->epoch_executed;
     }
   }
   for (std::thread& worker : workers) {
     worker.join();
+  }
+  if (pulse_ != nullptr) {
+    pulse_->EndRun(total);
   }
   return total;
 }

@@ -47,6 +47,10 @@
 
 namespace emu {
 
+namespace obs {
+class RunnerPulse;
+}  // namespace obs
+
 struct ParallelRunOptions {
   // Worker threads; 1 runs the same epoch schedule inline (the bit-exact
   // serial reference). Clamped to the shard count.
@@ -96,6 +100,19 @@ class ParallelRunner {
   // Every registered cross-shard link direction, for static validation.
   const std::vector<ShardCut>& cuts() const { return cuts_; }
 
+  // Attaches a wall-clock epoch recorder (emu-pulse; nullptr detaches). The
+  // pulse must outlive the attachment. Recording is pure observation of HOST
+  // time: it never touches simulation state, so attached or not, results —
+  // including the deterministic trace — are bit-identical.
+  void AttachPulse(obs::RunnerPulse* pulse) { pulse_ = pulse; }
+  obs::RunnerPulse* pulse() const { return pulse_; }
+
+  // Cumulative conservative-plan statistics (maintained with or without a
+  // pulse attached; deterministic functions of the workload).
+  u64 relax_sweeps() const { return relax_sweeps_; }
+  u64 null_message_relaxations() const { return null_message_relaxations_; }
+  u64 frames_drained() const { return frames_drained_; }
+
  private:
   struct PendingDelivery {
     Picoseconds arrival = 0;
@@ -119,6 +136,11 @@ class ParallelRunner {
     Picoseconds horizon = 0;
     usize budget = 0;
     usize epoch_executed = 0;
+    // Wall stamps of this shard's epoch work (ns since RunnerPulse base);
+    // written by the worker that ran the epoch, read by the coordinator
+    // after the done barrier. Only maintained while a pulse is attached.
+    u64 work_begin_ns = 0;
+    u64 work_end_ns = 0;
   };
 
   // Drains inboxes, snapshots next-event times, computes horizons and
@@ -126,10 +148,18 @@ class ParallelRunner {
   bool PlanEpoch(usize budget);
   void RunShardEpoch(Shard& shard);
 
+  // Stamps per-shard epoch records into the pulse after an epoch closes
+  // (coordinator only; `epoch_end_ns` is the done-barrier wall stamp).
+  void FlushEpochRecords(u64 epoch_end_ns);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ShardCut> cuts_;
   u64 next_link_id_ = 0;
   u64 epochs_ = 0;
+  u64 relax_sweeps_ = 0;
+  u64 null_message_relaxations_ = 0;
+  u64 frames_drained_ = 0;
+  obs::RunnerPulse* pulse_ = nullptr;
 };
 
 }  // namespace emu
